@@ -1,0 +1,38 @@
+//! E4 — algebra scaling: the [KSW90] PTIME claim for intersection, join
+//! and projection on generalized relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdb_bench::workloads::{random_relation, rng};
+use itdb_lrp::{algebra, DEFAULT_RESIDUE_BUDGET};
+use std::hint::black_box;
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra");
+    for n in [8usize, 32, 128] {
+        let mut r = rng(7 + n as u64);
+        let a = random_relation(n, 2, &[12, 24], 0, &mut r);
+        let b = random_relation(n, 2, &[12, 24], 0, &mut r);
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |bench, _| {
+            bench.iter(|| black_box(algebra::join(&a, &b, &[(1, 0)], &[]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", n), &n, |bench, _| {
+            bench.iter(|| black_box(algebra::intersection(&a, &b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("projection", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(algebra::project(&a, &[0], &[], DEFAULT_RESIDUE_BUDGET).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union+normalize", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut u = algebra::union(&a, &b).unwrap();
+                u.normalize(DEFAULT_RESIDUE_BUDGET).unwrap();
+                black_box(u)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

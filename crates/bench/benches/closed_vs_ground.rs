@@ -1,0 +1,25 @@
+//! E3 — closed-form generalized-tuple evaluation vs. the ground
+//! tuple-at-a-time baseline over growing windows (the paper's §4.3
+//! motivation: the closed form is window-independent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdb_bench::workloads::example_4_1;
+use itdb_core::{evaluate_with, ground::evaluate_ground, EvalOptions};
+use std::hint::black_box;
+
+fn bench_closed_vs_ground(c: &mut Criterion) {
+    let (program, db) = example_4_1(168, 48);
+    let mut group = c.benchmark_group("closed_vs_ground");
+    group.bench_function("closed_form", |b| {
+        b.iter(|| black_box(evaluate_with(&program, &db, &EvalOptions::default()).unwrap()))
+    });
+    for window in [1_000i64, 4_000, 16_000] {
+        group.bench_with_input(BenchmarkId::new("ground", window), &window, |b, &w| {
+            b.iter(|| black_box(evaluate_ground(&program, &db, 0, w).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_vs_ground);
+criterion_main!(benches);

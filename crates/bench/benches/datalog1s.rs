@@ -1,0 +1,35 @@
+//! E5 — Datalog1S periodicity detection cost versus recursion step and
+//! seed spread ([CI88] bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdb_bench::workloads::{datalog1s_workload, rng, train_network};
+use itdb_datalog1s::{evaluate, DetectOptions, ExternalEdb};
+use std::hint::black_box;
+
+fn bench_datalog1s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog1s");
+    for (seeds, max_seed, step) in [(1usize, 1u64, 5u64), (5, 50, 12), (10, 200, 97)] {
+        let p = datalog1s_workload(seeds, max_seed, step, &mut rng(seeds as u64));
+        group.bench_with_input(
+            BenchmarkId::new("detect", format!("s{seeds}_m{max_seed}_k{step}")),
+            &step,
+            |b, _| {
+                b.iter(|| {
+                    black_box(evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap())
+                })
+            },
+        );
+    }
+    for lines in [2usize, 4, 6] {
+        let p = train_network(lines, &mut rng(lines as u64));
+        group.bench_with_input(BenchmarkId::new("train_network", lines), &lines, |b, _| {
+            b.iter(|| {
+                black_box(evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog1s);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E2 — the `T_GP` fixpoint: cost of reaching free-extension/constraint
+//! safety as the residue-class count grows (Theorem 4.2), plus naive vs.
+//! semi-naive evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdb_bench::workloads::example_4_1;
+use itdb_core::{evaluate_with, EvalOptions};
+use std::hint::black_box;
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint");
+    for (period, step) in [(24i64, 6i64), (168, 48), (336, 48), (360, 75)] {
+        let classes = period / itdb_lrp::gcd(period, step);
+        let (program, db) = example_4_1(period, step);
+        group.bench_with_input(
+            BenchmarkId::new("seminaive", format!("p{period}_s{step}_c{classes}")),
+            &classes,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(evaluate_with(&program, &db, &EvalOptions::default()).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("p{period}_s{step}_c{classes}")),
+            &classes,
+            |bench, _| {
+                let opts = EvalOptions {
+                    seminaive: false,
+                    ..Default::default()
+                };
+                bench.iter(|| black_box(evaluate_with(&program, &db, &opts).unwrap()))
+            },
+        );
+    }
+    // Ablation: coalescing cost on top of the fixpoint.
+    let (program, db) = example_4_1(360, 75);
+    group.bench_function("with_coalesce_p360_s75", |bench| {
+        let opts = EvalOptions {
+            coalesce: true,
+            ..Default::default()
+        };
+        bench.iter(|| black_box(evaluate_with(&program, &db, &opts).unwrap()))
+    });
+
+    // Stratified negation workload.
+    let neg_program = itdb_core::parse_program(
+        "service[t] <- sched[t]. service[t + 12] <- service[t].
+         gap[t] <- !service[t].
+         double_gap[t1, t2] <- gap[t1], gap[t2], t1 < t2, t2 < t1 + 4.",
+    )
+    .unwrap();
+    let mut neg_db = itdb_core::Database::new();
+    neg_db.insert_parsed("sched", "(24n)\n(24n+3)").unwrap();
+    group.bench_function("stratified_negation", |bench| {
+        bench.iter(|| {
+            black_box(evaluate_with(&neg_program, &neg_db, &EvalOptions::default()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E7 — ω-automata constructions: LTL→Büchi translation, query→FRA
+//! compilation, and up-word membership.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdb_omega::{datalog1s_query_to_fra, to_buchi, Ltl, UpWord};
+use std::hint::black_box;
+
+fn bench_omega(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega");
+    let p = Ltl::prop(0);
+    let q = Ltl::prop(1);
+    let gfp = Ltl::globally(Ltl::finally(p.clone()));
+    let complex = Ltl::and(
+        Ltl::globally(Ltl::implies(&p, Ltl::next(q.clone()))),
+        Ltl::finally(q.clone()),
+    );
+    group.bench_function("ltl_to_buchi_GFp", |b| {
+        b.iter(|| black_box(to_buchi(&gfp, 2).unwrap()))
+    });
+    group.bench_function("ltl_to_buchi_complex", |b| {
+        b.iter(|| black_box(to_buchi(&complex, 2).unwrap()))
+    });
+    let buchi = to_buchi(&complex, 2).unwrap();
+    let word = UpWord::new(vec![0b01, 0b10, 0b01], vec![0b10, 0b01]);
+    group.bench_function("buchi_membership", |b| {
+        b.iter(|| black_box(buchi.accepts(&word)))
+    });
+    let query = itdb_datalog1s::parse_program(
+        "seen[t] <- e[t]. seen[t + 1] <- seen[t]. goal[t] <- seen[t], f[t].",
+    )
+    .unwrap();
+    group.bench_function("datalog1s_query_to_fra", |b| {
+        b.iter(|| black_box(datalog1s_query_to_fra(&query, "goal").unwrap()))
+    });
+    let fra = datalog1s_query_to_fra(&query, "goal").unwrap();
+    let w = UpWord::new(vec![0b01, 0, 0b10], vec![0]);
+    group.bench_function("fra_membership", |b| b.iter(|| black_box(fra.accepts(&w))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_omega);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E10 — the data-expressiveness round trips: EpSet ↔ generalized relation
+//! ↔ Datalog1S program (§3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdb_datalog1s::bridge::{epset_to_program, epset_to_relation, relation_to_epset};
+use itdb_datalog1s::{evaluate, DetectOptions, EpSet, ExternalEdb};
+use std::hint::black_box;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let set = EpSet::from_parts([1, 4, 9], 20, 12, [2, 5, 11]).unwrap();
+    let mut group = c.benchmark_group("roundtrip");
+    group.bench_function("epset_to_relation", |b| {
+        b.iter(|| black_box(epset_to_relation(&set).unwrap()))
+    });
+    let rel = epset_to_relation(&set).unwrap();
+    group.bench_function("relation_to_epset", |b| {
+        b.iter(|| black_box(relation_to_epset(&rel, 1 << 16).unwrap()))
+    });
+    group.bench_function("epset_to_program_and_evaluate", |b| {
+        b.iter(|| {
+            let prog = epset_to_program("p", &set).unwrap();
+            black_box(evaluate(&prog, &ExternalEdb::new(), &DetectOptions::default()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

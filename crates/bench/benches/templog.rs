@@ -1,0 +1,41 @@
+//! E6 — Templog evaluation (translation + strata + ◇-closure) against the
+//! directly written Datalog1S equivalent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdb_datalog1s::{DetectOptions, ExternalEdb};
+use std::hint::black_box;
+
+fn bench_templog(c: &mut Criterion) {
+    let tl_src = "next^5 leaves. always (next^40 leaves <- leaves).
+                  always (next^60 arrives <- leaves).
+                  always (soon <- eventually (arrives)).";
+    let dl_src = "leaves[5]. leaves[t + 40] <- leaves[t]. arrives[t + 60] <- leaves[t].";
+    let tp = itdb_templog::parse_program(tl_src).unwrap();
+    let dp = itdb_datalog1s::parse_program(dl_src).unwrap();
+    let mut group = c.benchmark_group("templog");
+    group.bench_function("templog_eval_with_diamond", |b| {
+        b.iter(|| {
+            black_box(
+                itdb_templog::evaluate(&tp, &ExternalEdb::new(), &DetectOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("datalog1s_direct", |b| {
+        b.iter(|| {
+            black_box(
+                itdb_datalog1s::evaluate(&dp, &ExternalEdb::new(), &DetectOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("tl1_translation_only", |b| {
+        let tl1 = itdb_templog::parse_program("next^5 leaves. always (next^40 leaves <- leaves).")
+            .unwrap();
+        b.iter(|| black_box(itdb_templog::tl1_to_datalog1s(&tl1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_templog);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E9 — zone kernel microbenchmarks: closure + congruence tightening,
+//! exact emptiness, conjunction, projection and subtraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdb_lrp::{Constraint, Lrp, Var, Zone, DEFAULT_RESIDUE_BUDGET};
+use std::hint::black_box;
+
+fn schedule_zone(period: i64) -> Zone {
+    Zone::with_constraints(
+        vec![
+            Lrp::new(period, 8).unwrap(),
+            Lrp::new(period, 10).unwrap(),
+            Lrp::new(period, 40).unwrap(),
+        ],
+        &[
+            Constraint::EqVar(Var(1), Var(0), 2),
+            Constraint::LtVar(Var(1), Var(2), 0),
+            Constraint::GeConst(Var(0), 0),
+        ],
+    )
+    .unwrap()
+}
+
+fn mixed_zone() -> Zone {
+    Zone::with_constraints(
+        vec![Lrp::new(24, 3).unwrap(), Lrp::new(36, 10).unwrap()],
+        &[Constraint::LtVar(Var(0), Var(1), 40)],
+    )
+    .unwrap()
+}
+
+fn bench_zone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone");
+    for period in [24i64, 168, 1680] {
+        let z = schedule_zone(period);
+        group.bench_with_input(BenchmarkId::new("emptiness", period), &period, |b, _| {
+            b.iter(|| black_box(z.is_empty(DEFAULT_RESIDUE_BUDGET).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("canonicalize", period), &period, |b, _| {
+            b.iter(|| {
+                let mut z2 = z.clone();
+                black_box(z2.canonicalize())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("project", period), &period, |b, _| {
+            b.iter(|| black_box(z.project(&[0, 2], DEFAULT_RESIDUE_BUDGET).unwrap()))
+        });
+    }
+    let a = mixed_zone();
+    let b2 = mixed_zone();
+    group.bench_function("conjoin_mixed_periods", |b| {
+        b.iter(|| black_box(a.conjoin(&b2).unwrap()))
+    });
+    group.bench_function("subsumption_mixed_periods", |b| {
+        b.iter(|| black_box(a.subsumed_by(&[&b2], DEFAULT_RESIDUE_BUDGET).unwrap()))
+    });
+    group.bench_function("subtract_mixed_periods", |b| {
+        b.iter(|| black_box(a.subtract(&[&b2], DEFAULT_RESIDUE_BUDGET).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zone);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Prints every experiment table recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p itdb-bench --release --bin experiments [e1 … e10]
+//! ```
+//!
+//! With no arguments every experiment runs in order; with arguments only
+//! the named ones run.
+
+use itdb_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    type Experiment = (&'static str, fn() -> String);
+    let all: Vec<Experiment> = vec![
+        ("e1", ex::e1_example_4_1_trace),
+        ("e2", ex::e2_fe_safety_sweep),
+        ("e3", ex::e3_closed_vs_ground),
+        ("e4", ex::e4_algebra_scaling),
+        ("e5", ex::e5_datalog1s_detection),
+        ("e6", ex::e6_templog_equivalence),
+        ("e7", ex::e7_expressiveness),
+        ("e8", ex::e8_divergence_detection),
+        ("e9", ex::e9_zone_smoke),
+        ("e10", ex::e10_roundtrips),
+        ("e11", ex::e11_stratified_negation),
+        ("e12", ex::e12_ablations),
+    ];
+    let mut ran = 0;
+    for (name, f) in &all {
+        if args.is_empty() || args.iter().any(|a| a == name) {
+            println!("{}", f());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment(s) {args:?}; available: e1..e12");
+        std::process::exit(1);
+    }
+}

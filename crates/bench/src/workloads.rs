@@ -1,0 +1,154 @@
+//! Workload generators for the benchmarks.
+//!
+//! All generators are deterministic given a seed (`StdRng`), so benchmark
+//! runs are reproducible.
+
+use itdb_core::{parse_program, Database, Program};
+use itdb_datalog1s as dl;
+use itdb_lrp::{Constraint, DataValue, GeneralizedRelation, GeneralizedTuple, Lrp, Schema, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random generalized relation: `n` tuples of the given temporal arity,
+/// lrp periods drawn from `periods`, offsets uniform, and a chain of
+/// difference constraints `T_{i+1} = T_i + c` with small random `c` on a
+/// random prefix of the attributes (mimicking schedule-style data).
+pub fn random_relation(
+    n: usize,
+    temporal_arity: usize,
+    periods: &[i64],
+    n_data: usize,
+    rng: &mut StdRng,
+) -> GeneralizedRelation {
+    let mut rel = GeneralizedRelation::empty(Schema::new(temporal_arity, usize::from(n_data > 0)));
+    for _ in 0..n {
+        let period = periods[rng.gen_range(0..periods.len())];
+        let lrps: Vec<Lrp> = (0..temporal_arity)
+            .map(|_| Lrp::new(period, rng.gen_range(0..period)).expect("period > 0"))
+            .collect();
+        let mut constraints = Vec::new();
+        // Constrain a prefix chain so the tuple resembles a schedule row.
+        let chain = rng.gen_range(0..=temporal_arity.saturating_sub(1));
+        for i in 0..chain {
+            let delta = rng.gen_range(1..=period / 2).max(1);
+            constraints.push(Constraint::EqVar(Var(i + 1), Var(i), delta));
+        }
+        if rng.gen_bool(0.5) {
+            constraints.push(Constraint::GeConst(Var(0), 0));
+        }
+        let data = if n_data > 0 {
+            vec![DataValue::sym(format!("d{}", rng.gen_range(0..n_data)))]
+        } else {
+            vec![]
+        };
+        let tuple = GeneralizedTuple::build(lrps, &constraints, data).expect("valid tuple");
+        rel.insert(tuple).expect("schema");
+    }
+    rel
+}
+
+/// The paper's Example 4.1: course EDB plus the `problems` program, with a
+/// configurable EDB period and recursion step (the paper uses 168 and 48).
+pub fn example_4_1(period: i64, step: i64) -> (Program, Database) {
+    let program = parse_program(&format!(
+        "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+         problems[t1 + {step}, t2 + {step}](C) <- problems[t1, t2](C)."
+    ))
+    .expect("static program");
+    let mut db = Database::new();
+    db.insert_parsed(
+        "course",
+        &format!("({period}n+8, {period}n+10; database) : T2 = T1 + 2"),
+    )
+    .expect("static relation");
+    (program, db)
+}
+
+/// A diverging deductive program: the gap between the two temporal
+/// arguments grows by `step` per iteration — free-extension safe, never
+/// constraint safe (the paper's `(i, i²)`-style phenomenon in its simplest
+/// form).
+pub fn diverging_pair(step: i64) -> Program {
+    parse_program(&format!(
+        "pair[0, 0]. pair[t1, t2 + {step}] <- pair[t1, t2]."
+    ))
+    .expect("static program")
+}
+
+/// A Datalog1S workload: `seeds` facts at random times below `max_seed`,
+/// plus a recursion with the given step.
+pub fn datalog1s_workload(seeds: usize, max_seed: u64, step: u64, rng: &mut StdRng) -> dl::Program {
+    let mut src = String::new();
+    for _ in 0..seeds {
+        src.push_str(&format!("p[{}].\n", rng.gen_range(0..max_seed)));
+    }
+    src.push_str(&format!("p[t + {step}] <- p[t].\n"));
+    dl::parse_program(&src).expect("generated program parses")
+}
+
+/// A multi-predicate Datalog1S "train network": `lines` periodic routes
+/// with distinct periods and a connection-composition rule.
+pub fn train_network(lines: usize, rng: &mut StdRng) -> dl::Program {
+    let mut src = String::new();
+    let cities = ["liege", "brussels", "antwerp", "gent", "namur", "leuven"];
+    for i in 0..lines {
+        let from = cities[i % cities.len()];
+        let to = cities[(i + 1) % cities.len()];
+        let start = rng.gen_range(0..30);
+        let every = [20u64, 30, 40, 60][rng.gen_range(0..4)];
+        src.push_str(&format!("leaves[{start}]({from}, {to}).\n"));
+        src.push_str(&format!(
+            "leaves[t + {every}]({from}, {to}) <- leaves[t]({from}, {to}).\n"
+        ));
+    }
+    src.push_str("arrives[t + 15](F, T) <- leaves[t](F, T).\n");
+    src.push_str("connected[t](F, T2) <- arrives[t](F, T), leaves[t](T, T2).\n");
+    dl::parse_program(&src).expect("generated network parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itdb_core::evaluate;
+    use itdb_datalog1s::{DetectOptions, ExternalEdb};
+
+    #[test]
+    fn random_relation_is_well_formed() {
+        let mut r = rng(42);
+        let rel = random_relation(50, 3, &[12, 24, 36], 4, &mut r);
+        assert_eq!(rel.len(), 50);
+        assert_eq!(rel.schema().temporal, 3);
+        // Deterministic per seed.
+        let rel2 = random_relation(50, 3, &[12, 24, 36], 4, &mut rng(42));
+        assert_eq!(rel, rel2);
+    }
+
+    #[test]
+    fn example_workload_converges() {
+        let (p, db) = example_4_1(168, 48);
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.outcome.converged());
+    }
+
+    #[test]
+    fn datalog1s_workload_evaluates() {
+        let p = datalog1s_workload(3, 20, 7, &mut rng(1));
+        let m =
+            itdb_datalog1s::evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        assert_eq!(m.times("p", &[]).period() % 7, 0);
+    }
+
+    #[test]
+    fn train_network_evaluates() {
+        let p = train_network(4, &mut rng(7));
+        let m =
+            itdb_datalog1s::evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        // The arrivals relation mirrors departures 15 minutes later.
+        assert!(m.sets.keys().any(|(pred, _)| pred == "arrives"));
+    }
+}

@@ -1,0 +1,56 @@
+//! `itdb` — an interactive shell for infinite temporal databases.
+//!
+//! ```text
+//! cargo run -p itdb-cli --bin itdb              # interactive
+//! cargo run -p itdb-cli --bin itdb -- script    # run a command file
+//! ```
+//!
+//! Type `help` inside the shell for the command list; every surface of the
+//! workspace is reachable: generalized relations, the deductive language,
+//! first-order queries, Datalog1S and Templog.
+
+mod shell;
+
+use shell::{Shell, Step};
+use std::io::{BufRead, Write};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+    let stdout = std::io::stdout();
+
+    if let Some(path) = args.first() {
+        // Script mode: run the file, print non-empty outputs.
+        let text = std::fs::read_to_string(path)?;
+        let mut out = stdout.lock();
+        for line in text.lines() {
+            match shell.execute(line) {
+                Step::Continue(s) if s.is_empty() => {}
+                Step::Continue(s) => writeln!(out, "{s}")?,
+                Step::Quit => break,
+            }
+        }
+        return Ok(());
+    }
+
+    // Interactive mode.
+    let stdin = std::io::stdin();
+    let mut out = stdout.lock();
+    writeln!(out, "itdb — infinite temporal databases (type `help`)")?;
+    write!(out, "> ")?;
+    out.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        match shell.execute(&line) {
+            Step::Continue(s) => {
+                if !s.is_empty() {
+                    writeln!(out, "{s}")?;
+                }
+            }
+            Step::Quit => break,
+        }
+        write!(out, "> ")?;
+        out.flush()?;
+    }
+    Ok(())
+}

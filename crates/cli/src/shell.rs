@@ -1,0 +1,432 @@
+//! The command interpreter behind the `itdb` shell.
+//!
+//! Each line is one command; [`Shell::execute`] returns the text to print,
+//! which makes the interpreter directly testable. State covers all four
+//! query surfaces of the workspace: a generalized database (EDB), a
+//! deductive program (`itdb-core`), a Datalog1S program, and a Templog
+//! program.
+
+use itdb_core as core;
+use itdb_datalog1s as dl;
+use itdb_foquery as fo;
+use itdb_lrp::{parser as lrp_parser, Error, Result, DEFAULT_RESIDUE_BUDGET};
+use itdb_templog as tl;
+use std::fmt::Write as _;
+
+/// Interactive shell state.
+#[derive(Default)]
+pub struct Shell {
+    edb: core::Database,
+    /// Raw relation text per name (so `show` can reprint and `fo` can
+    /// rebuild its database).
+    relations: Vec<(String, itdb_lrp::GeneralizedRelation)>,
+    program: core::Program,
+    model: Option<core::Evaluation>,
+    dl_program: dl::Program,
+    tl_program: tl::TlProgram,
+}
+
+/// The outcome of one command.
+pub enum Step {
+    /// Print this text and continue.
+    Continue(String),
+    /// Exit the shell.
+    Quit,
+}
+
+const HELP: &str = "\
+commands:
+  tuple NAME (lrp, ...; data, ...) [: constraints]   add a generalized tuple
+  show [NAME]                list relations / print one
+  rule CLAUSE.               add a deductive clause (itdb-core syntax)
+  program                    print the deductive program
+  eval                       run the closed-form bottom-up evaluation
+  query ATOM                 goal query against the last model (and the EDB)
+  fo FORMULA                 first-order query over EDB + derived relations
+  ask FORMULA                yes/no first-order query
+  dl1s CLAUSE.               add a Datalog1S clause
+  dl1s-eval                  detect the eventually periodic minimal model
+  templog CLAUSE.            add a Templog clause
+  templog-eval               evaluate the Templog program
+  reset                      clear all state
+  help                       this text
+  quit                       leave";
+
+impl Shell {
+    /// A fresh shell.
+    pub fn new() -> Self {
+        Shell::default()
+    }
+
+    /// Executes one command line.
+    pub fn execute(&mut self, line: &str) -> Step {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            return Step::Continue(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let out = match cmd {
+            "help" => Ok(HELP.to_string()),
+            "quit" | "exit" => return Step::Quit,
+            "reset" => {
+                *self = Shell::new();
+                Ok("state cleared".to_string())
+            }
+            "tuple" => self.cmd_tuple(rest),
+            "show" => self.cmd_show(rest),
+            "rule" => self.cmd_rule(rest),
+            "program" => Ok(format!("{}", self.program)),
+            "eval" => self.cmd_eval(),
+            "query" => self.cmd_query(rest),
+            "fo" => self.cmd_fo(rest, false),
+            "ask" => self.cmd_fo(rest, true),
+            "dl1s" => self.cmd_dl1s(rest),
+            "dl1s-eval" => self.cmd_dl1s_eval(),
+            "templog" => self.cmd_templog(rest),
+            "templog-eval" => self.cmd_templog_eval(),
+            other => Err(Error::Eval(format!(
+                "unknown command `{other}` (try `help`)"
+            ))),
+        };
+        Step::Continue(match out {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn cmd_tuple(&mut self, rest: &str) -> Result<String> {
+        let (name, tuple_text) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| Error::Eval("usage: tuple NAME (…)".into()))?;
+        let tuple = lrp_parser::parse_tuple(tuple_text.trim())?;
+        let schema = itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
+        match self.relations.iter_mut().find(|(n, _)| n == name) {
+            Some((_, rel)) => rel.insert(tuple)?,
+            None => {
+                let rel = itdb_lrp::GeneralizedRelation::from_tuples(schema, vec![tuple])?;
+                self.relations.push((name.to_string(), rel));
+            }
+        }
+        let rel = &self
+            .relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("just added")
+            .1;
+        self.edb.insert(name, rel.clone());
+        self.model = None;
+        Ok(format!("{name}: {} generalized tuple(s)", rel.len()))
+    }
+
+    fn cmd_show(&self, rest: &str) -> Result<String> {
+        if rest.is_empty() {
+            let mut out = String::new();
+            for (name, rel) in &self.relations {
+                writeln!(out, "{name} {} ({} tuples)", rel.schema(), rel.len()).unwrap();
+            }
+            if let Some(eval) = &self.model {
+                for (name, rel) in &eval.idb {
+                    writeln!(
+                        out,
+                        "{name} {} ({} tuples, derived)",
+                        rel.schema(),
+                        rel.len()
+                    )
+                    .unwrap();
+                }
+            }
+            if out.is_empty() {
+                out = "no relations".to_string();
+            }
+            return Ok(out.trim_end().to_string());
+        }
+        if let Some((_, rel)) = self.relations.iter().find(|(n, _)| n == rest) {
+            return Ok(format!("{rel}"));
+        }
+        if let Some(rel) = self.model.as_ref().and_then(|m| m.relation(rest)) {
+            return Ok(format!("{rel}"));
+        }
+        Err(Error::Eval(format!("unknown relation `{rest}`")))
+    }
+
+    fn cmd_rule(&mut self, rest: &str) -> Result<String> {
+        let clause = core::parse_clause(rest)?;
+        self.program.clauses.push(clause);
+        self.model = None;
+        Ok(format!(
+            "{} clause(s) in the program",
+            self.program.clauses.len()
+        ))
+    }
+
+    fn cmd_eval(&mut self) -> Result<String> {
+        let opts = core::EvalOptions {
+            coalesce: true,
+            ..Default::default()
+        };
+        let eval = core::evaluate_with(&self.program, &self.edb, &opts)?;
+        let mut out = format!("outcome: {:?}\n", eval.outcome);
+        for (name, rel) in &eval.idb {
+            writeln!(out, "{name} = {rel}").unwrap();
+        }
+        self.model = Some(eval);
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_query(&mut self, rest: &str) -> Result<String> {
+        let atom = core::parse_atom(rest)?;
+        let rel = self
+            .model
+            .as_ref()
+            .and_then(|m| m.relation(&atom.pred))
+            .or_else(|| self.edb.get(&atom.pred))
+            .ok_or_else(|| {
+                Error::Eval(format!(
+                    "unknown predicate `{}` (run `eval` first for derived ones)",
+                    atom.pred
+                ))
+            })?;
+        let ans = core::query(rel, &atom, DEFAULT_RESIDUE_BUDGET)?;
+        Ok(format!("{ans}"))
+    }
+
+    fn fo_db(&self) -> fo::FoDatabase {
+        let mut db = fo::FoDatabase::new();
+        for (name, rel) in &self.relations {
+            db.insert(name, rel.clone());
+        }
+        if let Some(eval) = &self.model {
+            for (name, rel) in &eval.idb {
+                db.insert(name, rel.clone());
+            }
+        }
+        db
+    }
+
+    fn cmd_fo(&self, rest: &str, yesno: bool) -> Result<String> {
+        let f = fo::parse_formula(rest)?;
+        let db = self.fo_db();
+        let opts = fo::FoOptions::default();
+        if yesno {
+            return Ok(format!("{}", fo::ask(&f, &db, &opts)?));
+        }
+        let r = fo::evaluate(&f, &db, &opts)?;
+        let mut out = String::new();
+        if !r.tvars.is_empty() || !r.dvars.is_empty() {
+            writeln!(
+                out,
+                "columns: [{}] ({})",
+                r.tvars.join(", "),
+                r.dvars.join(", ")
+            )
+            .unwrap();
+        }
+        write!(out, "{}", r.relation).unwrap();
+        Ok(out)
+    }
+
+    fn cmd_dl1s(&mut self, rest: &str) -> Result<String> {
+        let p = dl::parse_program(rest)?;
+        self.dl_program.clauses.extend(p.clauses);
+        Ok(format!(
+            "{} Datalog1S clause(s)",
+            self.dl_program.clauses.len()
+        ))
+    }
+
+    fn cmd_dl1s_eval(&self) -> Result<String> {
+        let m = dl::evaluate(
+            &self.dl_program,
+            &dl::ExternalEdb::new(),
+            &dl::DetectOptions::default(),
+        )?;
+        let mut out = format!(
+            "eventually periodic (offset {}, period {}, detected at {})\n",
+            m.offset, m.period, m.detected_at
+        );
+        for ((pred, data), set) in &m.sets {
+            let data_txt = if data.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "({})",
+                    data.iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            writeln!(out, "{pred}{data_txt} = {set}").unwrap();
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_templog(&mut self, rest: &str) -> Result<String> {
+        let p = tl::parse_program(rest)?;
+        self.tl_program.clauses.extend(p.clauses);
+        Ok(format!(
+            "{} Templog clause(s)",
+            self.tl_program.clauses.len()
+        ))
+    }
+
+    fn cmd_templog_eval(&self) -> Result<String> {
+        let m = tl::evaluate(
+            &self.tl_program,
+            &dl::ExternalEdb::new(),
+            &dl::DetectOptions::default(),
+        )?;
+        let mut out = String::new();
+        for ((pred, data), set) in &m.sets {
+            let data_txt = if data.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "({})",
+                    data.iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            writeln!(out, "{pred}{data_txt} = {set}").unwrap();
+        }
+        if out.is_empty() {
+            out = "empty model".to_string();
+        }
+        Ok(out.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, line: &str) -> String {
+        match shell.execute(line) {
+            Step::Continue(s) => s,
+            Step::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn full_session() {
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            "tuple course (168n+8, 168n+10; database) : T2 = T1 + 2",
+        );
+        assert!(out.contains("1 generalized tuple"), "{out}");
+
+        let out = run(
+            &mut sh,
+            "rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).",
+        );
+        assert!(out.contains("1 clause"), "{out}");
+        run(
+            &mut sh,
+            "rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        );
+
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("Converged"), "{out}");
+        assert!(out.contains("problems"), "{out}");
+
+        let out = run(&mut sh, "query problems[t, t + 2](database)");
+        assert!(out.contains("n+10"), "{out}");
+
+        let out = run(&mut sh, "ask exists t1, t2. course[t1, t2](database)");
+        assert_eq!(out, "true");
+
+        let out = run(&mut sh, "show");
+        assert!(out.contains("course"), "{out}");
+        assert!(out.contains("derived"), "{out}");
+    }
+
+    #[test]
+    fn datalog1s_session() {
+        let mut sh = Shell::new();
+        run(&mut sh, "dl1s leaves[5]. leaves[t + 40] <- leaves[t].");
+        let out = run(&mut sh, "dl1s-eval");
+        assert!(out.contains("period 40"), "{out}");
+        assert!(out.contains("leaves"), "{out}");
+    }
+
+    #[test]
+    fn templog_session() {
+        let mut sh = Shell::new();
+        run(&mut sh, "templog next^5 ev. always (next^7 ev <- ev).");
+        let out = run(&mut sh, "templog-eval");
+        assert!(out.contains("ev"), "{out}");
+        assert!(out.contains("+7k"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut sh = Shell::new();
+        let out = run(&mut sh, "rule this is not a clause");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run(&mut sh, "frobnicate");
+        assert!(out.contains("unknown command"), "{out}");
+        let out = run(&mut sh, "show nothing");
+        assert!(out.contains("unknown relation"), "{out}");
+        // The shell still works afterwards.
+        let out = run(&mut sh, "help");
+        assert!(out.contains("commands"), "{out}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut sh = Shell::new();
+        assert_eq!(run(&mut sh, ""), "");
+        assert_eq!(run(&mut sh, "# a comment"), "");
+        assert_eq!(run(&mut sh, "% another"), "");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sh = Shell::new();
+        run(&mut sh, "tuple r (2n)");
+        run(&mut sh, "reset");
+        let out = run(&mut sh, "show");
+        assert_eq!(out, "no relations");
+    }
+
+    #[test]
+    fn quit_exits() {
+        let mut sh = Shell::new();
+        assert!(matches!(sh.execute("quit"), Step::Quit));
+        assert!(matches!(sh.execute("exit"), Step::Quit));
+    }
+
+    #[test]
+    fn negation_and_mod_in_session() {
+        let mut sh = Shell::new();
+        run(&mut sh, "tuple sched (24n) : T1 >= 0");
+        run(&mut sh, "rule service[t] <- sched[t].");
+        run(&mut sh, "rule service[t + 12] <- service[t].");
+        run(&mut sh, "rule gap[t] <- !service[t], 0 <= t.");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("Converged"), "{out}");
+        let out = run(&mut sh, "ask exists t. gap[t]");
+        assert_eq!(out, "true");
+        // Periodicity predicate in a first-order query.
+        let out = run(&mut sh, "fo gap[t] & t mod 12 = 1");
+        assert!(out.contains("12n+1"), "{out}");
+    }
+
+    #[test]
+    fn fo_queries_reach_derived_relations() {
+        let mut sh = Shell::new();
+        run(&mut sh, "tuple e (6n) : T1 >= 0");
+        run(&mut sh, "rule late[t + 1] <- e[t].");
+        run(&mut sh, "eval");
+        let out = run(&mut sh, "ask exists t. late[t]");
+        assert_eq!(out, "true");
+        let out = run(&mut sh, "fo late[t] & t < 10");
+        assert!(out.contains("6n+1"), "{out}");
+    }
+}

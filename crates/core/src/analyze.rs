@@ -1,0 +1,313 @@
+//! Static analysis of deductive programs.
+//!
+//! Checks performed before evaluation:
+//!
+//! * **signature consistency** — every occurrence of a predicate symbol has
+//!   the same temporal and data arities;
+//! * **intensional/extensional separation** — extensional predicates never
+//!   appear in clause heads (they come from the generalized database);
+//! * **data safety** — every data *variable* in a clause head occurs in some
+//!   body predicate atom (temporal variables need no such restriction: an
+//!   unbound temporal variable ranges over all of ℤ, which is representable
+//!   as the lrp `n`);
+//! * **dependency information** — the predicate dependency graph and the
+//!   set of recursive predicates, used by the engine's semi-naive mode and
+//!   reported for diagnostics.
+
+use crate::ast::{BodyAtom, DataTerm, Program};
+use itdb_lrp::{Error, Result, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of analyzing a program.
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Arity signature of every predicate mentioned by the program.
+    pub signatures: BTreeMap<String, Schema>,
+    /// Predicates defined by clause heads.
+    pub intensional: BTreeSet<String>,
+    /// Predicates only read (must be supplied by the EDB).
+    pub extensional: BTreeSet<String>,
+    /// Edges `p → q` meaning "p's definition depends on q".
+    pub dependencies: BTreeSet<(String, String)>,
+    /// Intensional predicates involved in a dependency cycle.
+    pub recursive: BTreeSet<String>,
+    /// Evaluation order for stratified negation: head predicates grouped by
+    /// dependency SCC, lower strata first. Negated atoms may only refer to
+    /// strictly lower strata (or extensional predicates).
+    pub strata: Vec<BTreeSet<String>>,
+}
+
+impl ProgramInfo {
+    /// Does the program contain recursion at all?
+    pub fn has_recursion(&self) -> bool {
+        !self.recursive.is_empty()
+    }
+}
+
+/// Analyzes a program; fails with a descriptive error on any violation.
+pub fn analyze(p: &Program) -> Result<ProgramInfo> {
+    let mut signatures: BTreeMap<String, Schema> = BTreeMap::new();
+    let mut check = |pred: &str, temporal: usize, data: usize| -> Result<()> {
+        let s = Schema::new(temporal, data);
+        match signatures.get(pred) {
+            Some(prev) if *prev != s => Err(Error::SchemaMismatch(format!(
+                "predicate {pred} used with arities {prev} and {s}"
+            ))),
+            _ => {
+                signatures.insert(pred.to_string(), s);
+                Ok(())
+            }
+        }
+    };
+
+    for c in &p.clauses {
+        check(&c.head.pred, c.head.temporal.len(), c.head.data.len())?;
+        for b in &c.body {
+            if let BodyAtom::Pred(a) | BodyAtom::Neg(a) = b {
+                check(&a.pred, a.temporal.len(), a.data.len())?;
+            }
+        }
+    }
+
+    let intensional: BTreeSet<String> = p.clauses.iter().map(|c| c.head.pred.clone()).collect();
+    let mut extensional = BTreeSet::new();
+    let mut dependencies = BTreeSet::new();
+    let mut neg_dependencies: BTreeSet<(String, String)> = BTreeSet::new();
+    for c in &p.clauses {
+        for b in &c.body {
+            if let BodyAtom::Pred(a) | BodyAtom::Neg(a) = b {
+                if !intensional.contains(&a.pred) {
+                    extensional.insert(a.pred.clone());
+                }
+                dependencies.insert((c.head.pred.clone(), a.pred.clone()));
+                if matches!(b, BodyAtom::Neg(_)) && intensional.contains(&a.pred) {
+                    neg_dependencies.insert((c.head.pred.clone(), a.pred.clone()));
+                }
+            }
+        }
+    }
+
+    // Data safety: head data variables and the data variables of negated
+    // atoms must be bound by a positive body atom.
+    for c in &p.clauses {
+        let mut bound: BTreeSet<&str> = BTreeSet::new();
+        for b in &c.body {
+            if let BodyAtom::Pred(a) = b {
+                for d in &a.data {
+                    if let DataTerm::Var(v) = d {
+                        bound.insert(v);
+                    }
+                }
+            }
+        }
+        for d in &c.head.data {
+            if let DataTerm::Var(v) = d {
+                if !bound.contains(v.as_str()) {
+                    return Err(Error::SchemaMismatch(format!(
+                        "unsafe clause `{c}`: head data variable {v} is not bound by any body atom"
+                    )));
+                }
+            }
+        }
+        for b in &c.body {
+            if let BodyAtom::Neg(a) = b {
+                for d in &a.data {
+                    if let DataTerm::Var(v) = d {
+                        if !bound.contains(v.as_str()) {
+                            return Err(Error::SchemaMismatch(format!(
+                                "unsafe clause `{c}`: data variable {v} occurs only under negation"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Recursive predicates: nodes on a cycle of the dependency graph.
+    let recursive = find_recursive(&intensional, &dependencies);
+
+    // Strata: SCCs of the dependency graph (restricted to intensional
+    // predicates), dependencies first; negation must cross strata.
+    let strata = stratify(&intensional, &dependencies, &neg_dependencies)?;
+
+    Ok(ProgramInfo {
+        signatures,
+        intensional,
+        extensional,
+        dependencies,
+        recursive,
+        strata,
+    })
+}
+
+/// SCC condensation in evaluation order; errors on recursion through
+/// negation.
+fn stratify(
+    nodes: &BTreeSet<String>,
+    deps: &BTreeSet<(String, String)>,
+    neg: &BTreeSet<(String, String)>,
+) -> Result<Vec<BTreeSet<String>>> {
+    let reach = |from: &str| -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![from.to_string()];
+        while let Some(n) = frontier.pop() {
+            for (a, b) in deps.iter() {
+                if a == &n && nodes.contains(b) && seen.insert(b.clone()) {
+                    frontier.push(b.clone());
+                }
+            }
+        }
+        seen
+    };
+    let reachability: BTreeMap<&String, BTreeSet<String>> =
+        nodes.iter().map(|n| (n, reach(n))).collect();
+    let mut assigned: BTreeSet<&String> = BTreeSet::new();
+    let mut sccs: Vec<BTreeSet<String>> = Vec::new();
+    for n in nodes {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut scc: BTreeSet<String> = [n.clone()].into();
+        for m in nodes {
+            if m != n && reachability[n].contains(m) && reachability[m].contains(n) {
+                scc.insert(m.clone());
+            }
+        }
+        for m in &scc {
+            assigned.insert(nodes.get(m).expect("member"));
+        }
+        sccs.push(scc);
+    }
+    for (a, b) in neg {
+        let sa = sccs.iter().position(|s| s.contains(a));
+        let sb = sccs.iter().position(|s| s.contains(b));
+        if sa.is_some() && sa == sb {
+            return Err(Error::Eval(format!(
+                "recursion through negation between {a} and {b}; stratified \
+                 negation is required"
+            )));
+        }
+    }
+    // Order with dependencies first.
+    let mut ordered: Vec<BTreeSet<String>> = Vec::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    while ordered.len() < sccs.len() {
+        let mut progressed = false;
+        for scc in &sccs {
+            if scc.iter().any(|m| emitted.contains(m)) {
+                continue;
+            }
+            let ready = scc.iter().all(|m| {
+                deps.iter()
+                    .filter(|(a, _)| a == m)
+                    .all(|(_, b)| !nodes.contains(b) || scc.contains(b) || emitted.contains(b))
+            });
+            if ready {
+                for m in scc {
+                    emitted.insert(m.clone());
+                }
+                ordered.push(scc.clone());
+                progressed = true;
+            }
+        }
+        assert!(progressed, "stratum ordering must make progress");
+    }
+    Ok(ordered)
+}
+
+/// Predicates that can reach themselves through the dependency graph.
+fn find_recursive(
+    intensional: &BTreeSet<String>,
+    deps: &BTreeSet<(String, String)>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for start in intensional {
+        // BFS from each intensional predicate; quadratic but programs are
+        // small (analysis is not on the evaluation hot path).
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut frontier: Vec<&str> = deps
+            .iter()
+            .filter(|(p, _)| p == start)
+            .map(|(_, q)| q.as_str())
+            .collect();
+        while let Some(q) = frontier.pop() {
+            if q == start {
+                out.insert(start.clone());
+                break;
+            }
+            if seen.insert(q) {
+                frontier.extend(deps.iter().filter(|(p, _)| p == q).map(|(_, r)| r.as_str()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn example_4_1_analysis() {
+        let p = parse_program(
+            "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+             problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        )
+        .unwrap();
+        let info = analyze(&p).unwrap();
+        assert_eq!(info.signatures["problems"], Schema::new(2, 1));
+        assert_eq!(info.signatures["course"], Schema::new(2, 1));
+        assert!(info.intensional.contains("problems"));
+        assert!(info.extensional.contains("course"));
+        assert!(info.recursive.contains("problems"));
+        assert!(info.has_recursion());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = parse_program("p[t] <- q[t]. p[t, s] <- q[t].").unwrap();
+        assert!(analyze(&p).is_err());
+        let p = parse_program("p[t] <- q[t](a). r[t] <- q[t].").unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn unsafe_head_data_variable_rejected() {
+        let p = parse_program("p[t](X) <- q[t].").unwrap();
+        let e = analyze(&p).unwrap_err();
+        assert!(e.to_string().contains("unsafe"), "{e}");
+        // Bound through a body atom: fine.
+        let p = parse_program("p[t](X) <- q[t](X).").unwrap();
+        assert!(analyze(&p).is_ok());
+        // Head data constants are always safe.
+        let p = parse_program("p[t](a) <- q[t].").unwrap();
+        assert!(analyze(&p).is_ok());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let p = parse_program("p[t + 1] <- q[t]. q[t + 1] <- p[t]. r[t] <- p[t].").unwrap();
+        let info = analyze(&p).unwrap();
+        assert!(info.recursive.contains("p"));
+        assert!(info.recursive.contains("q"));
+        assert!(!info.recursive.contains("r"));
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let p = parse_program("p[t + 1] <- e[t]. r[t] <- p[t].").unwrap();
+        let info = analyze(&p).unwrap();
+        assert!(!info.has_recursion());
+        assert_eq!(info.extensional.len(), 1);
+        assert!(info.dependencies.contains(&("r".into(), "p".into())));
+    }
+
+    #[test]
+    fn temporal_head_variable_unbound_is_allowed() {
+        // `always[t].` — extension is all of ℤ; representable as lrp n.
+        let p = parse_program("always[t].").unwrap();
+        assert!(analyze(&p).is_ok());
+    }
+}

@@ -1,0 +1,386 @@
+//! Abstract syntax of the temporal deductive language (§4.1 of the paper).
+//!
+//! The language is Datalog over the integers with the successor and
+//! predecessor functions: predicates take any number of *temporal*
+//! arguments (interpreted over ℤ) followed by any number of *data*
+//! arguments (uninterpreted), and clause bodies may additionally contain
+//! interpreted constraint atoms built from `<` and `=` on temporal terms.
+//!
+//! Concrete syntax (see [`crate::parser`]): temporal arguments in square
+//! brackets, data arguments in parentheses —
+//!
+//! ```text
+//! problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+//! problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).
+//! ```
+
+use itdb_lrp::DataValue;
+use std::fmt;
+
+/// A temporal term: either a variable with an integer offset (the paper's
+/// `τ ± c`, i.e. iterated successor/predecessor) or an integer constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TemporalTerm {
+    /// `v + offset`; `offset` may be negative (predecessor) or zero.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Accumulated successor/predecessor applications.
+        offset: i64,
+    },
+    /// A ground temporal term, i.e. an integer.
+    Const(i64),
+}
+
+impl TemporalTerm {
+    /// A bare variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        TemporalTerm::Var {
+            name: name.into(),
+            offset: 0,
+        }
+    }
+
+    /// A shifted variable.
+    pub fn var_plus(name: impl Into<String>, offset: i64) -> Self {
+        TemporalTerm::Var {
+            name: name.into(),
+            offset,
+        }
+    }
+
+    /// The variable name, if this is a variable term.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            TemporalTerm::Var { name, .. } => Some(name),
+            TemporalTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TemporalTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalTerm::Var { name, offset } => {
+                if *offset == 0 {
+                    write!(f, "{name}")
+                } else if *offset > 0 {
+                    write!(f, "{name} + {offset}")
+                } else {
+                    write!(f, "{name} - {}", -offset)
+                }
+            }
+            TemporalTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A data term: an uninterpreted constant or a data variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataTerm {
+    /// A data variable (uppercase-initial identifier in the syntax).
+    Var(String),
+    /// A data constant.
+    Const(DataValue),
+}
+
+impl DataTerm {
+    /// A data variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        DataTerm::Var(name.into())
+    }
+
+    /// A symbolic constant.
+    pub fn sym(name: impl AsRef<str>) -> Self {
+        DataTerm::Const(DataValue::sym(name))
+    }
+}
+
+impl fmt::Display for DataTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataTerm::Var(v) => write!(f, "{v}"),
+            DataTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A predicate atom `p[τ₁, …, τₘ](d₁, …, d_ℓ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Temporal arguments.
+    pub temporal: Vec<TemporalTerm>,
+    /// Data arguments.
+    pub data: Vec<DataTerm>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: impl Into<String>, temporal: Vec<TemporalTerm>, data: Vec<DataTerm>) -> Self {
+        Atom {
+            pred: pred.into(),
+            temporal,
+            data,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.pred)?;
+        for (i, t) in self.temporal.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")?;
+        if !self.data.is_empty() {
+            write!(f, "(")?;
+            for (i, d) in self.data.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators of the constraint sub-language. `Le`, `Ge`, `Gt`
+/// are convenience forms; over ℤ they reduce to the paper's `<` and `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A constraint atom `τ₁ op τ₂`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintAtom {
+    /// Left-hand temporal term.
+    pub lhs: TemporalTerm,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand temporal term.
+    pub rhs: TemporalTerm,
+}
+
+impl fmt::Display for ConstraintAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A body literal: a (possibly negated) predicate atom or a constraint
+/// atom. Negation is *stratified* — the extension the paper's conclusion
+/// discusses via \[Rev90\]; see [`mod@crate::analyze`] for the stratification
+/// check and [`crate::engine`] for the zone-subtraction semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyAtom {
+    /// An intensional or extensional predicate atom.
+    Pred(Atom),
+    /// A negated predicate atom (`!p[…](…)`).
+    Neg(Atom),
+    /// An interpreted constraint.
+    Constraint(ConstraintAtom),
+}
+
+impl fmt::Display for BodyAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyAtom::Pred(a) => write!(f, "{a}"),
+            BodyAtom::Neg(a) => write!(f, "!{a}"),
+            BodyAtom::Constraint(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A clause `A ← A₁, …, A_r`. An empty body makes the clause a fact schema
+/// (its temporal variables range over all of ℤ subject to the constraints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Head atom (must be intensional).
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<BodyAtom>,
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " <- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A program: a finite set of clauses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The clauses, in source order.
+    pub clauses: Vec<Clause>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// The set of predicate symbols appearing in clause heads (the
+    /// intensional predicates).
+    pub fn intensional_preds(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.clauses {
+            if !out.contains(&c.head.pred.as_str()) {
+                out.push(&c.head.pred);
+            }
+        }
+        out
+    }
+
+    /// The set of predicate symbols appearing only in bodies (extensional
+    /// with respect to this program).
+    pub fn extensional_preds(&self) -> Vec<&str> {
+        let idb = self.intensional_preds();
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.clauses {
+            for b in &c.body {
+                if let BodyAtom::Pred(a) | BodyAtom::Neg(a) = b {
+                    if !idb.contains(&a.pred.as_str()) && !out.contains(&a.pred.as_str()) {
+                        out.push(&a.pred);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problems_clause() -> Clause {
+        Clause {
+            head: Atom::new(
+                "problems",
+                vec![
+                    TemporalTerm::var_plus("t1", 2),
+                    TemporalTerm::var_plus("t2", 2),
+                ],
+                vec![DataTerm::sym("database")],
+            ),
+            body: vec![BodyAtom::Pred(Atom::new(
+                "course",
+                vec![TemporalTerm::var("t1"), TemporalTerm::var("t2")],
+                vec![DataTerm::sym("database")],
+            ))],
+        }
+    }
+
+    #[test]
+    fn display_clause() {
+        let c = problems_clause();
+        assert_eq!(
+            c.to_string(),
+            "problems[t1 + 2, t2 + 2](database) <- course[t1, t2](database)."
+        );
+    }
+
+    #[test]
+    fn display_constraint_and_fact() {
+        let c = Clause {
+            head: Atom::new("p", vec![TemporalTerm::var("t")], vec![]),
+            body: vec![BodyAtom::Constraint(ConstraintAtom {
+                lhs: TemporalTerm::var("t"),
+                op: CmpOp::Lt,
+                rhs: TemporalTerm::Const(10),
+            })],
+        };
+        assert_eq!(c.to_string(), "p[t] <- t < 10.");
+        let fact = Clause {
+            head: Atom::new("q", vec![TemporalTerm::Const(0)], vec![]),
+            body: vec![],
+        };
+        assert_eq!(fact.to_string(), "q[0].");
+    }
+
+    #[test]
+    fn intensional_extensional_split() {
+        let p = Program {
+            clauses: vec![
+                problems_clause(),
+                Clause {
+                    head: Atom::new(
+                        "problems",
+                        vec![
+                            TemporalTerm::var_plus("t1", 48),
+                            TemporalTerm::var_plus("t2", 48),
+                        ],
+                        vec![DataTerm::var("C")],
+                    ),
+                    body: vec![BodyAtom::Pred(Atom::new(
+                        "problems",
+                        vec![TemporalTerm::var("t1"), TemporalTerm::var("t2")],
+                        vec![DataTerm::var("C")],
+                    ))],
+                },
+            ],
+        };
+        assert_eq!(p.intensional_preds(), vec!["problems"]);
+        assert_eq!(p.extensional_preds(), vec!["course"]);
+    }
+
+    #[test]
+    fn temporal_term_display() {
+        assert_eq!(TemporalTerm::var("t").to_string(), "t");
+        assert_eq!(TemporalTerm::var_plus("t", 5).to_string(), "t + 5");
+        assert_eq!(TemporalTerm::var_plus("t", -3).to_string(), "t - 3");
+        assert_eq!(TemporalTerm::Const(-7).to_string(), "-7");
+        assert_eq!(TemporalTerm::var("t").var_name(), Some("t"));
+        assert_eq!(TemporalTerm::Const(1).var_name(), None);
+    }
+}

@@ -1,0 +1,1094 @@
+//! Bottom-up closed-form evaluation: the generalized mapping `T_GP` (§4.3).
+//!
+//! Each iteration applies every clause to the current generalized Herbrand
+//! interpretation: body atoms are matched against generalized tuples, the
+//! periodic zones are joined (CRT on lrps, conjunction of difference
+//! constraints), the clause's own constraint atoms are conjoined, and the
+//! result is projected onto the head variables. Derived tuples are inserted
+//! with *subsumption*: a tuple already covered by the union of existing
+//! tuples with the same data is discarded, which is exactly the
+//! constraint-safety convergence test of Theorem 4.3.
+//!
+//! Termination bookkeeping follows the paper:
+//!
+//! * **free-extension safety** (Theorem 4.2): the set of free extensions
+//!   (canonical lrp vectors + data) eventually stops growing, always;
+//! * **constraint safety** (Theorem 4.3): when additionally every derived
+//!   tuple is implied by a disjunction of existing constraints, the
+//!   evaluation has converged. This may never happen (e.g. the `(i, i²)`
+//!   relation), so after free-extension safety holds the engine allows a
+//!   configurable number of grace iterations before giving up — "it is
+//!   reasonable to give up on the computation if the interpretation does not
+//!   become constraint safe after a few iterations" (§4.3).
+
+use crate::analyze::{analyze, ProgramInfo};
+use crate::ast::{CmpOp, DataTerm, Program};
+use crate::db::Database;
+use crate::normalize::{normalize_program, NormAtom, NormClause, NormConstraint};
+use itdb_lrp::{
+    Constraint, DataValue, Dbm, Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result, Var,
+    Zone, DEFAULT_RESIDUE_BUDGET,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Options controlling the fixpoint computation.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Hard cap on iterations of `T_GP + I`.
+    pub max_iterations: usize,
+    /// Grace iterations allowed after free-extension safety before the
+    /// evaluation is declared diverging (paper §4.3, final paragraph).
+    pub grace_after_fe_safety: usize,
+    /// Residue budget for exact zone operations.
+    pub residue_budget: u64,
+    /// Use semi-naive evaluation (restrict one intensional body atom per
+    /// clause application to the previous iteration's delta).
+    pub seminaive: bool,
+    /// Record a per-iteration trace of derived tuples.
+    pub trace: bool,
+    /// Coalesce the final relations into the coarsest equivalent
+    /// representation (e.g. the seven Example 4.1 tuples modulo 168 become
+    /// one tuple modulo 24).
+    pub coalesce: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_iterations: 10_000,
+            grace_after_fe_safety: 16,
+            residue_budget: DEFAULT_RESIDUE_BUDGET,
+            seminaive: true,
+            trace: false,
+            coalesce: false,
+        }
+    }
+}
+
+/// How the fixpoint computation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalOutcome {
+    /// The interpretation became constraint safe: the least model has been
+    /// computed in closed form.
+    Converged {
+        /// Number of `T_GP` applications performed (the paper counts the
+        /// final, no-op application; so does this).
+        iterations: usize,
+    },
+    /// Free-extension safety was reached but constraint safety was not
+    /// within the grace allowance: the model is not finitely representable
+    /// by this process (or needs more grace).
+    DivergedAfterFeSafety {
+        /// First iteration after which no new free extensions appeared.
+        fe_safe_at: usize,
+        /// Total iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The hard iteration cap was hit before free-extension safety.
+    IterationBudgetExhausted {
+        /// The cap that was hit.
+        iterations: usize,
+    },
+}
+
+impl EvalOutcome {
+    /// Did the evaluation produce the exact least model?
+    pub fn converged(&self) -> bool {
+        matches!(self, EvalOutcome::Converged { .. })
+    }
+}
+
+/// Per-iteration record of what `T_GP` produced (when tracing is enabled).
+#[derive(Debug, Clone)]
+pub struct IterationTrace {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Tuples actually inserted (not subsumed by the existing
+    /// interpretation).
+    pub inserted: Vec<(String, GeneralizedTuple)>,
+    /// Tuples derived but already subsumed — the paper's convergence
+    /// witness: in Example 4.1 the eighth derived tuple "is a set of tuples
+    /// of integers contained in a previously obtained set".
+    pub subsumed: Vec<(String, GeneralizedTuple)>,
+}
+
+/// The result of evaluating a program.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The computed extensions of the intensional predicates, in closed
+    /// form.
+    pub idb: BTreeMap<String, GeneralizedRelation>,
+    /// How the computation ended.
+    pub outcome: EvalOutcome,
+    /// Iteration at which free-extension safety was first observed, if it
+    /// was.
+    pub fe_safe_at: Option<usize>,
+    /// Per-iteration trace (empty unless [`EvalOptions::trace`]).
+    pub trace: Vec<IterationTrace>,
+    /// Static analysis of the program.
+    pub info: ProgramInfo,
+}
+
+impl Evaluation {
+    /// The computed relation for an intensional predicate.
+    pub fn relation(&self, pred: &str) -> Option<&GeneralizedRelation> {
+        self.idb.get(pred)
+    }
+}
+
+/// Evaluates `program` against the generalized database `edb` bottom-up on
+/// generalized tuples, with default options.
+pub fn evaluate(program: &Program, edb: &Database) -> Result<Evaluation> {
+    evaluate_with(program, edb, &EvalOptions::default())
+}
+
+/// Evaluates with explicit options.
+pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> Result<Evaluation> {
+    let info = analyze(program)?;
+    // Validate the EDB up front (missing extensional relations are treated
+    // as empty, mismatched schemas are errors).
+    for pred in &info.extensional {
+        if edb.get(pred).is_some() {
+            edb.get_checked(pred, info.signatures[pred])?;
+        }
+    }
+    let clauses: Vec<NormClause> = normalize_program(program)?
+        .into_iter()
+        .filter(|c| !c.dead)
+        .collect();
+
+    let mut idb: BTreeMap<String, GeneralizedRelation> = info
+        .intensional
+        .iter()
+        .map(|p| (p.clone(), GeneralizedRelation::empty(info.signatures[p])))
+        .collect();
+    let empty_relations: BTreeMap<String, GeneralizedRelation> = info
+        .signatures
+        .iter()
+        .map(|(p, s)| (p.clone(), GeneralizedRelation::empty(*s)))
+        .collect();
+
+    // Free-extension bookkeeping: canonical lrp vectors + data per pred.
+    type FeKey = (Vec<Lrp>, Vec<DataValue>);
+    let mut fe_keys: BTreeMap<&str, BTreeSet<FeKey>> = BTreeMap::new();
+    let mut fe_safe_at: Option<usize> = None;
+
+    let mut trace = Vec::new();
+    let mut outcome = None;
+    let mut iteration = 0usize;
+
+    // Strata run lowest first; within a stratum the usual (semi-)naive
+    // fixpoint applies, with lower strata and the EDB acting as stable
+    // inputs. Negated atoms always refer to stable inputs (stratified), so
+    // their subtraction semantics is exact.
+    'strata: for stratum in &info.strata {
+        let stratum_preds: Vec<&str> = stratum.iter().map(|s| s.as_str()).collect();
+        let stratum_clauses: Vec<&NormClause> = clauses
+            .iter()
+            .filter(|c| stratum.contains(&c.head_pred))
+            .collect();
+        let mut fe_safe_streak = 0usize;
+        let mut stratum_iter = 0usize;
+        let mut delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+
+        loop {
+            if iteration >= opts.max_iterations {
+                outcome = Some(EvalOutcome::IterationBudgetExhausted {
+                    iterations: opts.max_iterations,
+                });
+                break 'strata;
+            }
+            iteration += 1;
+            stratum_iter += 1;
+            let mut derived: Vec<(String, GeneralizedTuple)> = Vec::new();
+
+            for clause in &stratum_clauses {
+                let idb_positions = clause.body_positions_of(&stratum_preds);
+                // Relations for the negated atoms (stable inputs).
+                let neg_rels: Vec<&GeneralizedRelation> = clause
+                    .neg_body
+                    .iter()
+                    .map(|a| {
+                        if info.intensional.contains(&a.pred) {
+                            &idb[&a.pred]
+                        } else {
+                            edb.get(&a.pred).unwrap_or(&empty_relations[&a.pred])
+                        }
+                    })
+                    .collect();
+                if opts.seminaive && stratum_iter > 1 {
+                    if idb_positions.is_empty() {
+                        continue; // stable-input-only clauses cannot fire anew
+                    }
+                    for &dpos in &idb_positions {
+                        let rel_for = |i: usize| -> &GeneralizedRelation {
+                            let pred = clause.body[i].pred.as_str();
+                            if i == dpos {
+                                delta.get(pred).unwrap_or(&empty_relations[pred])
+                            } else if info.intensional.contains(pred) {
+                                &idb[pred]
+                            } else {
+                                edb.get(pred).unwrap_or(&empty_relations[pred])
+                            }
+                        };
+                        eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
+                            derived.push((clause.head_pred.clone(), t))
+                        })?;
+                    }
+                } else {
+                    let rel_for = |i: usize| -> &GeneralizedRelation {
+                        let pred = clause.body[i].pred.as_str();
+                        if info.intensional.contains(pred) {
+                            &idb[pred]
+                        } else {
+                            edb.get(pred).unwrap_or(&empty_relations[pred])
+                        }
+                    };
+                    eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
+                        derived.push((clause.head_pred.clone(), t))
+                    })?;
+                }
+            }
+
+            // Insert with subsumption; track free-extension growth.
+            let mut inserted = Vec::new();
+            let mut subsumed = Vec::new();
+            let mut new_fe_key = false;
+            let mut next_delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+            for (pred, tuple) in derived {
+                let Some(tuple) = tuple.canonical() else {
+                    continue;
+                };
+                let rel = idb.get_mut(&pred).expect("intensional predicate");
+                if rel.insert_if_new(tuple.clone(), opts.residue_budget)? {
+                    let keys = fe_keys.entry(pred_key(&info, &pred)).or_default();
+                    if keys.insert(tuple.free_extension_key()) {
+                        new_fe_key = true;
+                    }
+                    next_delta
+                        .entry(pred.clone())
+                        .or_insert_with(|| GeneralizedRelation::empty(info.signatures[&pred]))
+                        .insert(tuple.clone())?;
+                    inserted.push((pred, tuple));
+                } else {
+                    subsumed.push((pred, tuple));
+                }
+            }
+
+            if new_fe_key {
+                fe_safe_at = None;
+                fe_safe_streak = 0;
+            } else {
+                if fe_safe_at.is_none() {
+                    fe_safe_at = Some(iteration);
+                }
+                fe_safe_streak += 1;
+            }
+
+            let fixpoint = inserted.is_empty();
+            if opts.trace {
+                trace.push(IterationTrace {
+                    iteration,
+                    inserted,
+                    subsumed,
+                });
+            }
+            if fixpoint {
+                outcome = Some(EvalOutcome::Converged {
+                    iterations: iteration,
+                });
+                break; // next stratum
+            }
+            if fe_safe_streak > opts.grace_after_fe_safety {
+                outcome = Some(EvalOutcome::DivergedAfterFeSafety {
+                    fe_safe_at: fe_safe_at.expect("streak implies fe_safe_at"),
+                    iterations: iteration,
+                });
+                break 'strata;
+            }
+            delta = next_delta;
+        }
+    }
+
+    // All strata converged (or there were none at all).
+    let outcome = outcome.unwrap_or(EvalOutcome::Converged {
+        iterations: iteration,
+    });
+
+    if opts.coalesce {
+        for rel in idb.values_mut() {
+            rel.coalesce(opts.residue_budget)?;
+        }
+    }
+
+    Ok(Evaluation {
+        idb,
+        outcome,
+        fe_safe_at,
+        trace,
+        info,
+    })
+}
+
+/// Borrow-friendly key helper: interns the predicate name against the
+/// analysis result so the FE-key map can borrow.
+fn pred_key<'a>(info: &'a ProgramInfo, pred: &str) -> &'a str {
+    info.intensional
+        .get(pred)
+        .map(|s| s.as_str())
+        .expect("intensional predicate")
+}
+
+/// Applies one clause to the given body relations, emitting derived head
+/// tuples through `emit`.
+fn eval_clause<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
+    clause: &NormClause,
+    rel_for: &F,
+    neg_rels: &[&GeneralizedRelation],
+    budget: u64,
+    emit: &mut dyn FnMut(GeneralizedTuple),
+) -> Result<()> {
+    let n = clause.n_tvars;
+    let mut state = MatchState {
+        lrps: vec![Lrp::all_integers(); n],
+        dbm: Dbm::unconstrained(n),
+        binding: HashMap::new(),
+    };
+    dfs(clause, rel_for, neg_rels, 0, &mut state, budget, emit)
+}
+
+struct MatchState {
+    lrps: Vec<Lrp>,
+    dbm: Dbm,
+    binding: HashMap<String, DataValue>,
+}
+
+fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
+    clause: &NormClause,
+    rel_for: &F,
+    neg_rels: &[&GeneralizedRelation],
+    k: usize,
+    state: &mut MatchState,
+    budget: u64,
+    emit: &mut dyn FnMut(GeneralizedTuple),
+) -> Result<()> {
+    if k == clause.body.len() {
+        return finish(clause, state, neg_rels, budget, emit);
+    }
+    let atom = &clause.body[k];
+    let rel = rel_for(k);
+    'tuples: for tuple in rel.tuples() {
+        // Save state for backtracking.
+        let saved_lrps = state.lrps.clone();
+        let saved_dbm = state.dbm.clone();
+        let mut bound_here: Vec<String> = Vec::new();
+
+        // Data unification.
+        for (pos, term) in atom.data.iter().enumerate() {
+            let val = &tuple.data()[pos];
+            match term {
+                DataTerm::Const(c) => {
+                    if c != val {
+                        continue 'tuples;
+                    }
+                }
+                DataTerm::Var(v) => match state.binding.get(v) {
+                    Some(b) if b != val => {
+                        undo(state, saved_lrps.clone(), saved_dbm.clone(), &bound_here);
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        state.binding.insert(v.clone(), val.clone());
+                        bound_here.push(v.clone());
+                    }
+                },
+            }
+        }
+
+        // Temporal join: intersect lrps and import the tuple's constraints.
+        if !apply_temporal(atom, tuple, state)? {
+            undo(state, saved_lrps, saved_dbm, &bound_here);
+            continue 'tuples;
+        }
+
+        // Prune unsatisfiable partial joins early.
+        if !state.dbm.is_satisfiable() {
+            undo(state, saved_lrps, saved_dbm, &bound_here);
+            continue 'tuples;
+        }
+
+        dfs(clause, rel_for, neg_rels, k + 1, state, budget, emit)?;
+        undo(state, saved_lrps, saved_dbm, &bound_here);
+    }
+    Ok(())
+}
+
+fn undo(state: &mut MatchState, lrps: Vec<Lrp>, dbm: Dbm, bound_here: &[String]) {
+    state.lrps = lrps;
+    state.dbm = dbm;
+    for v in bound_here {
+        state.binding.remove(v);
+    }
+}
+
+/// Joins one body atom against one generalized tuple: for each position
+/// `p` holding the term `v + s` and matching the tuple's column `p`, the
+/// clause variable `v` must lie in `lrp_p − s`, and the tuple's difference
+/// constraints transfer onto the clause variables with shift-adjusted
+/// offsets. Returns `false` when a residue clash makes the match empty.
+fn apply_temporal(
+    atom: &NormAtom,
+    tuple: &GeneralizedTuple,
+    state: &mut MatchState,
+) -> Result<bool> {
+    let zone = tuple.zone();
+    for (pos, &(v, s)) in atom.temporal.iter().enumerate() {
+        let shifted = zone
+            .lrp(pos)
+            .shift(s.checked_neg().ok_or(Error::Overflow)?)?;
+        match state.lrps[v].intersect(&shifted)? {
+            Some(meet) => state.lrps[v] = meet,
+            None => return Ok(false),
+        }
+    }
+    // Map the tuple's DBM bounds onto clause variables. Tuple matrix index
+    // `a > 0` is column `a − 1`, which corresponds to clause variable
+    // `atom.temporal[a − 1].0` with shift `atom.temporal[a − 1].1`.
+    for (a, b, c) in zone.dbm().finite_bounds() {
+        let (mi, si) = map_idx(atom, a);
+        let (mj, sj) = map_idx(atom, b);
+        if mi == mj {
+            // Same clause variable on both sides: x_i − x_j = s_i − s_j,
+            // so the bound degenerates to the constant fact s_i − s_j ≤ c.
+            if si.saturating_sub(sj) > c {
+                return Ok(false);
+            }
+            continue;
+        }
+        state
+            .dbm
+            .add_le(mi, mj, c.saturating_sub(si).saturating_add(sj));
+    }
+    Ok(true)
+}
+
+/// Maps a tuple matrix index to (clause matrix index, shift).
+fn map_idx(atom: &NormAtom, a: usize) -> (usize, i64) {
+    if a == 0 {
+        (0, 0)
+    } else {
+        let (v, s) = atom.temporal[a - 1];
+        (v + 1, s)
+    }
+}
+
+/// Leaf of the DFS: conjoin the clause constraints, subtract the negated
+/// atoms' regions (stratified negation as exact zone subtraction), project
+/// onto the head variables, instantiate the head data, and emit.
+fn finish(
+    clause: &NormClause,
+    state: &mut MatchState,
+    neg_rels: &[&GeneralizedRelation],
+    budget: u64,
+    emit: &mut dyn FnMut(GeneralizedTuple),
+) -> Result<()> {
+    let mut dbm = state.dbm.clone();
+    for c in &clause.constraints {
+        constraint_of(c)?.apply(&mut dbm)?;
+    }
+    let zone = Zone::from_parts(state.lrps.clone(), dbm)?;
+
+    // Stratified negation: remove, from the clause zone, every assignment
+    // under which some negated atom instantiates into its (stable)
+    // relation. Each matching tuple contributes a forbidden zone; the
+    // remainder is a union of zones.
+    let mut zones = vec![zone];
+    for (atom, rel) in clause.neg_body.iter().zip(neg_rels.iter()) {
+        let mut forbidden: Vec<Zone> = Vec::new();
+        'tuples: for tuple in rel.tuples() {
+            // Data filter: constants and bound variables must agree for the
+            // tuple to constrain anything.
+            for (pos, term) in atom.data.iter().enumerate() {
+                let val = &tuple.data()[pos];
+                let matches = match term {
+                    DataTerm::Const(c) => c == val,
+                    DataTerm::Var(v) => {
+                        state.binding.get(v).map(|b| b == val).ok_or_else(|| {
+                            Error::SchemaMismatch(format!(
+                                "data variable {v} under negation is unbound \
+                                 (analysis should have rejected this clause)"
+                            ))
+                        })?
+                    }
+                };
+                if !matches {
+                    continue 'tuples;
+                }
+            }
+            // Temporal region forbidden by this tuple.
+            let mut probe = MatchState {
+                lrps: vec![Lrp::all_integers(); clause.n_tvars],
+                dbm: Dbm::unconstrained(clause.n_tvars),
+                binding: HashMap::new(),
+            };
+            if apply_temporal(atom, tuple, &mut probe)? {
+                forbidden.push(Zone::from_parts(probe.lrps, probe.dbm)?);
+            }
+        }
+        if forbidden.is_empty() {
+            continue;
+        }
+        let refs: Vec<&Zone> = forbidden.iter().collect();
+        let mut next = Vec::new();
+        for z in zones {
+            next.extend(z.subtract(&refs, budget)?);
+        }
+        zones = next;
+        if zones.is_empty() {
+            return Ok(());
+        }
+    }
+
+    let data: Vec<DataValue> =
+        clause
+            .head_data
+            .iter()
+            .map(|d| match d {
+                DataTerm::Const(c) => Ok(c.clone()),
+                DataTerm::Var(v) => state.binding.get(v).cloned().ok_or_else(|| {
+                    Error::SchemaMismatch(format!("unbound head data variable {v}"))
+                }),
+            })
+            .collect::<Result<_>>()?;
+    for zone in zones {
+        for head_zone in zone.project(&clause.head_tvars, budget)? {
+            emit(GeneralizedTuple::new(head_zone, data.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Converts a normalized constraint into an [`itdb_lrp::Constraint`] over
+/// the clause variables.
+fn constraint_of(c: &NormConstraint) -> Result<Constraint> {
+    let sub = |a: i64, b: i64| a.checked_sub(b).ok_or(Error::Overflow);
+    Ok(match *c {
+        NormConstraint::VarVar((v1, c1), op, (v2, c2)) => match op {
+            CmpOp::Lt => Constraint::LtVar(Var(v1), Var(v2), sub(c2, c1)?),
+            CmpOp::Le => Constraint::LeVar(Var(v1), Var(v2), sub(c2, c1)?),
+            CmpOp::Eq => Constraint::EqVar(Var(v1), Var(v2), sub(c2, c1)?),
+            CmpOp::Ge => Constraint::LeVar(Var(v2), Var(v1), sub(c1, c2)?),
+            CmpOp::Gt => Constraint::LtVar(Var(v2), Var(v1), sub(c1, c2)?),
+        },
+        NormConstraint::VarConst((v, c1), op, k) => {
+            let k = sub(k, c1)?;
+            match op {
+                CmpOp::Lt => Constraint::LtConst(Var(v), k),
+                CmpOp::Le => Constraint::LeConst(Var(v), k),
+                CmpOp::Eq => Constraint::EqConst(Var(v), k),
+                CmpOp::Ge => Constraint::GeConst(Var(v), k),
+                CmpOp::Gt => Constraint::GtConst(Var(v), k),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn course_db() -> Database {
+        let mut db = Database::new();
+        db.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+            .unwrap();
+        db
+    }
+
+    fn example_4_1() -> Program {
+        parse_program(
+            "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+             problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_4_1_converges() {
+        let eval = evaluate(&example_4_1(), &course_db()).unwrap();
+        assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+        let problems = eval.relation("problems").unwrap();
+        let d = [DataValue::sym("database")];
+        // The paper's derived extension: problem sessions at +2, then every
+        // 48 hours, all ≡ the seven residue classes 10, 58, 106, … mod 168.
+        for base in [10i64, 58, 106, 154, 202, 250, 298] {
+            assert!(problems.contains(&[base, base + 2], &d), "base={base}");
+        }
+        // 346 ≡ 10 (mod 168): covered by the wrapped class.
+        assert!(problems.contains(&[346, 348], &d));
+        // Not at the course time itself, nor at odd offsets.
+        assert!(!problems.contains(&[8, 10], &d));
+        assert!(!problems.contains(&[11, 13], &d));
+        // Exactly the 7 residue classes: 10 + 24k mod 168 (gcd(48,168)=24).
+        for t in 0..168i64 {
+            let expect = t.rem_euclid(24) == 10 && (t - 10).rem_euclid(24) == 0;
+            let expect = expect || [10, 34, 58, 82, 106, 130, 154].contains(&t);
+            // simplify: residues congruent to 10 mod 24
+            let expect2 = t.rem_euclid(24) == 10;
+            assert_eq!(
+                expect2,
+                [10, 34, 58, 82, 106, 130, 154].contains(&t),
+                "sanity t={t}"
+            );
+            let _ = expect;
+            assert_eq!(problems.contains(&[t, t + 2], &d), expect2, "t={t}");
+        }
+    }
+
+    #[test]
+    fn example_4_1_trace_matches_paper() {
+        // The paper's table: tuples at offsets 10, 58, 106, 154, 202, 250,
+        // 298, 346 — the eighth being subsumed (wraps to 10 mod 168),
+        // "after which the evaluation stops".
+        let opts = EvalOptions {
+            trace: true,
+            seminaive: true,
+            ..Default::default()
+        };
+        let eval = evaluate_with(&example_4_1(), &course_db(), &opts).unwrap();
+        let inserted: Vec<i64> = eval
+            .trace
+            .iter()
+            .flat_map(|t| t.inserted.iter())
+            .map(|(_, t)| {
+                let z = t.zone();
+                assert_eq!(z.lrp(0).period(), 168);
+                z.lrp(0).offset()
+            })
+            .collect();
+        assert_eq!(inserted, vec![10, 58, 106, 154, 34, 82, 130]); // canonical offsets mod 168
+                                                                   // A subsumed derivation witnesses convergence.
+        assert!(eval.trace.iter().any(|t| !t.subsumed.is_empty()));
+        assert!(matches!(
+            eval.outcome,
+            EvalOutcome::Converged { iterations: 8 }
+        ));
+        assert_eq!(eval.fe_safe_at, Some(8));
+    }
+
+    #[test]
+    fn coalesced_example_4_1_is_one_tuple() {
+        let opts = EvalOptions {
+            coalesce: true,
+            ..Default::default()
+        };
+        let eval = evaluate_with(&example_4_1(), &course_db(), &opts).unwrap();
+        let problems = eval.relation("problems").unwrap();
+        assert_eq!(problems.len(), 1, "{problems}");
+        assert_eq!(problems.tuples()[0].zone().lrp(0).period(), 24);
+        assert_eq!(problems.tuples()[0].zone().lrp(0).offset(), 10);
+        let d = [DataValue::sym("database")];
+        for t in -100..100i64 {
+            assert_eq!(
+                problems.contains(&[t, t + 2], &d),
+                t.rem_euclid(24) == 10,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let p = example_4_1();
+        let db = course_db();
+        let naive = evaluate_with(
+            &p,
+            &db,
+            &EvalOptions {
+                seminaive: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let semi = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(naive
+            .relation("problems")
+            .unwrap()
+            .equivalent(semi.relation("problems").unwrap(), DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn fact_clause_with_free_variable() {
+        // `always[t].` has extension ℤ.
+        let p = parse_program("always[t].").unwrap();
+        let eval = evaluate(&p, &Database::new()).unwrap();
+        assert!(eval.outcome.converged());
+        let r = eval.relation("always").unwrap();
+        assert!(r.contains(&[-1000], &[]));
+        assert!(r.contains(&[0], &[]));
+    }
+
+    #[test]
+    fn constraint_only_clause() {
+        let p = parse_program("window[t] <- 0 <= t, t < 10.").unwrap();
+        let eval = evaluate(&p, &Database::new()).unwrap();
+        let r = eval.relation("window").unwrap();
+        for t in -5..15 {
+            assert_eq!(r.contains(&[t], &[]), (0..10).contains(&t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn point_based_successor_recursion_diverges_as_the_paper_predicts() {
+        // Chomicki–Imieliński style: holds at 0 and closed under +5. With a
+        // *point* EDB (no infinite periodic extension to wrap around),
+        // generalized-tuple evaluation reaches free-extension safety
+        // immediately (all lrps have period 1) but never constraint safety:
+        // Theorem 4.3 is a sufficient criterion only. The closed form for
+        // such programs comes from Datalog1S periodicity detection
+        // (itdb-datalog1s), not from T_GP iteration.
+        let p = parse_program("p[0]. p[t + 5] <- p[t].").unwrap();
+        let opts = EvalOptions {
+            grace_after_fe_safety: 6,
+            ..Default::default()
+        };
+        let eval = evaluate_with(&p, &Database::new(), &opts).unwrap();
+        assert!(
+            matches!(eval.outcome, EvalOutcome::DivergedAfterFeSafety { .. }),
+            "{:?}",
+            eval.outcome
+        );
+        // The partial model contains the early multiples of 5 and nothing
+        // else.
+        let r = eval.relation("p").unwrap();
+        for t in -10..30 {
+            assert_eq!(r.contains(&[t], &[]), t >= 0 && t % 5 == 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn periodic_edb_makes_the_same_recursion_converge() {
+        // The paper's point (§4.3): starting from an infinite periodic set,
+        // the same +5 recursion wraps modulo the period and terminates.
+        let p = parse_program("p[t + 5] <- e[t]. p[t + 5] <- p[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+        let r = eval.relation("p").unwrap();
+        // 15n + 5k for k ≥ 1 covers 5ℤ... within residues mod 15: {5, 10, 0}.
+        for t in -30..30 {
+            assert_eq!(r.contains(&[t], &[]), t % 5 == 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn two_temporal_arguments_with_join() {
+        // meets[t1, t2] when a[t1], b[t2], t1 < t2.
+        let p = parse_program("meets[t1, t2] <- a[t1], b[t2], t1 < t2.").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("a", "(10n+3)").unwrap();
+        db.insert_parsed("b", "(10n+7)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let r = eval.relation("meets").unwrap();
+        assert!(r.contains(&[3, 7], &[]));
+        assert!(r.contains(&[3, 17], &[]));
+        assert!(r.contains(&[13, 17], &[]));
+        assert!(!r.contains(&[7, 3], &[]));
+        assert!(!r.contains(&[13, 7], &[]));
+        assert!(!r.contains(&[3, 3], &[]));
+    }
+
+    #[test]
+    fn data_variables_propagate() {
+        let p = parse_program("next_day[t + 24](C) <- event[t](C).").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("event", "(168n+8; alpha)\n(168n+30; beta)")
+            .unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let r = eval.relation("next_day").unwrap();
+        assert!(r.contains(&[32], &[DataValue::sym("alpha")]));
+        assert!(r.contains(&[54], &[DataValue::sym("beta")]));
+        assert!(!r.contains(&[32], &[DataValue::sym("beta")]));
+    }
+
+    #[test]
+    fn data_constant_filtering() {
+        let p = parse_program("dbp[t] <- event[t](alpha).").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("event", "(168n+8; alpha)\n(168n+30; beta)")
+            .unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let r = eval.relation("dbp").unwrap();
+        assert!(r.contains(&[8], &[]));
+        assert!(!r.contains(&[30], &[]));
+    }
+
+    #[test]
+    fn diverging_program_detected() {
+        // pair[t1, t2+1] from pair[t1, t2]: the gap between the two
+        // arguments grows forever — free extensions stabilize (period 1)
+        // but constraints never become safe.
+        let p = parse_program("pair[0, 0]. pair[t1, t2 + 1] <- pair[t1, t2].").unwrap();
+        let opts = EvalOptions {
+            grace_after_fe_safety: 5,
+            ..Default::default()
+        };
+        let eval = evaluate_with(&p, &Database::new(), &opts).unwrap();
+        match eval.outcome {
+            EvalOutcome::DivergedAfterFeSafety { fe_safe_at, .. } => {
+                assert!(fe_safe_at <= 3, "fe_safe_at={fe_safe_at}");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_variable_twice_in_one_atom() {
+        // diag[t] <- pair[t, t] matched against tuples where T2 = T1 + 2:
+        // empty; against T2 = T1: everything even.
+        let p = parse_program("diag[t] <- pair[t, t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("pair", "(2n, 2n) : T2 = T1").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let r = eval.relation("diag").unwrap();
+        assert!(r.contains(&[0], &[]));
+        assert!(r.contains(&[4], &[]));
+        assert!(!r.contains(&[1], &[]));
+
+        let p2 = parse_program("diag[t] <- shifted[t, t].").unwrap();
+        let mut db2 = Database::new();
+        db2.insert_parsed("shifted", "(2n, 2n) : T2 = T1 + 2")
+            .unwrap();
+        let eval2 = evaluate(&p2, &db2).unwrap();
+        assert!(eval2
+            .relation("diag")
+            .unwrap()
+            .is_empty_semantic(DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn same_variable_at_different_shifts() {
+        // Regression: r[t, t + 2] against a tuple with T2 = T1 + 2 must
+        // match (x_i − x_j = s_i − s_j; the sign matters).
+        let p = parse_program("ok[t] <- r[t, t + 2]. no[t] <- r[t, t + 3].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("r", "(5n+1, 5n+3) : T2 = T1 + 2, T1 >= 0")
+            .unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let ok = eval.relation("ok").unwrap();
+        assert!(ok.contains(&[1], &[]));
+        assert!(ok.contains(&[6], &[]));
+        assert!(!ok.contains(&[2], &[]));
+        assert!(eval
+            .relation("no")
+            .unwrap()
+            .is_empty_semantic(DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        // gap[t] holds exactly where service does not.
+        let p = parse_program(
+            "service[t] <- sched[t]. service[t + 12] <- service[t].
+             gap[t] <- !service[t].",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("sched", "(24n)\n(24n+3)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+        let service = eval.relation("service").unwrap();
+        let gap = eval.relation("gap").unwrap();
+        for t in -60..60i64 {
+            let on = t.rem_euclid(12) == 0 || t.rem_euclid(12) == 3;
+            assert_eq!(service.contains(&[t], &[]), on, "service t={t}");
+            assert_eq!(gap.contains(&[t], &[]), !on, "gap t={t}");
+        }
+    }
+
+    #[test]
+    fn negation_with_positive_join() {
+        // Risky departures: trains with no connecting return within 10.
+        let p = parse_program("risky[t] <- dep[t], !ret[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("dep", "(10n)").unwrap();
+        db.insert_parsed("ret", "(20n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let risky = eval.relation("risky").unwrap();
+        for t in -60..60i64 {
+            assert_eq!(risky.contains(&[t], &[]), t.rem_euclid(20) == 10, "t={t}");
+        }
+    }
+
+    #[test]
+    fn negation_with_data_binding() {
+        let p = parse_program("unserved[t](C) <- request[t](C), !served[t](C).").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("request", "(6n; a)\n(6n; b)").unwrap();
+        db.insert_parsed("served", "(6n; a)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let u = eval.relation("unserved").unwrap();
+        assert!(!u.contains(&[0], &[DataValue::sym("a")]));
+        assert!(u.contains(&[0], &[DataValue::sym("b")]));
+        assert!(u.contains(&[12], &[DataValue::sym("b")]));
+    }
+
+    #[test]
+    fn negation_with_constraints_and_shifts() {
+        // t is "quiet" when no event occurs in the *next* instant.
+        let p = parse_program("quiet[t] <- tick[t], !event[t + 1].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("tick", "(n)").unwrap();
+        db.insert_parsed("event", "(4n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let q = eval.relation("quiet").unwrap();
+        for t in -20..20i64 {
+            assert_eq!(q.contains(&[t], &[]), (t + 1).rem_euclid(4) != 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn negation_matches_ground_baseline() {
+        let p = parse_program(
+            "covered[t] <- base[t]. covered[t + 1] <- base[t].
+             gap[t] <- !covered[t].
+             double_gap[t1, t2] <- gap[t1], gap[t2], t1 < t2, t2 < t1 + 3.",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("base", "(4n+1)").unwrap();
+        let closed = evaluate(&p, &db).unwrap();
+        assert!(closed.outcome.converged());
+        let ground = crate::ground::evaluate_ground(&p, &db, -60, 60).unwrap();
+        for t in -30..30i64 {
+            assert_eq!(
+                ground.contains("gap", &[t], &[]),
+                closed.relation("gap").unwrap().contains(&[t], &[]),
+                "gap t={t}"
+            );
+            for dt in 1..3i64 {
+                assert_eq!(
+                    ground.contains("double_gap", &[t, t + dt], &[]),
+                    closed
+                        .relation("double_gap")
+                        .unwrap()
+                        .contains(&[t, t + dt], &[]),
+                    "double_gap t={t} dt={dt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_through_negation_rejected() {
+        let p = parse_program("p[t + 1] <- !p[t].").unwrap();
+        let e = evaluate(&p, &Database::new()).unwrap_err();
+        assert!(e.to_string().contains("negation"), "{e}");
+    }
+
+    #[test]
+    fn unbound_data_under_negation_rejected() {
+        let p = parse_program("p[t] <- e[t], !q[t](X).").unwrap();
+        assert!(evaluate(&p, &Database::new()).is_err());
+    }
+
+    #[test]
+    fn missing_extensional_relation_is_empty() {
+        let p = parse_program("p[t] <- absent[t].").unwrap();
+        let eval = evaluate(&p, &Database::new()).unwrap();
+        assert!(eval.outcome.converged());
+        assert!(eval.relation("p").unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_edb_schema_rejected() {
+        let p = parse_program("p[t] <- e[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(2n, 3n)").unwrap(); // arity 2, program says 1
+        assert!(matches!(evaluate(&p, &db), Err(Error::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn propositional_predicates() {
+        // Temporal-arity-0 predicates act as global gates.
+        let p = parse_program(
+            "flag.
+             alert[t] <- flag, e[t].
+             silent[t] <- !flag, e[t].",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(6n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.outcome.converged());
+        assert!(eval.relation("flag").unwrap().contains(&[], &[]));
+        assert!(eval.relation("alert").unwrap().contains(&[6], &[]));
+        assert!(eval
+            .relation("silent")
+            .unwrap()
+            .is_empty_semantic(DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn zero_arity_everything() {
+        // A fully propositional program.
+        let p = parse_program("a. b <- a. c <- b, !d.").unwrap();
+        let eval = evaluate(&p, &Database::new()).unwrap();
+        assert!(eval.outcome.converged());
+        assert!(eval.relation("c").unwrap().contains(&[], &[]));
+    }
+
+    #[test]
+    fn head_constants_work() {
+        let p = parse_program("origin[0, 0](here).").unwrap();
+        let eval = evaluate(&p, &Database::new()).unwrap();
+        let r = eval.relation("origin").unwrap();
+        assert!(r.contains(&[0, 0], &[DataValue::sym("here")]));
+        assert!(!r.contains(&[0, 1], &[DataValue::sym("here")]));
+    }
+
+    #[test]
+    fn body_temporal_constants_select() {
+        // q holds wherever p holds at time 3 (a yes/no gate): q[t] <- p[3], r[t].
+        let p = parse_program("q[t] <- p[3], r[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("p", "(5n+3)").unwrap(); // 3 ∈ 5n+3 ✓
+        db.insert_parsed("r", "(7n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.relation("q").unwrap().contains(&[7], &[]));
+
+        let mut db2 = Database::new();
+        db2.insert_parsed("p", "(5n+4)").unwrap(); // 3 ∉ 5n+4 → gate closed
+        db2.insert_parsed("r", "(7n)").unwrap();
+        let eval2 = evaluate(&p, &db2).unwrap();
+        assert!(eval2
+            .relation("q")
+            .unwrap()
+            .is_empty_semantic(DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn mutual_recursion_over_periodic_edb_converges() {
+        // tick alternates phase against a periodic clock: mutual recursion
+        // whose generalized evaluation wraps modulo the EDB period.
+        let p = parse_program("odd[t + 1] <- even[t]. even[t + 1] <- odd[t]. even[t] <- clock[t].")
+            .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("clock", "(4n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+        let even = eval.relation("even").unwrap();
+        let odd = eval.relation("odd").unwrap();
+        for t in -10..10 {
+            assert_eq!(even.contains(&[t], &[]), t.rem_euclid(2) == 0, "even t={t}");
+            assert_eq!(odd.contains(&[t], &[]), t.rem_euclid(2) == 1, "odd t={t}");
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Window-bounded ground (tuple-at-a-time) evaluation.
+//!
+//! The baseline the paper argues against (§4.3): instead of computing on
+//! generalized tuples, materialize the ground facts inside a finite window
+//! `[lo, hi]` and run ordinary Datalog saturation on them. Facts whose
+//! temporal components fall outside the window are dropped (window-truncated
+//! semantics), so the result agrees with the closed-form model only on
+//! windows and programs where no derivation path leaves the window. This is
+//! experiment E3's baseline and a differential-testing oracle for the
+//! engine.
+
+use crate::analyze::analyze;
+use crate::ast::{CmpOp, DataTerm, Program};
+use crate::db::Database;
+use crate::normalize::{normalize_program, NormClause, NormConstraint};
+use itdb_lrp::{DataValue, Result};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A ground fact: temporal values plus data values.
+pub type GroundFact = (Vec<i64>, Vec<DataValue>);
+
+/// The ground model computed over a window.
+#[derive(Debug, Clone, Default)]
+pub struct GroundModel {
+    /// Facts per predicate (extensional and intensional).
+    pub facts: BTreeMap<String, BTreeSet<GroundFact>>,
+}
+
+impl GroundModel {
+    /// Membership test.
+    pub fn contains(&self, pred: &str, temporal: &[i64], data: &[DataValue]) -> bool {
+        self.facts
+            .get(pred)
+            .is_some_and(|s| s.contains(&(temporal.to_vec(), data.to_vec())))
+    }
+
+    /// Number of facts for a predicate.
+    pub fn count(&self, pred: &str) -> usize {
+        self.facts.get(pred).map_or(0, |s| s.len())
+    }
+}
+
+/// Evaluates `program` over the ground facts of `edb` inside `[lo, hi]`.
+pub fn evaluate_ground(program: &Program, edb: &Database, lo: i64, hi: i64) -> Result<GroundModel> {
+    let info = analyze(program)?;
+    let clauses: Vec<NormClause> = normalize_program(program)?
+        .into_iter()
+        .filter(|c| !c.dead)
+        .collect();
+
+    let mut model = GroundModel::default();
+    for pred in &info.extensional {
+        let facts = match edb.get(pred) {
+            Some(rel) => rel.enumerate_window(lo, hi).into_iter().collect(),
+            None => BTreeSet::new(),
+        };
+        model.facts.insert(pred.clone(), facts);
+    }
+    for pred in &info.intensional {
+        model.facts.entry(pred.clone()).or_default();
+    }
+
+    // Stratified naive saturation: strata lowest first, so negated atoms
+    // always read complete lower-strata facts. Termination is guaranteed
+    // because the fact space inside the window is finite.
+    for stratum in &info.strata {
+        loop {
+            let mut added = false;
+            for clause in clauses.iter().filter(|c| stratum.contains(&c.head_pred)) {
+                let mut new_facts = Vec::new();
+                fire_clause(clause, &model, lo, hi, &mut new_facts);
+                let set = model.facts.get_mut(&clause.head_pred).expect("intensional");
+                for f in new_facts {
+                    if set.insert(f) {
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+    Ok(model)
+}
+
+/// Enumerates all ground instantiations of a clause body within the window
+/// and collects the (in-window) head facts.
+fn fire_clause(
+    clause: &NormClause,
+    model: &GroundModel,
+    lo: i64,
+    hi: i64,
+    out: &mut Vec<GroundFact>,
+) {
+    let mut tvals: Vec<Option<i64>> = vec![None; clause.n_tvars];
+    let mut dvals: HashMap<String, DataValue> = HashMap::new();
+    dfs_atoms(clause, model, lo, hi, 0, &mut tvals, &mut dvals, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_atoms(
+    clause: &NormClause,
+    model: &GroundModel,
+    lo: i64,
+    hi: i64,
+    k: usize,
+    tvals: &mut Vec<Option<i64>>,
+    dvals: &mut HashMap<String, DataValue>,
+    out: &mut Vec<GroundFact>,
+) {
+    if k == clause.body.len() {
+        finish_ground(clause, model, lo, hi, tvals, dvals, out);
+        return;
+    }
+    let atom = &clause.body[k];
+    let Some(facts) = model.facts.get(&atom.pred) else {
+        return;
+    };
+    'facts: for (ft, fd) in facts {
+        // Temporal unification: fact column p has value ft[p]; the term is
+        // v + s, so v must equal ft[p] − s.
+        let mut set_here: Vec<usize> = Vec::new();
+        for (p, &(v, s)) in atom.temporal.iter().enumerate() {
+            let needed = ft[p] - s;
+            match tvals[v] {
+                Some(cur) if cur != needed => {
+                    for &u in &set_here {
+                        tvals[u] = None;
+                    }
+                    continue 'facts;
+                }
+                Some(_) => {}
+                None => {
+                    tvals[v] = Some(needed);
+                    set_here.push(v);
+                }
+            }
+        }
+        // Data unification.
+        let mut dbound_here: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (p, term) in atom.data.iter().enumerate() {
+            match term {
+                DataTerm::Const(c) => {
+                    if c != &fd[p] {
+                        ok = false;
+                        break;
+                    }
+                }
+                DataTerm::Var(v) => match dvals.get(v) {
+                    Some(b) if b != &fd[p] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        dvals.insert(v.clone(), fd[p].clone());
+                        dbound_here.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok {
+            dfs_atoms(clause, model, lo, hi, k + 1, tvals, dvals, out);
+        }
+        for &u in &set_here {
+            tvals[u] = None;
+        }
+        for v in &dbound_here {
+            dvals.remove(v);
+        }
+    }
+}
+
+/// After all body atoms are matched: propagate equality constraints to pin
+/// the remaining variables, enumerate any still-free ones over the window,
+/// check the constraints, and emit the head fact if it lies in the window.
+fn finish_ground(
+    clause: &NormClause,
+    model: &GroundModel,
+    lo: i64,
+    hi: i64,
+    tvals: &[Option<i64>],
+    dvals: &HashMap<String, DataValue>,
+    out: &mut Vec<GroundFact>,
+) {
+    // Equality propagation to a fixpoint.
+    let mut vals = tvals.to_vec();
+    loop {
+        let mut changed = false;
+        for c in &clause.constraints {
+            match *c {
+                NormConstraint::VarVar((v1, c1), CmpOp::Eq, (v2, c2)) => {
+                    match (vals[v1], vals[v2]) {
+                        (Some(a), None) => {
+                            // a + c1 = v2 + c2  →  v2 = a + c1 − c2
+                            vals[v2] = Some(a + c1 - c2);
+                            changed = true;
+                        }
+                        (None, Some(b)) => {
+                            vals[v1] = Some(b + c2 - c1);
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+                NormConstraint::VarConst((v, c1), CmpOp::Eq, k) if vals[v].is_none() => {
+                    vals[v] = Some(k - c1);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Enumerate remaining free variables over the window (these come from
+    // constraint-only variables, e.g. `window[t] <- 0 <= t, t < 10`).
+    let free: Vec<usize> = (0..clause.n_tvars).filter(|&v| vals[v].is_none()).collect();
+    enumerate_free(clause, model, lo, hi, &free, 0, &mut vals, dvals, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_free(
+    clause: &NormClause,
+    model: &GroundModel,
+    lo: i64,
+    hi: i64,
+    free: &[usize],
+    idx: usize,
+    vals: &mut Vec<Option<i64>>,
+    dvals: &HashMap<String, DataValue>,
+    out: &mut Vec<GroundFact>,
+) {
+    if idx == free.len() {
+        emit_if_valid(clause, model, lo, hi, vals, dvals, out);
+        return;
+    }
+    for t in lo..=hi {
+        vals[free[idx]] = Some(t);
+        enumerate_free(clause, model, lo, hi, free, idx + 1, vals, dvals, out);
+    }
+    vals[free[idx]] = None;
+}
+
+fn emit_if_valid(
+    clause: &NormClause,
+    model: &GroundModel,
+    lo: i64,
+    hi: i64,
+    vals: &[Option<i64>],
+    dvals: &HashMap<String, DataValue>,
+    out: &mut Vec<GroundFact>,
+) {
+    let val = |vs: (usize, i64)| vals[vs.0].map(|v| v + vs.1);
+    // Stratified negation: the fact must be absent from the (lower-
+    // stratum or extensional, hence complete) relation.
+    for a in &clause.neg_body {
+        let temporal: Option<Vec<i64>> = a.temporal.iter().map(|&vs| val(vs)).collect();
+        let Some(temporal) = temporal else { return };
+        let mut data = Vec::with_capacity(a.data.len());
+        for d in &a.data {
+            match d {
+                DataTerm::Const(c) => data.push(c.clone()),
+                DataTerm::Var(v) => match dvals.get(v) {
+                    Some(b) => data.push(b.clone()),
+                    None => return,
+                },
+            }
+        }
+        if model.contains(&a.pred, &temporal, &data) {
+            return;
+        }
+    }
+    for c in &clause.constraints {
+        let holds = match *c {
+            NormConstraint::VarVar(l, op, r) => match (val(l), val(r)) {
+                (Some(a), Some(b)) => cmp(a, op, b),
+                _ => false,
+            },
+            NormConstraint::VarConst(l, op, k) => match val(l) {
+                Some(a) => cmp(a, op, k),
+                None => false,
+            },
+        };
+        if !holds {
+            return;
+        }
+    }
+    let mut temporal = Vec::with_capacity(clause.head_tvars.len());
+    for &h in &clause.head_tvars {
+        match vals[h] {
+            Some(v) if (lo..=hi).contains(&v) => temporal.push(v),
+            _ => return, // outside the window (or unconstrained): truncate
+        }
+    }
+    let mut data = Vec::with_capacity(clause.head_data.len());
+    for d in &clause.head_data {
+        match d {
+            DataTerm::Const(c) => data.push(c.clone()),
+            DataTerm::Var(v) => match dvals.get(v) {
+                Some(b) => data.push(b.clone()),
+                None => return,
+            },
+        }
+    }
+    out.push((temporal, data));
+}
+
+fn cmp(a: i64, op: CmpOp, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Gt => a > b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate, EvalOptions};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn ground_matches_closed_form_on_example_4_1() {
+        let p = parse_program(
+            "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+             problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+            .unwrap();
+
+        let closed = evaluate(&p, &db).unwrap();
+        let problems = closed.relation("problems").unwrap();
+        let ground = evaluate_ground(&p, &db, 0, 1200).unwrap();
+
+        // Compare on an interior window where truncation cannot matter (a
+        // margin of a few periods on each side).
+        let d = [DataValue::sym("database")];
+        for t1 in 400..800 {
+            let t2 = t1 + 2;
+            assert_eq!(
+                ground.contains("problems", &[t1, t2], &d),
+                problems.contains(&[t1, t2], &d),
+                "t1={t1}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_handles_point_recursion_the_closed_form_cannot() {
+        let p = parse_program("p[0]. p[t + 5] <- p[t].").unwrap();
+        let g = evaluate_ground(&p, &Database::new(), 0, 100).unwrap();
+        for t in 0..=100 {
+            assert_eq!(g.contains("p", &[t], &[]), t % 5 == 0, "t={t}");
+        }
+        assert_eq!(g.count("p"), 21);
+    }
+
+    #[test]
+    fn constraint_only_variables_enumerate() {
+        let p = parse_program("window[t] <- 0 <= t, t < 10.").unwrap();
+        let g = evaluate_ground(&p, &Database::new(), -5, 20).unwrap();
+        assert_eq!(g.count("window"), 10);
+        assert!(g.contains("window", &[0], &[]));
+        assert!(!g.contains("window", &[10], &[]));
+    }
+
+    #[test]
+    fn data_joins_ground() {
+        let p = parse_program("m[t1, t2](C) <- a[t1](C), b[t2](C), t1 < t2.").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("a", "(4n; x)\n(4n+1; y)").unwrap();
+        db.insert_parsed("b", "(4n+2; x)\n(4n+3; z)").unwrap();
+        let g = evaluate_ground(&p, &db, 0, 10).unwrap();
+        assert!(g.contains("m", &[0, 2], &[DataValue::sym("x")]));
+        assert!(g.contains("m", &[4, 6], &[DataValue::sym("x")]));
+        assert!(!g.contains("m", &[0, 2], &[DataValue::sym("y")]));
+        // y and z never share a data constant.
+        assert!(g.facts["m"]
+            .iter()
+            .all(|(_, d)| d[0] == DataValue::sym("x")));
+    }
+
+    #[test]
+    fn agreement_with_engine_on_random_style_program() {
+        // A two-argument recursion that converges in closed form; ground
+        // evaluation must agree on interior points.
+        let p = parse_program(
+            "r[t1 + 3, t2 + 3] <- e[t1, t2].
+             r[t1 + 6, t2 + 6] <- r[t1, t2].",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(12n, 12n+1) : T2 = T1 + 1").unwrap();
+        let closed = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(closed.outcome.converged());
+        let r = closed.relation("r").unwrap();
+        let g = evaluate_ground(&p, &db, 0, 240).unwrap();
+        for t1 in 60..180i64 {
+            let t2 = t1 + 1;
+            assert_eq!(
+                g.contains("r", &[t1, t2], &[]),
+                r.contains(&[t1, t2], &[]),
+                "t1={t1}"
+            );
+        }
+    }
+
+    use crate::engine::evaluate_with;
+}

@@ -1,0 +1,47 @@
+//! # itdb-core — the temporal deductive language of the paper (§4)
+//!
+//! Datalog over the integers with successor/predecessor, an arbitrary
+//! number of temporal arguments per predicate, and interpreted `<` / `=`
+//! constraints, evaluated **bottom-up in closed form** on the generalized
+//! databases of `itdb-lrp`:
+//!
+//! ```
+//! use itdb_core::{evaluate, parse_program, Database};
+//!
+//! let program = parse_program(
+//!     "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+//!      problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+//! ).unwrap();
+//! let mut db = Database::new();
+//! db.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2").unwrap();
+//!
+//! let eval = evaluate(&program, &db).unwrap();
+//! assert!(eval.outcome.converged());
+//! let problems = eval.relation("problems").unwrap();
+//! assert!(problems.contains(&[10, 12], &[itdb_lrp::DataValue::sym("database")]));
+//! ```
+//!
+//! The crate implements the full §4 pipeline: AST and parser ([`ast`],
+//! [`parser`]), static analysis ([`mod@analyze`]), the generalized-program
+//! normalization of §4.3 ([`normalize`]), the `T_GP` fixpoint engine with
+//! free-extension and constraint safety ([`engine`]), a window-bounded
+//! ground evaluator used as the tuple-at-a-time baseline ([`ground`]), and
+//! goal-style querying of computed models ([`mod@query`]).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod db;
+pub mod engine;
+pub mod ground;
+pub mod normalize;
+pub mod parser;
+pub mod query;
+
+pub use analyze::{analyze, ProgramInfo};
+pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
+pub use db::Database;
+pub use engine::{evaluate, evaluate_with, EvalOptions, EvalOutcome, Evaluation, IterationTrace};
+pub use parser::{parse_atom, parse_clause, parse_program};
+pub use query::{ask, query};

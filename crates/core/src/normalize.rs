@@ -1,0 +1,350 @@
+//! Normalization into *generalized programs* (§4.3).
+//!
+//! The paper prescribes two transformations before generalized-tuple
+//! evaluation:
+//!
+//! 1. **Constant elimination** — every integer constant `c` in a temporal
+//!    position becomes a fresh variable `u` with the constraint `u = c`
+//!    (recall a constant is just the lrp `n` constrained to `c`);
+//! 2. **Head normalization** — the head's temporal parameters become
+//!    *distinct fresh variables*, with equalities to the original terms
+//!    pushed into the body.
+//!
+//! The result is a [`NormClause`]: a head over distinct temporal variables,
+//! body atoms whose temporal arguments are pure `variable + shift` pairs,
+//! and a separate list of constraint atoms over clause variables. The
+//! evaluation engine consumes only this form.
+
+use crate::ast::{Atom, BodyAtom, Clause, CmpOp, DataTerm, Program, TemporalTerm};
+use itdb_lrp::Result;
+use std::collections::HashMap;
+
+/// A temporal argument in normalized form: clause variable + shift.
+pub type VarShift = (usize, i64);
+
+/// A normalized predicate atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormAtom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Temporal arguments as `(variable, shift)` pairs.
+    pub temporal: Vec<VarShift>,
+    /// Data arguments (variables by name, or constants).
+    pub data: Vec<DataTerm>,
+}
+
+/// A normalized constraint over clause variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormConstraint {
+    /// `(v₁ + c₁) op (v₂ + c₂)`.
+    VarVar(VarShift, CmpOp, VarShift),
+    /// `(v + c₁) op k`.
+    VarConst(VarShift, CmpOp, i64),
+}
+
+/// A clause in generalized-program form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormClause {
+    /// Head predicate.
+    pub head_pred: String,
+    /// Number of temporal variables in the clause (ids `0..n_tvars`).
+    pub n_tvars: usize,
+    /// Head temporal parameters: distinct variable ids, in head order.
+    pub head_tvars: Vec<usize>,
+    /// Head data parameters.
+    pub head_data: Vec<DataTerm>,
+    /// Positive body predicate atoms.
+    pub body: Vec<NormAtom>,
+    /// Negated body predicate atoms (stratified negation).
+    pub neg_body: Vec<NormAtom>,
+    /// Constraint atoms (from the source plus those introduced by
+    /// normalization).
+    pub constraints: Vec<NormConstraint>,
+    /// True when a constant-only constraint was statically false, making the
+    /// clause vacuous.
+    pub dead: bool,
+    /// Human-readable names of the clause variables (fresh ones get
+    /// synthesized names), for diagnostics.
+    pub var_names: Vec<String>,
+}
+
+impl NormClause {
+    /// Temporal arity of the head.
+    pub fn head_temporal_arity(&self) -> usize {
+        self.head_tvars.len()
+    }
+
+    /// Indices (into `body`) of atoms whose predicate is in `preds`.
+    pub fn body_positions_of(&self, preds: &[&str]) -> Vec<usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| preds.contains(&a.pred.as_str()))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Normalizes a whole program.
+pub fn normalize_program(p: &Program) -> Result<Vec<NormClause>> {
+    p.clauses.iter().map(normalize_clause).collect()
+}
+
+/// Normalizes a single clause. See the module documentation.
+pub fn normalize_clause(c: &Clause) -> Result<NormClause> {
+    let mut ctx = Ctx::default();
+
+    // Body predicate atoms first, so source variables keep their ids stable
+    // with respect to the body that binds them.
+    let mut body = Vec::new();
+    let mut neg_body = Vec::new();
+    let mut constraints = Vec::new();
+    let mut dead = false;
+    for b in &c.body {
+        match b {
+            BodyAtom::Pred(a) => body.push(ctx.norm_atom(a, &mut constraints)),
+            BodyAtom::Neg(a) => neg_body.push(ctx.norm_atom(a, &mut constraints)),
+            BodyAtom::Constraint(ca) => {
+                match (ctx.term(&ca.lhs), ctx.term(&ca.rhs)) {
+                    (Term::Var(l), Term::Var(r)) => {
+                        constraints.push(NormConstraint::VarVar(l, ca.op, r));
+                    }
+                    (Term::Var(l), Term::Const(k)) => {
+                        constraints.push(NormConstraint::VarConst(l, ca.op, k));
+                    }
+                    (Term::Const(k), Term::Var(r)) => {
+                        // Flip `k op (v+c)` into `(v+c) op' k`.
+                        let flipped = match ca.op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Eq => CmpOp::Eq,
+                            CmpOp::Ge => CmpOp::Le,
+                            CmpOp::Gt => CmpOp::Lt,
+                        };
+                        constraints.push(NormConstraint::VarConst(r, flipped, k));
+                    }
+                    (Term::Const(a), Term::Const(b)) => {
+                        let holds = match ca.op {
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ge => a >= b,
+                            CmpOp::Gt => a > b,
+                        };
+                        if !holds {
+                            dead = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Head: one fresh distinct variable per temporal position, tied to the
+    // source term by an equality constraint.
+    let mut head_tvars = Vec::with_capacity(c.head.temporal.len());
+    for t in &c.head.temporal {
+        let h = ctx.fresh("h");
+        match ctx.term(t) {
+            Term::Var((v, off)) => {
+                constraints.push(NormConstraint::VarVar((h, 0), CmpOp::Eq, (v, off)));
+            }
+            Term::Const(k) => {
+                constraints.push(NormConstraint::VarConst((h, 0), CmpOp::Eq, k));
+            }
+        }
+        head_tvars.push(h);
+    }
+
+    Ok(NormClause {
+        head_pred: c.head.pred.clone(),
+        n_tvars: ctx.names.len(),
+        head_tvars,
+        head_data: c.head.data.clone(),
+        body,
+        neg_body,
+        constraints,
+        dead,
+        var_names: ctx.names,
+    })
+}
+
+enum Term {
+    Var(VarShift),
+    Const(i64),
+}
+
+#[derive(Default)]
+struct Ctx {
+    ids: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl Ctx {
+    fn var(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    fn fresh(&mut self, prefix: &str) -> usize {
+        let id = self.names.len();
+        let name = format!("_{prefix}{id}");
+        self.ids.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    fn term(&mut self, t: &TemporalTerm) -> Term {
+        match t {
+            TemporalTerm::Var { name, offset } => Term::Var((self.var(name), *offset)),
+            TemporalTerm::Const(c) => Term::Const(*c),
+        }
+    }
+
+    fn norm_atom(&mut self, a: &Atom, constraints: &mut Vec<NormConstraint>) -> NormAtom {
+        let temporal = a
+            .temporal
+            .iter()
+            .map(|t| match self.term(t) {
+                Term::Var(vs) => vs,
+                Term::Const(k) => {
+                    // Constant elimination: fresh variable pinned to k.
+                    let u = self.fresh("c");
+                    constraints.push(NormConstraint::VarConst((u, 0), CmpOp::Eq, k));
+                    (u, 0)
+                }
+            })
+            .collect();
+        NormAtom {
+            pred: a.pred.clone(),
+            temporal,
+            data: a.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_clause, parse_program};
+
+    #[test]
+    fn head_variables_become_distinct_and_fresh() {
+        let c = parse_clause("p[t + 2, t](a) <- q[t].").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        assert_eq!(n.head_tvars.len(), 2);
+        assert_ne!(n.head_tvars[0], n.head_tvars[1]);
+        // t is var 0 (bound in the body); heads are fresh.
+        assert!(n.head_tvars.iter().all(|&h| h != 0));
+        // Two equality constraints tie the heads back: h1 = t + 2, h2 = t.
+        let eqs: Vec<_> = n
+            .constraints
+            .iter()
+            .filter(|c| matches!(c, NormConstraint::VarVar(_, CmpOp::Eq, _)))
+            .collect();
+        assert_eq!(eqs.len(), 2);
+    }
+
+    #[test]
+    fn body_constants_eliminated() {
+        let c = parse_clause("p[t] <- q[5, t].").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        let q = &n.body[0];
+        // Both positions are variable+shift now.
+        assert_eq!(q.temporal.len(), 2);
+        let pinned = q.temporal[0].0;
+        assert!(n.constraints.iter().any(|c| matches!(
+            c,
+            NormConstraint::VarConst((v, 0), CmpOp::Eq, 5) if *v == pinned
+        )));
+    }
+
+    #[test]
+    fn head_constant_becomes_constraint() {
+        let c = parse_clause("p[0].").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        assert_eq!(n.head_tvars.len(), 1);
+        assert!(matches!(
+            n.constraints[0],
+            NormConstraint::VarConst((_, 0), CmpOp::Eq, 0)
+        ));
+        assert!(n.body.is_empty());
+        assert!(!n.dead);
+    }
+
+    #[test]
+    fn constraint_shapes() {
+        let c = parse_clause("p[t] <- q[s], t < s + 3, 0 <= t, t = 7.").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        // t < s + 3 stays var/var; 0 <= t flips to t >= 0; t = 7 var/const.
+        assert!(n
+            .constraints
+            .iter()
+            .any(|c| matches!(c, NormConstraint::VarVar(_, CmpOp::Lt, _))));
+        assert!(n
+            .constraints
+            .iter()
+            .any(|c| matches!(c, NormConstraint::VarConst(_, CmpOp::Ge, 0))));
+        assert!(n
+            .constraints
+            .iter()
+            .any(|c| matches!(c, NormConstraint::VarConst(_, CmpOp::Eq, 7))));
+    }
+
+    #[test]
+    fn static_constant_constraints() {
+        let n = normalize_clause(&parse_clause("p[t] <- q[t], 3 < 2.").unwrap()).unwrap();
+        assert!(n.dead);
+        let n = normalize_clause(&parse_clause("p[t] <- q[t], 2 < 3.").unwrap()).unwrap();
+        assert!(!n.dead);
+        // The true constraint vanishes entirely.
+        assert_eq!(
+            n.constraints
+                .iter()
+                .filter(|c| matches!(c, NormConstraint::VarConst(..)))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn shifts_preserved_in_body() {
+        let c = parse_clause("p[t] <- q[t - 5, t + 3].").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        assert_eq!(n.body[0].temporal, vec![(0, -5), (0, 3)]);
+    }
+
+    #[test]
+    fn whole_program_normalizes() {
+        let p = parse_program(
+            "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+             problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        )
+        .unwrap();
+        let ns = normalize_program(&p).unwrap();
+        assert_eq!(ns.len(), 2);
+        for n in &ns {
+            assert_eq!(n.head_pred, "problems");
+            assert_eq!(n.head_temporal_arity(), 2);
+            assert_eq!(n.body.len(), 1);
+            assert_eq!(n.head_data, vec![DataTerm::Var("C".into())]);
+        }
+        assert_eq!(ns[1].body_positions_of(&["problems"]), vec![0]);
+        assert!(ns[0].body_positions_of(&["problems"]).is_empty());
+    }
+
+    #[test]
+    fn var_names_track_sources() {
+        let c = parse_clause("p[u + 1] <- q[u, w].").unwrap();
+        let n = normalize_clause(&c).unwrap();
+        assert_eq!(n.var_names[0], "u");
+        assert_eq!(n.var_names[1], "w");
+        assert!(n.var_names[2].starts_with('_'));
+        assert_eq!(n.n_tvars, 3);
+    }
+}

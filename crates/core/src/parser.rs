@@ -1,0 +1,375 @@
+//! Parser for the deductive language's concrete syntax.
+//!
+//! Grammar (whitespace-insensitive; `%` starts a line comment):
+//!
+//! ```text
+//! program    ::= clause*
+//! clause     ::= atom ("<-" body)? "."
+//! body       ::= literal ("," literal)*
+//! literal    ::= atom | constraint
+//! atom       ::= IDENT "[" tterm ("," tterm)* "]" ("(" dterm ("," dterm)* ")")?
+//!              | IDENT "(" dterm ("," dterm)* ")"          (temporal arity 0)
+//!              | IDENT                                      (propositional)
+//! tterm      ::= IDENT (("+"|"-") INT)? | INT               temporal term
+//! dterm      ::= UPPER_IDENT | LOWER_IDENT | "#" INT        var / const / int const
+//! constraint ::= tterm ("<"|"<="|"="|">="|">") tterm
+//! ```
+//!
+//! By convention (Prolog-style) a data term starting with an uppercase
+//! letter is a variable and anything else is a constant; temporal terms in
+//! `[...]` are variables whatever their case, or integer literals.
+
+use crate::ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
+use itdb_lrp::{DataValue, Error, Result};
+
+/// Parses a whole program.
+pub fn parse_program(input: &str) -> Result<Program> {
+    let mut p = P::new(input);
+    let mut clauses = Vec::new();
+    while !p.at_eof() {
+        clauses.push(p.clause()?);
+    }
+    Ok(Program { clauses })
+}
+
+/// Parses a single clause (must end with `.`).
+pub fn parse_clause(input: &str) -> Result<Clause> {
+    let mut p = P::new(input);
+    let c = p.clause()?;
+    p.expect_eof()?;
+    Ok(c)
+}
+
+/// Parses a single atom (no trailing period).
+pub fn parse_atom(input: &str) -> Result<Atom> {
+    let mut p = P::new(input);
+    let a = p.atom()?;
+    p.expect_eof()?;
+    Ok(a)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(src: &'a str) -> Self {
+        P {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphabetic() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            self.err("expected an identifier")
+        }
+    }
+
+    fn uint(&mut self) -> Result<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected an integer");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .ok_or(Error::Parse {
+                message: "integer overflows i64".into(),
+                offset: start,
+            })
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        let neg = self.eat(b'-');
+        let v = self.uint()?;
+        Ok(if neg { -v } else { v })
+    }
+
+    fn tterm(&mut self) -> Result<TemporalTerm> {
+        match self.peek() {
+            Some(b) if b.is_ascii_digit() || b == b'-' => Ok(TemporalTerm::Const(self.int()?)),
+            _ => {
+                let name = self.ident()?;
+                let offset = match self.peek() {
+                    Some(b'+') => {
+                        self.pos += 1;
+                        self.uint()?
+                    }
+                    Some(b'-') => {
+                        self.pos += 1;
+                        -self.uint()?
+                    }
+                    _ => 0,
+                };
+                Ok(TemporalTerm::Var { name, offset })
+            }
+        }
+    }
+
+    fn dterm(&mut self) -> Result<DataTerm> {
+        self.skip_ws();
+        if self.eat(b'#') {
+            return Ok(DataTerm::Const(DataValue::Int(self.int()?)));
+        }
+        let name = self.ident()?;
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            Ok(DataTerm::Var(name))
+        } else {
+            Ok(DataTerm::Const(DataValue::sym(&name)))
+        }
+    }
+
+    pub(crate) fn atom(&mut self) -> Result<Atom> {
+        let pred = self.ident()?;
+        let mut temporal = Vec::new();
+        let mut data = Vec::new();
+        if self.eat(b'[') {
+            if self.peek() != Some(b']') {
+                temporal.push(self.tterm()?);
+                while self.eat(b',') {
+                    temporal.push(self.tterm()?);
+                }
+            }
+            self.expect(b']')?;
+        }
+        if self.eat(b'(') {
+            if self.peek() != Some(b')') {
+                data.push(self.dterm()?);
+                while self.eat(b',') {
+                    data.push(self.dterm()?);
+                }
+            }
+            self.expect(b')')?;
+        }
+        Ok(Atom {
+            pred,
+            temporal,
+            data,
+        })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        self.skip_ws();
+        if self.eat_str("<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat_str(">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat_str("<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat_str(">") {
+            Ok(CmpOp::Gt)
+        } else if self.eat_str("=") {
+            Ok(CmpOp::Eq)
+        } else {
+            self.err("expected a comparison operator")
+        }
+    }
+
+    fn literal(&mut self) -> Result<BodyAtom> {
+        // Negated literal?
+        if self.eat(b'!') {
+            return Ok(BodyAtom::Neg(self.atom()?));
+        }
+        // A literal is a constraint iff, after the first temporal term, a
+        // comparison operator follows. Try constraint shape first when the
+        // literal starts with a digit or '-' (constants can only begin
+        // constraints), otherwise parse an identifier and look ahead.
+        self.skip_ws();
+        let save = self.pos;
+        // Attempt: parse a temporal term then an operator.
+        if let Ok(lhs) = self.tterm() {
+            let save_op = self.pos;
+            if let Ok(op) = self.cmp_op() {
+                let rhs = self.tterm()?;
+                return Ok(BodyAtom::Constraint(ConstraintAtom { lhs, op, rhs }));
+            }
+            self.pos = save_op;
+            // Not a constraint. If the term was a bare variable name it may
+            // be a predicate atom; rewind fully and parse as an atom.
+            self.pos = save;
+        } else {
+            self.pos = save;
+        }
+        Ok(BodyAtom::Pred(self.atom()?))
+    }
+
+    fn clause(&mut self) -> Result<Clause> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.eat_str("<-") {
+            body.push(self.literal()?);
+            while self.eat(b',') {
+                body.push(self.literal()?);
+            }
+        }
+        self.expect(b'.')?;
+        Ok(Clause { head, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_1_program() {
+        let p = parse_program(
+            "% Example 4.1 from the paper
+             problems[t1 + 2, t2 + 2](database) <- course[t1, t2](database).
+             problems[t1 + 48, t2 + 48](database) <- problems[t1, t2](database).",
+        )
+        .unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        assert_eq!(p.intensional_preds(), vec!["problems"]);
+        assert_eq!(p.extensional_preds(), vec!["course"]);
+        assert_eq!(
+            p.clauses[0].to_string(),
+            "problems[t1 + 2, t2 + 2](database) <- course[t1, t2](database)."
+        );
+    }
+
+    #[test]
+    fn constraints_in_body() {
+        let c = parse_clause("p[t] <- q[t], t < 100, 0 <= t, t = s + 5, r[s].").unwrap();
+        assert_eq!(c.body.len(), 5);
+        assert!(matches!(c.body[1], BodyAtom::Constraint(_)));
+        assert!(matches!(c.body[2], BodyAtom::Constraint(_)));
+        assert!(matches!(c.body[3], BodyAtom::Constraint(_)));
+        assert!(matches!(c.body[4], BodyAtom::Pred(_)));
+    }
+
+    #[test]
+    fn facts_and_propositional_atoms() {
+        let p = parse_program("start[0]. flag. pair[1, 2](a, B).").unwrap();
+        assert_eq!(p.clauses.len(), 3);
+        assert_eq!(p.clauses[0].head.temporal, vec![TemporalTerm::Const(0)]);
+        assert!(p.clauses[1].head.temporal.is_empty());
+        let pair = &p.clauses[2].head;
+        assert_eq!(pair.data[0], DataTerm::Const(DataValue::sym("a")));
+        assert_eq!(pair.data[1], DataTerm::Var("B".into()));
+    }
+
+    #[test]
+    fn negative_offsets_and_constants() {
+        let c = parse_clause("p[t - 3] <- q[t], r[-5].").unwrap();
+        assert_eq!(c.head.temporal[0], TemporalTerm::var_plus("t", -3));
+        if let BodyAtom::Pred(a) = &c.body[1] {
+            assert_eq!(a.temporal[0], TemporalTerm::Const(-5));
+        } else {
+            panic!("expected atom");
+        }
+    }
+
+    #[test]
+    fn integer_data_constants() {
+        let c = parse_clause("p[t](#7, x) <- q[t](#7, x).").unwrap();
+        assert_eq!(c.head.data[0], DataTerm::Const(DataValue::Int(7)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let p = parse_program("% nothing here\n p[t] <- q[t]. % trailing\n").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_clause("p[t] <- q[t]").is_err()); // missing period
+        assert!(parse_clause("p[t <- q[t].").is_err());
+        assert!(parse_clause("[t] <- q[t].").is_err());
+        assert!(parse_program("p[t] <- 3 < .").is_err());
+    }
+
+    #[test]
+    fn atom_round_trip() {
+        for s in ["p[t1 + 2, t2 - 1](a, B)", "q[0]", "flag", "r(x)"] {
+            let a = parse_atom(s).unwrap();
+            assert_eq!(parse_atom(&a.to_string()).unwrap(), a);
+        }
+    }
+}

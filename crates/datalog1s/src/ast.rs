@@ -1,0 +1,542 @@
+//! Abstract syntax of the Chomicki–Imieliński language (§2.2 of the paper).
+//!
+//! Datalog in which every predicate has exactly **one** temporal parameter
+//! in addition to its uninterpreted data parameters. Temporal terms are
+//! built from the constant 0 and variables by applying the successor
+//! function — the temporal domain is ℕ, not ℤ.
+//!
+//! We implement the fragment the paper identifies with TL1 (and hence with
+//! Templog), extended with **stratified negation** (§3.2): every clause's
+//! atoms share a single temporal variable (or use ground times), and rules
+//! are *causal within their stratum* — the head's shift is at least every
+//! same-stratum positive body shift, so facts at time `t` depend only on
+//! times `≤ t` plus fully-resolved lower strata. The validator
+//! ([`validate`]) enforces this and rejects recursion through negation.
+
+use itdb_lrp::{DataValue, Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A temporal term over ℕ: `v + shift` or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Time {
+    /// Variable plus iterated successor.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Number of successor applications.
+        shift: u64,
+    },
+    /// A ground time.
+    Const(u64),
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Time::Var { name, shift: 0 } => write!(f, "{name}"),
+            Time::Var { name, shift } => write!(f, "{name} + {shift}"),
+            Time::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A data term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataTerm {
+    /// A data variable (uppercase-initial in the concrete syntax).
+    Var(String),
+    /// A data constant.
+    Const(DataValue),
+}
+
+impl fmt::Display for DataTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataTerm::Var(v) => write!(f, "{v}"),
+            DataTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `p[τ](d₁, …, d_ℓ)` with a single temporal argument, possibly
+/// negated when used as a body literal (stratified negation — the §3.2
+/// extension that lifts query expressiveness from finitely regular to the
+/// full ω-regular languages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// The temporal argument.
+    pub time: Time,
+    /// Data arguments.
+    pub data: Vec<DataTerm>,
+    /// Is this literal negated? (Heads must be positive.)
+    pub negated: bool,
+}
+
+impl Atom {
+    /// A positive atom.
+    pub fn pos(pred: impl Into<String>, time: Time, data: Vec<DataTerm>) -> Self {
+        Atom {
+            pred: pred.into(),
+            time,
+            data,
+            negated: false,
+        }
+    }
+
+    /// The negation of this atom.
+    pub fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!")?;
+        }
+        write!(f, "{}[{}]", self.pred, self.time)?;
+        if !self.data.is_empty() {
+            write!(f, "(")?;
+            for (i, d) in self.data.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A clause `A ← A₁, …, A_r` (empty body = fact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Head atom.
+    pub head: Atom,
+    /// Body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " <- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog1S program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validated facts about a program used by the evaluator.
+#[derive(Debug, Clone)]
+pub struct Validated {
+    /// Data arity per predicate.
+    pub data_arity: BTreeMap<String, usize>,
+    /// Predicates defined by heads.
+    pub intensional: BTreeSet<String>,
+    /// Predicates appearing only in bodies (to be supplied externally).
+    pub extensional: BTreeSet<String>,
+    /// Largest ground time mentioned anywhere.
+    pub max_const: u64,
+    /// Largest shift mentioned anywhere.
+    pub max_shift: u64,
+    /// Evaluation order: head predicates grouped by dependency SCC, lower
+    /// strata first. Negation may only reach strictly lower strata.
+    pub strata: Vec<BTreeSet<String>>,
+}
+
+/// Checks the TL1/causality/stratification restrictions.
+///
+/// The causality restrictions apply only to *same-stratum* positive body
+/// atoms: extensional predicates, lower-stratum intensional predicates and
+/// negated literals all have fully known extensions by the time their
+/// stratum is evaluated, so they may be referenced at any shift or ground
+/// time.
+pub fn validate(p: &Program) -> Result<Validated> {
+    let mut data_arity: BTreeMap<String, usize> = BTreeMap::new();
+    let mut max_const = 0u64;
+    let mut max_shift = 0u64;
+    let intensional: BTreeSet<String> = p.clauses.iter().map(|c| c.head.pred.clone()).collect();
+
+    // ── Strata: SCCs of the dependency graph, lower strata first. ──────
+    let mut edges: BTreeSet<(String, String, bool)> = BTreeSet::new(); // (head, body, negated)
+    for c in &p.clauses {
+        if c.head.negated {
+            return Err(Error::Eval(format!("clause `{c}` has a negated head")));
+        }
+        for a in &c.body {
+            if intensional.contains(&a.pred) {
+                edges.insert((c.head.pred.clone(), a.pred.clone(), a.negated));
+            }
+        }
+    }
+    let strata = stratify(&intensional, &edges)?;
+    let stratum_of = |pred: &str| -> usize {
+        strata
+            .iter()
+            .position(|s| s.contains(pred))
+            .expect("every intensional predicate is in some stratum")
+    };
+
+    let mut check = |a: &Atom| -> Result<()> {
+        match data_arity.get(&a.pred) {
+            Some(&n) if n != a.data.len() => Err(Error::SchemaMismatch(format!(
+                "predicate {} used with data arities {n} and {}",
+                a.pred,
+                a.data.len()
+            ))),
+            _ => {
+                data_arity.insert(a.pred.clone(), a.data.len());
+                Ok(())
+            }
+        }
+    };
+    for c in &p.clauses {
+        check(&c.head)?;
+        for a in &c.body {
+            check(a)?;
+        }
+        let head_stratum = stratum_of(&c.head.pred);
+        // An atom is "resolved" when its full extension exists before this
+        // stratum runs: extensional, lower-stratum, or negated (negated
+        // atoms are lower-stratum by stratification).
+        let resolved = |a: &Atom| -> bool {
+            a.negated || !intensional.contains(&a.pred) || stratum_of(&a.pred) < head_stratum
+        };
+        match (&c.head.time, &c.body) {
+            (Time::Const(hc), body) => {
+                max_const = max_const.max(*hc);
+                for a in body {
+                    match &a.time {
+                        Time::Const(bc) if resolved(a) || bc <= hc => {
+                            max_const = max_const.max(*bc)
+                        }
+                        Time::Const(_) => {
+                            return Err(Error::Eval(format!(
+                                "clause `{c}` is non-causal: a body time exceeds the head time"
+                            )))
+                        }
+                        Time::Var { .. } => {
+                            return Err(Error::Eval(format!(
+                                "clause `{c}` has a constant head but a variable body time \
+                                 (unbounded existential; not in the TL1 fragment)"
+                            )))
+                        }
+                    }
+                }
+            }
+            (
+                Time::Var {
+                    name: hv,
+                    shift: hs,
+                },
+                body,
+            ) => {
+                max_shift = max_shift.max(*hs);
+                for a in body {
+                    match &a.time {
+                        Time::Var { name, shift } => {
+                            if name != hv {
+                                return Err(Error::Eval(format!(
+                                    "clause `{c}` uses two temporal variables ({hv}, {name}); \
+                                     the TL1 fragment allows one per clause"
+                                )));
+                            }
+                            if *shift > *hs && !resolved(a) {
+                                return Err(Error::Eval(format!(
+                                    "clause `{c}` is non-causal: body shift {shift} exceeds \
+                                     head shift {hs}"
+                                )));
+                            }
+                            max_shift = max_shift.max(*shift);
+                        }
+                        Time::Const(bc) => {
+                            if !resolved(a) {
+                                return Err(Error::Eval(format!(
+                                    "clause `{c}` mixes a variable head time with a constant \
+                                     same-stratum body time (a gate); rewrite with an explicit \
+                                     fact chain"
+                                )));
+                            }
+                            max_const = max_const.max(*bc);
+                        }
+                    }
+                }
+            }
+        }
+        // Data safety: head data variables and the data variables of
+        // negated literals must be bound by positive body atoms.
+        let mut bound: BTreeSet<&str> = BTreeSet::new();
+        for a in &c.body {
+            if a.negated {
+                continue;
+            }
+            for d in &a.data {
+                if let DataTerm::Var(v) = d {
+                    bound.insert(v);
+                }
+            }
+        }
+        for d in &c.head.data {
+            if let DataTerm::Var(v) = d {
+                if !bound.contains(v.as_str()) {
+                    return Err(Error::Eval(format!(
+                        "unsafe clause `{c}`: head data variable {v} is unbound"
+                    )));
+                }
+            }
+        }
+        for a in c.body.iter().filter(|a| a.negated) {
+            for d in &a.data {
+                if let DataTerm::Var(v) = d {
+                    if !bound.contains(v.as_str()) {
+                        return Err(Error::Eval(format!(
+                            "unsafe clause `{c}`: variable {v} occurs only under negation"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    let extensional: BTreeSet<String> = p
+        .clauses
+        .iter()
+        .flat_map(|c| c.body.iter())
+        .filter(|a| !intensional.contains(&a.pred))
+        .map(|a| a.pred.clone())
+        .collect();
+    Ok(Validated {
+        data_arity,
+        intensional,
+        extensional,
+        max_const,
+        max_shift,
+        strata,
+    })
+}
+
+/// SCC condensation of the dependency graph in evaluation (reverse
+/// topological) order; fails if any SCC contains a negative edge
+/// (recursion through negation).
+fn stratify(
+    nodes: &BTreeSet<String>,
+    edges: &BTreeSet<(String, String, bool)>,
+) -> Result<Vec<BTreeSet<String>>> {
+    let reach = |from: &str| -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![from.to_string()];
+        while let Some(n) = frontier.pop() {
+            for (a, b, _) in edges.iter() {
+                if a == &n && seen.insert(b.clone()) {
+                    frontier.push(b.clone());
+                }
+            }
+        }
+        seen
+    };
+    let reachability: BTreeMap<&String, BTreeSet<String>> =
+        nodes.iter().map(|n| (n, reach(n))).collect();
+    let mut assigned: BTreeSet<&String> = BTreeSet::new();
+    let mut sccs: Vec<BTreeSet<String>> = Vec::new();
+    for n in nodes {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut scc: BTreeSet<String> = [n.clone()].into();
+        for m in nodes {
+            if m != n && reachability[n].contains(m) && reachability[m].contains(n) {
+                scc.insert(m.clone());
+            }
+        }
+        for m in &scc {
+            assigned.insert(nodes.get(m).expect("member"));
+        }
+        sccs.push(scc);
+    }
+    // Negative edge inside an SCC = recursion through negation.
+    for (a, b, neg) in edges {
+        if *neg {
+            let sa = sccs.iter().position(|s| s.contains(a));
+            let sb = sccs.iter().position(|s| s.contains(b));
+            if sa.is_some() && sa == sb {
+                return Err(Error::Eval(format!(
+                    "recursion through negation between {a} and {b}; stratified \
+                     negation is required"
+                )));
+            }
+        }
+    }
+    // Order with dependencies first.
+    let mut ordered: Vec<BTreeSet<String>> = Vec::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    while ordered.len() < sccs.len() {
+        let mut progressed = false;
+        for scc in &sccs {
+            if scc.iter().any(|m| emitted.contains(m)) {
+                continue;
+            }
+            let ready = scc.iter().all(|m| {
+                edges
+                    .iter()
+                    .filter(|(a, _, _)| a == m)
+                    .all(|(_, b, _)| scc.contains(b) || emitted.contains(b))
+            });
+            if ready {
+                for m in scc {
+                    emitted.insert(m.clone());
+                }
+                ordered.push(scc.clone());
+                progressed = true;
+            }
+        }
+        assert!(progressed, "stratum ordering must make progress");
+    }
+    Ok(ordered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn train_example_validates() {
+        // Example 2.2 from the paper.
+        let p = parse_program(
+            "train_leaves[5](liege, brussels).
+             train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+             train_arrives[t + 60](F, T) <- train_leaves[t](F, T).",
+        )
+        .unwrap();
+        let v = validate(&p).unwrap();
+        assert_eq!(v.data_arity["train_leaves"], 2);
+        assert_eq!(v.max_const, 5);
+        assert_eq!(v.max_shift, 60);
+        assert!(v.intensional.contains("train_arrives"));
+        assert!(v.extensional.is_empty());
+    }
+
+    #[test]
+    fn two_temporal_variables_rejected() {
+        let p = parse_program("p[t] <- q[s].").unwrap();
+        let e = validate(&p).unwrap_err();
+        assert!(e.to_string().contains("two temporal variables"), "{e}");
+    }
+
+    #[test]
+    fn non_causal_intensional_rejected_extensional_allowed() {
+        // Recursion looking forward is rejected…
+        let p = parse_program("p[t] <- p[t + 1].").unwrap();
+        let e = validate(&p).unwrap_err();
+        assert!(e.to_string().contains("non-causal"), "{e}");
+        // …but looking ahead into an extensional predicate is fine: its
+        // whole extension is known before evaluation.
+        let p = parse_program("p[t] <- q[t + 1].").unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn gates() {
+        // Extensional gate: allowed.
+        let p = parse_program("p[t] <- q[5], r[t].").unwrap();
+        assert!(validate(&p).is_ok());
+        // Lower-stratum intensional gate: allowed (its extension is
+        // complete before p's stratum runs).
+        let p = parse_program("q[5]. p[t] <- q[5], r[t].").unwrap();
+        assert!(validate(&p).is_ok());
+        // Same-stratum gate: rejected.
+        let p = parse_program("p[5]. p[t] <- p[5], r[t].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn constant_head_with_earlier_constant_body_ok() {
+        let p = parse_program("p[7] <- q[5]. q[5].").unwrap();
+        assert!(validate(&p).is_ok());
+        // Lower-stratum future constant: allowed under stratified
+        // evaluation.
+        let p = parse_program("q[5]. p[3] <- q[5].").unwrap();
+        assert!(validate(&p).is_ok());
+        // Same-stratum future constant: rejected.
+        let p = parse_program("p[5]. p[3] <- p[5].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn stratified_negation_validates() {
+        let p = parse_program("base[0]. base[t + 3] <- base[t]. odd[t] <- !base[t].").unwrap();
+        let v = validate(&p).unwrap();
+        assert_eq!(v.strata.len(), 2);
+        assert!(v.strata[0].contains("base"));
+        assert!(v.strata[1].contains("odd"));
+        // Recursion through negation is rejected.
+        let p = parse_program("p[t + 1] <- !p[t].").unwrap();
+        let e = validate(&p).unwrap_err();
+        assert!(e.to_string().contains("negation"), "{e}");
+        // Mutual recursion through negation too.
+        let p = parse_program("p[t + 1] <- q[t]. q[t + 1] <- !p[t].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn negated_head_rejected() {
+        let p = parse_program("!p[0].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn negated_only_variables_rejected() {
+        // X occurs only under negation: unsafe.
+        let p = parse_program("q[0](a). p[t] <- !q[t](X), e[t].").unwrap();
+        assert!(validate(&p).is_err());
+        // Bound by a positive literal: fine.
+        let p = parse_program("q[0](a). p[t](X) <- !q[t](X), e[t](X).").unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn unsafe_data_rejected() {
+        let p = parse_program("p[t](X) <- q[t].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = parse_program("p[t](a) <- q[t]. p[t] <- q[t].").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.clauses[0].to_string(), src);
+    }
+}

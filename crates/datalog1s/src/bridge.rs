@@ -1,0 +1,264 @@
+//! Data-expressiveness bridges (§3.1 of the paper, made executable).
+//!
+//! The paper's first contribution is the observation that three formalisms
+//! — generalized databases with lrps (restricted to one temporal argument),
+//! the Chomicki–Imieliński language, and Templog — have the *same data
+//! expressiveness*: eventually periodic sets. This module implements the
+//! witnesses as round-trippable conversions:
+//!
+//! * [`epset_to_relation`] — explicit set → generalized relation;
+//! * [`relation_to_epset`] — generalized relation (1 temporal argument,
+//!   supported on ℕ) → explicit set;
+//! * [`epset_to_program`] — explicit set → Datalog1S program whose minimal
+//!   model is the set;
+//! * [`model_to_relations`] — a whole detected model → one generalized
+//!   relation per predicate.
+
+use crate::ast::Program;
+use crate::epset::EpSet;
+use crate::ground::PeriodicModel;
+use crate::parser::parse_program;
+use itdb_lrp::{
+    Constraint, DataValue, Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result, Schema, Var,
+};
+use std::collections::BTreeMap;
+
+/// Converts an explicit eventually periodic set into a generalized relation
+/// of temporal arity 1 and data arity 0.
+pub fn epset_to_relation(s: &EpSet) -> Result<GeneralizedRelation> {
+    let mut rel = GeneralizedRelation::empty(Schema::new(1, 0));
+    for &x in s.initial() {
+        rel.insert(GeneralizedTuple::build(
+            vec![Lrp::all_integers()],
+            &[Constraint::EqConst(Var(0), x as i64)],
+            vec![],
+        )?)?;
+    }
+    let p = s.period() as i64;
+    for &r in s.residues() {
+        let first = s
+            .next_at_or_after(s.offset())
+            .map(|_| {
+                // First point of this residue class at or beyond the offset.
+                (s.offset()..s.offset() + s.period())
+                    .find(|x| x % s.period() == r)
+                    .expect("class representative exists")
+            })
+            .unwrap_or(r);
+        rel.insert(GeneralizedTuple::build(
+            vec![Lrp::new(p, r as i64)?],
+            &[Constraint::GeConst(Var(0), first as i64)],
+            vec![],
+        )?)?;
+    }
+    Ok(rel)
+}
+
+/// Converts a generalized relation of schema `(1, 0)` whose extension lies
+/// within ℕ into an explicit eventually periodic set.
+///
+/// Tuples bounded above contribute finitely many points (budgeted by
+/// `max_points` per tuple to keep adversarial inputs from exploding);
+/// unbounded tuples contribute a residue class from their first point on.
+/// A tuple unbounded *below* is rejected: its extension is not a subset of
+/// ℕ.
+pub fn relation_to_epset(rel: &GeneralizedRelation, max_points: u64) -> Result<EpSet> {
+    if rel.schema() != Schema::new(1, 0) {
+        return Err(Error::SchemaMismatch(format!(
+            "relation_to_epset needs schema (temporal: 1, data: 0), got {}",
+            rel.schema()
+        )));
+    }
+    let mut acc = EpSet::empty();
+    for t in rel.tuples() {
+        let Some(t) = t.canonical() else { continue };
+        let zone = t.zone();
+        let lrp = zone.lrp(0);
+        // Bounds against the zero variable of the closed DBM.
+        let hi = zone.dbm().get(1, 0).finite(); // T ≤ hi
+        let lo = zone.dbm().get(0, 1).finite().map(|c| -c); // T ≥ lo
+        let lo = match lo {
+            Some(l) if l >= 0 => l,
+            Some(_) | None => {
+                // Unbounded below or reaching below zero: the set must still
+                // be within ℕ to be a Datalog1S model; negative-reaching
+                // tuples are rejected rather than silently clamped.
+                return Err(Error::Eval(format!(
+                    "tuple {t} extends below 0; not a subset of ℕ"
+                )));
+            }
+        };
+        match hi {
+            Some(h) => {
+                if h < lo {
+                    continue;
+                }
+                let count = lrp.count_window(lo, h);
+                if count > max_points {
+                    return Err(Error::ResidueBudget { budget: max_points });
+                }
+                acc = acc.union(&EpSet::from_finite(
+                    lrp.iter_window(lo, h).map(|x| x as u64),
+                ))?;
+            }
+            None => {
+                let first = lrp.next_at_or_after(lo)?;
+                acc = acc.union(&EpSet::progression(first as u64, lrp.period() as u64)?)?;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Builds a Datalog1S program whose minimal model for `pred` is exactly the
+/// given set. Initial points become facts; the periodic tail uses an
+/// auxiliary predicate `"<pred>__tail"` so the recursion cannot contaminate
+/// the exceptional points.
+pub fn epset_to_program(pred: &str, s: &EpSet) -> Result<Program> {
+    let mut src = String::new();
+    for &x in s.initial() {
+        src.push_str(&format!("{pred}[{x}].\n"));
+    }
+    if !s.residues().is_empty() {
+        let p = s.period();
+        for &r in s.residues() {
+            let first = (s.offset()..s.offset() + p)
+                .find(|x| x % p == r)
+                .expect("class representative");
+            src.push_str(&format!("{pred}__tail[{first}].\n"));
+        }
+        src.push_str(&format!("{pred}__tail[t + {p}] <- {pred}__tail[t].\n"));
+        src.push_str(&format!("{pred}[t] <- {pred}__tail[t].\n"));
+    }
+    if src.is_empty() {
+        // Empty set: a program that never derives pred. An unreachable
+        // seed keeps the predicate in the language.
+        src = format!("{pred}__tail[0]. {pred}[t + 1] <- {pred}__tail[t], {pred}[t].\n");
+    }
+    parse_program(&src)
+}
+
+/// Converts a detected periodic model into generalized relations, one per
+/// predicate (data columns preserved).
+pub fn model_to_relations(m: &PeriodicModel) -> Result<BTreeMap<String, GeneralizedRelation>> {
+    let mut arities: BTreeMap<&str, usize> = BTreeMap::new();
+    for (pred, data) in m.sets.keys() {
+        arities.insert(pred, data.len());
+    }
+    let mut out: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+    for ((pred, data), set) in &m.sets {
+        let rel = out
+            .entry(pred.clone())
+            .or_insert_with(|| GeneralizedRelation::empty(Schema::new(1, arities[pred.as_str()])));
+        let plain = epset_to_relation(set)?;
+        for t in plain.tuples() {
+            rel.insert(GeneralizedTuple::new(t.zone().clone(), data.clone()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: the data vectors under which a predicate appears in a
+/// model.
+pub fn data_vectors_of(m: &PeriodicModel, pred: &str) -> Vec<Vec<DataValue>> {
+    m.sets
+        .keys()
+        .filter(|(p, _)| p == pred)
+        .map(|(_, d)| d.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{evaluate, DetectOptions, ExternalEdb};
+
+    fn roundtrip_set(s: &EpSet) {
+        // EpSet → relation → EpSet.
+        let rel = epset_to_relation(s).unwrap();
+        let back = relation_to_epset(&rel, 1 << 16).unwrap();
+        assert_eq!(&back, s, "relation roundtrip of {s}");
+        // EpSet → program → minimal model → EpSet (the paper's
+        // data-expressiveness equality, executably).
+        let prog = epset_to_program("p", s).unwrap();
+        let model = evaluate(&prog, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        let back2 = model.times("p", &[]);
+        assert_eq!(&back2, s, "program roundtrip of {s}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip_set(&EpSet::empty());
+        roundtrip_set(&EpSet::singleton(7));
+        roundtrip_set(&EpSet::from_finite([0, 3, 9]));
+        roundtrip_set(&EpSet::progression(5, 40).unwrap());
+        roundtrip_set(&EpSet::from_parts([1, 4], 10, 6, [2, 5]).unwrap());
+        roundtrip_set(&EpSet::all());
+    }
+
+    #[test]
+    fn relation_membership_matches_set() {
+        let s = EpSet::from_parts([2], 9, 4, [1]).unwrap();
+        let rel = epset_to_relation(&s).unwrap();
+        for t in 0..60u64 {
+            assert_eq!(rel.contains(&[t as i64], &[]), s.contains(t), "t={t}");
+        }
+        // The relation has no negative support.
+        assert!(!rel.contains(&[-3], &[]));
+    }
+
+    #[test]
+    fn relation_to_epset_rejects_negative_support() {
+        let rel = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![GeneralizedTuple::build(vec![Lrp::new(5, 0).unwrap()], &[], vec![]).unwrap()],
+        )
+        .unwrap();
+        assert!(matches!(relation_to_epset(&rel, 1000), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn relation_to_epset_bounded_tuples() {
+        let rel = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![GeneralizedTuple::build(
+                vec![Lrp::new(3, 1).unwrap()],
+                &[
+                    Constraint::GeConst(Var(0), 0),
+                    Constraint::LeConst(Var(0), 20),
+                ],
+                vec![],
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let s = relation_to_epset(&rel, 1000).unwrap();
+        assert!(s.is_finite());
+        for t in 0..40u64 {
+            assert_eq!(s.contains(t), t % 3 == 1 && t <= 20, "t={t}");
+        }
+        // Budget enforcement.
+        assert!(matches!(
+            relation_to_epset(&rel, 2),
+            Err(Error::ResidueBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn model_to_relations_keeps_data() {
+        let p = crate::parser::parse_program(
+            "leaves[5](liege, brussels).
+             leaves[t + 40](F, T) <- leaves[t](F, T).",
+        )
+        .unwrap();
+        let m = evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        let rels = model_to_relations(&m).unwrap();
+        let r = &rels["leaves"];
+        assert_eq!(r.schema(), Schema::new(1, 2));
+        let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+        assert!(r.contains(&[5], &d));
+        assert!(r.contains(&[45], &d));
+        assert!(!r.contains(&[6], &d));
+        assert_eq!(data_vectors_of(&m, "leaves").len(), 1);
+    }
+}

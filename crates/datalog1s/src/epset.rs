@@ -1,0 +1,607 @@
+//! Eventually periodic subsets of ℕ.
+//!
+//! \[CI88\] prove that the minimal model of a set of temporal Horn rules with
+//! one temporal argument is *eventually periodic*: beyond some offset it is
+//! a union of residue classes. [`EpSet`] is the explicit representation —
+//! a finite initial part, plus residues modulo a period from an offset on —
+//! and is the currency of Datalog1S periodicity detection, the Templog
+//! evaluator's ◇-closure, and the data-expressiveness bridges.
+
+use itdb_lrp::{lcm, Error, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An eventually periodic subset of ℕ.
+///
+/// Invariants (enforced by [`EpSet::normalize`], maintained by all
+/// constructors and operations):
+///
+/// * `period ≥ 1`, every residue `< period`;
+/// * every element of `initial` is `< offset`;
+/// * membership for `x ≥ offset` is `x mod period ∈ residues`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EpSet {
+    initial: BTreeSet<u64>,
+    offset: u64,
+    period: u64,
+    residues: BTreeSet<u64>,
+}
+
+impl EpSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        EpSet {
+            initial: BTreeSet::new(),
+            offset: 0,
+            period: 1,
+            residues: BTreeSet::new(),
+        }
+    }
+
+    /// All of ℕ.
+    pub fn all() -> Self {
+        EpSet {
+            initial: BTreeSet::new(),
+            offset: 0,
+            period: 1,
+            residues: [0].into_iter().collect(),
+        }
+    }
+
+    /// A single point.
+    pub fn singleton(x: u64) -> Self {
+        EpSet::from_finite([x])
+    }
+
+    /// A finite set.
+    pub fn from_finite(points: impl IntoIterator<Item = u64>) -> Self {
+        let initial: BTreeSet<u64> = points.into_iter().collect();
+        let offset = initial.last().map_or(0, |m| m + 1);
+        let mut s = EpSet {
+            initial,
+            offset,
+            period: 1,
+            residues: BTreeSet::new(),
+        };
+        s.normalize();
+        s
+    }
+
+    /// The arithmetic progression `{ start + period·k | k ≥ 0 }`.
+    pub fn progression(start: u64, period: u64) -> Result<Self> {
+        if period == 0 {
+            return Err(Error::ZeroPeriod);
+        }
+        let mut s = EpSet {
+            initial: BTreeSet::new(),
+            offset: start,
+            period,
+            residues: [start % period].into_iter().collect(),
+        };
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Builds from raw parts (initial points may be ≥ offset; they are
+    /// folded into the periodic side only if consistent, otherwise the
+    /// offset is raised to cover them).
+    pub fn from_parts(
+        initial: impl IntoIterator<Item = u64>,
+        offset: u64,
+        period: u64,
+        residues: impl IntoIterator<Item = u64>,
+    ) -> Result<Self> {
+        if period == 0 {
+            return Err(Error::ZeroPeriod);
+        }
+        let residues: BTreeSet<u64> = residues.into_iter().map(|r| r % period).collect();
+        let mut raw: BTreeSet<u64> = initial.into_iter().collect();
+        // Any provided point ≥ offset that is not on a residue class forces
+        // the offset up past it.
+        let base_offset = offset;
+        let mut offset = offset;
+        for &x in raw.clone().iter() {
+            if x >= offset && !residues.contains(&(x % period)) {
+                offset = x + 1;
+            }
+        }
+        // Raising the offset strips periodic coverage from
+        // [base_offset, offset); materialize those points into the initial
+        // part so no membership is lost.
+        for x in base_offset..offset {
+            if residues.contains(&(x % period)) {
+                raw.insert(x);
+            }
+        }
+        // Points ≥ offset on a residue class are redundant; keep the rest.
+        let mut s = EpSet {
+            initial: raw.into_iter().filter(|&x| x < offset).collect(),
+            offset,
+            period,
+            residues,
+        };
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Membership.
+    pub fn contains(&self, x: u64) -> bool {
+        if x < self.offset {
+            self.initial.contains(&x)
+        } else {
+            self.residues.contains(&(x % self.period))
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty() && self.residues.is_empty()
+    }
+
+    /// Is the set finite?
+    pub fn is_finite(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// The maximum element of a finite set (`None` if empty or infinite).
+    pub fn max_finite(&self) -> Option<u64> {
+        if self.is_finite() {
+            self.initial.last().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Offset beyond which the set is purely periodic.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The period (1 for finite sets in canonical form).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The residues modulo [`EpSet::period`] present beyond the offset.
+    pub fn residues(&self) -> &BTreeSet<u64> {
+        &self.residues
+    }
+
+    /// The finite exceptional part below the offset.
+    pub fn initial(&self) -> &BTreeSet<u64> {
+        &self.initial
+    }
+
+    /// Canonicalizes: minimal period (divides the current one), minimal
+    /// offset, no redundant initial points. Two equal sets always have
+    /// identical canonical representations, so `==` is semantic equality.
+    pub fn normalize(&mut self) {
+        if self.residues.is_empty() {
+            self.period = 1;
+            self.offset = self.initial.last().map_or(0, |m| m + 1);
+            return;
+        }
+        // Minimal period: smallest divisor d of period with residues
+        // invariant under +d (mod period).
+        let p = self.period;
+        for d in divisors(p) {
+            let closed = self
+                .residues
+                .iter()
+                .all(|&r| self.residues.contains(&((r + d) % p)));
+            if closed {
+                if d < p {
+                    self.residues = self.residues.iter().map(|&r| r % d).collect();
+                    self.period = d;
+                }
+                break;
+            }
+        }
+        // Align offset upward to a multiple boundary is unnecessary; instead
+        // walk the offset down while the membership pattern below matches
+        // the periodic pattern.
+        let p = self.period;
+        while self.offset > 0 {
+            let x = self.offset - 1;
+            let periodic_says = self.residues.contains(&(x % p));
+            let initial_says = self.initial.contains(&x);
+            if periodic_says == initial_says {
+                self.offset = x;
+                self.initial.remove(&x);
+            } else {
+                break;
+            }
+        }
+        // Drop any initial points at or above the offset that the periodic
+        // part already covers (can arise from from_parts).
+        let off = self.offset;
+        self.initial.retain(|&x| x < off);
+    }
+
+    /// Union.
+    pub fn union(&self, other: &EpSet) -> Result<EpSet> {
+        self.combine(other, |a, b| a || b)
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &EpSet) -> Result<EpSet> {
+        self.combine(other, |a, b| a && b)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &EpSet) -> Result<EpSet> {
+        self.combine(other, |a, b| a && !b)
+    }
+
+    /// Complement within ℕ.
+    pub fn complement(&self) -> Result<EpSet> {
+        self.combine(&EpSet::all(), |a, b| !a && b)
+    }
+
+    fn combine(&self, other: &EpSet, f: impl Fn(bool, bool) -> bool) -> Result<EpSet> {
+        let period = if self.residues.is_empty() && other.residues.is_empty() {
+            1
+        } else {
+            lcm(self.period.max(1) as i64, other.period.max(1) as i64)? as u64
+        };
+        let offset = self.offset.max(other.offset);
+        let mut initial = BTreeSet::new();
+        for x in 0..offset {
+            if f(self.contains(x), other.contains(x)) {
+                initial.insert(x);
+            }
+        }
+        let mut residues = BTreeSet::new();
+        // Beyond the common offset, membership of x depends only on
+        // x mod period — but the class representatives must be taken at
+        // actual points ≥ offset.
+        for r in 0..period {
+            // Smallest x ≥ offset with x ≡ r (mod period).
+            let x = if offset == 0 {
+                r
+            } else {
+                let rem = (offset - 1) % period;
+                let delta = (r + period - rem - 1) % period + 1;
+                offset - 1 + delta
+            };
+            if f(self.contains(x), other.contains(x)) {
+                residues.insert(r);
+            }
+        }
+        let mut s = EpSet {
+            initial,
+            offset,
+            period,
+            residues,
+        };
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Upward shift `{ x + k | x ∈ self }`.
+    pub fn shift_up(&self, k: u64) -> Result<EpSet> {
+        let initial: BTreeSet<u64> = self
+            .initial
+            .iter()
+            .map(|&x| x.checked_add(k).ok_or(Error::Overflow))
+            .collect::<Result<_>>()?;
+        let offset = self.offset.checked_add(k).ok_or(Error::Overflow)?;
+        let residues = self
+            .residues
+            .iter()
+            .map(|&r| (r + k % self.period) % self.period)
+            .collect();
+        let mut s = EpSet {
+            initial,
+            offset,
+            period: self.period,
+            residues,
+        };
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Downward shift `{ x − k | x ∈ self, x ≥ k }`.
+    pub fn shift_down(&self, k: u64) -> Result<EpSet> {
+        let initial: BTreeSet<u64> = self
+            .initial
+            .iter()
+            .filter(|&&x| x >= k)
+            .map(|&x| x - k)
+            .collect();
+        let offset = self.offset.saturating_sub(k);
+        let residues: BTreeSet<u64> = self
+            .residues
+            .iter()
+            .map(|&r| (r + self.period - k % self.period) % self.period)
+            .collect();
+        // Points in [offset(new), ...) that came from the periodic side are
+        // correct; points that were between offset−k and offset need care —
+        // they were periodic in the old set iff ≥ old offset. Since
+        // new offset = old offset − k, x ≥ new offset ⟺ x + k ≥ old offset:
+        // exactly right.
+        let mut s = EpSet {
+            initial,
+            offset,
+            period: self.period,
+            residues,
+        };
+        s.normalize();
+        Ok(s)
+    }
+
+    /// Downward closure `{ x | ∃ y ∈ self, y ≥ x }`: the Templog ◇.
+    /// Infinite sets close to all of ℕ; finite sets to `[0, max]`.
+    pub fn downward_closure(&self) -> EpSet {
+        if !self.is_finite() {
+            return EpSet::all();
+        }
+        match self.max_finite() {
+            None => EpSet::empty(),
+            Some(m) => EpSet::from_finite(0..=m),
+        }
+    }
+
+    /// Saturation under repeated upward shift by `c`:
+    /// `∪_{k ≥ 0} (self + k·c)` — the acceleration of the recursive rule
+    /// `p(t + c) ← p(t)`.
+    pub fn saturate_shift(&self, c: u64) -> Result<EpSet> {
+        if c == 0 || self.is_empty() {
+            return Ok(self.clone());
+        }
+        let period = lcm(self.period as i64, c as i64)? as u64;
+        // Elements beyond offset + period generate classes mod c starting at
+        // their first occurrence. Collect generator points: all initial
+        // points plus one representative per residue class beyond offset.
+        let mut generators: Vec<u64> = self.initial.iter().copied().collect();
+        for x in self.offset..self.offset.checked_add(period).ok_or(Error::Overflow)? {
+            if self.contains(x) {
+                generators.push(x);
+            }
+        }
+        // ∪ over generators g of {g + kc} plus the original periodic tail.
+        let mut acc = self.clone();
+        for g in generators {
+            acc = acc.union(&EpSet::progression(g, c)?)?;
+        }
+        Ok(acc)
+    }
+
+    /// The smallest element ≥ `x`, if any.
+    pub fn next_at_or_after(&self, x: u64) -> Option<u64> {
+        if let Some(&v) = self.initial.range(x..).next() {
+            return Some(v);
+        }
+        if self.residues.is_empty() {
+            return None;
+        }
+        let start = x.max(self.offset);
+        (start..start + self.period).find(|&v| self.contains(v))
+    }
+
+    /// Iterates the elements below `bound` (exclusive).
+    pub fn iter_below(&self, bound: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..bound).filter(move |&x| self.contains(x))
+    }
+}
+
+impl fmt::Display for EpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for &x in &self.initial {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{x}")?;
+        }
+        for &r in &self.residues {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            // First actual point of the class.
+            let start = self.next_class_start(r);
+            write!(f, "{}+{}k", start, self.period)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl EpSet {
+    fn next_class_start(&self, r: u64) -> u64 {
+        (self.offset..self.offset + self.period)
+            .find(|&x| x % self.period == r)
+            .unwrap_or(r)
+    }
+}
+
+fn divisors(n: u64) -> Vec<u64> {
+    let mut out: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force membership comparison up to a horizon.
+    fn assert_same(s: &EpSet, f: impl Fn(u64) -> bool, horizon: u64, label: &str) {
+        for x in 0..horizon {
+            assert_eq!(s.contains(x), f(x), "{label}: x={x}");
+        }
+    }
+
+    #[test]
+    fn basic_constructors() {
+        assert!(EpSet::empty().is_empty());
+        assert!(EpSet::all().contains(0));
+        assert!(EpSet::all().contains(10_000));
+        let s = EpSet::singleton(5);
+        assert_same(&s, |x| x == 5, 50, "singleton");
+        assert!(s.is_finite());
+        assert_eq!(s.max_finite(), Some(5));
+    }
+
+    #[test]
+    fn progression() {
+        let s = EpSet::progression(3, 5).unwrap();
+        assert_same(&s, |x| x >= 3 && (x - 3) % 5 == 0, 100, "3+5k");
+        assert!(!s.is_finite());
+        assert!(EpSet::progression(0, 0).is_err());
+    }
+
+    #[test]
+    fn normalization_minimizes_period() {
+        // Residues {0, 2, 4} mod 6 is really period 2.
+        let s = EpSet::from_parts([], 0, 6, [0, 2, 4]).unwrap();
+        assert_eq!(s.period(), 2);
+        assert_same(&s, |x| x % 2 == 0, 60, "evens");
+        // And equals the directly-built evens.
+        let evens = EpSet::from_parts([], 0, 2, [0]).unwrap();
+        assert_eq!(s, evens);
+    }
+
+    #[test]
+    fn normalization_minimizes_offset() {
+        // Initial {0, 2, 4} then evens from 6: really evens from 0.
+        let s = EpSet::from_parts([0, 2, 4], 6, 2, [0]).unwrap();
+        assert_eq!(s.offset(), 0);
+        assert!(s.initial().is_empty());
+        assert_same(&s, |x| x % 2 == 0, 60, "evens from 0");
+    }
+
+    #[test]
+    fn from_parts_raises_offset_for_stray_points() {
+        // Point 7 not on the even classes: offset must exceed 7.
+        let s = EpSet::from_parts([7], 0, 2, [0]).unwrap();
+        assert!(s.contains(7));
+        assert!(s.contains(0));
+        assert!(s.contains(100));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = EpSet::progression(0, 2).unwrap(); // evens
+        let b = EpSet::progression(0, 3).unwrap(); // multiples of 3
+        let u = a.union(&b).unwrap();
+        assert_same(&u, |x| x % 2 == 0 || x % 3 == 0, 120, "union");
+        let i = a.intersect(&b).unwrap();
+        assert_same(&i, |x| x % 6 == 0, 120, "intersection");
+        let d = a.difference(&b).unwrap();
+        assert_same(&d, |x| x % 2 == 0 && x % 3 != 0, 120, "difference");
+        let c = a.complement().unwrap();
+        assert_same(&c, |x| x % 2 == 1, 120, "complement");
+    }
+
+    #[test]
+    fn combine_with_offsets_and_initials() {
+        let a = EpSet::from_parts([1, 4], 10, 5, [2]).unwrap(); // {1,4} ∪ {12,17,...}
+        let b = EpSet::from_parts([4, 12], 20, 10, [7]).unwrap();
+        let u = a.union(&b).unwrap();
+        let fa = |x: u64| x == 1 || x == 4 || (x >= 10 && x % 5 == 2);
+        let fb = |x: u64| x == 4 || x == 12 || (x >= 20 && x % 10 == 7);
+        assert_same(&u, |x| fa(x) || fb(x), 200, "mixed union");
+        let i = a.intersect(&b).unwrap();
+        assert_same(&i, |x| fa(x) && fb(x), 200, "mixed intersection");
+    }
+
+    #[test]
+    fn equality_is_semantic() {
+        let a = EpSet::from_parts([], 7, 4, [1, 3]).unwrap();
+        let b = EpSet::from_parts([7], 8, 4, [1, 3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shifts() {
+        let s = EpSet::progression(3, 5).unwrap();
+        let up = s.shift_up(4).unwrap();
+        assert_same(&up, |x| x >= 7 && (x - 7) % 5 == 0, 100, "up");
+        let down = up.shift_down(4).unwrap();
+        assert_eq!(down, s);
+        // Shifting down past zero truncates.
+        let t = EpSet::from_finite([1, 5, 9]).shift_down(4).unwrap();
+        assert_same(&t, |x| x == 1 || x == 5, 50, "down truncated");
+    }
+
+    #[test]
+    fn shift_down_through_offset() {
+        let s = EpSet::from_parts([2], 10, 4, [1]).unwrap(); // {2} ∪ {13, 17, …}
+        let d = s.shift_down(3).unwrap();
+        for x in 0..60u64 {
+            assert_eq!(d.contains(x), s.contains(x + 3), "x={x}");
+        }
+    }
+
+    #[test]
+    fn downward_closure() {
+        assert_eq!(
+            EpSet::progression(50, 7).unwrap().downward_closure(),
+            EpSet::all()
+        );
+        let f = EpSet::from_finite([3, 9]).downward_closure();
+        assert_same(&f, |x| x <= 9, 50, "finite closure");
+        assert_eq!(EpSet::empty().downward_closure(), EpSet::empty());
+    }
+
+    #[test]
+    fn saturation_accelerates_recursion() {
+        // p(0), p(t+5) ← p(t): closure is 5ℕ.
+        let s = EpSet::singleton(0).saturate_shift(5).unwrap();
+        assert_same(&s, |x| x % 5 == 0, 200, "5ℕ");
+        // Two generators: {0, 3} closed under +5.
+        let s = EpSet::from_finite([0, 3]).saturate_shift(5).unwrap();
+        assert_same(&s, |x| x % 5 == 0 || x % 5 == 3, 200, "two classes");
+        // Saturating an already periodic set by a coprime step floods a
+        // whole tail.
+        let s = EpSet::progression(1, 4).unwrap().saturate_shift(6).unwrap();
+        // classes 1 mod 4 plus +6k: residues mod 12 of {1,5,9} ∪ {7,11,3}…
+        for x in 0..240 {
+            let expect = (1..=x).any(|_| false) || {
+                // brute force: x reachable from some 1+4a by adding 6b
+                (0..=x / 4 + 1).any(|a| {
+                    let base = 1 + 4 * a;
+                    base <= x && (x - base) % 6 == 0
+                })
+            };
+            assert_eq!(s.contains(x), expect, "x={x}");
+        }
+    }
+
+    #[test]
+    fn saturate_zero_or_empty_identity() {
+        let s = EpSet::from_finite([2, 4]);
+        assert_eq!(s.saturate_shift(0).unwrap(), s);
+        assert_eq!(EpSet::empty().saturate_shift(7).unwrap(), EpSet::empty());
+    }
+
+    #[test]
+    fn next_at_or_after() {
+        let s = EpSet::from_parts([2], 10, 4, [1]).unwrap();
+        assert_eq!(s.next_at_or_after(0), Some(2));
+        assert_eq!(s.next_at_or_after(3), Some(13));
+        assert_eq!(s.next_at_or_after(14), Some(17));
+        assert_eq!(EpSet::empty().next_at_or_after(0), None);
+        assert_eq!(EpSet::from_finite([3]).next_at_or_after(4), None);
+    }
+
+    #[test]
+    fn iteration() {
+        let s = EpSet::progression(2, 3).unwrap();
+        let v: Vec<u64> = s.iter_below(12).collect();
+        assert_eq!(v, vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = EpSet::from_parts([1], 4, 3, [2]).unwrap();
+        let txt = s.to_string();
+        assert!(txt.contains('1'), "{txt}");
+        assert!(txt.contains("+3k"), "{txt}");
+        assert_eq!(EpSet::empty().to_string(), "{}");
+    }
+}

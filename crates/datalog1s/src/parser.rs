@@ -1,0 +1,252 @@
+//! Parser for the Datalog1S concrete syntax.
+//!
+//! Same surface style as `itdb-core`, restricted to a single temporal
+//! argument over ℕ:
+//!
+//! ```text
+//! train_leaves[5](liege, brussels).
+//! train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+//! ```
+//!
+//! `%` starts a line comment. Data terms follow the Prolog convention:
+//! uppercase-initial identifiers are variables, everything else (and
+//! `#int`) is a constant.
+
+use crate::ast::{Atom, Clause, DataTerm, Program, Time};
+use itdb_lrp::{DataValue, Error, Result};
+
+/// Parses a program.
+pub fn parse_program(input: &str) -> Result<Program> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let mut clauses = Vec::new();
+    while !p.at_eof() {
+        clauses.push(p.clause()?);
+    }
+    Ok(Program { clauses })
+}
+
+/// Parses a single atom.
+pub fn parse_atom(input: &str) -> Result<Atom> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let a = p.atom()?;
+    if p.at_eof() {
+        Ok(a)
+    } else {
+        Err(Error::Parse {
+            message: "trailing input".into(),
+            offset: p.pos,
+        })
+    }
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            message: m.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphabetic() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            self.err("expected an identifier")
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected a natural number");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or(Error::Parse {
+                message: "number overflows u64".into(),
+                offset: start,
+            })
+    }
+
+    fn time(&mut self) -> Result<Time> {
+        match self.peek() {
+            Some(b) if b.is_ascii_digit() => Ok(Time::Const(self.uint()?)),
+            _ => {
+                let name = self.ident()?;
+                let shift = if self.eat(b'+') { self.uint()? } else { 0 };
+                Ok(Time::Var { name, shift })
+            }
+        }
+    }
+
+    fn dterm(&mut self) -> Result<DataTerm> {
+        self.skip_ws();
+        if self.eat(b'#') {
+            let neg = self.eat(b'-');
+            let v = self.uint()? as i64;
+            return Ok(DataTerm::Const(DataValue::Int(if neg { -v } else { v })));
+        }
+        let name = self.ident()?;
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            Ok(DataTerm::Var(name))
+        } else {
+            Ok(DataTerm::Const(DataValue::sym(&name)))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let negated = self.eat(b'!');
+        let pred = self.ident()?;
+        self.expect(b'[')?;
+        let time = self.time()?;
+        self.expect(b']')?;
+        let mut data = Vec::new();
+        if self.eat(b'(') {
+            if self.peek() != Some(b')') {
+                data.push(self.dterm()?);
+                while self.eat(b',') {
+                    data.push(self.dterm()?);
+                }
+            }
+            self.expect(b')')?;
+        }
+        Ok(Atom {
+            pred,
+            time,
+            data,
+            negated,
+        })
+    }
+
+    fn clause(&mut self) -> Result<Clause> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(b"<-") {
+            self.pos += 2;
+            body.push(self.atom()?);
+            while self.eat(b',') {
+                body.push(self.atom()?);
+            }
+        }
+        self.expect(b'.')?;
+        Ok(Clause { head, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_2_2() {
+        let p = parse_program(
+            "% Example 2.2
+             train_leaves[5](liege, brussels).
+             train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+             train_arrives[t + 60](F, T) <- train_leaves[t](F, T).",
+        )
+        .unwrap();
+        assert_eq!(p.clauses.len(), 3);
+        assert_eq!(p.clauses[0].head.time, Time::Const(5));
+        assert_eq!(
+            p.clauses[1].head.time,
+            Time::Var {
+                name: "t".into(),
+                shift: 40
+            }
+        );
+        assert_eq!(p.clauses[2].head.data[0], DataTerm::Var("F".into()));
+    }
+
+    #[test]
+    fn negative_shift_rejected() {
+        assert!(parse_program("p[t - 1] <- q[t].").is_err());
+    }
+
+    #[test]
+    fn integer_constants_in_data() {
+        let a = parse_atom("p[0](#-3, x)").unwrap();
+        assert_eq!(a.data[0], DataTerm::Const(DataValue::Int(-3)));
+        assert_eq!(a.data[1], DataTerm::Const(DataValue::sym("x")));
+    }
+
+    #[test]
+    fn missing_period_rejected() {
+        assert!(parse_program("p[0]").is_err());
+    }
+
+    #[test]
+    fn atoms_require_time_argument() {
+        assert!(parse_atom("p(x)").is_err());
+        assert!(parse_atom("p[]").is_err());
+    }
+}

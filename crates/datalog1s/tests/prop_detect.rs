@@ -1,0 +1,98 @@
+//! Property-based differential test: the periodicity-detecting streaming
+//! engine against an independent brute-force saturation to a horizon.
+//!
+//! The brute force derives ground facts with no windowing or detection
+//! cleverness; the detected eventually periodic model must agree with it on
+//! every time below the horizon (minus nothing — the stream is causal, so
+//! the brute force is exact on its whole range).
+
+use itdb_datalog1s::{evaluate, parse_program, DetectOptions, ExternalEdb, Program, Time};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    source: String,
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (
+        proptest::collection::vec(0u64..12, 1..4), // seed times
+        proptest::collection::vec((0u8..3, 1u64..7, 0u64..4), 1..4), // rules
+    )
+        .prop_map(|(seeds, rules)| {
+            let mut src = String::new();
+            for s in &seeds {
+                src.push_str(&format!("p0[{s}].\n"));
+            }
+            for (i, (kind, hs, bs)) in rules.iter().enumerate() {
+                let (hi, bi) = (i % 3, (i + 1) % 3);
+                let (hs, bs) = (*hs.max(bs), *bs.min(hs));
+                match kind {
+                    0 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}].\n")),
+                    1 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}], p0[t].\n")),
+                    _ => src.push_str(&format!("p{hi}[t + {hs}] <- p0[t + {bs}].\n")),
+                }
+            }
+            RandomProgram { source: src }
+        })
+}
+
+/// Brute-force ground saturation of a propositional causal program up to
+/// `horizon` (exclusive), from the clause definitions alone.
+fn brute(p: &Program, horizon: u64) -> BTreeSet<(String, u64)> {
+    let mut facts: BTreeSet<(String, u64)> = BTreeSet::new();
+    loop {
+        let mut added = false;
+        for c in &p.clauses {
+            match &c.head.time {
+                Time::Const(hc) => {
+                    if *hc < horizon
+                        && c.body.is_empty()
+                        && facts.insert((c.head.pred.clone(), *hc))
+                    {
+                        added = true;
+                    }
+                }
+                Time::Var { shift: hs, .. } => {
+                    for base in 0..horizon.saturating_sub(*hs) {
+                        let ok = c.body.iter().all(|a| {
+                            let Time::Var { shift, .. } = &a.time else {
+                                return false;
+                            };
+                            facts.contains(&(a.pred.clone(), base + shift))
+                        });
+                        if ok && facts.insert((c.head.pred.clone(), base + hs)) {
+                            added = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !added {
+            return facts;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn detection_agrees_with_brute_force(rp in program_strategy()) {
+        let p = parse_program(&rp.source).unwrap();
+        let m = evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        let horizon = 160u64;
+        let truth = brute(&p, horizon);
+        for pred in ["p0", "p1", "p2"] {
+            let s = m.times(pred, &[]);
+            for t in 0..horizon {
+                prop_assert_eq!(
+                    s.contains(t),
+                    truth.contains(&(pred.to_string(), t)),
+                    "{}: {} at {}", rp.source, pred, t
+                );
+            }
+        }
+    }
+}

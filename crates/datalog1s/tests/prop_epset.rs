@@ -1,0 +1,128 @@
+//! Property-based tests: EpSet operations against pointwise membership,
+//! and the §3.1 representation round trips on random sets.
+
+use itdb_datalog1s::bridge::{epset_to_program, epset_to_relation, relation_to_epset};
+use itdb_datalog1s::{evaluate, DetectOptions, EpSet, ExternalEdb};
+use proptest::prelude::*;
+
+const HORIZON: u64 = 150;
+
+fn epset_strategy() -> impl Strategy<Value = EpSet> {
+    (
+        proptest::collection::btree_set(0u64..20, 0..4),
+        0u64..20,
+        1u64..8,
+        proptest::collection::btree_set(0u64..8, 0..4),
+    )
+        .prop_map(|(initial, offset, period, residues)| {
+            EpSet::from_parts(
+                initial,
+                offset,
+                period,
+                residues.into_iter().map(|r| r % period),
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union / intersection / difference / complement are pointwise.
+    #[test]
+    fn boolean_ops_pointwise(a in epset_strategy(), b in epset_strategy()) {
+        let u = a.union(&b).unwrap();
+        let i = a.intersect(&b).unwrap();
+        let d = a.difference(&b).unwrap();
+        let c = a.complement().unwrap();
+        for x in 0..HORIZON {
+            prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "∪ at {}", x);
+            prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "∩ at {}", x);
+            prop_assert_eq!(d.contains(x), a.contains(x) && !b.contains(x), "\\ at {}", x);
+            prop_assert_eq!(c.contains(x), !a.contains(x), "¬ at {}", x);
+        }
+    }
+
+    /// Canonical equality is semantic equality.
+    #[test]
+    fn equality_semantic(a in epset_strategy(), b in epset_strategy()) {
+        let pointwise = (0..HORIZON * 2).all(|x| a.contains(x) == b.contains(x));
+        // Sets with period ≤ 8 and offset ≤ 20 are determined well below
+        // the doubled horizon, so pointwise agreement is semantic equality.
+        prop_assert_eq!(a == b, pointwise, "{} vs {}", a, b);
+    }
+
+    /// Shifts translate membership.
+    #[test]
+    fn shifts_pointwise(a in epset_strategy(), k in 0u64..10) {
+        let up = a.shift_up(k).unwrap();
+        let down = a.shift_down(k).unwrap();
+        for x in 0..HORIZON {
+            prop_assert_eq!(up.contains(x + k), a.contains(x), "up at {}", x);
+            prop_assert_eq!(down.contains(x), a.contains(x + k), "down at {}", x);
+        }
+        for x in 0..k {
+            prop_assert!(!up.contains(x), "up below shift at {}", x);
+        }
+        // Round trip through up then down is the identity.
+        prop_assert_eq!(&up.shift_down(k).unwrap(), &a);
+    }
+
+    /// Downward closure is the ◇ semantics.
+    #[test]
+    fn downward_closure_pointwise(a in epset_strategy()) {
+        let dc = a.downward_closure();
+        for x in 0..HORIZON {
+            let expect = if a.is_finite() {
+                a.max_finite().is_some_and(|m| x <= m)
+            } else {
+                true
+            };
+            prop_assert_eq!(dc.contains(x), expect, "at {}", x);
+        }
+    }
+
+    /// Saturation under +c is the least fixpoint of the shift rule.
+    #[test]
+    fn saturation_pointwise(a in epset_strategy(), c in 1u64..7) {
+        let s = a.saturate_shift(c).unwrap();
+        for x in 0..HORIZON {
+            // x ∈ s iff some x − kc ∈ a.
+            let expect = (0..=x / c).any(|k| a.contains(x - k * c));
+            prop_assert_eq!(s.contains(x), expect, "at {}", x);
+        }
+    }
+
+    /// next_at_or_after returns the minimum element ≥ x.
+    #[test]
+    fn next_at_or_after_minimal(a in epset_strategy(), x in 0u64..60) {
+        match a.next_at_or_after(x) {
+            Some(v) => {
+                prop_assert!(v >= x && a.contains(v));
+                for y in x..v {
+                    prop_assert!(!a.contains(y), "skipped {}", y);
+                }
+            }
+            None => {
+                for y in x..HORIZON {
+                    prop_assert!(!a.contains(y), "missed {}", y);
+                }
+                prop_assert!(a.is_finite());
+            }
+        }
+    }
+
+    /// §3.1 round trips: EpSet → generalized relation → EpSet and
+    /// EpSet → Datalog1S program → minimal model.
+    #[test]
+    fn representation_roundtrips(a in epset_strategy()) {
+        let rel = epset_to_relation(&a).unwrap();
+        prop_assert_eq!(&relation_to_epset(&rel, 1 << 16).unwrap(), &a);
+        for x in 0..HORIZON {
+            prop_assert_eq!(rel.contains(&[x as i64], &[]), a.contains(x), "rel at {}", x);
+        }
+        let prog = epset_to_program("p", &a).unwrap();
+        let m = evaluate(&prog, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        prop_assert_eq!(&m.times("p", &[]), &a);
+    }
+}

@@ -1,0 +1,286 @@
+//! Abstract syntax of the \[KSW90\] first-order query language (§2.1, §3.2).
+//!
+//! A partially interpreted first-order logic: relation atoms over
+//! generalized relations, interpreted comparisons (`<`, `=`, `+c`) on the
+//! temporal sort, equality on the uninterpreted data sort, the boolean
+//! connectives *including negation*, and quantifiers over both sorts — but
+//! **no recursion**, which is exactly why its query expressiveness stops at
+//! the star-free ω-regular languages (§3.2).
+//!
+//! Variable sorts follow the conventions of the sibling crates: lowercase
+//! identifiers are temporal variables, uppercase ones are data variables.
+//! Temporal variables range over ℤ; data variables over the active domain.
+
+use itdb_lrp::DataValue;
+use std::fmt;
+
+/// A temporal term: variable plus offset, or constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TTerm {
+    /// `v + offset`.
+    Var {
+        /// Variable name (lowercase).
+        name: String,
+        /// Offset (iterated `+1` / `−1`).
+        offset: i64,
+    },
+    /// An integer constant.
+    Const(i64),
+}
+
+impl fmt::Display for TTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TTerm::Var { name, offset: 0 } => write!(f, "{name}"),
+            TTerm::Var { name, offset } if *offset > 0 => write!(f, "{name} + {offset}"),
+            TTerm::Var { name, offset } => write!(f, "{name} - {}", -offset),
+            TTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A data term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DTerm {
+    /// A data variable (uppercase).
+    Var(String),
+    /// A data constant.
+    Const(DataValue),
+}
+
+impl fmt::Display for DTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTerm::Var(v) => write!(f, "{v}"),
+            DTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Comparison operators on the temporal sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Relation atom `r[τ₁, …](d₁, …)`.
+    Atom {
+        /// Relation name.
+        pred: String,
+        /// Temporal arguments.
+        temporal: Vec<TTerm>,
+        /// Data arguments.
+        data: Vec<DTerm>,
+    },
+    /// Interpreted comparison on temporal terms.
+    Cmp {
+        /// Left term.
+        lhs: TTerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        rhs: TTerm,
+    },
+    /// Periodicity (congruence) predicate `τ mod m = r` — the lrp-style
+    /// periodicity constraints of \[KSW90\] surfaced in the query language.
+    Mod {
+        /// The constrained term.
+        term: TTerm,
+        /// The modulus (≥ 1).
+        modulus: i64,
+        /// The required residue.
+        residue: i64,
+    },
+    /// Equality on the data sort.
+    DataEq(DTerm, DTerm),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification over (mixed-sort) variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over (mixed-sort) variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+/// Is `name` a data variable (uppercase-initial)?
+pub fn is_data_var(name: &str) -> bool {
+    name.as_bytes()
+        .first()
+        .is_some_and(|b| b.is_ascii_uppercase())
+}
+
+impl Formula {
+    /// Free temporal and data variables, each in first-occurrence order.
+    pub fn free_vars(&self) -> (Vec<String>, Vec<String>) {
+        let mut tv = Vec::new();
+        let mut dv = Vec::new();
+        self.collect_free(&mut tv, &mut dv, &mut Vec::new());
+        (tv, dv)
+    }
+
+    fn collect_free(&self, tv: &mut Vec<String>, dv: &mut Vec<String>, bound: &mut Vec<String>) {
+        let add_t = |n: &str, bound: &[String], tv: &mut Vec<String>| {
+            if !bound.iter().any(|b| b == n) && !tv.iter().any(|v| v == n) {
+                tv.push(n.to_string());
+            }
+        };
+        let add_d = |n: &str, bound: &[String], dv: &mut Vec<String>| {
+            if !bound.iter().any(|b| b == n) && !dv.iter().any(|v| v == n) {
+                dv.push(n.to_string());
+            }
+        };
+        match self {
+            Formula::Atom { temporal, data, .. } => {
+                for t in temporal {
+                    if let TTerm::Var { name, .. } = t {
+                        add_t(name, bound, tv);
+                    }
+                }
+                for d in data {
+                    if let DTerm::Var(name) = d {
+                        add_d(name, bound, dv);
+                    }
+                }
+            }
+            Formula::Cmp { lhs, rhs, .. } => {
+                for t in [lhs, rhs] {
+                    if let TTerm::Var { name, .. } = t {
+                        add_t(name, bound, tv);
+                    }
+                }
+            }
+            Formula::Mod { term, .. } => {
+                if let TTerm::Var { name, .. } = term {
+                    add_t(name, bound, tv);
+                }
+            }
+            Formula::DataEq(a, b) => {
+                for d in [a, b] {
+                    if let DTerm::Var(name) = d {
+                        add_d(name, bound, dv);
+                    }
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free(tv, dv, bound);
+                b.collect_free(tv, dv, bound);
+            }
+            Formula::Not(a) => a.collect_free(tv, dv, bound),
+            Formula::Exists(vars, a) | Formula::Forall(vars, a) => {
+                let n = bound.len();
+                bound.extend(vars.iter().cloned());
+                a.collect_free(tv, dv, bound);
+                bound.truncate(n);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom {
+                pred,
+                temporal,
+                data,
+            } => {
+                write!(f, "{pred}[")?;
+                for (i, t) in temporal.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")?;
+                if !data.is_empty() {
+                    write!(f, "(")?;
+                    for (i, d) in data.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{d}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Formula::Mod {
+                term,
+                modulus,
+                residue,
+            } => {
+                write!(f, "{term} mod {modulus} = {residue}")
+            }
+            Formula::DataEq(a, b) => write!(f, "{a} = {b}"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Not(a) => write!(f, "!{a}"),
+            Formula::Exists(vars, a) => write!(f, "exists {}. {a}", vars.join(", ")),
+            Formula::Forall(vars, a) => write!(f, "forall {}. {a}", vars.join(", ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn free_vars_ordered() {
+        let f = parse_formula("exists t2. (train[t1, t2](F, brussels) & t1 < t3)").unwrap();
+        let (tv, dv) = f.free_vars();
+        assert_eq!(tv, vec!["t1", "t3"]);
+        assert_eq!(dv, vec!["F"]);
+    }
+
+    #[test]
+    fn bound_vars_shadow() {
+        let f = parse_formula("p[t] & exists t. q[t]").unwrap();
+        let (tv, _) = f.free_vars();
+        assert_eq!(tv, vec!["t"]);
+    }
+
+    #[test]
+    fn sort_convention() {
+        assert!(is_data_var("From"));
+        assert!(!is_data_var("t1"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "exists t2. (train[t1, t2](liege, X) & t2 < t1 + 90)";
+        let f = parse_formula(src).unwrap();
+        let g = parse_formula(&f.to_string()).unwrap();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,965 @@
+//! Closed-form evaluation of first-order queries.
+//!
+//! Because generalized relations are closed under union, intersection,
+//! complement (De Morgan on lrps and difference bounds) and projection, the
+//! **full** first-order language is evaluable — no range-restriction or
+//! safety condition is needed, unlike classical relational calculus. The
+//! temporal sort quantifies over all of ℤ; the data sort quantifies over
+//! the *active domain* (constants of the database plus the query), the
+//! standard choice for uninterpreted columns.
+//!
+//! Answers come back as generalized relations over the query's free
+//! variables — finitely representable even when infinite, exactly as the
+//! paper requires of \[KSW90\] query answers.
+
+use crate::ast::{is_data_var, CmpOp, DTerm, Formula, TTerm};
+use itdb_lrp::{
+    algebra, parser as lrp_parser, Constraint, DataValue, Error, GeneralizedRelation,
+    GeneralizedTuple, Lrp, Result, Schema, Var, Zone, DEFAULT_RESIDUE_BUDGET,
+};
+use std::collections::BTreeMap;
+
+/// A named collection of generalized relations queried by formulas.
+#[derive(Debug, Clone, Default)]
+pub struct FoDatabase {
+    relations: BTreeMap<String, GeneralizedRelation>,
+}
+
+impl FoDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        FoDatabase::default()
+    }
+
+    /// Adds a relation.
+    pub fn insert(&mut self, name: impl Into<String>, rel: GeneralizedRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Adds a relation from the textual tuple format.
+    pub fn insert_parsed(&mut self, name: impl Into<String>, text: &str) -> Result<()> {
+        self.relations
+            .insert(name.into(), lrp_parser::parse_relation(text)?);
+        Ok(())
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Option<&GeneralizedRelation> {
+        self.relations.get(name)
+    }
+
+    /// The active data domain: every data constant in any relation.
+    pub fn active_domain(&self) -> Vec<DataValue> {
+        let mut out: Vec<DataValue> = Vec::new();
+        for rel in self.relations.values() {
+            for t in rel.tuples() {
+                for d in t.data() {
+                    if !out.contains(d) {
+                        out.push(d.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct FoOptions {
+    /// Residue budget for the exact zone operations.
+    pub budget: u64,
+    /// Normalize intermediate relations at negation/quantifier nodes
+    /// (slower per node, smaller representations).
+    pub normalize: bool,
+}
+
+impl Default for FoOptions {
+    fn default() -> Self {
+        FoOptions {
+            budget: DEFAULT_RESIDUE_BUDGET,
+            normalize: true,
+        }
+    }
+}
+
+/// A query answer: a generalized relation whose temporal columns are the
+/// query's free temporal variables (in first-occurrence order) and whose
+/// data columns are its free data variables.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The answer relation.
+    pub relation: GeneralizedRelation,
+    /// Names of the temporal columns.
+    pub tvars: Vec<String>,
+    /// Names of the data columns.
+    pub dvars: Vec<String>,
+}
+
+impl QueryResult {
+    /// Membership of a concrete assignment.
+    pub fn contains(&self, temporal: &[i64], data: &[DataValue]) -> bool {
+        self.relation.contains(temporal, data)
+    }
+}
+
+/// Evaluates a formula against a database.
+pub fn evaluate(f: &Formula, db: &FoDatabase, opts: &FoOptions) -> Result<QueryResult> {
+    let mut domain = db.active_domain();
+    collect_formula_constants(f, &mut domain);
+    let (tvars, dvars) = f.free_vars();
+    let relation = eval(f, db, &domain, opts)?.align(&tvars, &dvars, &domain, opts)?;
+    Ok(QueryResult {
+        relation,
+        tvars,
+        dvars,
+    })
+}
+
+/// Evaluates a sentence (no free variables) as a yes/no query.
+pub fn ask(f: &Formula, db: &FoDatabase, opts: &FoOptions) -> Result<bool> {
+    let (tv, dv) = f.free_vars();
+    if !tv.is_empty() || !dv.is_empty() {
+        return Err(Error::Eval(format!(
+            "ask() needs a sentence; free variables: {:?} {:?}",
+            tv, dv
+        )));
+    }
+    let r = evaluate(f, db, opts)?;
+    Ok(!r.relation.is_empty_semantic(opts.budget)?)
+}
+
+fn collect_formula_constants(f: &Formula, out: &mut Vec<DataValue>) {
+    let mut push = |d: &DTerm| {
+        if let DTerm::Const(c) = d {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+    };
+    match f {
+        Formula::Atom { data, .. } => data.iter().for_each(&mut push),
+        Formula::DataEq(a, b) => {
+            push(a);
+            push(b);
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_formula_constants(a, out);
+            collect_formula_constants(b, out);
+        }
+        Formula::Not(a) | Formula::Exists(_, a) | Formula::Forall(_, a) => {
+            collect_formula_constants(a, out)
+        }
+        Formula::Cmp { .. } | Formula::Mod { .. } => {}
+    }
+}
+
+/// An intermediate result: a relation tagged with its column names.
+struct Tagged {
+    rel: GeneralizedRelation,
+    tvars: Vec<String>,
+    dvars: Vec<String>,
+}
+
+impl Tagged {
+    /// Extends and reorders the relation to the given column lists
+    /// (missing temporal columns become unconstrained; missing data columns
+    /// take every active-domain value).
+    fn align(
+        self,
+        tvars: &[String],
+        dvars: &[String],
+        domain: &[DataValue],
+        _opts: &FoOptions,
+    ) -> Result<GeneralizedRelation> {
+        let mut rel = self.rel;
+        let mut cur_t = self.tvars;
+        let mut cur_d = self.dvars;
+        // Append missing temporal columns (unconstrained).
+        let missing_t: Vec<&String> = tvars.iter().filter(|v| !cur_t.contains(v)).collect();
+        if !missing_t.is_empty() {
+            let top = GeneralizedRelation::from_tuples(
+                Schema::new(missing_t.len(), 0),
+                vec![GeneralizedTuple::new(Zone::top(missing_t.len()), vec![])],
+            )?;
+            rel = algebra::product(&rel, &top)?;
+            cur_t.extend(missing_t.into_iter().cloned());
+        }
+        // Append missing data columns (active domain).
+        let missing_d: Vec<&String> = dvars.iter().filter(|v| !cur_d.contains(v)).collect();
+        if !missing_d.is_empty() {
+            let mut dom_rel = GeneralizedRelation::empty(Schema::new(0, missing_d.len()));
+            let mut combos: Vec<Vec<DataValue>> = vec![vec![]];
+            for _ in 0..missing_d.len() {
+                combos = combos
+                    .into_iter()
+                    .flat_map(|c| {
+                        domain.iter().map(move |d| {
+                            let mut c2 = c.clone();
+                            c2.push(d.clone());
+                            c2
+                        })
+                    })
+                    .collect();
+            }
+            for c in combos {
+                dom_rel.insert(GeneralizedTuple::new(Zone::top(0), c))?;
+            }
+            rel = algebra::product(&rel, &dom_rel)?;
+            cur_d.extend(missing_d.into_iter().cloned());
+        }
+        // Reorder to the target column order.
+        let t_perm: Vec<usize> = tvars
+            .iter()
+            .map(|v| cur_t.iter().position(|c| c == v).expect("aligned"))
+            .collect();
+        let d_perm: Vec<usize> = dvars
+            .iter()
+            .map(|v| cur_d.iter().position(|c| c == v).expect("aligned"))
+            .collect();
+        algebra::permute(&rel, &t_perm, &d_perm)
+    }
+}
+
+fn eval(f: &Formula, db: &FoDatabase, domain: &[DataValue], opts: &FoOptions) -> Result<Tagged> {
+    match f {
+        Formula::Atom {
+            pred,
+            temporal,
+            data,
+        } => eval_atom(pred, temporal, data, db, opts),
+        Formula::Cmp { lhs, op, rhs } => eval_cmp(lhs, *op, rhs),
+        Formula::Mod {
+            term,
+            modulus,
+            residue,
+        } => eval_mod(term, *modulus, *residue),
+        Formula::DataEq(a, b) => eval_data_eq(a, b, domain),
+        Formula::And(a, b) => {
+            let ta = eval(a, db, domain, opts)?;
+            let tb = eval(b, db, domain, opts)?;
+            let (tvars, dvars) = merged_vars(&ta, &tb);
+            let ra = ta.align(&tvars, &dvars, domain, opts)?;
+            let rb = tb.align(&tvars, &dvars, domain, opts)?;
+            Ok(Tagged {
+                rel: algebra::intersection(&ra, &rb)?,
+                tvars,
+                dvars,
+            })
+        }
+        Formula::Or(a, b) => {
+            let ta = eval(a, db, domain, opts)?;
+            let tb = eval(b, db, domain, opts)?;
+            let (tvars, dvars) = merged_vars(&ta, &tb);
+            let ra = ta.align(&tvars, &dvars, domain, opts)?;
+            let rb = tb.align(&tvars, &dvars, domain, opts)?;
+            Ok(Tagged {
+                rel: algebra::union(&ra, &rb)?,
+                tvars,
+                dvars,
+            })
+        }
+        Formula::Not(a) => {
+            let ta = eval(a, db, domain, opts)?;
+            let (tvars, dvars) = (ta.tvars.clone(), ta.dvars.clone());
+            let data_combos = combos(domain, dvars.len());
+            let mut rel = algebra::complement(&ta.rel, &data_combos, opts.budget)?;
+            if opts.normalize {
+                rel.normalize(opts.budget)?;
+            }
+            Ok(Tagged { rel, tvars, dvars })
+        }
+        Formula::Exists(vars, a) => {
+            let ta = eval(a, db, domain, opts)?;
+            project_out(ta, vars, opts)
+        }
+        Formula::Forall(vars, a) => {
+            // ∀x φ ≡ ¬∃x ¬φ.
+            let ta = eval(a, db, domain, opts)?;
+            let (tvars, dvars) = (ta.tvars.clone(), ta.dvars.clone());
+            let mut neg = algebra::complement(&ta.rel, &combos(domain, dvars.len()), opts.budget)?;
+            if opts.normalize {
+                neg.normalize(opts.budget)?;
+            }
+            let projected = project_out(
+                Tagged {
+                    rel: neg,
+                    tvars,
+                    dvars,
+                },
+                vars,
+                opts,
+            )?;
+            let (tvars, dvars) = (projected.tvars.clone(), projected.dvars.clone());
+            let mut rel =
+                algebra::complement(&projected.rel, &combos(domain, dvars.len()), opts.budget)?;
+            if opts.normalize {
+                rel.normalize(opts.budget)?;
+            }
+            Ok(Tagged { rel, tvars, dvars })
+        }
+    }
+}
+
+fn combos(domain: &[DataValue], n: usize) -> Vec<Vec<DataValue>> {
+    let mut out: Vec<Vec<DataValue>> = vec![vec![]];
+    for _ in 0..n {
+        out = out
+            .into_iter()
+            .flat_map(|c| {
+                domain.iter().map(move |d| {
+                    let mut c2 = c.clone();
+                    c2.push(d.clone());
+                    c2
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+fn merged_vars(a: &Tagged, b: &Tagged) -> (Vec<String>, Vec<String>) {
+    let mut tvars = a.tvars.clone();
+    for v in &b.tvars {
+        if !tvars.contains(v) {
+            tvars.push(v.clone());
+        }
+    }
+    let mut dvars = a.dvars.clone();
+    for v in &b.dvars {
+        if !dvars.contains(v) {
+            dvars.push(v.clone());
+        }
+    }
+    (tvars, dvars)
+}
+
+fn project_out(t: Tagged, vars: &[String], opts: &FoOptions) -> Result<Tagged> {
+    let keep_t: Vec<usize> = (0..t.tvars.len())
+        .filter(|&i| !vars.contains(&t.tvars[i]))
+        .collect();
+    let keep_d: Vec<usize> = (0..t.dvars.len())
+        .filter(|&i| !vars.contains(&t.dvars[i]))
+        .collect();
+    let mut rel = algebra::project(&t.rel, &keep_t, &keep_d, opts.budget)?;
+    if opts.normalize {
+        rel.normalize(opts.budget)?;
+    }
+    Ok(Tagged {
+        rel,
+        tvars: keep_t.iter().map(|&i| t.tvars[i].clone()).collect(),
+        dvars: keep_d.iter().map(|&i| t.dvars[i].clone()).collect(),
+    })
+}
+
+fn eval_atom(
+    pred: &str,
+    temporal: &[TTerm],
+    data: &[DTerm],
+    db: &FoDatabase,
+    opts: &FoOptions,
+) -> Result<Tagged> {
+    let rel = db
+        .get(pred)
+        .ok_or_else(|| Error::Eval(format!("unknown relation `{pred}`")))?;
+    let schema = rel.schema();
+    if temporal.len() != schema.temporal || data.len() != schema.data {
+        return Err(Error::SchemaMismatch(format!(
+            "atom {pred} has arities ({}, {}) but the relation is {}",
+            temporal.len(),
+            data.len(),
+            schema
+        )));
+    }
+    // Column names: distinct variables in first-occurrence order.
+    let mut tvars: Vec<String> = Vec::new();
+    for t in temporal {
+        if let TTerm::Var { name, .. } = t {
+            if !tvars.contains(name) {
+                tvars.push(name.clone());
+            }
+        }
+    }
+    let mut dvars: Vec<String> = Vec::new();
+    for d in data {
+        if let DTerm::Var(name) = d {
+            if !dvars.contains(name) {
+                dvars.push(name.clone());
+            }
+        }
+    }
+    let mut out = GeneralizedRelation::empty(Schema::new(tvars.len(), dvars.len()));
+    'tuples: for tuple in rel.tuples() {
+        // Data filter / binding.
+        let mut binding: BTreeMap<&str, &DataValue> = BTreeMap::new();
+        for (pos, term) in data.iter().enumerate() {
+            let val = &tuple.data()[pos];
+            match term {
+                DTerm::Const(c) => {
+                    if c != val {
+                        continue 'tuples;
+                    }
+                }
+                DTerm::Var(v) => match binding.get(v.as_str()) {
+                    Some(b) if *b != val => continue 'tuples,
+                    _ => {
+                        binding.insert(v, val);
+                    }
+                },
+            }
+        }
+        // Temporal transfer onto the variable columns.
+        let n = tvars.len();
+        let mut lrps = vec![Lrp::all_integers(); n];
+        let mut dbm = itdb_lrp::Dbm::unconstrained(n);
+        let var_of = |p: usize| -> Option<(usize, i64)> {
+            match &temporal[p] {
+                TTerm::Var { name, offset } => {
+                    Some((tvars.iter().position(|v| v == name).expect("tvar"), *offset))
+                }
+                TTerm::Const(_) => None,
+            }
+        };
+        let mut ok = true;
+        for (pos, term) in temporal.iter().enumerate() {
+            let col = tuple.zone().lrp(pos);
+            match term {
+                TTerm::Var { offset, .. } => {
+                    let (v, _) = var_of(pos).expect("var");
+                    let shifted = col.shift(offset.checked_neg().ok_or(Error::Overflow)?)?;
+                    match lrps[v].intersect(&shifted)? {
+                        Some(meet) => lrps[v] = meet,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                TTerm::Const(c) => {
+                    if !col.contains(*c) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue 'tuples;
+        }
+        // Transfer the tuple's difference bounds; positions map to
+        // (variable, offset) or to pinned constants.
+        for (i, j, c) in tuple.zone().dbm().finite_bounds() {
+            // Matrix index a > 0 is column a−1; encode each side as either
+            // (clause matrix index, offset) or an absolute constant.
+            enum Side {
+                Var(usize, i64),
+                Const(i64),
+            }
+            let side = |a: usize| -> Side {
+                if a == 0 {
+                    return Side::Const(0);
+                }
+                match &temporal[a - 1] {
+                    TTerm::Var { name, offset } => Side::Var(
+                        tvars.iter().position(|v| v == name).expect("tvar") + 1,
+                        *offset,
+                    ),
+                    TTerm::Const(k) => Side::Const(*k),
+                }
+            };
+            match (side(i), side(j)) {
+                (Side::Var(mi, si), Side::Var(mj, sj)) => {
+                    if mi == mj {
+                        // x_i − x_j = s_i − s_j ≤ c must hold outright.
+                        if si.saturating_sub(sj) > c {
+                            ok = false;
+                            break;
+                        }
+                    } else {
+                        dbm.add_le(mi, mj, c.saturating_sub(si).saturating_add(sj));
+                    }
+                }
+                (Side::Var(mi, si), Side::Const(k)) => {
+                    // x_i − k ≤ c with x_i = v + si.
+                    dbm.add_le(mi, 0, c.saturating_add(k).saturating_sub(si));
+                }
+                (Side::Const(k), Side::Var(mj, sj)) => {
+                    dbm.add_le(0, mj, c.saturating_sub(k).saturating_add(sj));
+                }
+                (Side::Const(k1), Side::Const(k2)) => {
+                    if k1 - k2 > c {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue 'tuples;
+        }
+        let zone = Zone::from_parts(lrps, dbm)?;
+        if zone.is_empty(opts.budget)? {
+            continue;
+        }
+        let dvals: Vec<DataValue> = dvars
+            .iter()
+            .map(|v| (*binding[v.as_str()]).clone())
+            .collect();
+        out.insert(GeneralizedTuple::new(zone, dvals))?;
+    }
+    Ok(Tagged {
+        rel: out,
+        tvars,
+        dvars,
+    })
+}
+
+fn eval_cmp(lhs: &TTerm, op: CmpOp, rhs: &TTerm) -> Result<Tagged> {
+    let mut tvars: Vec<String> = Vec::new();
+    let var_idx = |t: &TTerm, tvars: &mut Vec<String>| -> Option<(usize, i64)> {
+        match t {
+            TTerm::Var { name, offset } => {
+                let i = match tvars.iter().position(|v| v == name) {
+                    Some(i) => i,
+                    None => {
+                        tvars.push(name.clone());
+                        tvars.len() - 1
+                    }
+                };
+                Some((i, *offset))
+            }
+            TTerm::Const(_) => None,
+        }
+    };
+    let l = var_idx(lhs, &mut tvars);
+    let r = var_idx(rhs, &mut tvars);
+    let n = tvars.len();
+    let mut zone = Zone::top(n);
+    let sub = |a: i64, b: i64| a.checked_sub(b).ok_or(Error::Overflow);
+    match (l, r) {
+        (Some((v1, c1)), Some((v2, c2))) if v1 != v2 => {
+            let c = sub(c2, c1)?;
+            let constraint = match op {
+                CmpOp::Lt => Constraint::LtVar(Var(v1), Var(v2), c),
+                CmpOp::Le => Constraint::LeVar(Var(v1), Var(v2), c),
+                CmpOp::Eq => Constraint::EqVar(Var(v1), Var(v2), c),
+                CmpOp::Ge => Constraint::LeVar(Var(v2), Var(v1), sub(c1, c2)?),
+                CmpOp::Gt => Constraint::LtVar(Var(v2), Var(v1), sub(c1, c2)?),
+            };
+            zone.add_constraint(constraint)?;
+        }
+        (Some((_v1, c1)), Some((_, c2))) => {
+            // Same variable on both sides: a constant truth value.
+            let holds = cmp_holds(c1, op, c2);
+            if !holds {
+                return empty_tagged(tvars);
+            }
+        }
+        (Some((v, c1)), None) => {
+            let TTerm::Const(k) = rhs else { unreachable!() };
+            let k = sub(*k, c1)?;
+            let constraint = match op {
+                CmpOp::Lt => Constraint::LtConst(Var(v), k),
+                CmpOp::Le => Constraint::LeConst(Var(v), k),
+                CmpOp::Eq => Constraint::EqConst(Var(v), k),
+                CmpOp::Ge => Constraint::GeConst(Var(v), k),
+                CmpOp::Gt => Constraint::GtConst(Var(v), k),
+            };
+            zone.add_constraint(constraint)?;
+        }
+        (None, Some((v, c2))) => {
+            let TTerm::Const(k) = lhs else { unreachable!() };
+            let k = sub(*k, c2)?;
+            let constraint = match op {
+                CmpOp::Lt => Constraint::GtConst(Var(v), k),
+                CmpOp::Le => Constraint::GeConst(Var(v), k),
+                CmpOp::Eq => Constraint::EqConst(Var(v), k),
+                CmpOp::Ge => Constraint::LeConst(Var(v), k),
+                CmpOp::Gt => Constraint::LtConst(Var(v), k),
+            };
+            zone.add_constraint(constraint)?;
+        }
+        (None, None) => {
+            let (TTerm::Const(a), TTerm::Const(b)) = (lhs, rhs) else {
+                unreachable!()
+            };
+            if !cmp_holds(*a, op, *b) {
+                return empty_tagged(tvars);
+            }
+        }
+    }
+    let rel = GeneralizedRelation::from_tuples(
+        Schema::new(n, 0),
+        vec![GeneralizedTuple::new(zone, vec![])],
+    )?;
+    Ok(Tagged {
+        rel,
+        tvars,
+        dvars: vec![],
+    })
+}
+
+/// `τ mod m = r`: a one-column relation whose lrp is the residue class —
+/// the \[KSW90\] periodicity constraint as a first-class query atom.
+fn eval_mod(term: &TTerm, modulus: i64, residue: i64) -> Result<Tagged> {
+    if modulus < 1 {
+        return Err(Error::Eval(format!(
+            "modulus must be positive, got {modulus}"
+        )));
+    }
+    match term {
+        TTerm::Const(c) => {
+            let mut rel = GeneralizedRelation::empty(Schema::new(0, 0));
+            if c.rem_euclid(modulus) == residue.rem_euclid(modulus) {
+                rel.insert(GeneralizedTuple::new(Zone::top(0), vec![]))?;
+            }
+            Ok(Tagged {
+                rel,
+                tvars: vec![],
+                dvars: vec![],
+            })
+        }
+        TTerm::Var { name, offset } => {
+            // (v + offset) ≡ residue (mod m) ⟺ v ∈ lrp(m, residue − offset).
+            let lrp = Lrp::new(
+                modulus,
+                residue.checked_sub(*offset).ok_or(Error::Overflow)?,
+            )?;
+            let rel = GeneralizedRelation::from_tuples(
+                Schema::new(1, 0),
+                vec![GeneralizedTuple::new(Zone::new(vec![lrp]), vec![])],
+            )?;
+            Ok(Tagged {
+                rel,
+                tvars: vec![name.clone()],
+                dvars: vec![],
+            })
+        }
+    }
+}
+
+fn empty_tagged(tvars: Vec<String>) -> Result<Tagged> {
+    Ok(Tagged {
+        rel: GeneralizedRelation::empty(Schema::new(tvars.len(), 0)),
+        tvars,
+        dvars: vec![],
+    })
+}
+
+fn cmp_holds(a: i64, op: CmpOp, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Gt => a > b,
+    }
+}
+
+fn eval_data_eq(a: &DTerm, b: &DTerm, domain: &[DataValue]) -> Result<Tagged> {
+    match (a, b) {
+        (DTerm::Const(x), DTerm::Const(y)) => {
+            let mut rel = GeneralizedRelation::empty(Schema::new(0, 0));
+            if x == y {
+                rel.insert(GeneralizedTuple::new(Zone::top(0), vec![]))?;
+            }
+            Ok(Tagged {
+                rel,
+                tvars: vec![],
+                dvars: vec![],
+            })
+        }
+        (DTerm::Var(v), DTerm::Const(c)) | (DTerm::Const(c), DTerm::Var(v)) => {
+            let rel = GeneralizedRelation::from_tuples(
+                Schema::new(0, 1),
+                vec![GeneralizedTuple::new(Zone::top(0), vec![c.clone()])],
+            )?;
+            Ok(Tagged {
+                rel,
+                tvars: vec![],
+                dvars: vec![v.clone()],
+            })
+        }
+        (DTerm::Var(v1), DTerm::Var(v2)) if v1 == v2 => {
+            // x = x: the universe over one data column.
+            let mut rel = GeneralizedRelation::empty(Schema::new(0, 1));
+            for d in domain {
+                rel.insert(GeneralizedTuple::new(Zone::top(0), vec![d.clone()]))?;
+            }
+            Ok(Tagged {
+                rel,
+                tvars: vec![],
+                dvars: vec![v1.clone()],
+            })
+        }
+        (DTerm::Var(v1), DTerm::Var(v2)) => {
+            let mut rel = GeneralizedRelation::empty(Schema::new(0, 2));
+            for d in domain {
+                rel.insert(GeneralizedTuple::new(
+                    Zone::top(0),
+                    vec![d.clone(), d.clone()],
+                ))?;
+            }
+            Ok(Tagged {
+                rel,
+                tvars: vec![],
+                dvars: vec![v1.clone(), v2.clone()],
+            })
+        }
+    }
+}
+
+/// Checks the variable-sort convention: quantified variable lists may mix
+/// sorts, but each name's sort comes from its capitalization. Exposed for
+/// diagnostics.
+pub fn sorts_of(vars: &[String]) -> (Vec<&String>, Vec<&String>) {
+    vars.iter().partition(|v| !is_data_var(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn train_db() -> FoDatabase {
+        let mut db = FoDatabase::new();
+        // Example 2.1, plus a second line Brussels → Antwerp.
+        db.insert_parsed(
+            "train",
+            "(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60\n\
+             (40n+20, 40n+55; brussels, antwerp) : T1 >= 0, T2 = T1 + 35",
+        )
+        .unwrap();
+        db
+    }
+
+    fn opts() -> FoOptions {
+        FoOptions::default()
+    }
+
+    #[test]
+    fn atom_selection_with_constants() {
+        let db = train_db();
+        let f = parse_formula("train[t1, t2](liege, brussels)").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert_eq!(r.tvars, vec!["t1", "t2"]);
+        assert!(r.contains(&[5, 65], &[]));
+        assert!(r.contains(&[45, 105], &[]));
+        assert!(!r.contains(&[20, 55], &[])); // that's the Antwerp line
+        assert!(!r.contains(&[5, 66], &[]));
+    }
+
+    #[test]
+    fn data_variables_in_answers() {
+        let db = train_db();
+        let f = parse_formula("train[t1, t2](F, T)").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert_eq!(r.dvars, vec!["F", "T"]);
+        assert!(r.contains(
+            &[5, 65],
+            &[DataValue::sym("liege"), DataValue::sym("brussels")]
+        ));
+        assert!(r.contains(
+            &[20, 55],
+            &[DataValue::sym("brussels"), DataValue::sym("antwerp")]
+        ));
+        assert!(!r.contains(
+            &[5, 65],
+            &[DataValue::sym("brussels"), DataValue::sym("antwerp")]
+        ));
+    }
+
+    #[test]
+    fn exists_projects() {
+        let db = train_db();
+        // Departure times towards Brussels.
+        let f = parse_formula("exists t2. train[t1, t2](liege, brussels)").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert_eq!(r.tvars, vec!["t1"]);
+        assert!(r.contains(&[5], &[]));
+        assert!(r.contains(&[85], &[]));
+        assert!(!r.contains(&[6], &[]));
+        assert!(!r.contains(&[-35], &[]));
+    }
+
+    #[test]
+    fn conjunction_joins_on_shared_variables() {
+        let db = train_db();
+        // Connections: arrive in brussels at t2, depart to antwerp at t3 ≥ t2.
+        let f = parse_formula(
+            "exists t1. (train[t1, t2](liege, brussels)) & exists t4. (train[t3, t4](brussels, antwerp) & t2 <= t3)",
+        )
+        .unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert_eq!(r.tvars, vec!["t2", "t3"]);
+        // Arrive 65; Antwerp departures (40n+20, n ≥ 0) at or after 65:
+        // 100, 140, …
+        assert!(r.contains(&[65, 100], &[]));
+        assert!(r.contains(&[65, 140], &[]));
+        assert!(!r.contains(&[65, 60], &[])); // departs before arrival
+        assert!(!r.contains(&[66, 100], &[])); // not an arrival time
+    }
+
+    #[test]
+    fn negation_over_temporal_column() {
+        let mut db = FoDatabase::new();
+        db.insert_parsed("evens", "(2n)").unwrap();
+        let f = parse_formula("!evens[t]").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        for t in -10..10 {
+            assert_eq!(r.contains(&[t], &[]), t.rem_euclid(2) == 1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn forall_sentence() {
+        let mut db = FoDatabase::new();
+        db.insert_parsed("evens", "(2n)").unwrap();
+        db.insert_parsed("ints", "(n)").unwrap();
+        // Every even is an integer: true.
+        let f = parse_formula("forall t. (evens[t] -> ints[t])").unwrap();
+        assert!(ask(&f, &db, &opts()).unwrap());
+        // Every integer is even: false.
+        let g = parse_formula("forall t. (ints[t] -> evens[t])").unwrap();
+        assert!(!ask(&g, &db, &opts()).unwrap());
+    }
+
+    #[test]
+    fn exists_sentence() {
+        let db = train_db();
+        let f = parse_formula("exists t1, t2. train[t1, t2](liege, brussels)").unwrap();
+        assert!(ask(&f, &db, &opts()).unwrap());
+        let g = parse_formula("exists t1, t2. train[t1, t2](antwerp, liege)").unwrap();
+        assert!(!ask(&g, &db, &opts()).unwrap());
+    }
+
+    #[test]
+    fn mixed_sort_quantification() {
+        let db = train_db();
+        // Cities reachable from liege in one hop.
+        let f = parse_formula("exists t1, t2. train[t1, t2](liege, T)").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert_eq!(r.dvars, vec!["T"]);
+        assert!(r.contains(&[], &[DataValue::sym("brussels")]));
+        assert!(!r.contains(&[], &[DataValue::sym("antwerp")]));
+        // Is there a city with a departure at every train time? (nonsense
+        // but exercises ∀ over data):
+        let g = parse_formula("exists F. forall t1, t2. (train[t1, t2](F, brussels) -> t1 >= 0)")
+            .unwrap();
+        assert!(ask(&g, &db, &opts()).unwrap());
+    }
+
+    #[test]
+    fn comparisons_and_offsets() {
+        let db = train_db();
+        // Trains that take strictly more than 40 minutes.
+        let f = parse_formula("train[t1, t2](F, T) & t2 > t1 + 40").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert!(r.contains(
+            &[5, 65],
+            &[DataValue::sym("liege"), DataValue::sym("brussels")]
+        ));
+        assert!(!r.contains(
+            &[20, 55],
+            &[DataValue::sym("brussels"), DataValue::sym("antwerp")]
+        ));
+    }
+
+    #[test]
+    fn data_equality() {
+        let db = train_db();
+        // Loops (same origin and destination): none.
+        let f = parse_formula("train[t1, t2](F, T) & F = T").unwrap();
+        let r = evaluate(&f, &db, &opts()).unwrap();
+        assert!(r.relation.is_empty_semantic(opts().budget).unwrap());
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let mut db = FoDatabase::new();
+        db.insert_parsed("r", "(3n+1) : T1 >= 0").unwrap();
+        let f = parse_formula("r[t]").unwrap();
+        let g = parse_formula("!!r[t]").unwrap();
+        let rf = evaluate(&f, &db, &opts()).unwrap();
+        let rg = evaluate(&g, &db, &opts()).unwrap();
+        assert!(rf.relation.equivalent(&rg.relation, opts().budget).unwrap());
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = FoDatabase::new();
+        let f = parse_formula("nope[t]").unwrap();
+        assert!(matches!(evaluate(&f, &db, &opts()), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn ask_rejects_open_formulas() {
+        let db = train_db();
+        let f = parse_formula("train[t1, t2](F, T)").unwrap();
+        assert!(ask(&f, &db, &opts()).is_err());
+    }
+
+    #[test]
+    fn mod_predicates() {
+        let db = train_db();
+        let opts = opts();
+        // Departures on "Mondays": t1 ≡ 5 (mod 40) picks the Liège line.
+        let f =
+            parse_formula("exists t2. (train[t1, t2](liege, brussels) & t1 mod 40 = 5)").unwrap();
+        let r = evaluate(&f, &db, &opts).unwrap();
+        assert!(r.contains(&[5], &[]));
+        assert!(r.contains(&[45], &[]));
+        // A residue no departure hits.
+        let g =
+            parse_formula("exists t2. (train[t1, t2](liege, brussels) & t1 mod 40 = 6)").unwrap();
+        let rg = evaluate(&g, &db, &opts).unwrap();
+        assert!(rg.relation.is_empty_semantic(opts.budget).unwrap());
+        // Bare congruence: the answer is the residue class itself.
+        let h = parse_formula("t mod 3 = 1").unwrap();
+        let rh = evaluate(&h, &db, &opts).unwrap();
+        for t in -10..10i64 {
+            assert_eq!(rh.contains(&[t], &[]), t.rem_euclid(3) == 1, "t={t}");
+        }
+        // Offsets fold into the residue.
+        let k = parse_formula("t + 2 mod 3 = 1").unwrap();
+        let rk = evaluate(&k, &db, &opts).unwrap();
+        for t in -10..10i64 {
+            assert_eq!(rk.contains(&[t], &[]), (t + 2).rem_euclid(3) == 1, "t={t}");
+        }
+        // Ground instance folds to true/false.
+        assert!(ask(&parse_formula("7 mod 3 = 1").unwrap(), &db, &opts).unwrap());
+        assert!(!ask(&parse_formula("7 mod 3 = 2").unwrap(), &db, &opts).unwrap());
+        // Bad modulus errors.
+        assert!(evaluate(&parse_formula("t mod 0 = 0").unwrap(), &db, &opts).is_err());
+    }
+
+    #[test]
+    fn mod_with_negation() {
+        let mut db = FoDatabase::new();
+        db.insert_parsed("tick", "(n)").unwrap();
+        let opts = opts();
+        // Everything except multiples of 4.
+        let f = parse_formula("tick[t] & !(t mod 4 = 0)").unwrap();
+        let r = evaluate(&f, &db, &opts).unwrap();
+        for t in -12..12i64 {
+            assert_eq!(r.contains(&[t], &[]), t.rem_euclid(4) != 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn until_style_star_free_query() {
+        // "r holds from time 0 until s holds" — a star-free condition:
+        // exists u ≥ 0 with s[u] and forall t (0 ≤ t < u → r[t]).
+        let mut db = FoDatabase::new();
+        db.insert_parsed("r", "(n) : T1 >= 0, T1 <= 4").unwrap();
+        db.insert_parsed("s", "(n) : T1 = 5").unwrap();
+        let f = parse_formula("exists u. (s[u] & 0 <= u & forall t. ((0 <= t & t < u) -> r[t]))")
+            .unwrap();
+        assert!(ask(&f, &db, &opts()).unwrap());
+        // Poke a hole in r: now false.
+        let mut db2 = FoDatabase::new();
+        db2.insert_parsed("r", "(n) : T1 >= 0, T1 <= 2").unwrap();
+        db2.insert_parsed("s", "(n) : T1 = 5").unwrap();
+        assert!(!ask(&f, &db2, &opts()).unwrap());
+    }
+}

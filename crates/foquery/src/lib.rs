@@ -1,0 +1,47 @@
+//! # itdb-foquery — the \[KSW90\] first-order query language (§2.1, §3.2)
+//!
+//! The query language the paper advocates pairing with generalized
+//! databases: multi-sorted first-order logic with interpreted `<`, `=` and
+//! `±c` on the temporal sort, negation, and quantification over both sorts —
+//! but no recursion. Thanks to the closure properties of generalized
+//! relations, the **full** language evaluates in closed form; answers are
+//! themselves generalized relations:
+//!
+//! ```
+//! use itdb_foquery::{ask, evaluate, parse_formula, FoDatabase, FoOptions};
+//!
+//! let mut db = FoDatabase::new();
+//! db.insert_parsed(
+//!     "train",
+//!     "(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60",
+//! ).unwrap();
+//!
+//! // Is there a train from Liège arriving within 90 minutes of midnight?
+//! let f = parse_formula("exists t1, t2. (train[t1, t2](liege, brussels) & t2 < 90)").unwrap();
+//! assert!(ask(&f, &db, &FoOptions::default()).unwrap());
+//!
+//! // All departure times, in closed (infinite) form.
+//! let g = parse_formula("exists t2. train[t1, t2](liege, brussels)").unwrap();
+//! let answer = evaluate(&g, &db, &FoOptions::default()).unwrap();
+//! assert!(answer.contains(&[45], &[]));
+//! assert!(answer.contains(&[400005], &[]));
+//! ```
+//!
+//! Beyond the paper's core operators the language exposes the \[KSW90\]
+//! periodicity constraints as query atoms (`t mod 7 = 3`), so lrp-style
+//! congruences can be both stored *and asked for*.
+//!
+//! §3.2 of the paper places this language's yes/no query expressiveness at
+//! the star-free ω-regular languages — strictly below ω-regular,
+//! incomparable with the finitely regular languages of the deductive
+//! formalisms (negation but no recursion vs. recursion but no negation).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{CmpOp, DTerm, Formula, TTerm};
+pub use eval::{ask, evaluate, FoDatabase, FoOptions, QueryResult};
+pub use parser::parse_formula;

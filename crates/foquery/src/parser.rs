@@ -1,0 +1,412 @@
+//! Parser for the first-order query language.
+//!
+//! ```text
+//! formula ::= quantified
+//! quantified ::= ("exists" | "forall") IDENT ("," IDENT)* "." quantified
+//!              | implication
+//! implication ::= disjunction ("->" disjunction)?
+//! disjunction ::= conjunction ("|" conjunction)*
+//! conjunction ::= unary ("&" unary)*
+//! unary ::= "!" unary | "(" formula ")" | atom | comparison
+//! atom ::= IDENT "[" tterm ("," tterm)* "]" ("(" dterm ("," dterm)* ")")?
+//! comparison ::= tterm OP tterm | dterm "=" dterm
+//!              | tterm "mod" INT "=" INT                    periodicity predicate
+//! ```
+//!
+//! `φ -> ψ` is sugar for `!φ | ψ`. Lowercase identifiers are temporal
+//! variables, uppercase ones data variables, bare lowercase words in data
+//! positions are constants (as everywhere else in the workspace).
+
+use crate::ast::{CmpOp, DTerm, Formula, TTerm};
+use itdb_lrp::{DataValue, Error, Result};
+
+/// Parses a formula.
+pub fn parse_formula(input: &str) -> Result<Formula> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos < p.src.len() {
+        return p.err("unexpected trailing input");
+    }
+    Ok(f)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            message: m.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        rest.starts_with(kw.as_bytes())
+            && rest
+                .get(kw.len())
+                .is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_')
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphabetic() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            self.err("expected an identifier")
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        self.skip_ws();
+        let neg = self.eat(b'-');
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected an integer");
+        }
+        let v: i64 = std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(Error::Parse {
+                message: "integer overflows i64".into(),
+                offset: start,
+            })?;
+        Ok(if neg { -v } else { v })
+    }
+
+    fn formula(&mut self) -> Result<Formula> {
+        if self.peek_kw("exists") || self.peek_kw("forall") {
+            let forall = self.peek_kw("forall");
+            self.pos += 6;
+            let mut vars = vec![self.ident()?];
+            while self.eat(b',') {
+                vars.push(self.ident()?);
+            }
+            self.expect(b'.')?;
+            let body = Box::new(self.formula()?);
+            return Ok(if forall {
+                Formula::Forall(vars, body)
+            } else {
+                Formula::Exists(vars, body)
+            });
+        }
+        self.implication()
+    }
+
+    fn implication(&mut self) -> Result<Formula> {
+        let lhs = self.disjunction()?;
+        if self.eat_str("->") {
+            let rhs = self.disjunction()?;
+            Ok(Formula::Or(
+                Box::new(Formula::Not(Box::new(lhs))),
+                Box::new(rhs),
+            ))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula> {
+        let mut f = self.conjunction()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let g = self.conjunction()?;
+            f = Formula::Or(Box::new(f), Box::new(g));
+        }
+        Ok(f)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula> {
+        let mut f = self.unary()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let g = self.unary()?;
+            f = Formula::And(Box::new(f), Box::new(g));
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.formula()?;
+                self.expect(b')')?;
+                Ok(f)
+            }
+            _ => {
+                if self.peek_kw("exists") || self.peek_kw("forall") {
+                    return self.formula();
+                }
+                self.atom_or_cmp()
+            }
+        }
+    }
+
+    fn tterm_from(&mut self, name: String) -> Result<TTerm> {
+        let offset = match self.peek() {
+            Some(b'+') => {
+                self.pos += 1;
+                self.int()?
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                -self.int()?
+            }
+            _ => 0,
+        };
+        Ok(TTerm::Var { name, offset })
+    }
+
+    fn atom_or_cmp(&mut self) -> Result<Formula> {
+        // Starts with an integer → comparison (or congruence) with a
+        // constant lhs.
+        if self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'-') {
+            let lhs = TTerm::Const(self.int()?);
+            if self.peek_kw("mod") {
+                self.pos += 3;
+                let modulus = self.int()?;
+                self.skip_ws();
+                if !self.eat(b'=') {
+                    return self.err("expected '=' after the modulus");
+                }
+                let residue = self.int()?;
+                return Ok(Formula::Mod {
+                    term: lhs,
+                    modulus,
+                    residue,
+                });
+            }
+            let op = self.cmp_op()?;
+            let rhs = self.tterm_rhs()?;
+            return Ok(Formula::Cmp { lhs, op, rhs });
+        }
+        let name = self.ident()?;
+        match self.peek() {
+            Some(b'[') => {
+                // Relation atom.
+                self.pos += 1;
+                let mut temporal = Vec::new();
+                if self.peek() != Some(b']') {
+                    temporal.push(self.tterm_rhs()?);
+                    while self.eat(b',') {
+                        temporal.push(self.tterm_rhs()?);
+                    }
+                }
+                self.expect(b']')?;
+                let mut data = Vec::new();
+                if self.eat(b'(') {
+                    if self.peek() != Some(b')') {
+                        data.push(self.dterm()?);
+                        while self.eat(b',') {
+                            data.push(self.dterm()?);
+                        }
+                    }
+                    self.expect(b')')?;
+                }
+                Ok(Formula::Atom {
+                    pred: name,
+                    temporal,
+                    data,
+                })
+            }
+            _ => {
+                // A comparison whose lhs starts with this identifier.
+                if crate::ast::is_data_var(&name) {
+                    // Data equality.
+                    self.skip_ws();
+                    if !self.eat(b'=') {
+                        return self.err("expected '=' after a data variable");
+                    }
+                    let rhs = self.dterm()?;
+                    return Ok(Formula::DataEq(DTerm::Var(name), rhs));
+                }
+                let lhs = self.tterm_from(name)?;
+                if self.peek_kw("mod") {
+                    self.pos += 3;
+                    let modulus = self.int()?;
+                    self.skip_ws();
+                    if !self.eat(b'=') {
+                        return self.err("expected '=' after the modulus");
+                    }
+                    let residue = self.int()?;
+                    return Ok(Formula::Mod {
+                        term: lhs,
+                        modulus,
+                        residue,
+                    });
+                }
+                let op = self.cmp_op()?;
+                let rhs = self.tterm_rhs()?;
+                Ok(Formula::Cmp { lhs, op, rhs })
+            }
+        }
+    }
+
+    fn tterm_rhs(&mut self) -> Result<TTerm> {
+        if self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'-') {
+            Ok(TTerm::Const(self.int()?))
+        } else {
+            let name = self.ident()?;
+            self.tterm_from(name)
+        }
+    }
+
+    fn dterm(&mut self) -> Result<DTerm> {
+        self.skip_ws();
+        if self.eat(b'#') {
+            return Ok(DTerm::Const(DataValue::Int(self.int()?)));
+        }
+        let name = self.ident()?;
+        if crate::ast::is_data_var(&name) {
+            Ok(DTerm::Var(name))
+        } else {
+            Ok(DTerm::Const(DataValue::sym(&name)))
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        self.skip_ws();
+        if self.eat_str("<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat_str(">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat_str("<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat_str(">") {
+            Ok(CmpOp::Gt)
+        } else if self.eat_str("=") {
+            Ok(CmpOp::Eq)
+        } else {
+            self.err("expected a comparison operator")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifiers_and_connectives() {
+        let f = parse_formula("exists t2, X. (train[t1, t2](liege, X) & t2 < t1 + 90)").unwrap();
+        match f {
+            Formula::Exists(vars, body) => {
+                assert_eq!(vars, vec!["t2", "X"]);
+                assert!(matches!(*body, Formula::And(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_desugars() {
+        let f = parse_formula("p[t] -> q[t]").unwrap();
+        assert!(matches!(f, Formula::Or(..)));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(matches!(
+            parse_formula("t1 < t2 + 60").unwrap(),
+            Formula::Cmp { op: CmpOp::Lt, .. }
+        ));
+        assert!(matches!(
+            parse_formula("0 <= t").unwrap(),
+            Formula::Cmp {
+                lhs: TTerm::Const(0),
+                op: CmpOp::Le,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_formula("X = liege").unwrap(),
+            Formula::DataEq(DTerm::Var(_), DTerm::Const(_))
+        ));
+    }
+
+    #[test]
+    fn negation_binds_tight() {
+        let f = parse_formula("!p[t] & q[t]").unwrap();
+        match f {
+            Formula::And(a, _) => assert!(matches!(*a, Formula::Not(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_quantifiers_without_parens() {
+        let f = parse_formula("forall t. exists s. (p[t] & q[s])").unwrap();
+        assert!(matches!(f, Formula::Forall(..)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_formula("p[t").is_err());
+        assert!(parse_formula("exists . p[t]").is_err());
+        assert!(parse_formula("p[t] &").is_err());
+        assert!(parse_formula("p[t] extra").is_err());
+    }
+}

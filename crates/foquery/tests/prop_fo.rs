@@ -1,0 +1,141 @@
+//! Property-based tests: quantifier-free first-order evaluation against
+//! pointwise semantics on a window.
+//!
+//! Random boolean combinations (∧, ∨, ¬) of relation atoms and comparisons
+//! are evaluated in closed form and compared with direct evaluation of the
+//! formula at every point of a window — exercising complement,
+//! intersection, union and column alignment end to end. (Quantifiers are
+//! covered by the `fo_laws` integration suite and unit tests; their
+//! window-truncated brute force would not be a sound oracle.)
+
+use itdb_foquery::{evaluate, FoDatabase, FoOptions};
+use itdb_foquery::{CmpOp, Formula, TTerm};
+use proptest::prelude::*;
+
+const LO: i64 = -14;
+const HI: i64 = 14;
+
+fn db() -> FoDatabase {
+    let mut db = FoDatabase::new();
+    db.insert_parsed("p", "(6n+1) : T1 >= 0\n(6n+4)").unwrap();
+    db.insert_parsed("q", "(4n+2)").unwrap();
+    db.insert_parsed(
+        "r",
+        "(3n, 3n) : T2 = T1 + 6\n(5n+1, 5n+3) : T2 = T1 + 2, T1 >= 0",
+    )
+    .unwrap();
+    db
+}
+
+/// Direct pointwise truth of a (quantifier-free, data-free) formula under
+/// the assignment s ↦ point[0], t ↦ point[1].
+fn truth(f: &Formula, db: &FoDatabase, s: i64, t: i64) -> bool {
+    let val = |term: &TTerm| -> i64 {
+        match term {
+            TTerm::Const(c) => *c,
+            TTerm::Var { name, offset } => (if name == "s" { s } else { t }) + offset,
+        }
+    };
+    match f {
+        Formula::Atom { pred, temporal, .. } => {
+            let rel = db.get(pred).expect("known relation");
+            let point: Vec<i64> = temporal.iter().map(val).collect();
+            rel.contains(&point, &[])
+        }
+        Formula::Cmp { lhs, op, rhs } => {
+            let (a, b) = (val(lhs), val(rhs));
+            match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Gt => a > b,
+            }
+        }
+        Formula::And(a, b) => truth(a, db, s, t) && truth(b, db, s, t),
+        Formula::Or(a, b) => truth(a, db, s, t) || truth(b, db, s, t),
+        Formula::Not(a) => !truth(a, db, s, t),
+        _ => unreachable!("quantifier-free generator"),
+    }
+}
+
+fn tterm_strategy() -> impl Strategy<Value = TTerm> {
+    prop_oneof![
+        (prop_oneof![Just("s"), Just("t")], -4i64..=4).prop_map(|(n, o)| TTerm::Var {
+            name: n.into(),
+            offset: o
+        }),
+        (-6i64..=6).prop_map(TTerm::Const),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        // Unary relations p / q on a random term.
+        (prop_oneof![Just("p"), Just("q")], tterm_strategy()).prop_map(|(r, t)| {
+            Formula::Atom {
+                pred: r.into(),
+                temporal: vec![t],
+                data: vec![],
+            }
+        }),
+        // The binary relation r.
+        (tterm_strategy(), tterm_strategy()).prop_map(|(a, b)| Formula::Atom {
+            pred: "r".into(),
+            temporal: vec![a, b],
+            data: vec![],
+        }),
+        // Comparisons.
+        (tterm_strategy(), tterm_strategy(), 0u8..5).prop_map(|(a, b, k)| Formula::Cmp {
+            lhs: a,
+            op: [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt][k as usize],
+            rhs: b,
+        }),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    atom_strategy().prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn closed_form_matches_pointwise(f in formula_strategy()) {
+        let database = db();
+        let opts = FoOptions::default();
+        let result = evaluate(&f, &database, &opts).unwrap();
+        // Column order is the formula's first-occurrence order; build the
+        // lookup accordingly.
+        let (tvars, _) = f.free_vars();
+        for s in LO..=HI {
+            for t in LO..=HI {
+                let point: Vec<i64> = tvars
+                    .iter()
+                    .map(|v| if v == "s" { s } else { t })
+                    .collect();
+                // Formulas without both variables only need one pass of the
+                // other variable; skip redundant work.
+                if tvars.len() < 2 && t != LO && !tvars.is_empty() && tvars[0] == "s" {
+                    continue;
+                }
+                if tvars.is_empty() && (s, t) != (LO, LO) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    result.relation.contains(&point, &[]),
+                    truth(&f, &database, s, t),
+                    "formula {} at s={}, t={}", f, s, t
+                );
+            }
+        }
+    }
+}

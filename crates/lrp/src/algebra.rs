@@ -1,0 +1,551 @@
+//! The closed relational algebra on generalized relations.
+//!
+//! \[KSW90\] show that generalized relations with linear repeating points and
+//! difference constraints are closed under the relational operations and
+//! that intersection, join and projection are computable in PTIME; the
+//! paper's deductive evaluation (§4.3) reduces each application of the
+//! `T_GP` mapping to these operations. This module also provides difference
+//! and complement, which the first-order query language of \[KSW90\]
+//! (implemented in `itdb-foquery`) needs for negation; complement over data
+//! columns uses active-domain semantics, as usual for safe relational
+//! calculus.
+//!
+//! All operations return *representations*; call
+//! [`GeneralizedRelation::normalize`] to prune empty or subsumed tuples.
+
+use crate::constraint::Constraint;
+use crate::error::{Error, Result};
+use crate::relation::{GeneralizedRelation, Schema};
+use crate::tuple::GeneralizedTuple;
+use crate::value::DataValue;
+use crate::zone::Zone;
+
+/// Union of two relations with identical schemas.
+pub fn union(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<GeneralizedRelation> {
+    check_schema(a, b)?;
+    let mut out = a.clone();
+    for t in b.tuples() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Intersection of two relations with identical schemas (pairwise zone
+/// conjunction on tuples with equal data vectors).
+pub fn intersection(
+    a: &GeneralizedRelation,
+    b: &GeneralizedRelation,
+) -> Result<GeneralizedRelation> {
+    check_schema(a, b)?;
+    let mut out = GeneralizedRelation::empty(a.schema());
+    for ta in a.tuples() {
+        for tb in b.tuples() {
+            if ta.data() != tb.data() {
+                continue;
+            }
+            if let Some(zone) = ta.zone().conjoin(tb.zone())? {
+                out.insert(GeneralizedTuple::new(zone, ta.data().to_vec()))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Selection by temporal constraints: conjoins the constraints onto every
+/// tuple.
+pub fn select(
+    rel: &GeneralizedRelation,
+    constraints: &[Constraint],
+) -> Result<GeneralizedRelation> {
+    let mut out = GeneralizedRelation::empty(rel.schema());
+    for t in rel.tuples() {
+        let mut t = t.clone();
+        for c in constraints {
+            t.add_constraint(*c)?;
+        }
+        out.insert(t)?;
+    }
+    Ok(out)
+}
+
+/// Selection by data equality: keeps tuples whose data column `col` equals
+/// `value`.
+pub fn select_data(
+    rel: &GeneralizedRelation,
+    col: usize,
+    value: &DataValue,
+) -> Result<GeneralizedRelation> {
+    if col >= rel.schema().data {
+        return Err(Error::VariableOutOfRange {
+            index: col,
+            arity: rel.schema().data,
+        });
+    }
+    let mut out = GeneralizedRelation::empty(rel.schema());
+    for t in rel.tuples() {
+        if &t.data()[col] == value {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Projection onto the listed temporal attributes and data columns
+/// (in the given orders).
+pub fn project(
+    rel: &GeneralizedRelation,
+    temporal_keep: &[usize],
+    data_keep: &[usize],
+    budget: u64,
+) -> Result<GeneralizedRelation> {
+    let schema = Schema::new(temporal_keep.len(), data_keep.len());
+    let mut out = GeneralizedRelation::empty(schema);
+    for t in rel.tuples() {
+        for p in t.project(temporal_keep, data_keep, budget)? {
+            out.insert(p)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Cartesian product: temporal and data columns of `a` followed by those of
+/// `b`.
+pub fn product(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<GeneralizedRelation> {
+    let schema = Schema::new(
+        a.schema().temporal + b.schema().temporal,
+        a.schema().data + b.schema().data,
+    );
+    let mut out = GeneralizedRelation::empty(schema);
+    for ta in a.tuples() {
+        for tb in b.tuples() {
+            let zone = ta.zone().product(tb.zone());
+            let mut data = ta.data().to_vec();
+            data.extend_from_slice(tb.data());
+            out.insert(GeneralizedTuple::new(zone, data))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Theta-join: cartesian product filtered by temporal equalities
+/// `a.Tᵢ = b.Tⱼ` and data equalities `a.dᵢ = b.dⱼ`. Column layout as in
+/// [`product`].
+pub fn join(
+    a: &GeneralizedRelation,
+    b: &GeneralizedRelation,
+    temporal_eq: &[(usize, usize)],
+    data_eq: &[(usize, usize)],
+) -> Result<GeneralizedRelation> {
+    for &(i, _) in temporal_eq {
+        if i >= a.schema().temporal {
+            return Err(Error::VariableOutOfRange {
+                index: i,
+                arity: a.schema().temporal,
+            });
+        }
+    }
+    for &(_, j) in temporal_eq {
+        if j >= b.schema().temporal {
+            return Err(Error::VariableOutOfRange {
+                index: j,
+                arity: b.schema().temporal,
+            });
+        }
+    }
+    let schema = Schema::new(
+        a.schema().temporal + b.schema().temporal,
+        a.schema().data + b.schema().data,
+    );
+    let ma = a.schema().temporal;
+    let mut out = GeneralizedRelation::empty(schema);
+    for ta in a.tuples() {
+        'tb: for tb in b.tuples() {
+            for &(i, j) in data_eq {
+                let da = ta.data().get(i).ok_or(Error::VariableOutOfRange {
+                    index: i,
+                    arity: ta.data_arity(),
+                })?;
+                let db = tb.data().get(j).ok_or(Error::VariableOutOfRange {
+                    index: j,
+                    arity: tb.data_arity(),
+                })?;
+                if da != db {
+                    continue 'tb;
+                }
+            }
+            let mut zone = ta.zone().product(tb.zone());
+            for &(i, j) in temporal_eq {
+                zone.add_constraint(Constraint::EqVar(
+                    crate::constraint::Var(i),
+                    crate::constraint::Var(ma + j),
+                    0,
+                ))?;
+            }
+            let mut data = ta.data().to_vec();
+            data.extend_from_slice(tb.data());
+            out.insert(GeneralizedTuple::new(zone, data))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Shifts temporal column `k` by `c` in every tuple (the algebraic form of
+/// the deductive language's `+1` / `−1` functions).
+pub fn shift_column(rel: &GeneralizedRelation, k: usize, c: i64) -> Result<GeneralizedRelation> {
+    let mut out = GeneralizedRelation::empty(rel.schema());
+    for t in rel.tuples() {
+        let mut t = t.clone();
+        t.shift_attr(k, c)?;
+        out.insert(t)?;
+    }
+    Ok(out)
+}
+
+/// Reorders columns without changing the denoted set: `temporal_perm[new]`
+/// and `data_perm[new]` give the old positions. Both must be permutations
+/// of their column ranges. Cheap (no normalization or splitting).
+pub fn permute(
+    rel: &GeneralizedRelation,
+    temporal_perm: &[usize],
+    data_perm: &[usize],
+) -> Result<GeneralizedRelation> {
+    let schema = rel.schema();
+    if temporal_perm.len() != schema.temporal || data_perm.len() != schema.data {
+        return Err(Error::SchemaMismatch(format!(
+            "permutation lengths ({}, {}) do not match schema {}",
+            temporal_perm.len(),
+            data_perm.len(),
+            schema
+        )));
+    }
+    let mut out = GeneralizedRelation::empty(schema);
+    for t in rel.tuples() {
+        let lrps: Vec<_> = temporal_perm.iter().map(|&o| t.zone().lrp(o)).collect();
+        let dbm_perm: Vec<usize> = temporal_perm.iter().map(|&o| o + 1).collect();
+        let dbm = t.zone().dbm().permute_vars(&dbm_perm);
+        let data: Vec<DataValue> = data_perm.iter().map(|&o| t.data()[o].clone()).collect();
+        out.insert(GeneralizedTuple::new(Zone::from_parts(lrps, dbm)?, data))?;
+    }
+    Ok(out)
+}
+
+/// Set difference `a \ b` for identical schemas.
+pub fn difference(
+    a: &GeneralizedRelation,
+    b: &GeneralizedRelation,
+    budget: u64,
+) -> Result<GeneralizedRelation> {
+    check_schema(a, b)?;
+    let mut out = GeneralizedRelation::empty(a.schema());
+    for ta in a.tuples() {
+        let matching: Vec<&Zone> = b
+            .tuples()
+            .iter()
+            .filter(|tb| tb.data() == ta.data())
+            .map(|tb| tb.zone())
+            .collect();
+        if matching.is_empty() {
+            out.insert(ta.clone())?;
+            continue;
+        }
+        for z in ta.zone().subtract(&matching, budget)? {
+            out.insert(GeneralizedTuple::new(z, ta.data().to_vec()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Complement of `rel` relative to `ℤ^m × domain^ℓ`, where `domain` is the
+/// given active data domain (one entry per data *vector*).
+pub fn complement(
+    rel: &GeneralizedRelation,
+    data_domain: &[Vec<DataValue>],
+    budget: u64,
+) -> Result<GeneralizedRelation> {
+    let schema = rel.schema();
+    let mut universe = GeneralizedRelation::empty(schema);
+    if schema.data == 0 {
+        universe.insert(GeneralizedTuple::new(
+            Zone::top(schema.temporal),
+            Vec::new(),
+        ))?;
+    } else {
+        for d in data_domain {
+            if d.len() != schema.data {
+                return Err(Error::ArityMismatch {
+                    expected: schema.data,
+                    found: d.len(),
+                });
+            }
+            universe.insert(GeneralizedTuple::new(Zone::top(schema.temporal), d.clone()))?;
+        }
+    }
+    difference(&universe, rel, budget)
+}
+
+fn check_schema(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<()> {
+    if a.schema() != b.schema() {
+        return Err(Error::SchemaMismatch(format!(
+            "{} vs {}",
+            a.schema(),
+            b.schema()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Var;
+    use crate::lrp::Lrp;
+    use crate::zone::DEFAULT_RESIDUE_BUDGET as B;
+
+    fn lrp(p: i64, b: i64) -> Lrp {
+        Lrp::new(p, b).unwrap()
+    }
+
+    fn rel1(tuples: Vec<GeneralizedTuple>) -> GeneralizedRelation {
+        let schema = Schema::new(
+            tuples.first().map_or(1, |t| t.temporal_arity()),
+            tuples.first().map_or(0, |t| t.data_arity()),
+        );
+        GeneralizedRelation::from_tuples(schema, tuples).unwrap()
+    }
+
+    fn t1(p: i64, b: i64) -> GeneralizedTuple {
+        GeneralizedTuple::build(vec![lrp(p, b)], &[], vec![]).unwrap()
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let u = union(&rel1(vec![t1(2, 0)]), &rel1(vec![t1(2, 1)])).unwrap();
+        assert_eq!(u.len(), 2);
+        for t in -10..10 {
+            assert!(u.contains(&[t], &[]));
+        }
+    }
+
+    #[test]
+    fn intersection_uses_crt() {
+        let i = intersection(&rel1(vec![t1(2, 0)]), &rel1(vec![t1(3, 1)])).unwrap();
+        assert_eq!(i.len(), 1);
+        for t in -30..30 {
+            assert_eq!(i.contains(&[t], &[]), t.rem_euclid(6) == 4, "t={t}");
+        }
+        // Disjoint residues produce an empty representation.
+        let e = intersection(&rel1(vec![t1(2, 0)]), &rel1(vec![t1(2, 1)])).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn intersection_respects_data() {
+        let a = rel1(vec![GeneralizedTuple::build(
+            vec![lrp(2, 0)],
+            &[],
+            vec![DataValue::sym("x")],
+        )
+        .unwrap()]);
+        let b = rel1(vec![GeneralizedTuple::build(
+            vec![lrp(2, 0)],
+            &[],
+            vec![DataValue::sym("y")],
+        )
+        .unwrap()]);
+        assert!(intersection(&a, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_conjoins_constraints() {
+        let s = select(&rel1(vec![t1(5, 0)]), &[Constraint::GeConst(Var(0), 0)]).unwrap();
+        assert!(s.contains(&[0], &[]));
+        assert!(s.contains(&[10], &[]));
+        assert!(!s.contains(&[-5], &[]));
+    }
+
+    #[test]
+    fn select_data_filters() {
+        let mk = |d: &str| {
+            GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![DataValue::sym(d)]).unwrap()
+        };
+        let r = rel1(vec![mk("x"), mk("y")]);
+        let s = select_data(&r, 0, &DataValue::sym("x")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[0], &[DataValue::sym("x")]));
+        assert!(matches!(
+            select_data(&r, 3, &DataValue::sym("x")),
+            Err(Error::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn project_columns() {
+        let t = GeneralizedTuple::build(
+            vec![lrp(40, 5), lrp(40, 25)],
+            &[Constraint::EqVar(Var(1), Var(0), 60)],
+            vec![DataValue::sym("liege"), DataValue::sym("brussels")],
+        )
+        .unwrap();
+        let r = GeneralizedRelation::from_tuples(Schema::new(2, 2), vec![t]).unwrap();
+        let p = project(&r, &[1], &[0], B).unwrap();
+        assert_eq!(p.schema(), Schema::new(1, 1));
+        assert!(p.contains(&[65], &[DataValue::sym("liege")]));
+    }
+
+    #[test]
+    fn product_concatenates_columns() {
+        let a = rel1(vec![t1(2, 0)]);
+        let b = rel1(vec![t1(3, 1)]);
+        let p = product(&a, &b).unwrap();
+        assert_eq!(p.schema(), Schema::new(2, 0));
+        assert!(p.contains(&[0, 1], &[]));
+        assert!(p.contains(&[2, 4], &[]));
+        assert!(!p.contains(&[1, 1], &[]));
+    }
+
+    #[test]
+    fn join_on_temporal_equality() {
+        // Departures 40n+5 joined with arrivals 40n+25 on equal "link time"
+        // T1(a) = T0(b) shifted — here simply join equal instants.
+        let a = rel1(vec![t1(2, 0)]);
+        let b = rel1(vec![t1(3, 0)]);
+        let j = join(&a, &b, &[(0, 0)], &[]).unwrap();
+        // Only multiples of 6 satisfy both residues and equality.
+        assert!(j.contains(&[6, 6], &[]));
+        assert!(j.contains(&[0, 0], &[]));
+        assert!(!j.contains(&[2, 2], &[]));
+        assert!(!j.contains(&[0, 6], &[]));
+    }
+
+    #[test]
+    fn join_on_data_equality() {
+        let mk = |p: i64, b: i64, d: &str| {
+            GeneralizedTuple::build(vec![lrp(p, b)], &[], vec![DataValue::sym(d)]).unwrap()
+        };
+        let a = rel1(vec![mk(2, 0, "x"), mk(2, 1, "y")]);
+        let b = rel1(vec![mk(3, 0, "x")]);
+        let j = join(&a, &b, &[], &[(0, 0)]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[0, 3], &[DataValue::sym("x"), DataValue::sym("x")]));
+    }
+
+    #[test]
+    fn join_bad_column() {
+        let a = rel1(vec![t1(2, 0)]);
+        let b = rel1(vec![t1(3, 0)]);
+        assert!(matches!(
+            join(&a, &b, &[(1, 0)], &[]),
+            Err(Error::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn permute_reorders_exactly() {
+        let t = GeneralizedTuple::build(
+            vec![lrp(40, 5), lrp(40, 25)],
+            &[
+                Constraint::EqVar(Var(1), Var(0), 60),
+                Constraint::GeConst(Var(0), 0),
+            ],
+            vec![DataValue::sym("liege"), DataValue::sym("brussels")],
+        )
+        .unwrap();
+        let r = GeneralizedRelation::from_tuples(Schema::new(2, 2), vec![t]).unwrap();
+        let p = permute(&r, &[1, 0], &[1, 0]).unwrap();
+        let d = [DataValue::sym("brussels"), DataValue::sym("liege")];
+        assert!(p.contains(&[65, 5], &d));
+        assert!(!p.contains(&[5, 65], &d));
+        assert!(!p.contains(&[25, -35], &d)); // T_old0 >= 0 still enforced
+        assert!(matches!(
+            permute(&r, &[0], &[1, 0]),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn shift_column_translates() {
+        let s = shift_column(&rel1(vec![t1(40, 5)]), 0, 60).unwrap();
+        assert!(s.contains(&[65], &[]));
+        assert!(!s.contains(&[5], &[]));
+    }
+
+    #[test]
+    fn difference_carves() {
+        let evens = rel1(vec![t1(2, 0)]);
+        let fours = rel1(vec![t1(4, 0)]);
+        let d = difference(&evens, &fours, B).unwrap();
+        for t in -20..20 {
+            assert_eq!(d.contains(&[t], &[]), t.rem_euclid(4) == 2, "t={t}");
+        }
+        // Subtracting everything leaves nothing (semantically).
+        let all = rel1(vec![t1(1, 0)]);
+        let none = difference(&evens, &all, B).unwrap();
+        assert!(none.is_empty_semantic(B).unwrap());
+    }
+
+    #[test]
+    fn difference_keeps_unmatched_data() {
+        let mk = |d: &str| {
+            GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![DataValue::sym(d)]).unwrap()
+        };
+        let a = rel1(vec![mk("x"), mk("y")]);
+        let b = rel1(vec![mk("x")]);
+        let d = difference(&a, &b, B).unwrap();
+        assert!(!d.contains(&[0], &[DataValue::sym("x")]));
+        assert!(d.contains(&[0], &[DataValue::sym("y")]));
+    }
+
+    #[test]
+    fn complement_temporal_only() {
+        let evens = rel1(vec![t1(2, 0)]);
+        let c = complement(&evens, &[], B).unwrap();
+        for t in -20..20 {
+            assert_eq!(c.contains(&[t], &[]), t.rem_euclid(2) == 1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn complement_with_data_domain() {
+        let mk = |d: &str| {
+            GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![DataValue::sym(d)]).unwrap()
+        };
+        let r = rel1(vec![mk("x")]);
+        let dom = vec![vec![DataValue::sym("x")], vec![DataValue::sym("y")]];
+        let c = complement(&r, &dom, B).unwrap();
+        assert!(!c.contains(&[0], &[DataValue::sym("x")]));
+        assert!(c.contains(&[1], &[DataValue::sym("x")]));
+        assert!(c.contains(&[0], &[DataValue::sym("y")]));
+        assert!(c.contains(&[1], &[DataValue::sym("y")]));
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let a = rel1(vec![t1(2, 0)]);
+        let b = GeneralizedRelation::empty(Schema::new(2, 0));
+        assert!(matches!(union(&a, &b), Err(Error::SchemaMismatch(_))));
+        assert!(matches!(
+            intersection(&a, &b),
+            Err(Error::SchemaMismatch(_))
+        ));
+        assert!(matches!(
+            difference(&a, &b, B),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn demorgan_check() {
+        // ¬(A ∪ B) = ¬A ∩ ¬B on a window, data-free.
+        let a = rel1(vec![t1(3, 0)]);
+        let b = rel1(vec![t1(4, 1)]);
+        let lhs = complement(&union(&a, &b).unwrap(), &[], B).unwrap();
+        let rhs = intersection(
+            &complement(&a, &[], B).unwrap(),
+            &complement(&b, &[], B).unwrap(),
+        )
+        .unwrap();
+        for t in -25..25 {
+            assert_eq!(lhs.contains(&[t], &[]), rhs.contains(&[t], &[]), "t={t}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Upper bounds for difference constraints.
+//!
+//! Over the integers every strict inequality `x < c` is equivalent to
+//! `x ≤ c − 1`, so a single non-strict bound type suffices. A bound is
+//! either a finite integer or `+∞` (absence of a constraint).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An upper bound: either `≤ c` for a finite `c`, or unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// `x ≤ c`.
+    Finite(i64),
+    /// No constraint (`x ≤ +∞`).
+    Inf,
+}
+
+impl Bound {
+    /// Bound addition, used when composing paths: `(x−y ≤ a) ∧ (y−z ≤ b)`
+    /// implies `x−z ≤ a + b`. Saturates at `Inf`; finite addition is checked
+    /// and saturates to the extreme finite values rather than wrapping, which
+    /// keeps Floyd–Warshall sound (a saturated bound is never *tighter* than
+    /// the true one on the +∞ side, and on the −∞ side a saturated negative
+    /// sum still correctly signals infeasibility).
+    pub fn plus(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Inf, _) | (_, Bound::Inf) => Bound::Inf,
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+        }
+    }
+
+    /// Is this bound finite?
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Bound::Finite(_))
+    }
+
+    /// Returns the finite value, if any.
+    pub fn finite(&self) -> Option<i64> {
+        match self {
+            Bound::Finite(c) => Some(*c),
+            Bound::Inf => None,
+        }
+    }
+
+    /// The tighter (smaller) of two bounds.
+    pub fn min(self, other: Bound) -> Bound {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Bound::Inf, Bound::Inf) => Ordering::Equal,
+            (Bound::Inf, Bound::Finite(_)) => Ordering::Greater,
+            (Bound::Finite(_), Bound::Inf) => Ordering::Less,
+            (Bound::Finite(a), Bound::Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(c) => write!(f, "{c}"),
+            Bound::Inf => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(Bound::Finite(3) < Bound::Finite(4));
+        assert!(Bound::Finite(i64::MAX) < Bound::Inf);
+        assert_eq!(Bound::Inf, Bound::Inf);
+        assert_eq!(Bound::Finite(2).min(Bound::Inf), Bound::Finite(2));
+        assert_eq!(Bound::Inf.min(Bound::Finite(2)), Bound::Finite(2));
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(Bound::Finite(2).plus(Bound::Finite(3)), Bound::Finite(5));
+        assert_eq!(Bound::Finite(2).plus(Bound::Inf), Bound::Inf);
+        assert_eq!(Bound::Inf.plus(Bound::Finite(-7)), Bound::Inf);
+        // Saturation, not wraparound.
+        assert_eq!(
+            Bound::Finite(i64::MAX).plus(Bound::Finite(1)),
+            Bound::Finite(i64::MAX)
+        );
+        assert_eq!(
+            Bound::Finite(i64::MIN).plus(Bound::Finite(-1)),
+            Bound::Finite(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::Finite(-4).to_string(), "-4");
+        assert_eq!(Bound::Inf.to_string(), "inf");
+    }
+}

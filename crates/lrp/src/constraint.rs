@@ -1,0 +1,259 @@
+//! The paper's constraint language over temporal attributes (§2.1).
+//!
+//! Constraints relate the temporal attributes `T1 … Tm` of a generalized
+//! tuple. Every atomic constraint reduces to one of the normal forms the
+//! paper lists: `Ti < Tj + c`, `Ti = Tj + c`, `Ti < c`, `Ti = c`, `c < Ti`
+//! (with `c` an integer constant). This module provides that surface syntax
+//! together with the translation into DBM bounds.
+
+use crate::dbm::Dbm;
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A temporal attribute index: `Var(0)` is the paper's `T1`.
+///
+/// Note the off-by-one with respect to DBM matrix indices: attribute `k`
+/// occupies matrix index `k + 1` (index 0 is the zero variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub usize);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// An atomic constraint in one of the paper's normal forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// `Ti < Tj + c` (covers `Ti < Tj − c` with negative `c`).
+    LtVar(Var, Var, i64),
+    /// `Ti ≤ Tj + c` — convenience form; equivalent to `Ti < Tj + (c+1)`.
+    LeVar(Var, Var, i64),
+    /// `Ti = Tj + c`.
+    EqVar(Var, Var, i64),
+    /// `Ti < c`.
+    LtConst(Var, i64),
+    /// `Ti ≤ c` — convenience form.
+    LeConst(Var, i64),
+    /// `Ti = c`.
+    EqConst(Var, i64),
+    /// `c < Ti`.
+    GtConst(Var, i64),
+    /// `c ≤ Ti` — convenience form.
+    GeConst(Var, i64),
+}
+
+impl Constraint {
+    /// Applies the constraint to a DBM whose variable `k+1` is attribute `k`.
+    ///
+    /// Fails with [`Error::VariableOutOfRange`] if an attribute index is not
+    /// covered by the DBM and [`Error::Overflow`] if a `c ± 1` adjustment
+    /// overflows.
+    pub fn apply(&self, dbm: &mut Dbm) -> Result<()> {
+        let nv = dbm.nvars();
+        let check = |v: Var| -> Result<usize> {
+            if v.0 < nv {
+                Ok(v.0 + 1)
+            } else {
+                Err(Error::VariableOutOfRange {
+                    index: v.0,
+                    arity: nv,
+                })
+            }
+        };
+        match *self {
+            Constraint::LtVar(i, j, c) => {
+                let (i, j) = (check(i)?, check(j)?);
+                dbm.add_le(i, j, c.checked_sub(1).ok_or(Error::Overflow)?);
+            }
+            Constraint::LeVar(i, j, c) => {
+                let (i, j) = (check(i)?, check(j)?);
+                dbm.add_le(i, j, c);
+            }
+            Constraint::EqVar(i, j, c) => {
+                let (i, j) = (check(i)?, check(j)?);
+                dbm.add_eq(i, j, c);
+            }
+            Constraint::LtConst(v, c) => {
+                let i = check(v)?;
+                dbm.add_le(i, 0, c.checked_sub(1).ok_or(Error::Overflow)?);
+            }
+            Constraint::LeConst(v, c) => {
+                let i = check(v)?;
+                dbm.add_le(i, 0, c);
+            }
+            Constraint::EqConst(v, c) => {
+                let i = check(v)?;
+                dbm.add_eq(i, 0, c);
+            }
+            Constraint::GtConst(v, c) => {
+                let i = check(v)?;
+                dbm.add_le(
+                    0,
+                    i,
+                    c.checked_add(1)
+                        .ok_or(Error::Overflow)?
+                        .checked_neg()
+                        .ok_or(Error::Overflow)?,
+                );
+            }
+            Constraint::GeConst(v, c) => {
+                let i = check(v)?;
+                dbm.add_le(0, i, c.checked_neg().ok_or(Error::Overflow)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Does a concrete assignment (attribute `k` ↦ `point[k]`) satisfy the
+    /// constraint? Used by brute-force semantic tests.
+    pub fn satisfied_by(&self, point: &[i64]) -> bool {
+        let v = |x: Var| point[x.0] as i128;
+        match *self {
+            Constraint::LtVar(i, j, c) => v(i) < v(j) + c as i128,
+            Constraint::LeVar(i, j, c) => v(i) <= v(j) + c as i128,
+            Constraint::EqVar(i, j, c) => v(i) == v(j) + c as i128,
+            Constraint::LtConst(x, c) => v(x) < c as i128,
+            Constraint::LeConst(x, c) => v(x) <= c as i128,
+            Constraint::EqConst(x, c) => v(x) == c as i128,
+            Constraint::GtConst(x, c) => v(x) > c as i128,
+            Constraint::GeConst(x, c) => v(x) >= c as i128,
+        }
+    }
+
+    /// The largest attribute index mentioned, if any.
+    pub fn max_var(&self) -> usize {
+        match *self {
+            Constraint::LtVar(i, j, _)
+            | Constraint::LeVar(i, j, _)
+            | Constraint::EqVar(i, j, _) => i.0.max(j.0),
+            Constraint::LtConst(v, _)
+            | Constraint::LeConst(v, _)
+            | Constraint::EqConst(v, _)
+            | Constraint::GtConst(v, _)
+            | Constraint::GeConst(v, _) => v.0,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let off = |c: i64| {
+            if c == 0 {
+                String::new()
+            } else if c > 0 {
+                format!(" + {c}")
+            } else {
+                format!(" - {}", -c)
+            }
+        };
+        match *self {
+            Constraint::LtVar(i, j, c) => write!(f, "{i} < {j}{}", off(c)),
+            Constraint::LeVar(i, j, c) => write!(f, "{i} <= {j}{}", off(c)),
+            Constraint::EqVar(i, j, c) => write!(f, "{i} = {j}{}", off(c)),
+            Constraint::LtConst(v, c) => write!(f, "{v} < {c}"),
+            Constraint::LeConst(v, c) => write!(f, "{v} <= {c}"),
+            Constraint::EqConst(v, c) => write!(f, "{v} = {c}"),
+            Constraint::GtConst(v, c) => write!(f, "{c} < {v}"),
+            Constraint::GeConst(v, c) => write!(f, "{c} <= {v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::Bound;
+
+    #[test]
+    fn strictness_adjustment() {
+        let mut d = Dbm::unconstrained(2);
+        Constraint::LtVar(Var(0), Var(1), 5).apply(&mut d).unwrap();
+        assert_eq!(d.get(1, 2), Bound::Finite(4));
+        let mut d = Dbm::unconstrained(2);
+        Constraint::LeVar(Var(0), Var(1), 5).apply(&mut d).unwrap();
+        assert_eq!(d.get(1, 2), Bound::Finite(5));
+    }
+
+    #[test]
+    fn const_forms() {
+        let mut d = Dbm::unconstrained(1);
+        Constraint::GeConst(Var(0), 0).apply(&mut d).unwrap(); // T1 >= 0
+        Constraint::LtConst(Var(0), 10).apply(&mut d).unwrap(); // T1 < 10
+        assert!(d.close());
+        assert!(d.satisfied_by(&[0]));
+        assert!(d.satisfied_by(&[9]));
+        assert!(!d.satisfied_by(&[10]));
+        assert!(!d.satisfied_by(&[-1]));
+    }
+
+    #[test]
+    fn eq_const_pins_value() {
+        let mut d = Dbm::unconstrained(1);
+        Constraint::EqConst(Var(0), 42).apply(&mut d).unwrap();
+        assert!(d.close());
+        assert!(d.satisfied_by(&[42]));
+        assert!(!d.satisfied_by(&[41]));
+    }
+
+    #[test]
+    fn gt_const_strict() {
+        let mut d = Dbm::unconstrained(1);
+        Constraint::GtConst(Var(0), 3).apply(&mut d).unwrap();
+        assert!(d.close());
+        assert!(d.satisfied_by(&[4]));
+        assert!(!d.satisfied_by(&[3]));
+    }
+
+    #[test]
+    fn out_of_range_var() {
+        let mut d = Dbm::unconstrained(1);
+        let e = Constraint::EqVar(Var(0), Var(1), 0)
+            .apply(&mut d)
+            .unwrap_err();
+        assert_eq!(e, Error::VariableOutOfRange { index: 1, arity: 1 });
+    }
+
+    #[test]
+    fn satisfied_by_matches_dbm_semantics() {
+        // Random-ish cross-check of the two satisfaction notions.
+        let cs = [
+            Constraint::LtVar(Var(0), Var(1), 2),
+            Constraint::EqVar(Var(1), Var(0), 60),
+            Constraint::LeConst(Var(0), 100),
+            Constraint::GeConst(Var(1), -7),
+        ];
+        for c in cs {
+            let mut d = Dbm::unconstrained(2);
+            c.apply(&mut d).unwrap();
+            for p in [[0i64, 0], [5, 65], [-7, -7], [100, 160], [3, 1]] {
+                assert_eq!(
+                    c.satisfied_by(&p),
+                    d.satisfied_by(&p),
+                    "constraint {c} at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(
+            Constraint::EqVar(Var(1), Var(0), 60).to_string(),
+            "T2 = T1 + 60"
+        );
+        assert_eq!(
+            Constraint::LtVar(Var(0), Var(1), -3).to_string(),
+            "T1 < T2 - 3"
+        );
+        assert_eq!(Constraint::GeConst(Var(0), 0).to_string(), "0 <= T1");
+        assert_eq!(Constraint::EqVar(Var(0), Var(1), 0).to_string(), "T1 = T2");
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(Constraint::EqVar(Var(3), Var(1), 0).max_var(), 3);
+        assert_eq!(Constraint::LeConst(Var(2), 5).max_var(), 2);
+    }
+}

@@ -1,0 +1,511 @@
+//! Difference bound matrices over the integers.
+//!
+//! A DBM of dimension `d = n + 1` represents a conjunction of constraints
+//! `x_i − x_j ≤ m[i][j]` over variables `x_1 … x_n` plus the distinguished
+//! *zero variable* `x_0` whose value is fixed to `0`. All constraint forms of
+//! the paper (§2.1) translate into such bounds:
+//!
+//! | paper constraint | DBM entries |
+//! |------------------|-------------|
+//! | `Ti < Tj + c`    | `Ti − Tj ≤ c − 1` |
+//! | `Ti = Tj + c`    | `Ti − Tj ≤ c` and `Tj − Ti ≤ −c` |
+//! | `Ti < c`         | `Ti − x0 ≤ c − 1` |
+//! | `Ti = c`         | `Ti − x0 ≤ c` and `x0 − Ti ≤ −c` |
+//! | `c < Ti`         | `x0 − Ti ≤ −c − 1` |
+//!
+//! Over the integers the constraint matrix of a difference system is totally
+//! unimodular, so the classic results hold exactly: a closed DBM (shortest
+//! paths computed, no negative diagonal) is satisfiable, closure is the
+//! canonical form, and projection is "close then drop the row/column".
+
+use crate::bound::Bound;
+use std::fmt;
+
+/// A difference bound matrix; see the module documentation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    /// Dimension including the zero variable (`dim = temporal arity + 1`).
+    dim: usize,
+    /// Row-major `dim × dim` matrix; `m[i*dim + j]` bounds `x_i − x_j`.
+    m: Vec<Bound>,
+}
+
+impl Dbm {
+    /// An unconstrained DBM over `nvars` variables (plus the zero variable).
+    pub fn unconstrained(nvars: usize) -> Self {
+        let dim = nvars + 1;
+        let mut m = vec![Bound::Inf; dim * dim];
+        for i in 0..dim {
+            m[i * dim + i] = Bound::Finite(0);
+        }
+        Dbm { dim, m }
+    }
+
+    /// Number of real variables (excluding the zero variable).
+    pub fn nvars(&self) -> usize {
+        self.dim - 1
+    }
+
+    /// Dimension including the zero variable.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The bound on `x_i − x_j`; indices include the zero variable at 0.
+    pub fn get(&self, i: usize, j: usize) -> Bound {
+        self.m[i * self.dim + j]
+    }
+
+    /// Sets the bound on `x_i − x_j` (replacing, not tightening).
+    pub fn set(&mut self, i: usize, j: usize, b: Bound) {
+        self.m[i * self.dim + j] = b;
+    }
+
+    /// Tightens the bound on `x_i − x_j` to `min(current, b)`.
+    pub fn tighten(&mut self, i: usize, j: usize, b: Bound) {
+        let cur = self.get(i, j);
+        if b < cur {
+            self.set(i, j, b);
+        }
+    }
+
+    /// Adds the constraint `x_i − x_j ≤ c` (tightening).
+    pub fn add_le(&mut self, i: usize, j: usize, c: i64) {
+        self.tighten(i, j, Bound::Finite(c));
+    }
+
+    /// Adds the constraint `x_i − x_j = c`.
+    pub fn add_eq(&mut self, i: usize, j: usize, c: i64) {
+        self.add_le(i, j, c);
+        self.add_le(j, i, c.saturating_neg());
+    }
+
+    /// Floyd–Warshall closure. Returns `false` if a negative cycle was
+    /// found, in which case the DBM is unsatisfiable (its contents are then
+    /// unspecified apart from a negative diagonal entry).
+    pub fn close(&mut self) -> bool {
+        let d = self.dim;
+        for k in 0..d {
+            for i in 0..d {
+                let ik = self.m[i * d + k];
+                if !ik.is_finite() {
+                    continue;
+                }
+                for j in 0..d {
+                    let new = ik.plus(self.m[k * d + j]);
+                    if new < self.m[i * d + j] {
+                        self.m[i * d + j] = new;
+                    }
+                }
+            }
+            // Early negative-cycle detection keeps saturated sums from
+            // masking infeasibility.
+            if self.m[k * d + k] < Bound::Finite(0) {
+                return false;
+            }
+        }
+        (0..d).all(|i| self.m[i * d + i] >= Bound::Finite(0))
+    }
+
+    /// Is the (closed) DBM satisfiable? Call [`Dbm::close`] first; this just
+    /// inspects the diagonal.
+    pub fn diagonal_consistent(&self) -> bool {
+        (0..self.dim).all(|i| self.get(i, i) >= Bound::Finite(0))
+    }
+
+    /// Satisfiability from scratch: clones, closes, checks.
+    pub fn is_satisfiable(&self) -> bool {
+        self.clone().close()
+    }
+
+    /// Pointwise conjunction with another DBM of the same dimension
+    /// (taking the tighter bound everywhere). Panics on dimension mismatch.
+    pub fn conjoin(&mut self, other: &Dbm) {
+        assert_eq!(self.dim, other.dim, "DBM dimension mismatch");
+        for (a, b) in self.m.iter_mut().zip(other.m.iter()) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Entailment test on *closed* DBMs: does every solution of `self`
+    /// satisfy `other`? True iff each bound of `self` is at least as tight.
+    /// `self` must be closed; `other` need not be.
+    pub fn entails(&self, other: &Dbm) -> bool {
+        assert_eq!(self.dim, other.dim, "DBM dimension mismatch");
+        self.m.iter().zip(other.m.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Removes a set of variables (1-based indices into the variable list,
+    /// i.e. matrix indices; index 0 — the zero variable — may not be
+    /// removed). The DBM must be **closed** for the result to be the exact
+    /// projection. Returns the projected DBM; `keep_order` maps new variable
+    /// positions to old matrix indices.
+    pub fn drop_vars(&self, remove: &[usize]) -> Dbm {
+        debug_assert!(!remove.contains(&0), "cannot drop the zero variable");
+        let keep: Vec<usize> = (0..self.dim).filter(|i| !remove.contains(i)).collect();
+        let nd = keep.len();
+        let mut m = vec![Bound::Inf; nd * nd];
+        for (ni, &oi) in keep.iter().enumerate() {
+            for (nj, &oj) in keep.iter().enumerate() {
+                m[ni * nd + nj] = self.get(oi, oj);
+            }
+        }
+        Dbm { dim: nd, m }
+    }
+
+    /// Reorders variables: `perm[new_var] = old_var` (1-based variable
+    /// numbering, zero variable fixed). `perm` must be a permutation of
+    /// `1..=nvars`.
+    pub fn permute_vars(&self, perm: &[usize]) -> Dbm {
+        assert_eq!(perm.len(), self.nvars());
+        let map_idx = |v: usize| if v == 0 { 0 } else { perm[v - 1] };
+        let d = self.dim;
+        let mut m = vec![Bound::Inf; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                m[i * d + j] = self.get(map_idx(i), map_idx(j));
+            }
+        }
+        Dbm { dim: d, m }
+    }
+
+    /// Embeds this DBM into a larger one with `extra` fresh unconstrained
+    /// variables appended.
+    pub fn extend_vars(&self, extra: usize) -> Dbm {
+        let nd = self.dim + extra;
+        let mut out = Dbm::unconstrained(self.dim - 1 + extra);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                out.m[i * nd + j] = self.get(i, j);
+            }
+        }
+        out
+    }
+
+    /// Block merge: a DBM over the disjoint union of the two variable sets
+    /// (`self`'s variables first), sharing the zero variable. Constraints
+    /// between the two blocks are absent.
+    pub fn block_merge(&self, other: &Dbm) -> Dbm {
+        let na = self.nvars();
+        let nb = other.nvars();
+        let mut out = Dbm::unconstrained(na + nb);
+        for i in 0..=na {
+            for j in 0..=na {
+                out.set(i, j, self.get(i, j));
+            }
+        }
+        for i in 0..=nb {
+            for j in 0..=nb {
+                let oi = if i == 0 { 0 } else { na + i };
+                let oj = if j == 0 { 0 } else { na + j };
+                // Don't clobber self's zero-variable entries.
+                if oi == 0 && oj == 0 {
+                    continue;
+                }
+                out.tighten(oi, oj, other.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Applies the substitution `x_k := x_k + c` to the constraint set,
+    /// i.e. produces the constraints satisfied by the *shifted* solutions
+    /// `{ x with x_k replaced by x_k + c }`. Bounds `x_k − x_j ≤ b` become
+    /// `x_k − x_j ≤ b + c`, and `x_j − x_k ≤ b` become `≤ b − c`.
+    pub fn shift_var(&mut self, k: usize, c: i64) {
+        debug_assert!(k > 0 && k < self.dim);
+        let d = self.dim;
+        for j in 0..d {
+            if j == k {
+                continue;
+            }
+            if let Bound::Finite(b) = self.m[k * d + j] {
+                self.m[k * d + j] = Bound::Finite(b.saturating_add(c));
+            }
+            if let Bound::Finite(b) = self.m[j * d + k] {
+                self.m[j * d + k] = Bound::Finite(b.saturating_sub(c));
+            }
+        }
+    }
+
+    /// Does the concrete point satisfy all constraints? `point[i]` is the
+    /// value of variable `i+1`; the zero variable is implicitly 0.
+    pub fn satisfied_by(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.nvars());
+        let val = |i: usize| if i == 0 { 0 } else { point[i - 1] };
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if let Bound::Finite(c) = self.get(i, j) {
+                    // Use i128 to avoid overflow on extreme test points.
+                    if (val(i) as i128) - (val(j) as i128) > c as i128 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts a satisfying point from a **closed, satisfiable** DBM.
+    ///
+    /// Uses the standard construction: assign variables one at a time,
+    /// maintaining consistency with previously assigned ones (closure
+    /// guarantees an assignment always exists).
+    pub fn sample_point(&self) -> Option<Vec<i64>> {
+        if !self.diagonal_consistent() {
+            return None;
+        }
+        let n = self.nvars();
+        let mut point = vec![0i64; n];
+        // assigned[i] for matrix index i (0 = zero var, always assigned 0).
+        for v in 1..=n {
+            // x_v − x_j ≤ m[v][j] → x_v ≤ x_j + m[v][j]
+            // x_j − x_v ≤ m[j][v] → x_v ≥ x_j − m[j][v]
+            let mut lo = i64::MIN;
+            let mut hi = i64::MAX;
+            for j in 0..v {
+                let xj = if j == 0 { 0 } else { point[j - 1] };
+                if let Bound::Finite(c) = self.get(v, j) {
+                    hi = hi.min(xj.saturating_add(c));
+                }
+                if let Bound::Finite(c) = self.get(j, v) {
+                    lo = lo.max(xj.saturating_sub(c));
+                }
+            }
+            if lo > hi {
+                return None; // not closed or unsatisfiable
+            }
+            point[v - 1] = if lo > i64::MIN { lo } else { hi.min(0) };
+        }
+        Some(point)
+    }
+
+    /// Iterator over the finite off-diagonal bounds as `(i, j, c)` triples.
+    pub fn finite_bounds(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        let d = self.dim;
+        (0..d).flat_map(move |i| {
+            (0..d).filter_map(move |j| {
+                if i == j {
+                    return None;
+                }
+                self.get(i, j).finite().map(|c| (i, j, c))
+            })
+        })
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, j, c) in self.finite_bounds() {
+            if !first {
+                write!(f, " & ")?;
+            }
+            first = false;
+            let name = |v: usize| {
+                if v == 0 {
+                    "0".to_string()
+                } else {
+                    format!("T{v}")
+                }
+            };
+            write!(f, "{} - {} <= {}", name(i), name(j), c)?;
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed(mut d: Dbm) -> Dbm {
+        assert!(d.close());
+        d
+    }
+
+    #[test]
+    fn unconstrained_is_satisfiable() {
+        let d = Dbm::unconstrained(3);
+        assert!(d.is_satisfiable());
+        assert_eq!(d.nvars(), 3);
+        assert_eq!(d.dim(), 4);
+    }
+
+    #[test]
+    fn simple_chain_closure() {
+        // x1 - x2 <= -1, x2 - x3 <= -1  =>  x1 - x3 <= -2.
+        let mut d = Dbm::unconstrained(3);
+        d.add_le(1, 2, -1);
+        d.add_le(2, 3, -1);
+        assert!(d.close());
+        assert_eq!(d.get(1, 3), Bound::Finite(-2));
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        // x1 - x2 <= -1 and x2 - x1 <= 1 is fine (cycle sum 0);
+        // tightening the second to <= -1 makes the cycle negative.
+        let mut d = Dbm::unconstrained(2);
+        d.add_le(1, 2, -1);
+        d.add_le(2, 1, 1);
+        assert!(d.clone().close());
+        d.add_le(2, 1, -1);
+        assert!(!d.close());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut d = Dbm::unconstrained(2);
+        d.add_eq(2, 1, 60); // T2 = T1 + 60, the train example
+        assert!(d.close());
+        assert!(d.satisfied_by(&[5, 65]));
+        assert!(!d.satisfied_by(&[5, 64]));
+    }
+
+    #[test]
+    fn zero_var_bounds() {
+        // T1 >= 0 (paper: 0 < T1 + 1, i.e. x0 - x1 <= 0), T1 < 10.
+        let mut d = Dbm::unconstrained(1);
+        d.add_le(0, 1, 0);
+        d.add_le(1, 0, 9);
+        assert!(d.close());
+        assert!(d.satisfied_by(&[0]));
+        assert!(d.satisfied_by(&[9]));
+        assert!(!d.satisfied_by(&[-1]));
+        assert!(!d.satisfied_by(&[10]));
+    }
+
+    #[test]
+    fn conjoin_takes_tighter() {
+        let mut a = Dbm::unconstrained(1);
+        a.add_le(1, 0, 10);
+        let mut b = Dbm::unconstrained(1);
+        b.add_le(1, 0, 5);
+        b.add_le(0, 1, 0);
+        a.conjoin(&b);
+        assert_eq!(a.get(1, 0), Bound::Finite(5));
+        assert_eq!(a.get(0, 1), Bound::Finite(0));
+    }
+
+    #[test]
+    fn entailment() {
+        let mut tight = Dbm::unconstrained(2);
+        tight.add_eq(2, 1, 2);
+        tight.add_le(0, 1, 0);
+        let tight = closed(tight);
+        let mut loose = Dbm::unconstrained(2);
+        loose.add_le(1, 2, 0); // T1 <= T2
+        assert!(tight.entails(&loose));
+        assert!(!closed(loose.clone()).entails(&tight));
+        assert!(tight.entails(&tight));
+    }
+
+    #[test]
+    fn projection_is_exact_for_pure_dbms() {
+        // x1 < x2 < x3 projected onto (x1, x3) gives x1 <= x3 - 2.
+        let mut d = Dbm::unconstrained(3);
+        d.add_le(1, 2, -1);
+        d.add_le(2, 3, -1);
+        let d = closed(d);
+        let p = d.drop_vars(&[2]);
+        assert_eq!(p.nvars(), 2);
+        assert_eq!(p.get(1, 2), Bound::Finite(-2)); // new var 2 is old var 3
+        assert_eq!(p.get(2, 1), Bound::Inf);
+    }
+
+    #[test]
+    fn permute_swaps() {
+        let mut d = Dbm::unconstrained(2);
+        d.add_le(1, 2, 7);
+        let p = d.permute_vars(&[2, 1]);
+        assert_eq!(p.get(2, 1), Bound::Finite(7));
+        assert_eq!(p.get(1, 2), Bound::Inf);
+    }
+
+    #[test]
+    fn extend_adds_unconstrained() {
+        let mut d = Dbm::unconstrained(1);
+        d.add_le(1, 0, 3);
+        let e = d.extend_vars(2);
+        assert_eq!(e.nvars(), 3);
+        assert_eq!(e.get(1, 0), Bound::Finite(3));
+        assert_eq!(e.get(2, 0), Bound::Inf);
+        assert_eq!(e.get(2, 2), Bound::Finite(0));
+        assert!(e.is_satisfiable());
+    }
+
+    #[test]
+    fn shift_var_translates_solutions() {
+        // T1 <= 5 shifted by +3 on T1: solutions are now T1 <= 8.
+        let mut d = Dbm::unconstrained(2);
+        d.add_le(1, 0, 5);
+        d.add_eq(2, 1, 1);
+        d.shift_var(1, 3);
+        assert!(d.close());
+        assert!(d.satisfied_by(&[8, 6]));
+        assert!(!d.satisfied_by(&[9, 6]));
+        // The relation T2 = T1(old) + 1 = (T1(new) - 3) + 1.
+        assert!(d.satisfied_by(&[4, 2]));
+        assert!(!d.satisfied_by(&[4, 3]));
+    }
+
+    #[test]
+    fn sample_point_satisfies() {
+        let mut d = Dbm::unconstrained(3);
+        d.add_le(1, 2, -1);
+        d.add_le(2, 3, -1);
+        d.add_le(0, 1, -5); // x1 >= 5... actually x0 - x1 <= -5 => x1 >= 5
+        d.add_le(3, 0, 100);
+        let d = closed(d);
+        let p = d.sample_point().unwrap();
+        assert!(d.satisfied_by(&p), "{p:?}");
+        assert!(p[0] >= 5 && p[0] < p[1] && p[1] < p[2] && p[2] <= 100);
+    }
+
+    #[test]
+    fn sample_point_on_unsat_is_none() {
+        let mut d = Dbm::unconstrained(1);
+        d.add_le(1, 0, -1);
+        d.add_le(0, 1, 0);
+        assert!(!d.close());
+        assert!(d.sample_point().is_none());
+    }
+
+    #[test]
+    fn finite_bounds_iteration() {
+        let mut d = Dbm::unconstrained(2);
+        d.add_le(1, 2, 4);
+        d.add_le(2, 0, 9);
+        let v: Vec<_> = d.finite_bounds().collect();
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&(1, 2, 4)));
+        assert!(v.contains(&(2, 0, 9)));
+    }
+
+    #[test]
+    fn display_readable() {
+        let mut d = Dbm::unconstrained(2);
+        d.add_le(1, 2, 4);
+        let s = d.to_string();
+        assert!(s.contains("T1 - T2 <= 4"), "{s}");
+        assert_eq!(Dbm::unconstrained(1).to_string(), "true");
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let mut d = Dbm::unconstrained(3);
+        d.add_le(1, 2, 3);
+        d.add_le(2, 3, -7);
+        d.add_le(3, 1, 5);
+        assert!(d.close());
+        let once = d.clone();
+        assert!(d.close());
+        assert_eq!(d, once);
+    }
+}

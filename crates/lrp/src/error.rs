@@ -1,0 +1,115 @@
+//! Error types for the LRP substrate.
+
+use std::fmt;
+
+/// Errors produced by LRP, zone, tuple and relation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An arithmetic operation on temporal values overflowed `i64`.
+    Overflow,
+    /// A linear repeating point was constructed with period zero.
+    ///
+    /// The paper (§2.1) requires every lrp in a generalized database to have
+    /// a non-zero period; integer constants are represented as the lrp `n`
+    /// (period 1) with an associated constraint `T = c`.
+    ZeroPeriod,
+    /// Two objects with different arities were combined.
+    ArityMismatch {
+        /// Arity expected by the receiver.
+        expected: usize,
+        /// Arity actually supplied.
+        found: usize,
+    },
+    /// A temporal-variable index was out of range for the tuple or zone.
+    VariableOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of temporal variables available.
+        arity: usize,
+    },
+    /// The exact residue search exceeded its configured budget.
+    ///
+    /// Zone emptiness is decided exactly by searching residue classes modulo
+    /// the lcm of the variable periods; pathological period structures can
+    /// make that search large. Rather than silently approximating, the
+    /// operation fails with this error and the caller may raise the budget.
+    ResidueBudget {
+        /// The budget that was exceeded (number of residue combinations).
+        budget: u64,
+    },
+    /// A parse error, with a human-readable message and byte offset.
+    Parse {
+        /// Description of what went wrong.
+        message: String,
+        /// Byte offset in the input at which the error was detected.
+        offset: usize,
+    },
+    /// Column counts in a relation operation did not line up.
+    SchemaMismatch(String),
+    /// An evaluation-level failure (language restriction violated, detection
+    /// horizon exhausted, …) with a human-readable description.
+    Eval(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Overflow => write!(f, "temporal arithmetic overflowed i64"),
+            Error::ZeroPeriod => write!(f, "linear repeating point must have non-zero period"),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            Error::VariableOutOfRange { index, arity } => {
+                write!(f, "temporal variable T{index} out of range (arity {arity})")
+            }
+            Error::ResidueBudget { budget } => {
+                write!(
+                    f,
+                    "exact residue search exceeded budget of {budget} combinations"
+                )
+            }
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::Overflow.to_string().contains("overflow"));
+        assert!(Error::ZeroPeriod.to_string().contains("non-zero"));
+        let e = Error::ArityMismatch {
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        let e = Error::VariableOutOfRange { index: 5, arity: 2 };
+        assert!(e.to_string().contains("T5"));
+        let e = Error::ResidueBudget { budget: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = Error::Parse {
+            message: "bad token".into(),
+            offset: 7,
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(Error::SchemaMismatch("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Overflow, Error::Overflow);
+        assert_ne!(Error::Overflow, Error::ZeroPeriod);
+    }
+}

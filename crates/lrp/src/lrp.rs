@@ -1,0 +1,431 @@
+//! Linear repeating points (§2.1 of the paper).
+//!
+//! A *linear repeating point* (lrp) `an + b` denotes the set
+//! `{ a·n + b | n ∈ ℤ }` of integers. With `a ≠ 0` this is the residue class
+//! `b mod |a|`; the paper's non-zero-period assumption is enforced at
+//! construction. We keep lrps in a canonical form — `period ≥ 1` and
+//! `0 ≤ offset < period` — so that two lrps denote the same set iff they are
+//! structurally equal.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A canonical linear repeating point `period·n + offset`.
+///
+/// Invariants: `period ≥ 1` and `0 ≤ offset < period`. The denoted set is
+/// `{ period·n + offset | n ∈ ℤ }`, i.e. the residue class of `offset`
+/// modulo `period`. The paper writes `an + b`; `new(a, b)` canonicalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lrp {
+    period: i64,
+    offset: i64,
+}
+
+impl Lrp {
+    /// Creates the lrp `a·n + b`, canonicalizing the representation.
+    ///
+    /// Fails with [`Error::ZeroPeriod`] when `a == 0` (the paper requires
+    /// non-zero periods; represent a constant `c` as `Lrp::new(1, 0)` with a
+    /// `T = c` constraint) and with [`Error::Overflow`] when canonicalization
+    /// would overflow (`a == i64::MIN`).
+    pub fn new(a: i64, b: i64) -> Result<Self> {
+        if a == 0 {
+            return Err(Error::ZeroPeriod);
+        }
+        let period = a.checked_abs().ok_or(Error::Overflow)?;
+        Ok(Lrp {
+            period,
+            offset: b.rem_euclid(period),
+        })
+    }
+
+    /// The lrp `n` whose extension is all of ℤ (period 1).
+    pub const fn all_integers() -> Self {
+        Lrp {
+            period: 1,
+            offset: 0,
+        }
+    }
+
+    /// Canonical period (always ≥ 1).
+    pub fn period(&self) -> i64 {
+        self.period
+    }
+
+    /// Canonical offset (always in `[0, period)`).
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Does the denoted set contain `t`?
+    pub fn contains(&self, t: i64) -> bool {
+        t.rem_euclid(self.period) == self.offset
+    }
+
+    /// Set containment: is `self ⊆ other` as sets of integers?
+    ///
+    /// `{a₁n + b₁} ⊆ {a₂n + b₂}` iff `a₂ | a₁` and `b₁ ≡ b₂ (mod a₂)`.
+    pub fn is_subset_of(&self, other: &Lrp) -> bool {
+        self.period % other.period == 0 && self.offset.rem_euclid(other.period) == other.offset
+    }
+
+    /// Shifts the set by `c`: `{x + c | x ∈ self}`.
+    pub fn shift(&self, c: i64) -> Result<Self> {
+        let offset = self
+            .offset
+            .checked_add(c.rem_euclid(self.period))
+            .ok_or(Error::Overflow)?
+            .rem_euclid(self.period);
+        Ok(Lrp {
+            period: self.period,
+            offset,
+        })
+    }
+
+    /// Intersection of two lrps via the Chinese remainder theorem.
+    ///
+    /// Returns `Ok(None)` when the residue classes are disjoint (i.e.
+    /// `gcd(p₁, p₂) ∤ (b₁ − b₂)`), `Ok(Some(lrp))` with period
+    /// `lcm(p₁, p₂)` otherwise, and [`Error::Overflow`] if the lcm or the
+    /// combined offset cannot be represented.
+    pub fn intersect(&self, other: &Lrp) -> Result<Option<Self>> {
+        let (g, x, _) = extended_gcd(self.period, other.period);
+        let diff = other
+            .offset
+            .checked_sub(self.offset)
+            .ok_or(Error::Overflow)?;
+        if diff.rem_euclid(g) != 0 {
+            return Ok(None);
+        }
+        let lcm = self
+            .period
+            .checked_div(g)
+            .and_then(|q| q.checked_mul(other.period))
+            .ok_or(Error::Overflow)?;
+        // Solution: offset = b1 + p1 * ((diff / g) * x mod (p2 / g)).
+        // Reduce the multiplier modulo p2/g first so the product stays small.
+        let m = other.period / g;
+        let k = mul_mod(x.rem_euclid(m), (diff / g).rem_euclid(m), m);
+        let offset = self
+            .period
+            .checked_mul(k)
+            .and_then(|v| v.checked_add(self.offset))
+            .ok_or(Error::Overflow)?
+            .rem_euclid(lcm);
+        Ok(Some(Lrp {
+            period: lcm,
+            offset,
+        }))
+    }
+
+    /// Complement of the denoted set within ℤ, as a union of lrps.
+    ///
+    /// `ℤ \ {pn + b}` is the union of the `p − 1` other residue classes
+    /// modulo `p`; the result is empty exactly when `p == 1`.
+    pub fn complement(&self) -> Vec<Lrp> {
+        (0..self.period)
+            .filter(|r| *r != self.offset)
+            .map(|r| Lrp {
+                period: self.period,
+                offset: r,
+            })
+            .collect()
+    }
+
+    /// The smallest element of the set that is `≥ t`.
+    pub fn next_at_or_after(&self, t: i64) -> Result<i64> {
+        let r = t.rem_euclid(self.period);
+        let delta = (self.offset - r).rem_euclid(self.period);
+        t.checked_add(delta).ok_or(Error::Overflow)
+    }
+
+    /// The largest element of the set that is `≤ t`.
+    pub fn prev_at_or_before(&self, t: i64) -> Result<i64> {
+        let r = t.rem_euclid(self.period);
+        let delta = (r - self.offset).rem_euclid(self.period);
+        t.checked_sub(delta).ok_or(Error::Overflow)
+    }
+
+    /// Iterates the elements of the set inside the window `[lo, hi]`,
+    /// in increasing order.
+    pub fn iter_window(&self, lo: i64, hi: i64) -> LrpWindowIter {
+        let start = match self.next_at_or_after(lo) {
+            Ok(s) => s,
+            // Overflow means the window is entirely past representability;
+            // produce an empty iterator.
+            Err(_) => hi.saturating_add(1).max(lo),
+        };
+        LrpWindowIter {
+            next: start,
+            hi,
+            period: self.period,
+            done: start > hi,
+        }
+    }
+
+    /// Number of elements in `[lo, hi]`.
+    pub fn count_window(&self, lo: i64, hi: i64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        match (self.next_at_or_after(lo), self.prev_at_or_before(hi)) {
+            (Ok(first), Ok(last)) if first <= last => ((last - first) / self.period + 1) as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Lrp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}n+{}", self.period, self.offset)
+    }
+}
+
+/// Iterator over the elements of an lrp within a finite window.
+#[derive(Debug, Clone)]
+pub struct LrpWindowIter {
+    next: i64,
+    hi: i64,
+    period: i64,
+    done: bool,
+}
+
+impl Iterator for LrpWindowIter {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        if self.done || self.next > self.hi {
+            self.done = true;
+            return None;
+        }
+        let v = self.next;
+        match self.next.checked_add(self.period) {
+            Some(n) => self.next = n,
+            None => self.done = true,
+        }
+        Some(v)
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+///
+/// Both inputs must be positive (callers pass canonical periods).
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    debug_assert!(a > 0 && b > 0);
+    let (mut r0, mut r1) = (a, b);
+    let (mut s0, mut s1) = (1i64, 0i64);
+    let (mut t0, mut t1) = (0i64, 1i64);
+    while r1 != 0 {
+        let q = r0 / r1;
+        (r0, r1) = (r1, r0 - q * r1);
+        (s0, s1) = (s1, s0 - q * s1);
+        (t0, t1) = (t1, t0 - q * t1);
+    }
+    (r0, s0, t0)
+}
+
+/// Greatest common divisor of two positive integers.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    extended_gcd(a, b).0
+}
+
+/// Least common multiple; errors on overflow.
+pub fn lcm(a: i64, b: i64) -> Result<i64> {
+    (a / gcd(a, b)).checked_mul(b).ok_or(Error::Overflow)
+}
+
+/// `(a * b) mod m` without intermediate overflow, for `m > 0` and
+/// `0 ≤ a, b < m`.
+fn mul_mod(a: i64, b: i64, m: i64) -> i64 {
+    debug_assert!(m > 0 && (0..m).contains(&a) && (0..m).contains(&b));
+    ((a as i128 * b as i128) % m as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization() {
+        // The paper's example: 5m + 3 denotes {…, -7, -2, 3, 8, 13, …}.
+        let l = Lrp::new(5, 3).unwrap();
+        assert_eq!(l.period(), 5);
+        assert_eq!(l.offset(), 3);
+        assert!(l.contains(-7) && l.contains(-2) && l.contains(3) && l.contains(13));
+        assert!(!l.contains(0) && !l.contains(5));
+        // Negative period and out-of-range offset canonicalize.
+        assert_eq!(Lrp::new(-5, 3).unwrap(), l);
+        assert_eq!(Lrp::new(5, -2).unwrap(), l);
+        assert_eq!(Lrp::new(5, 13).unwrap(), l);
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        assert_eq!(Lrp::new(0, 3).unwrap_err(), Error::ZeroPeriod);
+    }
+
+    #[test]
+    fn min_period_overflows() {
+        assert_eq!(Lrp::new(i64::MIN, 0).unwrap_err(), Error::Overflow);
+    }
+
+    #[test]
+    fn all_integers_contains_everything() {
+        let l = Lrp::all_integers();
+        for t in [-100, -1, 0, 1, 42, i64::MAX, i64::MIN] {
+            assert!(l.contains(t));
+        }
+    }
+
+    #[test]
+    fn shift_moves_the_set() {
+        let l = Lrp::new(40, 5).unwrap();
+        let s = l.shift(60).unwrap();
+        assert_eq!(s, Lrp::new(40, 65).unwrap());
+        assert_eq!(s.offset(), 25);
+        // Shifting by a multiple of the period is the identity.
+        assert_eq!(l.shift(80).unwrap(), l);
+        // Negative shifts.
+        assert_eq!(l.shift(-5).unwrap(), Lrp::new(40, 0).unwrap());
+    }
+
+    #[test]
+    fn shift_extreme_values() {
+        let l = Lrp::new(7, 3).unwrap();
+        // c is reduced mod period first, so extreme shifts are fine.
+        let s = l.shift(i64::MAX).unwrap();
+        assert_eq!(s.period(), 7);
+        let s = l.shift(i64::MIN).unwrap();
+        assert_eq!(s.period(), 7);
+    }
+
+    #[test]
+    fn subset() {
+        let six = Lrp::new(6, 4).unwrap();
+        let two = Lrp::new(2, 0).unwrap();
+        let three = Lrp::new(3, 1).unwrap();
+        assert!(six.is_subset_of(&two)); // 6n+4 ⊆ 2n
+        assert!(six.is_subset_of(&three)); // 6n+4 ⊆ 3n+1
+        assert!(!two.is_subset_of(&six));
+        assert!(six.is_subset_of(&six));
+        assert!(six.is_subset_of(&Lrp::all_integers()));
+    }
+
+    #[test]
+    fn intersect_crt() {
+        // 2n ∩ 3n+1 = 6n+4.
+        let a = Lrp::new(2, 0).unwrap();
+        let b = Lrp::new(3, 1).unwrap();
+        let c = a.intersect(&b).unwrap().unwrap();
+        assert_eq!(c, Lrp::new(6, 4).unwrap());
+        // Disjoint: 2n ∩ 2n+1 = ∅.
+        let odd = Lrp::new(2, 1).unwrap();
+        assert_eq!(a.intersect(&odd).unwrap(), None);
+        // Same class: idempotent.
+        assert_eq!(a.intersect(&a).unwrap(), Some(a));
+    }
+
+    #[test]
+    fn intersect_brute_force_agreement() {
+        // Exhaustively compare with set semantics on a window.
+        for p1 in 1..8i64 {
+            for b1 in 0..p1 {
+                for p2 in 1..8i64 {
+                    for b2 in 0..p2 {
+                        let x = Lrp::new(p1, b1).unwrap();
+                        let y = Lrp::new(p2, b2).unwrap();
+                        let both: Vec<i64> = (-50..50)
+                            .filter(|t| x.contains(*t) && y.contains(*t))
+                            .collect();
+                        match x.intersect(&y).unwrap() {
+                            None => assert!(both.is_empty(), "{x} ∩ {y}"),
+                            Some(z) => {
+                                let zs: Vec<i64> = (-50..50).filter(|t| z.contains(*t)).collect();
+                                assert_eq!(both, zs, "{x} ∩ {y} = {z}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_large_coprime_periods() {
+        let a = Lrp::new(1_000_003, 5).unwrap();
+        let b = Lrp::new(998_244_353, 7).unwrap();
+        let c = a.intersect(&b).unwrap().unwrap();
+        assert_eq!(c.period(), 1_000_003 * 998_244_353);
+        assert!(c.contains(c.offset()));
+        assert_eq!(c.offset().rem_euclid(1_000_003), 5);
+        assert_eq!(c.offset().rem_euclid(998_244_353), 7);
+    }
+
+    #[test]
+    fn complement_partitions() {
+        let l = Lrp::new(4, 1).unwrap();
+        let comp = l.complement();
+        assert_eq!(comp.len(), 3);
+        for t in -20..20 {
+            let in_l = l.contains(t);
+            let in_comp = comp.iter().any(|c| c.contains(t));
+            assert!(in_l ^ in_comp, "t={t}");
+        }
+        assert!(Lrp::all_integers().complement().is_empty());
+    }
+
+    #[test]
+    fn next_prev() {
+        let l = Lrp::new(40, 5).unwrap();
+        assert_eq!(l.next_at_or_after(0).unwrap(), 5);
+        assert_eq!(l.next_at_or_after(5).unwrap(), 5);
+        assert_eq!(l.next_at_or_after(6).unwrap(), 45);
+        assert_eq!(l.prev_at_or_before(0).unwrap(), -35);
+        assert_eq!(l.prev_at_or_before(5).unwrap(), 5);
+        assert_eq!(l.prev_at_or_before(44).unwrap(), 5);
+    }
+
+    #[test]
+    fn window_iteration() {
+        let l = Lrp::new(40, 5).unwrap();
+        let v: Vec<i64> = l.iter_window(0, 170).collect();
+        assert_eq!(v, vec![5, 45, 85, 125, 165]);
+        assert_eq!(l.count_window(0, 170), 5);
+        assert_eq!(l.count_window(6, 44), 0);
+        let empty: Vec<i64> = l.iter_window(10, 5).collect();
+        assert!(empty.is_empty());
+        assert_eq!(l.count_window(10, 5), 0);
+    }
+
+    #[test]
+    fn window_iteration_negative_range() {
+        let l = Lrp::new(5, 3).unwrap();
+        let v: Vec<i64> = l.iter_window(-12, 4).collect();
+        assert_eq!(v, vec![-12, -7, -2, 3]);
+        assert_eq!(l.count_window(-12, 4), 4);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for a in 1..30 {
+            for b in 1..30 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(a * x + b * y, g);
+                assert_eq!(g, gcd(a, b));
+                assert_eq!(a % g, 0);
+                assert_eq!(b % g, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lcm_overflow_detected() {
+        assert!(lcm(i64::MAX, i64::MAX - 1).is_err());
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Lrp::new(168, 8).unwrap().to_string(), "168n+8");
+    }
+}

@@ -1,0 +1,561 @@
+//! Textual format for lrps, constraints, generalized tuples and relations.
+//!
+//! The concrete syntax mirrors the paper's notation:
+//!
+//! ```text
+//! lrp        ::=  [INT] "n" (("+" | "-") INT)?            e.g. 40n+5, n, 2n-1
+//! term       ::=  "T" INT (("+" | "-") INT)?  |  INT      T1, T2 + 60, 7
+//! constraint ::=  term ("<" | "<=" | "=" | ">=" | ">") term
+//!              |  diffside "-" diffside ("<" | "<=" | "=" | ">=" | ">") INT
+//! diffside   ::=  "T" INT | "0"                           the closed-DBM form
+//! tuple      ::=  "(" lrp ("," lrp)* (";" data ("," data)*)? ")"
+//!                 (":" constraint (("," | "&") constraint)*)?
+//! data       ::=  IDENT  |  "#" INT
+//! relation   ::=  "{"? tuple* "}"?
+//!
+//! The closed-DBM difference form (`T1 - T2 <= -2`, `0 - T1 <= -5`) is what
+//! [`crate::GeneralizedTuple`]'s `Display` emits, so printed relations parse
+//! back.
+//! ```
+//!
+//! Example (the train schedule of the paper's Example 2.1):
+//!
+//! ```text
+//! (40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60
+//! ```
+
+use crate::constraint::{Constraint, Var};
+use crate::error::{Error, Result};
+use crate::lrp::Lrp;
+use crate::relation::{GeneralizedRelation, Schema};
+use crate::tuple::GeneralizedTuple;
+use crate::value::DataValue;
+
+/// Parses a single lrp, e.g. `40n+5`.
+pub fn parse_lrp(input: &str) -> Result<Lrp> {
+    let mut p = Parser::new(input);
+    let l = p.lrp()?;
+    p.expect_eof()?;
+    Ok(l)
+}
+
+/// Parses a single constraint, e.g. `T2 = T1 + 60`.
+pub fn parse_constraint(input: &str) -> Result<Constraint> {
+    let mut p = Parser::new(input);
+    let c = p.constraint()?;
+    p.expect_eof()?;
+    Ok(c)
+}
+
+/// Parses a single generalized tuple.
+pub fn parse_tuple(input: &str) -> Result<GeneralizedTuple> {
+    let mut p = Parser::new(input);
+    let t = p.tuple()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+/// Parses a generalized relation (a sequence of tuples). All tuples must
+/// agree on temporal and data arity; an empty input needs an explicit
+/// schema, so it is rejected here.
+pub fn parse_relation(input: &str) -> Result<GeneralizedRelation> {
+    let mut p = Parser::new(input);
+    let braced = p.eat(b'{');
+    let mut tuples = Vec::new();
+    while !p.at_eof() && p.peek() != Some(b'}') {
+        tuples.push(p.tuple()?);
+    }
+    if braced {
+        p.expect(b'}')?;
+    }
+    let first = tuples.first().ok_or(Error::Parse {
+        message: "empty relation text (schema cannot be inferred)".into(),
+        offset: 0,
+    })?;
+    let schema = Schema::new(first.temporal_arity(), first.data_arity());
+    GeneralizedRelation::from_tuples(schema, tuples)
+}
+
+/// One side of a constraint: a temporal variable plus offset, or a constant.
+#[derive(Debug, Clone, Copy)]
+enum Term {
+    VarOff(Var, i64),
+    Const(i64),
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    /// An unsigned integer literal.
+    fn uint(&mut self) -> Result<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected an integer");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .ok_or(Error::Parse {
+                message: "integer literal overflows i64".into(),
+                offset: start,
+            })
+    }
+
+    /// A possibly signed integer literal.
+    fn int(&mut self) -> Result<i64> {
+        let neg = self.eat(b'-');
+        if !neg {
+            let _ = self.eat(b'+');
+        }
+        let v = self.uint()?;
+        Ok(if neg {
+            v.checked_neg().ok_or(Error::Overflow)?
+        } else {
+            v
+        })
+    }
+
+    /// Trailing `+ c` / `- c` offset; 0 when absent.
+    fn offset(&mut self) -> Result<i64> {
+        match self.peek() {
+            Some(b'+') => {
+                self.pos += 1;
+                self.uint()
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(-self.uint()?)
+            }
+            _ => Ok(0),
+        }
+    }
+
+    fn lrp(&mut self) -> Result<Lrp> {
+        self.skip_ws();
+        let period = if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.int()?
+        } else {
+            1
+        };
+        // The literal variable letter 'n'.
+        if !self.eat(b'n') {
+            return self.err("expected 'n' in lrp");
+        }
+        let offset = self.offset()?;
+        Lrp::new(period, offset)
+    }
+
+    /// `T<k>` with 1-based numbering in the concrete syntax.
+    fn temporal_var(&mut self) -> Result<Var> {
+        self.skip_ws();
+        if !self.eat(b'T') {
+            return self.err("expected temporal variable 'T<k>'");
+        }
+        let k = self.uint()?;
+        if k == 0 {
+            return self.err("temporal variables are numbered from T1");
+        }
+        Ok(Var((k - 1) as usize))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some(b'T') => {
+                let v = self.temporal_var()?;
+                let off = self.offset()?;
+                Ok(Term::VarOff(v, off))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => Ok(Term::Const(self.int()?)),
+            _ => self.err("expected a temporal term"),
+        }
+    }
+
+    fn comparison_op(&mut self) -> Result<&'static str> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let op = if rest.starts_with(b"<=") {
+            "<="
+        } else if rest.starts_with(b">=") {
+            ">="
+        } else if rest.starts_with(b"<") {
+            "<"
+        } else if rest.starts_with(b">") {
+            ">"
+        } else if rest.starts_with(b"=") {
+            "="
+        } else {
+            return self.err("expected a comparison operator");
+        };
+        self.pos += op.len();
+        Ok(op)
+    }
+
+    fn constraint(&mut self) -> Result<Constraint> {
+        // The closed-DBM difference form first: `X - Y <= c` where X, Y are
+        // `T<k>` or `0`. Detected by a '-' followed by 'T' or '0' after the
+        // first side.
+        let save = self.pos;
+        if let Some(c) = self.try_difference_constraint()? {
+            return Ok(c);
+        }
+        self.pos = save;
+        let lhs = self.term()?;
+        let op = self.comparison_op()?;
+        let rhs = self.term()?;
+        // Normalize everything to the Constraint enum's shapes.
+        let c = match (lhs, op, rhs) {
+            (Term::VarOff(i, a), "<", Term::VarOff(j, b)) => Constraint::LtVar(i, j, sub(b, a)?),
+            (Term::VarOff(i, a), "<=", Term::VarOff(j, b)) => Constraint::LeVar(i, j, sub(b, a)?),
+            (Term::VarOff(i, a), "=", Term::VarOff(j, b)) => Constraint::EqVar(i, j, sub(b, a)?),
+            (Term::VarOff(i, a), ">", Term::VarOff(j, b)) => Constraint::LtVar(j, i, sub(a, b)?),
+            (Term::VarOff(i, a), ">=", Term::VarOff(j, b)) => Constraint::LeVar(j, i, sub(a, b)?),
+            (Term::VarOff(v, a), "<", Term::Const(c)) => Constraint::LtConst(v, sub(c, a)?),
+            (Term::VarOff(v, a), "<=", Term::Const(c)) => Constraint::LeConst(v, sub(c, a)?),
+            (Term::VarOff(v, a), "=", Term::Const(c)) => Constraint::EqConst(v, sub(c, a)?),
+            (Term::VarOff(v, a), ">", Term::Const(c)) => Constraint::GtConst(v, sub(c, a)?),
+            (Term::VarOff(v, a), ">=", Term::Const(c)) => Constraint::GeConst(v, sub(c, a)?),
+            (Term::Const(c), "<", Term::VarOff(v, a)) => Constraint::GtConst(v, sub(c, a)?),
+            (Term::Const(c), "<=", Term::VarOff(v, a)) => Constraint::GeConst(v, sub(c, a)?),
+            (Term::Const(c), "=", Term::VarOff(v, a)) => Constraint::EqConst(v, sub(c, a)?),
+            (Term::Const(c), ">", Term::VarOff(v, a)) => Constraint::LtConst(v, sub(c, a)?),
+            (Term::Const(c), ">=", Term::VarOff(v, a)) => Constraint::LeConst(v, sub(c, a)?),
+            (Term::Const(_), _, Term::Const(_)) => {
+                return self.err("constraint relates two constants")
+            }
+            _ => return self.err("unsupported constraint shape"),
+        };
+        Ok(c)
+    }
+
+    /// `X - Y OP c` with X, Y ∈ {T<k>, 0}; returns Ok(None) when the input
+    /// does not have this shape (caller rewinds).
+    fn try_difference_constraint(&mut self) -> Result<Option<Constraint>> {
+        enum Side {
+            Var(Var),
+            Zero,
+        }
+        let side = |p: &mut Self| -> Result<Option<Side>> {
+            match p.peek() {
+                Some(b'T') => Ok(Some(Side::Var(p.temporal_var()?))),
+                Some(b'0') => {
+                    p.pos += 1;
+                    // A bare zero only; `0` followed by digits is a number.
+                    if p.src.get(p.pos).is_some_and(|b| b.is_ascii_digit()) {
+                        return Ok(None);
+                    }
+                    Ok(Some(Side::Zero))
+                }
+                _ => Ok(None),
+            }
+        };
+        let Some(lhs) = side(self)? else {
+            return Ok(None);
+        };
+        if self.peek() != Some(b'-') {
+            return Ok(None);
+        }
+        self.pos += 1;
+        // Must be followed by a side, not a number (else it was an offset).
+        let before = self.pos;
+        let Some(rhs) = side(self)? else {
+            self.pos = before;
+            return Ok(None);
+        };
+        let op = self.comparison_op()?;
+        let c = self.int()?;
+        // X - Y OP c normalizes onto the Constraint enum.
+        let built = match (lhs, rhs) {
+            (Side::Var(i), Side::Var(j)) => match op {
+                "<" => Constraint::LtVar(i, j, c),
+                "<=" => Constraint::LeVar(i, j, c),
+                "=" => Constraint::EqVar(i, j, c),
+                ">=" => Constraint::LeVar(j, i, c.checked_neg().ok_or(Error::Overflow)?),
+                _ => Constraint::LtVar(j, i, c.checked_neg().ok_or(Error::Overflow)?),
+            },
+            (Side::Var(i), Side::Zero) => match op {
+                "<" => Constraint::LtConst(i, c),
+                "<=" => Constraint::LeConst(i, c),
+                "=" => Constraint::EqConst(i, c),
+                ">=" => Constraint::GeConst(i, c),
+                _ => Constraint::GtConst(i, c),
+            },
+            (Side::Zero, Side::Var(j)) => {
+                // −Tj OP c ⟺ Tj OP' −c.
+                let nc = c.checked_neg().ok_or(Error::Overflow)?;
+                match op {
+                    "<" => Constraint::GtConst(j, nc),
+                    "<=" => Constraint::GeConst(j, nc),
+                    "=" => Constraint::EqConst(j, nc),
+                    ">=" => Constraint::LeConst(j, nc),
+                    _ => Constraint::LtConst(j, nc),
+                }
+            }
+            (Side::Zero, Side::Zero) => return self.err("difference constraint relates 0 to 0"),
+        };
+        Ok(Some(built))
+    }
+
+    fn data_value(&mut self) -> Result<DataValue> {
+        self.skip_ws();
+        if self.eat(b'#') {
+            return Ok(DataValue::Int(self.int()?));
+        }
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected a data constant");
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| Error::Parse {
+            message: "invalid utf-8 in identifier".into(),
+            offset: start,
+        })?;
+        Ok(DataValue::sym(s))
+    }
+
+    fn tuple(&mut self) -> Result<GeneralizedTuple> {
+        self.expect(b'(')?;
+        let mut lrps = vec![self.lrp()?];
+        while self.eat(b',') {
+            lrps.push(self.lrp()?);
+        }
+        let mut data = Vec::new();
+        if self.eat(b';') {
+            data.push(self.data_value()?);
+            while self.eat(b',') {
+                data.push(self.data_value()?);
+            }
+        }
+        self.expect(b')')?;
+        let mut constraints = Vec::new();
+        if self.eat(b':') {
+            constraints.push(self.constraint()?);
+            while self.eat(b',') || self.eat(b'&') {
+                constraints.push(self.constraint()?);
+            }
+        }
+        let arity = lrps.len();
+        for c in &constraints {
+            if c.max_var() >= arity {
+                return self.err(format!(
+                    "constraint {c} references T{} but the tuple has temporal arity {arity}",
+                    c.max_var() + 1
+                ));
+            }
+        }
+        GeneralizedTuple::build(lrps, &constraints, data)
+    }
+}
+
+fn sub(a: i64, b: i64) -> Result<i64> {
+    a.checked_sub(b).ok_or(Error::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrp_forms() {
+        assert_eq!(parse_lrp("40n+5").unwrap(), Lrp::new(40, 5).unwrap());
+        assert_eq!(parse_lrp("n").unwrap(), Lrp::all_integers());
+        assert_eq!(parse_lrp("2n-1").unwrap(), Lrp::new(2, 1).unwrap());
+        assert_eq!(parse_lrp(" 168n + 8 ").unwrap(), Lrp::new(168, 8).unwrap());
+        assert!(parse_lrp("0n+1").is_err());
+        assert!(parse_lrp("5m+3").is_err());
+        assert!(parse_lrp("5n+3 junk").is_err());
+    }
+
+    #[test]
+    fn constraint_forms() {
+        assert_eq!(
+            parse_constraint("T2 = T1 + 60").unwrap(),
+            Constraint::EqVar(Var(1), Var(0), 60)
+        );
+        assert_eq!(
+            parse_constraint("T1 >= 0").unwrap(),
+            Constraint::GeConst(Var(0), 0)
+        );
+        assert_eq!(
+            parse_constraint("0 <= T1").unwrap(),
+            Constraint::GeConst(Var(0), 0)
+        );
+        assert_eq!(
+            parse_constraint("T1 < T2 - 3").unwrap(),
+            Constraint::LtVar(Var(0), Var(1), -3)
+        );
+        // Flipped operators normalize.
+        assert_eq!(
+            parse_constraint("T2 > T1").unwrap(),
+            Constraint::LtVar(Var(0), Var(1), 0)
+        );
+        // Offsets on both sides fold: T1 + 2 <= T2 - 3 ≡ T1 <= T2 - 5.
+        assert_eq!(
+            parse_constraint("T1 + 2 <= T2 - 3").unwrap(),
+            Constraint::LeVar(Var(0), Var(1), -5)
+        );
+        assert!(parse_constraint("3 < 4").is_err());
+        assert!(parse_constraint("T0 < 4").is_err());
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = parse_tuple("(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60").unwrap();
+        assert_eq!(t.temporal_arity(), 2);
+        assert_eq!(t.data_arity(), 2);
+        let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+        assert!(t.contains(&[5, 65], &d));
+        assert!(!t.contains(&[-35, 25], &d));
+        // Re-parse the Display output (constraints are shown in closed DBM
+        // form, which the parser does not read back; check the plain shape).
+        let plain = parse_tuple("(2n+0)").unwrap();
+        assert_eq!(parse_tuple(&plain.to_string()).unwrap(), plain);
+    }
+
+    #[test]
+    fn tuple_with_integer_data() {
+        let t = parse_tuple("(n; #42, route_7)").unwrap();
+        assert_eq!(t.data(), &[DataValue::Int(42), DataValue::sym("route_7")]);
+    }
+
+    #[test]
+    fn tuple_rejects_out_of_range_constraint() {
+        let e = parse_tuple("(2n) : T2 = T1").unwrap_err();
+        assert!(matches!(e, Error::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn relation_parse() {
+        let r = parse_relation(
+            "(168n+8, 168n+10; database) : T2 = T1 + 2\n\
+             (168n+32, 168n+34; algorithms) : T2 = T1 + 2",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema(), Schema::new(2, 1));
+        assert!(r.contains(&[8, 10], &[DataValue::sym("database")]));
+    }
+
+    #[test]
+    fn relation_rejects_mixed_arity() {
+        assert!(parse_relation("(2n) (2n, 3n)").is_err());
+        assert!(parse_relation("").is_err());
+    }
+
+    #[test]
+    fn closed_dbm_form_parses() {
+        assert_eq!(
+            parse_constraint("T1 - T2 <= -2").unwrap(),
+            Constraint::LeVar(Var(0), Var(1), -2)
+        );
+        assert_eq!(
+            parse_constraint("0 - T1 <= -5").unwrap(),
+            Constraint::GeConst(Var(0), 5)
+        );
+        assert_eq!(
+            parse_constraint("T1 - 0 <= 9").unwrap(),
+            Constraint::LeConst(Var(0), 9)
+        );
+        // Ampersand separators.
+        let t = parse_tuple("(168n+10, 168n+12) : T1 - T2 <= -2 & T2 - T1 <= 2").unwrap();
+        assert!(t.contains(&[10, 12], &[]));
+        assert!(!t.contains(&[10, 13], &[]));
+        // Plain offsets still work (`T1 - 2 < T2` is not a difference form).
+        assert_eq!(
+            parse_constraint("T1 - 2 < T2").unwrap(),
+            Constraint::LtVar(Var(0), Var(1), 2)
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let sources = [
+            "(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60",
+            "(168n+8, 168n+10; database) : T2 = T1 + 2",
+            "(2n, 3n+1) : T1 < T2 + 4\n(5n, 5n+2) : T2 = T1 + 2",
+        ];
+        for src in sources {
+            let rel = parse_relation(src).unwrap();
+            let printed = rel.to_string();
+            let back = parse_relation(&printed).unwrap();
+            assert!(
+                rel.equivalent(&back, crate::DEFAULT_RESIDUE_BUDGET)
+                    .unwrap(),
+                "round trip of {src}:\n{printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        match parse_lrp("40x+5") {
+            Err(Error::Parse { offset, .. }) => assert!(offset >= 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Generalized relations: finite sets of generalized tuples (§2.1).
+//!
+//! A generalized relation of temporal arity `m` and data arity `ℓ` finitely
+//! represents the (typically infinite) union of the ground extensions of its
+//! tuples. A *generalized database* is a collection of named generalized
+//! relations; the deductive engine in `itdb-core` maps predicate symbols to
+//! values of this type.
+
+use crate::error::{Error, Result};
+use crate::lrp::Lrp;
+use crate::tuple::GeneralizedTuple;
+use crate::value::DataValue;
+use crate::zone::DEFAULT_RESIDUE_BUDGET;
+use std::fmt;
+
+/// Arity signature of a generalized relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Schema {
+    /// Number of temporal attributes (`m` in the paper).
+    pub temporal: usize,
+    /// Number of data attributes (`ℓ` in the paper).
+    pub data: usize,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(temporal: usize, data: usize) -> Self {
+        Schema { temporal, data }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(temporal: {}, data: {})", self.temporal, self.data)
+    }
+}
+
+/// A generalized relation: a schema plus a set of generalized tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralizedRelation {
+    schema: Schema,
+    tuples: Vec<GeneralizedTuple>,
+}
+
+impl GeneralizedRelation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        GeneralizedRelation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from tuples, checking the schema of each.
+    pub fn from_tuples(schema: Schema, tuples: Vec<GeneralizedTuple>) -> Result<Self> {
+        let mut r = GeneralizedRelation::empty(schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> Schema {
+        self.schema
+    }
+
+    /// Number of generalized tuples (not ground tuples, which may be
+    /// infinite).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the *representation* empty? (A nonempty representation may still
+    /// denote the empty set; see [`GeneralizedRelation::is_empty_semantic`].)
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Does the relation denote the empty set of ground tuples?
+    pub fn is_empty_semantic(&self, budget: u64) -> Result<bool> {
+        for t in &self.tuples {
+            if !t.is_empty(budget)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[GeneralizedTuple] {
+        &self.tuples
+    }
+
+    /// Inserts a tuple after checking its arities against the schema.
+    pub fn insert(&mut self, t: GeneralizedTuple) -> Result<()> {
+        if t.temporal_arity() != self.schema.temporal {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.temporal,
+                found: t.temporal_arity(),
+            });
+        }
+        if t.data_arity() != self.schema.data {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.data,
+                found: t.data_arity(),
+            });
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Inserts a tuple only if it is not already subsumed by the relation;
+    /// returns whether it was inserted. Used by fixpoint loops.
+    pub fn insert_if_new(&mut self, t: GeneralizedTuple, budget: u64) -> Result<bool> {
+        if t.temporal_arity() != self.schema.temporal || t.data_arity() != self.schema.data {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.temporal,
+                found: t.temporal_arity(),
+            });
+        }
+        let existing: Vec<&GeneralizedTuple> = self.tuples.iter().collect();
+        if t.subsumed_by(&existing, budget)? {
+            return Ok(false);
+        }
+        self.tuples.push(t);
+        Ok(true)
+    }
+
+    /// Membership of a ground tuple.
+    pub fn contains(&self, temporal: &[i64], data: &[DataValue]) -> bool {
+        self.tuples.iter().any(|t| t.contains(temporal, data))
+    }
+
+    /// Normalizes the representation: canonicalizes tuples, drops empty
+    /// ones, then removes tuples subsumed by the union of the others.
+    pub fn normalize(&mut self, budget: u64) -> Result<()> {
+        let mut canon: Vec<GeneralizedTuple> =
+            self.tuples.iter().filter_map(|t| t.canonical()).collect();
+        // Subsumption pruning, last-inserted first so that freshly derived
+        // redundant tuples disappear before older, more general ones.
+        let mut keep: Vec<bool> = vec![true; canon.len()];
+        for i in (0..canon.len()).rev() {
+            let others: Vec<&GeneralizedTuple> = canon
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i && keep[*j])
+                .map(|(_, t)| t)
+                .collect();
+            if canon[i].subsumed_by(&others, budget)? {
+                keep[i] = false;
+            }
+        }
+        let mut idx = 0;
+        canon.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        self.tuples = canon;
+        Ok(())
+    }
+
+    /// Semantic containment: is every ground tuple of `self` in `other`?
+    pub fn is_subset_of(&self, other: &GeneralizedRelation, budget: u64) -> Result<bool> {
+        if self.schema != other.schema {
+            return Err(Error::SchemaMismatch(format!(
+                "{} vs {}",
+                self.schema, other.schema
+            )));
+        }
+        for t in &self.tuples {
+            let others: Vec<&GeneralizedTuple> = other.tuples.iter().collect();
+            if !t.subsumed_by(&others, budget)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Semantic equivalence of two representations.
+    pub fn equivalent(&self, other: &GeneralizedRelation, budget: u64) -> Result<bool> {
+        Ok(self.is_subset_of(other, budget)? && other.is_subset_of(self, budget)?)
+    }
+
+    /// All distinct data vectors appearing in tuples (the relation's active
+    /// data domain), in first-appearance order.
+    pub fn data_vectors(&self) -> Vec<Vec<DataValue>> {
+        let mut out: Vec<Vec<DataValue>> = Vec::new();
+        for t in &self.tuples {
+            let d = t.data().to_vec();
+            if !out.contains(&d) {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// Enumerates all ground tuples whose temporal components lie in
+    /// `[lo, hi]^m`, deduplicated and sorted.
+    pub fn enumerate_window(&self, lo: i64, hi: i64) -> Vec<(Vec<i64>, Vec<DataValue>)> {
+        let mut out: Vec<(Vec<i64>, Vec<DataValue>)> = Vec::new();
+        for t in &self.tuples {
+            out.extend(t.enumerate_window(lo, hi));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Normalize with the default residue budget.
+    pub fn normalize_default(&mut self) -> Result<()> {
+        self.normalize(DEFAULT_RESIDUE_BUDGET)
+    }
+
+    /// Coalesces residue-class tuples into coarser ones where that loses
+    /// nothing: for each tuple, candidate coarsenings divide every lrp
+    /// period by a common factor; a candidate is kept only if it is
+    /// **exactly covered** by the existing relation (checked by zone
+    /// subsumption), after which [`GeneralizedRelation::normalize`] drops
+    /// the finer tuples it absorbs.
+    ///
+    /// Example: the seven Example 4.1 tuples `(168n+10+24k, …+2)` coalesce
+    /// into the single tuple `(24n+10, 24n+12)`.
+    pub fn coalesce(&mut self, budget: u64) -> Result<()> {
+        self.normalize(budget)?;
+        loop {
+            let mut improved = false;
+            'scan: for i in 0..self.tuples.len() {
+                let t = &self.tuples[i];
+                if t.temporal_arity() == 0 {
+                    continue;
+                }
+                let g = t
+                    .zone()
+                    .lrps()
+                    .iter()
+                    .map(|l| l.period())
+                    .fold(0i64, |a, b| if a == 0 { b } else { crate::lrp::gcd(a, b) });
+                if g <= 1 {
+                    continue;
+                }
+                // Only *prime* divisors need testing: a composite
+                // coarsening is reachable by chaining its prime steps
+                // (each intermediate class is a superset of the final one,
+                // hence covered whenever the final one is), and small
+                // factors keep the verification splits cheap.
+                let mut factors: Vec<i64> = Vec::new();
+                let mut rest = g;
+                let mut q = 2;
+                while q * q <= rest {
+                    if rest % q == 0 {
+                        factors.push(q);
+                        while rest % q == 0 {
+                            rest /= q;
+                        }
+                    }
+                    q += 1;
+                }
+                if rest > 1 {
+                    factors.push(rest);
+                }
+                for f in factors {
+                    let lrps: Result<Vec<Lrp>> = t
+                        .zone()
+                        .lrps()
+                        .iter()
+                        .map(|l| Lrp::new(l.period() / f, l.offset()))
+                        .collect();
+                    let Ok(lrps) = lrps else { continue };
+                    let candidate = GeneralizedTuple::new(
+                        crate::zone::Zone::from_parts(lrps, t.zone().dbm().clone())?,
+                        t.data().to_vec(),
+                    );
+                    let existing: Vec<&GeneralizedTuple> = self.tuples.iter().collect();
+                    // An over-aggressive coarsening can make the exact
+                    // verification itself exceed the residue budget; treat
+                    // that as "not covered" and try the next factor.
+                    let covered = match candidate.subsumed_by(&existing, budget) {
+                        Ok(c) => c,
+                        Err(Error::ResidueBudget { .. }) => false,
+                        Err(e) => return Err(e),
+                    };
+                    if covered {
+                        // Keep only tuples the candidate does not absorb
+                        // (absorbing at least the seed tuple `t`), then the
+                        // candidate itself.
+                        let mut keep = Vec::with_capacity(self.tuples.len());
+                        for old in self.tuples.drain(..) {
+                            let absorbed = match old.subsumed_by(&[&candidate], budget) {
+                                Ok(a) => a,
+                                Err(Error::ResidueBudget { .. }) => false,
+                                Err(e) => return Err(e),
+                            };
+                            if !absorbed {
+                                keep.push(old);
+                            }
+                        }
+                        keep.push(candidate);
+                        self.tuples = keep;
+                        improved = true;
+                        // The tuple list changed shape; rescan from the top.
+                        break 'scan;
+                    }
+                }
+            }
+            if !improved {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl fmt::Display for GeneralizedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{Constraint, Var};
+    use crate::lrp::Lrp;
+    use crate::zone::DEFAULT_RESIDUE_BUDGET as B;
+
+    fn lrp(p: i64, b: i64) -> Lrp {
+        Lrp::new(p, b).unwrap()
+    }
+
+    fn tup(p: i64, b: i64, data: &str) -> GeneralizedTuple {
+        GeneralizedTuple::build(vec![lrp(p, b)], &[], vec![DataValue::sym(data)]).unwrap()
+    }
+
+    #[test]
+    fn schema_checked_on_insert() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 1));
+        assert!(r.insert(tup(5, 0, "a")).is_ok());
+        let bad = GeneralizedTuple::build(vec![lrp(5, 0), lrp(5, 0)], &[], vec![]).unwrap();
+        assert!(matches!(r.insert(bad), Err(Error::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn membership_across_tuples() {
+        let r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(5, 0, "a"), tup(5, 3, "b")],
+        )
+        .unwrap();
+        assert!(r.contains(&[10], &[DataValue::sym("a")]));
+        assert!(r.contains(&[8], &[DataValue::sym("b")]));
+        assert!(!r.contains(&[8], &[DataValue::sym("a")]));
+    }
+
+    #[test]
+    fn insert_if_new_detects_subsumption() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 0));
+        let evens = GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap();
+        let fours = GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap();
+        assert!(r.insert_if_new(evens.clone(), B).unwrap());
+        assert!(!r.insert_if_new(fours, B).unwrap()); // 4n ⊆ 2n
+        assert!(!r.insert_if_new(evens, B).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn insert_if_new_union_subsumption() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 0));
+        let z0 = GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap();
+        let z2 = GeneralizedTuple::build(vec![lrp(4, 2)], &[], vec![]).unwrap();
+        let evens = GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap();
+        assert!(r.insert_if_new(z0, B).unwrap());
+        assert!(r.insert_if_new(z2, B).unwrap());
+        // evens = 4n ∪ 4n+2 is already covered by the union.
+        assert!(!r.insert_if_new(evens, B).unwrap());
+    }
+
+    #[test]
+    fn normalize_prunes() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 0));
+        let evens = GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap();
+        let fours = GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap();
+        let empty =
+            GeneralizedTuple::build(vec![lrp(2, 0)], &[Constraint::EqConst(Var(0), 1)], vec![])
+                .unwrap();
+        r.insert(fours).unwrap();
+        r.insert(evens).unwrap();
+        r.insert(empty).unwrap();
+        r.normalize(B).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[2], &[]));
+    }
+
+    #[test]
+    fn semantic_emptiness() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 0));
+        r.insert(
+            GeneralizedTuple::build(vec![lrp(2, 0)], &[Constraint::EqConst(Var(0), 1)], vec![])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(!r.is_empty());
+        assert!(r.is_empty_semantic(B).unwrap());
+    }
+
+    #[test]
+    fn equivalence_of_different_representations() {
+        // {4n, 4n+2} ≡ {2n}.
+        let a = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![
+                GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap(),
+                GeneralizedTuple::build(vec![lrp(4, 2)], &[], vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let b = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap()],
+        )
+        .unwrap();
+        assert!(a.equivalent(&b, B).unwrap());
+        let c = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap()],
+        )
+        .unwrap();
+        assert!(!a.equivalent(&c, B).unwrap());
+        assert!(c.is_subset_of(&a, B).unwrap());
+    }
+
+    #[test]
+    fn schema_mismatch_on_subset() {
+        let a = GeneralizedRelation::empty(Schema::new(1, 0));
+        let b = GeneralizedRelation::empty(Schema::new(2, 0));
+        assert!(matches!(
+            a.is_subset_of(&b, B),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn data_vectors_dedup() {
+        let r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(5, 0, "a"), tup(7, 1, "a"), tup(3, 2, "b")],
+        )
+        .unwrap();
+        let dv = r.data_vectors();
+        assert_eq!(dv.len(), 2);
+        assert_eq!(dv[0], vec![DataValue::sym("a")]);
+        assert_eq!(dv[1], vec![DataValue::sym("b")]);
+    }
+
+    #[test]
+    fn coalesce_merges_residue_classes() {
+        // {4n, 4n+2} → {2n}.
+        let mut r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![
+                GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap(),
+                GeneralizedTuple::build(vec![lrp(4, 2)], &[], vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let before = r.clone();
+        r.coalesce(B).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].zone().lrp(0), lrp(2, 0));
+        assert!(r.equivalent(&before, B).unwrap());
+    }
+
+    #[test]
+    fn coalesce_example_4_1_shape() {
+        // The seven problems tuples (offsets 10 + 24k mod 168, paired
+        // columns with T2 = T1 + 2) coalesce to one tuple mod 24.
+        let mut text = String::new();
+        for k in 0..7 {
+            let o = 10 + 24 * k;
+            text.push_str(&format!(
+                "(168n+{o}, 168n+{}; database) : T2 = T1 + 2\n",
+                o + 2
+            ));
+        }
+        let mut r = crate::parser::parse_relation(&text).unwrap();
+        let before = r.clone();
+        r.coalesce(B).unwrap();
+        assert_eq!(r.len(), 1, "{r}");
+        assert_eq!(r.tuples()[0].zone().lrp(0), lrp(24, 10));
+        assert_eq!(r.tuples()[0].zone().lrp(1), lrp(24, 12));
+        assert!(r.equivalent(&before, B).unwrap());
+    }
+
+    #[test]
+    fn coalesce_does_not_overmerge() {
+        // {4n, 4n+1}: not a coarser class (gaps at 2, 3 mod 4) — stays two
+        // tuples and keeps its semantics.
+        let mut r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![
+                GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap(),
+                GeneralizedTuple::build(vec![lrp(4, 1)], &[], vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let before = r.clone();
+        r.coalesce(B).unwrap();
+        assert!(r.equivalent(&before, B).unwrap());
+        for t in -20..20 {
+            assert_eq!(r.contains(&[t], &[]), t.rem_euclid(4) <= 1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn coalesce_respects_constraints() {
+        // Same classes but different constraint windows must not merge into
+        // an unconstrained class.
+        let mut r = crate::parser::parse_relation("(4n) : T1 >= 0\n(4n+2) : T1 >= 100").unwrap();
+        let before = r.clone();
+        r.coalesce(B).unwrap();
+        assert!(r.equivalent(&before, B).unwrap());
+        assert!(r.contains(&[0], &[]));
+        assert!(!r.contains(&[2], &[]));
+        assert!(r.contains(&[102], &[]));
+    }
+
+    #[test]
+    fn window_enumeration_dedups_overlap() {
+        let r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 0),
+            vec![
+                GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap(),
+                GeneralizedTuple::build(vec![lrp(4, 0)], &[], vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = r.enumerate_window(0, 8);
+        let times: Vec<i64> = g.iter().map(|(t, _)| t[0]).collect();
+        assert_eq!(times, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let r = GeneralizedRelation::from_tuples(Schema::new(1, 1), vec![tup(5, 0, "a")]).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("5n+0"), "{s}");
+        assert!(s.contains("a"), "{s}");
+    }
+}

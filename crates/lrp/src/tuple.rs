@@ -1,0 +1,355 @@
+//! Ground generalized tuples (§2.1 of the paper).
+//!
+//! A ground generalized tuple of temporal arity `m` and data arity `ℓ` is
+//!
+//! ```text
+//! (a₁n₁+b₁, …, aₘnₘ+bₘ, d₁, …, d_ℓ)  with constraints(T₁, …, Tₘ)
+//! ```
+//!
+//! i.e. a [`Zone`] over the temporal attributes plus a vector of data
+//! constants. It finitely represents the (possibly infinite) set of ground
+//! tuples whose temporal components lie in the zone.
+
+use crate::constraint::Constraint;
+use crate::error::{Error, Result};
+use crate::lrp::Lrp;
+use crate::value::DataValue;
+use crate::zone::Zone;
+use std::fmt;
+
+/// A ground generalized tuple: a periodic zone plus data constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GeneralizedTuple {
+    zone: Zone,
+    data: Vec<DataValue>,
+}
+
+impl GeneralizedTuple {
+    /// Creates a tuple from a zone and data constants.
+    pub fn new(zone: Zone, data: Vec<DataValue>) -> Self {
+        GeneralizedTuple { zone, data }
+    }
+
+    /// Convenience constructor from lrps, constraints and data.
+    pub fn build(lrps: Vec<Lrp>, constraints: &[Constraint], data: Vec<DataValue>) -> Result<Self> {
+        Ok(GeneralizedTuple {
+            zone: Zone::with_constraints(lrps, constraints)?,
+            data,
+        })
+    }
+
+    /// A purely temporal tuple (data arity 0).
+    pub fn temporal(zone: Zone) -> Self {
+        GeneralizedTuple {
+            zone,
+            data: Vec::new(),
+        }
+    }
+
+    /// Temporal arity `m`.
+    pub fn temporal_arity(&self) -> usize {
+        self.zone.arity()
+    }
+
+    /// Data arity `ℓ`.
+    pub fn data_arity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The temporal zone.
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// Mutable access to the zone.
+    pub fn zone_mut(&mut self) -> &mut Zone {
+        &mut self.zone
+    }
+
+    /// The data constants.
+    pub fn data(&self) -> &[DataValue] {
+        &self.data
+    }
+
+    /// Membership of a ground tuple `(t₁, …, tₘ, d₁, …, d_ℓ)`.
+    pub fn contains(&self, temporal: &[i64], data: &[DataValue]) -> bool {
+        data == self.data.as_slice() && self.zone.contains_point(temporal)
+    }
+
+    /// The paper's *free extension*: the same tuple freed from its
+    /// constraints (constraint `true`).
+    pub fn free_extension(&self) -> GeneralizedTuple {
+        GeneralizedTuple {
+            zone: Zone::new(self.zone.lrps().to_vec()),
+            data: self.data.clone(),
+        }
+    }
+
+    /// The canonical free-extension key: canonical lrps plus data. Two
+    /// tuples with equal keys have equal free extensions (Theorem 4.2 relies
+    /// on there being finitely many such keys once periods are bounded).
+    pub fn free_extension_key(&self) -> (Vec<Lrp>, Vec<DataValue>) {
+        (self.zone.lrps().to_vec(), self.data.clone())
+    }
+
+    /// Is the represented set of ground tuples empty?
+    pub fn is_empty(&self, budget: u64) -> Result<bool> {
+        self.zone.is_empty(budget)
+    }
+
+    /// Is `self ⊆ other₁ ∪ … ∪ otherₙ` as sets of ground tuples?
+    /// Tuples with different data constants are disjoint.
+    pub fn subsumed_by(&self, others: &[&GeneralizedTuple], budget: u64) -> Result<bool> {
+        let zones: Vec<&Zone> = others
+            .iter()
+            .filter(|o| o.data == self.data)
+            .map(|o| &o.zone)
+            .collect();
+        if zones.is_empty() {
+            return self.is_empty(budget);
+        }
+        self.zone.subsumed_by(&zones, budget)
+    }
+
+    /// Shifts temporal attribute `k` by `c`.
+    pub fn shift_attr(&mut self, k: usize, c: i64) -> Result<()> {
+        self.zone.shift_attr(k, c)
+    }
+
+    /// Adds a constraint over the temporal attributes.
+    pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
+        self.zone.add_constraint(c)
+    }
+
+    /// Projects onto the given temporal attributes (in order) and data
+    /// columns (in order). May split into several tuples (see
+    /// [`Zone::project`]).
+    pub fn project(
+        &self,
+        temporal_keep: &[usize],
+        data_keep: &[usize],
+        budget: u64,
+    ) -> Result<Vec<GeneralizedTuple>> {
+        let data: Vec<DataValue> = data_keep
+            .iter()
+            .map(|&k| {
+                self.data.get(k).cloned().ok_or(Error::VariableOutOfRange {
+                    index: k,
+                    arity: self.data.len(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let zones = self.zone.project(temporal_keep, budget)?;
+        Ok(zones
+            .into_iter()
+            .map(|zone| GeneralizedTuple {
+                zone,
+                data: data.clone(),
+            })
+            .collect())
+    }
+
+    /// Enumerates the ground tuples within `[lo, hi]^m` (temporal window).
+    pub fn enumerate_window(&self, lo: i64, hi: i64) -> Vec<(Vec<i64>, Vec<DataValue>)> {
+        self.zone
+            .enumerate_window(lo, hi)
+            .into_iter()
+            .map(|t| (t, self.data.clone()))
+            .collect()
+    }
+
+    /// Canonical form (normalized lrps and constraints); `None` if empty.
+    pub fn canonical(&self) -> Option<GeneralizedTuple> {
+        self.zone.canonical().map(|zone| GeneralizedTuple {
+            zone,
+            data: self.data.clone(),
+        })
+    }
+}
+
+impl fmt::Display for GeneralizedTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.zone.lrps().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        if !self.data.is_empty() {
+            if self.zone.arity() > 0 {
+                write!(f, "; ")?;
+            }
+            for (i, d) in self.data.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+        }
+        write!(f, ")")?;
+        let dbm = self.zone.dbm();
+        if dbm.finite_bounds().next().is_some() {
+            write!(f, " : {dbm}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Var;
+    use crate::zone::DEFAULT_RESIDUE_BUDGET as B;
+
+    fn lrp(p: i64, b: i64) -> Lrp {
+        Lrp::new(p, b).unwrap()
+    }
+
+    fn train_tuple() -> GeneralizedTuple {
+        // Example 2.1: (40n₁+5, 40n₂+65, Liège, Brussels)
+        // with T1 >= 0 and T2 = T1 + 60.
+        GeneralizedTuple::build(
+            vec![lrp(40, 5), lrp(40, 65)],
+            &[
+                Constraint::GeConst(Var(0), 0),
+                Constraint::EqVar(Var(1), Var(0), 60),
+            ],
+            vec![DataValue::sym("liege"), DataValue::sym("brussels")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_example_membership() {
+        let t = train_tuple();
+        let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+        assert!(t.contains(&[5, 65], &d));
+        assert!(t.contains(&[45, 105], &d));
+        assert!(!t.contains(&[-35, 25], &d)); // departs before time 0
+        assert!(!t.contains(&[5, 105], &d)); // wrong arrival
+        assert!(!t.contains(
+            &[5, 65],
+            &[DataValue::sym("brussels"), DataValue::sym("liege")]
+        ));
+    }
+
+    #[test]
+    fn arities() {
+        let t = train_tuple();
+        assert_eq!(t.temporal_arity(), 2);
+        assert_eq!(t.data_arity(), 2);
+    }
+
+    #[test]
+    fn free_extension_drops_constraints() {
+        let t = train_tuple();
+        let fe = t.free_extension();
+        let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+        // Departure before 0 and mismatched arrival are now allowed.
+        assert!(fe.contains(&[-35, 25], &d));
+        assert!(fe.contains(&[5, 105], &d));
+        // But the lrps still apply.
+        assert!(!fe.contains(&[6, 65], &d));
+    }
+
+    #[test]
+    fn free_extension_keys_canonicalize() {
+        let a = GeneralizedTuple::build(vec![lrp(168, 346)], &[], vec![]).unwrap();
+        let b = GeneralizedTuple::build(vec![lrp(168, 10)], &[], vec![]).unwrap();
+        assert_eq!(a.free_extension_key(), b.free_extension_key());
+    }
+
+    #[test]
+    fn subsumption_ignores_mismatched_data() {
+        let t = train_tuple();
+        let mut other = train_tuple();
+        other.data = vec![DataValue::sym("liege"), DataValue::sym("namur")];
+        assert!(!t.subsumed_by(&[&other], B).unwrap());
+        assert!(t.subsumed_by(&[&t.clone()], B).unwrap());
+    }
+
+    #[test]
+    fn empty_tuple_subsumed_by_nothing() {
+        let t = GeneralizedTuple::build(
+            vec![lrp(2, 0)],
+            &[Constraint::EqConst(Var(0), 1)],
+            vec![DataValue::sym("x")],
+        )
+        .unwrap();
+        assert!(t.is_empty(B).unwrap());
+        assert!(t.subsumed_by(&[], B).unwrap());
+    }
+
+    #[test]
+    fn shift_produces_problems_tuple() {
+        // Example 4.1: problems = course shifted by +2 on both attributes.
+        let mut t = GeneralizedTuple::build(
+            vec![lrp(168, 8), lrp(168, 10)],
+            &[Constraint::EqVar(Var(1), Var(0), 2)],
+            vec![DataValue::sym("database")],
+        )
+        .unwrap();
+        t.shift_attr(0, 2).unwrap();
+        t.shift_attr(1, 2).unwrap();
+        let d = [DataValue::sym("database")];
+        assert!(t.contains(&[10, 12], &d));
+        assert!(t.contains(&[178, 180], &d));
+        assert!(!t.contains(&[8, 10], &d));
+    }
+
+    #[test]
+    fn projection_keeps_selected_columns() {
+        let t = train_tuple();
+        let ps = t.project(&[0], &[1], B).unwrap();
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.temporal_arity(), 1);
+        assert_eq!(p.data(), &[DataValue::sym("brussels")]);
+        assert!(p.contains(&[5], &[DataValue::sym("brussels")]));
+        assert!(!p.contains(&[-35], &[DataValue::sym("brussels")]));
+    }
+
+    #[test]
+    fn projection_bad_data_column() {
+        let t = train_tuple();
+        assert!(matches!(
+            t.project(&[0], &[9], B),
+            Err(Error::VariableOutOfRange { index: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn enumerate_window_produces_ground_tuples() {
+        let t = train_tuple();
+        let g = t.enumerate_window(0, 200);
+        let times: Vec<Vec<i64>> = g.iter().map(|(t, _)| t.clone()).collect();
+        assert_eq!(
+            times,
+            vec![vec![5, 65], vec![45, 105], vec![85, 145], vec![125, 185]]
+        );
+        assert!(g.iter().all(|(_, d)| d[0] == DataValue::sym("liege")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = train_tuple();
+        let s = t.to_string();
+        assert!(s.contains("40n+5"), "{s}");
+        assert!(s.contains("liege"), "{s}");
+        let plain = GeneralizedTuple::build(vec![lrp(2, 0)], &[], vec![]).unwrap();
+        assert_eq!(plain.to_string(), "(2n+0)");
+    }
+
+    #[test]
+    fn canonical_none_for_empty() {
+        let t = GeneralizedTuple::build(
+            vec![lrp(2, 0), lrp(2, 0)],
+            &[Constraint::EqVar(Var(1), Var(0), 1)],
+            vec![],
+        )
+        .unwrap();
+        assert!(t.canonical().is_none());
+        assert!(train_tuple().canonical().is_some());
+    }
+}

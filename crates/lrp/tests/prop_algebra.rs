@@ -1,0 +1,197 @@
+//! Property-based tests: the relational algebra against window semantics.
+//!
+//! Random generalized relations (schema `(2, 1)` — two temporal columns,
+//! one data column) are pushed through union / intersection / difference /
+//! join / projection / selection / complement, and each result is compared
+//! with the operation applied pointwise to the denoted ground sets on a
+//! window.
+
+use itdb_lrp::{
+    algebra, Constraint, DataValue, GeneralizedRelation, GeneralizedTuple, Lrp, Schema, Var,
+    DEFAULT_RESIDUE_BUDGET,
+};
+use proptest::prelude::*;
+
+const B: u64 = DEFAULT_RESIDUE_BUDGET;
+const LO: i64 = -12;
+const HI: i64 = 12;
+
+fn lrp_strategy() -> impl Strategy<Value = Lrp> {
+    (1i64..=5, 0i64..=4).prop_map(|(p, b)| Lrp::new(p, b % p).unwrap())
+}
+
+fn tuple_strategy() -> impl Strategy<Value = GeneralizedTuple> {
+    (
+        lrp_strategy(),
+        lrp_strategy(),
+        proptest::option::of((-5i64..=5, 0u8..3)),
+        0u8..2,
+    )
+        .prop_map(|(l1, l2, cons, d)| {
+            let mut constraints = Vec::new();
+            if let Some((c, kind)) = cons {
+                constraints.push(match kind {
+                    0 => Constraint::LtVar(Var(0), Var(1), c),
+                    1 => Constraint::EqVar(Var(1), Var(0), c),
+                    _ => Constraint::GeConst(Var(0), c),
+                });
+            }
+            GeneralizedTuple::build(
+                vec![l1, l2],
+                &constraints,
+                vec![DataValue::sym(if d == 0 { "x" } else { "y" })],
+            )
+            .unwrap()
+        })
+}
+
+fn relation_strategy() -> impl Strategy<Value = GeneralizedRelation> {
+    proptest::collection::vec(tuple_strategy(), 0..4)
+        .prop_map(|tuples| GeneralizedRelation::from_tuples(Schema::new(2, 1), tuples).unwrap())
+}
+
+fn points() -> Vec<(Vec<i64>, Vec<DataValue>)> {
+    let mut out = Vec::new();
+    for t1 in LO..=HI {
+        for t2 in LO..=HI {
+            for d in ["x", "y"] {
+                out.push((vec![t1, t2], vec![DataValue::sym(d)]));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boolean_algebra_pointwise(a in relation_strategy(), b in relation_strategy()) {
+        let u = algebra::union(&a, &b).unwrap();
+        let i = algebra::intersection(&a, &b).unwrap();
+        let d = algebra::difference(&a, &b, B).unwrap();
+        for (t, dv) in points() {
+            let (ia, ib) = (a.contains(&t, &dv), b.contains(&t, &dv));
+            prop_assert_eq!(u.contains(&t, &dv), ia || ib, "∪ at {:?}", t);
+            prop_assert_eq!(i.contains(&t, &dv), ia && ib, "∩ at {:?}", t);
+            prop_assert_eq!(d.contains(&t, &dv), ia && !ib, "\\ at {:?}", t);
+        }
+    }
+
+    #[test]
+    fn complement_pointwise(a in relation_strategy()) {
+        let dom = vec![vec![DataValue::sym("x")], vec![DataValue::sym("y")]];
+        let c = algebra::complement(&a, &dom, B).unwrap();
+        for (t, dv) in points() {
+            prop_assert_eq!(c.contains(&t, &dv), !a.contains(&t, &dv), "¬ at {:?}", t);
+        }
+    }
+
+    #[test]
+    fn selection_pointwise(a in relation_strategy(), c in -4i64..=4) {
+        let s = algebra::select(&a, &[Constraint::LtVar(Var(0), Var(1), c)]).unwrap();
+        for (t, dv) in points() {
+            let expect = a.contains(&t, &dv) && t[0] < t[1] + c;
+            prop_assert_eq!(s.contains(&t, &dv), expect, "σ at {:?}", t);
+        }
+    }
+
+    #[test]
+    fn projection_sound_and_witnessed(a in relation_strategy()) {
+        let p = algebra::project(&a, &[1], &[0], B).unwrap();
+        // Soundness: every in-window witness projects in.
+        for (t, dv) in points() {
+            if a.contains(&t, &dv) {
+                prop_assert!(p.contains(&[t[1]], &dv), "missing {:?}", t);
+            }
+        }
+        // Exactness: each projected point has a witness (pin + emptiness).
+        for t2 in LO..=HI {
+            for d in ["x", "y"] {
+                let dv = vec![DataValue::sym(d)];
+                if p.contains(&[t2], &dv) {
+                    let pinned = algebra::select(
+                        &a,
+                        &[Constraint::EqConst(Var(1), t2)],
+                    )
+                    .unwrap();
+                    let filtered = algebra::select_data(&pinned, 0, &dv[0]).unwrap();
+                    prop_assert!(
+                        !filtered.is_empty_semantic(B).unwrap(),
+                        "spurious ({t2}, {d})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_pointwise(a in relation_strategy(), b in relation_strategy()) {
+        // Join on a.T2 = b.T1 and equal data.
+        let j = algebra::join(&a, &b, &[(1, 0)], &[(0, 0)]).unwrap();
+        for t1 in LO / 2..=HI / 2 {
+            for t2 in LO / 2..=HI / 2 {
+                for t3 in LO / 2..=HI / 2 {
+                    for d in ["x", "y"] {
+                        let dv = vec![DataValue::sym(d)];
+                        let expect = a.contains(&[t1, t2], &dv)
+                            && b.contains(&[t2, t3], &dv);
+                        let dvdv = vec![DataValue::sym(d), DataValue::sym(d)];
+                        prop_assert_eq!(
+                            j.contains(&[t1, t2, t2, t3], &dvdv),
+                            expect,
+                            "⋈ at ({}, {}, {})", t1, t2, t3
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_semantics(a in relation_strategy()) {
+        let mut n = a.clone();
+        n.normalize(B).unwrap();
+        for (t, dv) in points() {
+            prop_assert_eq!(n.contains(&t, &dv), a.contains(&t, &dv), "at {:?}", t);
+        }
+        prop_assert!(n.len() <= a.len());
+    }
+
+    #[test]
+    fn coalesce_preserves_semantics(a in relation_strategy()) {
+        let mut c = a.clone();
+        c.coalesce(B).unwrap();
+        for (t, dv) in points() {
+            prop_assert_eq!(c.contains(&t, &dv), a.contains(&t, &dv), "at {:?}", t);
+        }
+        prop_assert!(c.len() <= a.len());
+    }
+
+    #[test]
+    fn display_parses_back(a in relation_strategy()) {
+        prop_assume!(!a.is_empty());
+        let printed = a.to_string();
+        let back = itdb_lrp::parser::parse_relation(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on:\n{printed}\n{e}"));
+        for (t, dv) in points() {
+            prop_assert_eq!(
+                back.contains(&t, &dv),
+                a.contains(&t, &dv),
+                "round trip at {:?} of\n{}", t, printed
+            );
+        }
+    }
+
+    #[test]
+    fn shift_column_pointwise(a in relation_strategy(), c in -5i64..=5) {
+        let s = algebra::shift_column(&a, 0, c).unwrap();
+        for (t, dv) in points() {
+            prop_assert_eq!(
+                s.contains(&[t[0] + c, t[1]], &dv),
+                a.contains(&t, &dv),
+                "shift at {:?}", t
+            );
+        }
+    }
+}

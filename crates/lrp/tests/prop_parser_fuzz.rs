@@ -1,0 +1,24 @@
+//! Fuzz-style property tests: no parser panics on arbitrary input, and
+//! accepted inputs produce well-formed values.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Parsers return Ok or Err but never panic, on arbitrary ASCII soup.
+    #[test]
+    fn lrp_parsers_never_panic(s in "[ -~]{0,60}") {
+        let _ = itdb_lrp::parser::parse_lrp(&s);
+        let _ = itdb_lrp::parser::parse_constraint(&s);
+        let _ = itdb_lrp::parser::parse_tuple(&s);
+        let _ = itdb_lrp::parser::parse_relation(&s);
+    }
+
+    /// Structured-ish soup biased toward the real grammar.
+    #[test]
+    fn lrp_parsers_never_panic_biased(s in "[0-9nT(),;:&<>= +-]{0,60}") {
+        let _ = itdb_lrp::parser::parse_tuple(&s);
+        let _ = itdb_lrp::parser::parse_relation(&s);
+    }
+}

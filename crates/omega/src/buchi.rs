@@ -1,0 +1,340 @@
+//! Büchi automata: the full class of ω-regular languages.
+//!
+//! §3.2 of the paper: with stratified negation, Templog's query
+//! expressiveness rises from finitely regular to the full ω-regular
+//! languages — the languages of nondeterministic Büchi automata, which
+//! accept a word when some run visits an accepting state infinitely often.
+
+use crate::nfa::Nfa;
+use crate::word::UpWord;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterministic Büchi automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buchi {
+    /// The underlying transition structure; `accepting` is the Büchi set.
+    pub nfa: Nfa,
+}
+
+impl Buchi {
+    /// Wraps a transition structure.
+    pub fn new(nfa: Nfa) -> Self {
+        Buchi { nfa }
+    }
+
+    /// Membership of an ultimately periodic word: build the synchronous
+    /// product with the word's lasso and look for a reachable cycle through
+    /// an accepting state entirely inside the cycle part.
+    pub fn accepts(&self, w: &UpWord) -> bool {
+        // Product states: (automaton state, lasso position).
+        let span = w.span();
+        let idx = |q: usize, p: usize| q * span + p;
+        let mut reach: BTreeSet<usize> = BTreeSet::new();
+        let mut frontier: VecDeque<(usize, usize)> = VecDeque::new();
+        for &q in &self.nfa.initial {
+            reach.insert(idx(q, 0));
+            frontier.push_back((q, 0));
+        }
+        let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        while let Some((q, p)) = frontier.pop_front() {
+            let np = w.lasso_next(p);
+            if let Some(succ) = self.nfa.transitions[q].get(&w.at(p)) {
+                for &r in succ {
+                    edges.entry(idx(q, p)).or_default().insert(idx(r, np));
+                    if reach.insert(idx(r, np)) {
+                        frontier.push_back((r, np));
+                    }
+                }
+            }
+        }
+        // Accepting product nodes in the cyclic part.
+        let targets: Vec<usize> = reach
+            .iter()
+            .copied()
+            .filter(|&n| {
+                let q = n / span;
+                let p = n % span;
+                p >= w.prefix.len() && self.nfa.accepting.contains(&q)
+            })
+            .collect();
+        // A target on a cycle (reaches itself) witnesses acceptance.
+        for &t in &targets {
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut fr: VecDeque<usize> = edges.get(&t).into_iter().flatten().copied().collect();
+            seen.extend(fr.iter().copied());
+            let mut found = false;
+            while let Some(n) = fr.pop_front() {
+                if n == t {
+                    found = true;
+                    break;
+                }
+                for &m in edges.get(&n).into_iter().flatten() {
+                    if seen.insert(m) {
+                        fr.push_back(m);
+                    }
+                }
+            }
+            if found || seen.contains(&t) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Language emptiness: nonempty iff some accepting state is reachable
+    /// from an initial state *and* lies on a cycle.
+    pub fn is_empty(&self) -> bool {
+        let reachable = self.nfa.reachable();
+        let on_cycles = self.nfa.states_on_cycles();
+        !self
+            .nfa
+            .accepting
+            .iter()
+            .any(|q| reachable.contains(q) && on_cycles.contains(q))
+    }
+
+    /// A witness word for nonemptiness, if any.
+    pub fn witness(&self) -> Option<UpWord> {
+        let reachable = self.nfa.reachable();
+        let on_cycles = self.nfa.states_on_cycles();
+        let target = self
+            .nfa
+            .accepting
+            .iter()
+            .copied()
+            .find(|q| reachable.contains(q) && on_cycles.contains(q))?;
+        let prefix = self.path_letters(&self.nfa.initial, target)?;
+        // Cycle: a path from target back to itself of length ≥ 1.
+        let mut cycle = None;
+        'outer: for (letter, succ) in &self.nfa.transitions[target] {
+            for &r in succ {
+                if r == target {
+                    cycle = Some(vec![*letter]);
+                    break 'outer;
+                }
+                if let Some(mut rest) = self.path_letters(&[r].into(), target) {
+                    let mut c = vec![*letter];
+                    c.append(&mut rest);
+                    cycle = Some(c);
+                    break 'outer;
+                }
+            }
+        }
+        Some(UpWord::new(prefix, cycle?))
+    }
+
+    /// Letters of a shortest path from `from` to `to`.
+    fn path_letters(&self, from: &BTreeSet<usize>, to: usize) -> Option<Vec<u32>> {
+        let mut prev: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+        let mut frontier: VecDeque<usize> = from.iter().copied().collect();
+        let mut seen: BTreeSet<usize> = from.clone();
+        if from.contains(&to) {
+            return Some(Vec::new());
+        }
+        while let Some(q) = frontier.pop_front() {
+            for (&letter, succ) in &self.nfa.transitions[q] {
+                for &r in succ {
+                    if seen.insert(r) {
+                        prev.insert(r, (q, letter));
+                        if r == to {
+                            let mut letters = Vec::new();
+                            let mut cur = to;
+                            while let Some(&(p, l)) = prev.get(&cur) {
+                                letters.push(l);
+                                cur = p;
+                                if from.contains(&cur) {
+                                    break;
+                                }
+                            }
+                            letters.reverse();
+                            return Some(letters);
+                        }
+                        frontier.push_back(r);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Language union (disjoint union of automata).
+    pub fn union(&self, other: &Buchi) -> Buchi {
+        Buchi::new(self.nfa.union(&other.nfa))
+    }
+
+    /// Language intersection via the standard two-copy construction: the
+    /// product tracks which automaton owes an accepting visit.
+    pub fn intersection(&self, other: &Buchi) -> Buchi {
+        type St = (usize, usize, u8); // (q1, q2, phase 0|1)
+        let mut index: BTreeMap<St, usize> = BTreeMap::new();
+        let mut states: Vec<St> = Vec::new();
+        let get = |s: St, states: &mut Vec<St>, index: &mut BTreeMap<St, usize>| {
+            *index.entry(s).or_insert_with(|| {
+                states.push(s);
+                states.len() - 1
+            })
+        };
+        let mut out = Nfa::new(self.nfa.n_props, 0);
+        let mut frontier: VecDeque<St> = VecDeque::new();
+        for &a in &self.nfa.initial {
+            for &b in &other.nfa.initial {
+                let s = (a, b, 0);
+                let i = get(s, &mut states, &mut index);
+                out.initial.insert(i);
+                frontier.push_back(s);
+            }
+        }
+        let mut seen: BTreeSet<St> = frontier.iter().copied().collect();
+        let mut transitions: Vec<(usize, u32, usize)> = Vec::new();
+        while let Some((a, b, ph)) = frontier.pop_front() {
+            let i = get((a, b, ph), &mut states, &mut index);
+            // Classical two-copy phase switch, based on the *current* state:
+            // copy 0 waits for the first automaton to accept, copy 1 for the
+            // second.
+            let nph = match ph {
+                0 if self.nfa.accepting.contains(&a) => 1,
+                1 if other.nfa.accepting.contains(&b) => 0,
+                p => p,
+            };
+            for (&letter, sa) in &self.nfa.transitions[a] {
+                if let Some(sb) = other.nfa.transitions[b].get(&letter) {
+                    for &na in sa {
+                        for &nb in sb {
+                            let s = (na, nb, nph);
+                            let j = get(s, &mut states, &mut index);
+                            transitions.push((i, letter, j));
+                            if seen.insert(s) {
+                                frontier.push_back(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.n_states = states.len();
+        out.transitions = vec![Default::default(); states.len()];
+        for (i, a, j) in transitions {
+            out.add_transition(i, a, j);
+        }
+        // Accepting: phase flips from 1 to 0, i.e. states with phase 0
+        // whose own second component just accepted — standard choice:
+        // (·, b, 1) with b accepting.
+        for (s, &i) in &index {
+            if s.2 == 1 && other.nfa.accepting.contains(&s.1) {
+                out.accepting.insert(i);
+            }
+        }
+        Buchi::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Büchi automaton for "p holds infinitely often" (GF p).
+    fn inf_often_p() -> Buchi {
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(1);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 0);
+        n.add_transition(1, 1, 1);
+        Buchi::new(n)
+    }
+
+    /// Deterministic Büchi automaton for "p at every even position".
+    pub(crate) fn even_p() -> Buchi {
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(0);
+        // State 0: even position, requires p; state 1: odd, anything.
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 0);
+        n.add_transition(1, 1, 0);
+        Buchi::new(n)
+    }
+
+    #[test]
+    fn inf_often_membership() {
+        let b = inf_often_p();
+        assert!(b.accepts(&UpWord::new(vec![], vec![1])));
+        assert!(b.accepts(&UpWord::new(vec![0, 0], vec![0, 1])));
+        assert!(!b.accepts(&UpWord::new(vec![1, 1], vec![0])));
+    }
+
+    #[test]
+    fn even_p_membership() {
+        let b = even_p();
+        assert!(b.accepts(&UpWord::new(vec![], vec![1, 0])));
+        assert!(b.accepts(&UpWord::new(vec![], vec![1])));
+        assert!(!b.accepts(&UpWord::new(vec![], vec![0, 1])));
+        // Position 2 (even) lacks p.
+        assert!(!b.accepts(&UpWord::new(vec![1, 1, 0], vec![0, 1])));
+        // All even positions carry p even though odd ones vary.
+        assert!(b.accepts(&UpWord::new(vec![1, 1, 1, 0], vec![1, 0])));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let b = inf_often_p();
+        assert!(!b.is_empty());
+        let w = b.witness().unwrap();
+        assert!(b.accepts(&w), "witness {w} must be accepted");
+        // An automaton whose accepting state is not on a cycle is empty.
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(1);
+        n.add_transition(0, 1, 1);
+        let b = Buchi::new(n);
+        assert!(b.is_empty());
+        assert!(b.witness().is_none());
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let u = inf_often_p().union(&even_p());
+        assert!(u.accepts(&UpWord::new(vec![], vec![0, 1]))); // inf often
+        assert!(u.accepts(&UpWord::new(vec![], vec![1, 0]))); // even-p
+        assert!(!u.accepts(&UpWord::new(vec![1], vec![0]))); // neither
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        let i = inf_often_p().intersection(&even_p());
+        // p everywhere: both hold.
+        assert!(i.accepts(&UpWord::new(vec![], vec![1])));
+        // p at evens only: infinitely often ✓, even-p ✓.
+        assert!(i.accepts(&UpWord::new(vec![], vec![1, 0])));
+        // p at odds only: infinitely often ✓ but not at evens.
+        assert!(!i.accepts(&UpWord::new(vec![], vec![0, 1])));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn even_p_is_not_finitely_regular_witnessed() {
+        // The §3 separation, executably: for every prefix length n there
+        // are two words agreeing on the first n letters, exactly one
+        // accepted — so no finite-acceptance automaton (whose languages are
+        // closed under extension beyond an accepting prefix) recognizes
+        // this language.
+        let b = even_p();
+        for n in 0..20usize {
+            let mut good_prefix: Vec<u32> = (0..n).map(|i| u32::from(i % 2 == 0)).collect();
+            let good = UpWord::new(
+                good_prefix.clone(),
+                vec![1, 0, 1, 0][n % 2..n % 2 + 2].to_vec(),
+            );
+            assert!(b.accepts(&good), "n={n}");
+            // Perturb right after the prefix: force a 0 letter at the next
+            // even position.
+            good_prefix.extend_from_slice(if n % 2 == 0 { &[0] } else { &[1, 0] });
+            let bad = UpWord::new(
+                good_prefix,
+                vec![1, 0][(n + 1) % 2..(n + 1) % 2 + 1].to_vec(),
+            );
+            assert!(!b.accepts(&bad), "n={n}");
+        }
+    }
+}

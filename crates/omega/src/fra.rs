@@ -1,0 +1,431 @@
+//! Finite-acceptance automata on ω-words: finitely regular ω-languages.
+//!
+//! §3.2 of the paper: the yes/no query expressiveness of Templog (and of
+//! the Chomicki–Imieliński language) is the class of *finitely regular*
+//! ω-languages — languages of the form `L'·Σ^ω` for a regular `L'`,
+//! equivalently those accepted by finite automata that accept an infinite
+//! word as soon as some finite prefix reaches an accepting state.
+//!
+//! The tell-tale closure property (used by the separation tests): if a
+//! finite-acceptance automaton accepts `w` via a prefix of length `n`,
+//! it accepts **every** word agreeing with `w` on the first `n` letters.
+
+use crate::nfa::Nfa;
+use crate::word::UpWord;
+use std::collections::BTreeSet;
+
+/// A finite-acceptance ω-automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fra {
+    /// The underlying transition structure; `accepting` is the
+    /// finite-acceptance set.
+    pub nfa: Nfa,
+}
+
+impl Fra {
+    /// Wraps a transition structure.
+    pub fn new(nfa: Nfa) -> Self {
+        Fra { nfa }
+    }
+
+    /// Does the automaton accept the word? Decidable on ultimately
+    /// periodic words: simulate the subset construction along the lasso;
+    /// accept as soon as an accepting state appears; reject when the
+    /// (subset, lasso position) pair repeats without acceptance.
+    pub fn accepts(&self, w: &UpWord) -> bool {
+        let mut current = self.nfa.initial.clone();
+        if current.iter().any(|q| self.nfa.accepting.contains(q)) {
+            return true;
+        }
+        let mut seen: BTreeSet<(Vec<usize>, usize)> = BTreeSet::new();
+        let mut pos = 0usize;
+        loop {
+            let key = (
+                current.iter().copied().collect::<Vec<_>>(),
+                pos.min(w.span()),
+            );
+            if pos >= w.prefix.len() && !seen.insert(key) {
+                return false; // lasso closed without acceptance
+            }
+            current = self.nfa.step(&current, w.at(pos));
+            if current.iter().any(|q| self.nfa.accepting.contains(q)) {
+                return true;
+            }
+            if current.is_empty() {
+                return false;
+            }
+            pos = if pos + 1 < w.span() {
+                pos + 1
+            } else {
+                w.prefix.len()
+            };
+        }
+    }
+
+    /// The length of the shortest accepting prefix on this word, if any —
+    /// the witness for the suffix-closure property.
+    pub fn accepting_prefix_len(&self, w: &UpWord) -> Option<usize> {
+        let mut current = self.nfa.initial.clone();
+        if current.iter().any(|q| self.nfa.accepting.contains(q)) {
+            return Some(0);
+        }
+        let mut seen: BTreeSet<(Vec<usize>, usize)> = BTreeSet::new();
+        let mut pos = 0usize;
+        let mut steps = 0usize;
+        loop {
+            let key = (current.iter().copied().collect::<Vec<_>>(), pos);
+            if pos >= w.prefix.len() && !seen.insert(key) {
+                return None;
+            }
+            current = self.nfa.step(&current, w.at(pos));
+            steps += 1;
+            if current.iter().any(|q| self.nfa.accepting.contains(q)) {
+                return Some(steps);
+            }
+            if current.is_empty() {
+                return None;
+            }
+            pos = if pos + 1 < w.span() {
+                pos + 1
+            } else {
+                w.prefix.len()
+            };
+        }
+    }
+
+    /// Language emptiness: a finite-acceptance automaton is nonempty iff an
+    /// accepting state is reachable (any finite accepting prefix extends to
+    /// an ω-word).
+    pub fn is_empty(&self) -> bool {
+        self.nfa
+            .reachable()
+            .intersection(&self.nfa.accepting)
+            .next()
+            .is_none()
+    }
+
+    /// Language union.
+    pub fn union(&self, other: &Fra) -> Fra {
+        Fra::new(self.nfa.union(&other.nfa))
+    }
+
+    /// The same language on a *completed* transition structure: a universal
+    /// accepting sink is reachable from every accepting state on every
+    /// letter, so runs never die after acceptance (matching the
+    /// `L = L'·Σ^ω` semantics where anything may follow an accepting
+    /// prefix). Needed by constructions that keep runs alive past
+    /// acceptance, e.g. [`Fra::intersection`].
+    fn completed(&self) -> Fra {
+        let mut nfa = self.nfa.clone();
+        let sink = nfa.n_states;
+        nfa.n_states += 1;
+        nfa.transitions.push(Default::default());
+        for a in 0..nfa.alphabet_size() {
+            nfa.add_transition(sink, a, sink);
+        }
+        for &q in &self.nfa.accepting.clone() {
+            for a in 0..nfa.alphabet_size() {
+                nfa.add_transition(q, a, sink);
+            }
+        }
+        nfa.accepting.insert(sink);
+        Fra::new(nfa)
+    }
+
+    /// Language intersection. For finite acceptance the product must
+    /// remember which side has already accepted (the accepting prefixes
+    /// may have different lengths) **and** keep a side alive after it
+    /// accepts (its run may stop; the word is accepted regardless), so the
+    /// construction runs completed automata on `(q₁, q₂, flags)` states;
+    /// flag bits record past acceptance.
+    pub fn intersection(&self, other: &Fra) -> Fra {
+        let ca = self.completed();
+        let cb = other.completed();
+        // Product over the completed automata with acceptance flags.
+        use std::collections::{BTreeMap, VecDeque};
+        type St = (usize, usize, u8);
+        let mut index: BTreeMap<St, usize> = BTreeMap::new();
+        let mut states: Vec<St> = Vec::new();
+        let get = |s: St, states: &mut Vec<St>, index: &mut BTreeMap<St, usize>| {
+            *index.entry(s).or_insert_with(|| {
+                states.push(s);
+                states.len() - 1
+            })
+        };
+        let flag = |a: usize, b: usize, prev: u8| -> u8 {
+            let mut f = prev;
+            if ca.nfa.accepting.contains(&a) {
+                f |= 1;
+            }
+            if cb.nfa.accepting.contains(&b) {
+                f |= 2;
+            }
+            f
+        };
+        let mut out = Nfa::new(ca.nfa.n_props, 0);
+        let mut frontier: VecDeque<St> = VecDeque::new();
+        for &a in &ca.nfa.initial {
+            for &b in &cb.nfa.initial {
+                let s = (a, b, flag(a, b, 0));
+                let i = get(s, &mut states, &mut index);
+                out.initial.insert(i);
+                frontier.push_back(s);
+            }
+        }
+        let mut seen: BTreeSet<St> = frontier.iter().copied().collect();
+        let mut transitions: Vec<(usize, u32, usize)> = Vec::new();
+        while let Some((a, b, f)) = frontier.pop_front() {
+            let i = get((a, b, f), &mut states, &mut index);
+            for (&letter, sa) in &ca.nfa.transitions[a] {
+                if let Some(sb) = cb.nfa.transitions[b].get(&letter) {
+                    for &na in sa {
+                        for &nb in sb {
+                            let nf = flag(na, nb, f);
+                            let s = (na, nb, nf);
+                            let j = get(s, &mut states, &mut index);
+                            transitions.push((i, letter, j));
+                            if seen.insert(s) {
+                                frontier.push_back(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.n_states = states.len();
+        out.transitions = vec![Default::default(); states.len()];
+        for (i, a, j) in transitions {
+            out.add_transition(i, a, j);
+        }
+        for (s, &i) in &index {
+            if s.2 == 3 {
+                out.accepting.insert(i);
+            }
+        }
+        Fra::new(out)
+    }
+
+    /// The **complement** language as a Büchi automaton — the automaton
+    /// side of the paper's "with stratified negation, query expressiveness
+    /// reaches ω-regular": `¬(L'·Σ^ω)` is a *safety* language, not finitely
+    /// regular (unless trivial), but easily ω-regular. Construction:
+    /// determinize by subset construction, drop every subset containing an
+    /// accepting state, make all surviving states Büchi-accepting.
+    pub fn complement_to_buchi(&self) -> crate::buchi::Buchi {
+        use std::collections::{BTreeMap, VecDeque};
+        let mut index: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let enc = |s: &BTreeSet<usize>| s.iter().copied().collect::<Vec<_>>();
+        let is_bad = |s: &BTreeSet<usize>| s.iter().any(|q| self.nfa.accepting.contains(q));
+        let mut nfa = crate::nfa::Nfa::new(self.nfa.n_props, 0);
+        let initial = self.nfa.initial.clone();
+        if is_bad(&initial) {
+            // The FRA accepts everything from the start: empty complement.
+            return crate::buchi::Buchi::new(crate::nfa::Nfa::new(self.nfa.n_props, 0));
+        }
+        index.insert(enc(&initial), 0);
+        subsets.push(initial.clone());
+        nfa.initial.insert(0);
+        let mut frontier: VecDeque<usize> = [0].into();
+        let mut transitions: Vec<(usize, u32, usize)> = Vec::new();
+        while let Some(i) = frontier.pop_front() {
+            let subset = subsets[i].clone();
+            for a in 0..(1u32 << self.nfa.n_props) {
+                let next = self.nfa.step(&subset, a);
+                if is_bad(&next) {
+                    continue; // entering acceptance = word leaves the complement
+                }
+                let key = enc(&next);
+                let j = match index.get(&key) {
+                    Some(&j) => j,
+                    None => {
+                        let j = subsets.len();
+                        index.insert(key, j);
+                        subsets.push(next);
+                        frontier.push_back(j);
+                        j
+                    }
+                };
+                transitions.push((i, a, j));
+            }
+        }
+        nfa.n_states = subsets.len();
+        nfa.transitions = vec![Default::default(); subsets.len()];
+        for (i, a, j) in transitions {
+            nfa.add_transition(i, a, j);
+        }
+        nfa.accepting = (0..subsets.len()).collect();
+        crate::buchi::Buchi::new(nfa)
+    }
+
+    /// Converts to a Büchi automaton for the same language: once an
+    /// accepting state is reached, move to a sink that accepts everything
+    /// (`L = L'·Σ^ω`). Witnesses the strict inclusion
+    /// finitely regular ⊂ ω-regular of §3.
+    pub fn to_buchi(&self) -> crate::buchi::Buchi {
+        let mut nfa = self.nfa.clone();
+        let sink = nfa.n_states;
+        nfa.n_states += 1;
+        nfa.transitions.push(Default::default());
+        for a in 0..nfa.alphabet_size() {
+            nfa.add_transition(sink, a, sink);
+        }
+        // Accepting states jump to the sink on every letter (in addition to
+        // their normal transitions, which no longer matter).
+        for &q in &self.nfa.accepting.clone() {
+            for a in 0..nfa.alphabet_size() {
+                nfa.add_transition(q, a, sink);
+            }
+        }
+        // Initial accepting states already accept everything.
+        nfa.accepting = [sink].into();
+        if self
+            .nfa
+            .initial
+            .iter()
+            .any(|q| self.nfa.accepting.contains(q))
+        {
+            // Make the sink initial too so the empty prefix acceptance is
+            // preserved.
+            nfa.initial.insert(sink);
+        }
+        crate::buchi::Buchi::new(nfa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FRA for "p occurs at some position" over one proposition.
+    fn eventually_p() -> Fra {
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(1);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 1);
+        n.add_transition(1, 1, 1);
+        Fra::new(n)
+    }
+
+    /// FRA for "p at position 0".
+    fn initially_p() -> Fra {
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(1);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 1);
+        n.add_transition(1, 1, 1);
+        Fra::new(n)
+    }
+
+    #[test]
+    fn eventually_p_membership() {
+        let f = eventually_p();
+        assert!(f.accepts(&UpWord::new(vec![0, 0, 1], vec![0])));
+        assert!(f.accepts(&UpWord::new(vec![], vec![0, 1])));
+        assert!(!f.accepts(&UpWord::new(vec![0, 0], vec![0])));
+    }
+
+    #[test]
+    fn accepting_prefix_and_suffix_closure() {
+        let f = eventually_p();
+        let w = UpWord::new(vec![0, 0, 1], vec![0]);
+        let n = f.accepting_prefix_len(&w).unwrap();
+        assert_eq!(n, 3);
+        // Any word agreeing on the first 3 letters is accepted — the
+        // defining property of finitely regular languages.
+        for cycle in [vec![0], vec![1], vec![0, 1]] {
+            let w2 = UpWord::new(vec![0, 0, 1], cycle);
+            assert!(f.accepts(&w2));
+        }
+        assert_eq!(f.accepting_prefix_len(&UpWord::new(vec![], vec![0])), None);
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(!eventually_p().is_empty());
+        let mut n = Nfa::new(1, 2);
+        n.initial.insert(0);
+        n.accepting.insert(1); // unreachable
+        assert!(Fra::new(n).is_empty());
+    }
+
+    #[test]
+    fn union_works() {
+        let f = initially_p();
+        let g = {
+            // "q at position 0" — here: proposition 0 absent at position 0.
+            let mut n = Nfa::new(1, 2);
+            n.initial.insert(0);
+            n.accepting.insert(1);
+            n.add_transition(0, 0, 1);
+            n.add_transition(1, 0, 1);
+            n.add_transition(1, 1, 1);
+            Fra::new(n)
+        };
+        let u = f.union(&g);
+        // Everything is accepted: position 0 either has p or lacks it.
+        assert!(u.accepts(&UpWord::new(vec![], vec![0])));
+        assert!(u.accepts(&UpWord::new(vec![], vec![1])));
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        // "p at 0" ∩ "eventually no-p": needs p first then a 0 letter.
+        let f = initially_p();
+        let g = {
+            let mut n = Nfa::new(1, 2);
+            n.initial.insert(0);
+            n.accepting.insert(1);
+            n.add_transition(0, 1, 0);
+            n.add_transition(0, 0, 1);
+            n.add_transition(1, 0, 1);
+            n.add_transition(1, 1, 1);
+            Fra::new(n)
+        };
+        let i = f.intersection(&g);
+        assert!(i.accepts(&UpWord::new(vec![1, 0], vec![1])));
+        assert!(i.accepts(&UpWord::new(vec![1], vec![0])));
+        assert!(!i.accepts(&UpWord::new(vec![0], vec![0]))); // no p at 0
+        assert!(!i.accepts(&UpWord::new(vec![], vec![1]))); // p forever
+    }
+
+    #[test]
+    fn complement_is_negation() {
+        let f = eventually_p();
+        let c = f.complement_to_buchi();
+        for w in [
+            UpWord::new(vec![0, 1], vec![0]),
+            UpWord::new(vec![], vec![0]),
+            UpWord::new(vec![], vec![1]),
+            UpWord::new(vec![0, 0, 0], vec![0, 1]),
+            UpWord::new(vec![0, 0, 0, 1], vec![0]),
+        ] {
+            assert_eq!(c.accepts(&w), !f.accepts(&w), "{w}");
+        }
+        // "never p" is the classic safety language: 0^ω and only 0^ω here.
+        assert!(c.accepts(&UpWord::new(vec![], vec![0])));
+        // An FRA that accepts immediately has an empty complement.
+        let mut n = Nfa::new(1, 1);
+        n.initial.insert(0);
+        n.accepting.insert(0);
+        let trivial = Fra::new(n);
+        assert!(trivial.complement_to_buchi().is_empty());
+    }
+
+    #[test]
+    fn buchi_conversion_preserves_language() {
+        let f = eventually_p();
+        let b = f.to_buchi();
+        for w in [
+            UpWord::new(vec![0, 1], vec![0]),
+            UpWord::new(vec![], vec![0]),
+            UpWord::new(vec![], vec![1]),
+            UpWord::new(vec![0, 0, 0, 1], vec![0, 0]),
+        ] {
+            assert_eq!(f.accepts(&w), b.accepts(&w), "{w}");
+        }
+    }
+}

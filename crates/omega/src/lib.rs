@@ -1,0 +1,34 @@
+//! # itdb-omega — ω-automata for the expressiveness results of §3
+//!
+//! §3 of the paper classifies the query expressiveness of the temporal
+//! database formalisms by classes of ω-languages:
+//!
+//! | formalism | yes/no query expressiveness | here |
+//! |-----------|-----------------------------|------|
+//! | Templog / Datalog1S | finitely regular ω-languages (`L'·Σ^ω`) | [`Fra`] |
+//! | …with stratified negation | ω-regular languages | [`Buchi`] |
+//! | \[KSW90\] FO language (1 temporal arg, ℕ) | star-free ω-regular = LTL | [`ltl`] |
+//!
+//! The crate provides the three machine classes, decidable membership on
+//! ultimately periodic words ([`UpWord`]), the classic LTL→Büchi
+//! construction, and translations from the database formalisms
+//! ([`translate`]) that make the §3 claims — including the separations —
+//! executable.
+
+#![warn(missing_docs)]
+
+pub mod buchi;
+pub mod fra;
+pub mod ltl;
+pub mod nfa;
+pub mod translate;
+pub mod word;
+
+pub use buchi::Buchi;
+pub use fra::Fra;
+pub use ltl::{holds, to_buchi, Ltl};
+pub use nfa::Nfa;
+pub use translate::{
+    datalog1s_query_to_fra, datalog1s_query_to_fra_over, epset_to_buchi, epset_to_word,
+};
+pub use word::{Letter, UpWord};

@@ -1,0 +1,477 @@
+//! Linear temporal logic and its translation to Büchi automata.
+//!
+//! §3.2 of the paper: the query expressiveness of the \[KSW90\] first-order
+//! language (one temporal argument, ℕ) is the *star-free* ω-regular
+//! languages, which by \[GPSS80\] is exactly the expressiveness of temporal
+//! logic with ○, □, ◇ and U. This module gives that logic teeth: formulas
+//! in negation normal form, an exact semantics oracle on ultimately
+//! periodic words, and the classic closure-set translation to (generalized,
+//! then plain) Büchi automata.
+
+use crate::buchi::Buchi;
+use crate::nfa::Nfa;
+use crate::word::UpWord;
+use itdb_lrp::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An LTL formula in negation normal form (negation only on propositions).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Ltl {
+    /// ⊤
+    True,
+    /// ⊥
+    False,
+    /// Proposition `p_i`.
+    Prop(usize),
+    /// Negated proposition `¬p_i`.
+    NProp(usize),
+    /// Conjunction.
+    And(Rc<Ltl>, Rc<Ltl>),
+    /// Disjunction.
+    Or(Rc<Ltl>, Rc<Ltl>),
+    /// ○ (next).
+    Next(Rc<Ltl>),
+    /// Until.
+    Until(Rc<Ltl>, Rc<Ltl>),
+    /// Release (the NNF dual of Until).
+    Release(Rc<Ltl>, Rc<Ltl>),
+}
+
+impl Ltl {
+    /// `p_i`.
+    pub fn prop(i: usize) -> Rc<Ltl> {
+        Rc::new(Ltl::Prop(i))
+    }
+
+    /// `¬φ`, pushed to negation normal form.
+    pub fn not(f: &Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(match &**f {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Prop(i) => Ltl::NProp(*i),
+            Ltl::NProp(i) => Ltl::Prop(*i),
+            Ltl::And(a, b) => Ltl::Or(Ltl::not(a), Ltl::not(b)),
+            Ltl::Or(a, b) => Ltl::And(Ltl::not(a), Ltl::not(b)),
+            Ltl::Next(a) => Ltl::Next(Ltl::not(a)),
+            Ltl::Until(a, b) => Ltl::Release(Ltl::not(a), Ltl::not(b)),
+            Ltl::Release(a, b) => Ltl::Until(Ltl::not(a), Ltl::not(b)),
+        })
+    }
+
+    /// `φ ∧ ψ`.
+    pub fn and(a: Rc<Ltl>, b: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::And(a, b))
+    }
+
+    /// `φ ∨ ψ`.
+    pub fn or(a: Rc<Ltl>, b: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::Or(a, b))
+    }
+
+    /// `○φ`.
+    pub fn next(a: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::Next(a))
+    }
+
+    /// `φ U ψ`.
+    pub fn until(a: Rc<Ltl>, b: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::Until(a, b))
+    }
+
+    /// `◇φ = ⊤ U φ`.
+    pub fn finally(a: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::Until(Rc::new(Ltl::True), a))
+    }
+
+    /// `□φ = ⊥ R φ`.
+    pub fn globally(a: Rc<Ltl>) -> Rc<Ltl> {
+        Rc::new(Ltl::Release(Rc::new(Ltl::False), a))
+    }
+
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(a: &Rc<Ltl>, b: Rc<Ltl>) -> Rc<Ltl> {
+        Ltl::or(Ltl::not(a), b)
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(i) => write!(f, "p{i}"),
+            Ltl::NProp(i) => write!(f, "!p{i}"),
+            Ltl::And(a, b) => write!(f, "({a} & {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ltl::Next(a) => write!(f, "X {a}"),
+            Ltl::Until(a, b) => write!(f, "({a} U {b})"),
+            Ltl::Release(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+/// Exact LTL semantics on an ultimately periodic word: does `f` hold at
+/// position 0? Until/Release are evaluated as least/greatest fixpoints over
+/// the word's folded lasso, which is exact.
+pub fn holds(f: &Ltl, w: &UpWord) -> bool {
+    eval_table(f, w)[0]
+}
+
+/// Truth values of `f` at every lasso position of `w`.
+fn eval_table(f: &Ltl, w: &UpWord) -> Vec<bool> {
+    let span = w.span();
+    match f {
+        Ltl::True => vec![true; span],
+        Ltl::False => vec![false; span],
+        Ltl::Prop(i) => (0..span).map(|p| w.holds(*i, p)).collect(),
+        Ltl::NProp(i) => (0..span).map(|p| !w.holds(*i, p)).collect(),
+        Ltl::And(a, b) => {
+            let (ta, tb) = (eval_table(a, w), eval_table(b, w));
+            (0..span).map(|p| ta[p] && tb[p]).collect()
+        }
+        Ltl::Or(a, b) => {
+            let (ta, tb) = (eval_table(a, w), eval_table(b, w));
+            (0..span).map(|p| ta[p] || tb[p]).collect()
+        }
+        Ltl::Next(a) => {
+            let ta = eval_table(a, w);
+            (0..span).map(|p| ta[w.lasso_next(p)]).collect()
+        }
+        Ltl::Until(a, b) => {
+            let (ta, tb) = (eval_table(a, w), eval_table(b, w));
+            let mut v = vec![false; span];
+            // Least fixpoint of v[p] = tb[p] ∨ (ta[p] ∧ v[next p]).
+            for _ in 0..=span {
+                for p in (0..span).rev() {
+                    v[p] = tb[p] || (ta[p] && v[w.lasso_next(p)]);
+                }
+            }
+            v
+        }
+        Ltl::Release(a, b) => {
+            let (ta, tb) = (eval_table(a, w), eval_table(b, w));
+            let mut v = vec![true; span];
+            // Greatest fixpoint of v[p] = tb[p] ∧ (ta[p] ∨ v[next p]).
+            for _ in 0..=span {
+                for p in (0..span).rev() {
+                    v[p] = tb[p] && (ta[p] || v[w.lasso_next(p)]);
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Translates an LTL formula into a Büchi automaton over `n_props`
+/// propositions, via the classic closure-set construction: states are
+/// locally consistent subsets of the closure, transitions discharge ○ and
+/// unfold U/R, and a generalized acceptance set per Until (degeneralized by
+/// a counter) enforces fulfilment of eventualities.
+///
+/// The closure is capped at 20 subformulas ([`Error::ResidueBudget`] beyond
+/// that) since states are subsets.
+pub fn to_buchi(f: &Rc<Ltl>, n_props: usize) -> Result<Buchi> {
+    // Closure: all subformulas.
+    let mut closure: Vec<Rc<Ltl>> = Vec::new();
+    collect(f, &mut closure);
+    if closure.len() > 20 {
+        return Err(Error::ResidueBudget { budget: 20 });
+    }
+    let nf = closure.len();
+    let idx: BTreeMap<&Ltl, usize> = closure.iter().enumerate().map(|(i, g)| (&**g, i)).collect();
+    let root = idx[&**f];
+    let untils: Vec<usize> = closure
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| matches!(&***g, Ltl::Until(..)))
+        .map(|(i, _)| i)
+        .collect();
+
+    // A state is a bitmask over the closure; keep the locally consistent
+    // ones.
+    let consistent = |s: u32| -> bool {
+        for (i, g) in closure.iter().enumerate() {
+            if s & (1 << i) == 0 {
+                continue;
+            }
+            let has = |h: &Ltl| s & (1 << idx[h]) != 0;
+            match &**g {
+                Ltl::False => return false,
+                Ltl::And(a, b) if (!has(a) || !has(b)) => {
+                    return false;
+                }
+                Ltl::Or(a, b) if !has(a) && !has(b) => {
+                    return false;
+                }
+                Ltl::Until(a, b) if !has(a) && !has(b) => {
+                    return false;
+                }
+                Ltl::Release(_, b) if !has(b) => {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        // p and ¬p together are inconsistent.
+        for (i, g) in closure.iter().enumerate() {
+            if let Ltl::Prop(pi) = &**g {
+                if s & (1 << i) != 0 {
+                    if let Some(&j) = idx.get(&Ltl::NProp(*pi)) {
+                        if s & (1 << j) != 0 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    };
+
+    let states: Vec<u32> = (0u32..(1 << nf)).filter(|&s| consistent(s)).collect();
+    let _state_index: BTreeMap<u32, usize> =
+        states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+
+    // Letter compatibility: literals in the state constrain the letter.
+    let letter_ok = |s: u32, a: u32| -> bool {
+        closure.iter().enumerate().all(|(i, g)| {
+            if s & (1 << i) == 0 {
+                return true;
+            }
+            match &**g {
+                Ltl::Prop(p) => a & (1 << p) != 0,
+                Ltl::NProp(p) => a & (1 << p) == 0,
+                _ => true,
+            }
+        })
+    };
+
+    // Obligations passed to the successor state.
+    let obligations = |s: u32| -> u32 {
+        let mut must = 0u32;
+        for (i, g) in closure.iter().enumerate() {
+            if s & (1 << i) == 0 {
+                continue;
+            }
+            let has = |h: &Ltl| s & (1 << idx[h]) != 0;
+            match &**g {
+                Ltl::Next(x) => must |= 1 << idx[&**x],
+                Ltl::Until(_, b) if !has(b) => {
+                    must |= 1 << i;
+                }
+                Ltl::Release(a, _) if !has(a) => {
+                    must |= 1 << i;
+                }
+                _ => {}
+            }
+        }
+        must
+    };
+
+    // Degeneralization counter: 0..=untils.len(); with no untils the
+    // automaton is a plain Büchi with every state accepting.
+    let k = untils.len().max(1);
+    let n_states = states.len() * k;
+    let mut nfa = Nfa::new(n_props, n_states);
+    let enc = |si: usize, c: usize| si * k + c;
+
+    for (si, &s) in states.iter().enumerate() {
+        if s & (1 << root) != 0 {
+            nfa.initial.insert(enc(si, 0));
+        }
+    }
+    for (si, &s) in states.iter().enumerate() {
+        let must = obligations(s);
+        for a in 0..nfa.alphabet_size() {
+            if !letter_ok(s, a) {
+                continue;
+            }
+            for (ti, &t) in states.iter().enumerate() {
+                if t & must != must {
+                    continue;
+                }
+                for c in 0..k {
+                    // Counter advances when the c-th until is fulfilled (or
+                    // absent) in the *current* state.
+                    let nc = if untils.is_empty() {
+                        0
+                    } else {
+                        let u = untils[c];
+                        let fulfilled = s & (1 << u) == 0 || {
+                            let Ltl::Until(_, b) = &*closure[u] else {
+                                unreachable!()
+                            };
+                            s & (1 << idx[&**b]) != 0
+                        };
+                        if fulfilled {
+                            (c + 1) % k
+                        } else {
+                            c
+                        }
+                    };
+                    nfa.add_transition(enc(si, c), a, enc(ti, nc));
+                }
+            }
+        }
+    }
+    // Accepting: counter returns to 0 — mark states with c == 0 reached
+    // after a full round. Standard degeneralization accepts when the
+    // counter is 0 *and* the first until is fulfilled; with the advance-on-
+    // fulfilment scheme above, accepting = counter wrapped to 0. We mark
+    // (·, 0) states whose first until is fulfilled (or no untils at all).
+    for (si, &s) in states.iter().enumerate() {
+        let ok = if untils.is_empty() {
+            true
+        } else {
+            let u = untils[0];
+            s & (1 << u) == 0 || {
+                let Ltl::Until(_, b) = &*closure[u] else {
+                    unreachable!()
+                };
+                s & (1 << idx[&**b]) != 0
+            }
+        };
+        if ok {
+            nfa.accepting.insert(enc(si, 0));
+        }
+    }
+    Ok(Buchi::new(nfa))
+}
+
+fn collect(f: &Rc<Ltl>, out: &mut Vec<Rc<Ltl>>) {
+    if out.iter().any(|g| **g == **f) {
+        return;
+    }
+    out.push(f.clone());
+    match &**f {
+        Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        Ltl::Next(a) => collect(a, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words() -> Vec<UpWord> {
+        vec![
+            UpWord::new(vec![], vec![0]),
+            UpWord::new(vec![], vec![1]),
+            UpWord::new(vec![], vec![1, 0]),
+            UpWord::new(vec![], vec![0, 1]),
+            UpWord::new(vec![1, 1, 0], vec![0]),
+            UpWord::new(vec![0], vec![1]),
+            UpWord::new(vec![1], vec![0, 0, 1]),
+            UpWord::new(vec![0, 1, 1], vec![1, 0]),
+        ]
+    }
+
+    fn two_prop_words() -> Vec<UpWord> {
+        vec![
+            UpWord::new(vec![], vec![0b01, 0b10]),
+            UpWord::new(vec![0b01], vec![0b11]),
+            UpWord::new(vec![], vec![0b00]),
+            UpWord::new(vec![0b01, 0b00], vec![0b10]),
+            UpWord::new(vec![], vec![0b01]),
+        ]
+    }
+
+    #[test]
+    fn oracle_basic() {
+        let p = Ltl::prop(0);
+        assert!(holds(&p, &UpWord::new(vec![1], vec![0])));
+        assert!(!holds(&p, &UpWord::new(vec![0], vec![1])));
+        let fp = Ltl::finally(p.clone());
+        assert!(holds(&fp, &UpWord::new(vec![0, 0, 1], vec![0])));
+        assert!(!holds(&fp, &UpWord::new(vec![], vec![0])));
+        let gp = Ltl::globally(p.clone());
+        assert!(holds(&gp, &UpWord::new(vec![], vec![1])));
+        assert!(!holds(&gp, &UpWord::new(vec![1, 1], vec![1, 0])));
+        let gfp = Ltl::globally(Ltl::finally(p.clone()));
+        assert!(holds(&gfp, &UpWord::new(vec![], vec![0, 1])));
+        assert!(!holds(&gfp, &UpWord::new(vec![1, 1], vec![0])));
+    }
+
+    #[test]
+    fn oracle_until_release() {
+        let p = Ltl::prop(0);
+        let q = Ltl::prop(1);
+        let puq = Ltl::until(p.clone(), q.clone());
+        // p p q …
+        assert!(holds(&puq, &UpWord::new(vec![0b01, 0b01, 0b10], vec![0])));
+        // p p p … (q never)
+        assert!(!holds(&puq, &UpWord::new(vec![], vec![0b01])));
+        // q immediately
+        assert!(holds(&puq, &UpWord::new(vec![0b10], vec![0])));
+        // Release: ¬(¬p U ¬q) ⟺ p R q.
+        let prq = Ltl::not(&Ltl::until(Ltl::not(&p), Ltl::not(&q)));
+        // q forever: p R q holds.
+        assert!(holds(&prq, &UpWord::new(vec![], vec![0b10])));
+        // q until p∧q then anything.
+        assert!(holds(&prq, &UpWord::new(vec![0b10, 0b11], vec![0b00])));
+        // q fails before p arrives.
+        assert!(!holds(&prq, &UpWord::new(vec![0b10, 0b00], vec![0b11])));
+    }
+
+    #[test]
+    fn buchi_matches_oracle_one_prop() {
+        let p = Ltl::prop(0);
+        let formulas: Vec<Rc<Ltl>> = vec![
+            p.clone(),
+            Ltl::not(&p),
+            Ltl::finally(p.clone()),
+            Ltl::globally(p.clone()),
+            Ltl::globally(Ltl::finally(p.clone())),
+            Ltl::finally(Ltl::globally(p.clone())),
+            Ltl::next(Ltl::next(p.clone())),
+            Ltl::until(p.clone(), Ltl::not(&p)),
+        ];
+        for f in &formulas {
+            let b = to_buchi(f, 1).unwrap();
+            for w in words() {
+                assert_eq!(b.accepts(&w), holds(f, &w), "formula {f} on word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn buchi_matches_oracle_two_props() {
+        let p = Ltl::prop(0);
+        let q = Ltl::prop(1);
+        let formulas: Vec<Rc<Ltl>> = vec![
+            Ltl::until(p.clone(), q.clone()),
+            Ltl::globally(Ltl::implies(&p, Ltl::next(q.clone()))),
+            Ltl::and(Ltl::finally(p.clone()), Ltl::finally(q.clone())),
+            Ltl::or(Ltl::globally(p.clone()), Ltl::finally(q.clone())),
+        ];
+        for f in &formulas {
+            let b = to_buchi(f, 2).unwrap();
+            for w in two_prop_words() {
+                assert_eq!(b.accepts(&w), holds(f, &w), "formula {f} on word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_cap() {
+        // Deeply nested formula exceeding the cap errors cleanly.
+        let mut f = Ltl::prop(0);
+        for _ in 0..25 {
+            f = Ltl::next(f);
+        }
+        assert!(matches!(to_buchi(&f, 1), Err(Error::ResidueBudget { .. })));
+    }
+
+    #[test]
+    fn display_and_nnf() {
+        let p = Ltl::prop(0);
+        let f = Ltl::not(&Ltl::finally(p));
+        // ¬◇p = □¬p = ⊥ R ¬p — but pushed through U: ¬(⊤ U p) = ⊥ R ¬p.
+        assert_eq!(f.to_string(), "(false R !p0)");
+    }
+}

@@ -1,0 +1,291 @@
+//! Shared nondeterministic automaton structure.
+//!
+//! Both acceptance conditions of §3 — finite acceptance (finitely regular
+//! ω-languages) and Büchi acceptance (ω-regular languages) — run on the
+//! same underlying transition structure over the alphabet `2^AP`. This
+//! module provides that structure plus the constructions common to both:
+//! disjoint union, synchronous product, and reachability.
+
+use crate::word::Letter;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterministic finite-state transition structure over `2^n_props`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    /// Number of atomic propositions; the alphabet is `0..2^n_props`.
+    pub n_props: usize,
+    /// Number of states (`0..n_states`).
+    pub n_states: usize,
+    /// Initial states.
+    pub initial: BTreeSet<usize>,
+    /// Accepting states (interpretation depends on the wrapper).
+    pub accepting: BTreeSet<usize>,
+    /// `transitions[q][a]` = successor set of state `q` on letter `a`.
+    pub transitions: Vec<BTreeMap<Letter, BTreeSet<usize>>>,
+}
+
+impl Nfa {
+    /// An automaton with `n_states` states and no transitions.
+    pub fn new(n_props: usize, n_states: usize) -> Self {
+        Nfa {
+            n_props,
+            n_states,
+            initial: BTreeSet::new(),
+            accepting: BTreeSet::new(),
+            transitions: vec![BTreeMap::new(); n_states],
+        }
+    }
+
+    /// Number of letters in the alphabet.
+    pub fn alphabet_size(&self) -> u32 {
+        1u32 << self.n_props
+    }
+
+    /// Adds a transition `from --letter--> to`.
+    pub fn add_transition(&mut self, from: usize, letter: Letter, to: usize) {
+        debug_assert!(letter < self.alphabet_size());
+        self.transitions[from].entry(letter).or_default().insert(to);
+    }
+
+    /// Adds transitions on every letter satisfying the predicate.
+    pub fn add_transitions_where(&mut self, from: usize, to: usize, pred: impl Fn(Letter) -> bool) {
+        for a in 0..self.alphabet_size() {
+            if pred(a) {
+                self.add_transition(from, a, to);
+            }
+        }
+    }
+
+    /// Successors of a state set on a letter.
+    pub fn step(&self, states: &BTreeSet<usize>, letter: Letter) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for &q in states {
+            if let Some(succ) = self.transitions[q].get(&letter) {
+                out.extend(succ.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// States reachable from the initial states.
+    pub fn reachable(&self) -> BTreeSet<usize> {
+        let mut seen = self.initial.clone();
+        let mut frontier: VecDeque<usize> = self.initial.iter().copied().collect();
+        while let Some(q) = frontier.pop_front() {
+            for succ in self.transitions[q].values() {
+                for &r in succ {
+                    if seen.insert(r) {
+                        frontier.push_back(r);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Disjoint union (language union for both acceptance conditions).
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.n_props, other.n_props, "alphabet mismatch");
+        let offset = self.n_states;
+        let mut out = Nfa::new(self.n_props, self.n_states + other.n_states);
+        out.initial = self.initial.clone();
+        out.initial.extend(other.initial.iter().map(|q| q + offset));
+        out.accepting = self.accepting.clone();
+        out.accepting
+            .extend(other.accepting.iter().map(|q| q + offset));
+        for (q, t) in self.transitions.iter().enumerate() {
+            for (&a, succ) in t {
+                for &r in succ {
+                    out.add_transition(q, a, r);
+                }
+            }
+        }
+        for (q, t) in other.transitions.iter().enumerate() {
+            for (&a, succ) in t {
+                for &r in succ {
+                    out.add_transition(q + offset, a, r + offset);
+                }
+            }
+        }
+        out
+    }
+
+    /// Synchronous product; the accepting set is *not* set (the caller
+    /// decides per acceptance condition). Returns the product automaton and
+    /// the state numbering `pair → index`.
+    pub fn product(&self, other: &Nfa) -> (Nfa, BTreeMap<(usize, usize), usize>) {
+        assert_eq!(self.n_props, other.n_props, "alphabet mismatch");
+        let mut index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut states: Vec<(usize, usize)> = Vec::new();
+        let get = |p: (usize, usize),
+                   states: &mut Vec<(usize, usize)>,
+                   index: &mut BTreeMap<(usize, usize), usize>| {
+            *index.entry(p).or_insert_with(|| {
+                states.push(p);
+                states.len() - 1
+            })
+        };
+        let mut frontier: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut out = Nfa::new(self.n_props, 0);
+        for &a in &self.initial {
+            for &b in &other.initial {
+                let i = get((a, b), &mut states, &mut index);
+                out.initial.insert(i);
+                frontier.push_back((a, b));
+            }
+        }
+        let mut seen: BTreeSet<(usize, usize)> = frontier.iter().copied().collect();
+        let mut transitions: Vec<(usize, Letter, usize)> = Vec::new();
+        while let Some((a, b)) = frontier.pop_front() {
+            let i = get((a, b), &mut states, &mut index);
+            for (&letter, sa) in &self.transitions[a] {
+                if let Some(sb) = other.transitions[b].get(&letter) {
+                    for &na in sa {
+                        for &nb in sb {
+                            let j = get((na, nb), &mut states, &mut index);
+                            transitions.push((i, letter, j));
+                            if seen.insert((na, nb)) {
+                                frontier.push_back((na, nb));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.n_states = states.len();
+        out.transitions = vec![BTreeMap::new(); states.len()];
+        for (i, a, j) in transitions {
+            out.add_transition(i, a, j);
+        }
+        (out, index)
+    }
+
+    /// Non-trivial strongly connected components (every state that can
+    /// reach itself through at least one transition), as a membership set.
+    pub fn states_on_cycles(&self) -> BTreeSet<usize> {
+        // Simple O(V·E): for each state, BFS to see if it reaches itself.
+        let mut out = BTreeSet::new();
+        for q in 0..self.n_states {
+            let mut seen = BTreeSet::new();
+            let mut frontier: VecDeque<usize> = VecDeque::new();
+            for succ in self.transitions[q].values() {
+                for &r in succ {
+                    if seen.insert(r) {
+                        frontier.push_back(r);
+                    }
+                }
+            }
+            while let Some(r) = frontier.pop_front() {
+                if r == q {
+                    out.insert(q);
+                    break;
+                }
+                for succ in self.transitions[r].values() {
+                    for &s in succ {
+                        if seen.insert(s) {
+                            frontier.push_back(s);
+                        }
+                    }
+                }
+            }
+            if seen.contains(&q) {
+                out.insert(q);
+            }
+        }
+        out
+    }
+
+    /// States from which a state in `targets` is reachable (inclusive).
+    pub fn can_reach(&self, targets: &BTreeSet<usize>) -> BTreeSet<usize> {
+        // Reverse reachability.
+        let mut rev: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.n_states];
+        for (q, t) in self.transitions.iter().enumerate() {
+            for succ in t.values() {
+                for &r in succ {
+                    rev[r].insert(q);
+                }
+            }
+        }
+        let mut seen = targets.clone();
+        let mut frontier: VecDeque<usize> = targets.iter().copied().collect();
+        while let Some(q) = frontier.pop_front() {
+            for &p in &rev[q] {
+                if seen.insert(p) {
+                    frontier.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// p-then-q automaton: 0 --p--> 1 --q--> 2(acc).
+    fn chain() -> Nfa {
+        let mut n = Nfa::new(2, 3);
+        n.initial.insert(0);
+        n.accepting.insert(2);
+        n.add_transitions_where(0, 1, |a| a & 1 != 0);
+        n.add_transitions_where(1, 2, |a| a & 2 != 0);
+        n
+    }
+
+    #[test]
+    fn step_and_reachability() {
+        let n = chain();
+        let s0: BTreeSet<usize> = [0].into();
+        let s1 = n.step(&s0, 0b01);
+        assert_eq!(s1, [1].into());
+        let s2 = n.step(&s1, 0b10);
+        assert_eq!(s2, [2].into());
+        assert!(n.step(&s0, 0b10).is_empty());
+        assert_eq!(n.reachable(), [0, 1, 2].into());
+    }
+
+    #[test]
+    fn union_is_disjoint() {
+        let a = chain();
+        let b = chain();
+        let u = a.union(&b);
+        assert_eq!(u.n_states, 6);
+        assert_eq!(u.initial, [0, 3].into());
+        assert_eq!(u.accepting, [2, 5].into());
+    }
+
+    #[test]
+    fn product_synchronizes() {
+        let a = chain();
+        let b = chain();
+        let (p, index) = a.product(&b);
+        assert!(p.initial.len() == 1);
+        // The product reaches (2, 2) on the letter sequence p, q.
+        let s0 = p.initial.clone();
+        let s1 = p.step(&s0, 0b01);
+        let s2 = p.step(&s1, 0b10);
+        let end = index.get(&(2, 2)).copied().unwrap();
+        assert!(s2.contains(&end));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut n = Nfa::new(1, 3);
+        n.initial.insert(0);
+        n.add_transition(0, 0, 1);
+        n.add_transition(1, 0, 1); // self loop
+        n.add_transition(1, 1, 2);
+        let cyc = n.states_on_cycles();
+        assert_eq!(cyc, [1].into());
+    }
+
+    #[test]
+    fn reverse_reachability() {
+        let n = chain();
+        let back = n.can_reach(&[2].into());
+        assert_eq!(back, [0, 1, 2].into());
+        let back = n.can_reach(&[1].into());
+        assert_eq!(back, [0, 1].into());
+    }
+}

@@ -1,0 +1,412 @@
+//! Bridges from the temporal-database formalisms to ω-automata.
+//!
+//! These constructions back the §3 expressiveness claims with code:
+//!
+//! * [`epset_to_buchi`] — a temporal database over one predicate *is* an
+//!   ω-word; an eventually periodic set yields the (deterministic, all-
+//!   accepting) Büchi automaton of its characteristic word.
+//! * [`datalog1s_query_to_fra`] — a propositional Datalog1S yes/no query
+//!   (“is the goal ever derivable?”) compiles to a *finite-acceptance*
+//!   automaton over the alphabet `2^{extensional predicates}`: the window
+//!   states of the bottom-up evaluation are the automaton states. This is
+//!   the executable form of “the query expressiveness of Templog /
+//!   Datalog1S is the finitely regular ω-languages”.
+
+use crate::fra::Fra;
+use crate::nfa::Nfa;
+use crate::word::{Letter, UpWord};
+use itdb_datalog1s::{validate, EpSet, Program, Time};
+use itdb_lrp::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Builds the Büchi automaton accepting exactly the characteristic word of
+/// an eventually periodic set (proposition 0 holds at time `t` iff
+/// `t ∈ s`).
+pub fn epset_to_buchi(s: &EpSet) -> crate::buchi::Buchi {
+    let offset = s.offset() as usize;
+    let period = s.period() as usize;
+    let n = offset + period;
+    let mut nfa = Nfa::new(1, n.max(1));
+    nfa.initial.insert(0);
+    for q in 0..n.max(1) {
+        nfa.accepting.insert(q);
+    }
+    for q in 0..n {
+        let letter: Letter = u32::from(s.contains(q as u64));
+        let next = if q + 1 < n { q + 1 } else { offset.min(n - 1) };
+        nfa.add_transition(q, letter, next);
+    }
+    if n == 0 {
+        // Degenerate (offset 0, period 0 cannot happen; period ≥ 1).
+        unreachable!("EpSet period is at least 1");
+    }
+    crate::buchi::Buchi::new(nfa)
+}
+
+/// The characteristic ultimately periodic word of a set.
+pub fn epset_to_word(s: &EpSet) -> UpWord {
+    UpWord::characteristic(s.offset() as usize, s.period() as usize, |i| {
+        s.contains(i as u64)
+    })
+}
+
+/// Compiles a propositional (data-arity-0) causal Datalog1S program and a
+/// goal predicate into a finite-acceptance automaton over the alphabet
+/// `2^{extensional predicates}` accepting exactly the databases (ω-words)
+/// on which the goal is eventually derivable.
+///
+/// Automaton states are the evaluation's look-back windows (plus a clock
+/// for the program's ground-time facts), discovered on the fly; the
+/// accepting states are those whose newest column contains the goal.
+pub fn datalog1s_query_to_fra(p: &Program, goal: &str) -> Result<Fra> {
+    datalog1s_query_to_fra_over(p, goal, &[])
+}
+
+/// Like [`datalog1s_query_to_fra`] but over an explicit proposition list
+/// (so automata for different programs share an alphabet). `props` must
+/// cover every extensional predicate of the program; extra propositions
+/// are permitted and simply unconstrained.
+pub fn datalog1s_query_to_fra_over(p: &Program, goal: &str, props: &[&str]) -> Result<Fra> {
+    let v = validate(p)?;
+    if v.data_arity.values().any(|&a| a != 0) {
+        return Err(Error::Eval(
+            "query-to-automaton compilation needs a propositional program (data arity 0)".into(),
+        ));
+    }
+    let ext: Vec<String> = if props.is_empty() {
+        v.extensional.iter().cloned().collect()
+    } else {
+        for e in &v.extensional {
+            if !props.contains(&e.as_str()) {
+                return Err(Error::Eval(format!(
+                    "proposition list is missing extensional predicate {e}"
+                )));
+            }
+        }
+        props.iter().map(|s| s.to_string()).collect()
+    };
+    if ext.len() > 8 {
+        return Err(Error::ResidueBudget { budget: 8 });
+    }
+    let n_props = ext.len();
+    let prop_of = |pred: &str| ext.iter().position(|e| e == pred);
+    let ints: Vec<&String> = v.intensional.iter().collect();
+    let int_of = |pred: &str| ints.iter().position(|i| *i == pred).expect("intensional");
+
+    // The streaming compilation runs all intensional predicates in one
+    // pass, so it needs the strict single-pass discipline: no lookahead
+    // (even into the input word — future letters are unknown), no
+    // intensional gates, and negation only on extensional predicates
+    // (whose truth is read directly off the letter).
+    for c in &p.clauses {
+        if let Time::Var { shift: hs, .. } = &c.head.time {
+            for a in &c.body {
+                match &a.time {
+                    Time::Var { shift, .. } if shift > hs => {
+                        return Err(Error::Eval(format!(
+                            "clause `{c}` reads the input ahead of the head; \
+                             not supported by the automaton compilation"
+                        )));
+                    }
+                    Time::Const(_) if v.intensional.contains(&a.pred) => {
+                        return Err(Error::Eval(format!(
+                            "clause `{c}` gates on an intensional predicate; \
+                             not supported by the automaton compilation"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for a in &c.body {
+            if a.negated && v.intensional.contains(&a.pred) {
+                return Err(Error::Eval(format!(
+                    "clause `{c}` negates an intensional predicate; the automaton \
+                     compilation supports negation on input propositions only"
+                )));
+            }
+        }
+    }
+
+    let window = (v.max_shift as usize) + 1;
+    let clock_max = (v.max_const as usize) + 1;
+
+    // Extensional atoms at fixed ground times ("gates"): their truth must
+    // survive after the time slides out of the look-back window, so the
+    // automaton records each observation in a dedicated bit.
+    let mut const_ext: Vec<(String, usize)> = Vec::new();
+    for c in &p.clauses {
+        for a in &c.body {
+            if let Time::Const(bc) = a.time {
+                if !v.intensional.contains(&a.pred) {
+                    let entry = (a.pred.clone(), bc as usize);
+                    if !const_ext.contains(&entry) {
+                        const_ext.push(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    // A state: (clock (saturating at clock_max), window of intensional
+    // fact sets, window of extensional letter history). The extensional
+    // history is needed because rules read body atoms at earlier times.
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct St {
+        clock: usize,
+        ints: VecDeque<u64>,       // bitmask per time in window (newest last)
+        letters: VecDeque<Letter>, // input letters for the same window
+        gates: u64,                // observed ground-time extensional facts
+    }
+
+    let initial = St {
+        clock: 0,
+        ints: VecDeque::new(),
+        letters: VecDeque::new(),
+        gates: 0,
+    };
+
+    // Saturation at one time step given the window history.
+    let saturate = |st: &St, letter: Letter, t: usize| -> u64 {
+        let holds_ext = |pred: &str, at: usize, letters: &VecDeque<Letter>| -> bool {
+            // `at` indexes absolute time; the window holds the last
+            // `letters.len()` letters ending at time t−1; the current
+            // letter is at time t.
+            if at == t {
+                prop_of(pred).is_some_and(|i| letter & (1 << i) != 0)
+            } else if at < t {
+                let back = t - at; // ≥ 1
+                if back <= letters.len() {
+                    let l = letters[letters.len() - back];
+                    prop_of(pred).is_some_and(|i| l & (1 << i) != 0)
+                } else {
+                    // Beyond the window: only recorded gates can be read
+                    // (variable-shift atoms stay within the window by
+                    // construction).
+                    const_ext
+                        .iter()
+                        .position(|(g, gt)| g == pred && *gt == at)
+                        .is_some_and(|bit| st.gates & (1 << bit) != 0)
+                }
+            } else {
+                false // the compilation rejects lookahead
+            }
+        };
+
+        let mut cur: u64 = 0;
+        loop {
+            let mut added = false;
+            for c in &p.clauses {
+                let fire_at: Option<usize> = match &c.head.time {
+                    Time::Const(hc) => (*hc as usize == t).then_some(0),
+                    Time::Var { shift, .. } => t.checked_sub(*shift as usize),
+                };
+                let Some(base) = fire_at else { continue };
+                let ok = c.body.iter().all(|a| {
+                    let at = match &a.time {
+                        Time::Const(bc) => *bc as usize,
+                        Time::Var { shift, .. } => base + *shift as usize,
+                    };
+                    if v.intensional.contains(&a.pred) {
+                        let bit = 1u64 << int_of(&a.pred);
+                        if at == t {
+                            cur & bit != 0
+                        } else {
+                            let back = t - at;
+                            back <= st.ints.len() && st.ints[st.ints.len() - back] & bit != 0
+                        }
+                    } else {
+                        holds_ext(&a.pred, at, &st.letters) != a.negated
+                    }
+                });
+                if ok {
+                    let bit = 1u64 << int_of(&c.head.pred);
+                    if cur & bit == 0 {
+                        cur |= bit;
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                return cur;
+            }
+        }
+    };
+
+    // BFS over states.
+    let mut index: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+    let encode = |st: &St| -> Vec<u8> {
+        let mut out = vec![st.clock as u8];
+        out.extend(st.gates.to_le_bytes());
+        out.extend(st.ints.iter().flat_map(|m| m.to_le_bytes()));
+        out.push(0xFF);
+        out.extend(st.letters.iter().flat_map(|l| l.to_le_bytes()));
+        out
+    };
+    let goal_bit = 1u64 << int_of(goal);
+    let mut states: Vec<St> = vec![initial.clone()];
+    index.insert(encode(&initial), 0);
+    let mut nfa = Nfa::new(n_props, 0);
+    nfa.initial.insert(0);
+    let mut transitions: Vec<(usize, Letter, usize)> = Vec::new();
+    let mut accepting: BTreeSet<usize> = BTreeSet::new();
+    let mut qi = 0usize;
+    while qi < states.len() {
+        let st = states[qi].clone();
+        // The absolute time of the next step: within the clock phase it is
+        // st.clock; beyond, only the window matters, so we freeze the clock
+        // at clock_max (times ≥ clock_max are indistinguishable w.r.t.
+        // ground-time facts).
+        let t = st.clock;
+        for letter in 0..(1u32 << n_props) {
+            let derived = saturate(&st, letter, t);
+            let mut next = st.clone();
+            // Record ground-time observations before the letter scrolls out
+            // of the window.
+            for (bit, (pred, gt)) in const_ext.iter().enumerate() {
+                if *gt == t {
+                    if let Some(i) = prop_of(pred) {
+                        if letter & (1 << i) != 0 {
+                            next.gates |= 1 << bit;
+                        }
+                    }
+                }
+            }
+            next.ints.push_back(derived);
+            next.letters.push_back(letter);
+            while next.ints.len() > window {
+                next.ints.pop_front();
+            }
+            while next.letters.len() > window {
+                next.letters.pop_front();
+            }
+            next.clock = (st.clock + 1).min(clock_max + window);
+            // Once past the clock phase, keep t pinned so that Var-headed
+            // rules still see correct relative times: relative times only
+            // need t ≥ window, and ground-time facts need t ≤ clock_max;
+            // pinning at clock_max + window satisfies both.
+            let key = encode(&next);
+            let j = *index.entry(key).or_insert_with(|| {
+                states.push(next.clone());
+                states.len() - 1
+            });
+            transitions.push((qi, letter, j));
+            if derived & goal_bit != 0 {
+                accepting.insert(j);
+            }
+        }
+        qi += 1;
+        if states.len() > 200_000 {
+            return Err(Error::Eval("query automaton exceeds 200000 states".into()));
+        }
+    }
+    nfa.n_states = states.len();
+    nfa.transitions = vec![Default::default(); states.len()];
+    for (i, a, j) in transitions {
+        nfa.add_transition(i, a, j);
+    }
+    nfa.accepting = accepting;
+    Ok(Fra::new(nfa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itdb_datalog1s::parse_program;
+
+    #[test]
+    fn epset_buchi_accepts_exactly_the_characteristic_word() {
+        let s = EpSet::from_parts([1], 4, 3, [2]).unwrap();
+        let b = epset_to_buchi(&s);
+        let w = epset_to_word(&s);
+        assert!(b.accepts(&w));
+        // Perturbations are rejected.
+        let mut bad = w.clone();
+        bad.cycle[0] ^= 1;
+        assert!(!b.accepts(&bad));
+        let mut bad2 = w.clone();
+        if bad2.prefix.is_empty() {
+            bad2.prefix.push(w.at(0) ^ 1);
+        } else {
+            bad2.prefix[0] ^= 1;
+        }
+        assert!(!b.accepts(&bad2));
+    }
+
+    #[test]
+    fn epset_word_roundtrip() {
+        let s = EpSet::progression(3, 4).unwrap();
+        let w = epset_to_word(&s);
+        for i in 0..40u64 {
+            assert_eq!(w.holds(0, i as usize), s.contains(i), "i={i}");
+        }
+    }
+
+    #[test]
+    fn query_automaton_eventually_goal() {
+        // goal once `e` has occurred and then `f` occurs (at or after).
+        let p = parse_program(
+            "seen[t] <- e[t].
+             seen[t + 1] <- seen[t].
+             goal[t] <- seen[t], f[t].",
+        )
+        .unwrap();
+        let fra = datalog1s_query_to_fra(&p, "goal").unwrap();
+        // Propositions: alphabetical over extensional preds {e, f}: e=0, f=1.
+        let e = 0b01u32;
+        let f = 0b10u32;
+        let both = 0b11u32;
+        // e then f: accepted.
+        assert!(fra.accepts(&UpWord::new(vec![e, 0, f], vec![0])));
+        // e and f simultaneous: accepted.
+        assert!(fra.accepts(&UpWord::new(vec![both], vec![0])));
+        // f strictly before e, never after: rejected.
+        assert!(!fra.accepts(&UpWord::new(vec![f, e], vec![0])));
+        // e forever but no f: rejected.
+        assert!(!fra.accepts(&UpWord::new(vec![], vec![e])));
+        // f occurs infinitely often after e: accepted.
+        assert!(fra.accepts(&UpWord::new(vec![e], vec![0, f])));
+    }
+
+    #[test]
+    fn query_automaton_with_shifts() {
+        // goal at t+2 whenever e at t: i.e. goal derivable iff e occurs.
+        let p = parse_program("goal[t + 2] <- e[t].").unwrap();
+        let fra = datalog1s_query_to_fra(&p, "goal").unwrap();
+        assert!(fra.accepts(&UpWord::new(vec![1], vec![0])));
+        assert!(fra.accepts(&UpWord::new(vec![0, 0, 0, 1], vec![0])));
+        assert!(!fra.accepts(&UpWord::new(vec![], vec![0])));
+    }
+
+    #[test]
+    fn query_automaton_with_ground_facts() {
+        // The goal needs the input to carry `e` at the fixed time 3.
+        let p = parse_program("goal[t] <- e[3], e[t].").unwrap();
+        // e[3] is an extensional gate.
+        let fra = datalog1s_query_to_fra(&p, "goal").unwrap();
+        assert!(fra.accepts(&UpWord::new(vec![0, 0, 0, 1], vec![0])));
+        assert!(!fra.accepts(&UpWord::new(vec![0, 0, 1, 0], vec![0])));
+    }
+
+    #[test]
+    fn rejects_data_arguments() {
+        let p = parse_program("goal[t] <- e[t](x).").unwrap();
+        assert!(datalog1s_query_to_fra(&p, "goal").is_err());
+    }
+
+    #[test]
+    fn suffix_closure_property_holds_for_query_automata() {
+        // The compiled query automaton is finite-acceptance, hence its
+        // language is closed under arbitrary continuation after an
+        // accepting prefix — the paper's finitely-regular signature.
+        let p =
+            parse_program("seen[t] <- e[t]. seen[t + 1] <- seen[t]. goal[t] <- seen[t].").unwrap();
+        let fra = datalog1s_query_to_fra(&p, "goal").unwrap();
+        let w = UpWord::new(vec![0, 1], vec![0]);
+        let n = fra.accepting_prefix_len(&w).unwrap();
+        for cycle in [vec![0u32], vec![1]] {
+            let w2 = UpWord::new(w.prefix[..n.min(w.prefix.len())].to_vec(), cycle);
+            assert!(fra.accepts(&w2));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Ultimately periodic ω-words.
+//!
+//! §3 of the paper views a temporal database over ℕ as an infinite word
+//! over the alphabet `2^AP` (one atomic proposition per predicate). The
+//! databases the formalisms can actually *represent* are eventually
+//! periodic, i.e. ultimately periodic words `u·v^ω` — which is also the
+//! class on which automaton membership is decidable, making all the
+//! expressiveness claims executable.
+
+use std::fmt;
+
+/// A letter: a set of atomic propositions packed into a bitset.
+pub type Letter = u32;
+
+/// An ultimately periodic ω-word `prefix · cycle^ω`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UpWord {
+    /// The finite prefix `u`.
+    pub prefix: Vec<Letter>,
+    /// The repeated cycle `v` (must be nonempty).
+    pub cycle: Vec<Letter>,
+}
+
+impl UpWord {
+    /// Creates a word; panics if the cycle is empty (not an ω-word).
+    pub fn new(prefix: Vec<Letter>, cycle: Vec<Letter>) -> Self {
+        assert!(
+            !cycle.is_empty(),
+            "the cycle of an ultimately periodic word must be nonempty"
+        );
+        UpWord { prefix, cycle }
+    }
+
+    /// The letter at position `i`.
+    pub fn at(&self, i: usize) -> Letter {
+        if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            self.cycle[(i - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Does proposition `p` hold at position `i`?
+    pub fn holds(&self, p: usize, i: usize) -> bool {
+        self.at(i) & (1 << p) != 0
+    }
+
+    /// Total length of one "unrolling" (prefix + one cycle) — the number of
+    /// distinct positions that determine the word.
+    pub fn span(&self) -> usize {
+        self.prefix.len() + self.cycle.len()
+    }
+
+    /// Successor position within the folded lasso: positions
+    /// `0..span()` with the last wrapping back to the cycle start.
+    pub fn lasso_next(&self, i: usize) -> usize {
+        if i + 1 < self.span() {
+            i + 1
+        } else {
+            self.prefix.len()
+        }
+    }
+
+    /// The suffix word starting at position `k` (still ultimately
+    /// periodic).
+    pub fn suffix(&self, k: usize) -> UpWord {
+        if k <= self.prefix.len() {
+            UpWord::new(self.prefix[k..].to_vec(), self.cycle.clone())
+        } else {
+            let into = (k - self.prefix.len()) % self.cycle.len();
+            let mut cycle = self.cycle[into..].to_vec();
+            cycle.extend_from_slice(&self.cycle[..into]);
+            UpWord::new(Vec::new(), cycle)
+        }
+    }
+
+    /// The characteristic word of a set of ℕ given as a membership
+    /// predicate with eventual period: positions `< offset` from the
+    /// predicate, then repeating with `period`. Single proposition 0.
+    pub fn characteristic(offset: usize, period: usize, member: impl Fn(usize) -> bool) -> Self {
+        assert!(period > 0);
+        let prefix: Vec<Letter> = (0..offset).map(|i| if member(i) { 1 } else { 0 }).collect();
+        let cycle: Vec<Letter> = (offset..offset + period)
+            .map(|i| if member(i) { 1 } else { 0 })
+            .collect();
+        UpWord::new(prefix, cycle)
+    }
+}
+
+impl fmt::Display for UpWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.prefix {
+            write!(f, "{l:x}")?;
+        }
+        write!(f, "(")?;
+        for l in &self.cycle {
+            write!(f, "{l:x}")?;
+        }
+        write!(f, ")^w")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_wrap() {
+        let w = UpWord::new(vec![1, 0], vec![2, 3]);
+        assert_eq!(w.at(0), 1);
+        assert_eq!(w.at(1), 0);
+        assert_eq!(w.at(2), 2);
+        assert_eq!(w.at(3), 3);
+        assert_eq!(w.at(4), 2);
+        assert_eq!(w.at(101), 3); // odd positions past the prefix
+    }
+
+    #[test]
+    fn proposition_lookup() {
+        let w = UpWord::new(vec![0b01], vec![0b10]);
+        assert!(w.holds(0, 0));
+        assert!(!w.holds(1, 0));
+        assert!(w.holds(1, 1));
+        assert!(w.holds(1, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_cycle_panics() {
+        let _ = UpWord::new(vec![1], vec![]);
+    }
+
+    #[test]
+    fn lasso_structure() {
+        let w = UpWord::new(vec![9, 9], vec![1, 2, 3]);
+        assert_eq!(w.span(), 5);
+        assert_eq!(w.lasso_next(0), 1);
+        assert_eq!(w.lasso_next(4), 2); // wraps to cycle start
+    }
+
+    #[test]
+    fn suffix_within_prefix() {
+        let w = UpWord::new(vec![7, 8], vec![1, 2]);
+        let s = w.suffix(1);
+        for i in 0..10 {
+            assert_eq!(s.at(i), w.at(i + 1), "i={i}");
+        }
+    }
+
+    #[test]
+    fn suffix_into_cycle() {
+        let w = UpWord::new(vec![7], vec![1, 2, 3]);
+        let s = w.suffix(3);
+        for i in 0..12 {
+            assert_eq!(s.at(i), w.at(i + 3), "i={i}");
+        }
+    }
+
+    #[test]
+    fn characteristic_word_of_evens() {
+        let w = UpWord::characteristic(0, 2, |i| i % 2 == 0);
+        for i in 0..20 {
+            assert_eq!(w.holds(0, i), i % 2 == 0, "i={i}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        let w = UpWord::new(vec![1], vec![0, 2]);
+        assert_eq!(w.to_string(), "1(02)^w");
+    }
+}

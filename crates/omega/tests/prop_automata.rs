@@ -1,0 +1,117 @@
+//! Property-based tests on random automata: the FRA→Büchi conversions and
+//! boolean constructions are language-correct on random ultimately
+//! periodic words.
+
+use itdb_omega::{Buchi, Fra, Nfa, UpWord};
+use proptest::prelude::*;
+
+const N_PROPS: usize = 2;
+
+fn nfa_strategy() -> impl Strategy<Value = Nfa> {
+    (
+        2usize..5,                                                         // states
+        proptest::collection::vec((0usize..5, 0u32..4, 0usize..5), 2..14), // transitions
+        proptest::collection::btree_set(0usize..5, 1..3),                  // accepting
+    )
+        .prop_map(|(n, trans, acc)| {
+            let mut nfa = Nfa::new(N_PROPS, n);
+            nfa.initial.insert(0);
+            for (f, a, t) in trans {
+                nfa.add_transition(f % n, a, t % n);
+            }
+            for q in acc {
+                nfa.accepting.insert(q % n);
+            }
+            nfa
+        })
+}
+
+fn word_strategy() -> impl Strategy<Value = UpWord> {
+    (
+        proptest::collection::vec(0u32..4, 0..5),
+        proptest::collection::vec(0u32..4, 1..4),
+    )
+        .prop_map(|(prefix, cycle)| UpWord::new(prefix, cycle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `fra.to_buchi()` accepts exactly the FRA language.
+    #[test]
+    fn fra_to_buchi_preserves(nfa in nfa_strategy(), w in word_strategy()) {
+        let fra = Fra::new(nfa);
+        let buchi = fra.to_buchi();
+        prop_assert_eq!(buchi.accepts(&w), fra.accepts(&w), "{}", w);
+    }
+
+    /// `fra.complement_to_buchi()` accepts exactly the complement.
+    #[test]
+    fn fra_complement_is_negation(nfa in nfa_strategy(), w in word_strategy()) {
+        let fra = Fra::new(nfa);
+        let comp = fra.complement_to_buchi();
+        prop_assert_eq!(comp.accepts(&w), !fra.accepts(&w), "{}", w);
+    }
+
+    /// FRA union/intersection are language union/intersection.
+    #[test]
+    fn fra_boolean_ops(a in nfa_strategy(), b in nfa_strategy(), w in word_strategy()) {
+        let (fa, fb) = (Fra::new(a), Fra::new(b));
+        let u = fa.union(&fb);
+        let i = fa.intersection(&fb);
+        prop_assert_eq!(u.accepts(&w), fa.accepts(&w) || fb.accepts(&w), "∪ {}", w);
+        prop_assert_eq!(i.accepts(&w), fa.accepts(&w) && fb.accepts(&w), "∩ {}", w);
+    }
+
+    /// Büchi union/intersection are language union/intersection.
+    #[test]
+    fn buchi_boolean_ops(a in nfa_strategy(), b in nfa_strategy(), w in word_strategy()) {
+        let (ba, bb) = (Buchi::new(a), Buchi::new(b));
+        let u = ba.union(&bb);
+        let i = ba.intersection(&bb);
+        prop_assert_eq!(u.accepts(&w), ba.accepts(&w) || bb.accepts(&w), "∪ {}", w);
+        prop_assert_eq!(i.accepts(&w), ba.accepts(&w) && bb.accepts(&w), "∩ {}", w);
+    }
+
+    /// Büchi emptiness agrees with the witness search, and witnesses are
+    /// accepted.
+    #[test]
+    fn buchi_emptiness_and_witness(a in nfa_strategy()) {
+        let b = Buchi::new(a);
+        match b.witness() {
+            Some(w) => {
+                prop_assert!(!b.is_empty());
+                prop_assert!(b.accepts(&w), "witness {} rejected", w);
+            }
+            None => prop_assert!(b.is_empty()),
+        }
+    }
+
+    /// FRA emptiness is reachability of acceptance.
+    #[test]
+    fn fra_emptiness(a in nfa_strategy()) {
+        let fra = Fra::new(a.clone());
+        if !fra.is_empty() {
+            // There must exist a word it accepts: convert to Büchi and pull
+            // a witness through the `L = L'·Σ^ω` structure.
+            let w = fra.to_buchi().witness().expect("nonempty FRA has a witness");
+            prop_assert!(fra.accepts(&w), "{}", w);
+        }
+    }
+
+    /// The suffix-closure signature of finitely regular languages: once a
+    /// word is accepted via a prefix, any continuation is accepted.
+    #[test]
+    fn fra_suffix_closure(a in nfa_strategy(), w in word_strategy(), alt in word_strategy()) {
+        let fra = Fra::new(a);
+        if let Some(n) = fra.accepting_prefix_len(&w) {
+            // Replace everything after position n with `alt`.
+            let prefix: Vec<u32> = (0..n).map(|i| w.at(i)).collect();
+            let hybrid = UpWord::new(
+                prefix.into_iter().chain(alt.prefix.iter().copied()).collect(),
+                alt.cycle.clone(),
+            );
+            prop_assert!(fra.accepts(&hybrid), "{} then {}", w, alt);
+        }
+    }
+}

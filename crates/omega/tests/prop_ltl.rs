@@ -1,0 +1,79 @@
+//! Property-based tests: the LTL→Büchi translation against the exact
+//! lasso-semantics oracle on random formulas and random ultimately
+//! periodic words.
+
+use itdb_omega::{holds, to_buchi, Ltl, UpWord};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// Random NNF formulas over 2 propositions, depth-bounded so the closure
+/// stays within the translation cap.
+fn ltl_strategy() -> impl Strategy<Value = Rc<Ltl>> {
+    let leaf = prop_oneof![
+        Just(Ltl::prop(0)),
+        Just(Ltl::prop(1)),
+        Just(Ltl::not(&Ltl::prop(0))),
+        Just(Ltl::not(&Ltl::prop(1))),
+        Just(Rc::new(Ltl::True)),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::or(a, b)),
+            inner.clone().prop_map(Ltl::next),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::until(a, b)),
+            inner.clone().prop_map(Ltl::finally),
+            inner.clone().prop_map(Ltl::globally),
+        ]
+    })
+}
+
+fn word_strategy() -> impl Strategy<Value = UpWord> {
+    (
+        proptest::collection::vec(0u32..4, 0..4),
+        proptest::collection::vec(0u32..4, 1..4),
+    )
+        .prop_map(|(prefix, cycle)| UpWord::new(prefix, cycle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Translation vs. oracle.
+    #[test]
+    fn buchi_matches_oracle(f in ltl_strategy(), w in word_strategy()) {
+        // Skip formulas whose closure exceeds the translation cap.
+        if let Ok(b) = to_buchi(&f, 2) {
+            prop_assert_eq!(b.accepts(&w), holds(&f, &w), "{} on {}", f, w);
+        }
+    }
+
+    /// The oracle respects the Until expansion law
+    /// `φ U ψ ≡ ψ ∨ (φ ∧ X(φ U ψ))`.
+    #[test]
+    fn until_expansion_law(a in ltl_strategy(), b in ltl_strategy(), w in word_strategy()) {
+        let u = Ltl::until(a.clone(), b.clone());
+        let expanded = Ltl::or(b, Ltl::and(a, Ltl::next(u.clone())));
+        prop_assert_eq!(holds(&u, &w), holds(&expanded, &w));
+    }
+
+    /// Negation is classical on the oracle.
+    #[test]
+    fn oracle_negation(f in ltl_strategy(), w in word_strategy()) {
+        prop_assert_eq!(holds(&Ltl::not(&f), &w), !holds(&f, &w));
+    }
+
+    /// Suffix coherence: `X φ` at 0 equals `φ` on the suffix word.
+    #[test]
+    fn next_is_suffix(f in ltl_strategy(), w in word_strategy()) {
+        prop_assert_eq!(holds(&Ltl::next(f.clone()), &w), holds(&f, &w.suffix(1)));
+    }
+
+    /// `G φ ≡ ¬F¬φ` on the oracle.
+    #[test]
+    fn globally_finally_duality(f in ltl_strategy(), w in word_strategy()) {
+        let g = Ltl::globally(f.clone());
+        let dual = Ltl::not(&Ltl::finally(Ltl::not(&f)));
+        prop_assert_eq!(holds(&g, &w), holds(&dual, &w));
+    }
+}

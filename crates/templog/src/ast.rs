@@ -1,0 +1,462 @@
+//! Abstract syntax of Templog (§2.3 of the paper).
+//!
+//! Templog extends logic programming with the temporal operators of linear
+//! temporal logic over ℕ, under the placement restrictions that give it the
+//! model-join property and a unique minimal model:
+//!
+//! * ○ (**next**) — anywhere in clauses;
+//! * □ (**always**) — in clause heads or outside entire clauses (we keep
+//!   the normal form: a flag on the clause, `□(head ← body)`);
+//! * ◇ (**eventually**) — only in clause bodies, possibly applied to a
+//!   conjunction of ○-prefixed atoms.
+//!
+//! Concrete syntax (see [`crate::parser`]):
+//!
+//! ```text
+//! next^5 train_leaves(liege, brussels).
+//! always (next^40 train_leaves(F, T) <- train_leaves(F, T)).
+//! alert(X) <- eventually (failure(X), next^2 repair(X)).
+//! ```
+
+pub use itdb_datalog1s::DataTerm;
+use itdb_lrp::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A temporal atom: a predicate with data arguments (the time point is
+/// implicit, set by the enclosing operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlAtom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Data arguments.
+    pub data: Vec<DataTerm>,
+}
+
+impl fmt::Display for TlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred)?;
+        if !self.data.is_empty() {
+            write!(f, "(")?;
+            for (i, d) in self.data.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An atom under an iterated ○: `○^nexts [!] atom`. The negation flag is
+/// only meaningful in clause bodies (stratified negation, §3.2); heads and
+/// ◇-conjuncts must be positive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NextAtom {
+    /// Number of ○ applications.
+    pub nexts: u64,
+    /// The atom.
+    pub atom: TlAtom,
+    /// Negated literal?
+    pub negated: bool,
+}
+
+impl NextAtom {
+    /// A positive ○-prefixed atom.
+    pub fn pos(nexts: u64, atom: TlAtom) -> Self {
+        NextAtom {
+            nexts,
+            atom,
+            negated: false,
+        }
+    }
+}
+
+impl fmt::Display for NextAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.nexts {
+            0 => {}
+            1 => write!(f, "next ")?,
+            k => write!(f, "next^{k} ")?,
+        }
+        if self.negated {
+            write!(f, "!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A body literal: `○^k atom` or `○^k ◇(conjunction of ○-atoms)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyLit {
+    /// `○^k A`.
+    Atom(NextAtom),
+    /// `○^k ◇ (A₁ ∧ … ∧ Aₙ)` with each `Aᵢ` an ○-prefixed atom.
+    Eventually {
+        /// Leading ○ applications outside the ◇.
+        nexts: u64,
+        /// The conjunction under the ◇.
+        conj: Vec<NextAtom>,
+    },
+}
+
+impl fmt::Display for BodyLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLit::Atom(a) => write!(f, "{a}"),
+            BodyLit::Eventually { nexts, conj } => {
+                match nexts {
+                    0 => {}
+                    1 => write!(f, "next ")?,
+                    k => write!(f, "next^{k} ")?,
+                }
+                write!(f, "eventually (")?;
+                for (i, a) in conj.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A Templog clause: `[□] (○^k head ← body)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlClause {
+    /// Is the clause wrapped in □ (applies at every time instant)?
+    /// Without □ the clause applies at time 0 only.
+    pub always: bool,
+    /// The ○-prefixed head atom.
+    pub head: NextAtom,
+    /// Body literals.
+    pub body: Vec<BodyLit>,
+}
+
+impl fmt::Display for TlClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.always {
+            write!(f, "always (")?;
+        }
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " <- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+        }
+        if self.always {
+            write!(f, ")")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Templog program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TlProgram {
+    /// The clauses.
+    pub clauses: Vec<TlClause>,
+}
+
+impl fmt::Display for TlProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dependency/stratification analysis of a Templog program.
+#[derive(Debug, Clone)]
+pub struct TlInfo {
+    /// Data arity per predicate.
+    pub data_arity: BTreeMap<String, usize>,
+    /// Predicates defined by heads.
+    pub intensional: BTreeSet<String>,
+    /// Evaluation order: one entry per stratum, each a set of head
+    /// predicates evaluated together (an SCC of the dependency graph).
+    pub strata: Vec<BTreeSet<String>>,
+}
+
+/// Validates a Templog program:
+///
+/// * consistent data arities;
+/// * *causality*: the head's ○-depth is at least every plain body
+///   literal's ○-depth (an engineering restriction of this evaluator —
+///   ◇-literals are exempt since they look arbitrarily far forward);
+/// * *stratified ◇*: no recursion through an ◇ — every predicate inside a
+///   ◇ must be computable before the clause's head predicate.
+pub fn validate(p: &TlProgram) -> Result<TlInfo> {
+    let mut data_arity: BTreeMap<String, usize> = BTreeMap::new();
+    let mut check = |a: &TlAtom| -> Result<()> {
+        match data_arity.get(&a.pred) {
+            Some(&n) if n != a.data.len() => Err(Error::SchemaMismatch(format!(
+                "predicate {} used with data arities {n} and {}",
+                a.pred,
+                a.data.len()
+            ))),
+            _ => {
+                data_arity.insert(a.pred.clone(), a.data.len());
+                Ok(())
+            }
+        }
+    };
+    let intensional: BTreeSet<String> =
+        p.clauses.iter().map(|c| c.head.atom.pred.clone()).collect();
+    for c in &p.clauses {
+        check(&c.head.atom)?;
+        if c.head.negated {
+            return Err(Error::Eval(format!("clause `{c}` has a negated head")));
+        }
+        for b in &c.body {
+            match b {
+                BodyLit::Atom(a) => {
+                    check(&a.atom)?;
+                    // Negated literals resolve against lower strata, so
+                    // only positive intensional literals must be causal.
+                    if a.nexts > c.head.nexts && !a.negated && intensional.contains(&a.atom.pred) {
+                        return Err(Error::Eval(format!(
+                            "clause `{c}` is non-causal: a body literal has ○-depth {} \
+                             exceeding the head's {}",
+                            a.nexts, c.head.nexts
+                        )));
+                    }
+                }
+                BodyLit::Eventually { conj, .. } => {
+                    for a in conj {
+                        check(&a.atom)?;
+                        if a.negated {
+                            return Err(Error::Eval(format!(
+                                "clause `{c}` negates inside ◇; Templog's ◇ ranges over \
+                                 positive conjunctions"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dependency edges; ◇ and negation edges recorded separately (both
+    // force strict stratification).
+    let mut plain: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut strict: BTreeSet<(String, String)> = BTreeSet::new();
+    for c in &p.clauses {
+        let h = &c.head.atom.pred;
+        for b in &c.body {
+            match b {
+                BodyLit::Atom(a) => {
+                    if a.negated {
+                        strict.insert((h.clone(), a.atom.pred.clone()));
+                    } else {
+                        plain.insert((h.clone(), a.atom.pred.clone()));
+                    }
+                }
+                BodyLit::Eventually { conj, .. } => {
+                    for a in conj {
+                        strict.insert((h.clone(), a.atom.pred.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    // SCCs of the full graph (plain + strict edges).
+    let sccs = sccs_of(&intensional, &plain, &strict);
+    // Stratification: a strict edge inside an SCC means recursion through ◇
+    // or through negation.
+    for (h, b) in &strict {
+        let sh = sccs.iter().position(|s| s.contains(h));
+        let sb = sccs.iter().position(|s| s.contains(b));
+        if sh.is_some() && sh == sb {
+            return Err(Error::Eval(format!(
+                "recursion through ◇ or negation between {h} and {b}: the \
+                 stratified fragment is required"
+            )));
+        }
+    }
+
+    Ok(TlInfo {
+        data_arity,
+        intensional,
+        strata: sccs,
+    })
+}
+
+/// SCC condensation in reverse topological (evaluation) order, restricted
+/// to intensional predicates. Simple Tarjan-free O(V·E) computation —
+/// programs are small.
+fn sccs_of(
+    nodes: &BTreeSet<String>,
+    plain: &BTreeSet<(String, String)>,
+    diamond: &BTreeSet<(String, String)>,
+) -> Vec<BTreeSet<String>> {
+    let reach = |from: &str| -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![from.to_string()];
+        while let Some(n) = frontier.pop() {
+            for (a, b) in plain.iter().chain(diamond.iter()) {
+                if a == &n && nodes.contains(b) && seen.insert(b.clone()) {
+                    frontier.push(b.clone());
+                }
+            }
+        }
+        seen
+    };
+    let reachability: BTreeMap<&String, BTreeSet<String>> =
+        nodes.iter().map(|n| (n, reach(n))).collect();
+    // SCC: mutual reachability (or singleton).
+    let mut assigned: BTreeSet<&String> = BTreeSet::new();
+    let mut sccs: Vec<BTreeSet<String>> = Vec::new();
+    for n in nodes {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut scc: BTreeSet<String> = [n.clone()].into();
+        for m in nodes {
+            if m != n && reachability[n].contains(m) && reachability[m].contains(n) {
+                scc.insert(m.clone());
+            }
+        }
+        for m in &scc {
+            assigned.insert(nodes.get(m).expect("member"));
+        }
+        sccs.push(scc);
+    }
+    // Order so that dependencies come first: repeatedly emit SCCs whose
+    // outgoing edges all land in already-emitted SCCs (or outside).
+    let mut ordered: Vec<BTreeSet<String>> = Vec::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    while ordered.len() < sccs.len() {
+        let mut progressed = false;
+        for scc in &sccs {
+            if scc.iter().any(|m| emitted.contains(m)) {
+                continue;
+            }
+            let ready = scc.iter().all(|m| {
+                plain
+                    .iter()
+                    .chain(diamond.iter())
+                    .filter(|(a, _)| a == m)
+                    .all(|(_, b)| !nodes.contains(b) || scc.contains(b) || emitted.contains(b))
+            });
+            if ready {
+                for m in scc {
+                    emitted.insert(m.clone());
+                }
+                ordered.push(scc.clone());
+                progressed = true;
+            }
+        }
+        assert!(progressed, "dependency order must make progress");
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn example_2_3_displays() {
+        // The paper's Example 2.3 (train schedule in Templog).
+        let p = parse_program(
+            "next^5 train_leaves(liege, brussels).
+             always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+             always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+        )
+        .unwrap();
+        let info = validate(&p).unwrap();
+        assert_eq!(info.data_arity["train_leaves"], 2);
+        assert_eq!(info.strata.len(), 2);
+        assert!(p.clauses[1].always);
+        assert!(!p.clauses[0].always);
+        assert_eq!(
+            p.clauses[0].to_string(),
+            "next^5 train_leaves(liege, brussels)."
+        );
+    }
+
+    #[test]
+    fn non_causal_rejected() {
+        // Recursion peeking at its own future is rejected…
+        let p = parse_program("always (p <- next p).").unwrap();
+        assert!(validate(&p).is_err());
+        // …but looking ahead into an extensional predicate is fine (its
+        // extension is supplied whole).
+        let p = parse_program("always (p <- next q).").unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let p = parse_program(
+            "base. always (next^2 base <- base).
+             always (off <- !base).",
+        )
+        .unwrap();
+        let info = validate(&p).unwrap();
+        assert_eq!(info.strata.len(), 2);
+        // Negation through recursion rejected.
+        let p = parse_program("always (next p <- !p).").unwrap();
+        assert!(validate(&p).is_err());
+        // Negated heads rejected.
+        let p = parse_program("!p.").unwrap();
+        assert!(validate(&p).is_err());
+        // Negation inside ◇ rejected.
+        let p = parse_program("q. always (w <- eventually (!q)).").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn diamond_recursion_rejected() {
+        let p = parse_program("always (next p <- eventually (p)).").unwrap();
+        let e = validate(&p).unwrap_err();
+        assert!(e.to_string().contains("◇"), "{e}");
+        // Mutual recursion through ◇ also rejected.
+        let p = parse_program("always (next p <- q). always (next q <- eventually (p)).").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn diamond_on_lower_stratum_ok() {
+        let p = parse_program(
+            "base. always (next^3 base <- base).
+             watch <- eventually (base).",
+        )
+        .unwrap();
+        let info = validate(&p).unwrap();
+        assert_eq!(info.strata.len(), 2);
+        assert!(info.strata[0].contains("base"));
+        assert!(info.strata[1].contains("watch"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = parse_program("p(a). always (next p <- p).").unwrap();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn strata_order_respects_dependencies() {
+        let p = parse_program(
+            "c <- b. b <- a. a.
+             always (next^2 a <- a).",
+        )
+        .unwrap();
+        let info = validate(&p).unwrap();
+        let pos = |x: &str| info.strata.iter().position(|s| s.contains(x)).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+}

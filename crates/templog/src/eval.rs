@@ -1,0 +1,368 @@
+//! Stratified evaluation of full Templog (with ◇).
+//!
+//! Evaluation proceeds stratum by stratum in the order computed by
+//! [`crate::ast::validate`]. Inside each stratum the ◇-free skeleton is
+//! translated to Datalog1S and run through the periodicity-detecting
+//! engine; every ◇-literal refers only to lower strata, so its time set is
+//! already available in closed form and the literal reduces to the
+//! *downward closure* of an intersection of [`EpSet`]s — the Templog ◇
+//! computed exactly, without approximation:
+//!
+//! ```text
+//! times(◇(○^{k₁}A₁ ∧ … ∧ ○^{kₙ}Aₙ)) = dc(⋂ᵢ (times(Aᵢ) − kᵢ))
+//! ```
+
+use crate::ast::{validate, BodyLit, TlProgram};
+use crate::translate::translate_clause;
+use itdb_datalog1s as dl;
+use itdb_datalog1s::{DataTerm, DetectOptions, EpSet, ExternalEdb};
+use itdb_lrp::{DataValue, Result};
+use std::collections::{BTreeMap, HashMap};
+
+/// The computed minimal model of a Templog program: one time set per
+/// `(predicate, data)` pair.
+#[derive(Debug, Clone)]
+pub struct TlModel {
+    /// Times per `(predicate, data)` pair (intensional predicates only).
+    pub sets: BTreeMap<(String, Vec<DataValue>), EpSet>,
+}
+
+impl TlModel {
+    /// Does `pred(data)` hold at time `t`?
+    pub fn holds(&self, pred: &str, data: &[DataValue], t: u64) -> bool {
+        self.sets
+            .get(&(pred.to_string(), data.to_vec()))
+            .is_some_and(|s| s.contains(t))
+    }
+
+    /// The time set of a `(pred, data)` pair (empty if never derived).
+    pub fn times(&self, pred: &str, data: &[DataValue]) -> EpSet {
+        self.sets
+            .get(&(pred.to_string(), data.to_vec()))
+            .cloned()
+            .unwrap_or_else(EpSet::empty)
+    }
+}
+
+/// Evaluates a Templog program against extensional inputs.
+pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Result<TlModel> {
+    let info = validate(p)?;
+    // Accumulated closed-form extensions: external inputs plus lower strata.
+    let mut acc: BTreeMap<(String, Vec<DataValue>), EpSet> = edb.map.clone();
+    let mut model_sets: BTreeMap<(String, Vec<DataValue>), EpSet> = BTreeMap::new();
+    let mut aux_counter = 0usize;
+
+    for stratum in &info.strata {
+        let clauses: Vec<_> = p
+            .clauses
+            .iter()
+            .filter(|c| stratum.contains(&c.head.atom.pred))
+            .collect();
+        // Resolve every ◇-literal of this stratum to an auxiliary
+        // extensional predicate whose extension is computed now.
+        let mut stratum_edb = ExternalEdb::new();
+        for (key, set) in &acc {
+            stratum_edb.map.insert(key.clone(), set.clone());
+        }
+        let mut dl_clauses = Vec::with_capacity(clauses.len());
+        for c in &clauses {
+            // Per-literal auxiliary atoms.
+            let mut aux_atoms: HashMap<usize, dl::Atom> = HashMap::new();
+            for (i, lit) in c.body.iter().enumerate() {
+                if let BodyLit::Eventually { conj, .. } = lit {
+                    aux_counter += 1;
+                    let name = format!("__ev{aux_counter}");
+                    // Free data variables of the conjunction, in first-
+                    // occurrence order: they become the aux predicate's
+                    // data parameters.
+                    let mut vars: Vec<String> = Vec::new();
+                    for a in conj {
+                        for d in &a.atom.data {
+                            if let DataTerm::Var(v) = d {
+                                if !vars.contains(v) {
+                                    vars.push(v.clone());
+                                }
+                            }
+                        }
+                    }
+                    // Enumerate consistent data bindings from the
+                    // accumulated extensions and compute the ◇ time set.
+                    for (binding, times) in diamond_extension(conj, &acc)? {
+                        if times.is_empty() {
+                            continue;
+                        }
+                        let data: Vec<DataValue> =
+                            vars.iter().map(|v| binding[v].clone()).collect();
+                        stratum_edb.insert(name.clone(), data, times);
+                    }
+                    aux_atoms.insert(
+                        i,
+                        dl::Atom {
+                            pred: name,
+                            time: dl::Time::Const(0), // placeholder, fixed below
+                            data: vars.into_iter().map(DataTerm::Var).collect(),
+                            negated: false,
+                        },
+                    );
+                }
+            }
+            dl_clauses.push(translate_clause(c, &|i| {
+                aux_atoms.get(&i).expect("aux atom registered").clone()
+            })?);
+        }
+
+        let dl_prog = dl::Program {
+            clauses: dl_clauses,
+        };
+        let m = dl::evaluate(&dl_prog, &stratum_edb, opts)?;
+        for (key, set) in m.sets {
+            acc.insert(key.clone(), set.clone());
+            model_sets.insert(key, set);
+        }
+    }
+
+    Ok(TlModel { sets: model_sets })
+}
+
+/// The extension of a ◇-conjunction: for every consistent binding of the
+/// conjunction's data variables, the downward closure of the intersection
+/// of the member atoms' (shift-adjusted) time sets.
+fn diamond_extension(
+    conj: &[crate::ast::NextAtom],
+    acc: &BTreeMap<(String, Vec<DataValue>), EpSet>,
+) -> Result<Vec<(HashMap<String, DataValue>, EpSet)>> {
+    // DFS over atoms, joining data bindings.
+    fn rec(
+        conj: &[crate::ast::NextAtom],
+        acc: &BTreeMap<(String, Vec<DataValue>), EpSet>,
+        k: usize,
+        binding: &mut HashMap<String, DataValue>,
+        times: EpSet,
+        out: &mut Vec<(HashMap<String, DataValue>, EpSet)>,
+    ) -> Result<()> {
+        if k == conj.len() {
+            out.push((binding.clone(), times.downward_closure()));
+            return Ok(());
+        }
+        let a = &conj[k];
+        'cands: for ((pred, data), set) in acc {
+            if pred != &a.atom.pred || data.len() != a.atom.data.len() {
+                continue;
+            }
+            let mut bound_here: Vec<String> = Vec::new();
+            for (term, val) in a.atom.data.iter().zip(data.iter()) {
+                match term {
+                    DataTerm::Const(c) => {
+                        if c != val {
+                            for v in &bound_here {
+                                binding.remove(v);
+                            }
+                            continue 'cands;
+                        }
+                    }
+                    DataTerm::Var(v) => match binding.get(v) {
+                        Some(b) if b != val => {
+                            for v in &bound_here {
+                                binding.remove(v);
+                            }
+                            continue 'cands;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(v.clone(), val.clone());
+                            bound_here.push(v.clone());
+                        }
+                    },
+                }
+            }
+            let shifted = set.shift_down(a.nexts)?;
+            let meet = times.intersect(&shifted)?;
+            rec(conj, acc, k + 1, binding, meet, out)?;
+            for v in &bound_here {
+                binding.remove(v);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    let mut binding = HashMap::new();
+    // Seed: all of ℕ, narrowed by each atom. Note an atom whose predicate
+    // has no extension simply yields no bindings.
+    rec(conj, acc, 0, &mut binding, EpSet::all(), &mut out)?;
+    // Merge duplicate bindings (the DFS can reach the same binding through
+    // different candidate orders) by union.
+    let mut merged: Vec<(HashMap<String, DataValue>, EpSet)> = Vec::new();
+    'outer: for (b, s) in out {
+        for (mb, ms) in &mut merged {
+            if *mb == b {
+                *ms = ms.union(&s)?;
+                continue 'outer;
+            }
+        }
+        merged.push((b, s));
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn eval(src: &str) -> TlModel {
+        evaluate(
+            &parse_program(src).unwrap(),
+            &ExternalEdb::new(),
+            &DetectOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_example_full() {
+        let m = eval(
+            "next^5 train_leaves(liege, brussels).
+             always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+             always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+        );
+        let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+        let arrives = m.times("train_arrives", &d);
+        for t in 0..300 {
+            assert_eq!(arrives.contains(t), t >= 65 && (t - 65) % 40 == 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn eventually_of_infinite_set_floods() {
+        // base holds at 10, 13, 16, …; ◇base holds everywhere.
+        let m = eval(
+            "next^10 base. always (next^3 base <- base).
+             watch <- eventually (base).",
+        );
+        assert!(m.holds("watch", &[], 0));
+        // `watch` is a time-0 clause: it only ever holds at 0.
+        assert!(!m.holds("watch", &[], 1));
+        // With always, it holds everywhere.
+        let m = eval(
+            "next^10 base. always (next^3 base <- base).
+             always (watch <- eventually (base)).",
+        );
+        for t in 0..100 {
+            assert!(m.holds("watch", &[], t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn eventually_of_finite_set_truncates() {
+        // base holds only at 7: ◇base holds on [0, 7].
+        let m = eval(
+            "next^7 base.
+             always (watch <- eventually (base)).",
+        );
+        for t in 0..30 {
+            assert_eq!(m.holds("watch", &[], t), t <= 7, "t={t}");
+        }
+    }
+
+    #[test]
+    fn eventually_conjunction_with_offsets() {
+        // fail at 4 and 10; repair at 6. ◇(fail ∧ ○²repair) needs both:
+        // fail(u) ∧ repair(u+2) → u = 4 only. So the ◇ holds on [0, 4].
+        let m = eval(
+            "next^4 fail. next^10 fail. next^6 repair.
+             always (alert <- eventually (fail, next^2 repair)).",
+        );
+        for t in 0..20 {
+            assert_eq!(m.holds("alert", &[], t), t <= 4, "t={t}");
+        }
+    }
+
+    #[test]
+    fn eventually_joins_data_variables() {
+        let m = eval(
+            "next^3 fail(disk1). next^9 fail(disk2). next^5 repair(disk1).
+             always (flaky(X) <- eventually (fail(X), next^2 repair(X))).",
+        );
+        // disk1: fail(3) ∧ repair(5): u = 3; flaky(disk1) on [0,3].
+        for t in 0..10 {
+            assert_eq!(
+                m.holds("flaky", &[DataValue::sym("disk1")], t),
+                t <= 3,
+                "t={t}"
+            );
+        }
+        // disk2 never repaired.
+        assert!(!m.holds("flaky", &[DataValue::sym("disk2")], 0));
+    }
+
+    #[test]
+    fn next_before_eventually() {
+        // base holds at 5 only. ○³◇base at t ⟺ ∃u ≥ t+3 base(u) ⟺ t ≤ 2.
+        let m = eval(
+            "next^5 base.
+             always (w <- next^3 eventually (base)).",
+        );
+        for t in 0..10 {
+            assert_eq!(m.holds("w", &[], t), t <= 2, "t={t}");
+        }
+    }
+
+    #[test]
+    fn external_edb_through_diamond() {
+        let mut edb = ExternalEdb::new();
+        edb.insert("sensor", vec![], EpSet::from_finite([12]));
+        let p = parse_program("always (armed <- eventually (sensor)).").unwrap();
+        let m = evaluate(&p, &edb, &DetectOptions::default()).unwrap();
+        for t in 0..30 {
+            assert_eq!(m.holds("armed", &[], t), t <= 12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn stratified_negation_evaluates() {
+        // "the lamp is off whenever the power signal is absent" — negation
+        // over a lower stratum.
+        let m = eval(
+            "power. always (next^4 power <- power).
+             always (dark <- !power).",
+        );
+        for t in 0..40u64 {
+            assert_eq!(m.holds("dark", &[], t), t % 4 != 0, "t={t}");
+            assert_eq!(m.holds("power", &[], t), t % 4 == 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn negation_with_diamond_combination() {
+        // alarm when a fault is pending (seen, not yet repaired) — uses
+        // both ◇ (over the future) and ! (over a lower stratum).
+        let m = eval(
+            "next^3 fault. next^7 repair.
+             always (will_repair <- eventually (repair)).
+             always (alarm <- fault, !repair).",
+        );
+        // fault at 3 only; repair at 7: alarm at 3 (fault ∧ ¬repair).
+        assert!(m.holds("alarm", &[], 3));
+        assert!(!m.holds("alarm", &[], 7));
+        for t in 0..20u64 {
+            assert_eq!(m.holds("will_repair", &[], t), t <= 7, "t={t}");
+        }
+    }
+
+    #[test]
+    fn templog_agrees_with_direct_datalog1s() {
+        // The paper's equivalence, executably: evaluate Example 2.3 via
+        // Templog and Example 2.2 via Datalog1S; same model.
+        let tl = eval(
+            "next^5 leaves. always (next^40 leaves <- leaves).
+             always (next^60 arrives <- leaves).",
+        );
+        let dl_prog = dl::parse_program(
+            "leaves[5]. leaves[t + 40] <- leaves[t]. arrives[t + 60] <- leaves[t].",
+        )
+        .unwrap();
+        let dm = dl::evaluate(&dl_prog, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        assert_eq!(tl.times("arrives", &[]), dm.times("arrives", &[]));
+        assert_eq!(tl.times("leaves", &[]), dm.times("leaves", &[]));
+    }
+}

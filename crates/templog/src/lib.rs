@@ -1,0 +1,37 @@
+//! # itdb-templog — Templog, logic programming with temporal operators (§2.3)
+//!
+//! Templog [AM89, Bau89] extends logic programming with the LTL operators
+//! ○ (next), □ (always) and ◇ (eventually) under placement restrictions
+//! that guarantee a unique minimal model. The paper treats Templog and the
+//! Chomicki–Imieliński language as notational variants; this crate makes
+//! that exact by translating the TL1 fragment to `itdb-datalog1s`
+//! ([`translate`]) and evaluating full Templog — ◇ included — by computing
+//! downward closures of eventually periodic sets between strata ([`eval`]):
+//!
+//! ```
+//! use itdb_templog::{evaluate, parse_program};
+//! use itdb_datalog1s::{DetectOptions, ExternalEdb};
+//!
+//! // The paper's Example 2.3.
+//! let p = parse_program(
+//!     "next^5 train_leaves(liege, brussels).
+//!      always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+//!      always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+//! ).unwrap();
+//! let m = evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+//! let d = [itdb_lrp::DataValue::sym("liege"), itdb_lrp::DataValue::sym("brussels")];
+//! assert!(m.holds("train_arrives", &d, 65));
+//! assert!(!m.holds("train_arrives", &d, 66));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{validate, BodyLit, NextAtom, TlAtom, TlClause, TlInfo, TlProgram};
+pub use eval::{evaluate, TlModel};
+pub use parser::parse_program;
+pub use translate::{is_tl1, tl1_to_datalog1s};

@@ -1,0 +1,324 @@
+//! Parser for the Templog concrete syntax.
+//!
+//! ```text
+//! program ::= clause*
+//! clause  ::= "always" "(" rule ")" "." | rule "."
+//! rule    ::= natom ("<-" body)?
+//! body    ::= lit ("," lit)*
+//! lit     ::= natom
+//!           | nexts? "eventually" "(" natom ("," natom)* ")"
+//! natom   ::= nexts? atom
+//! nexts   ::= "next" ("^" INT)?        (repeatable: next next p ≡ next^2 p)
+//! atom    ::= IDENT ("(" dterm ("," dterm)* ")")?
+//! ```
+//!
+//! `%` starts a line comment; data terms follow the Prolog variable
+//! convention (uppercase-initial = variable).
+
+use crate::ast::{BodyLit, NextAtom, TlAtom, TlClause, TlProgram};
+use itdb_datalog1s::DataTerm;
+use itdb_lrp::{DataValue, Error, Result};
+
+/// Parses a Templog program.
+pub fn parse_program(input: &str) -> Result<TlProgram> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let mut clauses = Vec::new();
+    while !p.at_eof() {
+        clauses.push(p.clause()?);
+    }
+    Ok(TlProgram { clauses })
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            message: m.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    /// Peeks whether the next token is the given keyword (without eating).
+    fn peek_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        rest.starts_with(kw.as_bytes())
+            && rest
+                .get(kw.len())
+                .is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_')
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphabetic() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            self.err("expected an identifier")
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected a natural number");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or(Error::Parse {
+                message: "number overflows u64".into(),
+                offset: start,
+            })
+    }
+
+    /// Parses an iterated `next` prefix, returning the total ○-depth.
+    fn nexts(&mut self) -> Result<u64> {
+        let mut total = 0u64;
+        while self.eat_kw("next") {
+            if self.eat(b'^') {
+                total = total.checked_add(self.uint()?).ok_or(Error::Overflow)?;
+            } else {
+                total += 1;
+            }
+        }
+        Ok(total)
+    }
+
+    fn dterm(&mut self) -> Result<DataTerm> {
+        self.skip_ws();
+        if self.eat(b'#') {
+            let neg = self.eat(b'-');
+            let v = self.uint()? as i64;
+            return Ok(DataTerm::Const(DataValue::Int(if neg { -v } else { v })));
+        }
+        let name = self.ident()?;
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            Ok(DataTerm::Var(name))
+        } else {
+            Ok(DataTerm::Const(DataValue::sym(&name)))
+        }
+    }
+
+    fn atom(&mut self) -> Result<TlAtom> {
+        let pred = self.ident()?;
+        if ["next", "eventually", "always"].contains(&pred.as_str()) {
+            return self.err(format!("keyword `{pred}` used as a predicate"));
+        }
+        let mut data = Vec::new();
+        if self.eat(b'(') {
+            if self.peek() != Some(b')') {
+                data.push(self.dterm()?);
+                while self.eat(b',') {
+                    data.push(self.dterm()?);
+                }
+            }
+            self.expect(b')')?;
+        }
+        Ok(TlAtom { pred, data })
+    }
+
+    fn natom(&mut self) -> Result<NextAtom> {
+        let nexts = self.nexts()?;
+        let negated = self.eat(b'!');
+        Ok(NextAtom {
+            nexts,
+            atom: self.atom()?,
+            negated,
+        })
+    }
+
+    fn body_lit(&mut self) -> Result<BodyLit> {
+        let nexts = self.nexts()?;
+        if self.eat_kw("eventually") {
+            self.expect(b'(')?;
+            let mut conj = vec![self.natom()?];
+            while self.eat(b',') {
+                conj.push(self.natom()?);
+            }
+            self.expect(b')')?;
+            Ok(BodyLit::Eventually { nexts, conj })
+        } else {
+            let negated = self.eat(b'!');
+            Ok(BodyLit::Atom(NextAtom {
+                nexts,
+                atom: self.atom()?,
+                negated,
+            }))
+        }
+    }
+
+    fn rule(&mut self) -> Result<(NextAtom, Vec<BodyLit>)> {
+        let head = self.natom()?;
+        let mut body = Vec::new();
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(b"<-") {
+            self.pos += 2;
+            body.push(self.body_lit()?);
+            while self.eat(b',') {
+                body.push(self.body_lit()?);
+            }
+        }
+        Ok((head, body))
+    }
+
+    fn clause(&mut self) -> Result<TlClause> {
+        if self.eat_kw("always") {
+            self.expect(b'(')?;
+            let (head, body) = self.rule()?;
+            self.expect(b')')?;
+            self.expect(b'.')?;
+            Ok(TlClause {
+                always: true,
+                head,
+                body,
+            })
+        } else {
+            let (head, body) = self.rule()?;
+            self.expect(b'.')?;
+            Ok(TlClause {
+                always: false,
+                head,
+                body,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefixes() {
+        let p = parse_program("next^5 p. next next q. next r.").unwrap();
+        assert_eq!(p.clauses[0].head.nexts, 5);
+        assert_eq!(p.clauses[1].head.nexts, 2);
+        assert_eq!(p.clauses[2].head.nexts, 1);
+        assert!(!p.clauses[0].always);
+    }
+
+    #[test]
+    fn always_wraps_rules() {
+        let p = parse_program("always (next^40 p(a) <- p(a)).").unwrap();
+        let c = &p.clauses[0];
+        assert!(c.always);
+        assert_eq!(c.head.nexts, 40);
+        assert_eq!(c.body.len(), 1);
+    }
+
+    #[test]
+    fn eventually_bodies() {
+        let p = parse_program("alert(X) <- eventually (failure(X), next^2 repair(X)).").unwrap();
+        match &p.clauses[0].body[0] {
+            BodyLit::Eventually { nexts, conj } => {
+                assert_eq!(*nexts, 0);
+                assert_eq!(conj.len(), 2);
+                assert_eq!(conj[1].nexts, 2);
+            }
+            other => panic!("expected eventually, got {other:?}"),
+        }
+        // With a leading next prefix.
+        let p = parse_program("a <- next^3 eventually (b).").unwrap();
+        match &p.clauses[0].body[0] {
+            BodyLit::Eventually { nexts, .. } => assert_eq!(*nexts, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_not_predicates() {
+        assert!(parse_program("next.").is_err());
+        assert!(parse_program("always.").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "next^5 train_leaves(liege, brussels).",
+            "always (next^40 p(X) <- p(X)).",
+            "a <- next^3 eventually (b, next c).",
+        ] {
+            let p = parse_program(src).unwrap();
+            let printed = p.clauses[0].to_string();
+            let again = parse_program(&printed).unwrap();
+            assert_eq!(p, again, "{src} vs {printed}");
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program("% intro\n  p .\n% done\n").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+    }
+}

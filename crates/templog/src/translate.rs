@@ -1,0 +1,129 @@
+//! The Templog ↔ Datalog1S correspondence (§2.3 of the paper).
+//!
+//! The paper recalls that Templog is equivalent to its fragment TL1 (○ the
+//! only operator inside clauses, □ outside) and that TL1 "corresponds
+//! exactly" to the Chomicki–Imieliński language. This module implements the
+//! correspondence as a syntax-directed translation:
+//!
+//! * a □-clause `□(○^k h ← ○^{k₁} b₁, …)` becomes
+//!   `h[t + k] ← b₁[t + k₁], …`;
+//! * a plain clause (applies at time 0) becomes the same with ground times
+//!   `h[k] ← b₁[k₁], …`;
+//! * a ◇-literal becomes a reference to an auxiliary *extensional*
+//!   predicate whose extension (the downward closure of the conjunction's
+//!   time set) the evaluator computes beforehand — see [`crate::eval`].
+
+use crate::ast::{BodyLit, TlClause, TlProgram};
+use itdb_datalog1s as dl;
+use itdb_lrp::Result;
+
+/// Is the program in the TL1 fragment (no ◇ anywhere)?
+pub fn is_tl1(p: &TlProgram) -> bool {
+    p.clauses
+        .iter()
+        .all(|c| c.body.iter().all(|b| matches!(b, BodyLit::Atom(_))))
+}
+
+/// Translates a TL1 program (no ◇) to Datalog1S. Fails on ◇-literals;
+/// use [`crate::eval::evaluate`] for full Templog.
+pub fn tl1_to_datalog1s(p: &TlProgram) -> Result<dl::Program> {
+    let clauses = p
+        .clauses
+        .iter()
+        .map(|c| translate_clause(c, &|_| unreachable!("TL1 has no ◇")))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(dl::Program { clauses })
+}
+
+/// Translates one clause; ◇-literals are replaced using `aux`, which maps
+/// the literal's index within the body to the auxiliary atom standing for
+/// it (predicate name + data arguments).
+pub(crate) fn translate_clause(
+    c: &TlClause,
+    aux: &dyn Fn(usize) -> dl::Atom,
+) -> Result<dl::Clause> {
+    let time_of = |nexts: u64| -> dl::Time {
+        if c.always {
+            dl::Time::Var {
+                name: "t".into(),
+                shift: nexts,
+            }
+        } else {
+            dl::Time::Const(nexts)
+        }
+    };
+    let head = dl::Atom {
+        pred: c.head.atom.pred.clone(),
+        time: time_of(c.head.nexts),
+        data: c.head.atom.data.clone(),
+        negated: false,
+    };
+    let mut body = Vec::with_capacity(c.body.len());
+    for (i, lit) in c.body.iter().enumerate() {
+        match lit {
+            BodyLit::Atom(a) => body.push(dl::Atom {
+                pred: a.atom.pred.clone(),
+                time: time_of(a.nexts),
+                data: a.atom.data.clone(),
+                negated: a.negated,
+            }),
+            BodyLit::Eventually { nexts, .. } => {
+                let mut atom = aux(i);
+                atom.time = time_of(*nexts);
+                body.push(atom);
+            }
+        }
+    }
+    Ok(dl::Clause { head, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use itdb_datalog1s::{evaluate as dl_eval, DetectOptions, ExternalEdb};
+    use itdb_lrp::DataValue;
+
+    #[test]
+    fn example_2_3_translates_to_example_2_2() {
+        // The paper presents Examples 2.2 and 2.3 as the same program in
+        // the two notations; the translation should reproduce 2.2 exactly.
+        let tl = parse_program(
+            "next^5 train_leaves(liege, brussels).
+             always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+             always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+        )
+        .unwrap();
+        assert!(is_tl1(&tl));
+        let dl1s = tl1_to_datalog1s(&tl).unwrap();
+        let expected = dl::parser::parse_program(
+            "train_leaves[5](liege, brussels).
+             train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+             train_arrives[t + 60](liege, brussels) <- train_leaves[t](liege, brussels).",
+        )
+        .unwrap();
+        assert_eq!(dl1s, expected);
+    }
+
+    #[test]
+    fn translated_program_evaluates() {
+        let tl = parse_program(
+            "next^5 leaves(liege).
+             always (next^40 leaves(X) <- leaves(X)).",
+        )
+        .unwrap();
+        let dl1s = tl1_to_datalog1s(&tl).unwrap();
+        let m = dl_eval(&dl1s, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+        let s = m.times("leaves", &[DataValue::sym("liege")]);
+        assert_eq!(s.period(), 40);
+        for t in 0..200 {
+            assert_eq!(s.contains(t), t >= 5 && (t - 5) % 40 == 0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn diamond_not_tl1() {
+        let tl = parse_program("a <- eventually (b).").unwrap();
+        assert!(!is_tl1(&tl));
+    }
+}

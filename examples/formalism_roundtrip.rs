@@ -1,0 +1,109 @@
+//! The three formalisms of the paper, interconverted on one dataset.
+//!
+//! ```text
+//! cargo run --example formalism_roundtrip
+//! ```
+//!
+//! §3.1 of the paper: generalized databases with lrps (one temporal
+//! argument), the Chomicki–Imieliński language, and Templog all have the
+//! same data expressiveness — eventually periodic sets. This example takes
+//! the train schedule through every representation and checks they agree,
+//! then climbs the §3.2 query-expressiveness ladder with the ω-automata
+//! toolkit.
+
+use itdb::datalog1s::bridge::{epset_to_program, epset_to_relation, relation_to_epset};
+use itdb::datalog1s::{DetectOptions, ExternalEdb};
+use itdb::omega::{datalog1s_query_to_fra, epset_to_buchi, epset_to_word, Ltl, UpWord};
+use itdb::templog;
+
+fn main() {
+    // ── The schedule as a Datalog1S program (paper Example 2.2) ────────
+    let dl_program = itdb::datalog1s::parse_program(
+        "train_leaves[5](liege, brussels).
+         train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+         train_arrives[t + 60](F, T) <- train_leaves[t](F, T).",
+    )
+    .expect("parses");
+    let model =
+        itdb::datalog1s::evaluate(&dl_program, &ExternalEdb::new(), &DetectOptions::default())
+            .expect("eventually periodic");
+    let d = [
+        itdb::lrp::DataValue::sym("liege"),
+        itdb::lrp::DataValue::sym("brussels"),
+    ];
+    let departures = model.times("train_leaves", &d);
+    println!("Datalog1S minimal model, departures: {departures}");
+    assert_eq!(departures.period(), 40);
+
+    // ── The same schedule in Templog (paper Example 2.3) ───────────────
+    let tl_program = templog::parse_program(
+        "next^5 train_leaves(liege, brussels).
+         always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+         always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+    )
+    .expect("parses");
+    let tl_model = templog::evaluate(&tl_program, &ExternalEdb::new(), &DetectOptions::default())
+        .expect("evaluates");
+    assert_eq!(tl_model.times("train_leaves", &d), departures);
+    println!("Templog evaluates to the identical model (Examples 2.2 ≡ 2.3).");
+
+    // ── As a generalized relation with lrps (paper Example 2.1) ────────
+    let rel = epset_to_relation(&departures).expect("representable");
+    println!("as a generalized relation:\n{rel}");
+    assert!(rel.contains(&[45], &[]));
+    let back = relation_to_epset(&rel, 1 << 16).expect("round trip");
+    assert_eq!(back, departures);
+    println!("lrp relation round-trips losslessly (same data expressiveness, §3.1).");
+
+    // ── Back to a program whose minimal model is the set ───────────────
+    let regenerated = epset_to_program("leaves", &departures).expect("programmable");
+    println!("\nregenerated Datalog1S program:\n{regenerated}");
+    let again =
+        itdb::datalog1s::evaluate(&regenerated, &ExternalEdb::new(), &DetectOptions::default())
+            .expect("evaluates");
+    assert_eq!(again.times("leaves", &[]), departures);
+
+    // ── The ω-word / automaton view of §3 ──────────────────────────────
+    let word = epset_to_word(&departures);
+    println!("\ncharacteristic ω-word of the departures: {word}");
+    let buchi = epset_to_buchi(&departures);
+    assert!(buchi.accepts(&word));
+    println!(
+        "Büchi automaton with {} states accepts exactly that word.",
+        buchi.nfa.n_states
+    );
+
+    // A yes/no query compiles to a finite-acceptance automaton (finitely
+    // regular query expressiveness): "was there a departure, and later an
+    // inspection?"
+    let query = itdb::datalog1s::parse_program(
+        "dep_seen[t] <- dep[t].
+         dep_seen[t + 1] <- dep_seen[t].
+         goal[t] <- dep_seen[t], inspection[t].",
+    )
+    .expect("parses");
+    let fra = datalog1s_query_to_fra(&query, "goal").expect("compiles");
+    println!(
+        "\nquery 'some departure is followed by an inspection' compiles to a \
+         finite-acceptance automaton with {} states.",
+        fra.nfa.n_states
+    );
+    // dep = proposition 0, inspection = proposition 1 (alphabetical).
+    assert!(fra.accepts(&UpWord::new(vec![0b01, 0b00, 0b10], vec![0])));
+    assert!(!fra.accepts(&UpWord::new(vec![0b10, 0b01], vec![0])));
+
+    // The same property in LTL (star-free side of the §3 ladder):
+    // F(dep ∧ F inspection).
+    let f = Ltl::finally(Ltl::and(Ltl::prop(0), Ltl::finally(Ltl::prop(1))));
+    let ltl_buchi = itdb::omega::to_buchi(&f, 2).expect("translates");
+    for w in [
+        UpWord::new(vec![0b01, 0b00, 0b10], vec![0]),
+        UpWord::new(vec![0b10, 0b01], vec![0]),
+        UpWord::new(vec![], vec![0b01, 0b10]),
+    ] {
+        assert_eq!(fra.accepts(&w), ltl_buchi.accepts(&w), "{w}");
+    }
+    println!("the LTL formula F(dep & F inspection) agrees with the compiled query automaton.");
+
+    println!("\nformalism_roundtrip OK");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's train schedule (Example 2.1) end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a generalized database storing an *infinite* train schedule
+//! finitely, asks first-order questions about it, and derives a new
+//! infinite relation with the deductive language.
+
+use itdb::core::{evaluate, parse_atom, parse_program, query, Database};
+use itdb::foquery::{ask, evaluate as fo_evaluate, parse_formula, FoDatabase, FoOptions};
+use itdb::lrp::{DataValue, DEFAULT_RESIDUE_BUDGET};
+
+fn main() {
+    // ── 1. Store an infinite schedule finitely ─────────────────────────
+    // "A train leaves Liège for Brussels 5 minutes after midnight Monday
+    // and every 40 minutes thereafter, arriving 60 minutes later."
+    let mut db = Database::new();
+    db.insert_parsed(
+        "train",
+        "(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60",
+    )
+    .expect("schedule parses");
+    let train = db.get("train").expect("present");
+    println!("train relation (one generalized tuple, infinitely many trains):\n{train}\n");
+
+    let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+    assert!(train.contains(&[5, 65], &d));
+    assert!(train.contains(&[400_005, 400_065], &d)); // far in the future
+    assert!(!train.contains(&[6, 66], &d));
+
+    // ── 2. Ask first-order questions (the [KSW90] query language) ─────
+    let mut fodb = FoDatabase::new();
+    fodb.insert("train", train.clone());
+    let opts = FoOptions::default();
+
+    let q1 =
+        parse_formula("exists t1, t2. (train[t1, t2](liege, brussels) & t2 < 90)").expect("parses");
+    println!(
+        "any train arriving before minute 90?  {}",
+        ask(&q1, &fodb, &opts).unwrap()
+    );
+
+    let q2 = parse_formula("exists t2. train[t1, t2](liege, brussels)").expect("parses");
+    let departures = fo_evaluate(&q2, &fodb, &opts).unwrap();
+    println!(
+        "all departure times, in closed form:\n{}\n",
+        departures.relation
+    );
+
+    // ── 3. Derive new infinite relations (the paper's §4 language) ────
+    // A return train leaves Brussels 30 minutes after each arrival.
+    let program = parse_program(
+        "return_train[t2 + 30, t2 + 95](brussels, liege) <- train[t1, t2](liege, brussels).",
+    )
+    .expect("program parses");
+    let eval = evaluate(&program, &db).expect("evaluates");
+    assert!(eval.outcome.converged());
+    let returns = eval.relation("return_train").expect("derived");
+    println!("derived return schedule:\n{returns}\n");
+    let back = [DataValue::sym("brussels"), DataValue::sym("liege")];
+    assert!(returns.contains(&[95, 160], &back));
+
+    // ── 4. Query the derived model with a goal pattern ─────────────────
+    let pattern = parse_atom("return_train[t, t + 65](brussels, liege)").expect("parses");
+    let answers = query(returns, &pattern, DEFAULT_RESIDUE_BUDGET).expect("query evaluates");
+    println!("return departures (pattern return_train[t, t+65]):\n{answers}");
+    assert!(answers.contains(&[95], &[]));
+    assert!(answers.contains(&[135], &[]));
+
+    println!("\nquickstart OK");
+}

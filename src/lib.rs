@@ -1,0 +1,30 @@
+//! # itdb — infinite temporal databases with linear repeating points
+//!
+//! A complete implementation of *“On the Representation of Infinite
+//! Temporal Data and Queries”* (Baudinet, Niézette & Wolper, PODS 1991)
+//! and the systems it builds on:
+//!
+//! * [`lrp`] — generalized databases with linear repeating points and
+//!   difference constraints \[KSW90\], with a closed relational algebra;
+//! * [`core`] — the paper's temporal deductive language (Datalog over ℤ
+//!   with multiple temporal arguments) and its closed-form bottom-up
+//!   evaluation with free-extension / constraint safety (§4);
+//! * [`datalog1s`] — the Chomicki–Imieliński one-temporal-argument
+//!   language with eventual-periodicity detection (§2.2);
+//! * [`templog`] — Templog (○/□/◇ logic programming) and its reduction to
+//!   Datalog1S (§2.3);
+//! * [`omega`] — the ω-automata toolkit behind the expressiveness results
+//!   of §3 (finite-acceptance automata, Büchi automata, LTL);
+//! * [`foquery`] — the \[KSW90\] first-order query language evaluated in
+//!   closed form (star-free query expressiveness).
+//!
+//! Start with the examples: `cargo run --example quickstart`.
+
+#![warn(missing_docs)]
+
+pub use itdb_core as core;
+pub use itdb_datalog1s as datalog1s;
+pub use itdb_foquery as foquery;
+pub use itdb_lrp as lrp;
+pub use itdb_omega as omega;
+pub use itdb_templog as templog;

@@ -1,0 +1,208 @@
+//! Differential tests between independent engines.
+//!
+//! Four essentially independent evaluators live in this workspace: the
+//! generalized-tuple engine (`itdb-core`), the window-bounded ground
+//! evaluator (`itdb-core::ground`), the Datalog1S streaming detector
+//! (`itdb-datalog1s`), and the Templog stratified evaluator
+//! (`itdb-templog`). Any disagreement between them on a shared fragment is
+//! a bug in at least one; these tests cross-check them on families of
+//! programs.
+
+use itdb::core::{evaluate_with, ground::evaluate_ground, parse_program, Database, EvalOptions};
+use itdb::datalog1s::{self, bridge, DetectOptions, ExternalEdb};
+use itdb::lrp::DataValue;
+use itdb::templog;
+
+/// Deductive engine vs. ground evaluation on single-temporal-argument
+/// programs over periodic EDBs: agreement on interior windows.
+#[test]
+fn core_vs_ground_single_argument() {
+    let cases = [
+        ("a[t + 3] <- e[t]. a[t + 6] <- a[t].", "(12n+1)"),
+        ("a[t + 1] <- e[t]. b[t + 1] <- a[t]. a[t] <- b[t].", "(8n)"),
+        ("a[t] <- e[t], 0 <= t. a[t + 10] <- a[t].", "(5n+2)"),
+    ];
+    for (src, edb_text) in cases {
+        let p = parse_program(src).unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", edb_text).unwrap();
+        let closed = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(closed.outcome.converged(), "{src}: {:?}", closed.outcome);
+        let ground = evaluate_ground(&p, &db, -240, 240).unwrap();
+        for pred in closed.idb.keys() {
+            let rel = closed.relation(pred).unwrap();
+            for t in -120..120i64 {
+                assert_eq!(
+                    ground.contains(pred, &[t], &[]),
+                    rel.contains(&[t], &[]),
+                    "{src}: {pred} at {t}"
+                );
+            }
+        }
+    }
+}
+
+/// Deductive engine vs. ground evaluation on two-temporal-argument
+/// programs (the capability only `itdb-core` has natively; ground
+/// evaluation provides the oracle).
+#[test]
+fn core_vs_ground_two_arguments() {
+    let cases = [
+        (
+            "r[t1 + 3, t2 + 3] <- e[t1, t2]. r[t1 + 6, t2 + 6] <- r[t1, t2].",
+            "(12n, 12n+1) : T2 = T1 + 1",
+        ),
+        (
+            "m[t1, t2] <- a[t1], b[t2], t1 < t2. m[t1 + 10, t2 + 10] <- m[t1, t2].",
+            "", // EDB built below
+        ),
+    ];
+    // Case 1.
+    {
+        let (src, edb_text) = cases[0];
+        let p = parse_program(src).unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", edb_text).unwrap();
+        let closed = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(closed.outcome.converged());
+        let ground = evaluate_ground(&p, &db, 0, 120).unwrap();
+        let r = closed.relation("r").unwrap();
+        for t1 in 30..90i64 {
+            for dt in 0..4i64 {
+                let t2 = t1 + dt;
+                assert_eq!(
+                    ground.contains("r", &[t1, t2], &[]),
+                    r.contains(&[t1, t2], &[]),
+                    "t1={t1} t2={t2}"
+                );
+            }
+        }
+    }
+    // Case 2: a genuine join then shift-recursion.
+    {
+        let src = cases[1].0;
+        let p = parse_program(src).unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("a", "(10n+3)").unwrap();
+        db.insert_parsed("b", "(10n+7)").unwrap();
+        let closed = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(closed.outcome.converged());
+        let ground = evaluate_ground(&p, &db, -60, 60).unwrap();
+        let m = closed.relation("m").unwrap();
+        for t1 in -30..30i64 {
+            for t2 in -30..30i64 {
+                assert_eq!(
+                    ground.contains("m", &[t1, t2], &[]),
+                    m.contains(&[t1, t2], &[]),
+                    "t1={t1} t2={t2}"
+                );
+            }
+        }
+    }
+}
+
+/// Datalog1S streaming detector vs. the generalized-tuple engine, bridged
+/// through generalized relations: evaluate the same recursion both ways.
+#[test]
+fn datalog1s_vs_core_via_bridge() {
+    // Datalog1S side: seeds and a +6 recursion.
+    let dp = datalog1s::parse_program("p[2]. p[9]. p[t + 6] <- p[t].").unwrap();
+    let dm = datalog1s::evaluate(&dp, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    let dl_set = dm.times("p", &[]);
+
+    // Core side: the same recursion but seeded by the equivalent periodic
+    // relation (the core engine needs a periodic EDB to terminate — the
+    // paper's point). Build the EDB from the Datalog1S *model* and check
+    // the core engine reproduces it as a fixpoint (applying the rules adds
+    // nothing).
+    let rel = bridge::epset_to_relation(&dl_set).unwrap();
+    let mut db = Database::new();
+    db.insert("seed", rel);
+    let p = parse_program("p[t] <- seed[t]. p[t + 6] <- p[t].").unwrap();
+    let eval = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+    assert!(eval.outcome.converged());
+    let core_rel = eval.relation("p").unwrap();
+    for t in 0..200i64 {
+        assert_eq!(
+            core_rel.contains(&[t], &[]),
+            dl_set.contains(t as u64),
+            "t={t}"
+        );
+    }
+}
+
+/// Templog vs. Datalog1S on generated TL1 programs (the §2.3 equivalence,
+/// beyond the paper's single example).
+#[test]
+fn templog_vs_datalog1s_generated() {
+    for (seed_time, every, delay) in [(0u64, 7u64, 2u64), (5, 40, 60), (11, 24, 24), (3, 13, 1)] {
+        let tl_src = format!(
+            "next^{seed_time} ev. always (next^{every} ev <- ev). always (next^{delay} fu <- ev)."
+        );
+        let dl_src =
+            format!("ev[{seed_time}]. ev[t + {every}] <- ev[t]. fu[t + {delay}] <- ev[t].");
+        let tm = templog::evaluate(
+            &templog::parse_program(&tl_src).unwrap(),
+            &ExternalEdb::new(),
+            &DetectOptions::default(),
+        )
+        .unwrap();
+        let dm = datalog1s::evaluate(
+            &datalog1s::parse_program(&dl_src).unwrap(),
+            &ExternalEdb::new(),
+            &DetectOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(tm.times("ev", &[]), dm.times("ev", &[]), "{tl_src}");
+        assert_eq!(tm.times("fu", &[]), dm.times("fu", &[]), "{tl_src}");
+    }
+}
+
+/// The ◇-closure agrees with a hand-rolled semantic check.
+#[test]
+fn templog_diamond_vs_manual_semantics() {
+    // base at {4, 10, 16, 22, …} (4 + 6k); watch = ◇ base is all of ℕ.
+    // gated = ◇(base ∧ ○²stop) where stop only at 12: u must satisfy
+    // base(u) ∧ stop(u+2) → u = 10; gated on [0, 10].
+    let mut edb = ExternalEdb::new();
+    edb.insert("stop", vec![], itdb::datalog1s::EpSet::singleton(12));
+    let p = templog::parse_program(
+        "next^4 base. always (next^6 base <- base).
+         always (watch <- eventually (base)).
+         always (gated <- eventually (base, next^2 stop)).",
+    )
+    .unwrap();
+    let m = templog::evaluate(&p, &edb, &DetectOptions::default()).unwrap();
+    for t in 0..40u64 {
+        assert!(m.holds("watch", &[], t), "watch t={t}");
+        assert_eq!(m.holds("gated", &[], t), t <= 10, "gated t={t}");
+    }
+}
+
+/// Data arguments flow identically through core and ground engines.
+#[test]
+fn data_arguments_cross_check() {
+    let p = parse_program(
+        "served[t + 30](C) <- request[t](C).
+         served[t + 60](C) <- served[t](C), vip[t](C).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("request", "(120n+10; alpha)\n(120n+50; beta)")
+        .unwrap();
+    db.insert_parsed("vip", "(60n+40; alpha)").unwrap();
+    let closed = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+    assert!(closed.outcome.converged());
+    let ground = evaluate_ground(&p, &db, 0, 480).unwrap();
+    let served = closed.relation("served").unwrap();
+    for t in 120..360i64 {
+        for c in ["alpha", "beta"] {
+            let d = [DataValue::sym(c)];
+            assert_eq!(
+                ground.contains("served", &[t], &d),
+                served.contains(&[t], &d),
+                "t={t} c={c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Every worked example in the paper, asserted end to end.
+//!
+//! The paper has no benchmark tables; its evaluation artifacts are the
+//! worked examples of §2 and §4. This integration test pins each of them
+//! across the crates that implement the corresponding formalism.
+
+use itdb::core::{evaluate_with, parse_program, Database, EvalOptions, EvalOutcome};
+use itdb::datalog1s::{self, DetectOptions, ExternalEdb};
+use itdb::lrp::{parser, DataValue};
+use itdb::templog;
+
+/// Example 2.1 — the generalized tuple for trains Liège → Brussels.
+#[test]
+fn example_2_1_train_tuple() {
+    let rel =
+        parser::parse_relation("(40n+5, 40n+65; liege, brussels) : T1 >= 0, T2 = T1 + 60").unwrap();
+    let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+    // "there is a train leaving Liège for Brussels 5 minutes after time 0
+    // and every 40 minutes thereafter, arriving 60 minutes after having
+    // left".
+    for k in 0..50i64 {
+        assert!(rel.contains(&[5 + 40 * k, 65 + 40 * k], &d), "k={k}");
+    }
+    assert!(!rel.contains(&[-35, 25], &d), "no trains before time 0");
+    assert!(!rel.contains(&[5, 45], &d), "arrival is exactly +60");
+    assert!(!rel.contains(&[6, 66], &d), "departures are 5 mod 40");
+}
+
+/// The 5m+3 lrp from §2.1: {…, −7, −2, 3, 8, 13, …}.
+#[test]
+fn section_2_1_lrp_example() {
+    let l = parser::parse_lrp("5n+3").unwrap();
+    for t in [-7i64, -2, 3, 8, 13] {
+        assert!(l.contains(t), "t={t}");
+    }
+    for t in [-6i64, 0, 5, 12] {
+        assert!(!l.contains(t), "t={t}");
+    }
+}
+
+/// Example 2.2 — the same schedule in the Chomicki–Imieliński language.
+#[test]
+fn example_2_2_datalog1s() {
+    let p = datalog1s::parse_program(
+        "train_leaves[5](liege, brussels).
+         train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+         train_arrives[t + 60](F, T) <- train_leaves[t](F, T).",
+    )
+    .unwrap();
+    let m = datalog1s::evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+    let leaves = m.times("train_leaves", &d);
+    let arrives = m.times("train_arrives", &d);
+    assert_eq!(leaves.period(), 40);
+    for t in 0..400u64 {
+        assert_eq!(
+            leaves.contains(t),
+            t >= 5 && (t - 5) % 40 == 0,
+            "leaves {t}"
+        );
+        assert_eq!(
+            arrives.contains(t),
+            t >= 65 && (t - 65) % 40 == 0,
+            "arrives {t}"
+        );
+    }
+}
+
+/// Example 2.3 — the same schedule in Templog; model equality with 2.2.
+#[test]
+fn example_2_3_templog_equals_2_2() {
+    let tl = templog::parse_program(
+        "next^5 train_leaves(liege, brussels).
+         always (next^40 train_leaves(liege, brussels) <- train_leaves(liege, brussels)).
+         always (next^60 train_arrives(liege, brussels) <- train_leaves(liege, brussels)).",
+    )
+    .unwrap();
+    let tm = templog::evaluate(&tl, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    let dl = datalog1s::parse_program(
+        "train_leaves[5](liege, brussels).
+         train_leaves[t + 40](liege, brussels) <- train_leaves[t](liege, brussels).
+         train_arrives[t + 60](liege, brussels) <- train_leaves[t](liege, brussels).",
+    )
+    .unwrap();
+    let dm = datalog1s::evaluate(&dl, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    let d = [DataValue::sym("liege"), DataValue::sym("brussels")];
+    assert_eq!(tm.times("train_leaves", &d), dm.times("train_leaves", &d));
+    assert_eq!(tm.times("train_arrives", &d), dm.times("train_arrives", &d));
+    // The syntactic translation also matches the hand-written program.
+    assert!(templog::is_tl1(&tl));
+    assert_eq!(templog::tl1_to_datalog1s(&tl).unwrap(), dl);
+}
+
+/// Example 4.1 — the course/problems schedule and its §4.3 trace.
+#[test]
+fn example_4_1_course_and_problems() {
+    let program = parse_program(
+        "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+         problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+        .unwrap();
+
+    // The extension of course: (t1, t2, database) with t1 ∈ 168n+8,
+    // t2 = t1 + 2.
+    let course = db.get("course").unwrap();
+    let d = [DataValue::sym("database")];
+    assert!(course.contains(&[8, 10], &d));
+    assert!(course.contains(&[176, 178], &d));
+    assert!(!course.contains(&[8, 12], &d));
+
+    let opts = EvalOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+
+    // The paper's sequence of derived generalized tuples: offsets
+    // 10, 58, 106, 154, 202, 250, 298 (inserted) and 346 ≡ 10 (subsumed),
+    // "after which the evaluation stops".
+    let inserted: Vec<(i64, i64)> = eval
+        .trace
+        .iter()
+        .flat_map(|t| t.inserted.iter())
+        .map(|(_, tuple)| (tuple.zone().lrp(0).offset(), tuple.zone().lrp(0).period()))
+        .collect();
+    let expected: Vec<(i64, i64)> = [10i64, 58, 106, 154, 202, 250, 298]
+        .iter()
+        .map(|&o| (o % 168, 168))
+        .collect();
+    assert_eq!(inserted, expected);
+    let subsumed: Vec<i64> = eval
+        .trace
+        .iter()
+        .flat_map(|t| t.subsumed.iter())
+        .map(|(_, tuple)| tuple.zone().lrp(0).offset())
+        .collect();
+    assert_eq!(subsumed, vec![346 % 168]);
+    assert_eq!(eval.outcome, EvalOutcome::Converged { iterations: 8 });
+
+    // Model sanity: problem sessions hold exactly at (t, t+2) for
+    // t ≡ 10 (mod 24).
+    let problems = eval.relation("problems").unwrap();
+    for t in -200..400i64 {
+        assert_eq!(
+            problems.contains(&[t, t + 2], &d),
+            t.rem_euclid(24) == 10,
+            "t={t}"
+        );
+    }
+}
+
+/// §3.1 — the data expressiveness of all three formalisms coincides on the
+/// schedule: eventually periodic sets round-trip through every
+/// representation.
+#[test]
+fn section_3_1_data_expressiveness_equality() {
+    use itdb::datalog1s::bridge;
+    let p = datalog1s::parse_program("dep[5]. dep[t + 40] <- dep[t].").unwrap();
+    let m = datalog1s::evaluate(&p, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    let set = m.times("dep", &[]);
+
+    // → generalized relation → back.
+    let rel = bridge::epset_to_relation(&set).unwrap();
+    assert_eq!(bridge::relation_to_epset(&rel, 1 << 16).unwrap(), set);
+
+    // → Datalog1S program → minimal model → back.
+    let prog = bridge::epset_to_program("dep", &set).unwrap();
+    let m2 = datalog1s::evaluate(&prog, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    assert_eq!(m2.times("dep", &[]), set);
+
+    // → Templog (via the inverse direction of the §2.3 equivalence): the
+    // Templog program with the same clauses evaluates to the same set.
+    let tl = templog::parse_program("next^5 dep. always (next^40 dep <- dep).").unwrap();
+    let tm = templog::evaluate(&tl, &ExternalEdb::new(), &DetectOptions::default()).unwrap();
+    assert_eq!(tm.times("dep", &[]), set);
+}
+
+/// §4.3 — "the computation terminates … it starts with an infinite
+/// periodic set and can be seen as a computation in modulo-arithmetic":
+/// the same recursion over a *point* EDB diverges, over a periodic EDB it
+/// converges.
+#[test]
+fn section_4_3_periodicity_is_what_terminates() {
+    // Point EDB: diverges (free-extension safe, never constraint safe).
+    let p = parse_program("p[0]. p[t + 5] <- p[t].").unwrap();
+    let opts = EvalOptions {
+        grace_after_fe_safety: 4,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&p, &Database::new(), &opts).unwrap();
+    assert!(matches!(
+        eval.outcome,
+        EvalOutcome::DivergedAfterFeSafety { .. }
+    ));
+
+    // Periodic EDB: converges.
+    let p = parse_program("p[t] <- e[t]. p[t + 5] <- p[t].").unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("e", "(15n)").unwrap();
+    let eval = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+    assert!(eval.outcome.converged());
+    let r = eval.relation("p").unwrap();
+    for t in -45..45i64 {
+        assert_eq!(r.contains(&[t], &[]), t.rem_euclid(5) == 0, "t={t}");
+    }
+}
+
+/// Footnote 1 — "the deductive layer is used to define the temporal
+/// extension of all predicates, not just of derived predicates": an
+/// intensional predicate can seed and extend another.
+#[test]
+fn footnote_1_deductive_layer_defines_extensions() {
+    let p = parse_program(
+        "base[t] <- seed[t].
+         base[t + 10] <- base[t].
+         derived[t + 1] <- base[t].",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("seed", "(30n+3)").unwrap();
+    let eval = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+    assert!(eval.outcome.converged());
+    let derived = eval.relation("derived").unwrap();
+    for t in -60..60i64 {
+        assert_eq!(
+            derived.contains(&[t], &[]),
+            (t - 4).rem_euclid(10) == 0,
+            "t={t}"
+        );
+    }
+}

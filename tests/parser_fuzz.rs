@@ -1,0 +1,26 @@
+//! Cross-crate parser fuzzing: every textual surface accepts arbitrary
+//! input without panicking.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn all_parsers_total(s in "[ -~]{0,80}") {
+        let _ = itdb::core::parse_program(&s);
+        let _ = itdb::core::parse_clause(&s);
+        let _ = itdb::core::parse_atom(&s);
+        let _ = itdb::datalog1s::parse_program(&s);
+        let _ = itdb::templog::parse_program(&s);
+        let _ = itdb::foquery::parse_formula(&s);
+    }
+
+    #[test]
+    fn grammar_biased_soup(s in "[a-zA-Z0-9\\[\\]().,!<>=+ %-]{0,80}") {
+        let _ = itdb::core::parse_program(&s);
+        let _ = itdb::datalog1s::parse_program(&s);
+        let _ = itdb::templog::parse_program(&s);
+        let _ = itdb::foquery::parse_formula(&s);
+    }
+}

@@ -1,0 +1,120 @@
+//! Stress and resource-limit behaviour: realistic period magnitudes
+//! (minute-granularity weekly schedules) and budget-exceedance error paths.
+
+use itdb::core::{evaluate_with, parse_program, Database, EvalOptions};
+use itdb::lrp::{DataValue, Error};
+
+/// A minute-granularity weekly timetable (period 10 080) with a
+/// daily-repetition rule: realistic magnitudes, still instant.
+#[test]
+fn weekly_minute_granularity_schedule() {
+    const WEEK: i64 = 7 * 24 * 60; // 10080
+    const DAY: i64 = 24 * 60; // 1440
+    let program = parse_program(&format!(
+        "daily[t1 + {DAY}, t2 + {DAY}](C) <- weekly[t1, t2](C).
+         daily[t1, t2](C) <- weekly[t1, t2](C).
+         daily[t1 + {DAY}, t2 + {DAY}](C) <- daily[t1, t2](C)."
+    ))
+    .unwrap();
+    let mut db = Database::new();
+    // Monday 08:30 departure, 09:15 arrival, weekly.
+    db.insert_parsed(
+        "weekly",
+        &format!("({WEEK}n+510, {WEEK}n+555; shuttle) : T1 >= 0, T2 = T1 + 45"),
+    )
+    .unwrap();
+    let eval = evaluate_with(
+        &program,
+        &db,
+        &EvalOptions {
+            coalesce: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+    let daily = eval.relation("daily").unwrap();
+    // Coalesced: one tuple with the day period.
+    assert_eq!(daily.len(), 1, "{daily}");
+    assert_eq!(daily.tuples()[0].zone().lrp(0).period(), DAY);
+    let d = [DataValue::sym("shuttle")];
+    // Every day at 08:30 from the first Monday on.
+    for day in 0..14i64 {
+        let t = 510 + day * DAY;
+        assert!(daily.contains(&[t, t + 45], &d), "day={day}");
+    }
+    assert!(!daily.contains(&[511, 556], &d));
+}
+
+/// The exact residue machinery is budgeted: a genuinely mixed-period
+/// projection exceeds a tiny budget with a clean error instead of a silent
+/// approximation. (Pure CRT joins never split — the single-column case
+/// evaluates even with a budget of 8.)
+#[test]
+fn residue_budget_error_path() {
+    // Projecting out a coprime-period partner forces a residue split.
+    let program = parse_program("first[t1] <- pair[t1, t2], t1 < t2.").unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("pair", "(97n, 101n) : T1 < T2 + 50").unwrap();
+    let r = evaluate_with(
+        &program,
+        &db,
+        &EvalOptions {
+            residue_budget: 8,
+            ..Default::default()
+        },
+    );
+    match r {
+        Err(Error::ResidueBudget { budget }) => assert_eq!(budget, 8),
+        other => panic!("expected a budget error, got {other:?}"),
+    }
+
+    // The single-residue CRT case is cheap even under a tiny budget.
+    let program = parse_program("meet[t] <- a[t], b[t], c[t].").unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("a", "(97n)").unwrap();
+    db.insert_parsed("b", "(101n)").unwrap();
+    db.insert_parsed("c", "(103n) : T1 >= 0, T1 <= 5000000").unwrap();
+    let ok = evaluate_with(
+        &program,
+        &db,
+        &EvalOptions {
+            residue_budget: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(ok.outcome.converged());
+    let meet = ok.relation("meet").unwrap();
+    // 97·101·103 = 1 009 091 is within the window, so the class is live.
+    assert!(meet.contains(&[1_009_091], &[]));
+    assert!(!meet.contains(&[1], &[]));
+}
+
+/// Deep recursion chains stay linear: a 60-class residue sweep.
+#[test]
+fn many_residue_classes() {
+    let program = parse_program(
+        "p[t + 7] <- e[t].
+         p[t + 7] <- p[t].",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("e", "(420n)").unwrap(); // 420/gcd(420,7) = 60 classes
+    let eval = evaluate_with(
+        &program,
+        &db,
+        &EvalOptions {
+            coalesce: true,
+            max_iterations: 200,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(eval.outcome.converged(), "{:?}", eval.outcome);
+    let p = eval.relation("p").unwrap();
+    assert_eq!(p.len(), 1, "coalesces to the 7ℤ class: {p}");
+    for t in -50..50i64 {
+        assert_eq!(p.contains(&[t], &[]), t.rem_euclid(7) == 0, "t={t}");
+    }
+}
