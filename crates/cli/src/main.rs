@@ -1,26 +1,130 @@
 //! `itdb` — an interactive shell for infinite temporal databases.
 //!
 //! ```text
-//! cargo run -p itdb-cli --bin itdb              # interactive
-//! cargo run -p itdb-cli --bin itdb -- script    # run a command file
+//! cargo run -p itdb-cli --bin itdb-shell              # interactive
+//! cargo run -p itdb-cli --bin itdb-shell -- script    # run a command file
+//! cargo run -p itdb-cli --bin itdb-shell -- --fuel 10000 --timeout-ms 5000
 //! ```
 //!
 //! Type `help` inside the shell for the command list; every surface of the
 //! workspace is reachable: generalized relations, the deductive language,
 //! first-order queries, Datalog1S and Templog.
+//!
+//! `--fuel N` caps the number of generalized tuples any single evaluation
+//! may derive; `--timeout-ms N` is a per-evaluation wall-clock deadline.
+//! In interactive mode Ctrl-C cancels the in-flight evaluation (the engine
+//! returns its sound partial model) without leaving the shell.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod shell;
 
-use shell::{Shell, Step};
+use shell::{Limits, Shell, Step};
 use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+usage: itdb-shell [--fuel N] [--timeout-ms N] [SCRIPT]
+  --fuel N        cap derived generalized tuples per evaluation
+  --timeout-ms N  wall-clock deadline per evaluation, in milliseconds
+  SCRIPT          run a command file instead of the interactive shell";
+
+/// Cancellation token shared between the SIGINT handler and the shell.
+///
+/// The handler only flips an atomic flag (async-signal-safe); the governor
+/// observes it at the next loop boundary and the evaluation returns its
+/// partial model instead of the process dying.
+static CANCEL: std::sync::OnceLock<itdb_core::CancelToken> = std::sync::OnceLock::new();
+
+fn cancel_token() -> &'static itdb_core::CancelToken {
+    CANCEL.get_or_init(itdb_core::CancelToken::new)
+}
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    // No `libc` dependency: `signal` is part of the C runtime already
+    // linked into every Rust binary. glibc's `signal` gives BSD semantics
+    // (SA_RESTART), so the blocking stdin read survives the interrupt and
+    // the REPL keeps running.
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = CANCEL.get() {
+            token.cancel();
+        }
+    }
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+struct Cli {
+    limits: Limits,
+    script: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        limits: Limits::default(),
+        script: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fuel" | "--timeout-ms" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{arg}: `{value}` is not a number"))?;
+                if arg == "--fuel" {
+                    cli.limits.fuel = Some(n);
+                } else {
+                    cli.limits.timeout_ms = Some(n);
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if cli.script.is_some() {
+                    return Err("at most one script file".to_string());
+                }
+                cli.script = Some(path.to_string());
+            }
+        }
+    }
+    Ok(cli)
+}
 
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            let code = if msg.is_empty() {
+                println!("{USAGE}");
+                0
+            } else {
+                eprintln!("error: {msg}\n{USAGE}");
+                2
+            };
+            std::process::exit(code);
+        }
+    };
+
     let mut shell = Shell::new();
+    shell.set_limits(cli.limits);
+    shell.set_cancel(cancel_token().clone());
     let stdout = std::io::stdout();
 
-    if let Some(path) = args.first() {
-        // Script mode: run the file, print non-empty outputs.
+    if let Some(path) = cli.script {
+        // Script mode: run the file, print non-empty outputs. SIGINT keeps
+        // its default disposition here so Ctrl-C aborts the whole run.
         let text = std::fs::read_to_string(path)?;
         let mut out = stdout.lock();
         for line in text.lines() {
@@ -33,7 +137,8 @@ fn main() -> std::io::Result<()> {
         return Ok(());
     }
 
-    // Interactive mode.
+    // Interactive mode: Ctrl-C cancels the running evaluation, not the REPL.
+    install_sigint_handler();
     let stdin = std::io::stdin();
     let mut out = stdout.lock();
     writeln!(out, "itdb — infinite temporal databases (type `help`)")?;
@@ -53,4 +158,38 @@ fn main() -> std::io::Result<()> {
         out.flush()?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_limits_and_script() {
+        let cli = parse_args(&strs(&["--fuel", "500", "--timeout-ms", "250", "run.itdb"])).unwrap();
+        assert_eq!(cli.limits.fuel, Some(500));
+        assert_eq!(cli.limits.timeout_ms, Some(250));
+        assert_eq!(cli.script.as_deref(), Some("run.itdb"));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&strs(&["--fuel"])).is_err());
+        assert!(parse_args(&strs(&["--fuel", "many"])).is_err());
+        assert!(parse_args(&strs(&["--frobnicate"])).is_err());
+        assert!(parse_args(&strs(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn defaults_are_unlimited() {
+        let cli = parse_args(&[]).unwrap();
+        assert_eq!(cli.limits.fuel, None);
+        assert_eq!(cli.limits.timeout_ms, None);
+        assert!(cli.script.is_none());
+    }
 }

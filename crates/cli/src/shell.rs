@@ -7,11 +7,24 @@
 //! program.
 
 use itdb_core as core;
+use itdb_core::{CancelToken, Completeness, Governor, GovernorConfig, Interruption};
 use itdb_datalog1s as dl;
 use itdb_foquery as fo;
 use itdb_lrp::{parser as lrp_parser, Error, Result, DEFAULT_RESIDUE_BUDGET};
 use itdb_templog as tl;
 use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Session-level resource limits applied to every evaluation command.
+#[derive(Debug, Clone, Default)]
+pub struct Limits {
+    /// Fuel: maximum derived generalized tuples per evaluation.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline per evaluation, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Memory ceiling: maximum generalized tuples held at once.
+    pub max_held: Option<u64>,
+}
 
 /// Interactive shell state.
 #[derive(Default)]
@@ -24,6 +37,24 @@ pub struct Shell {
     model: Option<core::Evaluation>,
     dl_program: dl::Program,
     tl_program: tl::TlProgram,
+    limits: Limits,
+    cancel: CancelToken,
+}
+
+/// Which limit a `fuel`/`timeout` command adjusts.
+#[derive(Clone, Copy)]
+enum LimitKind {
+    Fuel,
+    Timeout,
+}
+
+impl LimitKind {
+    fn command_name(self) -> &'static str {
+        match self {
+            LimitKind::Fuel => "fuel",
+            LimitKind::Timeout => "timeout",
+        }
+    }
 }
 
 /// The outcome of one command.
@@ -48,7 +79,10 @@ commands:
   dl1s-eval                  detect the eventually periodic minimal model
   templog CLAUSE.            add a Templog clause
   templog-eval               evaluate the Templog program
-  reset                      clear all state
+  fuel N|off                 cap derived tuples per evaluation
+  timeout MS|off             wall-clock deadline per evaluation
+  limits                     show current resource limits
+  reset                      clear all state (limits survive)
   help                       this text
   quit                       leave";
 
@@ -56,6 +90,16 @@ impl Shell {
     /// A fresh shell.
     pub fn new() -> Self {
         Shell::default()
+    }
+
+    /// Replaces the session resource limits (used by `--fuel`/`--timeout-ms`).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Installs the cancellation token shared with the Ctrl-C handler.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Executes one command line.
@@ -72,9 +116,19 @@ impl Shell {
             "help" => Ok(HELP.to_string()),
             "quit" | "exit" => return Step::Quit,
             "reset" => {
+                // Limits and the cancellation token are session
+                // configuration, not evaluation state: keep them so the
+                // Ctrl-C handler installed by `main` stays wired up.
+                let limits = self.limits.clone();
+                let cancel = self.cancel.clone();
                 *self = Shell::new();
+                self.limits = limits;
+                self.cancel = cancel;
                 Ok("state cleared".to_string())
             }
+            "fuel" => self.cmd_limit(rest, LimitKind::Fuel),
+            "timeout" => self.cmd_limit(rest, LimitKind::Timeout),
+            "limits" => Ok(self.fmt_limits()),
             "tuple" => self.cmd_tuple(rest),
             "show" => self.cmd_show(rest),
             "rule" => self.cmd_rule(rest),
@@ -97,25 +151,66 @@ impl Shell {
         })
     }
 
+    fn cmd_limit(&mut self, rest: &str, kind: LimitKind) -> Result<String> {
+        let slot = match kind {
+            LimitKind::Fuel => &mut self.limits.fuel,
+            LimitKind::Timeout => &mut self.limits.timeout_ms,
+        };
+        *slot = match rest {
+            "off" | "none" => None,
+            "" => return Err(Error::Eval(format!("usage: {} N|off", kind.command_name()))),
+            n => Some(n.parse::<u64>().map_err(|_| {
+                Error::Eval(format!("{}: `{n}` is not a number", kind.command_name()))
+            })?),
+        };
+        Ok(self.fmt_limits())
+    }
+
+    fn fmt_limits(&self) -> String {
+        let show = |v: Option<u64>, unit: &str| match v {
+            Some(n) => format!("{n}{unit}"),
+            None => "unlimited".to_string(),
+        };
+        format!(
+            "fuel: {}  timeout: {}",
+            show(self.limits.fuel, " derived tuples"),
+            show(self.limits.timeout_ms, " ms"),
+        )
+    }
+
+    /// Governor configuration shared by all evaluation commands.
+    fn governor_config(&self) -> GovernorConfig {
+        let mut cfg = GovernorConfig::default().with_cancel(self.cancel.clone());
+        if let Some(fuel) = self.limits.fuel {
+            cfg = cfg.with_max_derived_tuples(fuel);
+        }
+        if let Some(ms) = self.limits.timeout_ms {
+            cfg = cfg.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(held) = self.limits.max_held {
+            cfg = cfg.with_max_held_tuples(held);
+        }
+        cfg
+    }
+
     fn cmd_tuple(&mut self, rest: &str) -> Result<String> {
         let (name, tuple_text) = rest
             .split_once(char::is_whitespace)
             .ok_or_else(|| Error::Eval("usage: tuple NAME (…)".into()))?;
         let tuple = lrp_parser::parse_tuple(tuple_text.trim())?;
         let schema = itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
-        match self.relations.iter_mut().find(|(n, _)| n == name) {
-            Some((_, rel)) => rel.insert(tuple)?,
+        let idx = match self.relations.iter().position(|(n, _)| n == name) {
+            Some(idx) => {
+                self.relations[idx].1.insert(tuple)?;
+                idx
+            }
             None => {
                 let rel = itdb_lrp::GeneralizedRelation::from_tuples(schema, vec![tuple])?;
                 self.relations.push((name.to_string(), rel));
+                self.relations.len() - 1
             }
-        }
-        let rel = &self
-            .relations
-            .iter()
-            .find(|(n, _)| n == name)
-            .expect("just added")
-            .1;
+        };
+        let rel = &self.relations[idx].1;
         self.edb.insert(name, rel.clone());
         self.model = None;
         Ok(format!("{name}: {} generalized tuple(s)", rel.len()))
@@ -125,17 +220,16 @@ impl Shell {
         if rest.is_empty() {
             let mut out = String::new();
             for (name, rel) in &self.relations {
-                writeln!(out, "{name} {} ({} tuples)", rel.schema(), rel.len()).unwrap();
+                let _ = writeln!(out, "{name} {} ({} tuples)", rel.schema(), rel.len());
             }
             if let Some(eval) = &self.model {
                 for (name, rel) in &eval.idb {
-                    writeln!(
+                    let _ = writeln!(
                         out,
                         "{name} {} ({} tuples, derived)",
                         rel.schema(),
                         rel.len()
-                    )
-                    .unwrap();
+                    );
                 }
             }
             if out.is_empty() {
@@ -163,14 +257,24 @@ impl Shell {
     }
 
     fn cmd_eval(&mut self) -> Result<String> {
+        // A Ctrl-C that arrived while the shell was idle must not abort the
+        // next evaluation: the token only counts once armed mid-flight.
+        self.cancel.reset();
         let opts = core::EvalOptions {
             coalesce: true,
+            max_derived_tuples: self.limits.fuel,
+            timeout: self.limits.timeout_ms.map(Duration::from_millis),
+            max_held_tuples: self.limits.max_held,
+            cancel: Some(self.cancel.clone()),
             ..Default::default()
         };
         let eval = core::evaluate_with(&self.program, &self.edb, &opts)?;
-        let mut out = format!("outcome: {:?}\n", eval.outcome);
+        let mut out = match eval.outcome.interruption() {
+            Some(int) => format_interruption(int),
+            None => format!("outcome: {:?}\n", eval.outcome),
+        };
         for (name, rel) in &eval.idb {
-            writeln!(out, "{name} = {rel}").unwrap();
+            let _ = writeln!(out, "{name} = {rel}");
         }
         self.model = Some(eval);
         Ok(out.trim_end().to_string())
@@ -216,15 +320,14 @@ impl Shell {
         let r = fo::evaluate(&f, &db, &opts)?;
         let mut out = String::new();
         if !r.tvars.is_empty() || !r.dvars.is_empty() {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "columns: [{}] ({})",
                 r.tvars.join(", "),
                 r.dvars.join(", ")
-            )
-            .unwrap();
+            );
         }
-        write!(out, "{}", r.relation).unwrap();
+        let _ = write!(out, "{}", r.relation);
         Ok(out)
     }
 
@@ -238,10 +341,13 @@ impl Shell {
     }
 
     fn cmd_dl1s_eval(&self) -> Result<String> {
-        let m = dl::evaluate(
+        self.cancel.reset();
+        let governor = std::sync::Arc::new(Governor::new(self.governor_config()));
+        let m = dl::evaluate_governed(
             &self.dl_program,
             &dl::ExternalEdb::new(),
             &dl::DetectOptions::default(),
+            &governor,
         )?;
         let mut out = format!(
             "eventually periodic (offset {}, period {}, detected at {})\n",
@@ -259,7 +365,7 @@ impl Shell {
                         .join(", ")
                 )
             };
-            writeln!(out, "{pred}{data_txt} = {set}").unwrap();
+            let _ = writeln!(out, "{pred}{data_txt} = {set}");
         }
         Ok(out.trim_end().to_string())
     }
@@ -274,10 +380,13 @@ impl Shell {
     }
 
     fn cmd_templog_eval(&self) -> Result<String> {
-        let m = tl::evaluate(
+        self.cancel.reset();
+        let governor = std::sync::Arc::new(Governor::new(self.governor_config()));
+        let m = tl::evaluate_governed(
             &self.tl_program,
             &dl::ExternalEdb::new(),
             &dl::DetectOptions::default(),
+            &governor,
         )?;
         let mut out = String::new();
         for ((pred, data), set) in &m.sets {
@@ -292,7 +401,7 @@ impl Shell {
                         .join(", ")
                 )
             };
-            writeln!(out, "{pred}{data_txt} = {set}").unwrap();
+            let _ = writeln!(out, "{pred}{data_txt} = {set}");
         }
         if out.is_empty() {
             out = "empty model".to_string();
@@ -301,7 +410,37 @@ impl Shell {
     }
 }
 
+/// Renders an [`Interruption`] as a human-readable block.
+///
+/// The first line is machine-greppable (`interrupted: <reason>`); the
+/// completeness line states whether the partial model is already a complete
+/// free extension (Theorem 4.2) or a plain under-approximation.
+fn format_interruption(int: &Interruption) -> String {
+    let mut out = format!("interrupted: {}\n", int.reason);
+    match &int.completeness {
+        Completeness::FreeExtensionComplete { fe_safe_at } => {
+            let _ = writeln!(
+                out,
+                "completeness: free-extension complete (safe since iteration {fe_safe_at}); \
+                 the partial model below contains every fact of the free extension"
+            );
+        }
+        Completeness::Partial => {
+            let _ = writeln!(
+                out,
+                "completeness: partial (sound under-approximation; every tuple shown is derivable)"
+            );
+        }
+    }
+    let _ = writeln!(out, "iterations: {}", int.iterations);
+    if !int.growing.is_empty() {
+        let _ = writeln!(out, "still growing: {}", int.growing.join(", "));
+    }
+    out
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -416,6 +555,82 @@ mod tests {
         // Periodicity predicate in a first-order query.
         let out = run(&mut sh, "fo gap[t] & t mod 12 = 1");
         assert!(out.contains("12n+1"), "{out}");
+    }
+
+    #[test]
+    fn limits_commands_round_trip() {
+        let mut sh = Shell::new();
+        let out = run(&mut sh, "limits");
+        assert!(out.contains("unlimited"), "{out}");
+        let out = run(&mut sh, "fuel 100");
+        assert!(out.contains("100 derived tuples"), "{out}");
+        let out = run(&mut sh, "timeout 2000");
+        assert!(out.contains("2000 ms"), "{out}");
+        let out = run(&mut sh, "fuel off");
+        assert!(out.contains("fuel: unlimited"), "{out}");
+        let out = run(&mut sh, "fuel pancakes");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run(&mut sh, "timeout");
+        assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn reset_preserves_limits() {
+        let mut sh = Shell::new();
+        run(&mut sh, "fuel 7");
+        run(&mut sh, "reset");
+        let out = run(&mut sh, "limits");
+        assert!(out.contains("7 derived tuples"), "{out}");
+    }
+
+    #[test]
+    fn diverging_eval_interrupts_and_shell_survives() {
+        let mut sh = Shell::new();
+        // Small enough to trip before the free-extension grace window ends.
+        run(&mut sh, "fuel 5");
+        // Point-based successor recursion: unbounded unless governed.
+        run(&mut sh, "tuple p (n) : T1 = 0");
+        run(&mut sh, "rule q[t] <- p[t].");
+        run(&mut sh, "rule q[t + 5] <- q[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("interrupted:"), "{out}");
+        assert!(out.contains("tuple fuel exhausted"), "{out}");
+        assert!(out.contains("still growing: q"), "{out}");
+        // The partial model is visible and the shell keeps working.
+        assert!(out.contains("q = "), "{out}");
+        let out = run(&mut sh, "show");
+        assert!(out.contains("derived"), "{out}");
+        let out = run(&mut sh, "help");
+        assert!(out.contains("commands"), "{out}");
+    }
+
+    #[test]
+    fn pre_armed_cancel_token_is_cleared_before_eval() {
+        let mut sh = Shell::new();
+        let token = CancelToken::new();
+        sh.set_cancel(token.clone());
+        token.cancel();
+        run(&mut sh, "tuple e (6n) : T1 >= 0");
+        run(&mut sh, "rule late[t + 1] <- e[t].");
+        // A stale Ctrl-C from idle time must not abort the evaluation.
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("Converged"), "{out}");
+    }
+
+    #[test]
+    fn governed_dl1s_eval_times_out_gracefully() {
+        let mut sh = Shell::new();
+        sh.set_limits(Limits {
+            timeout_ms: Some(0),
+            ..Limits::default()
+        });
+        run(&mut sh, "dl1s leaves[5]. leaves[t + 40] <- leaves[t].");
+        let out = run(&mut sh, "dl1s-eval");
+        assert!(out.starts_with("error:"), "{out}");
+        assert!(out.contains("interrupted"), "{out}");
+        // Shell still alive afterwards.
+        let out = run(&mut sh, "help");
+        assert!(out.contains("commands"), "{out}");
     }
 
     #[test]

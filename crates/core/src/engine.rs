@@ -20,16 +20,35 @@
 //!   configurable number of grace iterations before giving up — "it is
 //!   reasonable to give up on the computation if the interpretation does not
 //!   become constraint safe after a few iterations" (§4.3).
+//!
+//! Beyond the paper's own bookkeeping, every evaluation runs under a
+//! resource [`Governor`]: iteration and derived-tuple fuel, a wall-clock
+//! deadline, an approximate memory ceiling, and a cooperative cancellation
+//! token. A governor trip does not destroy the work done so far — the
+//! engine returns the partial model with [`EvalOutcome::Interrupted`]
+//! describing why it stopped, how complete the model is, and which
+//! predicates were still growing. Every tuple in a partial model was
+//! genuinely derived by `T_GP`, so partial models are always *sound*
+//! (under-approximations of the least model); stratified negation does not
+//! break this because a stratum only starts after all lower strata have
+//! fully converged, and a trip abandons the in-flight stratum's iteration
+//! rather than publishing half of it.
+
+// User-reachable evaluation path: failures must flow through the error
+// taxonomy, never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::analyze::{analyze, ProgramInfo};
 use crate::ast::{CmpOp, DataTerm, Program};
 use crate::db::Database;
 use crate::normalize::{normalize_program, NormAtom, NormClause, NormConstraint};
 use itdb_lrp::{
-    Constraint, DataValue, Dbm, Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result, Var,
-    Zone, DEFAULT_RESIDUE_BUDGET,
+    CancelToken, Constraint, DataValue, Dbm, Error, GeneralizedRelation, GeneralizedTuple,
+    Governor, GovernorConfig, Lrp, Result, TripReason, Var, Zone, DEFAULT_RESIDUE_BUDGET,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Options controlling the fixpoint computation.
 #[derive(Debug, Clone)]
@@ -50,6 +69,17 @@ pub struct EvalOptions {
     /// representation (e.g. the seven Example 4.1 tuples modulo 168 become
     /// one tuple modulo 24).
     pub coalesce: bool,
+    /// Fuel: maximum generalized tuples derived (inserted as new) across
+    /// the whole evaluation. `None` = unlimited.
+    pub max_derived_tuples: Option<u64>,
+    /// Wall-clock deadline for the whole evaluation.
+    pub timeout: Option<Duration>,
+    /// Approximate memory ceiling: maximum generalized tuples held across
+    /// all IDB relations at once.
+    pub max_held_tuples: Option<u64>,
+    /// Cooperative cancellation token, checked at every loop boundary
+    /// (e.g. wired to Ctrl-C by the CLI).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EvalOptions {
@@ -61,6 +91,24 @@ impl Default for EvalOptions {
             seminaive: true,
             trace: false,
             coalesce: false,
+            max_derived_tuples: None,
+            timeout: None,
+            max_held_tuples: None,
+            cancel: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The governor configuration these options describe (used by
+    /// [`evaluate_with`]; [`evaluate_governed`] callers build their own).
+    pub fn governor_config(&self) -> GovernorConfig {
+        GovernorConfig {
+            max_iterations: Some(self.max_iterations as u64),
+            max_derived_tuples: self.max_derived_tuples,
+            timeout: self.timeout,
+            max_held_tuples: self.max_held_tuples,
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -84,17 +132,55 @@ pub enum EvalOutcome {
         /// Total iterations performed before giving up.
         iterations: usize,
     },
-    /// The hard iteration cap was hit before free-extension safety.
-    IterationBudgetExhausted {
-        /// The cap that was hit.
-        iterations: usize,
+    /// The resource governor tripped (fuel, deadline, cancellation, or
+    /// memory ceiling). The accompanying IDB is a *sound partial model*:
+    /// every tuple in it was derived by `T_GP`, but more may exist.
+    Interrupted(Interruption),
+}
+
+/// Machine-readable diagnostics for a governor trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interruption {
+    /// Which budget tripped.
+    pub reason: TripReason,
+    /// How complete the partial model is known to be.
+    pub completeness: Completeness,
+    /// Iterations of `T_GP` started before the trip.
+    pub iterations: usize,
+    /// Predicates that were still deriving new tuples in the most recent
+    /// productive iteration — the ones to blame for divergence.
+    pub growing: Vec<String>,
+}
+
+/// Completeness guarantee attached to an interrupted evaluation's partial
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// Free-extension safety (Theorem 4.2) had been reached before the
+    /// trip: the model contains a tuple for every free extension of the
+    /// least model, so it is complete within the extension window and only
+    /// constraint refinement (Theorem 4.3) was still running.
+    FreeExtensionComplete {
+        /// Iteration at which free-extension safety was observed.
+        fe_safe_at: usize,
     },
+    /// The trip came before free-extension safety: the model is a plain
+    /// under-approximation.
+    Partial,
 }
 
 impl EvalOutcome {
     /// Did the evaluation produce the exact least model?
     pub fn converged(&self) -> bool {
         matches!(self, EvalOutcome::Converged { .. })
+    }
+
+    /// The trip diagnostics, when the governor interrupted the evaluation.
+    pub fn interruption(&self) -> Option<&Interruption> {
+        match self {
+            EvalOutcome::Interrupted(i) => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -142,8 +228,53 @@ pub fn evaluate(program: &Program, edb: &Database) -> Result<Evaluation> {
     evaluate_with(program, edb, &EvalOptions::default())
 }
 
-/// Evaluates with explicit options.
+/// Evaluates with explicit options; resource limits in `opts` are enforced
+/// by a fresh [`Governor`].
 pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> Result<Evaluation> {
+    let governor = Governor::new(opts.governor_config());
+    evaluate_governed(program, edb, opts, &governor)
+}
+
+/// Splits an error into a governor trip (recoverable — the model built so
+/// far is sound) versus a genuine failure that must propagate.
+fn as_trip(e: Error) -> Result<TripReason> {
+    match e {
+        Error::Interrupted(reason) => Ok(reason),
+        other => Err(other),
+    }
+}
+
+/// Builds the graceful-degradation outcome for a governor trip.
+fn interrupted_outcome(
+    reason: TripReason,
+    fe_safe_at: Option<usize>,
+    iterations: usize,
+    growing: Vec<String>,
+) -> EvalOutcome {
+    EvalOutcome::Interrupted(Interruption {
+        reason,
+        completeness: match fe_safe_at {
+            Some(fe_safe_at) => Completeness::FreeExtensionComplete { fe_safe_at },
+            None => Completeness::Partial,
+        },
+        iterations,
+        growing,
+    })
+}
+
+/// Evaluates under an externally supplied [`Governor`] (shared budgets,
+/// cancellation from another thread, fault injection). The governor is
+/// authoritative for all resource limits — `opts.max_iterations` is *not*
+/// applied on top of it. The governor is also installed as the thread's
+/// ambient governor for the duration, so deep zone and relation algebra
+/// checks it too.
+pub fn evaluate_governed(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
+    governor: &Arc<Governor>,
+) -> Result<Evaluation> {
+    let _scope = governor.enter();
     let info = analyze(program)?;
     // Validate the EDB up front (missing extensional relations are treated
     // as empty, mismatched schemas are errors).
@@ -176,6 +307,9 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
     let mut trace = Vec::new();
     let mut outcome = None;
     let mut iteration = 0usize;
+    // Predicates that inserted tuples in the most recent productive
+    // iteration — named in trip diagnostics as "still growing".
+    let mut last_growing: Vec<String> = Vec::new();
 
     // Strata run lowest first; within a stratum the usual (semi-)naive
     // fixpoint applies, with lower strata and the EDB acting as stable
@@ -192,17 +326,21 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
         let mut delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
 
         loop {
-            if iteration >= opts.max_iterations {
-                outcome = Some(EvalOutcome::IterationBudgetExhausted {
-                    iterations: opts.max_iterations,
-                });
+            if let Err(e) = governor.start_iteration() {
+                outcome = Some(interrupted_outcome(
+                    as_trip(e)?,
+                    fe_safe_at,
+                    iteration,
+                    last_growing.clone(),
+                ));
                 break 'strata;
             }
             iteration += 1;
             stratum_iter += 1;
             let mut derived: Vec<(String, GeneralizedTuple)> = Vec::new();
+            let mut trip: Option<TripReason> = None;
 
-            for clause in &stratum_clauses {
+            'derive: for clause in &stratum_clauses {
                 let idb_positions = clause.body_positions_of(&stratum_preds);
                 // Relations for the negated atoms (stable inputs).
                 let neg_rels: Vec<&GeneralizedRelation> = clause
@@ -231,9 +369,16 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
                                 edb.get(pred).unwrap_or(&empty_relations[pred])
                             }
                         };
-                        eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
-                            derived.push((clause.head_pred.clone(), t))
-                        })?;
+                        if let Err(e) = eval_clause(
+                            clause,
+                            &rel_for,
+                            &neg_rels,
+                            opts.residue_budget,
+                            &mut |t| derived.push((clause.head_pred.clone(), t)),
+                        ) {
+                            trip = Some(as_trip(e)?);
+                            break 'derive;
+                        }
                     }
                 } else {
                     let rel_for = |i: usize| -> &GeneralizedRelation {
@@ -244,10 +389,27 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
                             edb.get(pred).unwrap_or(&empty_relations[pred])
                         }
                     };
-                    eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
-                        derived.push((clause.head_pred.clone(), t))
-                    })?;
+                    if let Err(e) =
+                        eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
+                            derived.push((clause.head_pred.clone(), t))
+                        })
+                    {
+                        trip = Some(as_trip(e)?);
+                        break 'derive;
+                    }
                 }
+            }
+            if let Some(reason) = trip {
+                // Tripped mid-derivation: abandon this iteration's derived
+                // tuples; the model is exactly the last completed
+                // iteration's (sound).
+                outcome = Some(interrupted_outcome(
+                    reason,
+                    fe_safe_at,
+                    iteration,
+                    last_growing.clone(),
+                ));
+                break 'strata;
             }
 
             // Insert with subsumption; track free-extension growth.
@@ -259,19 +421,38 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
                 let Some(tuple) = tuple.canonical() else {
                     continue;
                 };
-                let rel = idb.get_mut(&pred).expect("intensional predicate");
-                if rel.insert_if_new(tuple.clone(), opts.residue_budget)? {
-                    let keys = fe_keys.entry(pred_key(&info, &pred)).or_default();
-                    if keys.insert(tuple.free_extension_key()) {
-                        new_fe_key = true;
+                let rel = idb.get_mut(&pred).ok_or_else(|| {
+                    Error::Eval(format!(
+                        "internal: derived tuple for non-intensional predicate {pred}"
+                    ))
+                })?;
+                match rel.insert_if_new(tuple.clone(), opts.residue_budget) {
+                    Ok(true) => {
+                        let keys = fe_keys.entry(pred_key(&info, &pred)?).or_default();
+                        if keys.insert(tuple.free_extension_key()) {
+                            new_fe_key = true;
+                        }
+                        next_delta
+                            .entry(pred.clone())
+                            .or_insert_with(|| GeneralizedRelation::empty(info.signatures[&pred]))
+                            .insert(tuple.clone())?;
+                        inserted.push((pred, tuple));
+                        if let Err(e) = governor.note_derived(1) {
+                            trip = Some(as_trip(e)?);
+                            break;
+                        }
                     }
-                    next_delta
-                        .entry(pred.clone())
-                        .or_insert_with(|| GeneralizedRelation::empty(info.signatures[&pred]))
-                        .insert(tuple.clone())?;
-                    inserted.push((pred, tuple));
-                } else {
-                    subsumed.push((pred, tuple));
+                    Ok(false) => subsumed.push((pred, tuple)),
+                    Err(e) => {
+                        trip = Some(as_trip(e)?);
+                        break;
+                    }
+                }
+            }
+            if trip.is_none() {
+                let held: u64 = idb.values().map(|r| r.len() as u64).sum();
+                if let Err(e) = governor.report_held(held) {
+                    trip = Some(as_trip(e)?);
                 }
             }
 
@@ -286,6 +467,12 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
             }
 
             let fixpoint = inserted.is_empty();
+            if !fixpoint {
+                let mut preds: Vec<String> = inserted.iter().map(|(p, _)| p.clone()).collect();
+                preds.sort();
+                preds.dedup();
+                last_growing = preds;
+            }
             if opts.trace {
                 trace.push(IterationTrace {
                     iteration,
@@ -293,15 +480,26 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
                     subsumed,
                 });
             }
+            if let Some(reason) = trip {
+                outcome = Some(interrupted_outcome(
+                    reason,
+                    fe_safe_at,
+                    iteration,
+                    last_growing.clone(),
+                ));
+                break 'strata;
+            }
             if fixpoint {
                 outcome = Some(EvalOutcome::Converged {
                     iterations: iteration,
                 });
+                last_growing.clear(); // this stratum settled
                 break; // next stratum
             }
             if fe_safe_streak > opts.grace_after_fe_safety {
                 outcome = Some(EvalOutcome::DivergedAfterFeSafety {
-                    fe_safe_at: fe_safe_at.expect("streak implies fe_safe_at"),
+                    // The else-branch above set this before starting the streak.
+                    fe_safe_at: fe_safe_at.unwrap_or(iteration),
                     iterations: iteration,
                 });
                 break 'strata;
@@ -315,9 +513,15 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
         iterations: iteration,
     });
 
-    if opts.coalesce {
+    if opts.coalesce && !matches!(outcome, EvalOutcome::Interrupted(_)) {
         for rel in idb.values_mut() {
-            rel.coalesce(opts.residue_budget)?;
+            if let Err(e) = rel.coalesce(opts.residue_budget) {
+                // A governor trip mid-coalesce is benign: coalescing only
+                // changes the representation, and each committed step keeps
+                // it equivalent. Ship what we have.
+                as_trip(e)?;
+                break;
+            }
         }
     }
 
@@ -332,11 +536,11 @@ pub fn evaluate_with(program: &Program, edb: &Database, opts: &EvalOptions) -> R
 
 /// Borrow-friendly key helper: interns the predicate name against the
 /// analysis result so the FE-key map can borrow.
-fn pred_key<'a>(info: &'a ProgramInfo, pred: &str) -> &'a str {
+fn pred_key<'a>(info: &'a ProgramInfo, pred: &str) -> Result<&'a str> {
     info.intensional
         .get(pred)
         .map(|s| s.as_str())
-        .expect("intensional predicate")
+        .ok_or_else(|| Error::Eval(format!("internal: {pred} is not an intensional predicate")))
 }
 
 /// Applies one clause to the given body relations, emitting derived head
@@ -595,6 +799,7 @@ fn constraint_of(c: &NormConstraint) -> Result<Constraint> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::parser::parse_program;

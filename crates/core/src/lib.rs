@@ -42,6 +42,10 @@ pub mod query;
 pub use analyze::{analyze, ProgramInfo};
 pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
 pub use db::Database;
-pub use engine::{evaluate, evaluate_with, EvalOptions, EvalOutcome, Evaluation, IterationTrace};
+pub use engine::{
+    evaluate, evaluate_governed, evaluate_with, Completeness, EvalOptions, EvalOutcome, Evaluation,
+    Interruption, IterationTrace,
+};
+pub use itdb_lrp::{CancelToken, Governor, GovernorConfig, GovernorStats, TripReason};
 pub use parser::{parse_atom, parse_clause, parse_program};
 pub use query::{ask, query};

@@ -1,0 +1,154 @@
+//! Fault-injection robustness tests (run with `--features fault`).
+//!
+//! A [`FaultPlan`] arms the governor to fail deterministically at the N-th
+//! budget check, simulating budget exhaustion, arithmetic overflow deep in
+//! the algebra, and asynchronous cancellation landing mid-iteration — at
+//! *every* possible point, not just the loop boundaries a hand-written test
+//! would pick. Whatever the injection point, the engine must return either
+//! a sound partial model (`Interrupted`) or a clean error; never a panic,
+//! never an unsound tuple.
+#![cfg(feature = "fault")]
+
+use itdb_core::{
+    evaluate_governed, ground::evaluate_ground, parse_program, Database, EvalOptions, Governor,
+    GovernorConfig, TripReason,
+};
+use itdb_lrp::governor::fault::{FaultKind, FaultPlan};
+use itdb_lrp::Error;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn sample_program() -> (itdb_core::Program, Database) {
+    let program = parse_program(
+        "q[t] <- p[t].
+         q[t + 5] <- q[t].
+         r[t + 1] <- q[t], p[t].",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("p", "(n) : T1 = 0").unwrap();
+    (program, db)
+}
+
+fn governed_opts() -> EvalOptions {
+    EvalOptions {
+        grace_after_fe_safety: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_cancel_interrupts_with_sound_partial_model() {
+    let (program, db) = sample_program();
+    let governor = Arc::new(Governor::new(GovernorConfig::default()));
+    FaultPlan {
+        after_checks: 5,
+        kind: FaultKind::Cancel,
+    }
+    .arm(&governor);
+    let eval = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert_eq!(int.reason, TripReason::Cancelled);
+    let ground = evaluate_ground(&program, &db, -100, 100).unwrap();
+    for (pred, rel) in &eval.idb {
+        for (temporal, data) in rel.enumerate_window(-100, 100) {
+            assert!(
+                ground.contains(pred, &temporal, &data),
+                "{pred} {temporal:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_tuple_fuel_exhaustion_degrades_gracefully() {
+    let (program, db) = sample_program();
+    let governor = Arc::new(Governor::new(GovernorConfig::default()));
+    FaultPlan {
+        after_checks: 7,
+        kind: FaultKind::TupleFuel,
+    }
+    .arm(&governor);
+    let eval = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert!(
+        matches!(int.reason, TripReason::TupleFuelExhausted { .. }),
+        "{:?}",
+        int.reason
+    );
+}
+
+#[test]
+fn injected_overflow_surfaces_as_a_clean_error() {
+    let (program, db) = sample_program();
+    let governor = Arc::new(Governor::new(GovernorConfig::default()));
+    FaultPlan {
+        after_checks: 3,
+        kind: FaultKind::Overflow,
+    }
+    .arm(&governor);
+    // Overflow is not a governor trip: it must propagate as an error, not
+    // crash and not masquerade as a partial model.
+    let err = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap_err();
+    assert_eq!(err, Error::Overflow);
+}
+
+#[test]
+fn disarmed_plan_restores_normal_operation() {
+    let (program, db) = sample_program();
+    let governor = Arc::new(Governor::new(GovernorConfig::default()));
+    FaultPlan {
+        after_checks: 1,
+        kind: FaultKind::Overflow,
+    }
+    .arm(&governor);
+    FaultPlan::disarm(&governor);
+    let eval = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap();
+    // The sample program diverges; with no fault and no budget the run ends
+    // via the engine's own free-extension grace, not an interruption.
+    assert!(eval.outcome.interruption().is_none(), "{:?}", eval.outcome);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cancellation landing at *any* governor check — including deep inside
+    /// the zone algebra via the ambient checks — never produces an unsound
+    /// tuple or a panic.
+    #[test]
+    fn cancellation_at_any_check_point_is_sound(after_checks in 1u64..400) {
+        let (program, db) = sample_program();
+        let governor = Arc::new(Governor::new(GovernorConfig::default()));
+        FaultPlan { after_checks, kind: FaultKind::Cancel }.arm(&governor);
+        let eval = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap();
+        let ground = evaluate_ground(&program, &db, -200, 200).unwrap();
+        for (pred, rel) in &eval.idb {
+            for (temporal, data) in rel.enumerate_window(-200, 200) {
+                prop_assert!(
+                    ground.contains(pred, &temporal, &data),
+                    "unsound {} at {:?} (injected at check {}, outcome {:?})",
+                    pred, temporal, after_checks, eval.outcome
+                );
+            }
+        }
+    }
+
+    /// Same guarantee for synthetic fuel exhaustion at arbitrary points.
+    #[test]
+    fn fuel_exhaustion_at_any_check_point_is_sound(after_checks in 1u64..400) {
+        let (program, db) = sample_program();
+        let governor = Arc::new(Governor::new(GovernorConfig::default()));
+        FaultPlan { after_checks, kind: FaultKind::TupleFuel }.arm(&governor);
+        let eval = evaluate_governed(&program, &db, &governed_opts(), &governor).unwrap();
+        let ground = evaluate_ground(&program, &db, -200, 200).unwrap();
+        for (pred, rel) in &eval.idb {
+            for (temporal, data) in rel.enumerate_window(-200, 200) {
+                prop_assert!(
+                    ground.contains(pred, &temporal, &data),
+                    "unsound {} at {:?} (injected at check {})",
+                    pred, temporal, after_checks
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Resource-governance regression tests: genuinely diverging programs must
+//! come back with `EvalOutcome::Interrupted` and a *sound, non-empty*
+//! partial model instead of running away, under every trip reason (fuel,
+//! deadline, cancellation, memory ceiling) — and an interrupted model must
+//! never contain a tuple the ground semantics cannot derive.
+
+use itdb_core::{
+    evaluate_with, ground::evaluate_ground, parse_program, CancelToken, Completeness, Database,
+    EvalOptions, EvalOutcome, TripReason,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A point-based successor recursion in the spirit of the paper's
+/// `(i, i²)` example: every iteration derives one genuinely new fact and
+/// no closed form is ever reached by the fixpoint process alone.
+fn diverging_program() -> (itdb_core::Program, Database) {
+    let program = parse_program(
+        "q[t] <- p[t].
+         q[t + 5] <- q[t].",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("p", "(n) : T1 = 0").unwrap();
+    (program, db)
+}
+
+#[test]
+fn diverging_recursion_interrupts_under_tuple_fuel() {
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        max_derived_tuples: Some(8),
+        // Keep the grace window out of the way so the fuel trip is what
+        // ends the run.
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval
+        .outcome
+        .interruption()
+        .unwrap_or_else(|| panic!("expected Interrupted, got {:?}", eval.outcome));
+    assert!(
+        matches!(int.reason, TripReason::TupleFuelExhausted { limit: 8, .. }),
+        "{:?}",
+        int.reason
+    );
+    // Graceful degradation: the partial model is non-empty and names the
+    // still-growing predicate.
+    let q = eval.relation("q").expect("partial model has q");
+    assert!(!q.is_empty());
+    assert!(q.contains(&[0], &[]));
+    assert_eq!(int.growing, vec!["q".to_string()]);
+    assert!(int.iterations > 0);
+}
+
+#[test]
+fn diverging_recursion_interrupts_under_iteration_fuel() {
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        max_iterations: 4,
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert!(
+        matches!(
+            int.reason,
+            TripReason::IterationFuelExhausted { used: 4, limit: 4 }
+        ),
+        "{:?}",
+        int.reason
+    );
+    assert_eq!(int.iterations, 4);
+    assert!(!eval.relation("q").unwrap().is_empty());
+}
+
+#[test]
+fn diverging_recursion_interrupts_under_deadline() {
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        timeout: Some(Duration::from_millis(0)),
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert!(
+        matches!(int.reason, TripReason::DeadlineExceeded { .. }),
+        "{:?}",
+        int.reason
+    );
+}
+
+#[test]
+fn diverging_recursion_interrupts_under_memory_ceiling() {
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        max_held_tuples: Some(3),
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert!(
+        matches!(int.reason, TripReason::MemoryCeiling { limit: 3, .. }),
+        "{:?}",
+        int.reason
+    );
+    assert!(!eval.relation("q").unwrap().is_empty());
+}
+
+#[test]
+fn cancellation_interrupts_and_keeps_model_sound() {
+    let (program, db) = diverging_program();
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = EvalOptions {
+        cancel: Some(token),
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert_eq!(int.reason, TripReason::Cancelled);
+    // Cancelled before the first iteration completed: the model may be
+    // empty, but whatever is there must be ground-derivable.
+    let ground = evaluate_ground(&program, &db, -100, 100).unwrap();
+    for (pred, rel) in &eval.idb {
+        for (temporal, data) in rel.enumerate_window(-100, 100) {
+            assert!(
+                ground.contains(pred, &temporal, &data),
+                "{pred} {temporal:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interruption_after_fe_safety_is_tagged_free_extension_complete() {
+    // The recursion re-derives the same lrp shape with shifted constraints,
+    // so free-extension safety (Theorem 4.2) is observed early; a later
+    // fuel trip must report `FreeExtensionComplete`, not plain `Partial`.
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        max_derived_tuples: Some(12),
+        grace_after_fe_safety: 1_000,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    match int.completeness {
+        Completeness::FreeExtensionComplete { fe_safe_at } => {
+            assert!(fe_safe_at <= int.iterations)
+        }
+        Completeness::Partial => panic!("expected FreeExtensionComplete: {int:?}"),
+    }
+    assert_eq!(eval.fe_safe_at, Some(2));
+}
+
+#[test]
+fn immediate_trip_is_plain_partial() {
+    let (program, db) = diverging_program();
+    let opts = EvalOptions {
+        max_iterations: 0,
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    let int = eval.outcome.interruption().expect("interrupted");
+    assert_eq!(int.completeness, Completeness::Partial);
+    assert_eq!(int.iterations, 0);
+}
+
+#[test]
+fn converging_programs_are_untouched_by_generous_limits() {
+    let program = parse_program(
+        "problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+         problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+        .unwrap();
+    let opts = EvalOptions {
+        max_derived_tuples: Some(1_000_000),
+        timeout: Some(Duration::from_secs(3600)),
+        max_held_tuples: Some(1_000_000),
+        cancel: Some(CancelToken::new()),
+        ..Default::default()
+    };
+    let eval = evaluate_with(&program, &db, &opts).unwrap();
+    assert!(
+        matches!(eval.outcome, EvalOutcome::Converged { .. }),
+        "{:?}",
+        eval.outcome
+    );
+}
+
+/// The random convergent family of `prop_engine.rs`, reused here to cut
+/// evaluations short at arbitrary fuel levels.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    source: String,
+    edb_period: i64,
+    edb_offset: i64,
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (
+        proptest::sample::select(vec![6i64, 8, 12]),
+        0i64..6,
+        proptest::collection::vec((0u8..3, 0i64..7, 0i64..7), 2..5),
+    )
+        .prop_map(|(period, offset, rules)| {
+            let mut src = String::from("p0[t] <- e[t].\n");
+            for (i, (kind, a, b)) in rules.iter().enumerate() {
+                let (hi, bi) = ((i % 3), ((i + 1) % 3));
+                let (hs, bs) = if a >= b { (*a, *b) } else { (*b, *a) };
+                match kind {
+                    0 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}].\n")),
+                    1 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}], e[t].\n")),
+                    _ => src.push_str(&format!(
+                        "p{hi}[t + {hs}] <- p{bi}[t + {bs}], p{}[t].\n",
+                        (i + 2) % 3
+                    )),
+                }
+            }
+            RandomProgram {
+                source: src,
+                edb_period: period,
+                edb_offset: offset % period,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interrupting the fixpoint at an arbitrary point — any fuel level,
+    /// which exercises the same mid-iteration abandonment path as an
+    /// asynchronous cancellation — never yields an unsound tuple: the
+    /// partial model is always a subset of the ground least model.
+    #[test]
+    fn interrupted_models_are_sound_under_random_fuel(
+        rp in program_strategy(),
+        fuel in 0u64..40,
+    ) {
+        let program = parse_program(&rp.source).unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", &format!("({}n+{})", rp.edb_period, rp.edb_offset)).unwrap();
+        let opts = EvalOptions {
+            max_derived_tuples: Some(fuel),
+            grace_after_fe_safety: 32,
+            max_iterations: 2000,
+            ..Default::default()
+        };
+        let eval = evaluate_with(&program, &db, &opts).unwrap();
+        let ground = evaluate_ground(&program, &db, -600, 600).unwrap();
+        for (pred, rel) in &eval.idb {
+            for (temporal, data) in rel.enumerate_window(-60, 60) {
+                prop_assert!(
+                    ground.contains(pred, &temporal, &data),
+                    "{}: unsound {} at {:?} (outcome {:?})",
+                    rp.source, pred, temporal, eval.outcome
+                );
+            }
+        }
+    }
+}

@@ -16,8 +16,9 @@
 
 use crate::ast::{validate, Atom, DataTerm, Program, Time, Validated};
 use crate::epset::EpSet;
-use itdb_lrp::{lcm, DataValue, Error, Result};
+use itdb_lrp::{check_ambient, lcm, DataValue, Error, Governor, Result};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Extensional input: per `(predicate, data)` an eventually periodic set of
 /// times at which the fact holds.
@@ -87,11 +88,28 @@ impl PeriodicModel {
 
 type FactKey = (String, Vec<DataValue>);
 
+/// Like [`evaluate`], but under an explicit resource [`Governor`]
+/// (deadline, cancellation, fault injection): the governor is installed as
+/// the thread's ambient governor and consulted at every time step. Unlike
+/// the closed-form engine, the time-step simulation has no sound partial
+/// model to return before a repetition is found, so a governor trip
+/// surfaces as `Err(Error::Interrupted(_))`.
+pub fn evaluate_governed(
+    p: &Program,
+    edb: &ExternalEdb,
+    opts: &DetectOptions,
+    governor: &Arc<Governor>,
+) -> Result<PeriodicModel> {
+    let _scope = governor.enter();
+    evaluate(p, edb, opts)
+}
+
 /// Evaluates a validated (stratified, causal) program against an external
 /// EDB and returns the minimal model in closed form. Strata are evaluated
 /// lowest first; each stratum sees the closed-form extensions of everything
 /// below it, which is what makes stratified negation (and lower-stratum
-/// gates/lookahead) exact.
+/// gates/lookahead) exact. Consults the thread's ambient governor (if any)
+/// at every time step and saturation round.
 pub fn evaluate(p: &Program, edb: &ExternalEdb, opts: &DetectOptions) -> Result<PeriodicModel> {
     let v = validate(p)?;
     for (pred, _) in edb.map.keys() {
@@ -158,6 +176,7 @@ fn evaluate_stratum(
 
     let mut t = 0u64;
     loop {
+        check_ambient()?;
         if t > opts.max_time {
             return Err(Error::Eval(format!(
                 "no periodicity detected by time {} (raise DetectOptions::max_time)",
@@ -191,6 +210,7 @@ fn saturate_time(
 ) -> Result<BTreeSet<FactKey>> {
     let mut state: BTreeSet<FactKey> = BTreeSet::new();
     loop {
+        check_ambient()?;
         let mut added = false;
         for c in &p.clauses {
             let base: Option<u64> = match &c.head.time {

@@ -49,6 +49,12 @@ pub enum Error {
     /// An evaluation-level failure (language restriction violated, detection
     /// horizon exhausted, …) with a human-readable description.
     Eval(String),
+    /// The evaluation was interrupted by its resource governor (fuel,
+    /// deadline, cancellation, or memory ceiling — see
+    /// [`crate::governor::Governor`]). Drivers that can produce a sound
+    /// partial model catch this and degrade gracefully; everything else
+    /// propagates it.
+    Interrupted(crate::governor::TripReason),
 }
 
 impl fmt::Display for Error {
@@ -73,6 +79,7 @@ impl fmt::Display for Error {
             }
             Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            Error::Interrupted(reason) => write!(f, "evaluation interrupted: {reason}"),
         }
     }
 }
@@ -105,6 +112,8 @@ mod tests {
         };
         assert!(e.to_string().contains("byte 7"));
         assert!(Error::SchemaMismatch("x".into()).to_string().contains("x"));
+        let e = Error::Interrupted(crate::governor::TripReason::Cancelled);
+        assert!(e.to_string().contains("interrupted"));
     }
 
     #[test]

@@ -1,0 +1,651 @@
+//! Resource governor: fuel, deadlines, cancellation, and memory ceilings
+//! for every evaluation loop in the workspace.
+//!
+//! The paper's Theorem 4.3 shows constraint-safety is only a *sufficient*
+//! termination condition — programs like `p(i, i²)` encoded point-wise
+//! diverge forever while looking locally productive. Rather than hoping,
+//! every fixpoint loop (core's T_GP iteration, Datalog1S's time-step
+//! simulation, Templog's ◇-closure) and every potentially explosive
+//! algebra operation (residue splitting in [`crate::Zone`] subsumption and
+//! difference, relation coalescing) consults a shared [`Governor`] at loop
+//! boundaries and aborts with [`Error::Interrupted`] the moment a budget
+//! trips.
+//!
+//! Two consultation styles are supported:
+//!
+//! * **explicit** — evaluation drivers hold an `Arc<Governor>` and call
+//!   [`Governor::note_iteration`] / [`Governor::note_derived`] /
+//!   [`Governor::check`] directly;
+//! * **ambient** — deep algebra loops that would otherwise need a governor
+//!   parameter threaded through many signatures call the free function
+//!   [`check_ambient`], which consults a thread-local governor stack.
+//!   Drivers install their governor with [`Governor::enter`]; the returned
+//!   [`GovernorScope`] guard pops it on drop (including unwinds), and the
+//!   check is a no-op when no governor is installed.
+//!
+//! The governor is cheap by construction: all counters are relaxed
+//! atomics, and a trip is reported as an error through the existing
+//! `Result` plumbing so no new control-flow channel is needed.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+#[cfg(feature = "fault")]
+use std::sync::atomic::AtomicU8;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// Why an evaluation was interrupted.
+///
+/// Carried inside [`Error::Interrupted`]; all fields are plain integers
+/// (milliseconds rather than `Instant`s) so the reason stays `Clone`,
+/// `PartialEq` and `Eq` and can be matched on in tests and surfaced
+/// machine-readably by the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripReason {
+    /// The cooperative cancellation token was set (e.g. Ctrl-C).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded {
+        /// Milliseconds elapsed when the trip was detected.
+        elapsed_ms: u64,
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+    },
+    /// The fixpoint used up its iteration fuel.
+    IterationFuelExhausted {
+        /// Iterations performed.
+        used: u64,
+        /// The configured iteration limit.
+        limit: u64,
+    },
+    /// The evaluation derived more generalized tuples than its fuel allows.
+    TupleFuelExhausted {
+        /// Tuples derived so far.
+        derived: u64,
+        /// The configured derivation limit.
+        limit: u64,
+    },
+    /// The approximate memory ceiling (generalized tuples held across all
+    /// IDB relations) was exceeded.
+    MemoryCeiling {
+        /// Tuples currently held.
+        held: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripReason::Cancelled => write!(f, "cancelled"),
+            TripReason::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "deadline exceeded ({elapsed_ms}ms elapsed, limit {limit_ms}ms)"
+            ),
+            TripReason::IterationFuelExhausted { used, limit } => {
+                write!(f, "iteration fuel exhausted ({used} used, limit {limit})")
+            }
+            TripReason::TupleFuelExhausted { derived, limit } => {
+                write!(f, "tuple fuel exhausted ({derived} derived, limit {limit})")
+            }
+            TripReason::MemoryCeiling { held, limit } => {
+                write!(
+                    f,
+                    "memory ceiling exceeded ({held} tuples held, limit {limit})"
+                )
+            }
+        }
+    }
+}
+
+/// A shareable cooperative cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump); setting the flag from any thread —
+/// e.g. a SIGINT handler — makes every governor holding the token trip
+/// with [`TripReason::Cancelled`] at its next check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unset token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Safe to call from signal handlers
+    /// (a relaxed atomic store).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clears the flag so the token can be reused (e.g. the REPL resets it
+    /// before each evaluation).
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Configuration for a [`Governor`]. `None` means "unlimited" for every
+/// budget; the default governor never trips.
+#[derive(Debug, Clone, Default)]
+pub struct GovernorConfig {
+    /// Maximum fixpoint iterations before tripping.
+    pub max_iterations: Option<u64>,
+    /// Maximum generalized tuples derived (inserted as new) before tripping.
+    pub max_derived_tuples: Option<u64>,
+    /// Wall-clock deadline, measured from [`Governor::new`].
+    pub timeout: Option<Duration>,
+    /// Approximate memory ceiling: maximum generalized tuples held across
+    /// all IDB relations at once.
+    pub max_held_tuples: Option<u64>,
+    /// Cooperative cancellation token, if the caller wants one.
+    pub cancel: Option<CancelToken>,
+}
+
+impl GovernorConfig {
+    /// An unlimited configuration (identical to `Default::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the iteration fuel.
+    pub fn with_max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Sets the derived-tuple fuel.
+    pub fn with_max_derived_tuples(mut self, n: u64) -> Self {
+        self.max_derived_tuples = Some(n);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_timeout(mut self, d: Duration) -> Self {
+        self.timeout = Some(d);
+        self
+    }
+
+    /// Sets the held-tuple memory ceiling.
+    pub fn with_max_held_tuples(mut self, n: u64) -> Self {
+        self.max_held_tuples = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// A point-in-time snapshot of a governor's counters, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Fixpoint iterations noted so far.
+    pub iterations: u64,
+    /// Generalized tuples derived so far.
+    pub derived: u64,
+    /// Generalized tuples currently held (last reported).
+    pub held: u64,
+    /// Total budget checks performed.
+    pub checks: u64,
+    /// Milliseconds since the governor was created.
+    pub elapsed_ms: u64,
+}
+
+/// Shared resource budget for one evaluation.
+///
+/// Create with [`Governor::new`], share via `Arc`, and consult with
+/// [`Governor::check`] (or the counter-bumping variants). Deep algebra
+/// code reaches the governor through the ambient stack — see
+/// [`Governor::enter`] and [`check_ambient`].
+#[derive(Debug)]
+pub struct Governor {
+    max_iterations: Option<u64>,
+    max_derived: Option<u64>,
+    max_held: Option<u64>,
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+    cancel: Option<CancelToken>,
+    started: Instant,
+    iterations: AtomicU64,
+    derived: AtomicU64,
+    held: AtomicU64,
+    checks: AtomicU64,
+    /// Synthetic fault injection (armed via [`fault::FaultPlan::arm`]):
+    /// check count at which to trip, `u64::MAX` when disarmed.
+    #[cfg(feature = "fault")]
+    fault_after: AtomicU64,
+    /// Discriminant of [`fault::FaultKind`] to inject when tripping.
+    #[cfg(feature = "fault")]
+    fault_kind: AtomicU8,
+}
+
+impl Governor {
+    /// Builds a governor from `config`; the deadline clock starts now.
+    pub fn new(config: GovernorConfig) -> Arc<Self> {
+        let started = Instant::now();
+        let timeout_ms = config
+            .timeout
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        Arc::new(Governor {
+            max_iterations: config.max_iterations,
+            max_derived: config.max_derived_tuples,
+            max_held: config.max_held_tuples,
+            deadline: config.timeout.map(|d| started + d),
+            timeout_ms,
+            cancel: config.cancel,
+            started,
+            iterations: AtomicU64::new(0),
+            derived: AtomicU64::new(0),
+            held: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
+            #[cfg(feature = "fault")]
+            fault_after: AtomicU64::new(u64::MAX),
+            #[cfg(feature = "fault")]
+            fault_kind: AtomicU8::new(0),
+        })
+    }
+
+    /// An unlimited governor (never trips on its own; still honors an
+    /// armed fault plan under the `fault` feature).
+    pub fn unlimited() -> Arc<Self> {
+        Governor::new(GovernorConfig::default())
+    }
+
+    /// Checks every budget except iteration fuel (that one lives in
+    /// [`Governor::start_iteration`], so mid-iteration ambient checks do
+    /// not trip during the final allowed iteration); returns
+    /// `Err(Error::Interrupted(_))` if any has tripped. Cheap enough to
+    /// call at every loop boundary.
+    pub fn check(&self) -> Result<()> {
+        let checks = self.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        #[cfg(feature = "fault")]
+        self.maybe_inject_fault(checks)?;
+        #[cfg(not(feature = "fault"))]
+        let _ = checks;
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(Error::Interrupted(TripReason::Cancelled));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                let elapsed_ms = now.duration_since(self.started).as_millis() as u64;
+                return Err(Error::Interrupted(TripReason::DeadlineExceeded {
+                    elapsed_ms,
+                    limit_ms: self.timeout_ms,
+                }));
+            }
+        }
+        if let Some(limit) = self.max_derived {
+            let derived = self.derived.load(Ordering::Relaxed);
+            if derived > limit {
+                return Err(Error::Interrupted(TripReason::TupleFuelExhausted {
+                    derived,
+                    limit,
+                }));
+            }
+        }
+        if let Some(limit) = self.max_held {
+            let held = self.held.load(Ordering::Relaxed);
+            if held > limit {
+                return Err(Error::Interrupted(TripReason::MemoryCeiling {
+                    held,
+                    limit,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Gates the start of a fixpoint iteration: trips if the iteration
+    /// fuel is already spent, otherwise records the iteration and checks
+    /// the remaining budgets. With fuel `N`, exactly `N` iterations are
+    /// allowed to start.
+    pub fn start_iteration(&self) -> Result<()> {
+        if let Some(limit) = self.max_iterations {
+            let used = self.iterations.load(Ordering::Relaxed);
+            if used >= limit {
+                return Err(Error::Interrupted(TripReason::IterationFuelExhausted {
+                    used,
+                    limit,
+                }));
+            }
+        }
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+        self.check()
+    }
+
+    /// Records `n` newly derived generalized tuples, then checks.
+    pub fn note_derived(&self, n: u64) -> Result<()> {
+        self.derived.fetch_add(n, Ordering::Relaxed);
+        self.check()
+    }
+
+    /// Reports the current number of generalized tuples held across all
+    /// IDB relations (the approximate memory measure), then checks.
+    pub fn report_held(&self, held: u64) -> Result<()> {
+        self.held.store(held, Ordering::Relaxed);
+        self.check()
+    }
+
+    /// A snapshot of the counters for diagnostics.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            iterations: self.iterations.load(Ordering::Relaxed),
+            derived: self.derived.load(Ordering::Relaxed),
+            held: self.held.load(Ordering::Relaxed),
+            checks: self.checks.load(Ordering::Relaxed),
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Installs this governor as the ambient governor for the current
+    /// thread. Deep algebra loops (zone splitting, coalescing) consult it
+    /// via [`check_ambient`] without signature changes. The returned guard
+    /// pops it on drop; scopes nest, innermost wins.
+    pub fn enter(self: &Arc<Self>) -> GovernorScope {
+        AMBIENT.with(|stack| stack.borrow_mut().push(Arc::clone(self)));
+        GovernorScope {
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cfg(feature = "fault")]
+    fn maybe_inject_fault(&self, checks: u64) -> Result<()> {
+        if checks < self.fault_after.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match fault::FaultKind::from_u8(self.fault_kind.load(Ordering::Relaxed)) {
+            fault::FaultKind::Cancel => {
+                // Mirror a real Ctrl-C: set the token (if any) so the trip
+                // is sticky, then report it.
+                if let Some(token) = &self.cancel {
+                    token.cancel();
+                }
+                Err(Error::Interrupted(TripReason::Cancelled))
+            }
+            fault::FaultKind::TupleFuel => {
+                let derived = self.derived.load(Ordering::Relaxed);
+                Err(Error::Interrupted(TripReason::TupleFuelExhausted {
+                    derived,
+                    limit: derived,
+                }))
+            }
+            fault::FaultKind::Overflow => Err(Error::Overflow),
+        }
+    }
+}
+
+/// RAII guard for an ambient governor installation; see [`Governor::enter`].
+///
+/// Deliberately `!Send`: the ambient stack is thread-local, so the guard
+/// must drop on the thread that created it.
+#[must_use = "dropping the scope immediately uninstalls the governor"]
+pub struct GovernorScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for GovernorScope {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Vec<Arc<Governor>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Checks the innermost ambient governor, if one is installed; a no-op
+/// `Ok(())` otherwise. This is what deep algebra loops call at their
+/// boundaries.
+pub fn check_ambient() -> Result<()> {
+    AMBIENT.with(|stack| match stack.borrow().last() {
+        Some(governor) => governor.check(),
+        None => Ok(()),
+    })
+}
+
+/// Synthetic fault injection for robustness tests (feature `fault`).
+///
+/// A [`FaultPlan`] arms a governor to fail deterministically at the N-th
+/// budget check with a chosen failure mode, letting tests exercise budget
+/// exhaustion, deep-algebra overflow, and mid-iteration cancellation at
+/// configurable points without constructing pathological inputs.
+#[cfg(feature = "fault")]
+pub mod fault {
+    use super::{Governor, Ordering};
+
+    /// Which failure to synthesize when the plan triggers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// Behave as if the cancellation token fired mid-iteration.
+        Cancel,
+        /// Behave as if the derived-tuple fuel ran out.
+        TupleFuel,
+        /// Surface `Error::Overflow` from deep inside the algebra.
+        Overflow,
+    }
+
+    impl FaultKind {
+        pub(super) fn from_u8(v: u8) -> FaultKind {
+            match v {
+                0 => FaultKind::Cancel,
+                1 => FaultKind::TupleFuel,
+                _ => FaultKind::Overflow,
+            }
+        }
+
+        fn to_u8(self) -> u8 {
+            match self {
+                FaultKind::Cancel => 0,
+                FaultKind::TupleFuel => 1,
+                FaultKind::Overflow => 2,
+            }
+        }
+    }
+
+    /// A deterministic injection point: trip with `kind` at the
+    /// `after_checks`-th governor check.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FaultPlan {
+        /// Governor check count (1-based) at which to trip; every check
+        /// from this one on fails.
+        pub after_checks: u64,
+        /// The failure to synthesize.
+        pub kind: FaultKind,
+    }
+
+    impl FaultPlan {
+        /// Arms `governor` with this plan (replacing any previous plan).
+        pub fn arm(self, governor: &Governor) {
+            governor
+                .fault_kind
+                .store(self.kind.to_u8(), Ordering::Relaxed);
+            governor
+                .fault_after
+                .store(self.after_checks, Ordering::Relaxed);
+        }
+
+        /// Disarms fault injection on `governor`.
+        pub fn disarm(governor: &Governor) {
+            governor.fault_after.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_governor_never_trips() {
+        let g = Governor::unlimited();
+        for _ in 0..10_000 {
+            g.check().expect("no budget configured");
+        }
+        g.start_iteration().unwrap();
+        g.note_derived(1_000_000).unwrap();
+        g.report_held(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn iteration_fuel_allows_exactly_the_limit() {
+        let g = Governor::new(GovernorConfig::default().with_max_iterations(3));
+        g.start_iteration().unwrap();
+        g.start_iteration().unwrap();
+        g.start_iteration().unwrap();
+        // Mid-iteration checks never consume or test iteration fuel.
+        g.check().unwrap();
+        let err = g.start_iteration().unwrap_err();
+        assert_eq!(
+            err,
+            Error::Interrupted(TripReason::IterationFuelExhausted { used: 3, limit: 3 })
+        );
+    }
+
+    #[test]
+    fn tuple_fuel_trips_beyond_limit() {
+        let g = Governor::new(GovernorConfig::default().with_max_derived_tuples(10));
+        g.note_derived(4).unwrap();
+        g.note_derived(4).unwrap();
+        g.note_derived(2).unwrap();
+        let err = g.note_derived(2).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Interrupted(TripReason::TupleFuelExhausted {
+                derived: 12,
+                limit: 10
+            })
+        );
+    }
+
+    #[test]
+    fn tuple_fuel_allows_exactly_the_limit() {
+        let g = Governor::new(GovernorConfig::default().with_max_derived_tuples(10));
+        g.note_derived(10).unwrap();
+    }
+
+    #[test]
+    fn memory_ceiling_trips_above_limit() {
+        let g = Governor::new(GovernorConfig::default().with_max_held_tuples(5));
+        g.report_held(5).unwrap();
+        let err = g.report_held(6).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Interrupted(TripReason::MemoryCeiling { held: 6, limit: 5 })
+        );
+    }
+
+    #[test]
+    fn zero_timeout_trips_immediately() {
+        let g = Governor::new(GovernorConfig::default().with_timeout(Duration::ZERO));
+        match g.check() {
+            Err(Error::Interrupted(TripReason::DeadlineExceeded { limit_ms: 0, .. })) => {}
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_trips_and_resets() {
+        let token = CancelToken::new();
+        let g = Governor::new(GovernorConfig::default().with_cancel(token.clone()));
+        g.check().unwrap();
+        token.cancel();
+        assert_eq!(
+            g.check().unwrap_err(),
+            Error::Interrupted(TripReason::Cancelled)
+        );
+        token.reset();
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn ambient_scope_installs_and_uninstalls() {
+        check_ambient().expect("no governor installed yet");
+        let g = Governor::new(GovernorConfig::default().with_max_derived_tuples(0));
+        let _ = g.note_derived(1); // spend past the budget: every check trips now
+        {
+            let _scope = g.enter();
+            assert!(matches!(
+                check_ambient(),
+                Err(Error::Interrupted(TripReason::TupleFuelExhausted { .. }))
+            ));
+            // Nesting: an inner unlimited governor shadows the tripped one.
+            let inner = Governor::unlimited();
+            {
+                let _inner_scope = inner.enter();
+                check_ambient().expect("innermost governor is unlimited");
+            }
+            assert!(check_ambient().is_err());
+        }
+        check_ambient().expect("scope popped on drop");
+    }
+
+    #[test]
+    fn stats_reflect_counters() {
+        let g = Governor::unlimited();
+        g.start_iteration().unwrap();
+        g.note_derived(7).unwrap();
+        g.report_held(3).unwrap();
+        let stats = g.stats();
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.derived, 7);
+        assert_eq!(stats.held, 3);
+        assert_eq!(stats.checks, 3);
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn fault_plan_trips_at_configured_check() {
+        use super::fault::{FaultKind, FaultPlan};
+        let g = Governor::unlimited();
+        FaultPlan {
+            after_checks: 3,
+            kind: FaultKind::Overflow,
+        }
+        .arm(&g);
+        g.check().unwrap();
+        g.check().unwrap();
+        assert_eq!(g.check().unwrap_err(), Error::Overflow);
+        FaultPlan::disarm(&g);
+        g.check().unwrap();
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn fault_cancel_sets_real_token() {
+        use super::fault::{FaultKind, FaultPlan};
+        let token = CancelToken::new();
+        let g = Governor::new(GovernorConfig::default().with_cancel(token.clone()));
+        FaultPlan {
+            after_checks: 1,
+            kind: FaultKind::Cancel,
+        }
+        .arm(&g);
+        assert_eq!(
+            g.check().unwrap_err(),
+            Error::Interrupted(TripReason::Cancelled)
+        );
+        // The synthetic cancel is sticky, exactly like a real Ctrl-C.
+        assert!(token.is_cancelled());
+    }
+}

@@ -27,6 +27,7 @@ mod constraint;
 mod dbm;
 pub mod enumerate;
 mod error;
+pub mod governor;
 mod lrp;
 pub mod parser;
 mod relation;
@@ -38,6 +39,9 @@ pub use bound::Bound;
 pub use constraint::{Constraint, Var};
 pub use dbm::Dbm;
 pub use error::{Error, Result};
+pub use governor::{
+    check_ambient, CancelToken, Governor, GovernorConfig, GovernorScope, GovernorStats, TripReason,
+};
 pub use lrp::{extended_gcd, gcd, lcm, Lrp, LrpWindowIter};
 pub use relation::{GeneralizedRelation, Schema};
 pub use tuple::GeneralizedTuple;

@@ -141,6 +141,7 @@ impl GeneralizedRelation {
         // redundant tuples disappear before older, more general ones.
         let mut keep: Vec<bool> = vec![true; canon.len()];
         for i in (0..canon.len()).rev() {
+            crate::governor::check_ambient()?;
             let others: Vec<&GeneralizedTuple> = canon
                 .iter()
                 .enumerate()
@@ -227,6 +228,7 @@ impl GeneralizedRelation {
         loop {
             let mut improved = false;
             'scan: for i in 0..self.tuples.len() {
+                crate::governor::check_ambient()?;
                 let t = &self.tuples[i];
                 if t.temporal_arity() == 0 {
                     continue;
@@ -284,20 +286,24 @@ impl GeneralizedRelation {
                     if covered {
                         // Keep only tuples the candidate does not absorb
                         // (absorbing at least the seed tuple `t`), then the
-                        // candidate itself.
-                        let mut keep = Vec::with_capacity(self.tuples.len());
-                        for old in self.tuples.drain(..) {
-                            let absorbed = match old.subsumed_by(&[&candidate], budget) {
+                        // candidate itself. All fallible subsumption checks
+                        // run before any mutation, so an error (e.g. a
+                        // governor trip) leaves the relation intact.
+                        let mut absorbed = vec![false; self.tuples.len()];
+                        for (old, flag) in self.tuples.iter().zip(absorbed.iter_mut()) {
+                            *flag = match old.subsumed_by(&[&candidate], budget) {
                                 Ok(a) => a,
                                 Err(Error::ResidueBudget { .. }) => false,
                                 Err(e) => return Err(e),
                             };
-                            if !absorbed {
-                                keep.push(old);
-                            }
                         }
-                        keep.push(candidate);
-                        self.tuples = keep;
+                        let mut idx = 0;
+                        self.tuples.retain(|_| {
+                            let keep = !absorbed[idx];
+                            idx += 1;
+                            keep
+                        });
+                        self.tuples.push(candidate);
                         improved = true;
                         // The tuple list changed shape; rescan from the top.
                         break 'scan;

@@ -300,6 +300,7 @@ impl Zone {
         let radices: Vec<i64> = self.lrps.iter().map(|l| p / l.period()).collect();
         let mut counter = vec![0i64; n];
         loop {
+            crate::governor::check_ambient()?;
             let lrps: Vec<Lrp> = (0..n)
                 .map(|k| {
                     let base = &self.lrps[k];
@@ -471,6 +472,7 @@ impl Zone {
         };
         let mut out = Vec::with_capacity(pieces.len());
         for piece in pieces {
+            crate::governor::check_ambient()?;
             // Pieces are canonical (tightened + closed), so dropping rows
             // and columns is the exact projection; then reorder to `keep`.
             let dropped = piece.dbm.drop_vars(&remove);
@@ -513,6 +515,7 @@ impl Zone {
             other_pieces.extend(o.split_to_period(p, budget)?);
         }
         for piece in &self_pieces {
+            crate::governor::check_ambient()?;
             let offsets: Vec<i64> = piece.lrps.iter().map(|l| l.offset()).collect();
             // Only other-pieces with identical residue vectors can overlap.
             let candidates: Vec<Dbm> = other_pieces
@@ -562,6 +565,7 @@ impl Zone {
         }
         let mut out = Vec::new();
         for piece in &self_pieces {
+            crate::governor::check_ambient()?;
             let offsets: Vec<i64> = piece.lrps.iter().map(|l| l.offset()).collect();
             let candidates: Vec<Dbm> = other_pieces
                 .iter()
@@ -620,6 +624,7 @@ impl Zone {
             }
             let mut counter = vec![0i64; n];
             loop {
+                crate::governor::check_ambient()?;
                 let lrps: Vec<Lrp> = (0..n)
                     .map(|k| Lrp::new(p, z.lrps[k].offset() + counter[k] * zp).expect("p > 0"))
                     .collect();

@@ -16,8 +16,9 @@ use crate::ast::{validate, BodyLit, TlProgram};
 use crate::translate::translate_clause;
 use itdb_datalog1s as dl;
 use itdb_datalog1s::{DataTerm, DetectOptions, EpSet, ExternalEdb};
-use itdb_lrp::{DataValue, Result};
+use itdb_lrp::{check_ambient, DataValue, Governor, Result};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The computed minimal model of a Templog program: one time set per
 /// `(predicate, data)` pair.
@@ -44,7 +45,25 @@ impl TlModel {
     }
 }
 
-/// Evaluates a Templog program against extensional inputs.
+/// Like [`evaluate`], but under an explicit resource [`Governor`]: the
+/// governor is installed as the thread's ambient governor for the whole
+/// run, so both the ◇-closure DFS here and the underlying Datalog1S
+/// time-step simulation consult it. A trip surfaces as
+/// `Err(Error::Interrupted(_))` — the ◇-translation has no sound partial
+/// model to hand back.
+pub fn evaluate_governed(
+    p: &TlProgram,
+    edb: &ExternalEdb,
+    opts: &DetectOptions,
+    governor: &Arc<Governor>,
+) -> Result<TlModel> {
+    let _scope = governor.enter();
+    evaluate(p, edb, opts)
+}
+
+/// Evaluates a Templog program against extensional inputs. Consults the
+/// thread's ambient governor (if any) at every ◇-closure step and, through
+/// the Datalog1S engine, at every time step.
 pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Result<TlModel> {
     let info = validate(p)?;
     // Accumulated closed-form extensions: external inputs plus lower strata.
@@ -145,6 +164,7 @@ fn diamond_extension(
             return Ok(());
         }
         let a = &conj[k];
+        check_ambient()?;
         'cands: for ((pred, data), set) in acc {
             if pred != &a.atom.pred || data.len() != a.atom.data.len() {
                 continue;

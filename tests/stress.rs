@@ -55,7 +55,8 @@ fn residue_budget_error_path() {
     // Projecting out a coprime-period partner forces a residue split.
     let program = parse_program("first[t1] <- pair[t1, t2], t1 < t2.").unwrap();
     let mut db = Database::new();
-    db.insert_parsed("pair", "(97n, 101n) : T1 < T2 + 50").unwrap();
+    db.insert_parsed("pair", "(97n, 101n) : T1 < T2 + 50")
+        .unwrap();
     let r = evaluate_with(
         &program,
         &db,
@@ -74,7 +75,8 @@ fn residue_budget_error_path() {
     let mut db = Database::new();
     db.insert_parsed("a", "(97n)").unwrap();
     db.insert_parsed("b", "(101n)").unwrap();
-    db.insert_parsed("c", "(103n) : T1 >= 0, T1 <= 5000000").unwrap();
+    db.insert_parsed("c", "(103n) : T1 >= 0, T1 <= 5000000")
+        .unwrap();
     let ok = evaluate_with(
         &program,
         &db,

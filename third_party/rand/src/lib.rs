@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real `rand` cannot be downloaded. Everything in the workspace that
+//! needs randomness is either a deterministic seeded workload generator
+//! (`itdb-bench`) or a property test; both only require a reproducible
+//! uniform generator, which a splitmix64 core provides. The subset
+//! implemented here: [`Rng::gen_range`] over integer ranges, [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+
+/// Core 64-bit state advance (splitmix64): full-period, passes basic
+/// statistical tests, and is trivially reproducible from a `u64` seed.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random-number generator: the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value from `range` (either `a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: FromI128,
+        R: SampleRange<T>,
+    {
+        range.sampler().resolve(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// A resolved uniform sampler over `[lo, lo + span)` produced by a range.
+pub struct Uniform<T> {
+    lo: i128,
+    span: u128,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: FromI128> Uniform<T> {
+    fn resolve(&self, raw: u64) -> T {
+        if self.span == 0 {
+            return T::from_i128(self.lo);
+        }
+        let off = (raw as u128) % self.span;
+        T::from_i128(self.lo + off as i128)
+    }
+}
+
+/// Integer conversion helper for the sampler.
+pub trait FromI128: Copy {
+    /// Converts back from the wide intermediate representation.
+    fn from_i128(v: i128) -> Self;
+    /// Converts into the wide intermediate representation.
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! impl_from_i128 {
+    ($($t:ty),*) => {$(
+        impl FromI128 for $t {
+            #[inline]
+            fn from_i128(v: i128) -> Self { v as $t }
+            #[inline]
+            fn to_i128(self) -> i128 { self as i128 }
+        }
+    )*};
+}
+impl_from_i128!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Ranges that can be sampled uniformly (mirror of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Builds the sampler; panics on an empty range, as `rand` does.
+    fn sampler(self) -> Uniform<T>;
+}
+
+impl<T: FromI128 + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sampler(self) -> Uniform<T> {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        Uniform {
+            lo,
+            span: (hi - lo) as u128,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: FromI128 + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sampler(self) -> Uniform<T> {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        Uniform {
+            lo,
+            span: (hi - lo) as u128 + 1,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Seedable construction (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Pre-mix so that small consecutive seeds give unrelated streams.
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-3..=6);
+            assert!((-3..=6).contains(&x));
+            let y: usize = rng.gen_range(0..4);
+            assert!(y < 4);
+        }
+    }
+
+    #[test]
+    fn all_residues_hit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
