@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod indexing;
 pub mod workloads;
 
 pub use experiments::*;
+pub use indexing::{run_indexing, IndexingReport};
 pub use workloads::*;

@@ -69,6 +69,31 @@ pub fn example_4_1(period: i64, step: i64) -> (Program, Database) {
     (program, db)
 }
 
+/// A join-heavy fixpoint workload over `n_data` distinct data values: two
+/// periodic per-value recursions (`step`, `mirror`) and a rule joining them
+/// on their shared (bound) data column. This exercises exactly the paths
+/// the data-vector index narrows — same-data subsumption candidates on
+/// every insert, and ground-data-key clause matching in the join — while
+/// the per-candidate zone work stays small, so the full-scan overhead is
+/// what dominates the unindexed run.
+pub fn indexing_workload(n_data: usize, period: i64, step: i64) -> (Program, Database) {
+    let program = parse_program(&format!(
+        "step[t + 2](C) <- ev[t](C).
+         step[t + {step}](C) <- step[t](C).
+         mirror[t + 2](C) <- ev[t](C).
+         mirror[t + {step}](C) <- mirror[t](C).
+         meet[t](C) <- step[t](C), mirror[t](C)."
+    ))
+    .expect("static workload program");
+    let mut db = Database::new();
+    let mut text = String::new();
+    for k in 0..n_data {
+        text.push_str(&format!("({period}n+{}; v{k})\n", (k as i64) % period));
+    }
+    db.insert_parsed("ev", &text).expect("generated EDB parses");
+    (program, db)
+}
+
 /// A diverging deductive program: the gap between the two temporal
 /// arguments grows by `step` per iteration — free-extension safe, never
 /// constraint safe (the paper's `(i, i²)`-style phenomenon in its simplest

@@ -23,9 +23,10 @@ use shell::{Limits, Shell, Step};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
-usage: itdb-shell [--fuel N] [--timeout-ms N] [SCRIPT]
+usage: itdb-shell [--fuel N] [--timeout-ms N] [--stats] [SCRIPT]
   --fuel N        cap derived generalized tuples per evaluation
   --timeout-ms N  wall-clock deadline per evaluation, in milliseconds
+  --stats         print evaluation statistics after every `eval`
   SCRIPT          run a command file instead of the interactive shell";
 
 /// Cancellation token shared between the SIGINT handler and the shell.
@@ -65,12 +66,14 @@ fn install_sigint_handler() {}
 struct Cli {
     limits: Limits,
     script: Option<String>,
+    stats: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         limits: Limits::default(),
         script: None,
+        stats: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -88,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     cli.limits.timeout_ms = Some(n);
                 }
             }
+            "--stats" => cli.stats = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
@@ -120,6 +124,7 @@ fn main() -> std::io::Result<()> {
     let mut shell = Shell::new();
     shell.set_limits(cli.limits);
     shell.set_cancel(cancel_token().clone());
+    shell.set_auto_stats(cli.stats);
     let stdout = std::io::stdout();
 
     if let Some(path) = cli.script {
@@ -171,9 +176,18 @@ mod tests {
 
     #[test]
     fn parses_limits_and_script() {
-        let cli = parse_args(&strs(&["--fuel", "500", "--timeout-ms", "250", "run.itdb"])).unwrap();
+        let cli = parse_args(&strs(&[
+            "--fuel",
+            "500",
+            "--timeout-ms",
+            "250",
+            "--stats",
+            "run.itdb",
+        ]))
+        .unwrap();
         assert_eq!(cli.limits.fuel, Some(500));
         assert_eq!(cli.limits.timeout_ms, Some(250));
+        assert!(cli.stats);
         assert_eq!(cli.script.as_deref(), Some("run.itdb"));
     }
 
@@ -190,6 +204,7 @@ mod tests {
         let cli = parse_args(&[]).unwrap();
         assert_eq!(cli.limits.fuel, None);
         assert_eq!(cli.limits.timeout_ms, None);
+        assert!(!cli.stats);
         assert!(cli.script.is_none());
     }
 }

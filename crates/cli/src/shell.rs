@@ -39,6 +39,8 @@ pub struct Shell {
     tl_program: tl::TlProgram,
     limits: Limits,
     cancel: CancelToken,
+    /// Append evaluation statistics to every `eval` output (`--stats`).
+    auto_stats: bool,
 }
 
 /// Which limit a `fuel`/`timeout` command adjusts.
@@ -72,6 +74,7 @@ commands:
   rule CLAUSE.               add a deductive clause (itdb-core syntax)
   program                    print the deductive program
   eval                       run the closed-form bottom-up evaluation
+  stats                      statistics for the last eval (tuple flow, caches, index, timings)
   query ATOM                 goal query against the last model (and the EDB)
   fo FORMULA                 first-order query over EDB + derived relations
   ask FORMULA                yes/no first-order query
@@ -102,6 +105,12 @@ impl Shell {
         self.cancel = cancel;
     }
 
+    /// Appends evaluation statistics to every `eval` output (used by the
+    /// `--stats` flag; the `stats` command works regardless).
+    pub fn set_auto_stats(&mut self, on: bool) {
+        self.auto_stats = on;
+    }
+
     /// Executes one command line.
     pub fn execute(&mut self, line: &str) -> Step {
         let line = line.trim();
@@ -121,9 +130,11 @@ impl Shell {
                 // Ctrl-C handler installed by `main` stays wired up.
                 let limits = self.limits.clone();
                 let cancel = self.cancel.clone();
+                let auto_stats = self.auto_stats;
                 *self = Shell::new();
                 self.limits = limits;
                 self.cancel = cancel;
+                self.auto_stats = auto_stats;
                 Ok("state cleared".to_string())
             }
             "fuel" => self.cmd_limit(rest, LimitKind::Fuel),
@@ -134,6 +145,7 @@ impl Shell {
             "rule" => self.cmd_rule(rest),
             "program" => Ok(format!("{}", self.program)),
             "eval" => self.cmd_eval(),
+            "stats" => self.cmd_stats(),
             "query" => self.cmd_query(rest),
             "fo" => self.cmd_fo(rest, false),
             "ask" => self.cmd_fo(rest, true),
@@ -276,8 +288,19 @@ impl Shell {
         for (name, rel) in &eval.idb {
             let _ = writeln!(out, "{name} = {rel}");
         }
+        if self.auto_stats {
+            let _ = writeln!(out, "{}", eval.stats);
+        }
         self.model = Some(eval);
         Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_stats(&self) -> Result<String> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or_else(|| Error::Eval("no model yet (run `eval` first)".into()))?;
+        Ok(format!("{}", model.stats))
     }
 
     fn cmd_query(&mut self, rest: &str) -> Result<String> {
@@ -572,6 +595,47 @@ mod tests {
         assert!(out.starts_with("error:"), "{out}");
         let out = run(&mut sh, "timeout");
         assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn stats_command_reports_last_eval() {
+        let mut sh = Shell::new();
+        let out = run(&mut sh, "stats");
+        assert!(out.starts_with("error:"), "{out}");
+        run(
+            &mut sh,
+            "tuple course (168n+8, 168n+10; database) : T2 = T1 + 2",
+        );
+        run(
+            &mut sh,
+            "rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).",
+        );
+        run(
+            &mut sh,
+            "rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).",
+        );
+        run(&mut sh, "eval");
+        let out = run(&mut sh, "stats");
+        assert!(out.contains("tuples derived"), "{out}");
+        assert!(out.contains("subsumption checks"), "{out}");
+        assert!(out.contains("stratum 0 (problems)"), "{out}");
+        assert!(out.contains("elapsed:"), "{out}");
+    }
+
+    #[test]
+    fn auto_stats_appends_to_eval_output_and_survives_reset() {
+        let mut sh = Shell::new();
+        sh.set_auto_stats(true);
+        run(&mut sh, "tuple e (6n) : T1 >= 0");
+        run(&mut sh, "rule late[t + 1] <- e[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("Converged"), "{out}");
+        assert!(out.contains("tuples derived"), "{out}");
+        run(&mut sh, "reset");
+        run(&mut sh, "tuple e (6n) : T1 >= 0");
+        run(&mut sh, "rule late[t + 1] <- e[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("tuples derived"), "{out}");
     }
 
     #[test]

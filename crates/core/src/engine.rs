@@ -47,8 +47,9 @@ use itdb_lrp::{
     Governor, GovernorConfig, Lrp, Result, TripReason, Var, Zone, DEFAULT_RESIDUE_BUDGET,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Options controlling the fixpoint computation.
 #[derive(Debug, Clone)]
@@ -80,6 +81,10 @@ pub struct EvalOptions {
     /// Cooperative cancellation token, checked at every loop boundary
     /// (e.g. wired to Ctrl-C by the CLI).
     pub cancel: Option<CancelToken>,
+    /// Consult the per-relation data-vector index for subsumption inserts
+    /// and clause matching. `false` falls back to full linear scans — the
+    /// seed behavior, kept as an oracle for equivalence testing.
+    pub use_index: bool,
 }
 
 impl Default for EvalOptions {
@@ -95,6 +100,7 @@ impl Default for EvalOptions {
             timeout: None,
             max_held_tuples: None,
             cancel: None,
+            use_index: true,
         }
     }
 }
@@ -198,6 +204,99 @@ pub struct IterationTrace {
     pub subsumed: Vec<(String, GeneralizedTuple)>,
 }
 
+/// Aggregate statistics for one evaluation: tuple flow, the cost counters
+/// of the `itdb-lrp` indexing/caching layer scoped to this run, and wall
+/// clock per stratum. Rendered by the shell's `stats` command and the CLI's
+/// `--stats` flag via [`fmt::Display`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Candidate head tuples produced by clause applications (before
+    /// canonicalization and subsumption).
+    pub tuples_derived: u64,
+    /// Tuples that survived subsumption and entered the model.
+    pub tuples_inserted: u64,
+    /// Tuples derived but already covered by the interpretation — the
+    /// paper's convergence witnesses.
+    pub tuples_subsumed: u64,
+    /// `itdb-lrp` layer counters (canonicalization, memo hit rates, index
+    /// narrowing) scoped to this evaluation by snapshot subtraction.
+    pub counters: itdb_lrp::stats::Counters,
+    /// Per-stratum breakdown, in evaluation order. Timings for a stratum
+    /// interrupted mid-iteration cover its last *completed* iteration.
+    pub strata: Vec<StratumStats>,
+    /// Total wall clock, including final coalescing.
+    pub elapsed: Duration,
+}
+
+/// Statistics for one stratum of the stratified fixpoint.
+#[derive(Debug, Clone, Default)]
+pub struct StratumStats {
+    /// The predicates defined in this stratum.
+    pub preds: Vec<String>,
+    /// Iterations of `T_GP` the stratum ran.
+    pub iterations: usize,
+    /// Tuples inserted by this stratum.
+    pub inserted: u64,
+    /// Wall clock spent in this stratum.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = |r: Option<f64>| match r {
+            Some(x) => format!("{:.1}%", x * 100.0),
+            None => "n/a".to_string(),
+        };
+        writeln!(
+            f,
+            "tuples derived: {} ({} inserted, {} subsumed)",
+            self.tuples_derived, self.tuples_inserted, self.tuples_subsumed
+        )?;
+        writeln!(
+            f,
+            "subsumption checks: {}",
+            self.counters.subsumption_checks
+        )?;
+        writeln!(
+            f,
+            "index narrowing: {} ({} of {} tuples consulted)",
+            pct(self.counters.narrowing_ratio()),
+            self.counters.index_candidates,
+            self.counters.index_scanned_naive
+        )?;
+        writeln!(
+            f,
+            "canonical-form cache: {} hit ({} hits, {} misses)",
+            pct(self.counters.canonical_hit_rate()),
+            self.counters.canonical_cache_hits,
+            self.counters.canonical_cache_misses
+        )?;
+        writeln!(
+            f,
+            "emptiness cache: {} hit ({} hits, {} misses)",
+            pct(self.counters.empty_hit_rate()),
+            self.counters.empty_cache_hits,
+            self.counters.empty_cache_misses
+        )?;
+        writeln!(
+            f,
+            "canonicalize calls: {}",
+            self.counters.canonicalize_calls
+        )?;
+        for (i, s) in self.strata.iter().enumerate() {
+            writeln!(
+                f,
+                "stratum {i} ({}): {} iteration(s), {} inserted, {:?}",
+                s.preds.join(", "),
+                s.iterations,
+                s.inserted,
+                s.elapsed
+            )?;
+        }
+        write!(f, "elapsed: {:?}", self.elapsed)
+    }
+}
+
 /// The result of evaluating a program.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -213,6 +312,8 @@ pub struct Evaluation {
     pub trace: Vec<IterationTrace>,
     /// Static analysis of the program.
     pub info: ProgramInfo,
+    /// Tuple flow, cache and index counters, and per-stratum timings.
+    pub stats: EvalStats,
 }
 
 impl Evaluation {
@@ -275,6 +376,9 @@ pub fn evaluate_governed(
     governor: &Arc<Governor>,
 ) -> Result<Evaluation> {
     let _scope = governor.enter();
+    let eval_start = Instant::now();
+    let counters_before = itdb_lrp::stats::snapshot();
+    let mut stats = EvalStats::default();
     let info = analyze(program)?;
     // Validate the EDB up front (missing extensional relations are treated
     // as empty, mismatched schemas are errors).
@@ -316,6 +420,11 @@ pub fn evaluate_governed(
     // inputs. Negated atoms always refer to stable inputs (stratified), so
     // their subtraction semantics is exact.
     'strata: for stratum in &info.strata {
+        let stratum_start = Instant::now();
+        stats.strata.push(StratumStats {
+            preds: stratum.iter().cloned().collect(),
+            ..StratumStats::default()
+        });
         let stratum_preds: Vec<&str> = stratum.iter().map(|s| s.as_str()).collect();
         let stratum_clauses: Vec<&NormClause> = clauses
             .iter()
@@ -374,6 +483,7 @@ pub fn evaluate_governed(
                             &rel_for,
                             &neg_rels,
                             opts.residue_budget,
+                            opts.use_index,
                             &mut |t| derived.push((clause.head_pred.clone(), t)),
                         ) {
                             trip = Some(as_trip(e)?);
@@ -389,11 +499,14 @@ pub fn evaluate_governed(
                             edb.get(pred).unwrap_or(&empty_relations[pred])
                         }
                     };
-                    if let Err(e) =
-                        eval_clause(clause, &rel_for, &neg_rels, opts.residue_budget, &mut |t| {
-                            derived.push((clause.head_pred.clone(), t))
-                        })
-                    {
+                    if let Err(e) = eval_clause(
+                        clause,
+                        &rel_for,
+                        &neg_rels,
+                        opts.residue_budget,
+                        opts.use_index,
+                        &mut |t| derived.push((clause.head_pred.clone(), t)),
+                    ) {
                         trip = Some(as_trip(e)?);
                         break 'derive;
                     }
@@ -417,6 +530,7 @@ pub fn evaluate_governed(
             let mut subsumed = Vec::new();
             let mut new_fe_key = false;
             let mut next_delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+            stats.tuples_derived += derived.len() as u64;
             for (pred, tuple) in derived {
                 let Some(tuple) = tuple.canonical() else {
                     continue;
@@ -426,7 +540,12 @@ pub fn evaluate_governed(
                         "internal: derived tuple for non-intensional predicate {pred}"
                     ))
                 })?;
-                match rel.insert_if_new(tuple.clone(), opts.residue_budget) {
+                let ins = if opts.use_index {
+                    rel.insert_if_new(tuple.clone(), opts.residue_budget)
+                } else {
+                    rel.insert_if_new_naive(tuple.clone(), opts.residue_budget)
+                };
+                match ins {
                     Ok(true) => {
                         let keys = fe_keys.entry(pred_key(&info, &pred)?).or_default();
                         if keys.insert(tuple.free_extension_key()) {
@@ -454,6 +573,13 @@ pub fn evaluate_governed(
                 if let Err(e) = governor.report_held(held) {
                     trip = Some(as_trip(e)?);
                 }
+            }
+            stats.tuples_inserted += inserted.len() as u64;
+            stats.tuples_subsumed += subsumed.len() as u64;
+            if let Some(s) = stats.strata.last_mut() {
+                s.iterations = stratum_iter;
+                s.inserted += inserted.len() as u64;
+                s.elapsed = stratum_start.elapsed();
             }
 
             if new_fe_key {
@@ -525,12 +651,16 @@ pub fn evaluate_governed(
         }
     }
 
+    stats.counters = itdb_lrp::stats::snapshot() - counters_before;
+    stats.elapsed = eval_start.elapsed();
+
     Ok(Evaluation {
         idb,
         outcome,
         fe_safe_at,
         trace,
         info,
+        stats,
     })
 }
 
@@ -550,6 +680,7 @@ fn eval_clause<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
     rel_for: &F,
     neg_rels: &[&GeneralizedRelation],
     budget: u64,
+    use_index: bool,
     emit: &mut dyn FnMut(GeneralizedTuple),
 ) -> Result<()> {
     let n = clause.n_tvars;
@@ -558,7 +689,9 @@ fn eval_clause<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
         dbm: Dbm::unconstrained(n),
         binding: HashMap::new(),
     };
-    dfs(clause, rel_for, neg_rels, 0, &mut state, budget, emit)
+    dfs(
+        clause, rel_for, neg_rels, 0, &mut state, budget, use_index, emit,
+    )
 }
 
 struct MatchState {
@@ -567,6 +700,25 @@ struct MatchState {
     binding: HashMap<String, DataValue>,
 }
 
+/// The fully ground data key of `data` under the current bindings: `Some`
+/// exactly when every term is a constant or an already-bound variable, in
+/// which case a matching tuple must carry exactly this data vector and the
+/// relation's index can narrow the scan to same-data candidates.
+fn ground_data_key(
+    data: &[DataTerm],
+    binding: &HashMap<String, DataValue>,
+) -> Option<Vec<DataValue>> {
+    let mut key = Vec::with_capacity(data.len());
+    for term in data {
+        match term {
+            DataTerm::Const(c) => key.push(c.clone()),
+            DataTerm::Var(v) => key.push(binding.get(v)?.clone()),
+        }
+    }
+    Some(key)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
     clause: &NormClause,
     rel_for: &F,
@@ -574,14 +726,23 @@ fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
     k: usize,
     state: &mut MatchState,
     budget: u64,
+    use_index: bool,
     emit: &mut dyn FnMut(GeneralizedTuple),
 ) -> Result<()> {
     if k == clause.body.len() {
-        return finish(clause, state, neg_rels, budget, emit);
+        return finish(clause, state, neg_rels, budget, use_index, emit);
     }
     let atom = &clause.body[k];
     let rel = rel_for(k);
-    'tuples: for tuple in rel.tuples() {
+    // When the atom's data terms are fully ground under the bindings so
+    // far, only same-data tuples can match: consult the index bucket
+    // instead of scanning the whole relation. (The data unification below
+    // then passes trivially, but stays as the single source of truth.)
+    let candidates: Vec<&GeneralizedTuple> = match ground_data_key(&atom.data, &state.binding) {
+        Some(key) if use_index && !atom.data.is_empty() => rel.candidates(&key),
+        _ => rel.tuples().iter().collect(),
+    };
+    'tuples: for tuple in candidates {
         // Save state for backtracking.
         let saved_lrps = state.lrps.clone();
         let saved_dbm = state.dbm.clone();
@@ -622,7 +783,16 @@ fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
             continue 'tuples;
         }
 
-        dfs(clause, rel_for, neg_rels, k + 1, state, budget, emit)?;
+        dfs(
+            clause,
+            rel_for,
+            neg_rels,
+            k + 1,
+            state,
+            budget,
+            use_index,
+            emit,
+        )?;
         undo(state, saved_lrps, saved_dbm, &bound_here);
     }
     Ok(())
@@ -695,6 +865,7 @@ fn finish(
     state: &mut MatchState,
     neg_rels: &[&GeneralizedRelation],
     budget: u64,
+    use_index: bool,
     emit: &mut dyn FnMut(GeneralizedTuple),
 ) -> Result<()> {
     let mut dbm = state.dbm.clone();
@@ -710,7 +881,15 @@ fn finish(
     let mut zones = vec![zone];
     for (atom, rel) in clause.neg_body.iter().zip(neg_rels.iter()) {
         let mut forbidden: Vec<Zone> = Vec::new();
-        'tuples: for tuple in rel.tuples() {
+        // Same narrowing as in `dfs`: under stratified negation every data
+        // variable is bound (analysis guarantees it), so a ground key almost
+        // always exists. When it does not, the full scan below raises the
+        // same unbound-variable error the seed did.
+        let candidates: Vec<&GeneralizedTuple> = match ground_data_key(&atom.data, &state.binding) {
+            Some(key) if use_index && !atom.data.is_empty() => rel.candidates(&key),
+            _ => rel.tuples().iter().collect(),
+        };
+        'tuples: for tuple in candidates {
             // Data filter: constants and bound variables must agree for the
             // tuple to constrain anything.
             for (pos, term) in atom.data.iter().enumerate() {
@@ -1276,6 +1455,85 @@ mod tests {
             .relation("q")
             .unwrap()
             .is_empty_semantic(DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+    }
+
+    #[test]
+    fn stats_are_populated_and_index_matches_naive() {
+        let p = example_4_1();
+        let db = course_db();
+        let indexed = evaluate(&p, &db).unwrap();
+        let s = &indexed.stats;
+        assert_eq!(s.tuples_inserted, 7, "{s:?}");
+        assert!(s.tuples_derived >= s.tuples_inserted + s.tuples_subsumed);
+        assert!(s.tuples_subsumed > 0, "{s:?}");
+        assert!(s.counters.subsumption_checks > 0, "{s:?}");
+        assert_eq!(s.strata.len(), 1);
+        assert_eq!(s.strata[0].iterations, 8);
+        assert!(s.strata[0].preds.contains(&"problems".to_string()));
+        assert_eq!(s.strata[0].inserted, 7);
+
+        let naive = evaluate_with(
+            &p,
+            &db,
+            &EvalOptions {
+                use_index: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(naive.outcome.converged());
+        assert!(indexed
+            .relation("problems")
+            .unwrap()
+            .equivalent(naive.relation("problems").unwrap(), DEFAULT_RESIDUE_BUDGET)
+            .unwrap());
+
+        let txt = indexed.stats.to_string();
+        assert!(txt.contains("tuples derived: "), "{txt}");
+        assert!(txt.contains("subsumption checks: "), "{txt}");
+        assert!(
+            txt.contains("stratum 0 (problems): 8 iteration(s)"),
+            "{txt}"
+        );
+        assert!(txt.ends_with(&format!("elapsed: {:?}", s.elapsed)), "{txt}");
+    }
+
+    #[test]
+    fn index_narrows_data_constant_matching() {
+        // The body atom's data term is ground, so the matcher consults the
+        // index bucket for `alpha` instead of scanning both EDB tuples.
+        let p = parse_program("dbp[t] <- event[t](alpha).").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("event", "(168n+8; alpha)\n(168n+30; beta)")
+            .unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        assert!(eval.relation("dbp").unwrap().contains(&[8], &[]));
+        let c = &eval.stats.counters;
+        assert!(c.index_scanned_naive > 0, "{c:?}");
+        assert!(c.index_candidates < c.index_scanned_naive, "{c:?}");
+    }
+
+    #[test]
+    fn negation_with_data_binding_agrees_with_naive_scan() {
+        let p = parse_program("unserved[t](C) <- request[t](C), !served[t](C).").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("request", "(6n; a)\n(6n; b)").unwrap();
+        db.insert_parsed("served", "(6n; a)").unwrap();
+        let indexed = evaluate(&p, &db).unwrap();
+        let naive = evaluate_with(
+            &p,
+            &db,
+            &EvalOptions {
+                use_index: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(indexed
+            .relation("unserved")
+            .unwrap()
+            .equivalent(naive.relation("unserved").unwrap(), DEFAULT_RESIDUE_BUDGET)
             .unwrap());
     }
 

@@ -43,8 +43,8 @@ pub use analyze::{analyze, ProgramInfo};
 pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
 pub use db::Database;
 pub use engine::{
-    evaluate, evaluate_governed, evaluate_with, Completeness, EvalOptions, EvalOutcome, Evaluation,
-    Interruption, IterationTrace,
+    evaluate, evaluate_governed, evaluate_with, Completeness, EvalOptions, EvalOutcome, EvalStats,
+    Evaluation, Interruption, IterationTrace, StratumStats,
 };
 pub use itdb_lrp::{CancelToken, Governor, GovernorConfig, GovernorStats, TripReason};
 pub use parser::{parse_atom, parse_clause, parse_program};

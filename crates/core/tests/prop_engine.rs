@@ -106,3 +106,50 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed evaluation path (data-vector index consulted for
+    /// subsumption inserts and clause matching) computes a model
+    /// equivalent to the seed's full-scan path. The appended rules carry
+    /// data columns so ground-key narrowing actually fires: a bound
+    /// variable (`C`), a constant (`a`), and index-backed negation.
+    #[test]
+    fn indexed_equals_full_scan(rp in program_strategy()) {
+        let mut src = rp.source.clone();
+        src.push_str(
+            "q0[t](C) <- d[t](C), p0[t].\n\
+             q1[t] <- d[t + 1](a), p1[t].\n\
+             q2[t](C) <- d[t](C), !dropped[t](C).\n",
+        );
+        let program = parse_program(&src).unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", &format!("({}n+{})", rp.edb_period, rp.edb_offset)).unwrap();
+        db.insert_parsed("d", "(6n; a)\n(4n+1; b)").unwrap();
+        db.insert_parsed("dropped", "(12n+1; b)").unwrap();
+        let base = EvalOptions { grace_after_fe_safety: 32, ..Default::default() };
+        let indexed = evaluate_with(&program, &db, &base).unwrap();
+        let scan = evaluate_with(
+            &program,
+            &db,
+            &EvalOptions { use_index: false, ..base.clone() },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            indexed.outcome.converged(),
+            scan.outcome.converged(),
+            "{}: outcomes diverged", rp.source
+        );
+        for pred in indexed.idb.keys() {
+            prop_assert!(
+                indexed
+                    .relation(pred)
+                    .unwrap()
+                    .equivalent(scan.relation(pred).unwrap(), itdb_lrp::DEFAULT_RESIDUE_BUDGET)
+                    .unwrap(),
+                "{}: {} differs between indexed and full-scan", rp.source, pred
+            );
+        }
+    }
+}

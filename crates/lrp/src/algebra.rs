@@ -19,6 +19,7 @@ use crate::relation::{GeneralizedRelation, Schema};
 use crate::tuple::GeneralizedTuple;
 use crate::value::DataValue;
 use crate::zone::Zone;
+use std::collections::HashMap;
 
 /// Union of two relations with identical schemas.
 pub fn union(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<GeneralizedRelation> {
@@ -109,7 +110,8 @@ pub fn project(
 }
 
 /// Cartesian product: temporal and data columns of `a` followed by those of
-/// `b`.
+/// `b`. Output tuples whose zones canonicalize to empty are dropped eagerly
+/// rather than inflating the result until the next `normalize`.
 pub fn product(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<GeneralizedRelation> {
     let schema = Schema::new(
         a.schema().temporal + b.schema().temporal,
@@ -118,7 +120,11 @@ pub fn product(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<Gener
     let mut out = GeneralizedRelation::empty(schema);
     for ta in a.tuples() {
         for tb in b.tuples() {
+            crate::governor::check_ambient()?;
             let zone = ta.zone().product(tb.zone());
+            let Some(zone) = zone.canonical() else {
+                continue;
+            };
             let mut data = ta.data().to_vec();
             data.extend_from_slice(tb.data());
             out.insert(GeneralizedTuple::new(zone, data))?;
@@ -127,24 +133,22 @@ pub fn product(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<Gener
     Ok(out)
 }
 
-/// Theta-join: cartesian product filtered by temporal equalities
-/// `a.Tᵢ = b.Tⱼ` and data equalities `a.dᵢ = b.dⱼ`. Column layout as in
-/// [`product`].
-pub fn join(
+/// Validates the column indices of a join's equality lists against the two
+/// schemas up front (rather than per-tuple, which silently accepts bad
+/// indices on empty relations).
+fn check_join_columns(
     a: &GeneralizedRelation,
     b: &GeneralizedRelation,
     temporal_eq: &[(usize, usize)],
     data_eq: &[(usize, usize)],
-) -> Result<GeneralizedRelation> {
-    for &(i, _) in temporal_eq {
+) -> Result<()> {
+    for &(i, j) in temporal_eq {
         if i >= a.schema().temporal {
             return Err(Error::VariableOutOfRange {
                 index: i,
                 arity: a.schema().temporal,
             });
         }
-    }
-    for &(_, j) in temporal_eq {
         if j >= b.schema().temporal {
             return Err(Error::VariableOutOfRange {
                 index: j,
@@ -152,6 +156,115 @@ pub fn join(
             });
         }
     }
+    for &(i, j) in data_eq {
+        if i >= a.schema().data {
+            return Err(Error::VariableOutOfRange {
+                index: i,
+                arity: a.schema().data,
+            });
+        }
+        if j >= b.schema().data {
+            return Err(Error::VariableOutOfRange {
+                index: j,
+                arity: b.schema().data,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds one joined output tuple (product zone + temporal equality
+/// constraints), or `None` when the constrained zone canonicalizes to empty.
+fn joined_tuple(
+    ta: &GeneralizedTuple,
+    tb: &GeneralizedTuple,
+    ma: usize,
+    temporal_eq: &[(usize, usize)],
+) -> Result<Option<GeneralizedTuple>> {
+    let mut zone = ta.zone().product(tb.zone());
+    for &(i, j) in temporal_eq {
+        zone.add_constraint(Constraint::EqVar(
+            crate::constraint::Var(i),
+            crate::constraint::Var(ma + j),
+            0,
+        ))?;
+    }
+    let Some(zone) = zone.canonical() else {
+        return Ok(None);
+    };
+    let mut data = ta.data().to_vec();
+    data.extend_from_slice(tb.data());
+    Ok(Some(GeneralizedTuple::new(zone, data)))
+}
+
+/// Theta-join: cartesian product filtered by temporal equalities
+/// `a.Tᵢ = b.Tⱼ` and data equalities `a.dᵢ = b.dⱼ`. Column layout as in
+/// [`product`].
+///
+/// When `data_eq` is non-empty, the right-hand relation is bucketed by its
+/// joined data columns so each left tuple only meets same-key partners;
+/// with no data equalities this degenerates to the nested loop. Output
+/// tuples whose zones canonicalize to empty (contradictory temporal
+/// equalities, residue clashes) are dropped eagerly.
+pub fn join(
+    a: &GeneralizedRelation,
+    b: &GeneralizedRelation,
+    temporal_eq: &[(usize, usize)],
+    data_eq: &[(usize, usize)],
+) -> Result<GeneralizedRelation> {
+    check_join_columns(a, b, temporal_eq, data_eq)?;
+    let schema = Schema::new(
+        a.schema().temporal + b.schema().temporal,
+        a.schema().data + b.schema().data,
+    );
+    let ma = a.schema().temporal;
+    let mut out = GeneralizedRelation::empty(schema);
+    if data_eq.is_empty() {
+        // Nested-loop fallback: no data columns to bucket on.
+        for ta in a.tuples() {
+            for tb in b.tuples() {
+                crate::governor::check_ambient()?;
+                if let Some(t) = joined_tuple(ta, tb, ma, temporal_eq)? {
+                    out.insert(t)?;
+                }
+            }
+        }
+        return Ok(out);
+    }
+    // Index-driven path: bucket b's tuples by their joined data columns.
+    let mut buckets: HashMap<Vec<&DataValue>, Vec<&GeneralizedTuple>> = HashMap::new();
+    for tb in b.tuples() {
+        let key: Vec<&DataValue> = data_eq.iter().map(|&(_, j)| &tb.data()[j]).collect();
+        buckets.entry(key).or_default().push(tb);
+    }
+    for ta in a.tuples() {
+        crate::governor::check_ambient()?;
+        let key: Vec<&DataValue> = data_eq.iter().map(|&(i, _)| &ta.data()[i]).collect();
+        let Some(partners) = buckets.get(&key) else {
+            crate::stats::note_index_lookup(0, b.len() as u64);
+            continue;
+        };
+        crate::stats::note_index_lookup(partners.len() as u64, b.len() as u64);
+        for tb in partners {
+            if let Some(t) = joined_tuple(ta, tb, ma, temporal_eq)? {
+                out.insert(t)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The seed's nested-loop [`join`]: no bucketing, no eager emptiness
+/// pruning. Semantically equivalent to the indexed path (the indexed result
+/// additionally drops tuples denoting the empty set); kept as the oracle
+/// baseline for tests and benchmarks.
+pub fn join_naive(
+    a: &GeneralizedRelation,
+    b: &GeneralizedRelation,
+    temporal_eq: &[(usize, usize)],
+    data_eq: &[(usize, usize)],
+) -> Result<GeneralizedRelation> {
+    check_join_columns(a, b, temporal_eq, data_eq)?;
     let schema = Schema::new(
         a.schema().temporal + b.schema().temporal,
         a.schema().data + b.schema().data,
@@ -160,16 +273,9 @@ pub fn join(
     let mut out = GeneralizedRelation::empty(schema);
     for ta in a.tuples() {
         'tb: for tb in b.tuples() {
+            crate::governor::check_ambient()?;
             for &(i, j) in data_eq {
-                let da = ta.data().get(i).ok_or(Error::VariableOutOfRange {
-                    index: i,
-                    arity: ta.data_arity(),
-                })?;
-                let db = tb.data().get(j).ok_or(Error::VariableOutOfRange {
-                    index: j,
-                    arity: tb.data_arity(),
-                })?;
-                if da != db {
+                if ta.data()[i] != tb.data()[j] {
                     continue 'tb;
                 }
             }
@@ -437,6 +543,73 @@ mod tests {
             join(&a, &b, &[(1, 0)], &[]),
             Err(Error::VariableOutOfRange { .. })
         ));
+        assert!(matches!(
+            join(&a, &b, &[], &[(0, 0)]),
+            Err(Error::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            join_naive(&a, &b, &[(0, 1)], &[]),
+            Err(Error::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn join_drops_contradictory_tuples_eagerly() {
+        // Evens joined with odds on temporal equality: every output zone is
+        // a residue clash. The indexed join must yield an *empty
+        // representation* (not just a semantically empty one) of the right
+        // schema, while the naive join keeps the unsatisfiable tuple.
+        let evens = rel1(vec![t1(2, 0)]);
+        let odds = rel1(vec![t1(2, 1)]);
+        let j = join(&evens, &odds, &[(0, 0)], &[]).unwrap();
+        assert_eq!(j.schema(), Schema::new(2, 0));
+        assert!(j.is_empty(), "{j}");
+        let naive = join_naive(&evens, &odds, &[(0, 0)], &[]).unwrap();
+        assert!(!naive.is_empty());
+        assert!(naive.is_empty_semantic(B).unwrap());
+        // Same for product with an input whose zone is unsatisfiable.
+        let contradictory = rel1(vec![GeneralizedTuple::build(
+            vec![lrp(2, 0)],
+            &[Constraint::EqConst(Var(0), 1)],
+            vec![],
+        )
+        .unwrap()]);
+        let p = product(&contradictory, &evens).unwrap();
+        assert_eq!(p.schema(), Schema::new(2, 0));
+        assert!(p.is_empty(), "{p}");
+    }
+
+    #[test]
+    fn indexed_join_matches_naive() {
+        let mk = |p: i64, b: i64, d1: &str, d2: &str| {
+            GeneralizedTuple::build(
+                vec![lrp(p, b)],
+                &[],
+                vec![DataValue::sym(d1), DataValue::sym(d2)],
+            )
+            .unwrap()
+        };
+        let a = rel1(vec![
+            mk(2, 0, "x", "u"),
+            mk(3, 1, "y", "u"),
+            mk(4, 2, "x", "v"),
+        ]);
+        let b = rel1(vec![
+            mk(2, 0, "x", "u"),
+            mk(5, 0, "z", "v"),
+            mk(6, 3, "y", "u"),
+        ]);
+        for data_eq in [vec![], vec![(0, 0)], vec![(0, 0), (1, 1)], vec![(1, 1)]] {
+            for temporal_eq in [vec![], vec![(0usize, 0usize)]] {
+                let fast = join(&a, &b, &temporal_eq, &data_eq).unwrap();
+                let slow = join_naive(&a, &b, &temporal_eq, &data_eq).unwrap();
+                assert_eq!(fast.schema(), slow.schema());
+                assert!(
+                    fast.equivalent(&slow, B).unwrap(),
+                    "data_eq={data_eq:?} temporal_eq={temporal_eq:?}"
+                );
+            }
+        }
     }
 
     #[test]

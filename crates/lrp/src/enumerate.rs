@@ -20,18 +20,29 @@ pub struct Window {
 }
 
 impl Window {
-    /// Creates a window; normalizes an inverted range to the empty window.
+    /// The canonical empty window (`lo > hi`, width 0).
+    pub const EMPTY: Window = Window { lo: 0, hi: -1 };
+
+    /// Creates a window; normalizes an inverted range (`lo > hi`) to the
+    /// canonical empty window [`Window::EMPTY`], so all empty windows
+    /// compare equal.
     pub fn new(lo: i64, hi: i64) -> Self {
-        Window { lo, hi }
+        if lo > hi {
+            Window::EMPTY
+        } else {
+            Window { lo, hi }
+        }
     }
 
-    /// Number of integers in the window.
+    /// Number of integers in the window, saturating at `u64::MAX`: the full
+    /// `[i64::MIN, i64::MAX]` window has 2⁶⁴ integers, one more than `u64`
+    /// can hold.
     pub fn width(&self) -> u64 {
         if self.lo > self.hi {
-            0
-        } else {
-            (self.hi - self.lo) as u64 + 1
+            return 0;
         }
+        let w = (self.hi as i128) - (self.lo as i128) + 1;
+        u64::try_from(w).unwrap_or(u64::MAX)
     }
 
     /// Does the window contain `t`?
@@ -67,6 +78,31 @@ mod tests {
         assert!(w.contains(0));
         assert!(!w.contains(6));
         assert_eq!(Window::new(3, 2).width(), 0);
+    }
+
+    #[test]
+    fn window_extreme_bounds_do_not_overflow() {
+        // The full i64 range holds 2^64 integers — one more than u64::MAX.
+        // The seed computed (hi - lo) in i64 and panicked in debug builds.
+        let full = Window::new(i64::MIN, i64::MAX);
+        assert_eq!(full.width(), u64::MAX);
+        assert!(full.contains(0));
+        assert_eq!(Window::new(i64::MIN, -2).width(), (1u64 << 63) - 1);
+        assert_eq!(Window::new(i64::MIN, -1).width(), 1u64 << 63);
+        assert_eq!(Window::new(i64::MIN, i64::MIN).width(), 1);
+        assert_eq!(Window::new(i64::MAX, i64::MAX).width(), 1);
+    }
+
+    #[test]
+    fn inverted_range_normalizes_to_canonical_empty() {
+        let w = Window::new(7, 3);
+        assert_eq!(w, Window::EMPTY);
+        assert_eq!(w.width(), 0);
+        assert!(!w.contains(5));
+        // Extreme inversion must not overflow either.
+        assert_eq!(Window::new(i64::MAX, i64::MIN), Window::EMPTY);
+        // All inverted ranges compare equal, as the doc promises.
+        assert_eq!(Window::new(7, 3), Window::new(100, -100));
     }
 
     #[test]

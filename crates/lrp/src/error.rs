@@ -2,6 +2,25 @@
 
 use std::fmt;
 
+/// Which arity of a generalized tuple failed a schema check: the temporal
+/// attribute count or the data column count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArityDim {
+    /// The temporal attribute count (`m` in the paper).
+    Temporal,
+    /// The data column count (`ℓ` in the paper).
+    Data,
+}
+
+impl fmt::Display for ArityDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArityDim::Temporal => write!(f, "temporal"),
+            ArityDim::Data => write!(f, "data"),
+        }
+    }
+}
+
 /// Errors produced by LRP, zone, tuple and relation operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -18,6 +37,17 @@ pub enum Error {
         /// Arity expected by the receiver.
         expected: usize,
         /// Arity actually supplied.
+        found: usize,
+    },
+    /// A generalized tuple's arity did not match a relation's schema, with
+    /// the mismatching dimension identified so callers can tell a temporal
+    /// mismatch from a data one.
+    TupleArityMismatch {
+        /// Which arity dimension mismatched.
+        dim: ArityDim,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity the tuple actually has.
         found: usize,
     },
     /// A temporal-variable index was out of range for the tuple or zone.
@@ -65,6 +95,16 @@ impl fmt::Display for Error {
             Error::ArityMismatch { expected, found } => {
                 write!(f, "arity mismatch: expected {expected}, found {found}")
             }
+            Error::TupleArityMismatch {
+                dim,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{dim} arity mismatch: schema expects {expected}, tuple has {found}"
+                )
+            }
             Error::VariableOutOfRange { index, arity } => {
                 write!(f, "temporal variable T{index} out of range (arity {arity})")
             }
@@ -102,6 +142,19 @@ mod tests {
             found: 3,
         };
         assert!(e.to_string().contains("expected 2"));
+        let e = Error::TupleArityMismatch {
+            dim: ArityDim::Data,
+            expected: 1,
+            found: 4,
+        };
+        assert!(e.to_string().contains("data arity"));
+        assert!(e.to_string().contains("tuple has 4"));
+        let e = Error::TupleArityMismatch {
+            dim: ArityDim::Temporal,
+            expected: 2,
+            found: 0,
+        };
+        assert!(e.to_string().contains("temporal arity"));
         let e = Error::VariableOutOfRange { index: 5, arity: 2 };
         assert!(e.to_string().contains("T5"));
         let e = Error::ResidueBudget { budget: 10 };

@@ -31,6 +31,7 @@ pub mod governor;
 mod lrp;
 pub mod parser;
 mod relation;
+pub mod stats;
 mod tuple;
 mod value;
 mod zone;
@@ -38,7 +39,7 @@ mod zone;
 pub use bound::Bound;
 pub use constraint::{Constraint, Var};
 pub use dbm::Dbm;
-pub use error::{Error, Result};
+pub use error::{ArityDim, Error, Result};
 pub use governor::{
     check_ambient, CancelToken, Governor, GovernorConfig, GovernorScope, GovernorStats, TripReason,
 };

@@ -6,11 +6,12 @@
 //! relations; the deductive engine in `itdb-core` maps predicate symbols to
 //! values of this type.
 
-use crate::error::{Error, Result};
+use crate::error::{ArityDim, Error, Result};
 use crate::lrp::Lrp;
 use crate::tuple::GeneralizedTuple;
 use crate::value::DataValue;
 use crate::zone::DEFAULT_RESIDUE_BUDGET;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Arity signature of a generalized relation.
@@ -36,11 +37,27 @@ impl fmt::Display for Schema {
 }
 
 /// A generalized relation: a schema plus a set of generalized tuples.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Maintains a hash index from each tuple's data vector to the positions of
+/// the tuples carrying it. Tuples with different data vectors denote
+/// disjoint ground sets, so subsumption, membership and duplicate detection
+/// only ever need the same-data bucket — the index turns those scans from
+/// `O(|relation|)` into `O(|bucket|)`. The index is not part of the
+/// relation's identity (`PartialEq` compares schema and tuples only).
+#[derive(Debug, Clone)]
 pub struct GeneralizedRelation {
     schema: Schema,
     tuples: Vec<GeneralizedTuple>,
+    index: HashMap<Vec<DataValue>, Vec<usize>>,
 }
+
+impl PartialEq for GeneralizedRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for GeneralizedRelation {}
 
 impl GeneralizedRelation {
     /// An empty relation with the given schema.
@@ -48,7 +65,60 @@ impl GeneralizedRelation {
         GeneralizedRelation {
             schema,
             tuples: Vec::new(),
+            index: HashMap::new(),
         }
+    }
+
+    /// Appends `t` to the tuple list and records it in the data index.
+    /// The caller has already checked the schema.
+    fn push_indexed(&mut self, t: GeneralizedTuple) {
+        let key = t.data().to_vec();
+        self.tuples.push(t);
+        self.index
+            .entry(key)
+            .or_default()
+            .push(self.tuples.len() - 1);
+    }
+
+    /// Rebuilds the data index from scratch after a bulk rewrite of the
+    /// tuple list (normalize, coalesce).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, t) in self.tuples.iter().enumerate() {
+            self.index.entry(t.data().to_vec()).or_default().push(i);
+        }
+    }
+
+    /// Checks a tuple's arities against the schema, reporting the actual
+    /// mismatching dimension and pair.
+    fn check_schema_of(&self, t: &GeneralizedTuple) -> Result<()> {
+        if t.temporal_arity() != self.schema.temporal {
+            return Err(Error::TupleArityMismatch {
+                dim: ArityDim::Temporal,
+                expected: self.schema.temporal,
+                found: t.temporal_arity(),
+            });
+        }
+        if t.data_arity() != self.schema.data {
+            return Err(Error::TupleArityMismatch {
+                dim: ArityDim::Data,
+                expected: self.schema.data,
+                found: t.data_arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The tuples sharing the given data vector, via the index. Records the
+    /// narrowing (bucket size vs. full scan) in [`crate::stats`].
+    pub fn candidates(&self, data: &[DataValue]) -> Vec<&GeneralizedTuple> {
+        let cand: Vec<&GeneralizedTuple> = self
+            .index
+            .get(data)
+            .map(|bucket| bucket.iter().map(|&i| &self.tuples[i]).collect())
+            .unwrap_or_default();
+        crate::stats::note_index_lookup(cand.len() as u64, self.tuples.len() as u64);
+        cand
     }
 
     /// Builds a relation from tuples, checking the schema of each.
@@ -94,64 +164,83 @@ impl GeneralizedRelation {
 
     /// Inserts a tuple after checking its arities against the schema.
     pub fn insert(&mut self, t: GeneralizedTuple) -> Result<()> {
-        if t.temporal_arity() != self.schema.temporal {
-            return Err(Error::ArityMismatch {
-                expected: self.schema.temporal,
-                found: t.temporal_arity(),
-            });
-        }
-        if t.data_arity() != self.schema.data {
-            return Err(Error::ArityMismatch {
-                expected: self.schema.data,
-                found: t.data_arity(),
-            });
-        }
-        self.tuples.push(t);
+        self.check_schema_of(&t)?;
+        self.push_indexed(t);
         Ok(())
     }
 
     /// Inserts a tuple only if it is not already subsumed by the relation;
     /// returns whether it was inserted. Used by fixpoint loops.
+    ///
+    /// Only tuples with the same data vector can subsume `t`, so the check
+    /// runs against the index bucket, not the whole relation.
     pub fn insert_if_new(&mut self, t: GeneralizedTuple, budget: u64) -> Result<bool> {
-        if t.temporal_arity() != self.schema.temporal || t.data_arity() != self.schema.data {
-            return Err(Error::ArityMismatch {
-                expected: self.schema.temporal,
-                found: t.temporal_arity(),
-            });
+        self.check_schema_of(&t)?;
+        let same_data = self.candidates(t.data());
+        if t.subsumed_by(&same_data, budget)? {
+            return Ok(false);
         }
+        self.push_indexed(t);
+        Ok(true)
+    }
+
+    /// The seed's unindexed [`GeneralizedRelation::insert_if_new`]: subsumption
+    /// against a full scan of the relation. Semantically identical to the
+    /// indexed path; kept as the oracle baseline for tests and benchmarks.
+    pub fn insert_if_new_naive(&mut self, t: GeneralizedTuple, budget: u64) -> Result<bool> {
+        self.check_schema_of(&t)?;
         let existing: Vec<&GeneralizedTuple> = self.tuples.iter().collect();
         if t.subsumed_by(&existing, budget)? {
             return Ok(false);
         }
-        self.tuples.push(t);
+        self.push_indexed(t);
         Ok(true)
     }
 
-    /// Membership of a ground tuple.
+    /// Membership of a ground tuple. Consults only the index bucket for
+    /// `data`, since tuples with other data vectors cannot contain it.
     pub fn contains(&self, temporal: &[i64], data: &[DataValue]) -> bool {
+        self.candidates(data)
+            .iter()
+            .any(|t| t.contains(temporal, data))
+    }
+
+    /// The seed's unindexed [`GeneralizedRelation::contains`]: a full scan.
+    /// Kept as the oracle baseline for tests and benchmarks.
+    pub fn contains_naive(&self, temporal: &[i64], data: &[DataValue]) -> bool {
         self.tuples.iter().any(|t| t.contains(temporal, data))
     }
 
     /// Normalizes the representation: canonicalizes tuples, drops empty
     /// ones, then removes tuples subsumed by the union of the others.
+    ///
+    /// Subsumption candidates are narrowed to same-data tuples via a local
+    /// grouping (the persistent index is stale while the tuple list is being
+    /// rewritten, and is rebuilt at the end).
     pub fn normalize(&mut self, budget: u64) -> Result<()> {
         let mut canon: Vec<GeneralizedTuple> =
             self.tuples.iter().filter_map(|t| t.canonical()).collect();
+        let mut groups: HashMap<&[DataValue], Vec<usize>> = HashMap::new();
+        for (i, t) in canon.iter().enumerate() {
+            groups.entry(t.data()).or_default().push(i);
+        }
         // Subsumption pruning, last-inserted first so that freshly derived
         // redundant tuples disappear before older, more general ones.
         let mut keep: Vec<bool> = vec![true; canon.len()];
         for i in (0..canon.len()).rev() {
             crate::governor::check_ambient()?;
-            let others: Vec<&GeneralizedTuple> = canon
+            let bucket = groups.get(canon[i].data()).map_or(&[][..], Vec::as_slice);
+            let others: Vec<&GeneralizedTuple> = bucket
                 .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i && keep[*j])
-                .map(|(_, t)| t)
+                .filter(|&&j| j != i && keep[j])
+                .map(|&j| &canon[j])
                 .collect();
+            crate::stats::note_index_lookup(others.len() as u64, canon.len() as u64);
             if canon[i].subsumed_by(&others, budget)? {
                 keep[i] = false;
             }
         }
+        drop(groups);
         let mut idx = 0;
         canon.retain(|_| {
             let k = keep[idx];
@@ -159,6 +248,7 @@ impl GeneralizedRelation {
             k
         });
         self.tuples = canon;
+        self.rebuild_index();
         Ok(())
     }
 
@@ -171,7 +261,7 @@ impl GeneralizedRelation {
             )));
         }
         for t in &self.tuples {
-            let others: Vec<&GeneralizedTuple> = other.tuples.iter().collect();
+            let others = other.candidates(t.data());
             if !t.subsumed_by(&others, budget)? {
                 return Ok(false);
             }
@@ -187,11 +277,12 @@ impl GeneralizedRelation {
     /// All distinct data vectors appearing in tuples (the relation's active
     /// data domain), in first-appearance order.
     pub fn data_vectors(&self) -> Vec<Vec<DataValue>> {
-        let mut out: Vec<Vec<DataValue>> = Vec::new();
+        let mut seen: Vec<&[DataValue]> = Vec::with_capacity(self.index.len());
+        let mut out: Vec<Vec<DataValue>> = Vec::with_capacity(self.index.len());
         for t in &self.tuples {
-            let d = t.data().to_vec();
-            if !out.contains(&d) {
-                out.push(d);
+            if !seen.contains(&t.data()) {
+                seen.push(t.data());
+                out.push(t.data().to_vec());
             }
         }
         out
@@ -274,7 +365,7 @@ impl GeneralizedRelation {
                         crate::zone::Zone::from_parts(lrps, t.zone().dbm().clone())?,
                         t.data().to_vec(),
                     );
-                    let existing: Vec<&GeneralizedTuple> = self.tuples.iter().collect();
+                    let existing = self.candidates(candidate.data());
                     // An over-aggressive coarsening can make the exact
                     // verification itself exceed the residue budget; treat
                     // that as "not covered" and try the next factor.
@@ -304,6 +395,7 @@ impl GeneralizedRelation {
                             keep
                         });
                         self.tuples.push(candidate);
+                        self.rebuild_index();
                         improved = true;
                         // The tuple list changed shape; rescan from the top.
                         break 'scan;
@@ -347,7 +439,102 @@ mod tests {
         let mut r = GeneralizedRelation::empty(Schema::new(1, 1));
         assert!(r.insert(tup(5, 0, "a")).is_ok());
         let bad = GeneralizedTuple::build(vec![lrp(5, 0), lrp(5, 0)], &[], vec![]).unwrap();
-        assert!(matches!(r.insert(bad), Err(Error::ArityMismatch { .. })));
+        assert!(matches!(
+            r.insert(bad),
+            Err(Error::TupleArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_if_new_reports_temporal_mismatch() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 1));
+        // Two temporal attributes against a 1-temporal schema: the error
+        // must name the temporal dimension and the actual pair.
+        let bad =
+            GeneralizedTuple::build(vec![lrp(5, 0), lrp(5, 0)], &[], vec![DataValue::sym("a")])
+                .unwrap();
+        assert_eq!(
+            r.insert_if_new(bad.clone(), B),
+            Err(Error::TupleArityMismatch {
+                dim: crate::error::ArityDim::Temporal,
+                expected: 1,
+                found: 2,
+            })
+        );
+        assert_eq!(
+            r.insert_if_new_naive(bad, B).unwrap_err().to_string(),
+            "temporal arity mismatch: schema expects 1, tuple has 2"
+        );
+    }
+
+    #[test]
+    fn insert_if_new_reports_data_mismatch() {
+        let mut r = GeneralizedRelation::empty(Schema::new(1, 1));
+        // Correct temporal arity, wrong data arity: before the fix this
+        // reported the (matching!) temporal pair instead of the data pair.
+        let bad = GeneralizedTuple::build(
+            vec![lrp(5, 0)],
+            &[],
+            vec![DataValue::sym("a"), DataValue::sym("b")],
+        )
+        .unwrap();
+        assert_eq!(
+            r.insert_if_new(bad.clone(), B),
+            Err(Error::TupleArityMismatch {
+                dim: crate::error::ArityDim::Data,
+                expected: 1,
+                found: 2,
+            })
+        );
+        assert_eq!(
+            r.insert_if_new_naive(bad.clone(), B),
+            Err(Error::TupleArityMismatch {
+                dim: crate::error::ArityDim::Data,
+                expected: 1,
+                found: 2,
+            })
+        );
+        assert!(matches!(
+            r.insert(bad),
+            Err(Error::TupleArityMismatch {
+                dim: crate::error::ArityDim::Data,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn indexed_membership_matches_naive() {
+        let r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(5, 0, "a"), tup(5, 3, "b"), tup(7, 1, "a")],
+        )
+        .unwrap();
+        for t in -10..=30 {
+            for d in ["a", "b", "c"] {
+                let d = [DataValue::sym(d)];
+                assert_eq!(r.contains(&[t], &d), r.contains_naive(&[t], &d), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_insert_if_new_matches_naive() {
+        let batch = vec![
+            tup(2, 0, "a"),
+            tup(4, 0, "a"), // subsumed by 2n (same data)
+            tup(4, 0, "b"), // same zone, different data: genuinely new
+            tup(2, 0, "a"), // exact duplicate
+            tup(3, 1, "b"),
+        ];
+        let mut indexed = GeneralizedRelation::empty(Schema::new(1, 1));
+        let mut naive = GeneralizedRelation::empty(Schema::new(1, 1));
+        for t in batch {
+            let a = indexed.insert_if_new(t.clone(), B).unwrap();
+            let b = naive.insert_if_new_naive(t, B).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(indexed, naive);
     }
 
     #[test]

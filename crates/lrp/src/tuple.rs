@@ -16,34 +16,82 @@ use crate::lrp::Lrp;
 use crate::value::DataValue;
 use crate::zone::Zone;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// A ground generalized tuple: a periodic zone plus data constants.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Carries two memos that are **not** part of the tuple's identity (they are
+/// excluded from `PartialEq`/`Hash`): the canonical form of the zone and the
+/// exact emptiness verdict. Both are computed at most once per tuple and
+/// invalidated by the mutating methods ([`GeneralizedTuple::zone_mut`],
+/// [`GeneralizedTuple::shift_attr`], [`GeneralizedTuple::add_constraint`]),
+/// so fixpoint loops that repeatedly normalize or subsume the same tuples
+/// stop re-canonicalizing identical zones.
+#[derive(Debug, Clone)]
 pub struct GeneralizedTuple {
     zone: Zone,
     data: Vec<DataValue>,
+    /// Canonical zone; `None` means canonicalization refuted the zone.
+    canon_memo: OnceLock<Option<Zone>>,
+    /// Exact emptiness verdict (budget-independent once computed).
+    empty_memo: OnceLock<bool>,
+}
+
+impl PartialEq for GeneralizedTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.zone == other.zone && self.data == other.data
+    }
+}
+
+impl Eq for GeneralizedTuple {}
+
+impl Hash for GeneralizedTuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.zone.hash(state);
+        self.data.hash(state);
+    }
 }
 
 impl GeneralizedTuple {
     /// Creates a tuple from a zone and data constants.
     pub fn new(zone: Zone, data: Vec<DataValue>) -> Self {
-        GeneralizedTuple { zone, data }
+        GeneralizedTuple {
+            zone,
+            data,
+            canon_memo: OnceLock::new(),
+            empty_memo: OnceLock::new(),
+        }
     }
 
     /// Convenience constructor from lrps, constraints and data.
     pub fn build(lrps: Vec<Lrp>, constraints: &[Constraint], data: Vec<DataValue>) -> Result<Self> {
-        Ok(GeneralizedTuple {
-            zone: Zone::with_constraints(lrps, constraints)?,
+        Ok(GeneralizedTuple::new(
+            Zone::with_constraints(lrps, constraints)?,
             data,
-        })
+        ))
     }
 
     /// A purely temporal tuple (data arity 0).
     pub fn temporal(zone: Zone) -> Self {
-        GeneralizedTuple {
-            zone,
-            data: Vec::new(),
-        }
+        GeneralizedTuple::new(zone, Vec::new())
+    }
+
+    /// Drops both memos; must be called before any mutation of the zone.
+    fn invalidate_memos(&mut self) {
+        self.canon_memo = OnceLock::new();
+        self.empty_memo = OnceLock::new();
+    }
+
+    /// The memoized canonical zone (`None` = refuted / empty).
+    fn canon_zone(&self) -> &Option<Zone> {
+        let mut computed = false;
+        let memo = self.canon_memo.get_or_init(|| {
+            computed = true;
+            self.zone.canonical()
+        });
+        crate::stats::note_canonical_cache(!computed);
+        memo
     }
 
     /// Temporal arity `m`.
@@ -61,8 +109,10 @@ impl GeneralizedTuple {
         &self.zone
     }
 
-    /// Mutable access to the zone.
+    /// Mutable access to the zone. Invalidates the canonical-form and
+    /// emptiness memos, since the caller may change the denoted set.
     pub fn zone_mut(&mut self) -> &mut Zone {
+        self.invalidate_memos();
         &mut self.zone
     }
 
@@ -79,10 +129,7 @@ impl GeneralizedTuple {
     /// The paper's *free extension*: the same tuple freed from its
     /// constraints (constraint `true`).
     pub fn free_extension(&self) -> GeneralizedTuple {
-        GeneralizedTuple {
-            zone: Zone::new(self.zone.lrps().to_vec()),
-            data: self.data.clone(),
-        }
+        GeneralizedTuple::new(Zone::new(self.zone.lrps().to_vec()), self.data.clone())
     }
 
     /// The canonical free-extension key: canonical lrps plus data. Two
@@ -93,13 +140,32 @@ impl GeneralizedTuple {
     }
 
     /// Is the represented set of ground tuples empty?
+    ///
+    /// The verdict is memoized: the first call decides exactly (which may
+    /// cost a uniformization split within `budget`), later calls are free.
+    /// The verdict itself does not depend on the budget — a larger budget
+    /// can only turn an error into an answer, never change the answer.
     pub fn is_empty(&self, budget: u64) -> Result<bool> {
-        self.zone.is_empty(budget)
+        if let Some(&verdict) = self.empty_memo.get() {
+            crate::stats::note_empty_cache(true);
+            return Ok(verdict);
+        }
+        // A memoized refuted canonical form settles emptiness for free.
+        if let Some(None) = self.canon_memo.get() {
+            crate::stats::note_empty_cache(true);
+            let _ = self.empty_memo.set(true);
+            return Ok(true);
+        }
+        crate::stats::note_empty_cache(false);
+        let verdict = self.zone.is_empty(budget)?;
+        let _ = self.empty_memo.set(verdict);
+        Ok(verdict)
     }
 
     /// Is `self ⊆ other₁ ∪ … ∪ otherₙ` as sets of ground tuples?
     /// Tuples with different data constants are disjoint.
     pub fn subsumed_by(&self, others: &[&GeneralizedTuple], budget: u64) -> Result<bool> {
+        crate::stats::note_subsumption_check();
         let zones: Vec<&Zone> = others
             .iter()
             .filter(|o| o.data == self.data)
@@ -113,11 +179,13 @@ impl GeneralizedTuple {
 
     /// Shifts temporal attribute `k` by `c`.
     pub fn shift_attr(&mut self, k: usize, c: i64) -> Result<()> {
+        self.invalidate_memos();
         self.zone.shift_attr(k, c)
     }
 
     /// Adds a constraint over the temporal attributes.
     pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
+        self.invalidate_memos();
         self.zone.add_constraint(c)
     }
 
@@ -142,10 +210,7 @@ impl GeneralizedTuple {
         let zones = self.zone.project(temporal_keep, budget)?;
         Ok(zones
             .into_iter()
-            .map(|zone| GeneralizedTuple {
-                zone,
-                data: data.clone(),
-            })
+            .map(|zone| GeneralizedTuple::new(zone, data.clone()))
             .collect())
     }
 
@@ -158,11 +223,18 @@ impl GeneralizedTuple {
             .collect()
     }
 
-    /// Canonical form (normalized lrps and constraints); `None` if empty.
+    /// Canonical form (normalized lrps and constraints); `None` if
+    /// canonicalization refutes the zone.
+    ///
+    /// Memoized: repeated calls (e.g. from
+    /// [`crate::GeneralizedRelation::normalize`] across fixpoint rounds)
+    /// canonicalize the zone only once. The returned tuple's own canonical
+    /// memo is pre-seeded, since canonicalization is idempotent.
     pub fn canonical(&self) -> Option<GeneralizedTuple> {
-        self.zone.canonical().map(|zone| GeneralizedTuple {
-            zone,
-            data: self.data.clone(),
+        self.canon_zone().as_ref().map(|zone| {
+            let t = GeneralizedTuple::new(zone.clone(), self.data.clone());
+            let _ = t.canon_memo.set(Some(zone.clone()));
+            t
         })
     }
 }

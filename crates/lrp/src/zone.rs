@@ -145,6 +145,7 @@ impl Zone {
     /// means "not refuted": for uniform zones it is exact (see module docs);
     /// for mixed-period zones use [`Zone::is_empty`].
     pub fn canonicalize(&mut self) -> bool {
+        crate::stats::note_canonicalize();
         // Iteration terminates: every round either closes with no change or
         // strictly tightens some finite bound, and bounds are bounded below
         // through the negative-cycle check. Cap defensively anyway.

@@ -1,0 +1,146 @@
+//! Oracle equivalence suite for the data-vector index and per-tuple caches.
+//!
+//! Every indexed operation keeps a `*_naive` full-scan twin with the seed's
+//! behavior. These properties drive both paths over random generalized
+//! relations and demand agreement — membership, subsumption inserts, joins
+//! and ground enumeration must be invisible to the indexing layer.
+
+use itdb_lrp::{
+    algebra,
+    enumerate::{ground_tuples, Window},
+    Constraint, DataValue, GeneralizedRelation, GeneralizedTuple, Lrp, Schema, Var,
+    DEFAULT_RESIDUE_BUDGET,
+};
+use proptest::prelude::*;
+
+const B: u64 = DEFAULT_RESIDUE_BUDGET;
+const LO: i64 = -10;
+const HI: i64 = 10;
+
+fn lrp_strategy() -> impl Strategy<Value = Lrp> {
+    (1i64..=5, 0i64..=4).prop_map(|(p, b)| Lrp::new(p, b % p).unwrap())
+}
+
+/// Schema `(2, 2)` tuples: two temporal columns, two data columns over a
+/// small alphabet so index buckets genuinely collide and genuinely split.
+fn tuple_strategy() -> impl Strategy<Value = GeneralizedTuple> {
+    (
+        lrp_strategy(),
+        lrp_strategy(),
+        proptest::option::of((-4i64..=4, 0u8..3)),
+        0u8..2,
+        0u8..3,
+    )
+        .prop_map(|(l1, l2, cons, d1, d2)| {
+            let mut constraints = Vec::new();
+            if let Some((c, kind)) = cons {
+                constraints.push(match kind {
+                    0 => Constraint::LtVar(Var(0), Var(1), c),
+                    1 => Constraint::EqVar(Var(1), Var(0), c),
+                    _ => Constraint::GeConst(Var(0), c),
+                });
+            }
+            GeneralizedTuple::build(
+                vec![l1, l2],
+                &constraints,
+                vec![
+                    DataValue::sym(if d1 == 0 { "x" } else { "y" }),
+                    DataValue::sym(["a", "b", "c"][d2 as usize]),
+                ],
+            )
+            .unwrap()
+        })
+}
+
+fn tuples_strategy() -> impl Strategy<Value = Vec<GeneralizedTuple>> {
+    proptest::collection::vec(tuple_strategy(), 0..6)
+}
+
+fn data_points() -> Vec<Vec<DataValue>> {
+    let mut out = Vec::new();
+    for d1 in ["x", "y"] {
+        for d2 in ["a", "b", "c"] {
+            out.push(vec![DataValue::sym(d1), DataValue::sym(d2)]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Subsumption-checked insertion keeps the same tuples in the same
+    /// order whether candidates come from the index or a full scan.
+    #[test]
+    fn insert_if_new_matches_naive(tuples in tuples_strategy()) {
+        let mut indexed = GeneralizedRelation::empty(Schema::new(2, 2));
+        let mut naive = GeneralizedRelation::empty(Schema::new(2, 2));
+        for t in tuples {
+            let a = indexed.insert_if_new(t.clone(), B).unwrap();
+            let b = naive.insert_if_new_naive(t, B).unwrap();
+            prop_assert_eq!(a, b, "insert verdicts diverged");
+        }
+        prop_assert_eq!(indexed.tuples(), naive.tuples());
+    }
+
+    /// Indexed point membership agrees with the full scan everywhere in
+    /// the window, for every data vector of the alphabet (including ones
+    /// the relation never mentions, i.e. missing index buckets).
+    #[test]
+    fn contains_matches_naive(tuples in tuples_strategy()) {
+        let rel = GeneralizedRelation::from_tuples(Schema::new(2, 2), tuples).unwrap();
+        for t1 in LO..=HI {
+            for t2 in LO..=HI {
+                for dv in data_points() {
+                    prop_assert_eq!(
+                        rel.contains(&[t1, t2], &dv),
+                        rel.contains_naive(&[t1, t2], &dv),
+                        "at ({}, {}) {:?}", t1, t2, dv
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bucketed join equals the nested-loop join for every
+    /// data-equality shape, including the empty one that falls back to the
+    /// nested loop. Both process left/right pairs in the same order, so the
+    /// indexed result must be exactly the canonical forms of the naive
+    /// result's satisfiable tuples — representation equality, which implies
+    /// semantic equivalence and stays cheap enough to run at volume.
+    #[test]
+    fn join_matches_naive(a in tuples_strategy(), b in tuples_strategy()) {
+        let a = GeneralizedRelation::from_tuples(Schema::new(2, 2), a).unwrap();
+        let b = GeneralizedRelation::from_tuples(Schema::new(2, 2), b).unwrap();
+        let shapes: [&[(usize, usize)]; 4] = [&[], &[(0, 0)], &[(0, 0), (1, 1)], &[(1, 0)]];
+        for data_eq in shapes {
+            for temporal_eq in [&[][..], &[(1, 0)][..]] {
+                let fast = algebra::join(&a, &b, temporal_eq, data_eq).unwrap();
+                let slow = algebra::join_naive(&a, &b, temporal_eq, data_eq).unwrap();
+                prop_assert_eq!(fast.schema(), slow.schema());
+                let slow_canon: Vec<GeneralizedTuple> =
+                    slow.tuples().iter().filter_map(|t| t.canonical()).collect();
+                prop_assert_eq!(
+                    fast.tuples(),
+                    &slow_canon[..],
+                    "join diverged on data_eq={:?} temporal_eq={:?}", data_eq, temporal_eq
+                );
+            }
+        }
+    }
+
+    /// Ground enumeration sees through the representation: a relation
+    /// built through the indexed insert path denotes exactly the same
+    /// ground tuples as one built through the naive path.
+    #[test]
+    fn ground_enumeration_unaffected_by_index(tuples in tuples_strategy()) {
+        let mut indexed = GeneralizedRelation::empty(Schema::new(2, 2));
+        let mut naive = GeneralizedRelation::empty(Schema::new(2, 2));
+        for t in tuples {
+            indexed.insert_if_new(t.clone(), B).unwrap();
+            naive.insert_if_new_naive(t, B).unwrap();
+        }
+        let w = Window::new(LO, HI);
+        prop_assert_eq!(ground_tuples(&indexed, w), ground_tuples(&naive, w));
+    }
+}
