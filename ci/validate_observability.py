@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts the CI workload produces.
+
+Usage: validate_observability.py TRACE.jsonl METRICS.prom
+
+Checks, line by line:
+  * every trace line is a JSON object with a known `event` discriminator,
+    a non-negative integer `t_us`, and the per-kind payload fields of the
+    documented schema (DESIGN.md section 9);
+  * span enters and exits balance, and the stream contains derivation
+    events, at least one insert carrying source facts, and (because the
+    workload ends in a fuel-limited divergence) a governor_trip;
+  * every metrics line is a HELP/TYPE comment or a `name{labels} value`
+    sample whose name was TYPE-declared and whose value parses as a float.
+
+Exits nonzero with a pointed message on the first violation.
+"""
+
+import json
+import re
+import sys
+
+SPAN_KINDS = {"evaluate", "stratum", "iteration", "rule", "op"}
+
+# event discriminator -> required payload fields and their types
+SCHEMAS = {
+    "span_enter": {"kind": str, "label": str, "depth": int},
+    "span_exit": {
+        "kind": str,
+        "label": str,
+        "depth": int,
+        "total_us": int,
+        "self_us": int,
+    },
+    "tuple_derived": {"pred": str, "rule": int},
+    "tuple_inserted": {"pred": str, "rule": int, "tuple": str, "sources": list},
+    "tuple_subsumed": {"pred": str, "rule": int, "tuple": str},
+    "governor_trip": {"reason": str},
+    "index_lookup": {"candidates": int, "scanned": int},
+    "message": {"text": str},
+}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    counts = {name: 0 for name in SCHEMAS}
+    with_sources = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not JSON ({e}): {line!r}")
+            if not isinstance(obj, dict):
+                fail(f"{path}:{lineno}: not an object")
+            event = obj.get("event")
+            if event not in SCHEMAS:
+                fail(f"{path}:{lineno}: unknown event {event!r}")
+            t_us = obj.get("t_us")
+            if not isinstance(t_us, int) or t_us < 0:
+                fail(f"{path}:{lineno}: bad t_us {t_us!r}")
+            for field, ftype in SCHEMAS[event].items():
+                value = obj.get(field)
+                if not isinstance(value, ftype):
+                    fail(
+                        f"{path}:{lineno}: {event}.{field} should be "
+                        f"{ftype.__name__}, got {value!r}"
+                    )
+            counts[event] += 1
+            if event in ("span_enter", "span_exit") and obj["kind"] not in SPAN_KINDS:
+                fail(f"{path}:{lineno}: unknown span kind {obj['kind']!r}")
+            if event == "span_exit" and obj["self_us"] > obj["total_us"]:
+                fail(f"{path}:{lineno}: self_us exceeds total_us")
+            if event == "index_lookup" and obj["candidates"] > obj["scanned"]:
+                fail(f"{path}:{lineno}: index lookup widened the scan")
+            if event == "tuple_inserted":
+                for s in obj["sources"]:
+                    if not (isinstance(s, dict)
+                            and isinstance(s.get("pred"), str)
+                            and isinstance(s.get("tuple"), str)):
+                        fail(f"{path}:{lineno}: malformed source fact {s!r}")
+                if obj["sources"]:
+                    with_sources += 1
+
+    if counts["span_enter"] != counts["span_exit"]:
+        fail(
+            f"{path}: {counts['span_enter']} span enters vs "
+            f"{counts['span_exit']} exits"
+        )
+    for required in ("span_enter", "tuple_derived", "tuple_inserted", "governor_trip"):
+        if counts[required] == 0:
+            fail(f"{path}: no {required} events (workload not traced?)")
+    if with_sources == 0:
+        fail(f"{path}: no insert carries source facts")
+    total = sum(counts.values())
+    print(f"ok: {path}: {total} events, {with_sources} inserts with provenance")
+
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+def validate_prom(path):
+    typed = set()
+    samples = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4:
+                    fail(f"{path}:{lineno}: truncated comment: {line!r}")
+                if parts[1] == "TYPE":
+                    typed.add(parts[2])
+                continue
+            if line.startswith("#"):
+                fail(f"{path}:{lineno}: unexpected comment form: {line!r}")
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: not a sample line: {line!r}")
+            if m.group("name") not in typed:
+                fail(f"{path}:{lineno}: sample {m.group('name')} has no TYPE")
+            try:
+                float(m.group("value"))
+            except ValueError:
+                fail(f"{path}:{lineno}: bad value {m.group('value')!r}")
+            samples += 1
+    for required in (
+        "itdb_tuples_derived_total",
+        "itdb_tuples_inserted_total",
+        "itdb_elapsed_seconds",
+        "itdb_stratum_iterations",
+        "itdb_rule_self_seconds",
+    ):
+        if required not in typed:
+            fail(f"{path}: metric {required} missing")
+    print(f"ok: {path}: {samples} samples, {len(typed)} metric families")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_observability.py TRACE.jsonl METRICS.prom")
+    validate_trace(sys.argv[1])
+    validate_prom(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -23,10 +23,14 @@ use shell::{Limits, Shell, Step};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
-usage: itdb-shell [--fuel N] [--timeout-ms N] [--stats] [SCRIPT]
+usage: itdb-shell [--fuel N] [--timeout-ms N] [--stats] [--stats-json]
+                  [--trace FILE] [--metrics FILE] [SCRIPT]
   --fuel N        cap derived generalized tuples per evaluation
   --timeout-ms N  wall-clock deadline per evaluation, in milliseconds
   --stats         print evaluation statistics after every `eval`
+  --stats-json    print statistics as one JSON object after every `eval`
+  --trace FILE    stream typed trace events to FILE as JSON lines
+  --metrics FILE  write a Prometheus metrics snapshot after every `eval`
   SCRIPT          run a command file instead of the interactive shell";
 
 /// Cancellation token shared between the SIGINT handler and the shell.
@@ -67,6 +71,9 @@ struct Cli {
     limits: Limits,
     script: Option<String>,
     stats: bool,
+    stats_json: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -74,6 +81,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         limits: Limits::default(),
         script: None,
         stats: false,
+        stats_json: false,
+        trace: None,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,7 +101,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     cli.limits.timeout_ms = Some(n);
                 }
             }
+            "--trace" | "--metrics" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a file argument"))?;
+                if arg == "--trace" {
+                    cli.trace = Some(value.clone());
+                } else {
+                    cli.metrics = Some(value.clone());
+                }
+            }
             "--stats" => cli.stats = true,
+            "--stats-json" => cli.stats_json = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
@@ -125,6 +146,32 @@ fn main() -> std::io::Result<()> {
     shell.set_limits(cli.limits);
     shell.set_cancel(cancel_token().clone());
     shell.set_auto_stats(cli.stats);
+    shell.set_stats_json(cli.stats_json);
+    shell.set_metrics_path(cli.metrics.map(std::path::PathBuf::from));
+
+    // `--trace file.jsonl`: stream every trace event of this thread to the
+    // file. The sink stays installed for the whole session; it is flushed
+    // after each evaluation and again (via `clear_sinks`) at exit.
+    let jsonl: Option<std::sync::Arc<itdb_trace::JsonlSink>> = match cli.trace {
+        Some(path) => match itdb_trace::JsonlSink::create(&path) {
+            Ok(sink) => {
+                let sink = std::sync::Arc::new(sink);
+                itdb_trace::add_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("error: --trace: cannot create `{path}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let finish_trace = |jsonl: Option<std::sync::Arc<itdb_trace::JsonlSink>>| {
+        itdb_trace::clear_sinks();
+        if let Some(e) = jsonl.and_then(|s| s.take_error()) {
+            eprintln!("warning: --trace: write failed: {e}");
+        }
+    };
     let stdout = std::io::stdout();
 
     if let Some(path) = cli.script {
@@ -139,6 +186,7 @@ fn main() -> std::io::Result<()> {
                 Step::Quit => break,
             }
         }
+        finish_trace(jsonl);
         return Ok(());
     }
 
@@ -162,6 +210,7 @@ fn main() -> std::io::Result<()> {
         write!(out, "> ")?;
         out.flush()?;
     }
+    finish_trace(jsonl);
     Ok(())
 }
 
@@ -192,11 +241,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_observability_flags() {
+        let cli = parse_args(&strs(&[
+            "--trace",
+            "run.jsonl",
+            "--metrics",
+            "run.prom",
+            "--stats-json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("run.jsonl"));
+        assert_eq!(cli.metrics.as_deref(), Some("run.prom"));
+        assert!(cli.stats_json);
+        assert!(!cli.stats);
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         assert!(parse_args(&strs(&["--fuel"])).is_err());
         assert!(parse_args(&strs(&["--fuel", "many"])).is_err());
         assert!(parse_args(&strs(&["--frobnicate"])).is_err());
         assert!(parse_args(&strs(&["a", "b"])).is_err());
+        assert!(parse_args(&strs(&["--trace"])).is_err());
+        assert!(parse_args(&strs(&["--metrics"])).is_err());
     }
 
     #[test]
@@ -205,6 +272,9 @@ mod tests {
         assert_eq!(cli.limits.fuel, None);
         assert_eq!(cli.limits.timeout_ms, None);
         assert!(!cli.stats);
+        assert!(!cli.stats_json);
+        assert!(cli.trace.is_none());
+        assert!(cli.metrics.is_none());
         assert!(cli.script.is_none());
     }
 }

@@ -12,8 +12,14 @@ use itdb_datalog1s as dl;
 use itdb_foquery as fo;
 use itdb_lrp::{parser as lrp_parser, Error, Result, DEFAULT_RESIDUE_BUDGET};
 use itdb_templog as tl;
+use itdb_trace::{fmt_duration, Profile, RingSink, SinkId, SpanKind};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Capacity of the in-memory event ring behind `trace on`.
+const TRACE_RING_CAPACITY: usize = 4096;
 
 /// Session-level resource limits applied to every evaluation command.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +47,13 @@ pub struct Shell {
     cancel: CancelToken,
     /// Append evaluation statistics to every `eval` output (`--stats`).
     auto_stats: bool,
+    /// Append JSON statistics to every `eval` output (`--stats-json`).
+    stats_json: bool,
+    /// In-memory event ring installed by `trace on` (sink + registry id).
+    ring: Option<(Arc<RingSink>, SinkId)>,
+    /// Where to write a Prometheus metrics snapshot after each evaluation
+    /// (`--metrics file.prom`).
+    metrics_path: Option<PathBuf>,
 }
 
 /// Which limit a `fuel`/`timeout` command adjusts.
@@ -74,7 +87,10 @@ commands:
   rule CLAUSE.               add a deductive clause (itdb-core syntax)
   program                    print the deductive program
   eval                       run the closed-form bottom-up evaluation
-  stats                      statistics for the last eval (tuple flow, caches, index, timings)
+  stats [--json]             statistics for the last eval (tuple flow, caches, index, timings)
+  explain ATOM               derivation tree for a ground atom, e.g. explain p[10](a)
+  profile                    re-run eval with span profiling; per-rule self-time table
+  trace on|off|dump          buffer typed trace events in memory and inspect them
   query ATOM                 goal query against the last model (and the EDB)
   fo FORMULA                 first-order query over EDB + derived relations
   ask FORMULA                yes/no first-order query
@@ -111,6 +127,19 @@ impl Shell {
         self.auto_stats = on;
     }
 
+    /// Appends statistics as one JSON object to every `eval` output (used
+    /// by the `--stats-json` flag; `stats --json` works regardless).
+    pub fn set_stats_json(&mut self, on: bool) {
+        self.stats_json = on;
+    }
+
+    /// After every evaluation, writes a Prometheus text-format metrics
+    /// snapshot (statistics plus a span profile) to `path` (used by the
+    /// `--metrics` flag).
+    pub fn set_metrics_path(&mut self, path: Option<PathBuf>) {
+        self.metrics_path = path;
+    }
+
     /// Executes one command line.
     pub fn execute(&mut self, line: &str) -> Step {
         let line = line.trim();
@@ -131,10 +160,16 @@ impl Shell {
                 let limits = self.limits.clone();
                 let cancel = self.cancel.clone();
                 let auto_stats = self.auto_stats;
+                let stats_json = self.stats_json;
+                let ring = self.ring.take();
+                let metrics_path = self.metrics_path.take();
                 *self = Shell::new();
                 self.limits = limits;
                 self.cancel = cancel;
                 self.auto_stats = auto_stats;
+                self.stats_json = stats_json;
+                self.ring = ring;
+                self.metrics_path = metrics_path;
                 Ok("state cleared".to_string())
             }
             "fuel" => self.cmd_limit(rest, LimitKind::Fuel),
@@ -145,7 +180,10 @@ impl Shell {
             "rule" => self.cmd_rule(rest),
             "program" => Ok(format!("{}", self.program)),
             "eval" => self.cmd_eval(),
-            "stats" => self.cmd_stats(),
+            "stats" => self.cmd_stats(rest),
+            "explain" => self.cmd_explain(rest),
+            "profile" => self.cmd_profile(),
+            "trace" => self.cmd_trace(rest),
             "query" => self.cmd_query(rest),
             "fo" => self.cmd_fo(rest, false),
             "ask" => self.cmd_fo(rest, true),
@@ -268,19 +306,51 @@ impl Shell {
         ))
     }
 
-    fn cmd_eval(&mut self) -> Result<String> {
+    /// Runs one deductive evaluation under the session limits, honoring
+    /// the observability configuration: profiles when requested (or when a
+    /// metrics snapshot is due), flushes trace sinks so `--trace` files
+    /// are complete per evaluation, and writes the metrics file.
+    fn run_eval(
+        &mut self,
+        provenance: bool,
+        want_profile: bool,
+    ) -> Result<(core::Evaluation, Option<Profile>)> {
         // A Ctrl-C that arrived while the shell was idle must not abort the
         // next evaluation: the token only counts once armed mid-flight.
         self.cancel.reset();
         let opts = core::EvalOptions {
             coalesce: true,
+            provenance,
             max_derived_tuples: self.limits.fuel,
             timeout: self.limits.timeout_ms.map(Duration::from_millis),
             max_held_tuples: self.limits.max_held,
             cancel: Some(self.cancel.clone()),
             ..Default::default()
         };
-        let eval = core::evaluate_with(&self.program, &self.edb, &opts)?;
+        let profiling = want_profile || self.metrics_path.is_some();
+        if profiling {
+            itdb_trace::set_profiling(true);
+        }
+        let result = core::evaluate_with(&self.program, &self.edb, &opts);
+        if profiling {
+            itdb_trace::set_profiling(false);
+        }
+        itdb_trace::flush_sinks();
+        // Taken even on the error path, so a failed run cannot leak its
+        // partial profile into the next one.
+        let profile = profiling.then(itdb_trace::take_profile);
+        let eval = result?;
+        if let Some(path) = &self.metrics_path {
+            let text = core::render_metrics(&eval.stats, profile.as_ref());
+            std::fs::write(path, text).map_err(|e| {
+                Error::Eval(format!("metrics: cannot write {}: {e}", path.display()))
+            })?;
+        }
+        Ok((eval, profile))
+    }
+
+    fn cmd_eval(&mut self) -> Result<String> {
+        let (eval, _) = self.run_eval(false, false)?;
         let mut out = match eval.outcome.interruption() {
             Some(int) => format_interruption(int),
             None => format!("outcome: {:?}\n", eval.outcome),
@@ -291,16 +361,141 @@ impl Shell {
         if self.auto_stats {
             let _ = writeln!(out, "{}", eval.stats);
         }
+        if self.stats_json {
+            let _ = writeln!(out, "{}", eval.stats.to_json());
+        }
         self.model = Some(eval);
         Ok(out.trim_end().to_string())
     }
 
-    fn cmd_stats(&self) -> Result<String> {
+    fn cmd_stats(&self, rest: &str) -> Result<String> {
         let model = self
             .model
             .as_ref()
             .ok_or_else(|| Error::Eval("no model yet (run `eval` first)".into()))?;
-        Ok(format!("{}", model.stats))
+        match rest {
+            "" => Ok(format!("{}", model.stats)),
+            "--json" | "json" => Ok(model.stats.to_json()),
+            other => Err(Error::Eval(format!(
+                "usage: stats [--json] (got `{other}`)"
+            ))),
+        }
+    }
+
+    /// `explain ATOM` — prints the derivation tree of a ground point.
+    ///
+    /// Provenance is not recorded by plain `eval` (it costs allocations per
+    /// derived tuple), so the first `explain` after a model change re-runs
+    /// the evaluation with provenance on and keeps the enriched model.
+    fn cmd_explain(&mut self, rest: &str) -> Result<String> {
+        let atom = core::parse_atom(rest)?;
+        let mut temporal = Vec::new();
+        for t in &atom.temporal {
+            match t {
+                core::TemporalTerm::Const(c) => temporal.push(*c),
+                core::TemporalTerm::Var { .. } => {
+                    return Err(Error::Eval(
+                        "explain needs a ground atom, e.g. `explain p[10](a)`".into(),
+                    ))
+                }
+            }
+        }
+        let mut data = Vec::new();
+        for d in &atom.data {
+            match d {
+                core::DataTerm::Const(v) => data.push(v.clone()),
+                core::DataTerm::Var(_) => {
+                    return Err(Error::Eval(
+                        "explain needs a ground atom, e.g. `explain p[10](a)`".into(),
+                    ))
+                }
+            }
+        }
+        let needs_rerun = match &self.model {
+            Some(m) => m.derivations.is_empty(),
+            None => true,
+        };
+        if needs_rerun {
+            let (eval, _) = self.run_eval(true, false)?;
+            self.model = Some(eval);
+        }
+        let model = match &self.model {
+            Some(m) => m,
+            None => return Err(Error::Eval("no model (run `eval` first)".into())),
+        };
+        match core::explain(model, &atom.pred, &temporal, &data) {
+            Some(tree) => Ok(tree.render(&model.rule_labels).trim_end().to_string()),
+            None => Err(Error::Eval(format!(
+                "no derivation recorded for `{rest}` (not in the model?)"
+            ))),
+        }
+    }
+
+    /// `profile` — re-runs the evaluation with span profiling and prints
+    /// per-rule (and per-operation) self-time tables, costliest first.
+    fn cmd_profile(&mut self) -> Result<String> {
+        let (eval, profile) = self.run_eval(false, true)?;
+        let profile = profile.unwrap_or_default();
+        self.model = Some(eval);
+        let mut out = String::new();
+        render_profile_table(&mut out, "rule", profile.of_kind(SpanKind::Rule));
+        let ops: Vec<&itdb_trace::ProfileEntry> = profile.of_kind(SpanKind::Op).collect();
+        if !ops.is_empty() {
+            let _ = writeln!(out);
+            render_profile_table(&mut out, "op", ops.into_iter());
+        }
+        if out.is_empty() {
+            out = "no spans profiled (empty program?)".to_string();
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_trace(&mut self, rest: &str) -> Result<String> {
+        match rest {
+            "on" => {
+                if self.ring.is_some() {
+                    return Ok("tracing already on".to_string());
+                }
+                let ring = Arc::new(RingSink::with_capacity(TRACE_RING_CAPACITY));
+                let id = itdb_trace::add_sink(ring.clone());
+                self.ring = Some((ring, id));
+                Ok(format!(
+                    "tracing on (ring of {TRACE_RING_CAPACITY} events; `trace dump` to inspect)"
+                ))
+            }
+            "off" => match self.ring.take() {
+                Some((_, id)) => {
+                    itdb_trace::remove_sink(id);
+                    Ok("tracing off".to_string())
+                }
+                None => Ok("tracing already off".to_string()),
+            },
+            "dump" => {
+                let (ring, _) = self
+                    .ring
+                    .as_ref()
+                    .ok_or_else(|| Error::Eval("tracing is off (`trace on` first)".into()))?;
+                let (events, dropped) = ring.drain();
+                if events.is_empty() {
+                    return Ok("no events buffered".to_string());
+                }
+                let mut out = String::new();
+                for e in &events {
+                    let _ = writeln!(out, "{}", e.to_json());
+                }
+                if dropped > 0 {
+                    let _ = writeln!(out, "({dropped} older event(s) dropped)");
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "" => Ok(format!(
+                "tracing: {}",
+                if self.ring.is_some() { "on" } else { "off" }
+            )),
+            other => Err(Error::Eval(format!(
+                "usage: trace on|off|dump (got `{other}`)"
+            ))),
+        }
     }
 
     fn cmd_query(&mut self, rest: &str) -> Result<String> {
@@ -430,6 +625,40 @@ impl Shell {
             out = "empty model".to_string();
         }
         Ok(out.trim_end().to_string())
+    }
+}
+
+/// Renders one profile table (`rule` or `op` spans) with aligned columns,
+/// in the order the profile delivers entries (costliest self-time first).
+fn render_profile_table<'a>(
+    out: &mut String,
+    what: &str,
+    entries: impl Iterator<Item = &'a itdb_trace::ProfileEntry>,
+) {
+    let entries: Vec<&itdb_trace::ProfileEntry> = entries.collect();
+    if entries.is_empty() {
+        return;
+    }
+    let width = entries
+        .iter()
+        .map(|e| e.label.len())
+        .max()
+        .unwrap_or(0)
+        .max(what.len());
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>7}  {:>10}  {:>10}",
+        what, "count", "total", "self"
+    );
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>7}  {:>10}  {:>10}",
+            e.label,
+            e.count,
+            fmt_duration(e.total),
+            fmt_duration(e.self_time)
+        );
     }
 }
 
@@ -695,6 +924,115 @@ mod tests {
         // Shell still alive afterwards.
         let out = run(&mut sh, "help");
         assert!(out.contains("commands"), "{out}");
+    }
+
+    fn recursive_session(sh: &mut Shell) {
+        run(sh, "tuple e (15n) : T1 >= 0");
+        run(sh, "rule p[t + 5] <- e[t].");
+        run(sh, "rule p[t + 5] <- p[t].");
+    }
+
+    #[test]
+    fn stats_json_variant_is_parseable() {
+        let mut sh = Shell::new();
+        recursive_session(&mut sh);
+        run(&mut sh, "eval");
+        let out = run(&mut sh, "stats --json");
+        let v = itdb_trace::json::parse(&out).expect("stats --json parses");
+        assert!(v.get("tuples_inserted").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        assert!(v.get("strata").and_then(|s| s.as_array()).is_some());
+        let out = run(&mut sh, "stats --yaml");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_flag_appends_json_to_eval() {
+        let mut sh = Shell::new();
+        sh.set_stats_json(true);
+        recursive_session(&mut sh);
+        let out = run(&mut sh, "eval");
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("eval output carries a JSON stats line");
+        itdb_trace::json::parse(json_line).expect("stats line parses");
+    }
+
+    #[test]
+    fn explain_prints_edb_grounded_tree() {
+        let mut sh = Shell::new();
+        recursive_session(&mut sh);
+        // No prior `eval`: explain runs its own provenance evaluation.
+        let out = run(&mut sh, "explain p[10]");
+        assert!(out.contains("[EDB]"), "{out}");
+        assert!(out.contains("e "), "{out}");
+        assert!(out.contains("r1:"), "{out}");
+        // Non-ground and absent atoms are errors, not crashes.
+        let out = run(&mut sh, "explain p[t]");
+        assert!(out.contains("ground atom"), "{out}");
+        let out = run(&mut sh, "explain p[7]");
+        assert!(out.contains("no derivation"), "{out}");
+    }
+
+    #[test]
+    fn profile_lists_rules_by_self_time() {
+        let mut sh = Shell::new();
+        recursive_session(&mut sh);
+        let out = run(&mut sh, "profile");
+        assert!(out.contains("rule"), "{out}");
+        assert!(out.contains("count"), "{out}");
+        assert!(out.contains("r0:"), "{out}");
+        assert!(out.contains("r1:"), "{out}");
+    }
+
+    #[test]
+    fn trace_ring_buffers_and_dumps_events() {
+        let mut sh = Shell::new();
+        recursive_session(&mut sh);
+        let out = run(&mut sh, "trace");
+        assert_eq!(out, "tracing: off");
+        let out = run(&mut sh, "trace dump");
+        assert!(out.starts_with("error:"), "{out}");
+        run(&mut sh, "trace on");
+        run(&mut sh, "eval");
+        let out = run(&mut sh, "trace dump");
+        assert!(out.contains("\"event\":\"span_enter\""), "{out}");
+        assert!(out.contains("\"event\":\"tuple_inserted\""), "{out}");
+        // Dump drains the ring.
+        let out = run(&mut sh, "trace dump");
+        assert_eq!(out, "no events buffered");
+        let out = run(&mut sh, "trace off");
+        assert_eq!(out, "tracing off");
+        assert!(!itdb_trace::enabled());
+    }
+
+    #[test]
+    fn trace_survives_reset() {
+        let mut sh = Shell::new();
+        run(&mut sh, "trace on");
+        run(&mut sh, "reset");
+        let out = run(&mut sh, "trace");
+        assert_eq!(out, "tracing: on");
+        run(&mut sh, "trace off");
+        assert!(!itdb_trace::enabled());
+    }
+
+    #[test]
+    fn metrics_snapshot_written_after_eval() {
+        let path = std::env::temp_dir().join(format!(
+            "itdb_shell_metrics_{}_{:?}.prom",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut sh = Shell::new();
+        sh.set_metrics_path(Some(path.clone()));
+        recursive_session(&mut sh);
+        run(&mut sh, "eval");
+        let text = std::fs::read_to_string(&path).expect("metrics file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("itdb_tuples_inserted_total"), "{text}");
+        // The snapshot profile includes per-rule self time.
+        assert!(text.contains("itdb_rule_self_seconds"), "{text}");
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct EvalOptions {
     /// and clause matching. `false` falls back to full linear scans — the
     /// seed behavior, kept as an oracle for equivalence testing.
     pub use_index: bool,
+    /// Record derivation provenance: for every tuple inserted into the
+    /// model, which rule fired and which body facts it consumed. Enables
+    /// post-hoc [`crate::provenance::explain`] derivation trees at the
+    /// cost of cloning the matched source tuples per insertion.
+    pub provenance: bool,
 }
 
 impl Default for EvalOptions {
@@ -101,6 +106,7 @@ impl Default for EvalOptions {
             max_held_tuples: None,
             cancel: None,
             use_index: true,
+            provenance: false,
         }
     }
 }
@@ -286,15 +292,88 @@ impl fmt::Display for EvalStats {
         for (i, s) in self.strata.iter().enumerate() {
             writeln!(
                 f,
-                "stratum {i} ({}): {} iteration(s), {} inserted, {:?}",
+                "stratum {i} ({}): {} iteration(s), {} inserted, {}",
                 s.preds.join(", "),
                 s.iterations,
                 s.inserted,
-                s.elapsed
+                itdb_trace::fmt_duration(s.elapsed)
             )?;
         }
-        write!(f, "elapsed: {:?}", self.elapsed)
+        write!(f, "elapsed: {}", itdb_trace::fmt_duration(self.elapsed))
     }
+}
+
+impl EvalStats {
+    /// Renders the statistics as one JSON object (stable field order; all
+    /// durations in integer microseconds), the machine-readable twin of
+    /// the [`fmt::Display`] text. Consumed by the shell's `stats --json`
+    /// and the CLI's `--stats-json` flag.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"tuples_derived\":{},\"tuples_inserted\":{},\"tuples_subsumed\":{}",
+            self.tuples_derived, self.tuples_inserted, self.tuples_subsumed
+        );
+        let c = &self.counters;
+        let _ = write!(
+            out,
+            ",\"counters\":{{\"subsumption_checks\":{},\"index_candidates\":{},\
+             \"index_scanned_naive\":{},\"canonical_cache_hits\":{},\
+             \"canonical_cache_misses\":{},\"empty_cache_hits\":{},\
+             \"empty_cache_misses\":{},\"canonicalize_calls\":{}}}",
+            c.subsumption_checks,
+            c.index_candidates,
+            c.index_scanned_naive,
+            c.canonical_cache_hits,
+            c.canonical_cache_misses,
+            c.empty_cache_hits,
+            c.empty_cache_misses,
+            c.canonicalize_calls
+        );
+        out.push_str(",\"strata\":[");
+        for (i, s) in self.strata.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"preds\":[");
+            for (j, p) in s.preds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                itdb_trace::json::escape_into(p, &mut out);
+                out.push('"');
+            }
+            let _ = write!(
+                out,
+                "],\"iterations\":{},\"inserted\":{},\"elapsed_us\":{}}}",
+                s.iterations,
+                s.inserted,
+                s.elapsed.as_micros()
+            );
+        }
+        let _ = write!(out, "],\"elapsed_us\":{}}}", self.elapsed.as_micros());
+        out
+    }
+}
+
+/// One successful insertion into the model with its provenance: the rule
+/// that fired and the body facts it consumed. Recorded in insertion order
+/// (so every source fact of a derivation precedes it in the list), which
+/// is what makes [`crate::provenance::explain`]'s tree reconstruction
+/// terminate.
+#[derive(Debug, Clone)]
+pub struct Derivation {
+    /// Head predicate.
+    pub pred: String,
+    /// The canonical tuple that entered the model.
+    pub tuple: GeneralizedTuple,
+    /// Source-program clause index of the rule that fired.
+    pub rule: usize,
+    /// Positive body facts matched when the rule fired, in body order.
+    pub sources: Vec<(String, GeneralizedTuple)>,
 }
 
 /// The result of evaluating a program.
@@ -314,6 +393,13 @@ pub struct Evaluation {
     pub info: ProgramInfo,
     /// Tuple flow, cache and index counters, and per-stratum timings.
     pub stats: EvalStats,
+    /// Provenance records, in insertion order (empty unless
+    /// [`EvalOptions::provenance`]).
+    pub derivations: Vec<Derivation>,
+    /// One human-readable label per source-program clause (`r0: <clause>`),
+    /// indexed by [`Derivation::rule`]; shared by trace spans, the
+    /// `profile` table, and `explain` rendering.
+    pub rule_labels: Vec<String>,
 }
 
 impl Evaluation {
@@ -376,10 +462,23 @@ pub fn evaluate_governed(
     governor: &Arc<Governor>,
 ) -> Result<Evaluation> {
     let _scope = governor.enter();
+    let _eval_span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "evaluate");
     let eval_start = Instant::now();
     let counters_before = itdb_lrp::stats::snapshot();
     let mut stats = EvalStats::default();
     let info = analyze(program)?;
+    // Rule identity for spans, events, and provenance: one label per
+    // *source* clause, so indices stay stable across dead-clause filtering.
+    let rule_labels: Vec<String> = program
+        .clauses
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("r{i}: {c}"))
+        .collect();
+    // Source facts are cloned per derivation only when someone will read
+    // them: the provenance recorder or an installed trace sink.
+    let collect_sources = opts.provenance || itdb_trace::enabled();
+    let mut derivations: Vec<Derivation> = Vec::new();
     // Validate the EDB up front (missing extensional relations are treated
     // as empty, mismatched schemas are errors).
     for pred in &info.extensional {
@@ -419,7 +518,10 @@ pub fn evaluate_governed(
     // fixpoint applies, with lower strata and the EDB acting as stable
     // inputs. Negated atoms always refer to stable inputs (stratified), so
     // their subtraction semantics is exact.
-    'strata: for stratum in &info.strata {
+    'strata: for (stratum_idx, stratum) in info.strata.iter().enumerate() {
+        let _stratum_span = itdb_trace::span_with(itdb_trace::SpanKind::Stratum, || {
+            format!("stratum {stratum_idx}")
+        });
         let stratum_start = Instant::now();
         stats.strata.push(StratumStats {
             preds: stratum.iter().cloned().collect(),
@@ -446,10 +548,19 @@ pub fn evaluate_governed(
             }
             iteration += 1;
             stratum_iter += 1;
-            let mut derived: Vec<(String, GeneralizedTuple)> = Vec::new();
+            let _iter_span = itdb_trace::span_with(itdb_trace::SpanKind::Iteration, || {
+                format!("iteration {iteration}")
+            });
+            let mut derived: Vec<Pending> = Vec::new();
             let mut trip: Option<TripReason> = None;
 
             'derive: for clause in &stratum_clauses {
+                let _rule_span = itdb_trace::span_with(itdb_trace::SpanKind::Rule, || {
+                    rule_labels
+                        .get(clause.idx)
+                        .cloned()
+                        .unwrap_or_else(|| format!("r{}", clause.idx))
+                });
                 let idb_positions = clause.body_positions_of(&stratum_preds);
                 // Relations for the negated atoms (stable inputs).
                 let neg_rels: Vec<&GeneralizedRelation> = clause
@@ -484,7 +595,15 @@ pub fn evaluate_governed(
                             &neg_rels,
                             opts.residue_budget,
                             opts.use_index,
-                            &mut |t| derived.push((clause.head_pred.clone(), t)),
+                            collect_sources,
+                            &mut |t, sources| {
+                                derived.push(Pending {
+                                    pred: clause.head_pred.clone(),
+                                    rule: clause.idx,
+                                    tuple: t,
+                                    sources,
+                                })
+                            },
                         ) {
                             trip = Some(as_trip(e)?);
                             break 'derive;
@@ -505,7 +624,15 @@ pub fn evaluate_governed(
                         &neg_rels,
                         opts.residue_budget,
                         opts.use_index,
-                        &mut |t| derived.push((clause.head_pred.clone(), t)),
+                        collect_sources,
+                        &mut |t, sources| {
+                            derived.push(Pending {
+                                pred: clause.head_pred.clone(),
+                                rule: clause.idx,
+                                tuple: t,
+                                sources,
+                            })
+                        },
                     ) {
                         trip = Some(as_trip(e)?);
                         break 'derive;
@@ -531,7 +658,17 @@ pub fn evaluate_governed(
             let mut new_fe_key = false;
             let mut next_delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
             stats.tuples_derived += derived.len() as u64;
-            for (pred, tuple) in derived {
+            for Pending {
+                pred,
+                rule,
+                tuple,
+                sources,
+            } in derived
+            {
+                itdb_trace::emit(|| itdb_trace::EventKind::TupleDerived {
+                    pred: pred.clone(),
+                    rule,
+                });
                 let Some(tuple) = tuple.canonical() else {
                     continue;
                 };
@@ -547,6 +684,26 @@ pub fn evaluate_governed(
                 };
                 match ins {
                     Ok(true) => {
+                        itdb_trace::emit(|| itdb_trace::EventKind::TupleInserted {
+                            pred: pred.clone(),
+                            rule,
+                            tuple: tuple.to_string(),
+                            sources: sources
+                                .iter()
+                                .map(|(p, t)| itdb_trace::SourceFact {
+                                    pred: p.clone(),
+                                    tuple: t.to_string(),
+                                })
+                                .collect(),
+                        });
+                        if opts.provenance {
+                            derivations.push(Derivation {
+                                pred: pred.clone(),
+                                tuple: tuple.clone(),
+                                rule,
+                                sources,
+                            });
+                        }
                         let keys = fe_keys.entry(pred_key(&info, &pred)?).or_default();
                         if keys.insert(tuple.free_extension_key()) {
                             new_fe_key = true;
@@ -561,7 +718,14 @@ pub fn evaluate_governed(
                             break;
                         }
                     }
-                    Ok(false) => subsumed.push((pred, tuple)),
+                    Ok(false) => {
+                        itdb_trace::emit(|| itdb_trace::EventKind::TupleSubsumed {
+                            pred: pred.clone(),
+                            rule,
+                            tuple: tuple.to_string(),
+                        });
+                        subsumed.push((pred, tuple));
+                    }
                     Err(e) => {
                         trip = Some(as_trip(e)?);
                         break;
@@ -661,7 +825,18 @@ pub fn evaluate_governed(
         trace,
         info,
         stats,
+        derivations,
+        rule_labels,
     })
+}
+
+/// A derived head tuple awaiting canonicalization and subsumption insert,
+/// with the rule that produced it and (when collected) its source facts.
+struct Pending {
+    pred: String,
+    rule: usize,
+    tuple: GeneralizedTuple,
+    sources: Vec<(String, GeneralizedTuple)>,
 }
 
 /// Borrow-friendly key helper: interns the predicate name against the
@@ -674,30 +849,45 @@ fn pred_key<'a>(info: &'a ProgramInfo, pred: &str) -> Result<&'a str> {
 }
 
 /// Applies one clause to the given body relations, emitting derived head
-/// tuples through `emit`.
+/// tuples through `emit`. When `collect_sources` is set, each emission
+/// carries the positive body facts matched on the DFS path that produced
+/// it (cloned); otherwise the source list is empty.
 fn eval_clause<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
-    clause: &NormClause,
+    clause: &'a NormClause,
     rel_for: &F,
     neg_rels: &[&GeneralizedRelation],
     budget: u64,
     use_index: bool,
-    emit: &mut dyn FnMut(GeneralizedTuple),
+    collect_sources: bool,
+    emit: &mut dyn FnMut(GeneralizedTuple, Vec<(String, GeneralizedTuple)>),
 ) -> Result<()> {
     let n = clause.n_tvars;
     let mut state = MatchState {
         lrps: vec![Lrp::all_integers(); n],
         dbm: Dbm::unconstrained(n),
         binding: HashMap::new(),
+        matched: Vec::new(),
     };
     dfs(
-        clause, rel_for, neg_rels, 0, &mut state, budget, use_index, emit,
+        clause,
+        rel_for,
+        neg_rels,
+        0,
+        &mut state,
+        budget,
+        use_index,
+        collect_sources,
+        emit,
     )
 }
 
-struct MatchState {
+struct MatchState<'a> {
     lrps: Vec<Lrp>,
     dbm: Dbm,
     binding: HashMap<String, DataValue>,
+    /// Body facts matched on the current DFS path, in body order (fed to
+    /// provenance when source collection is on).
+    matched: Vec<(&'a str, &'a GeneralizedTuple)>,
 }
 
 /// The fully ground data key of `data` under the current bindings: `Some`
@@ -720,17 +910,26 @@ fn ground_data_key(
 
 #[allow(clippy::too_many_arguments)]
 fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
-    clause: &NormClause,
+    clause: &'a NormClause,
     rel_for: &F,
     neg_rels: &[&GeneralizedRelation],
     k: usize,
-    state: &mut MatchState,
+    state: &mut MatchState<'a>,
     budget: u64,
     use_index: bool,
-    emit: &mut dyn FnMut(GeneralizedTuple),
+    collect_sources: bool,
+    emit: &mut dyn FnMut(GeneralizedTuple, Vec<(String, GeneralizedTuple)>),
 ) -> Result<()> {
     if k == clause.body.len() {
-        return finish(clause, state, neg_rels, budget, use_index, emit);
+        return finish(
+            clause,
+            state,
+            neg_rels,
+            budget,
+            use_index,
+            collect_sources,
+            emit,
+        );
     }
     let atom = &clause.body[k];
     let rel = rel_for(k);
@@ -783,7 +982,8 @@ fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
             continue 'tuples;
         }
 
-        dfs(
+        state.matched.push((atom.pred.as_str(), tuple));
+        let r = dfs(
             clause,
             rel_for,
             neg_rels,
@@ -791,14 +991,17 @@ fn dfs<'a, F: Fn(usize) -> &'a GeneralizedRelation>(
             state,
             budget,
             use_index,
+            collect_sources,
             emit,
-        )?;
+        );
+        state.matched.pop();
+        r?;
         undo(state, saved_lrps, saved_dbm, &bound_here);
     }
     Ok(())
 }
 
-fn undo(state: &mut MatchState, lrps: Vec<Lrp>, dbm: Dbm, bound_here: &[String]) {
+fn undo(state: &mut MatchState<'_>, lrps: Vec<Lrp>, dbm: Dbm, bound_here: &[String]) {
     state.lrps = lrps;
     state.dbm = dbm;
     for v in bound_here {
@@ -814,7 +1017,7 @@ fn undo(state: &mut MatchState, lrps: Vec<Lrp>, dbm: Dbm, bound_here: &[String])
 fn apply_temporal(
     atom: &NormAtom,
     tuple: &GeneralizedTuple,
-    state: &mut MatchState,
+    state: &mut MatchState<'_>,
 ) -> Result<bool> {
     let zone = tuple.zone();
     for (pos, &(v, s)) in atom.temporal.iter().enumerate() {
@@ -860,13 +1063,15 @@ fn map_idx(atom: &NormAtom, a: usize) -> (usize, i64) {
 /// Leaf of the DFS: conjoin the clause constraints, subtract the negated
 /// atoms' regions (stratified negation as exact zone subtraction), project
 /// onto the head variables, instantiate the head data, and emit.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     clause: &NormClause,
-    state: &mut MatchState,
+    state: &mut MatchState<'_>,
     neg_rels: &[&GeneralizedRelation],
     budget: u64,
     use_index: bool,
-    emit: &mut dyn FnMut(GeneralizedTuple),
+    collect_sources: bool,
+    emit: &mut dyn FnMut(GeneralizedTuple, Vec<(String, GeneralizedTuple)>),
 ) -> Result<()> {
     let mut dbm = state.dbm.clone();
     for c in &clause.constraints {
@@ -914,6 +1119,7 @@ fn finish(
                 lrps: vec![Lrp::all_integers(); clause.n_tvars],
                 dbm: Dbm::unconstrained(clause.n_tvars),
                 binding: HashMap::new(),
+                matched: Vec::new(),
             };
             if apply_temporal(atom, tuple, &mut probe)? {
                 forbidden.push(Zone::from_parts(probe.lrps, probe.dbm)?);
@@ -944,9 +1150,23 @@ fn finish(
                 }),
             })
             .collect::<Result<_>>()?;
+    // One source-fact clone per DFS leaf, shared by every zone the head
+    // projection splits into (they all come from the same rule firing).
+    let sources: Vec<(String, GeneralizedTuple)> = if collect_sources {
+        state
+            .matched
+            .iter()
+            .map(|(p, t)| (p.to_string(), (*t).clone()))
+            .collect()
+    } else {
+        Vec::new()
+    };
     for zone in zones {
         for head_zone in zone.project(&clause.head_tvars, budget)? {
-            emit(GeneralizedTuple::new(head_zone, data.clone()));
+            emit(
+                GeneralizedTuple::new(head_zone, data.clone()),
+                sources.clone(),
+            );
         }
     }
     Ok(())
@@ -1496,7 +1716,23 @@ mod tests {
             txt.contains("stratum 0 (problems): 8 iteration(s)"),
             "{txt}"
         );
-        assert!(txt.ends_with(&format!("elapsed: {:?}", s.elapsed)), "{txt}");
+        // Durations render human-friendly (satellite of the observability
+        // PR): `1.234ms` / `45.6µs`, never the Debug form.
+        assert!(
+            txt.ends_with(&format!("elapsed: {}", itdb_trace::fmt_duration(s.elapsed))),
+            "{txt}"
+        );
+        let json = s.to_json();
+        let v = itdb_trace::json::parse(&json).expect("stats JSON parses");
+        assert_eq!(
+            v.get("tuples_inserted").and_then(|x| x.as_f64()),
+            Some(7.0),
+            "{json}"
+        );
+        assert_eq!(
+            v.get("strata").and_then(|x| x.as_array()).map(|a| a.len()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! free-extension and constraint safety ([`engine`]), a window-bounded
 //! ground evaluator used as the tuple-at-a-time baseline ([`ground`]), and
 //! goal-style querying of computed models ([`mod@query`]).
+//!
+//! Observability rides on `itdb-trace`: the engine opens structured spans
+//! (`evaluate` → `stratum` → `iteration` → `rule`) and emits typed events
+//! for every derived/inserted/subsumed tuple; [`provenance`] rebuilds
+//! derivation trees from recorded provenance, and [`metrics`] renders
+//! evaluation statistics as Prometheus text.
 
 #![warn(missing_docs)]
 
@@ -35,17 +41,21 @@ pub mod ast;
 pub mod db;
 pub mod engine;
 pub mod ground;
+pub mod metrics;
 pub mod normalize;
 pub mod parser;
+pub mod provenance;
 pub mod query;
 
 pub use analyze::{analyze, ProgramInfo};
 pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
 pub use db::Database;
 pub use engine::{
-    evaluate, evaluate_governed, evaluate_with, Completeness, EvalOptions, EvalOutcome, EvalStats,
-    Evaluation, Interruption, IterationTrace, StratumStats,
+    evaluate, evaluate_governed, evaluate_with, Completeness, Derivation, EvalOptions, EvalOutcome,
+    EvalStats, Evaluation, Interruption, IterationTrace, StratumStats,
 };
 pub use itdb_lrp::{CancelToken, Governor, GovernorConfig, GovernorStats, TripReason};
+pub use metrics::render_metrics;
 pub use parser::{parse_atom, parse_clause, parse_program};
+pub use provenance::{explain, DerivationNode};
 pub use query::{ask, query};

@@ -1,0 +1,199 @@
+//! Prometheus text-format export of evaluation statistics and span
+//! profiles (`--metrics file.prom`, and the shell's metrics snapshot).
+//!
+//! Rendering goes through [`itdb_trace::prom::PromText`], which validates
+//! metric and label names and escapes label values, so the output is
+//! always a well-formed exposition-format document regardless of what the
+//! program's rule texts contain.
+
+use crate::engine::EvalStats;
+use itdb_trace::prom::PromText;
+use itdb_trace::{Profile, SpanKind};
+
+/// Renders `stats` (and, when given, a span `profile`) as one Prometheus
+/// text exposition-format document.
+pub fn render_metrics(stats: &EvalStats, profile: Option<&Profile>) -> String {
+    let mut p = PromText::new();
+    p.counter(
+        "itdb_tuples_derived_total",
+        "Candidate head tuples produced by clause applications.",
+        stats.tuples_derived,
+    );
+    p.counter(
+        "itdb_tuples_inserted_total",
+        "Tuples that survived subsumption and entered the model.",
+        stats.tuples_inserted,
+    );
+    p.counter(
+        "itdb_tuples_subsumed_total",
+        "Tuples derived but already covered by the interpretation.",
+        stats.tuples_subsumed,
+    );
+    let c = &stats.counters;
+    p.counter(
+        "itdb_subsumption_checks_total",
+        "Semantic subsumption checks performed.",
+        c.subsumption_checks,
+    );
+    p.counter(
+        "itdb_index_candidates_total",
+        "Tuples consulted through the data-vector index.",
+        c.index_candidates,
+    );
+    p.counter(
+        "itdb_index_scanned_naive_total",
+        "Tuples a full linear scan would have consulted at the same sites.",
+        c.index_scanned_naive,
+    );
+    p.counter(
+        "itdb_canonicalize_calls_total",
+        "Zone canonicalization fixpoints run.",
+        c.canonicalize_calls,
+    );
+    p.counter(
+        "itdb_canonical_cache_hits_total",
+        "Canonical-form requests answered from the per-tuple memo.",
+        c.canonical_cache_hits,
+    );
+    p.counter(
+        "itdb_canonical_cache_misses_total",
+        "Canonical-form requests that had to compute.",
+        c.canonical_cache_misses,
+    );
+    p.counter(
+        "itdb_empty_cache_hits_total",
+        "Emptiness verdicts answered from the per-tuple memo.",
+        c.empty_cache_hits,
+    );
+    p.counter(
+        "itdb_empty_cache_misses_total",
+        "Emptiness verdicts that had to compute.",
+        c.empty_cache_misses,
+    );
+    p.gauge(
+        "itdb_elapsed_seconds",
+        "Total evaluation wall clock, final coalescing included.",
+        stats.elapsed.as_secs_f64(),
+    );
+
+    let stratum_labels: Vec<(String, String)> = stats
+        .strata
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i.to_string(), s.preds.join(",")))
+        .collect();
+    let per_stratum = |f: &dyn Fn(&crate::engine::StratumStats) -> f64| {
+        stats
+            .strata
+            .iter()
+            .zip(&stratum_labels)
+            .map(|(s, (idx, preds))| {
+                (
+                    vec![("stratum", idx.as_str()), ("preds", preds.as_str())],
+                    f(s),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    p.family(
+        "itdb_stratum_iterations",
+        "T_GP iterations run per stratum.",
+        "gauge",
+        &per_stratum(&|s| s.iterations as f64),
+    );
+    p.family(
+        "itdb_stratum_inserted",
+        "Tuples inserted per stratum.",
+        "gauge",
+        &per_stratum(&|s| s.inserted as f64),
+    );
+    p.family(
+        "itdb_stratum_seconds",
+        "Wall clock per stratum.",
+        "gauge",
+        &per_stratum(&|s| s.elapsed.as_secs_f64()),
+    );
+
+    if let Some(profile) = profile {
+        let rules: Vec<&itdb_trace::ProfileEntry> = profile.of_kind(SpanKind::Rule).collect();
+        let self_samples: Vec<(Vec<(&str, &str)>, f64)> = rules
+            .iter()
+            .map(|e| (vec![("rule", e.label.as_str())], e.self_time.as_secs_f64()))
+            .collect();
+        p.family(
+            "itdb_rule_self_seconds",
+            "Wall clock inside each rule's clause applications, child spans excluded.",
+            "gauge",
+            &self_samples,
+        );
+        let count_samples: Vec<(Vec<(&str, &str)>, f64)> = rules
+            .iter()
+            .map(|e| (vec![("rule", e.label.as_str())], e.count as f64))
+            .collect();
+        p.family(
+            "itdb_rule_applications",
+            "Times each rule was applied.",
+            "gauge",
+            &count_samples,
+        );
+        let ops: Vec<(Vec<(&str, &str)>, f64)> = profile
+            .of_kind(SpanKind::Op)
+            .map(|e| (vec![("op", e.label.as_str())], e.self_time.as_secs_f64()))
+            .collect();
+        p.family(
+            "itdb_op_self_seconds",
+            "Wall clock inside instrumented algebra/relation operations.",
+            "gauge",
+            &ops,
+        );
+    }
+    p.finish()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::engine::evaluate;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn metrics_render_well_formed_exposition_text() {
+        let p = parse_program("p[t + 5] <- e[t]. p[t + 5] <- p[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let text = render_metrics(&eval.stats, None);
+        assert!(text.contains("# TYPE itdb_tuples_derived_total counter"));
+        assert!(text.contains("itdb_stratum_iterations{stratum=\"0\",preds=\"p\"}"));
+        assert!(text.contains("itdb_elapsed_seconds"));
+        // Every line is a comment or a `name{labels} value` sample with a
+        // parseable float value.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("value is a number");
+        }
+    }
+
+    #[test]
+    fn metrics_include_rule_profile_when_given() {
+        let p = parse_program("p[t + 5] <- e[t]. p[t + 5] <- p[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        itdb_trace::set_profiling(true);
+        let eval = evaluate(&p, &db).unwrap();
+        itdb_trace::set_profiling(false);
+        let profile = itdb_trace::take_profile();
+        let text = render_metrics(&eval.stats, Some(&profile));
+        assert!(
+            text.contains("itdb_rule_self_seconds{rule=\"r1: p[t + 5] <- p[t].\"}")
+                || text.contains("itdb_rule_self_seconds{rule=\"r1"),
+            "{text}"
+        );
+        assert!(text.contains("itdb_rule_applications"), "{text}");
+    }
+}

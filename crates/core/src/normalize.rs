@@ -45,6 +45,10 @@ pub enum NormConstraint {
 /// A clause in generalized-program form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NormClause {
+    /// Index of the source clause in the program, stable across the
+    /// engine's dead-clause filtering — the rule identity used by trace
+    /// events, derivation provenance, and profile labels.
+    pub idx: usize,
     /// Head predicate.
     pub head_pred: String,
     /// Number of temporal variables in the clause (ids `0..n_tvars`).
@@ -85,9 +89,18 @@ impl NormClause {
     }
 }
 
-/// Normalizes a whole program.
+/// Normalizes a whole program. Each clause keeps its source index in
+/// [`NormClause::idx`].
 pub fn normalize_program(p: &Program) -> Result<Vec<NormClause>> {
-    p.clauses.iter().map(normalize_clause).collect()
+    p.clauses
+        .iter()
+        .enumerate()
+        .map(|(idx, c)| {
+            let mut n = normalize_clause(c)?;
+            n.idx = idx;
+            Ok(n)
+        })
+        .collect()
 }
 
 /// Normalizes a single clause. See the module documentation.
@@ -157,6 +170,7 @@ pub fn normalize_clause(c: &Clause) -> Result<NormClause> {
     }
 
     Ok(NormClause {
+        idx: 0,
         head_pred: c.head.pred.clone(),
         n_tvars: ctx.names.len(),
         head_tvars,

@@ -1,0 +1,229 @@
+//! Post-hoc derivation trees ("why is this tuple in the model?").
+//!
+//! When an evaluation runs with [`EvalOptions::provenance`], every
+//! insertion is recorded as a [`Derivation`]: the rule that fired and the
+//! body facts it consumed. This module reconstructs, for a queried ground
+//! point, the full derivation tree down to extensional (EDB) leaves.
+//!
+//! Reconstruction is well-founded by construction: derivations are
+//! recorded in insertion order, and a rule can only have matched tuples
+//! already *in* the model, so every source fact of derivation `i`
+//! structurally equals some derivation `j < i` (or an EDB fact). The
+//! resolver therefore only ever searches strictly earlier records, which
+//! makes the recursion terminate even for recursive programs.
+//!
+//! [`EvalOptions::provenance`]: crate::engine::EvalOptions::provenance
+
+use crate::engine::{Derivation, Evaluation};
+use itdb_lrp::{DataValue, GeneralizedTuple};
+use std::fmt::Write as _;
+
+/// One node of a derivation tree.
+#[derive(Debug, Clone)]
+pub struct DerivationNode {
+    /// Predicate of the fact.
+    pub pred: String,
+    /// The generalized tuple holding the fact.
+    pub tuple: GeneralizedTuple,
+    /// Source-program clause index of the rule that derived it, `None`
+    /// for extensional (EDB) leaves.
+    pub rule: Option<usize>,
+    /// Sub-derivations of the rule's positive body facts, in body order.
+    pub children: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// Is every leaf of this tree fully ground: either an extensional
+    /// (EDB) fact, or a bodyless program clause (an axiom)? A `false`
+    /// means some intensional source could not be resolved to an earlier
+    /// derivation — provenance was incomplete.
+    pub fn grounded_in_edb(&self, extensional: &std::collections::BTreeSet<String>) -> bool {
+        if self.children.is_empty() {
+            return match self.rule {
+                Some(_) => true, // bodyless program fact
+                None => extensional.contains(&self.pred),
+            };
+        }
+        self.children.iter().all(|c| c.grounded_in_edb(extensional))
+    }
+
+    /// Renders the tree with box-drawing indentation; `rule_labels` come
+    /// from [`Evaluation::rule_labels`].
+    pub fn render(&self, rule_labels: &[String]) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", true, true, rule_labels);
+        out
+    }
+
+    fn render_into(
+        &self,
+        out: &mut String,
+        prefix: &str,
+        is_root: bool,
+        is_last: bool,
+        rule_labels: &[String],
+    ) {
+        let (branch, child_prefix) = if is_root {
+            (String::new(), String::new())
+        } else if is_last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let origin = match self.rule {
+            Some(r) => rule_labels
+                .get(r)
+                .cloned()
+                .unwrap_or_else(|| format!("r{r}")),
+            None => "EDB".to_string(),
+        };
+        let _ = writeln!(out, "{branch}{} {}   [{origin}]", self.pred, self.tuple);
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(
+                out,
+                &child_prefix,
+                false,
+                i + 1 == self.children.len(),
+                rule_labels,
+            );
+        }
+    }
+}
+
+/// Explains why `pred` holds at the ground point `(temporal, data)`:
+/// returns the derivation tree of the latest recorded derivation whose
+/// tuple covers the point, or `None` when no recorded derivation does
+/// (predicate unknown, point not in the model, or provenance was off).
+pub fn explain(
+    eval: &Evaluation,
+    pred: &str,
+    temporal: &[i64],
+    data: &[DataValue],
+) -> Option<DerivationNode> {
+    // Latest match wins: later derivations are at least as refined, and
+    // any match yields a valid tree.
+    let idx = eval
+        .derivations
+        .iter()
+        .rposition(|d| d.pred == pred && d.tuple.contains(temporal, data))?;
+    Some(build(eval, idx))
+}
+
+/// Builds the tree rooted at derivation `idx`, resolving each source fact
+/// among strictly earlier derivations (intensional) or as an EDB leaf.
+fn build(eval: &Evaluation, idx: usize) -> DerivationNode {
+    let d = &eval.derivations[idx];
+    let children = d
+        .sources
+        .iter()
+        .map(|(pred, tuple)| {
+            if eval.info.intensional.contains(pred) {
+                if let Some(j) = find_before(&eval.derivations, idx, pred, tuple) {
+                    return build(eval, j);
+                }
+            }
+            // Extensional fact — or an intensional source whose record
+            // predates provenance collection (shouldn't happen when
+            // provenance was on for the whole run).
+            DerivationNode {
+                pred: pred.clone(),
+                tuple: tuple.clone(),
+                rule: None,
+                children: Vec::new(),
+            }
+        })
+        .collect();
+    DerivationNode {
+        pred: d.pred.clone(),
+        tuple: d.tuple.clone(),
+        rule: Some(d.rule),
+        children,
+    }
+}
+
+/// The latest derivation before `idx` whose predicate and tuple match
+/// `tuple` structurally (tuples are compared in display form: inserted
+/// tuples are canonical, and source facts are clones of inserted ones, so
+/// renderings coincide exactly).
+fn find_before(
+    derivations: &[Derivation],
+    idx: usize,
+    pred: &str,
+    tuple: &GeneralizedTuple,
+) -> Option<usize> {
+    let wanted = tuple.to_string();
+    derivations[..idx]
+        .iter()
+        .rposition(|d| d.pred == pred && d.tuple.to_string() == wanted)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::engine::{evaluate_with, EvalOptions};
+    use crate::parser::parse_program;
+
+    fn provenance_opts() -> EvalOptions {
+        EvalOptions {
+            provenance: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn explain_recursive_derivation_reaches_edb() {
+        let p = parse_program("p[t + 5] <- e[t]. p[t + 5] <- p[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        let eval = evaluate_with(&p, &db, &provenance_opts()).unwrap();
+        assert!(eval.outcome.converged());
+        // 10 = 0 + 5 + 5: derived by the recursive rule from p[5], which
+        // the base rule derived from e[0].
+        let tree = explain(&eval, "p", &[10], &[]).expect("p holds at 10");
+        assert_eq!(tree.pred, "p");
+        assert!(tree.rule.is_some());
+        assert!(tree.grounded_in_edb(&eval.info.extensional), "{tree:?}");
+        // The rendered tree mentions the EDB leaf.
+        let txt = tree.render(&eval.rule_labels);
+        assert!(txt.contains("[EDB]"), "{txt}");
+        assert!(txt.contains("e "), "{txt}");
+    }
+
+    #[test]
+    fn explain_two_strata_with_negation() {
+        let p = parse_program(
+            "service[t] <- sched[t]. service[t + 12] <- service[t].
+             gap[t] <- tick[t], !service[t].",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("sched", "(24n)").unwrap();
+        db.insert_parsed("tick", "(n)").unwrap();
+        let eval = evaluate_with(&p, &db, &provenance_opts()).unwrap();
+        assert!(eval.outcome.converged());
+        // 5 is a gap (service only at multiples of 12).
+        let tree = explain(&eval, "gap", &[5], &[]).expect("gap holds at 5");
+        assert_eq!(tree.rule, Some(2));
+        assert!(tree.grounded_in_edb(&eval.info.extensional));
+        // service[12] goes through the recursive rule down to sched.
+        let tree = explain(&eval, "service", &[12], &[]).expect("service holds at 12");
+        assert!(tree.grounded_in_edb(&eval.info.extensional));
+        assert!(tree.render(&eval.rule_labels).contains("sched"));
+    }
+
+    #[test]
+    fn explain_missing_point_or_disabled_provenance() {
+        let p = parse_program("p[t + 5] <- e[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        let eval = evaluate_with(&p, &db, &provenance_opts()).unwrap();
+        assert!(explain(&eval, "p", &[7], &[]).is_none());
+        assert!(explain(&eval, "nosuch", &[0], &[]).is_none());
+
+        let plain = evaluate_with(&p, &db, &EvalOptions::default()).unwrap();
+        assert!(plain.derivations.is_empty());
+        assert!(explain(&plain, "p", &[5], &[]).is_none());
+    }
+}

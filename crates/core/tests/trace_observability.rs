@@ -1,0 +1,206 @@
+//! Observability integration tests.
+//!
+//! Three guarantees are pinned here: (1) the disabled path is inert — an
+//! evaluation with no sink installed writes nothing and computes the same
+//! model as an untraced one; (2) the JSONL event stream conforms to its
+//! documented schema, line by line; (3) governor trips surface in the
+//! stream at the moment they happen.
+
+use itdb_core::{evaluate_with, parse_program, Database, EvalOptions, Program};
+use itdb_trace::{json, MemorySink};
+use std::sync::Arc;
+
+/// Recursive two-stratum program (negation separates the strata).
+fn sample() -> (Program, Database) {
+    let p = parse_program(
+        "service[t] <- sched[t]. service[t + 12] <- service[t].
+         gap[t] <- tick[t], !service[t].",
+    )
+    .expect("sample program parses");
+    let mut db = Database::new();
+    db.insert_parsed("sched", "(24n)").expect("sched parses");
+    db.insert_parsed("tick", "(n)").expect("tick parses");
+    (p, db)
+}
+
+fn assert_models_equivalent(a: &itdb_core::Evaluation, b: &itdb_core::Evaluation) {
+    assert_eq!(a.idb.len(), b.idb.len());
+    for (pred, rel) in &a.idb {
+        let other = b.relation(pred).expect("same predicates");
+        assert!(
+            rel.equivalent(other, itdb_lrp::DEFAULT_RESIDUE_BUDGET)
+                .expect("equivalence decidable"),
+            "{pred} differs between traced and untraced evaluation"
+        );
+    }
+}
+
+#[test]
+fn disabled_eval_records_nothing_and_matches_untraced() {
+    itdb_trace::clear_sinks();
+    let mem = Arc::new(MemorySink::new());
+    let id = itdb_trace::add_sink(mem.clone());
+    assert!(itdb_trace::remove_sink(id));
+    assert!(!itdb_trace::enabled());
+
+    let (p, db) = sample();
+    let disabled = evaluate_with(&p, &db, &EvalOptions::default()).expect("eval");
+    assert_eq!(mem.len(), 0, "a removed sink must see no writes");
+    assert!(
+        disabled.derivations.is_empty(),
+        "no provenance collected while tracing is off"
+    );
+
+    let plain = evaluate_with(&p, &db, &EvalOptions::default()).expect("eval");
+    assert_eq!(plain.outcome.converged(), disabled.outcome.converged());
+    assert_eq!(plain.stats.tuples_inserted, disabled.stats.tuples_inserted);
+    assert_models_equivalent(&plain, &disabled);
+}
+
+#[test]
+fn traced_eval_computes_the_same_model() {
+    itdb_trace::clear_sinks();
+    let (p, db) = sample();
+    let plain = evaluate_with(&p, &db, &EvalOptions::default()).expect("eval");
+
+    let mem = Arc::new(MemorySink::new());
+    let id = itdb_trace::add_sink(mem.clone());
+    let traced = evaluate_with(&p, &db, &EvalOptions::default()).expect("eval");
+    itdb_trace::remove_sink(id);
+
+    assert!(!mem.is_empty(), "tracing on: events must be recorded");
+    assert_models_equivalent(&plain, &traced);
+}
+
+/// Every line of the stream parses as JSON and carries the documented
+/// per-kind payload fields; span enters and exits balance.
+#[test]
+fn jsonl_stream_conforms_to_schema() {
+    itdb_trace::clear_sinks();
+    let (p, db) = sample();
+    let mem = Arc::new(MemorySink::new());
+    let id = itdb_trace::add_sink(mem.clone());
+    let _ = evaluate_with(&p, &db, &EvalOptions::default()).expect("eval");
+    itdb_trace::remove_sink(id);
+
+    let events = mem.take();
+    assert!(!events.is_empty());
+
+    let str_field = |v: &json::Value, k: &str| -> String {
+        v.get(k)
+            .and_then(|x| x.as_str().map(str::to_string))
+            .unwrap_or_else(|| panic!("missing string field `{k}`"))
+    };
+    let num_field = |v: &json::Value, k: &str| -> f64 {
+        v.get(k)
+            .and_then(|x| x.as_f64())
+            .unwrap_or_else(|| panic!("missing numeric field `{k}`"))
+    };
+
+    let mut enters = 0usize;
+    let mut exits = 0usize;
+    let mut inserted_with_sources = 0usize;
+    let mut last_t = 0.0f64;
+    for e in &events {
+        let line = e.to_json();
+        let v = json::parse(&line).unwrap_or_else(|err| panic!("bad JSON `{line}`: {err}"));
+        let t = num_field(&v, "t_us");
+        assert!(t >= last_t, "timestamps are monotone");
+        last_t = t;
+        match str_field(&v, "event").as_str() {
+            "span_enter" => {
+                enters += 1;
+                let kind = str_field(&v, "kind");
+                assert!(
+                    ["evaluate", "stratum", "iteration", "rule", "op"].contains(&kind.as_str()),
+                    "unknown span kind `{kind}`"
+                );
+                str_field(&v, "label");
+                num_field(&v, "depth");
+            }
+            "span_exit" => {
+                exits += 1;
+                let total = num_field(&v, "total_us");
+                let selftime = num_field(&v, "self_us");
+                assert!(selftime <= total, "self time cannot exceed total");
+            }
+            "tuple_derived" => {
+                str_field(&v, "pred");
+                num_field(&v, "rule");
+            }
+            "tuple_inserted" => {
+                str_field(&v, "pred");
+                str_field(&v, "tuple");
+                num_field(&v, "rule");
+                let sources = v
+                    .get("sources")
+                    .and_then(|s| s.as_array())
+                    .expect("sources array");
+                if !sources.is_empty() {
+                    inserted_with_sources += 1;
+                }
+                for s in sources {
+                    str_field(s, "pred");
+                    str_field(s, "tuple");
+                }
+            }
+            "tuple_subsumed" => {
+                str_field(&v, "pred");
+                str_field(&v, "tuple");
+                num_field(&v, "rule");
+            }
+            "governor_trip" => {
+                str_field(&v, "reason");
+            }
+            "index_lookup" => {
+                let candidates = num_field(&v, "candidates");
+                let scanned = num_field(&v, "scanned");
+                assert!(candidates <= scanned, "index cannot widen a scan");
+            }
+            "message" => {
+                str_field(&v, "text");
+            }
+            other => panic!("unknown event discriminator `{other}` in `{line}`"),
+        }
+    }
+    assert_eq!(enters, exits, "span enters and exits balance");
+    assert!(enters >= 4, "evaluate/stratum/iteration/rule spans present");
+    assert!(
+        inserted_with_sources > 0,
+        "tracing implies source collection: some insert carries sources"
+    );
+
+    // The stream opens with the outermost evaluate span.
+    let first = json::parse(&events[0].to_json()).expect("first line parses");
+    assert_eq!(str_field(&first, "event"), "span_enter");
+    assert_eq!(str_field(&first, "kind"), "evaluate");
+    assert_eq!(num_field(&first, "depth"), 0.0);
+}
+
+#[test]
+fn governor_trip_appears_in_stream() {
+    itdb_trace::clear_sinks();
+    let p = parse_program("q[t] <- p[t]. q[t + 5] <- q[t].").expect("parses");
+    let mut db = Database::new();
+    db.insert_parsed("p", "(n) : T1 = 0").expect("parses");
+    let opts = EvalOptions {
+        max_derived_tuples: Some(5),
+        ..Default::default()
+    };
+    let mem = Arc::new(MemorySink::new());
+    let id = itdb_trace::add_sink(mem.clone());
+    let eval = evaluate_with(&p, &db, &opts).expect("interruption is graceful");
+    itdb_trace::remove_sink(id);
+    assert!(eval.outcome.interruption().is_some(), "fuel must trip");
+
+    let trip = mem.take().into_iter().find_map(|e| {
+        let v = json::parse(&e.to_json()).ok()?;
+        if v.get("event")?.as_str()? == "governor_trip" {
+            v.get("reason")?.as_str().map(str::to_string)
+        } else {
+            None
+        }
+    });
+    let reason = trip.expect("a governor_trip event is in the stream");
+    assert!(reason.contains("fuel"), "{reason}");
+}

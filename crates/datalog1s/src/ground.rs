@@ -101,6 +101,7 @@ pub fn evaluate_governed(
     governor: &Arc<Governor>,
 ) -> Result<PeriodicModel> {
     let _scope = governor.enter();
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "datalog1s");
     evaluate(p, edb, opts)
 }
 

@@ -113,6 +113,7 @@ pub fn project(
 /// `b`. Output tuples whose zones canonicalize to empty are dropped eagerly
 /// rather than inflating the result until the next `normalize`.
 pub fn product(a: &GeneralizedRelation, b: &GeneralizedRelation) -> Result<GeneralizedRelation> {
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Op, "algebra.product");
     let schema = Schema::new(
         a.schema().temporal + b.schema().temporal,
         a.schema().data + b.schema().data,
@@ -212,6 +213,7 @@ pub fn join(
     temporal_eq: &[(usize, usize)],
     data_eq: &[(usize, usize)],
 ) -> Result<GeneralizedRelation> {
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Op, "algebra.join");
     check_join_columns(a, b, temporal_eq, data_eq)?;
     let schema = Schema::new(
         a.schema().temporal + b.schema().temporal,
@@ -264,6 +266,7 @@ pub fn join_naive(
     temporal_eq: &[(usize, usize)],
     data_eq: &[(usize, usize)],
 ) -> Result<GeneralizedRelation> {
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Op, "algebra.join_naive");
     check_join_columns(a, b, temporal_eq, data_eq)?;
     let schema = Schema::new(
         a.schema().temporal + b.schema().temporal,
@@ -341,6 +344,7 @@ pub fn difference(
     b: &GeneralizedRelation,
     budget: u64,
 ) -> Result<GeneralizedRelation> {
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Op, "algebra.difference");
     check_schema(a, b)?;
     let mut out = GeneralizedRelation::empty(a.schema());
     for ta in a.tuples() {

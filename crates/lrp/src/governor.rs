@@ -105,6 +105,16 @@ impl std::fmt::Display for TripReason {
     }
 }
 
+/// Builds the trip error, announcing it to any installed trace sink first
+/// (so `--trace` streams carry `governor_trip` events at the exact moment
+/// a budget was exceeded).
+fn trip(reason: TripReason) -> Error {
+    itdb_trace::emit(|| itdb_trace::EventKind::GovernorTrip {
+        reason: reason.to_string(),
+    });
+    Error::Interrupted(reason)
+}
+
 /// A shareable cooperative cancellation flag.
 ///
 /// Cloning is cheap (an `Arc` bump); setting the flag from any thread —
@@ -280,14 +290,14 @@ impl Governor {
         let _ = checks;
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
-                return Err(Error::Interrupted(TripReason::Cancelled));
+                return Err(trip(TripReason::Cancelled));
             }
         }
         if let Some(deadline) = self.deadline {
             let now = Instant::now();
             if now >= deadline {
                 let elapsed_ms = now.duration_since(self.started).as_millis() as u64;
-                return Err(Error::Interrupted(TripReason::DeadlineExceeded {
+                return Err(trip(TripReason::DeadlineExceeded {
                     elapsed_ms,
                     limit_ms: self.timeout_ms,
                 }));
@@ -296,19 +306,13 @@ impl Governor {
         if let Some(limit) = self.max_derived {
             let derived = self.derived.load(Ordering::Relaxed);
             if derived > limit {
-                return Err(Error::Interrupted(TripReason::TupleFuelExhausted {
-                    derived,
-                    limit,
-                }));
+                return Err(trip(TripReason::TupleFuelExhausted { derived, limit }));
             }
         }
         if let Some(limit) = self.max_held {
             let held = self.held.load(Ordering::Relaxed);
             if held > limit {
-                return Err(Error::Interrupted(TripReason::MemoryCeiling {
-                    held,
-                    limit,
-                }));
+                return Err(trip(TripReason::MemoryCeiling { held, limit }));
             }
         }
         Ok(())
@@ -322,10 +326,7 @@ impl Governor {
         if let Some(limit) = self.max_iterations {
             let used = self.iterations.load(Ordering::Relaxed);
             if used >= limit {
-                return Err(Error::Interrupted(TripReason::IterationFuelExhausted {
-                    used,
-                    limit,
-                }));
+                return Err(trip(TripReason::IterationFuelExhausted { used, limit }));
             }
         }
         self.iterations.fetch_add(1, Ordering::Relaxed);
@@ -379,11 +380,11 @@ impl Governor {
                 if let Some(token) = &self.cancel {
                     token.cancel();
                 }
-                Err(Error::Interrupted(TripReason::Cancelled))
+                Err(trip(TripReason::Cancelled))
             }
             fault::FaultKind::TupleFuel => {
                 let derived = self.derived.load(Ordering::Relaxed);
-                Err(Error::Interrupted(TripReason::TupleFuelExhausted {
+                Err(trip(TripReason::TupleFuelExhausted {
                     derived,
                     limit: derived,
                 }))

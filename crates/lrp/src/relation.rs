@@ -118,6 +118,10 @@ impl GeneralizedRelation {
             .map(|bucket| bucket.iter().map(|&i| &self.tuples[i]).collect())
             .unwrap_or_default();
         crate::stats::note_index_lookup(cand.len() as u64, self.tuples.len() as u64);
+        itdb_trace::emit(|| itdb_trace::EventKind::IndexLookup {
+            candidates: cand.len() as u64,
+            scanned: self.tuples.len() as u64,
+        });
         cand
     }
 
@@ -315,6 +319,7 @@ impl GeneralizedRelation {
     /// Example: the seven Example 4.1 tuples `(168n+10+24k, …+2)` coalesce
     /// into the single tuple `(24n+10, 24n+12)`.
     pub fn coalesce(&mut self, budget: u64) -> Result<()> {
+        let _span = itdb_trace::span(itdb_trace::SpanKind::Op, "relation.coalesce");
         self.normalize(budget)?;
         loop {
             let mut improved = false;

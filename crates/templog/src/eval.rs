@@ -58,6 +58,7 @@ pub fn evaluate_governed(
     governor: &Arc<Governor>,
 ) -> Result<TlModel> {
     let _scope = governor.enter();
+    let _span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "templog");
     evaluate(p, edb, opts)
 }
 

@@ -1,0 +1,172 @@
+//! The thread-local sink registry: where emitted events go.
+//!
+//! Sinks are installed per thread with [`add_sink`] and removed with
+//! [`remove_sink`]; [`emit`] forwards one event to every installed sink.
+//! The fast path is the *disabled* one: [`enabled`] is a single `Cell`
+//! read, and the event-building closure passed to [`emit`] never runs
+//! when no sink is installed — instrumentation sites pay for rendering
+//! tuples and labels only while someone is actually listening.
+
+use crate::event::{Event, EventKind};
+use crate::sink::Sink;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handle identifying one installed sink (see [`add_sink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+struct Registry {
+    sinks: Vec<(SinkId, Arc<dyn Sink>)>,
+    next_id: u64,
+    epoch: Option<Instant>,
+}
+
+impl Registry {
+    const fn new() -> Self {
+        Registry {
+            sinks: Vec::new(),
+            next_id: 0,
+            epoch: None,
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = const { RefCell::new(Registry::new()) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Is at least one sink installed on this thread?
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Installs `sink` on the current thread; events emitted from this thread
+/// are forwarded to it until [`remove_sink`] (or [`clear_sinks`]).
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkId {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        let id = SinkId(reg.next_id);
+        reg.next_id += 1;
+        if reg.epoch.is_none() {
+            reg.epoch = Some(Instant::now());
+        }
+        reg.sinks.push((id, sink));
+        ENABLED.with(|e| e.set(true));
+        id
+    })
+}
+
+/// Uninstalls the sink identified by `id`; returns whether it was found.
+/// The sink is flushed before removal.
+pub fn remove_sink(id: SinkId) -> bool {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        let before = reg.sinks.len();
+        reg.sinks.retain(|(sid, sink)| {
+            if *sid == id {
+                sink.flush();
+                false
+            } else {
+                true
+            }
+        });
+        ENABLED.with(|e| e.set(!reg.sinks.is_empty()));
+        reg.sinks.len() != before
+    })
+}
+
+/// Uninstalls (and flushes) every sink on the current thread.
+pub fn clear_sinks() {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        for (_, sink) in reg.sinks.drain(..) {
+            sink.flush();
+        }
+    });
+    ENABLED.with(|e| e.set(false));
+}
+
+/// Flushes every installed sink (e.g. after an evaluation, so a JSONL
+/// file is complete even if the process later aborts).
+pub fn flush_sinks() {
+    REGISTRY.with(|r| {
+        for (_, sink) in r.borrow().sinks.iter() {
+            sink.flush();
+        }
+    });
+}
+
+/// Emits one event to every installed sink. `build` runs only when a sink
+/// is installed; the timestamp is microseconds since the thread's first
+/// sink installation.
+pub fn emit(build: impl FnOnce() -> EventKind) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        let reg = r.borrow();
+        if reg.sinks.is_empty() {
+            return;
+        }
+        let t_us = reg
+            .epoch
+            .map(|e| e.elapsed().as_micros().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let event = Event {
+            t_us,
+            kind: build(),
+        };
+        for (_, sink) in reg.sinks.iter() {
+            sink.record(&event);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn emit_is_a_no_op_without_sinks() {
+        clear_sinks();
+        let mut built = false;
+        emit(|| {
+            built = true;
+            EventKind::Message { text: "x".into() }
+        });
+        assert!(!built, "event closure must not run when disabled");
+    }
+
+    #[test]
+    fn sinks_receive_events_until_removed() {
+        clear_sinks();
+        let mem = Arc::new(MemorySink::new());
+        let id = add_sink(mem.clone());
+        assert!(enabled());
+        emit(|| EventKind::Message { text: "a".into() });
+        assert!(remove_sink(id));
+        assert!(!enabled());
+        emit(|| EventKind::Message { text: "b".into() });
+        let events = mem.take();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0].kind, EventKind::Message { text } if text == "a"));
+        assert!(!remove_sink(id), "second removal finds nothing");
+    }
+
+    #[test]
+    fn two_sinks_both_record() {
+        clear_sinks();
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        add_sink(a.clone());
+        add_sink(b.clone());
+        emit(|| EventKind::Message { text: "x".into() });
+        clear_sinks();
+        assert_eq!(a.take().len(), 1);
+        assert_eq!(b.take().len(), 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Typed trace events and their stable JSONL encoding.
+//!
+//! One [`Event`] is one line in a `--trace file.jsonl` stream. The schema
+//! is deliberately flat and stable (golden-tested): every line is a JSON
+//! object with an `"event"` discriminator, a `"t_us"` timestamp
+//! (microseconds since the first event on the thread), and per-kind
+//! payload fields. Tuples are carried in their display form — the parser
+//! round-trips them, so offline tools can re-read derivations exactly.
+
+use crate::span::SpanKind;
+use std::fmt::Write as _;
+
+/// One supporting fact of a derivation: the body atom's predicate and the
+/// generalized tuple it matched (display form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFact {
+    /// Predicate of the matched body atom.
+    pub pred: String,
+    /// The matched generalized tuple, rendered.
+    pub tuple: String,
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the thread's trace epoch (first emission).
+    pub t_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`evaluate`, `stratum`, `iteration`, `rule`, `op`).
+    SpanEnter {
+        /// Span kind.
+        kind: SpanKind,
+        /// Human-readable span label (e.g. `r1: p[t+5] <- p[t].`).
+        label: String,
+        /// Nesting depth at entry (0 = outermost).
+        depth: usize,
+    },
+    /// A span closed; timings are final.
+    SpanExit {
+        /// Span kind.
+        kind: SpanKind,
+        /// Same label as the matching enter.
+        label: String,
+        /// Nesting depth (matches the enter).
+        depth: usize,
+        /// Wall clock inside the span, children included, in µs.
+        total_us: u64,
+        /// Wall clock minus time spent in child spans, in µs.
+        self_us: u64,
+    },
+    /// A clause application produced a candidate head tuple (before
+    /// canonicalization and subsumption).
+    TupleDerived {
+        /// Head predicate.
+        pred: String,
+        /// Source-program clause index.
+        rule: usize,
+    },
+    /// A derived tuple survived subsumption and entered the model.
+    TupleInserted {
+        /// Head predicate.
+        pred: String,
+        /// Source-program clause index.
+        rule: usize,
+        /// The inserted generalized tuple, rendered.
+        tuple: String,
+        /// The body facts the derivation consumed (empty when provenance
+        /// collection is off).
+        sources: Vec<SourceFact>,
+    },
+    /// A derived tuple was already covered by the interpretation — the
+    /// paper's convergence witness.
+    TupleSubsumed {
+        /// Head predicate.
+        pred: String,
+        /// Source-program clause index.
+        rule: usize,
+        /// The subsumed generalized tuple, rendered.
+        tuple: String,
+    },
+    /// The resource governor tripped.
+    GovernorTrip {
+        /// Human-readable trip reason (`TripReason` display form).
+        reason: String,
+    },
+    /// A data-vector index lookup narrowed a scan.
+    IndexLookup {
+        /// Tuples actually consulted through the index.
+        candidates: u64,
+        /// Tuples a full linear scan would have consulted.
+        scanned: u64,
+    },
+    /// Free-form annotation (used sparingly; e.g. wrapper engines).
+    Message {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    escape_json(value, out);
+    out.push('"');
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// The field order is fixed — `event`, `t_us`, then payload fields in
+    /// declaration order — so the output is byte-stable for golden tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"event\":\"{}\",\"t_us\":{}",
+            self.kind.name(),
+            self.t_us
+        );
+        match &self.kind {
+            EventKind::SpanEnter { kind, label, depth } => {
+                push_str_field(&mut out, "kind", kind.as_str());
+                push_str_field(&mut out, "label", label);
+                let _ = write!(out, ",\"depth\":{depth}");
+            }
+            EventKind::SpanExit {
+                kind,
+                label,
+                depth,
+                total_us,
+                self_us,
+            } => {
+                push_str_field(&mut out, "kind", kind.as_str());
+                push_str_field(&mut out, "label", label);
+                let _ = write!(
+                    out,
+                    ",\"depth\":{depth},\"total_us\":{total_us},\"self_us\":{self_us}"
+                );
+            }
+            EventKind::TupleDerived { pred, rule } => {
+                push_str_field(&mut out, "pred", pred);
+                let _ = write!(out, ",\"rule\":{rule}");
+            }
+            EventKind::TupleInserted {
+                pred,
+                rule,
+                tuple,
+                sources,
+            } => {
+                push_str_field(&mut out, "pred", pred);
+                let _ = write!(out, ",\"rule\":{rule}");
+                push_str_field(&mut out, "tuple", tuple);
+                out.push_str(",\"sources\":[");
+                for (i, s) in sources.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"pred\":\"");
+                    escape_json(&s.pred, &mut out);
+                    out.push_str("\",\"tuple\":\"");
+                    escape_json(&s.tuple, &mut out);
+                    out.push_str("\"}");
+                }
+                out.push(']');
+            }
+            EventKind::TupleSubsumed { pred, rule, tuple } => {
+                push_str_field(&mut out, "pred", pred);
+                let _ = write!(out, ",\"rule\":{rule}");
+                push_str_field(&mut out, "tuple", tuple);
+            }
+            EventKind::GovernorTrip { reason } => {
+                push_str_field(&mut out, "reason", reason);
+            }
+            EventKind::IndexLookup {
+                candidates,
+                scanned,
+            } => {
+                let _ = write!(out, ",\"candidates\":{candidates},\"scanned\":{scanned}");
+            }
+            EventKind::Message { text } => {
+                push_str_field(&mut out, "text", text);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl EventKind {
+    /// The `"event"` discriminator used in the JSONL encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SpanEnter { .. } => "span_enter",
+            EventKind::SpanExit { .. } => "span_exit",
+            EventKind::TupleDerived { .. } => "tuple_derived",
+            EventKind::TupleInserted { .. } => "tuple_inserted",
+            EventKind::TupleSubsumed { .. } => "tuple_subsumed",
+            EventKind::GovernorTrip { .. } => "governor_trip",
+            EventKind::IndexLookup { .. } => "index_lookup",
+            EventKind::Message { .. } => "message",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn inserted_event_renders_sources_array() {
+        let e = Event {
+            t_us: 42,
+            kind: EventKind::TupleInserted {
+                pred: "problems".into(),
+                rule: 1,
+                tuple: "(168n+10, 168n+12; \"db\")".into(),
+                sources: vec![SourceFact {
+                    pred: "course".into(),
+                    tuple: "(168n+8, 168n+10)".into(),
+                }],
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"tuple_inserted\",\"t_us\":42,\"pred\":\"problems\",\"rule\":1,\
+             \"tuple\":\"(168n+10, 168n+12; \\\"db\\\")\",\
+             \"sources\":[{\"pred\":\"course\",\"tuple\":\"(168n+8, 168n+10)\"}]}"
+        );
+    }
+}

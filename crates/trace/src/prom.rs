@@ -1,0 +1,189 @@
+//! A minimal Prometheus text exposition-format builder.
+//!
+//! Renders `# HELP` / `# TYPE` headers and sample lines exactly as the
+//! [exposition format] prescribes: metric names validated against
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names against
+//! `[a-zA-Z_][a-zA-Z0-9_]*`, label values escaped (`\\`, `\"`, `\n`).
+//! Invalid names are a programming error and panic in debug builds; in
+//! release they are skipped so a bad metric can never corrupt a scrape.
+//!
+//! [exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+/// Checks a metric name against `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Checks a label name against `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_help(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder accumulating one exposition-format document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) -> bool {
+        if !valid_metric_name(name) {
+            debug_assert!(false, "invalid metric name {name:?}");
+            return false;
+        }
+        let _ = write!(self.buf, "# HELP {name} ");
+        escape_help(help, &mut self.buf);
+        self.buf.push('\n');
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+        true
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if !valid_label_name(k) {
+                    debug_assert!(false, "invalid label name {k:?}");
+                    continue;
+                }
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                let _ = write!(self.buf, "{k}=\"");
+                escape_label_value(v, &mut self.buf);
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    /// Adds an unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        if self.header(name, help, "counter") {
+            self.sample(name, &[], &value.to_string());
+        }
+        self
+    }
+
+    /// Adds an unlabelled gauge (floating point).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        if self.header(name, help, "gauge") {
+            self.sample(name, &[], &format_value(value));
+        }
+        self
+    }
+
+    /// Adds one metric family with a sample per label set.
+    ///
+    /// `kind` is `"counter"` or `"gauge"`; each entry of `samples` is
+    /// `(labels, value)`.
+    pub fn family(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: &str,
+        samples: &[(Vec<(&str, &str)>, f64)],
+    ) -> &mut Self {
+        if self.header(name, help, kind) {
+            for (labels, value) in samples {
+                self.sample(name, labels, &format_value(*value));
+            }
+        }
+        self
+    }
+
+    /// The accumulated document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("itdb_tuples_derived_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name("9bad"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_name("rule"));
+        assert!(!valid_label_name("rule:name"));
+    }
+
+    #[test]
+    fn renders_counter_gauge_and_family() {
+        let mut p = PromText::new();
+        p.counter("itdb_tuples_total", "Tuples derived.", 42);
+        p.gauge("itdb_elapsed_seconds", "Wall clock.", 0.5);
+        p.family(
+            "itdb_rule_self_seconds",
+            "Per-rule self time.",
+            "gauge",
+            &[
+                (vec![("rule", "r0: p[t] <- \"q\"[t].")], 0.001),
+                (vec![("rule", "r1")], 2.0),
+            ],
+        );
+        let text = p.finish();
+        assert!(text.contains("# HELP itdb_tuples_total Tuples derived.\n"));
+        assert!(text.contains("# TYPE itdb_tuples_total counter\nitdb_tuples_total 42\n"));
+        assert!(text.contains("itdb_elapsed_seconds 0.5\n"));
+        assert!(text.contains("itdb_rule_self_seconds{rule=\"r0: p[t] <- \\\"q\\\"[t].\"} 0.001\n"));
+        assert!(text.contains("itdb_rule_self_seconds{rule=\"r1\"} 2\n"));
+        // Every line is a comment or a sample.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.starts_with("itdb_"), "{line}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Trace sinks: where the event stream goes.
+//!
+//! * [`RingSink`] — bounded in-memory ring, for the shell's
+//!   `trace on` / `trace dump` commands;
+//! * [`JsonlSink`] — one JSON object per line to any writer (usually a
+//!   file opened by `--trace file.jsonl`), buffered, flushed on demand;
+//! * [`MemorySink`] — unbounded capture for tests and golden files.
+//!
+//! Sinks use interior mutability (`Mutex`) so they can be shared as
+//! `Arc<dyn Sink>` between the registry and the code that later reads
+//! them back. Contention is nil in practice — the registry is
+//! thread-local, so a sink sees one producer.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A consumer of trace events.
+pub trait Sink {
+    /// Records one event. Called synchronously from the emitting thread.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// A bounded in-memory ring buffer of the most recent events.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+    /// Events dropped because the ring was full (oldest evicted).
+    dropped: Mutex<u64>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `cap` events (the newest win).
+    pub fn with_capacity(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Drains the buffered events, oldest first, and resets the drop
+    /// counter; returns `(events, dropped)`.
+    pub fn drain(&self) -> (Vec<Event>, u64) {
+        let events = match self.buf.lock() {
+            Ok(mut buf) => buf.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        let dropped = match self.dropped.lock() {
+            Ok(mut d) => std::mem::take(&mut *d),
+            Err(_) => 0,
+        };
+        (events, dropped)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        if let Ok(mut buf) = self.buf.lock() {
+            if buf.len() == self.cap {
+                buf.pop_front();
+                if let Ok(mut d) = self.dropped.lock() {
+                    *d += 1;
+                }
+            }
+            buf.push_back(event.clone());
+        }
+    }
+}
+
+/// Writes each event as one JSON line (the `--trace file.jsonl` format).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    /// First write error, sticky (subsequent events are dropped).
+    error: Mutex<Option<std::io::Error>>,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Creates (truncating) `path` and writes the stream there.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(Box::new(File::create(path)?)))
+    }
+
+    /// The first I/O error hit while writing, if any (taken, not cloned —
+    /// `std::io::Error` is not `Clone`).
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        self.error.lock().ok().and_then(|mut e| e.take())
+    }
+
+    fn note_error(&self, e: std::io::Error) {
+        if let Ok(mut slot) = self.error.lock() {
+            slot.get_or_insert(e);
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json();
+        if let Ok(mut w) = self.writer.lock() {
+            if let Err(e) = w
+                .write_all(line.as_bytes())
+                .and_then(|()| w.write_all(b"\n"))
+            {
+                self.note_error(e);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut w) = self.writer.lock() {
+            if let Err(e) = w.flush() {
+                self.note_error(e);
+            }
+        }
+    }
+}
+
+/// Captures every event, unbounded (tests, golden files).
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty capture buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Takes the captured events, leaving the buffer empty.
+    pub fn take(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .map(|mut e| std::mem::take(&mut *e))
+            .unwrap_or_default()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Has nothing been captured?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn msg(i: u64) -> Event {
+        Event {
+            t_us: i,
+            kind: EventKind::Message {
+                text: format!("m{i}"),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = RingSink::with_capacity(3);
+        for i in 0..5 {
+            ring.record(&msg(i));
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 2);
+        let ts: Vec<u64> = events.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.drain().1, 0, "drop counter reset");
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("itdb_trace_test_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&msg(1));
+        sink.record(&msg(2));
+        sink.flush();
+        assert!(sink.take_error().is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"message\",\"t_us\":1,\"text\":\"m1\"}"
+        );
+    }
+}
