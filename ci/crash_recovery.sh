@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-recovery validation (the `crash-recovery` CI job).
+#
+# Runs the long evaluation in ci/crash_recovery.itdb three ways:
+#   1. uninterrupted, as the reference model;
+#   2. with durable checkpointing on, killed with SIGKILL mid-fixpoint —
+#      the process gets no chance to clean up, so whatever the snapshot
+#      store wrote must survive on its own (atomic temp+rename, CRCs);
+#   3. resumed from the surviving checkpoint directory.
+# The resumed run must report `resumed: generation N` and produce a model
+# identical to the reference. Any divergence fails the job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=${ITDB_SHELL:-target/release/itdb-shell}
+WORKLOAD=ci/crash_recovery.itdb
+CKPT=ci-crash-ckpts
+
+if [ ! -x "$BIN" ]; then
+    echo "FAIL: $BIN not built (run: cargo build --release -p itdb-cli)" >&2
+    exit 1
+fi
+
+# Model lines are everything except run-specific reporting (resume and
+# checkpoint notes, and the outcome line whose iteration count may be off
+# by the one redone iteration). Sorted, so the diff compares content, not
+# incidental tuple order.
+model_lines() {
+    grep -v -E '^(outcome:|resumed:|resume:|recovery:|checkpoint)' "$1" | sort
+}
+
+# 1. Uninterrupted reference run (no checkpointing).
+"$BIN" "$WORKLOAD" > ref.out 2>&1
+if ! grep -q '^outcome:' ref.out; then
+    echo "FAIL: reference run did not finish" >&2
+    cat ref.out >&2
+    exit 1
+fi
+model_lines ref.out > ref.model
+
+# 2. Crashed run: SIGKILL mid-fixpoint. If the machine is fast enough
+#    that a run completes before the kill lands, retry with a shorter
+#    delay; the run takes seconds, so one of these delays interrupts it.
+killed=no
+for delay in 1.5 0.8 0.4 0.2 0.1; do
+    rm -rf "$CKPT" crash.out
+    "$BIN" --checkpoint "$CKPT" --checkpoint-every 16 "$WORKLOAD" > crash.out 2>&1 &
+    pid=$!
+    sleep "$delay"
+    if kill -9 "$pid" 2>/dev/null; then
+        wait "$pid" 2>/dev/null || true
+        if ! grep -q '^outcome:' crash.out \
+            && ls "$CKPT"/snap-*.itdb >/dev/null 2>&1; then
+            killed=yes
+            break
+        fi
+    else
+        wait "$pid" 2>/dev/null || true
+    fi
+done
+if [ "$killed" != yes ]; then
+    echo "FAIL: could not kill the run mid-fixpoint (all delays too late?)" >&2
+    exit 1
+fi
+echo "ok: killed mid-fixpoint after ${delay}s;" \
+    "$(ls "$CKPT" | wc -l) snapshot file(s) survive"
+
+# 3. Resume from the surviving checkpoints and reach the reference model.
+"$BIN" --checkpoint "$CKPT" --resume "$WORKLOAD" > resume.out 2>&1
+if ! grep -q 'resumed: generation' resume.out; then
+    echo "FAIL: resume did not load a checkpoint" >&2
+    cat resume.out >&2
+    exit 1
+fi
+if ! grep -q '^outcome:' resume.out; then
+    echo "FAIL: resumed run did not finish" >&2
+    cat resume.out >&2
+    exit 1
+fi
+model_lines resume.out > resume.model
+if ! diff -u ref.model resume.model; then
+    echo "FAIL: resumed model differs from the uninterrupted reference" >&2
+    exit 1
+fi
+echo "ok: resumed model identical to the uninterrupted reference" \
+    "($(grep -c . ref.model) model lines)"
+rm -rf "$CKPT" ref.out ref.model crash.out resume.out resume.model

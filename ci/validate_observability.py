@@ -38,6 +38,9 @@ SCHEMAS = {
     "governor_trip": {"reason": str},
     "index_lookup": {"candidates": int, "scanned": int},
     "message": {"text": str},
+    "checkpoint_written": {"generation": int, "bytes": int, "write_us": int},
+    "checkpoint_restored": {"generation": int, "stratum": int, "iteration": int},
+    "checkpoint_recovery": {"generation": int, "error": str},
 }
 
 
@@ -92,7 +95,14 @@ def validate_trace(path):
             f"{path}: {counts['span_enter']} span enters vs "
             f"{counts['span_exit']} exits"
         )
-    for required in ("span_enter", "tuple_derived", "tuple_inserted", "governor_trip"):
+    for required in (
+        "span_enter",
+        "tuple_derived",
+        "tuple_inserted",
+        "governor_trip",
+        "checkpoint_written",
+        "checkpoint_restored",
+    ):
         if counts[required] == 0:
             fail(f"{path}: no {required} events (workload not traced?)")
     if with_sources == 0:
@@ -141,6 +151,8 @@ def validate_prom(path):
         "itdb_elapsed_seconds",
         "itdb_stratum_iterations",
         "itdb_rule_self_seconds",
+        "itdb_trace_dropped_events_total",
+        "itdb_checkpoints_written_total",
     ):
         if required not in typed:
             fail(f"{path}: metric {required} missing")

@@ -24,13 +24,17 @@ use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
 usage: itdb-shell [--fuel N] [--timeout-ms N] [--stats] [--stats-json]
-                  [--trace FILE] [--metrics FILE] [SCRIPT]
+                  [--trace FILE] [--metrics FILE]
+                  [--checkpoint DIR] [--checkpoint-every N] [--resume] [SCRIPT]
   --fuel N        cap derived generalized tuples per evaluation
   --timeout-ms N  wall-clock deadline per evaluation, in milliseconds
   --stats         print evaluation statistics after every `eval`
   --stats-json    print statistics as one JSON object after every `eval`
   --trace FILE    stream typed trace events to FILE as JSON lines
   --metrics FILE  write a Prometheus metrics snapshot after every `eval`
+  --checkpoint DIR      write durable crash-safe snapshots of `eval` to DIR
+  --checkpoint-every N  snapshot cadence in iterations (0 = only on trips)
+  --resume              first `eval` resumes from the latest checkpoint
   SCRIPT          run a command file instead of the interactive shell";
 
 /// Cancellation token shared between the SIGINT handler and the shell.
@@ -74,6 +78,9 @@ struct Cli {
     stats_json: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -84,35 +91,39 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         stats_json: false,
         trace: None,
         metrics: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--fuel" | "--timeout-ms" => {
+            "--fuel" | "--timeout-ms" | "--checkpoint-every" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
                 let n: u64 = value
                     .parse()
                     .map_err(|_| format!("{arg}: `{value}` is not a number"))?;
-                if arg == "--fuel" {
-                    cli.limits.fuel = Some(n);
-                } else {
-                    cli.limits.timeout_ms = Some(n);
+                match arg.as_str() {
+                    "--fuel" => cli.limits.fuel = Some(n),
+                    "--timeout-ms" => cli.limits.timeout_ms = Some(n),
+                    _ => cli.checkpoint_every = Some(n),
                 }
             }
-            "--trace" | "--metrics" => {
+            "--trace" | "--metrics" | "--checkpoint" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} needs a file argument"))?;
-                if arg == "--trace" {
-                    cli.trace = Some(value.clone());
-                } else {
-                    cli.metrics = Some(value.clone());
+                match arg.as_str() {
+                    "--trace" => cli.trace = Some(value.clone()),
+                    "--metrics" => cli.metrics = Some(value.clone()),
+                    _ => cli.checkpoint = Some(value.clone()),
                 }
             }
             "--stats" => cli.stats = true,
             "--stats-json" => cli.stats_json = true,
+            "--resume" => cli.resume = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
@@ -148,6 +159,11 @@ fn main() -> std::io::Result<()> {
     shell.set_auto_stats(cli.stats);
     shell.set_stats_json(cli.stats_json);
     shell.set_metrics_path(cli.metrics.map(std::path::PathBuf::from));
+    shell.set_checkpoint_dir(cli.checkpoint.map(std::path::PathBuf::from));
+    if let Some(n) = cli.checkpoint_every {
+        shell.set_checkpoint_every(n);
+    }
+    shell.set_resume_pending(cli.resume);
 
     // `--trace file.jsonl`: stream every trace event of this thread to the
     // file. The sink stays installed for the whole session; it is flushed
@@ -264,6 +280,30 @@ mod tests {
         assert!(parse_args(&strs(&["a", "b"])).is_err());
         assert!(parse_args(&strs(&["--trace"])).is_err());
         assert!(parse_args(&strs(&["--metrics"])).is_err());
+        assert!(parse_args(&strs(&["--checkpoint"])).is_err());
+        assert!(parse_args(&strs(&["--checkpoint-every"])).is_err());
+        assert!(parse_args(&strs(&["--checkpoint-every", "often"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let cli = parse_args(&strs(&[
+            "--checkpoint",
+            "ckpts",
+            "--checkpoint-every",
+            "16",
+            "--resume",
+            "run.itdb",
+        ]))
+        .unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("ckpts"));
+        assert_eq!(cli.checkpoint_every, Some(16));
+        assert!(cli.resume);
+        assert_eq!(cli.script.as_deref(), Some("run.itdb"));
+        let cli = parse_args(&[]).unwrap();
+        assert!(cli.checkpoint.is_none());
+        assert!(cli.checkpoint_every.is_none());
+        assert!(!cli.resume);
     }
 
     #[test]

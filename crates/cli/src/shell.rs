@@ -21,6 +21,10 @@ use std::time::Duration;
 /// Capacity of the in-memory event ring behind `trace on`.
 const TRACE_RING_CAPACITY: usize = 4096;
 
+/// Default `checkpoint every N` interval when a checkpoint directory is
+/// set without choosing one.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
+
 /// Session-level resource limits applied to every evaluation command.
 #[derive(Debug, Clone, Default)]
 pub struct Limits {
@@ -54,6 +58,12 @@ pub struct Shell {
     /// Where to write a Prometheus metrics snapshot after each evaluation
     /// (`--metrics file.prom`).
     metrics_path: Option<PathBuf>,
+    /// Durable checkpoint directory (`checkpoint DIR` / `--checkpoint`).
+    checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every N iterations (0 = only on governor trips).
+    checkpoint_every: u64,
+    /// The next `eval` resumes from the latest checkpoint (one-shot).
+    resume_pending: bool,
 }
 
 /// Which limit a `fuel`/`timeout` command adjusts.
@@ -101,6 +111,8 @@ commands:
   fuel N|off                 cap derived tuples per evaluation
   timeout MS|off             wall-clock deadline per evaluation
   limits                     show current resource limits
+  checkpoint DIR|every N|off durable crash-safe snapshots of `eval` (bare: status)
+  resume                     re-run `eval` from the latest checkpoint
   reset                      clear all state (limits survive)
   help                       this text
   quit                       leave";
@@ -108,7 +120,10 @@ commands:
 impl Shell {
     /// A fresh shell.
     pub fn new() -> Self {
-        Shell::default()
+        Shell {
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            ..Shell::default()
+        }
     }
 
     /// Replaces the session resource limits (used by `--fuel`/`--timeout-ms`).
@@ -140,6 +155,24 @@ impl Shell {
         self.metrics_path = path;
     }
 
+    /// Enables durable checkpointing of `eval` into `dir` (used by the
+    /// `--checkpoint` flag; the `checkpoint` command works regardless).
+    pub fn set_checkpoint_dir(&mut self, dir: Option<PathBuf>) {
+        self.checkpoint_dir = dir;
+    }
+
+    /// Sets the every-N-iterations checkpoint cadence; 0 means checkpoint
+    /// only when the governor trips (used by `--checkpoint-every`).
+    pub fn set_checkpoint_every(&mut self, n: u64) {
+        self.checkpoint_every = n;
+    }
+
+    /// Makes the next `eval` resume from the latest checkpoint in the
+    /// checkpoint directory (used by the `--resume` flag).
+    pub fn set_resume_pending(&mut self, on: bool) {
+        self.resume_pending = on;
+    }
+
     /// Executes one command line.
     pub fn execute(&mut self, line: &str) -> Step {
         let line = line.trim();
@@ -163,6 +196,8 @@ impl Shell {
                 let stats_json = self.stats_json;
                 let ring = self.ring.take();
                 let metrics_path = self.metrics_path.take();
+                let checkpoint_dir = self.checkpoint_dir.take();
+                let checkpoint_every = self.checkpoint_every;
                 *self = Shell::new();
                 self.limits = limits;
                 self.cancel = cancel;
@@ -170,6 +205,8 @@ impl Shell {
                 self.stats_json = stats_json;
                 self.ring = ring;
                 self.metrics_path = metrics_path;
+                self.checkpoint_dir = checkpoint_dir;
+                self.checkpoint_every = checkpoint_every;
                 Ok("state cleared".to_string())
             }
             "fuel" => self.cmd_limit(rest, LimitKind::Fuel),
@@ -191,6 +228,8 @@ impl Shell {
             "dl1s-eval" => self.cmd_dl1s_eval(),
             "templog" => self.cmd_templog(rest),
             "templog-eval" => self.cmd_templog_eval(),
+            "checkpoint" => self.cmd_checkpoint(rest),
+            "resume" => self.cmd_resume(),
             other => Err(Error::Eval(format!(
                 "unknown command `{other}` (try `help`)"
             ))),
@@ -306,18 +345,39 @@ impl Shell {
         ))
     }
 
+    /// Opens the session's checkpoint store, if a directory is configured.
+    fn checkpoint_store(&self) -> Result<Option<Arc<core::SnapshotStore>>> {
+        match &self.checkpoint_dir {
+            Some(dir) => {
+                let store = core::SnapshotStore::open(dir).map_err(|e| {
+                    Error::Eval(format!("checkpoint: cannot open {}: {e}", dir.display()))
+                })?;
+                Ok(Some(Arc::new(store)))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Runs one deductive evaluation under the session limits, honoring
     /// the observability configuration: profiles when requested (or when a
     /// metrics snapshot is due), flushes trace sinks so `--trace` files
-    /// are complete per evaluation, and writes the metrics file.
+    /// are complete per evaluation, and writes the metrics file. When a
+    /// checkpoint directory is set, the run writes durable snapshots; when
+    /// a resume is pending, it restarts from the latest readable one.
+    ///
+    /// The returned string carries machine-greppable checkpoint/resume
+    /// notes (`resumed: generation N`, recovery lines) for the caller to
+    /// prepend to its output.
     fn run_eval(
         &mut self,
         provenance: bool,
         want_profile: bool,
-    ) -> Result<(core::Evaluation, Option<Profile>)> {
+    ) -> Result<(core::Evaluation, Option<Profile>, String)> {
         // A Ctrl-C that arrived while the shell was idle must not abort the
         // next evaluation: the token only counts once armed mid-flight.
         self.cancel.reset();
+        let mut notes = String::new();
+        let store = self.checkpoint_store()?;
         let opts = core::EvalOptions {
             coalesce: true,
             provenance,
@@ -325,13 +385,57 @@ impl Shell {
             timeout: self.limits.timeout_ms.map(Duration::from_millis),
             max_held_tuples: self.limits.max_held,
             cancel: Some(self.cancel.clone()),
+            checkpoint: store
+                .clone()
+                .map(|s| core::CheckpointPolicy::every(s, self.checkpoint_every)),
             ..Default::default()
         };
+        // Resolve a pending resume before evaluating: load the newest
+        // readable snapshot, reporting any damaged generations skipped on
+        // the way. A missing checkpoint degrades to a fresh run.
+        let mut resume_from: Option<(u64, core::Checkpoint)> = None;
+        if std::mem::take(&mut self.resume_pending) {
+            let store = store.as_ref().ok_or_else(|| {
+                Error::Eval("resume: no checkpoint directory (use `checkpoint DIR` first)".into())
+            })?;
+            match core::load_latest(store) {
+                Ok(rec) => {
+                    for (generation, err) in &rec.skipped {
+                        let _ = writeln!(
+                            notes,
+                            "recovery: generation {generation} unreadable ({err}); skipped"
+                        );
+                    }
+                    resume_from = Some((rec.generation, rec.checkpoint));
+                }
+                Err(core::CheckpointError::NoCheckpoint) => {
+                    let _ = writeln!(notes, "resume: no checkpoint found; running fresh");
+                }
+                Err(e) => return Err(Error::Eval(format!("resume: {e}"))),
+            }
+        }
         let profiling = want_profile || self.metrics_path.is_some();
         if profiling {
             itdb_trace::set_profiling(true);
         }
-        let result = core::evaluate_with(&self.program, &self.edb, &opts);
+        let result = match resume_from {
+            Some((generation, cp)) => {
+                match core::resume_with(&self.program, &self.edb, &opts, &cp) {
+                    // A snapshot of a different program or EDB is rejected
+                    // by the engine's hash check; never load stale state —
+                    // note it and evaluate from scratch.
+                    Err(Error::Eval(msg)) if msg.starts_with("checkpoint:") => {
+                        let _ = writeln!(notes, "resume: {msg}; running fresh");
+                        core::evaluate_with(&self.program, &self.edb, &opts)
+                    }
+                    r => {
+                        let _ = writeln!(notes, "resumed: generation {generation}");
+                        r
+                    }
+                }
+            }
+            None => core::evaluate_with(&self.program, &self.edb, &opts),
+        };
         if profiling {
             itdb_trace::set_profiling(false);
         }
@@ -341,20 +445,36 @@ impl Shell {
         let profile = profiling.then(itdb_trace::take_profile);
         let eval = result?;
         if let Some(path) = &self.metrics_path {
-            let text = core::render_metrics(&eval.stats, profile.as_ref());
+            let text =
+                core::render_metrics_full(&eval.stats, profile.as_ref(), Some(&eval.checkpoints));
             std::fs::write(path, text).map_err(|e| {
                 Error::Eval(format!("metrics: cannot write {}: {e}", path.display()))
             })?;
         }
-        Ok((eval, profile))
+        Ok((eval, profile, notes))
     }
 
     fn cmd_eval(&mut self) -> Result<String> {
-        let (eval, _) = self.run_eval(false, false)?;
-        let mut out = match eval.outcome.interruption() {
+        let (eval, _, notes) = self.run_eval(false, false)?;
+        let mut out = notes;
+        out += &match eval.outcome.interruption() {
             Some(int) => format_interruption(int),
             None => format!("outcome: {:?}\n", eval.outcome),
         };
+        if let Some(generation) = eval.checkpoints.last_generation {
+            let _ = writeln!(
+                out,
+                "checkpoint: generation {generation} ({} bytes)",
+                eval.checkpoints.last_bytes
+            );
+        }
+        if eval.checkpoints.failed > 0 {
+            let _ = writeln!(
+                out,
+                "checkpoint failures: {} (evaluation continued)",
+                eval.checkpoints.failed
+            );
+        }
         for (name, rel) in &eval.idb {
             let _ = writeln!(out, "{name} = {rel}");
         }
@@ -416,7 +536,7 @@ impl Shell {
             None => true,
         };
         if needs_rerun {
-            let (eval, _) = self.run_eval(true, false)?;
+            let (eval, _, _) = self.run_eval(true, false)?;
             self.model = Some(eval);
         }
         let model = match &self.model {
@@ -434,7 +554,7 @@ impl Shell {
     /// `profile` — re-runs the evaluation with span profiling and prints
     /// per-rule (and per-operation) self-time tables, costliest first.
     fn cmd_profile(&mut self) -> Result<String> {
-        let (eval, profile) = self.run_eval(false, true)?;
+        let (eval, profile, _) = self.run_eval(false, true)?;
         let profile = profile.unwrap_or_default();
         self.model = Some(eval);
         let mut out = String::new();
@@ -549,6 +669,59 @@ impl Shell {
         Ok(out)
     }
 
+    /// `checkpoint DIR | every N | off | (bare)` — configures durable
+    /// snapshots of `eval`: where they go and how often they are taken.
+    fn cmd_checkpoint(&mut self, rest: &str) -> Result<String> {
+        let (word, arg) = match rest.split_once(char::is_whitespace) {
+            Some((w, a)) => (w, a.trim()),
+            None => (rest, ""),
+        };
+        match (word, arg) {
+            ("", _) => Ok(self.fmt_checkpoint()),
+            ("off", _) => {
+                self.checkpoint_dir = None;
+                Ok("checkpointing off".to_string())
+            }
+            ("every", n) => {
+                self.checkpoint_every = n
+                    .parse::<u64>()
+                    .map_err(|_| Error::Eval(format!("checkpoint every: `{n}` is not a number")))?;
+                Ok(self.fmt_checkpoint())
+            }
+            (dir, "") => {
+                self.checkpoint_dir = Some(PathBuf::from(dir));
+                // Open eagerly so a bad directory fails here, not mid-eval.
+                self.checkpoint_store()?;
+                Ok(self.fmt_checkpoint())
+            }
+            _ => Err(Error::Eval("usage: checkpoint DIR|every N|off".into())),
+        }
+    }
+
+    fn fmt_checkpoint(&self) -> String {
+        match &self.checkpoint_dir {
+            Some(dir) => {
+                let cadence = match self.checkpoint_every {
+                    0 => "only on governor trips".to_string(),
+                    n => format!("every {n} iterations and on governor trips"),
+                };
+                format!("checkpointing to {} ({cadence})", dir.display())
+            }
+            None => "checkpointing off".to_string(),
+        }
+    }
+
+    /// `resume` — runs `eval` starting from the latest readable checkpoint.
+    fn cmd_resume(&mut self) -> Result<String> {
+        if self.checkpoint_dir.is_none() {
+            return Err(Error::Eval(
+                "resume: no checkpoint directory (use `checkpoint DIR` first)".into(),
+            ));
+        }
+        self.resume_pending = true;
+        self.cmd_eval()
+    }
+
     fn cmd_dl1s(&mut self, rest: &str) -> Result<String> {
         let p = dl::parse_program(rest)?;
         self.dl_program.clauses.extend(p.clauses);
@@ -561,12 +734,23 @@ impl Shell {
     fn cmd_dl1s_eval(&self) -> Result<String> {
         self.cancel.reset();
         let governor = std::sync::Arc::new(Governor::new(self.governor_config()));
-        let m = dl::evaluate_governed(
+        let m = match dl::evaluate_governed(
             &self.dl_program,
             &dl::ExternalEdb::new(),
             &dl::DetectOptions::default(),
             &governor,
-        )?;
+        ) {
+            Ok(m) => m,
+            // Periodicity detection is all-or-nothing: a trip has no sound
+            // partial model, but it is not a shell error either.
+            Err(Error::Interrupted(reason)) => {
+                return Ok(format!(
+                    "interrupted: {reason}\n\
+                     no periodic model detected before the trip; raise `fuel`/`timeout` and retry"
+                ));
+            }
+            Err(e) => return Err(e),
+        };
         let mut out = format!(
             "eventually periodic (offset {}, period {}, detected at {})\n",
             m.offset, m.period, m.detected_at
@@ -600,14 +784,28 @@ impl Shell {
     fn cmd_templog_eval(&self) -> Result<String> {
         self.cancel.reset();
         let governor = std::sync::Arc::new(Governor::new(self.governor_config()));
-        let m = tl::evaluate_governed(
+        let ev = tl::evaluate_governed(
             &self.tl_program,
             &dl::ExternalEdb::new(),
             &dl::DetectOptions::default(),
             &governor,
         )?;
         let mut out = String::new();
-        for ((pred, data), set) in &m.sets {
+        if let tl::TlOutcome::Interrupted {
+            reason,
+            completed_strata,
+            total_strata,
+        } = &ev.outcome
+        {
+            let _ = writeln!(out, "interrupted: {reason}");
+            let _ = writeln!(
+                out,
+                "strata: {completed_strata}/{total_strata} complete \
+                 (the partial model below is exact on completed strata)"
+            );
+        }
+        let mut printed = 0usize;
+        for ((pred, data), set) in &ev.model.sets {
             let data_txt = if data.is_empty() {
                 String::new()
             } else {
@@ -620,9 +818,10 @@ impl Shell {
                 )
             };
             let _ = writeln!(out, "{pred}{data_txt} = {set}");
+            printed += 1;
         }
-        if out.is_empty() {
-            out = "empty model".to_string();
+        if printed == 0 {
+            let _ = writeln!(out, "empty model");
         }
         Ok(out.trim_end().to_string())
     }
@@ -685,6 +884,13 @@ fn format_interruption(int: &Interruption) -> String {
         }
     }
     let _ = writeln!(out, "iterations: {}", int.iterations);
+    // Machine-greppable governor counter snapshot at the moment of the trip.
+    let c = &int.counters;
+    let _ = writeln!(
+        out,
+        "governor: iterations={} derived={} held={} checks={} elapsed_ms={}",
+        c.iterations, c.derived, c.held, c.checks, c.elapsed_ms
+    );
     if !int.growing.is_empty() {
         let _ = writeln!(out, "still growing: {}", int.growing.join(", "));
     }
@@ -919,9 +1125,29 @@ mod tests {
         });
         run(&mut sh, "dl1s leaves[5]. leaves[t + 40] <- leaves[t].");
         let out = run(&mut sh, "dl1s-eval");
-        assert!(out.starts_with("error:"), "{out}");
-        assert!(out.contains("interrupted"), "{out}");
+        // A trip is reported, not treated as a shell error.
+        assert!(out.starts_with("interrupted:"), "{out}");
+        assert!(out.contains("no periodic model"), "{out}");
         // Shell still alive afterwards.
+        let out = run(&mut sh, "help");
+        assert!(out.contains("commands"), "{out}");
+    }
+
+    #[test]
+    fn governed_templog_eval_reports_partial_strata_on_trip() {
+        let mut sh = Shell::new();
+        sh.set_limits(Limits {
+            timeout_ms: Some(0),
+            ..Limits::default()
+        });
+        run(
+            &mut sh,
+            "templog power. always (next^4 power <- power). always (dark <- !power).",
+        );
+        let out = run(&mut sh, "templog-eval");
+        assert!(out.starts_with("interrupted:"), "{out}");
+        assert!(out.contains("strata:"), "{out}");
+        assert!(out.contains("complete"), "{out}");
         let out = run(&mut sh, "help");
         assert!(out.contains("commands"), "{out}");
     }
@@ -1033,6 +1259,123 @@ mod tests {
         assert!(text.contains("itdb_tuples_inserted_total"), "{text}");
         // The snapshot profile includes per-rule self time.
         assert!(text.contains("itdb_rule_self_seconds"), "{text}");
+    }
+
+    #[test]
+    fn interruption_report_carries_governor_counters() {
+        let mut sh = Shell::new();
+        run(&mut sh, "fuel 5");
+        run(&mut sh, "tuple p (n) : T1 = 0");
+        run(&mut sh, "rule q[t] <- p[t].");
+        run(&mut sh, "rule q[t + 5] <- q[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("interrupted:"), "{out}");
+        // Machine-greppable counter snapshot from the governor.
+        let gov = out
+            .lines()
+            .find(|l| l.starts_with("governor: "))
+            .expect("governor line present");
+        for key in ["iterations=", "derived=", "held=", "checks=", "elapsed_ms="] {
+            assert!(gov.contains(key), "{gov}");
+        }
+        // The trip actually consumed budget checks.
+        assert!(!gov.contains("checks=0"), "{gov}");
+    }
+
+    fn temp_checkpoint_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "itdb_shell_ckpt_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn checkpoint_command_round_trips_configuration() {
+        let dir = temp_checkpoint_dir("cfg");
+        let mut sh = Shell::new();
+        let out = run(&mut sh, "checkpoint");
+        assert_eq!(out, "checkpointing off");
+        let out = run(&mut sh, "resume");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run(&mut sh, &format!("checkpoint {}", dir.display()));
+        assert!(out.contains("checkpointing to"), "{out}");
+        assert!(out.contains("every 64 iterations"), "{out}");
+        let out = run(&mut sh, "checkpoint every 2");
+        assert!(out.contains("every 2 iterations"), "{out}");
+        let out = run(&mut sh, "checkpoint every 0");
+        assert!(out.contains("only on governor trips"), "{out}");
+        let out = run(&mut sh, "checkpoint every pancakes");
+        assert!(out.starts_with("error:"), "{out}");
+        // Configuration survives `reset`, like limits.
+        run(&mut sh, "reset");
+        let out = run(&mut sh, "checkpoint");
+        assert!(out.contains("checkpointing to"), "{out}");
+        let out = run(&mut sh, "checkpoint off");
+        assert_eq!(out, "checkpointing off");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tripped_eval_checkpoints_and_resume_reaches_the_full_model() {
+        let dir = temp_checkpoint_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sh = Shell::new();
+        run(&mut sh, &format!("checkpoint {}", dir.display()));
+        run(&mut sh, "fuel 5");
+        run(&mut sh, "tuple p (n) : T1 = 0");
+        run(&mut sh, "rule q[t] <- p[t].");
+        run(&mut sh, "rule q[t + 5] <- q[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("interrupted:"), "{out}");
+        assert!(out.contains("checkpoint: generation"), "{out}");
+        // Lift the budget and resume: the run completes from the snapshot.
+        run(&mut sh, "fuel off");
+        let out = run(&mut sh, "resume");
+        assert!(out.contains("resumed: generation"), "{out}");
+        assert!(
+            out.contains("Converged") || out.contains("Diverged"),
+            "{out}"
+        );
+        assert!(out.contains("q = "), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_no_snapshot_runs_fresh_with_a_note() {
+        let dir = temp_checkpoint_dir("fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sh = Shell::new();
+        run(&mut sh, &format!("checkpoint {}", dir.display()));
+        run(&mut sh, "tuple e (6n) : T1 >= 0");
+        run(&mut sh, "rule late[t + 1] <- e[t].");
+        let out = run(&mut sh, "resume");
+        assert!(out.contains("no checkpoint found; running fresh"), "{out}");
+        assert!(out.contains("Converged"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_stale_checkpoint_and_runs_fresh() {
+        let dir = temp_checkpoint_dir("stale");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sh = Shell::new();
+        run(&mut sh, &format!("checkpoint {}", dir.display()));
+        run(&mut sh, "fuel 5");
+        run(&mut sh, "tuple p (n) : T1 = 0");
+        run(&mut sh, "rule q[t] <- p[t].");
+        run(&mut sh, "rule q[t + 5] <- q[t].");
+        let out = run(&mut sh, "eval");
+        assert!(out.contains("checkpoint: generation"), "{out}");
+        // Change the program: the snapshot's program hash no longer
+        // matches, so resume must not load it.
+        run(&mut sh, "rule r[t] <- q[t].");
+        run(&mut sh, "fuel off");
+        let out = run(&mut sh, "resume");
+        assert!(out.contains("running fresh"), "{out}");
+        assert!(!out.contains("resumed: generation"), "{out}");
+        assert!(out.contains("q = "), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

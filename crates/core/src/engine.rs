@@ -40,11 +40,13 @@
 
 use crate::analyze::{analyze, ProgramInfo};
 use crate::ast::{CmpOp, DataTerm, Program};
+use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointReport, FeKey, SavedStratum};
 use crate::db::Database;
 use crate::normalize::{normalize_program, NormAtom, NormClause, NormConstraint};
 use itdb_lrp::{
     CancelToken, Constraint, DataValue, Dbm, Error, GeneralizedRelation, GeneralizedTuple,
-    Governor, GovernorConfig, Lrp, Result, TripReason, Var, Zone, DEFAULT_RESIDUE_BUDGET,
+    Governor, GovernorConfig, GovernorStats, Lrp, Result, TripReason, Var, Zone,
+    DEFAULT_RESIDUE_BUDGET,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -90,6 +92,12 @@ pub struct EvalOptions {
     /// post-hoc [`crate::provenance::explain`] derivation trees at the
     /// cost of cloning the matched source tuples per insertion.
     pub provenance: bool,
+    /// Durable checkpointing policy: write crash-safe snapshots of the
+    /// partial fixpoint on governor trips and/or every N iterations.
+    /// `None` (the default) disables checkpointing entirely. Checkpoint
+    /// write failures never abort the evaluation — they are counted in
+    /// [`Evaluation::checkpoints`].
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for EvalOptions {
@@ -107,6 +115,7 @@ impl Default for EvalOptions {
             cancel: None,
             use_index: true,
             provenance: false,
+            checkpoint: None,
         }
     }
 }
@@ -162,6 +171,9 @@ pub struct Interruption {
     /// Predicates that were still deriving new tuples in the most recent
     /// productive iteration — the ones to blame for divergence.
     pub growing: Vec<String>,
+    /// Governor counters at trip time (fuel used, tuples held, elapsed
+    /// ms) — lets operators size the budget for a resumed run.
+    pub counters: GovernorStats,
 }
 
 /// Completeness guarantee attached to an interrupted evaluation's partial
@@ -400,6 +412,10 @@ pub struct Evaluation {
     /// indexed by [`Derivation::rule`]; shared by trace spans, the
     /// `profile` table, and `explain` rendering.
     pub rule_labels: Vec<String>,
+    /// What durable checkpointing did during this evaluation (all zeros
+    /// when [`EvalOptions::checkpoint`] is `None` and the run was not
+    /// resumed).
+    pub checkpoints: CheckpointReport,
 }
 
 impl Evaluation {
@@ -437,6 +453,7 @@ fn interrupted_outcome(
     fe_safe_at: Option<usize>,
     iterations: usize,
     growing: Vec<String>,
+    counters: GovernorStats,
 ) -> EvalOutcome {
     EvalOutcome::Interrupted(Interruption {
         reason,
@@ -446,6 +463,7 @@ fn interrupted_outcome(
         },
         iterations,
         growing,
+        counters,
     })
 }
 
@@ -460,6 +478,43 @@ pub fn evaluate_governed(
     edb: &Database,
     opts: &EvalOptions,
     governor: &Arc<Governor>,
+) -> Result<Evaluation> {
+    evaluate_governed_impl(program, edb, opts, governor, None)
+}
+
+/// Resumes an interrupted evaluation from a [`Checkpoint`] with a fresh
+/// [`Governor`] built from `opts`. The checkpoint's program and EDB
+/// hashes are validated against `program`/`edb` first — a stale
+/// checkpoint is rejected with a typed error, never silently resumed.
+/// Resuming re-enters the fixpoint at the saved cursor and reaches the
+/// same model an uninterrupted run would.
+pub fn resume_with(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
+    checkpoint: &Checkpoint,
+) -> Result<Evaluation> {
+    let governor = Governor::new(opts.governor_config());
+    resume_governed(program, edb, opts, &governor, checkpoint)
+}
+
+/// [`resume_with`] under an externally supplied governor.
+pub fn resume_governed(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
+    governor: &Arc<Governor>,
+    checkpoint: &Checkpoint,
+) -> Result<Evaluation> {
+    evaluate_governed_impl(program, edb, opts, governor, Some(checkpoint))
+}
+
+fn evaluate_governed_impl(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
+    governor: &Arc<Governor>,
+    resume: Option<&Checkpoint>,
 ) -> Result<Evaluation> {
     let _scope = governor.enter();
     let _eval_span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "evaluate");
@@ -486,10 +541,23 @@ pub fn evaluate_governed(
             edb.get_checked(pred, info.signatures[pred])?;
         }
     }
-    let clauses: Vec<NormClause> = normalize_program(program)?
-        .into_iter()
-        .filter(|c| !c.dead)
-        .collect();
+    let all_clauses = normalize_program(program)?;
+    // Content hashes guard checkpoints against being resumed into a
+    // different program or EDB; computed (over *all* normalized clauses,
+    // before dead-clause filtering) only when a checkpoint will be
+    // written or consumed.
+    let need_hashes = opts.checkpoint.is_some() || resume.is_some();
+    let program_hash = if need_hashes {
+        crate::checkpoint::hash_program(&all_clauses)
+    } else {
+        0
+    };
+    let edb_hash = if need_hashes {
+        crate::checkpoint::hash_database(edb)
+    } else {
+        0
+    };
+    let clauses: Vec<NormClause> = all_clauses.into_iter().filter(|c| !c.dead).collect();
 
     let mut idb: BTreeMap<String, GeneralizedRelation> = info
         .intensional
@@ -514,19 +582,66 @@ pub fn evaluate_governed(
     // iteration — named in trip diagnostics as "still growing".
     let mut last_growing: Vec<String> = Vec::new();
 
+    let mut report = CheckpointReport::default();
+    // Cursor of the in-flight stratum restored from a checkpoint:
+    // (stratum index, completed stratum iterations, fe-safe streak, the
+    // semi-naive delta to re-enter with).
+    let mut resume_cursor: Option<(usize, usize, usize, BTreeMap<String, GeneralizedRelation>)> =
+        None;
+    if let Some(c) = resume {
+        c.validate(program_hash, edb_hash).map_err(Error::from)?;
+        for (pred, rel) in &c.idb {
+            match idb.get_mut(pred) {
+                Some(slot) => *slot = rel.clone(),
+                None => {
+                    return Err(Error::Eval(format!(
+                        "checkpoint: unknown intensional predicate {pred}"
+                    )))
+                }
+            }
+        }
+        for (pred, keys) in &c.fe_keys {
+            fe_keys.insert(pred_key(&info, pred)?, keys.clone());
+        }
+        iteration = c.iteration;
+        fe_safe_at = c.fe_safe_at;
+        last_growing = c.last_growing.clone();
+        let restored = c.restore_stats();
+        stats.tuples_derived = restored.tuples_derived;
+        stats.tuples_inserted = restored.tuples_inserted;
+        stats.tuples_subsumed = restored.tuples_subsumed;
+        stats.strata = restored.strata;
+        report.resumed_from = c.generation;
+        itdb_trace::emit(|| itdb_trace::EventKind::CheckpointRestored {
+            generation: c.generation.unwrap_or(0),
+            stratum: c.stratum as u64,
+            iteration: c.iteration as u64,
+        });
+        resume_cursor = Some((c.stratum, c.stratum_iter, c.fe_safe_streak, c.delta.clone()));
+    }
+
     // Strata run lowest first; within a stratum the usual (semi-)naive
     // fixpoint applies, with lower strata and the EDB acting as stable
     // inputs. Negated atoms always refer to stable inputs (stratified), so
     // their subtraction semantics is exact.
     'strata: for (stratum_idx, stratum) in info.strata.iter().enumerate() {
+        // Strata fully completed before the checkpoint's cursor are
+        // already in the restored IDB — don't re-run them.
+        if resume_cursor.as_ref().is_some_and(|c| stratum_idx < c.0) {
+            continue;
+        }
         let _stratum_span = itdb_trace::span_with(itdb_trace::SpanKind::Stratum, || {
             format!("stratum {stratum_idx}")
         });
         let stratum_start = Instant::now();
-        stats.strata.push(StratumStats {
-            preds: stratum.iter().cloned().collect(),
-            ..StratumStats::default()
-        });
+        // A resumed run restored statistics for every stratum up to and
+        // including the cursor's; only strata beyond it need fresh rows.
+        if stats.strata.len() <= stratum_idx {
+            stats.strata.push(StratumStats {
+                preds: stratum.iter().cloned().collect(),
+                ..StratumStats::default()
+            });
+        }
         let stratum_preds: Vec<&str> = stratum.iter().map(|s| s.as_str()).collect();
         let stratum_clauses: Vec<&NormClause> = clauses
             .iter()
@@ -535,6 +650,13 @@ pub fn evaluate_governed(
         let mut fe_safe_streak = 0usize;
         let mut stratum_iter = 0usize;
         let mut delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+        if resume_cursor.as_ref().is_some_and(|c| c.0 == stratum_idx) {
+            if let Some((_, si, streak, d)) = resume_cursor.take() {
+                stratum_iter = si;
+                fe_safe_streak = streak;
+                delta = d;
+            }
+        }
 
         loop {
             if let Err(e) = governor.start_iteration() {
@@ -543,11 +665,37 @@ pub fn evaluate_governed(
                     fe_safe_at,
                     iteration,
                     last_growing.clone(),
+                    governor.stats(),
                 ));
+                maybe_checkpoint(
+                    opts,
+                    true,
+                    CheckpointCursor {
+                        program_hash,
+                        edb_hash,
+                        stratum: stratum_idx,
+                        iteration,
+                        stratum_iter,
+                        fe_safe_at,
+                        fe_safe_streak,
+                    },
+                    &last_growing,
+                    &idb,
+                    &delta,
+                    None,
+                    &fe_keys,
+                    governor,
+                    &stats,
+                    &mut report,
+                );
                 break 'strata;
             }
             iteration += 1;
             stratum_iter += 1;
+            // Free-extension values as of the start of this iteration —
+            // redo checkpoints (written when a trip strikes mid-iteration)
+            // rewind to them alongside the iteration counters.
+            let iter_start_fe = (fe_safe_at, fe_safe_streak);
             let _iter_span = itdb_trace::span_with(itdb_trace::SpanKind::Iteration, || {
                 format!("iteration {iteration}")
             });
@@ -642,13 +790,36 @@ pub fn evaluate_governed(
             if let Some(reason) = trip {
                 // Tripped mid-derivation: abandon this iteration's derived
                 // tuples; the model is exactly the last completed
-                // iteration's (sound).
+                // iteration's (sound). The checkpoint cursor points at the
+                // last completed iteration (redo semantics).
                 outcome = Some(interrupted_outcome(
                     reason,
                     fe_safe_at,
                     iteration,
                     last_growing.clone(),
+                    governor.stats(),
                 ));
+                maybe_checkpoint(
+                    opts,
+                    true,
+                    CheckpointCursor {
+                        program_hash,
+                        edb_hash,
+                        stratum: stratum_idx,
+                        iteration: iteration - 1,
+                        stratum_iter: stratum_iter - 1,
+                        fe_safe_at: iter_start_fe.0,
+                        fe_safe_streak: iter_start_fe.1,
+                    },
+                    &last_growing,
+                    &idb,
+                    &delta,
+                    None,
+                    &fe_keys,
+                    governor,
+                    &stats,
+                    &mut report,
+                );
                 break 'strata;
             }
 
@@ -776,7 +947,34 @@ pub fn evaluate_governed(
                     fe_safe_at,
                     iteration,
                     last_growing.clone(),
+                    governor.stats(),
                 ));
+                // Tripped mid-insert: some of this iteration's tuples are
+                // already in the IDB. The redo cursor rewinds the counters
+                // and *widens* the frontier with the partial inserts, so
+                // the redone iteration still propagates their
+                // consequences (re-derivations subsume harmlessly).
+                maybe_checkpoint(
+                    opts,
+                    true,
+                    CheckpointCursor {
+                        program_hash,
+                        edb_hash,
+                        stratum: stratum_idx,
+                        iteration: iteration - 1,
+                        stratum_iter: stratum_iter - 1,
+                        fe_safe_at: iter_start_fe.0,
+                        fe_safe_streak: iter_start_fe.1,
+                    },
+                    &last_growing,
+                    &idb,
+                    &delta,
+                    Some(&next_delta),
+                    &fe_keys,
+                    governor,
+                    &stats,
+                    &mut report,
+                );
                 break 'strata;
             }
             if fixpoint {
@@ -795,6 +993,29 @@ pub fn evaluate_governed(
                 break 'strata;
             }
             delta = next_delta;
+            // Every-N cadence: this point is reached only between
+            // completed iterations, so the cursor needs no rewinding.
+            maybe_checkpoint(
+                opts,
+                false,
+                CheckpointCursor {
+                    program_hash,
+                    edb_hash,
+                    stratum: stratum_idx,
+                    iteration,
+                    stratum_iter,
+                    fe_safe_at,
+                    fe_safe_streak,
+                },
+                &last_growing,
+                &idb,
+                &delta,
+                None,
+                &fe_keys,
+                governor,
+                &stats,
+                &mut report,
+            );
         }
     }
 
@@ -827,7 +1048,105 @@ pub fn evaluate_governed(
         stats,
         derivations,
         rule_labels,
+        checkpoints: report,
     })
+}
+
+/// The evaluation-cursor half of a checkpoint: where re-entry happens.
+struct CheckpointCursor {
+    program_hash: u128,
+    edb_hash: u128,
+    stratum: usize,
+    iteration: usize,
+    stratum_iter: usize,
+    fe_safe_at: Option<usize>,
+    fe_safe_streak: usize,
+}
+
+/// Builds and persists a checkpoint when the policy calls for one at this
+/// site: `trip_site` marks trip-triggered writes, otherwise the every-N
+/// cadence applies. `extra_delta` widens the saved frontier with an
+/// interrupted iteration's partial inserts (redo semantics; see the
+/// [`crate::checkpoint`] module docs). Failures are counted in `report`
+/// and traced — checkpointing never aborts the evaluation.
+#[allow(clippy::too_many_arguments)]
+fn maybe_checkpoint(
+    opts: &EvalOptions,
+    trip_site: bool,
+    cursor: CheckpointCursor,
+    last_growing: &[String],
+    idb: &BTreeMap<String, GeneralizedRelation>,
+    delta: &BTreeMap<String, GeneralizedRelation>,
+    extra_delta: Option<&BTreeMap<String, GeneralizedRelation>>,
+    fe_keys: &BTreeMap<&str, BTreeSet<FeKey>>,
+    governor: &Governor,
+    stats: &EvalStats,
+    report: &mut CheckpointReport,
+) {
+    let Some(policy) = &opts.checkpoint else {
+        return;
+    };
+    let due = if trip_site {
+        policy.on_trip
+    } else {
+        policy
+            .every_iterations
+            .is_some_and(|n| n > 0 && (cursor.iteration as u64).is_multiple_of(n))
+    };
+    if !due {
+        return;
+    }
+    let mut delta_out = delta.clone();
+    if let Some(extra) = extra_delta {
+        for (pred, rel) in extra {
+            let entry = delta_out
+                .entry(pred.clone())
+                .or_insert_with(|| GeneralizedRelation::empty(rel.schema()));
+            for t in rel.tuples() {
+                if entry.insert(t.clone()).is_err() {
+                    report.failed += 1;
+                    return;
+                }
+            }
+        }
+    }
+    let cp = Checkpoint {
+        generation: None,
+        program_hash: cursor.program_hash,
+        edb_hash: cursor.edb_hash,
+        stratum: cursor.stratum,
+        iteration: cursor.iteration,
+        stratum_iter: cursor.stratum_iter,
+        fe_safe_at: cursor.fe_safe_at,
+        fe_safe_streak: cursor.fe_safe_streak,
+        last_growing: last_growing.to_vec(),
+        idb: idb.clone(),
+        delta: delta_out,
+        fe_keys: fe_keys
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        governor: governor.stats(),
+        tuples_derived: stats.tuples_derived,
+        tuples_inserted: stats.tuples_inserted,
+        tuples_subsumed: stats.tuples_subsumed,
+        strata: stats.strata.iter().map(SavedStratum::from_stats).collect(),
+    };
+    let start = Instant::now();
+    match cp.save(&policy.store) {
+        Ok(w) => {
+            report.written += 1;
+            report.last_generation = Some(w.generation);
+            report.last_bytes = w.bytes;
+            report.last_write_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        }
+        Err(e) => {
+            report.failed += 1;
+            itdb_trace::emit(|| itdb_trace::EventKind::Message {
+                text: format!("checkpoint write failed: {e}"),
+            });
+        }
+    }
 }
 
 /// A derived head tuple awaiting canonicalization and subsumption insert,

@@ -38,6 +38,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod checkpoint;
 pub mod db;
 pub mod engine;
 pub mod ground;
@@ -49,13 +50,19 @@ pub mod query;
 
 pub use analyze::{analyze, ProgramInfo};
 pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
+pub use checkpoint::{
+    hash_database, hash_program, load_latest, Checkpoint, CheckpointError, CheckpointPolicy,
+    CheckpointReport, Recovered,
+};
 pub use db::Database;
 pub use engine::{
-    evaluate, evaluate_governed, evaluate_with, Completeness, Derivation, EvalOptions, EvalOutcome,
-    EvalStats, Evaluation, Interruption, IterationTrace, StratumStats,
+    evaluate, evaluate_governed, evaluate_with, resume_governed, resume_with, Completeness,
+    Derivation, EvalOptions, EvalOutcome, EvalStats, Evaluation, Interruption, IterationTrace,
+    StratumStats,
 };
 pub use itdb_lrp::{CancelToken, Governor, GovernorConfig, GovernorStats, TripReason};
-pub use metrics::render_metrics;
+pub use itdb_store::SnapshotStore;
+pub use metrics::{render_metrics, render_metrics_full};
 pub use parser::{parse_atom, parse_clause, parse_program};
 pub use provenance::{explain, DerivationNode};
 pub use query::{ask, query};

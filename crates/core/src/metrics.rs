@@ -6,6 +6,7 @@
 //! always a well-formed exposition-format document regardless of what the
 //! program's rule texts contain.
 
+use crate::checkpoint::CheckpointReport;
 use crate::engine::EvalStats;
 use itdb_trace::prom::PromText;
 use itdb_trace::{Profile, SpanKind};
@@ -13,6 +14,17 @@ use itdb_trace::{Profile, SpanKind};
 /// Renders `stats` (and, when given, a span `profile`) as one Prometheus
 /// text exposition-format document.
 pub fn render_metrics(stats: &EvalStats, profile: Option<&Profile>) -> String {
+    render_metrics_full(stats, profile, None)
+}
+
+/// [`render_metrics`] plus durable-checkpoint counters when the evaluation
+/// ran with a checkpoint policy (snapshot sizes, write latency, resume
+/// provenance).
+pub fn render_metrics_full(
+    stats: &EvalStats,
+    profile: Option<&Profile>,
+    checkpoints: Option<&CheckpointReport>,
+) -> String {
     let mut p = PromText::new();
     p.counter(
         "itdb_tuples_derived_total",
@@ -75,6 +87,38 @@ pub fn render_metrics(stats: &EvalStats, profile: Option<&Profile>) -> String {
         "Total evaluation wall clock, final coalescing included.",
         stats.elapsed.as_secs_f64(),
     );
+    p.counter(
+        "itdb_trace_dropped_events_total",
+        "Trace events dropped by JSONL sinks after exhausting write retries.",
+        itdb_trace::dropped_events(),
+    );
+    if let Some(cp) = checkpoints {
+        p.counter(
+            "itdb_checkpoints_written_total",
+            "Durable checkpoints successfully written this evaluation.",
+            cp.written,
+        );
+        p.counter(
+            "itdb_checkpoint_write_failures_total",
+            "Checkpoint writes that failed (evaluation continued).",
+            cp.failed,
+        );
+        p.gauge(
+            "itdb_checkpoint_last_bytes",
+            "Image size of the most recent checkpoint, in bytes.",
+            cp.last_bytes as f64,
+        );
+        p.gauge(
+            "itdb_checkpoint_last_write_seconds",
+            "Wall clock of the most recent checkpoint write (encode + fsync).",
+            cp.last_write_us as f64 / 1e6,
+        );
+        p.gauge(
+            "itdb_checkpoint_last_generation",
+            "Generation number of the most recent checkpoint (0 = none).",
+            cp.last_generation.unwrap_or(0) as f64,
+        );
+    }
 
     let stratum_labels: Vec<(String, String)> = stats
         .strata
@@ -177,6 +221,35 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("sample has a value");
             value.parse::<f64>().expect("value is a number");
         }
+    }
+
+    #[test]
+    fn metrics_include_checkpoint_counters_when_given() {
+        let p = parse_program("p[t + 5] <- e[t]. p[t + 5] <- p[t].").unwrap();
+        let mut db = Database::new();
+        db.insert_parsed("e", "(15n)").unwrap();
+        let eval = evaluate(&p, &db).unwrap();
+        let report = crate::checkpoint::CheckpointReport {
+            written: 2,
+            failed: 1,
+            last_generation: Some(2),
+            last_bytes: 4096,
+            last_write_us: 1500,
+            resumed_from: None,
+        };
+        let text = render_metrics_full(&eval.stats, None, Some(&report));
+        assert!(text.contains("itdb_checkpoints_written_total 2"), "{text}");
+        assert!(
+            text.contains("itdb_checkpoint_write_failures_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("itdb_checkpoint_last_bytes 4096"), "{text}");
+        assert!(text.contains("itdb_trace_dropped_events_total"), "{text}");
+        // Without a report the checkpoint family is absent but the dropped
+        // counter still renders.
+        let bare = render_metrics(&eval.stats, None);
+        assert!(!bare.contains("itdb_checkpoints_written_total"));
+        assert!(bare.contains("itdb_trace_dropped_events_total"));
     }
 
     #[test]

@@ -16,8 +16,8 @@ use crate::ast::{validate, BodyLit, TlProgram};
 use crate::translate::translate_clause;
 use itdb_datalog1s as dl;
 use itdb_datalog1s::{DataTerm, DetectOptions, EpSet, ExternalEdb};
-use itdb_lrp::{check_ambient, DataValue, Governor, Result};
-use std::collections::{BTreeMap, HashMap};
+use itdb_lrp::{check_ambient, DataValue, Error, Governor, Result, TripReason};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// The computed minimal model of a Templog program: one time set per
@@ -45,21 +45,91 @@ impl TlModel {
     }
 }
 
+/// How a governed Templog evaluation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlOutcome {
+    /// Every stratum reached its minimal model.
+    Complete,
+    /// The governor tripped partway through. Strata are evaluated to
+    /// completion in dependency order, so the partial model is *exact* on
+    /// the `completed_strata` lowest strata — a sound, checkpointable
+    /// prefix of the full minimal model — and simply missing the rest.
+    Interrupted {
+        /// Which budget tripped.
+        reason: TripReason,
+        /// Strata whose minimal models are fully present in the partial
+        /// model.
+        completed_strata: usize,
+        /// Total strata in the program's dependency order.
+        total_strata: usize,
+    },
+}
+
+impl TlOutcome {
+    /// Did the evaluation run to completion?
+    pub fn complete(&self) -> bool {
+        matches!(self, TlOutcome::Complete)
+    }
+}
+
+/// The result of a governed Templog evaluation: the (possibly partial)
+/// model plus how the run ended.
+#[derive(Debug, Clone)]
+pub struct TlEvaluation {
+    /// The computed model. Complete when `outcome` is
+    /// [`TlOutcome::Complete`]; otherwise exact on the completed strata
+    /// and empty on the rest.
+    pub model: TlModel,
+    /// How the run ended.
+    pub outcome: TlOutcome,
+}
+
 /// Like [`evaluate`], but under an explicit resource [`Governor`]: the
 /// governor is installed as the thread's ambient governor for the whole
 /// run, so both the ◇-closure DFS here and the underlying Datalog1S
-/// time-step simulation consult it. A trip surfaces as
-/// `Err(Error::Interrupted(_))` — the ◇-translation has no sound partial
-/// model to hand back.
+/// time-step simulation consult it.
+///
+/// A trip does **not** discard completed work: because strata are run to
+/// fixpoint one at a time in dependency order, everything computed before
+/// the trip is exact. The partial model is returned in
+/// [`TlEvaluation::model`] with [`TlOutcome::Interrupted`] recording the
+/// trip reason and how many strata finished. Only genuine evaluation
+/// errors surface as `Err`.
 pub fn evaluate_governed(
     p: &TlProgram,
     edb: &ExternalEdb,
     opts: &DetectOptions,
     governor: &Arc<Governor>,
-) -> Result<TlModel> {
+) -> Result<TlEvaluation> {
     let _scope = governor.enter();
     let _span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "templog");
-    evaluate(p, edb, opts)
+    let info = validate(p)?;
+    let total_strata = info.strata.len();
+    let mut st = EvalState::new(edb);
+    for (idx, stratum) in info.strata.iter().enumerate() {
+        match st.eval_stratum(p, stratum, opts) {
+            Ok(()) => {}
+            Err(Error::Interrupted(reason)) => {
+                return Ok(TlEvaluation {
+                    model: TlModel {
+                        sets: st.model_sets,
+                    },
+                    outcome: TlOutcome::Interrupted {
+                        reason,
+                        completed_strata: idx,
+                        total_strata,
+                    },
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(TlEvaluation {
+        model: TlModel {
+            sets: st.model_sets,
+        },
+        outcome: TlOutcome::Complete,
+    })
 }
 
 /// Evaluates a Templog program against extensional inputs. Consults the
@@ -67,12 +137,44 @@ pub fn evaluate_governed(
 /// the Datalog1S engine, at every time step.
 pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Result<TlModel> {
     let info = validate(p)?;
-    // Accumulated closed-form extensions: external inputs plus lower strata.
-    let mut acc: BTreeMap<(String, Vec<DataValue>), EpSet> = edb.map.clone();
-    let mut model_sets: BTreeMap<(String, Vec<DataValue>), EpSet> = BTreeMap::new();
-    let mut aux_counter = 0usize;
-
+    let mut st = EvalState::new(edb);
     for stratum in &info.strata {
+        st.eval_stratum(p, stratum, opts)?;
+    }
+    Ok(TlModel {
+        sets: st.model_sets,
+    })
+}
+
+/// Mutable evaluation state threaded through the strata: the accumulated
+/// closed-form extensions, the intensional model built so far, and the
+/// counter minting auxiliary ◇-predicates.
+struct EvalState {
+    /// Accumulated closed-form extensions: external inputs plus lower
+    /// strata.
+    acc: BTreeMap<(String, Vec<DataValue>), EpSet>,
+    model_sets: BTreeMap<(String, Vec<DataValue>), EpSet>,
+    aux_counter: usize,
+}
+
+impl EvalState {
+    fn new(edb: &ExternalEdb) -> Self {
+        EvalState {
+            acc: edb.map.clone(),
+            model_sets: BTreeMap::new(),
+            aux_counter: 0,
+        }
+    }
+
+    /// Runs one stratum to its minimal model and folds the result into the
+    /// accumulated extensions. On `Err` the state is unchanged except for
+    /// the aux counter, so completed strata stay intact.
+    fn eval_stratum(
+        &mut self,
+        p: &TlProgram,
+        stratum: &BTreeSet<String>,
+        opts: &DetectOptions,
+    ) -> Result<()> {
         let clauses: Vec<_> = p
             .clauses
             .iter()
@@ -81,7 +183,7 @@ pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Resul
         // Resolve every ◇-literal of this stratum to an auxiliary
         // extensional predicate whose extension is computed now.
         let mut stratum_edb = ExternalEdb::new();
-        for (key, set) in &acc {
+        for (key, set) in &self.acc {
             stratum_edb.map.insert(key.clone(), set.clone());
         }
         let mut dl_clauses = Vec::with_capacity(clauses.len());
@@ -90,8 +192,8 @@ pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Resul
             let mut aux_atoms: HashMap<usize, dl::Atom> = HashMap::new();
             for (i, lit) in c.body.iter().enumerate() {
                 if let BodyLit::Eventually { conj, .. } = lit {
-                    aux_counter += 1;
-                    let name = format!("__ev{aux_counter}");
+                    self.aux_counter += 1;
+                    let name = format!("__ev{}", self.aux_counter);
                     // Free data variables of the conjunction, in first-
                     // occurrence order: they become the aux predicate's
                     // data parameters.
@@ -107,7 +209,7 @@ pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Resul
                     }
                     // Enumerate consistent data bindings from the
                     // accumulated extensions and compute the ◇ time set.
-                    for (binding, times) in diamond_extension(conj, &acc)? {
+                    for (binding, times) in diamond_extension(conj, &self.acc)? {
                         if times.is_empty() {
                             continue;
                         }
@@ -136,12 +238,11 @@ pub fn evaluate(p: &TlProgram, edb: &ExternalEdb, opts: &DetectOptions) -> Resul
         };
         let m = dl::evaluate(&dl_prog, &stratum_edb, opts)?;
         for (key, set) in m.sets {
-            acc.insert(key.clone(), set.clone());
-            model_sets.insert(key, set);
+            self.acc.insert(key.clone(), set.clone());
+            self.model_sets.insert(key, set);
         }
+        Ok(())
     }
-
-    Ok(TlModel { sets: model_sets })
 }
 
 /// The extension of a ◇-conjunction: for every consistent binding of the
@@ -367,6 +468,45 @@ mod tests {
         assert!(!m.holds("alarm", &[], 7));
         for t in 0..20u64 {
             assert_eq!(m.holds("will_repair", &[], t), t <= 7, "t={t}");
+        }
+    }
+
+    #[test]
+    fn governed_trip_surfaces_completed_strata_not_an_error() {
+        use itdb_lrp::{Governor, GovernorConfig};
+        // Two strata: `power` (lowest) then `dark` (negation above it).
+        let p = parse_program(
+            "power. always (next^4 power <- power).
+             always (dark <- !power).",
+        )
+        .unwrap();
+        // Generous budget: the whole thing completes.
+        let g = Governor::new(GovernorConfig::default());
+        let ev = evaluate_governed(&p, &ExternalEdb::new(), &DetectOptions::default(), &g).unwrap();
+        assert_eq!(ev.outcome, TlOutcome::Complete);
+        assert!(ev.model.holds("dark", &[], 1));
+        // Zero wall-clock budget: trips immediately, but still returns
+        // Ok with a partial model and a typed outcome instead of Err.
+        let g = Governor::new(GovernorConfig {
+            timeout: Some(std::time::Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        let ev = evaluate_governed(&p, &ExternalEdb::new(), &DetectOptions::default(), &g).unwrap();
+        match ev.outcome {
+            TlOutcome::Interrupted {
+                completed_strata,
+                total_strata,
+                ..
+            } => {
+                assert_eq!(total_strata, 2);
+                assert!(completed_strata < 2);
+                // Whatever strata completed are exact: if the lowest one
+                // finished, `power` has its true periodic extension.
+                if completed_strata >= 1 {
+                    assert!(ev.model.holds("power", &[], 4));
+                }
+            }
+            TlOutcome::Complete => panic!("zero deadline should trip"),
         }
     }
 

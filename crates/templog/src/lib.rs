@@ -32,6 +32,6 @@ pub mod parser;
 pub mod translate;
 
 pub use ast::{validate, BodyLit, NextAtom, TlAtom, TlClause, TlInfo, TlProgram};
-pub use eval::{evaluate, evaluate_governed, TlModel};
+pub use eval::{evaluate, evaluate_governed, TlEvaluation, TlModel, TlOutcome};
 pub use parser::parse_program;
 pub use translate::{is_tl1, tl1_to_datalog1s};

@@ -96,6 +96,32 @@ pub enum EventKind {
         /// Tuples a full linear scan would have consulted.
         scanned: u64,
     },
+    /// A durable checkpoint was written to the snapshot store.
+    CheckpointWritten {
+        /// Generation number of the snapshot.
+        generation: u64,
+        /// Snapshot image size in bytes.
+        bytes: u64,
+        /// Wall clock spent encoding and durably writing, in µs.
+        write_us: u64,
+    },
+    /// Evaluation resumed from a stored checkpoint.
+    CheckpointRestored {
+        /// Generation number resumed from.
+        generation: u64,
+        /// Stratum index of the restored cursor.
+        stratum: u64,
+        /// Global iteration count of the restored cursor.
+        iteration: u64,
+    },
+    /// A damaged snapshot generation was skipped during recovery (the
+    /// loader fell back toward an older generation).
+    CheckpointRecovery {
+        /// Generation that failed validation.
+        generation: u64,
+        /// Why it was rejected (typed store error, rendered).
+        error: String,
+    },
     /// Free-form annotation (used sparingly; e.g. wrapper engines).
     Message {
         /// The annotation text.
@@ -199,6 +225,30 @@ impl Event {
             } => {
                 let _ = write!(out, ",\"candidates\":{candidates},\"scanned\":{scanned}");
             }
+            EventKind::CheckpointWritten {
+                generation,
+                bytes,
+                write_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"generation\":{generation},\"bytes\":{bytes},\"write_us\":{write_us}"
+                );
+            }
+            EventKind::CheckpointRestored {
+                generation,
+                stratum,
+                iteration,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"generation\":{generation},\"stratum\":{stratum},\"iteration\":{iteration}"
+                );
+            }
+            EventKind::CheckpointRecovery { generation, error } => {
+                let _ = write!(out, ",\"generation\":{generation}");
+                push_str_field(&mut out, "error", error);
+            }
             EventKind::Message { text } => {
                 push_str_field(&mut out, "text", text);
             }
@@ -219,6 +269,9 @@ impl EventKind {
             EventKind::TupleSubsumed { .. } => "tuple_subsumed",
             EventKind::GovernorTrip { .. } => "governor_trip",
             EventKind::IndexLookup { .. } => "index_lookup",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CheckpointRestored { .. } => "checkpoint_restored",
+            EventKind::CheckpointRecovery { .. } => "checkpoint_recovery",
             EventKind::Message { .. } => "message",
         }
     }
@@ -233,6 +286,48 @@ mod tests {
         let mut out = String::new();
         escape_json("a\"b\\c\nd\te\u{1}", &mut out);
         assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn checkpoint_events_render_stably() {
+        let written = Event {
+            t_us: 5,
+            kind: EventKind::CheckpointWritten {
+                generation: 3,
+                bytes: 1024,
+                write_us: 250,
+            },
+        };
+        assert_eq!(
+            written.to_json(),
+            "{\"event\":\"checkpoint_written\",\"t_us\":5,\
+             \"generation\":3,\"bytes\":1024,\"write_us\":250}"
+        );
+        let restored = Event {
+            t_us: 6,
+            kind: EventKind::CheckpointRestored {
+                generation: 3,
+                stratum: 0,
+                iteration: 7,
+            },
+        };
+        assert_eq!(
+            restored.to_json(),
+            "{\"event\":\"checkpoint_restored\",\"t_us\":6,\
+             \"generation\":3,\"stratum\":0,\"iteration\":7}"
+        );
+        let recovery = Event {
+            t_us: 7,
+            kind: EventKind::CheckpointRecovery {
+                generation: 4,
+                error: "truncated snapshot (torn or short write)".into(),
+            },
+        };
+        assert_eq!(
+            recovery.to_json(),
+            "{\"event\":\"checkpoint_recovery\",\"t_us\":7,\"generation\":4,\
+             \"error\":\"truncated snapshot (torn or short write)\"}"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod span;
 
 pub use collector::{add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, SinkId};
 pub use event::{Event, EventKind, SourceFact};
-pub use sink::{JsonlSink, MemorySink, RingSink, Sink};
+pub use sink::{dropped_events, JsonlSink, MemorySink, RingSink, Sink};
 pub use span::{
     fmt_duration, profiling, set_profiling, span, span_with, take_profile, Profile, ProfileEntry,
     SpanGuard, SpanKind,

@@ -16,7 +16,19 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Total events dropped by all [`JsonlSink`]s in this process after their
+/// bounded retries were exhausted. Exported into the Prometheus snapshot
+/// as `itdb_trace_dropped_events_total`.
+static DROPPED_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of trace events dropped by JSONL sinks because a
+/// write kept failing past the retry budget.
+pub fn dropped_events() -> u64 {
+    DROPPED_EVENTS.load(Ordering::Relaxed)
+}
 
 /// A consumer of trace events.
 pub trait Sink {
@@ -84,19 +96,40 @@ impl Sink for RingSink {
     }
 }
 
+/// How many times one event's write is attempted before the event is
+/// dropped and counted. The stream keeps going — a transient failure
+/// costs at most the events that hit it, never the rest of the trace.
+const WRITE_RETRIES: u32 = 3;
+
 /// Writes each event as one JSON line (the `--trace file.jsonl` format).
+///
+/// Write failures are retried up to [`WRITE_RETRIES`] times per event;
+/// an event whose retries are exhausted is dropped and counted (per sink
+/// and in the process-wide [`dropped_events`] total) instead of poisoning
+/// the rest of the stream.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
-    /// First write error, sticky (subsequent events are dropped).
+    /// First write error, sticky (kept for diagnostics; later events are
+    /// still attempted).
     error: Mutex<Option<std::io::Error>>,
+    /// Events this sink dropped after exhausting retries.
+    dropped: AtomicU64,
 }
 
 impl JsonlSink {
-    /// Wraps an arbitrary writer.
+    /// Wraps an arbitrary writer (buffered with the default capacity).
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink::with_capacity(8 * 1024, writer)
+    }
+
+    /// Wraps an arbitrary writer with an explicit buffer capacity.
+    /// Capacity 0 makes every record a direct write — useful in tests,
+    /// where errors must surface immediately rather than at flush.
+    pub fn with_capacity(capacity: usize, writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
-            writer: Mutex::new(BufWriter::new(writer)),
+            writer: Mutex::new(BufWriter::with_capacity(capacity, writer)),
             error: Mutex::new(None),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -111,30 +144,58 @@ impl JsonlSink {
         self.error.lock().ok().and_then(|mut e| e.take())
     }
 
+    /// Events this sink dropped after exhausting their write retries.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     fn note_error(&self, e: std::io::Error) {
         if let Ok(mut slot) = self.error.lock() {
             slot.get_or_insert(e);
         }
+    }
+
+    fn note_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        DROPPED_EVENTS.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = event.to_json();
-        if let Ok(mut w) = self.writer.lock() {
-            if let Err(e) = w
+        let Ok(mut w) = self.writer.lock() else {
+            self.note_dropped();
+            return;
+        };
+        let mut last_err = None;
+        for _ in 0..WRITE_RETRIES {
+            match w
                 .write_all(line.as_bytes())
                 .and_then(|()| w.write_all(b"\n"))
             {
-                self.note_error(e);
+                Ok(()) => {
+                    if let Some(e) = last_err {
+                        self.note_error(e);
+                    }
+                    return;
+                }
+                Err(e) => last_err = Some(e),
             }
         }
+        if let Some(e) = last_err {
+            self.note_error(e);
+        }
+        self.note_dropped();
     }
 
     fn flush(&self) {
         if let Ok(mut w) = self.writer.lock() {
-            if let Err(e) = w.flush() {
-                self.note_error(e);
+            for _ in 0..WRITE_RETRIES {
+                match w.flush() {
+                    Ok(()) => return,
+                    Err(e) => self.note_error(e),
+                }
             }
         }
     }
@@ -205,6 +266,60 @@ mod tests {
         assert_eq!(ts, vec![2, 3, 4]);
         assert!(ring.is_empty());
         assert_eq!(ring.drain().1, 0, "drop counter reset");
+    }
+
+    /// A writer that fails its first `fail_for` writes, then succeeds —
+    /// a transient outage (e.g. momentary ENOSPC).
+    struct FlakyWriter {
+        fail_for: u32,
+        out: Vec<u8>,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.fail_for > 0 {
+                self.fail_for -= 1;
+                return Err(std::io::Error::other("transient"));
+            }
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_retries_transient_failures_and_keeps_the_stream() {
+        // Fails twice, succeeds on the third attempt — within the budget.
+        let sink = JsonlSink::with_capacity(
+            0,
+            Box::new(FlakyWriter {
+                fail_for: 2,
+                out: Vec::new(),
+            }),
+        );
+        sink.record(&msg(1));
+        sink.record(&msg(2));
+        assert_eq!(sink.dropped(), 0, "transient failure costs no events");
+        assert!(sink.take_error().is_some(), "error noted for diagnostics");
+    }
+
+    #[test]
+    fn jsonl_drops_with_counter_when_retries_are_exhausted() {
+        let before = dropped_events();
+        let sink = JsonlSink::with_capacity(
+            0,
+            Box::new(FlakyWriter {
+                fail_for: 4, // > WRITE_RETRIES: first event is lost
+                out: Vec::new(),
+            }),
+        );
+        sink.record(&msg(1)); // exhausts 3 retries, dropped
+        sink.record(&msg(2)); // writer recovered, succeeds
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(dropped_events() - before, 1, "global counter advanced");
+        assert!(sink.take_error().is_some());
     }
 
     #[test]
