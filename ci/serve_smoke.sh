@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Serve-mode smoke test: boot `itdb serve` against a real workload, drive
+# every endpoint over plain HTTP, shut down gracefully with SIGINT, and
+# validate the artifacts (metrics exposition, /events capture, /query
+# payloads) with ci/validate_observability.py --serve.
+#
+# Two server sessions because evaluation is whole-program per request:
+#   1. the convergent Example 4.1 workload answers `complete`;
+#   2. a diverging workload exercises per-request governor trips (the
+#      partial-result-loss regression) and concurrent fuel isolation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/itdb}
+PORT_A=${PORT_A:-7471}
+PORT_B=${PORT_B:-7472}
+
+wait_healthy() {
+    local port=$1
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: server on port $port never became healthy" >&2
+    return 1
+}
+
+graceful_stop() {
+    # SIGINT must drain and exit 0 — a non-zero status means the serve
+    # loop failed or shutdown lost work.
+    local pid=$1
+    kill -INT "$pid"
+    wait "$pid"
+}
+
+# ---- Session 1: convergent workload -------------------------------------
+"$BIN" serve --addr "127.0.0.1:$PORT_A" ci/serve_workload.itdb &
+SRV_A=$!
+trap 'kill "$SRV_A" 2>/dev/null || true' EXIT
+wait_healthy "$PORT_A"
+
+curl -fsS "http://127.0.0.1:$PORT_A/healthz" | grep -q '^ok$'
+
+curl -fsS -X POST --data 'problems[t, t + 2](database)' \
+    "http://127.0.0.1:$PORT_A/query" > serve_query_complete.json
+grep -q '"status":"complete"' serve_query_complete.json
+
+# Closed-form generalized tuples in the answers, not ground expansions.
+grep -q '168n' serve_query_complete.json
+
+# Client-error paths answer with typed JSON errors, not 500s.
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT_A/nope")" = 404
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST --data 'ghost[t]' \
+    "http://127.0.0.1:$PORT_A/query")" = 422
+
+graceful_stop "$SRV_A"
+
+# ---- Session 2: diverging workload, governed requests -------------------
+"$BIN" serve --addr "127.0.0.1:$PORT_B" ci/serve_diverging.itdb &
+SRV_B=$!
+trap 'kill "$SRV_B" 2>/dev/null || true' EXIT
+wait_healthy "$PORT_B"
+
+# Live /events capture for the whole session (ends when the server does).
+curl -sN --max-time 60 "http://127.0.0.1:$PORT_B/events" > serve_events.jsonl &
+EVENTS=$!
+sleep 0.5
+
+# A fuel-starved request on the diverging predicate: the governor trips,
+# and the response must still carry the sound partial model.
+curl -fsS -X POST -H 'X-Itdb-Fuel: 3' --data 'p[t]' \
+    "http://127.0.0.1:$PORT_B/query" > serve_query_interrupted.json
+grep -q '"status":"interrupted"' serve_query_interrupted.json
+
+# Eight concurrent requests with distinct fuel ceilings: all must come
+# back 200 with isolated budgets (responses differ per fuel).
+pids=()
+for fuel in 3 5 7 9 11 13 15 17; do
+    curl -fsS -X POST -H "X-Itdb-Fuel: $fuel" --data 'p[t]' \
+        "http://127.0.0.1:$PORT_B/query" > "serve_q_$fuel.json" &
+    pids+=("$!")
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+# (the bodies carry no trailing newline — add one per file before sort)
+distinct=$(for fuel in 3 5 7 9 11 13 15 17; do
+    sed 's/,"stats":.*//' "serve_q_$fuel.json"
+    echo
+done | sort -u | grep -c .)
+test "$distinct" -eq 8 || {
+    echo "FAIL: expected 8 distinct fuel-limited answers, got $distinct" >&2
+    exit 1
+}
+
+curl -fsS "http://127.0.0.1:$PORT_B/metrics" > serve_metrics.prom
+
+graceful_stop "$SRV_B"
+wait "$EVENTS" 2>/dev/null || true
+trap - EXIT
+
+python3 ci/validate_observability.py --serve serve_metrics.prom \
+    serve_events.jsonl serve_query_complete.json serve_query_interrupted.json
+
+echo "serve smoke: OK"

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Validate the observability artifacts the CI workload produces.
+"""Validate the observability artifacts the CI workloads produce.
 
-Usage: validate_observability.py TRACE.jsonl METRICS.prom
+Usage:
+  validate_observability.py TRACE.jsonl METRICS.prom
+  validate_observability.py --serve METRICS.prom EVENTS.jsonl \\
+      COMPLETE.json INTERRUPTED.json
 
-Checks, line by line:
+Shell mode checks, line by line:
   * every trace line is a JSON object with a known `event` discriminator,
     a non-negative integer `t_us`, and the per-kind payload fields of the
     documented schema (DESIGN.md section 9);
@@ -12,6 +15,18 @@ Checks, line by line:
     workload ends in a fuel-limited divergence) a governor_trip;
   * every metrics line is a HELP/TYPE comment or a `name{labels} value`
     sample whose name was TYPE-declared and whose value parses as a float.
+
+Serve mode (`--serve`, DESIGN.md section 11) checks the artifacts of one
+`itdb serve` session instead:
+  * the /metrics exposition is well-formed and carries both the folded
+    engine counters and the server's own HTTP/query/events families;
+  * the captured /events JSONL stream (cut off mid-flight, so spans need
+    not balance; blank keepalive lines are allowed) contains evaluation
+    events including a governor_trip from the fuel-starved request;
+  * the /query JSON responses have the documented shape, the complete one
+    answered `complete`, and the fuel-starved one answered `interrupted`
+    **with a non-empty partial answer set** — the bug this repository's
+    serve mode exists to guard against is partial-result loss on trips.
 
 Exits nonzero with a pointed message on the first violation.
 """
@@ -118,7 +133,34 @@ SAMPLE_RE = re.compile(
 )
 
 
-def validate_prom(path):
+SHELL_REQUIRED_FAMILIES = (
+    "itdb_tuples_derived_total",
+    "itdb_tuples_inserted_total",
+    "itdb_elapsed_seconds",
+    "itdb_stratum_iterations",
+    "itdb_rule_self_seconds",
+    "itdb_trace_dropped_events_total",
+    "itdb_checkpoints_written_total",
+)
+
+# The serve aggregate folds per-request stats, so per-stratum/per-rule
+# families (a per-evaluation notion) are absent; the server's own
+# HTTP/query/events families must be present instead.
+SERVE_REQUIRED_FAMILIES = (
+    "itdb_tuples_derived_total",
+    "itdb_tuples_inserted_total",
+    "itdb_elapsed_seconds",
+    "itdb_trace_dropped_events_total",
+    "itdb_queries_total",
+    "itdb_queries_interrupted_total",
+    "itdb_http_requests_total",
+    "itdb_http_request_seconds_total",
+    "itdb_events_subscribers",
+    "itdb_events_dropped_total",
+)
+
+
+def validate_prom(path, required_families=SHELL_REQUIRED_FAMILIES):
     typed = set()
     samples = 0
     with open(path, encoding="utf-8") as f:
@@ -145,23 +187,83 @@ def validate_prom(path):
             except ValueError:
                 fail(f"{path}:{lineno}: bad value {m.group('value')!r}")
             samples += 1
-    for required in (
-        "itdb_tuples_derived_total",
-        "itdb_tuples_inserted_total",
-        "itdb_elapsed_seconds",
-        "itdb_stratum_iterations",
-        "itdb_rule_self_seconds",
-        "itdb_trace_dropped_events_total",
-        "itdb_checkpoints_written_total",
-    ):
+    for required in required_families:
         if required not in typed:
             fail(f"{path}: metric {required} missing")
     print(f"ok: {path}: {samples} samples, {len(typed)} metric families")
 
 
+def validate_serve_events(path):
+    """A /events capture: same per-line schema as a trace file, but the
+    stream was cut off mid-flight (no span balance) and idle keepalives
+    appear as blank lines."""
+    counts = {name: 0 for name in SCHEMAS}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue  # keepalive
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not JSON ({e}): {line!r}")
+            event = obj.get("event")
+            if event not in SCHEMAS:
+                fail(f"{path}:{lineno}: unknown event {event!r}")
+            for field, ftype in SCHEMAS[event].items():
+                value = obj.get(field)
+                if not isinstance(value, ftype):
+                    fail(
+                        f"{path}:{lineno}: {event}.{field} should be "
+                        f"{ftype.__name__}, got {value!r}"
+                    )
+            counts[event] += 1
+    for required in ("span_enter", "tuple_derived", "tuple_inserted",
+                     "governor_trip"):
+        if counts[required] == 0:
+            fail(f"{path}: no {required} events in the /events capture")
+    total = sum(counts.values())
+    print(f"ok: {path}: {total} streamed events, "
+          f"{counts['governor_trip']} governor trips")
+
+
+def validate_query_response(path, expected_status):
+    with open(path, encoding="utf-8") as f:
+        try:
+            obj = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not JSON ({e})")
+    for field, ftype in (("predicate", str), ("status", str),
+                        ("answers", list), ("stats", dict)):
+        if not isinstance(obj.get(field), ftype):
+            fail(f"{path}: field {field} should be {ftype.__name__}, "
+                 f"got {obj.get(field)!r}")
+    if obj["status"] != expected_status:
+        fail(f"{path}: status {obj['status']!r}, expected {expected_status!r}")
+    if expected_status == "interrupted" and not isinstance(obj.get("trip"), str):
+        fail(f"{path}: interrupted response carries no trip reason")
+    # Both the complete and the governor-tripped response must answer:
+    # a trip yields a sound partial model, not an empty one.
+    if not obj["answers"]:
+        fail(f"{path}: empty answer set (partial results lost?)")
+    if not all(isinstance(a, str) for a in obj["answers"]):
+        fail(f"{path}: non-string answer tuple")
+    print(f"ok: {path}: status={obj['status']} answers={len(obj['answers'])}")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
+        if len(sys.argv) != 6:
+            fail("usage: validate_observability.py --serve METRICS.prom "
+                 "EVENTS.jsonl COMPLETE.json INTERRUPTED.json")
+        validate_prom(sys.argv[2], SERVE_REQUIRED_FAMILIES)
+        validate_serve_events(sys.argv[3])
+        validate_query_response(sys.argv[4], "complete")
+        validate_query_response(sys.argv[5], "interrupted")
+        return
     if len(sys.argv) != 3:
-        fail("usage: validate_observability.py TRACE.jsonl METRICS.prom")
+        fail("usage: validate_observability.py TRACE.jsonl METRICS.prom "
+             "(or --serve …)")
     validate_trace(sys.argv[1])
     validate_prom(sys.argv[2])
 

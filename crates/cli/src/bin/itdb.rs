@@ -1,0 +1,266 @@
+//! `itdb` — the workspace's command-line entry point.
+//!
+//! ```text
+//! itdb serve --addr 127.0.0.1:7464 workload.itdb    # HTTP serve mode
+//! itdb serve --addr 127.0.0.1:7464 --fuel 100000 --timeout-ms 2000 workload.itdb
+//! ```
+//!
+//! `serve` keeps one workload (tuples + rules, the declarative subset of
+//! the shell's script format) resident and answers `POST /query` requests
+//! against it, each evaluation under its own resource governor. `GET
+//! /healthz`, `GET /metrics` (Prometheus text) and `GET /events` (live
+//! JSONL trace stream) ride along. Ctrl-C drains in-flight requests and
+//! exits cleanly.
+//!
+//! The interactive shell lives in its own binary, `itdb-shell`.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::parse_workload;
+use itdb_serve::{ServeConfig, Server};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: itdb serve --addr HOST:PORT [options] WORKLOAD
+  --addr HOST:PORT  listen address, e.g. 127.0.0.1:7464 (required)
+  --workers N       worker threads (default 8); note each live /events
+                    stream occupies one worker
+  --fuel N          default derivation-fuel ceiling per /query request
+                    (overridable per request via the X-Itdb-Fuel header)
+  --timeout-ms N    default wall-clock deadline per /query request
+                    (overridable via the X-Itdb-Timeout-Ms header)
+  --max-queued N    accepted connections held before answering 503 (default 64)
+  --events-queue N  per-subscriber /events queue depth (default 1024)
+  WORKLOAD          file of `tuple NAME (…)` and `rule CLAUSE.` lines
+
+The interactive shell is the separate `itdb-shell` binary.";
+
+/// Parsed `itdb serve` invocation.
+#[derive(Debug)]
+struct ServeArgs {
+    addr: SocketAddr,
+    workload_path: String,
+    config: ServeConfig,
+}
+
+/// Resolves `--addr`: must be `HOST:PORT` and resolvable. The error text
+/// explains what was wrong instead of panicking or passing garbage to
+/// `bind`.
+fn parse_addr(value: &str) -> Result<SocketAddr, String> {
+    if !value.contains(':') {
+        return Err(format!(
+            "--addr: `{value}` has no port; expected HOST:PORT, e.g. 127.0.0.1:7464"
+        ));
+    }
+    match value.to_socket_addrs() {
+        Ok(mut addrs) => addrs
+            .next()
+            .ok_or_else(|| format!("--addr: `{value}` resolved to no address")),
+        Err(e) => Err(format!(
+            "--addr: `{value}` is not a valid HOST:PORT address: {e}"
+        )),
+    }
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut workload_path: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a HOST:PORT argument".to_string())?;
+                addr = Some(parse_addr(value)?);
+            }
+            "--workers" | "--fuel" | "--timeout-ms" | "--max-queued" | "--events-queue" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{arg}: `{value}` is not a number"))?;
+                match arg.as_str() {
+                    "--workers" => {
+                        if n == 0 {
+                            return Err("--workers: need at least one worker".to_string());
+                        }
+                        config.workers = n as usize;
+                    }
+                    "--fuel" => config.defaults.fuel = Some(n),
+                    "--timeout-ms" => config.defaults.timeout = Some(Duration::from_millis(n)),
+                    "--max-queued" => config.max_queued = (n as usize).max(1),
+                    _ => config.events_queue_cap = (n as usize).max(1),
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if workload_path.is_some() {
+                    return Err("at most one workload file".to_string());
+                }
+                workload_path = Some(path.to_string());
+            }
+        }
+    }
+    Ok(ServeArgs {
+        addr: addr.ok_or_else(|| "serve needs --addr HOST:PORT".to_string())?,
+        workload_path: workload_path.ok_or_else(|| "serve needs a workload file".to_string())?,
+        config,
+    })
+}
+
+/// Cancellation token shared between the SIGINT handler and the server:
+/// the handler flips an atomic flag; the accept loop notices and drains.
+static SHUTDOWN: std::sync::OnceLock<itdb_core::CancelToken> = std::sync::OnceLock::new();
+
+fn shutdown_token() -> &'static itdb_core::CancelToken {
+    SHUTDOWN.get_or_init(itdb_core::CancelToken::new)
+}
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    // Same no-libc trick as itdb-shell: `signal` is in the C runtime
+    // already linked into every Rust binary.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(token) = SHUTDOWN.get() {
+            token.cancel();
+        }
+    }
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+fn fail(msg: &str) -> ! {
+    if msg.is_empty() {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => fail("expected a command (try `itdb serve --addr HOST:PORT WORKLOAD`)"),
+    };
+    match command {
+        "serve" => {
+            let parsed = match parse_serve_args(rest) {
+                Ok(p) => p,
+                Err(msg) => fail(&msg),
+            };
+            serve(parsed);
+        }
+        "--help" | "-h" | "help" => fail(""),
+        other => fail(&format!(
+            "unknown command `{other}` (the interactive shell is the `itdb-shell` binary)"
+        )),
+    }
+}
+
+fn serve(args: ServeArgs) {
+    let text = match std::fs::read_to_string(&args.workload_path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read `{}`: {e}", args.workload_path)),
+    };
+    let workload = match parse_workload(&text) {
+        Ok(w) => w,
+        Err(e) => fail(&format!("`{}`: {e}", args.workload_path)),
+    };
+    let rules = workload.program.clauses.len();
+    let relations = workload.edb.len();
+    let server = match Server::bind(args.addr, workload, args.config) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot bind {}: {e}", args.addr)),
+    };
+    install_sigint_handler();
+    println!(
+        "itdb-serve: {} rules, {} extensional relations, listening on http://{}",
+        rules,
+        relations,
+        server.local_addr()
+    );
+    println!("endpoints: /healthz /metrics /query /events  (Ctrl-C to drain and exit)");
+    if let Err(e) = server.run(shutdown_token()) {
+        eprintln!("error: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("itdb-serve: drained, bye");
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_serve_invocation() {
+        let p = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:7464",
+            "--workers",
+            "4",
+            "--fuel",
+            "100000",
+            "--timeout-ms",
+            "2000",
+            "workload.itdb",
+        ]))
+        .unwrap();
+        assert_eq!(p.addr.port(), 7464);
+        assert_eq!(p.workload_path, "workload.itdb");
+        assert_eq!(p.config.workers, 4);
+        assert_eq!(p.config.defaults.fuel, Some(100_000));
+        assert_eq!(p.config.defaults.timeout, Some(Duration::from_millis(2000)));
+    }
+
+    #[test]
+    fn addr_is_required_and_validated() {
+        let err = parse_serve_args(&strs(&["workload.itdb"])).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        // No port.
+        let err = parse_serve_args(&strs(&["--addr", "127.0.0.1", "w"])).unwrap_err();
+        assert!(err.contains("no port"), "{err}");
+        // Port out of range / garbage: an error message, not a panic.
+        let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:99999", "w"])).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = parse_serve_args(&strs(&["--addr", "not an addr:x", "w"])).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        // Missing value.
+        let err = parse_serve_args(&strs(&["--addr"])).unwrap_err();
+        assert!(err.contains("HOST:PORT"), "{err}");
+    }
+
+    #[test]
+    fn numeric_flags_are_validated() {
+        assert!(
+            parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--workers", "0", "w"])).is_err()
+        );
+        assert!(
+            parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--fuel", "lots", "w"])).is_err()
+        );
+        assert!(parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--frobnicate", "w"])).is_err());
+        assert!(parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "a", "b"])).is_err());
+        assert!(parse_serve_args(&strs(&["--addr", "127.0.0.1:0"])).is_err());
+    }
+}

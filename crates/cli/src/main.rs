@@ -33,7 +33,8 @@ usage: itdb-shell [--fuel N] [--timeout-ms N] [--stats] [--stats-json]
   --trace FILE    stream typed trace events to FILE as JSON lines
   --metrics FILE  write a Prometheus metrics snapshot after every `eval`
   --checkpoint DIR      write durable crash-safe snapshots of `eval` to DIR
-  --checkpoint-every N  snapshot cadence in iterations (0 = only on trips)
+  --checkpoint-every N  snapshot cadence in iterations (N >= 1, or `trips`
+                        to snapshot only when the governor trips)
   --resume              first `eval` resumes from the latest checkpoint
   SCRIPT          run a command file instead of the interactive shell";
 
@@ -71,6 +72,7 @@ fn install_sigint_handler() {
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
 
+#[derive(Debug)]
 struct Cli {
     limits: Limits,
     script: Option<String>,
@@ -98,7 +100,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--fuel" | "--timeout-ms" | "--checkpoint-every" => {
+            "--fuel" | "--timeout-ms" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
@@ -107,8 +109,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| format!("{arg}: `{value}` is not a number"))?;
                 match arg.as_str() {
                     "--fuel" => cli.limits.fuel = Some(n),
-                    "--timeout-ms" => cli.limits.timeout_ms = Some(n),
-                    _ => cli.checkpoint_every = Some(n),
+                    _ => cli.limits.timeout_ms = Some(n),
+                }
+            }
+            "--checkpoint-every" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs an argument (N or `trips`)"))?;
+                if value == "trips" {
+                    cli.checkpoint_every = Some(0);
+                } else {
+                    let n: u64 = value
+                        .parse()
+                        .map_err(|_| format!("{arg}: `{value}` is not a number"))?;
+                    if n == 0 {
+                        return Err(format!(
+                            "{arg}: 0 would never snapshot mid-run; \
+                             use `--checkpoint-every trips` for trip-only snapshots"
+                        ));
+                    }
+                    cli.checkpoint_every = Some(n);
                 }
             }
             "--trace" | "--metrics" | "--checkpoint" => {
@@ -283,6 +303,12 @@ mod tests {
         assert!(parse_args(&strs(&["--checkpoint"])).is_err());
         assert!(parse_args(&strs(&["--checkpoint-every"])).is_err());
         assert!(parse_args(&strs(&["--checkpoint-every", "often"])).is_err());
+        // 0 is rejected with a pointer at the explicit spelling …
+        let err = parse_args(&strs(&["--checkpoint-every", "0"])).unwrap_err();
+        assert!(err.contains("trips"), "{err}");
+        // … which parses to the trips-only cadence.
+        let cli = parse_args(&strs(&["--checkpoint-every", "trips"])).unwrap();
+        assert_eq!(cli.checkpoint_every, Some(0));
     }
 
     #[test]

@@ -111,7 +111,8 @@ commands:
   fuel N|off                 cap derived tuples per evaluation
   timeout MS|off             wall-clock deadline per evaluation
   limits                     show current resource limits
-  checkpoint DIR|every N|off durable crash-safe snapshots of `eval` (bare: status)
+  checkpoint DIR|every N|every trips|off
+                             durable crash-safe snapshots of `eval` (bare: status)
   resume                     re-run `eval` from the latest checkpoint
   reset                      clear all state (limits survive)
   help                       this text
@@ -669,8 +670,9 @@ impl Shell {
         Ok(out)
     }
 
-    /// `checkpoint DIR | every N | off | (bare)` — configures durable
-    /// snapshots of `eval`: where they go and how often they are taken.
+    /// `checkpoint DIR | every N | every trips | off | (bare)` — configures
+    /// durable snapshots of `eval`: where they go and how often they are
+    /// taken.
     fn cmd_checkpoint(&mut self, rest: &str) -> Result<String> {
         let (word, arg) = match rest.split_once(char::is_whitespace) {
             Some((w, a)) => (w, a.trim()),
@@ -682,10 +684,22 @@ impl Shell {
                 self.checkpoint_dir = None;
                 Ok("checkpointing off".to_string())
             }
+            ("every", "trips") => {
+                self.checkpoint_every = 0;
+                Ok(self.fmt_checkpoint())
+            }
             ("every", n) => {
-                self.checkpoint_every = n
+                let parsed = n
                     .parse::<u64>()
                     .map_err(|_| Error::Eval(format!("checkpoint every: `{n}` is not a number")))?;
+                if parsed == 0 {
+                    return Err(Error::Eval(
+                        "checkpoint every: 0 would never snapshot mid-run; \
+                         say `checkpoint every trips` for trip-only snapshots"
+                            .into(),
+                    ));
+                }
+                self.checkpoint_every = parsed;
                 Ok(self.fmt_checkpoint())
             }
             (dir, "") => {
@@ -694,7 +708,9 @@ impl Shell {
                 self.checkpoint_store()?;
                 Ok(self.fmt_checkpoint())
             }
-            _ => Err(Error::Eval("usage: checkpoint DIR|every N|off".into())),
+            _ => Err(Error::Eval(
+                "usage: checkpoint DIR|every N|every trips|off".into(),
+            )),
         }
     }
 
@@ -734,27 +750,34 @@ impl Shell {
     fn cmd_dl1s_eval(&self) -> Result<String> {
         self.cancel.reset();
         let governor = std::sync::Arc::new(Governor::new(self.governor_config()));
-        let m = match dl::evaluate_governed(
+        let ev = dl::evaluate_governed(
             &self.dl_program,
             &dl::ExternalEdb::new(),
             &dl::DetectOptions::default(),
             &governor,
-        ) {
-            Ok(m) => m,
-            // Periodicity detection is all-or-nothing: a trip has no sound
-            // partial model, but it is not a shell error either.
-            Err(Error::Interrupted(reason)) => {
-                return Ok(format!(
-                    "interrupted: {reason}\n\
-                     no periodic model detected before the trip; raise `fuel`/`timeout` and retry"
-                ));
-            }
-            Err(e) => return Err(e),
+        )?;
+        let m = &ev.model;
+        let mut out = match &ev.outcome {
+            dl::DlOutcome::Complete => format!(
+                "eventually periodic (offset {}, period {}, detected at {})\n",
+                m.offset, m.period, m.detected_at
+            ),
+            dl::DlOutcome::Interrupted {
+                reason,
+                completed_strata,
+                total_strata,
+                simulated_to,
+            } => format!(
+                "interrupted: {reason}\n\
+                 strata: {completed_strata}/{total_strata} complete; tripped stratum \
+                 simulated to t={simulated_to} (partial model below: exact on completed \
+                 strata, finite prefix on the rest; raise `fuel`/`timeout` for the full \
+                 periodic model)\n"
+            ),
         };
-        let mut out = format!(
-            "eventually periodic (offset {}, period {}, detected at {})\n",
-            m.offset, m.period, m.detected_at
-        );
+        if m.sets.is_empty() {
+            out.push_str("empty model\n");
+        }
         for ((pred, data), set) in &m.sets {
             let data_txt = if data.is_empty() {
                 String::new()
@@ -1125,9 +1148,10 @@ mod tests {
         });
         run(&mut sh, "dl1s leaves[5]. leaves[t + 40] <- leaves[t].");
         let out = run(&mut sh, "dl1s-eval");
-        // A trip is reported, not treated as a shell error.
+        // A trip is reported, not treated as a shell error, and whatever
+        // simulation prefix existed is kept rather than discarded.
         assert!(out.starts_with("interrupted:"), "{out}");
-        assert!(out.contains("no periodic model"), "{out}");
+        assert!(out.contains("tripped stratum simulated to"), "{out}");
         // Shell still alive afterwards.
         let out = run(&mut sh, "help");
         assert!(out.contains("commands"), "{out}");
@@ -1303,8 +1327,12 @@ mod tests {
         assert!(out.contains("every 64 iterations"), "{out}");
         let out = run(&mut sh, "checkpoint every 2");
         assert!(out.contains("every 2 iterations"), "{out}");
-        let out = run(&mut sh, "checkpoint every 0");
+        let out = run(&mut sh, "checkpoint every trips");
         assert!(out.contains("only on governor trips"), "{out}");
+        // `every 0` is rejected with a pointer at the explicit spelling.
+        let out = run(&mut sh, "checkpoint every 0");
+        assert!(out.starts_with("error:"), "{out}");
+        assert!(out.contains("every trips"), "{out}");
         let out = run(&mut sh, "checkpoint every pancakes");
         assert!(out.starts_with("error:"), "{out}");
         // Configuration survives `reset`, like limits.

@@ -316,6 +316,21 @@ impl fmt::Display for EvalStats {
 }
 
 impl EvalStats {
+    /// Folds another evaluation's statistics into this one: tuple flow and
+    /// `itdb-lrp` counters add, elapsed time accumulates. Per-stratum
+    /// breakdowns are a per-evaluation notion and are deliberately **not**
+    /// merged. This is the supported way to aggregate across evaluations
+    /// that ran on different threads — the underlying counters are
+    /// thread-local, so snapshotting from an aggregating thread measures
+    /// nothing (see `itdb_lrp::stats`).
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.tuples_derived += other.tuples_derived;
+        self.tuples_inserted += other.tuples_inserted;
+        self.tuples_subsumed += other.tuples_subsumed;
+        self.counters += other.counters;
+        self.elapsed += other.elapsed;
+    }
+
     /// Renders the statistics as one JSON object (stable field order; all
     /// durations in integer microseconds), the machine-readable twin of
     /// the [`fmt::Display`] text. Consumed by the shell's `stats --json`

@@ -47,6 +47,7 @@ pub mod normalize;
 pub mod parser;
 pub mod provenance;
 pub mod query;
+pub mod service;
 
 pub use analyze::{analyze, ProgramInfo};
 pub use ast::{Atom, BodyAtom, Clause, CmpOp, ConstraintAtom, DataTerm, Program, TemporalTerm};
@@ -62,7 +63,11 @@ pub use engine::{
 };
 pub use itdb_lrp::{CancelToken, Governor, GovernorConfig, GovernorStats, TripReason};
 pub use itdb_store::SnapshotStore;
-pub use metrics::{render_metrics, render_metrics_full};
+pub use metrics::{render_metrics, render_metrics_full, write_metrics_into};
 pub use parser::{parse_atom, parse_clause, parse_program};
 pub use provenance::{explain, DerivationNode};
 pub use query::{ask, query};
+pub use service::{
+    parse_workload, QueryRequest, QueryResponse, QueryStatus, Service, ServiceDefaults,
+    ServiceTotals, Workload,
+};

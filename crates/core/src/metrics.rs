@@ -26,6 +26,20 @@ pub fn render_metrics_full(
     checkpoints: Option<&CheckpointReport>,
 ) -> String {
     let mut p = PromText::new();
+    write_metrics_into(&mut p, stats, profile, checkpoints);
+    p.finish()
+}
+
+/// Writes the metric families of [`render_metrics_full`] into an existing
+/// [`PromText`] builder, so callers (e.g. the HTTP server) can compose one
+/// exposition document from evaluation statistics plus families of their
+/// own.
+pub fn write_metrics_into(
+    p: &mut PromText,
+    stats: &EvalStats,
+    profile: Option<&Profile>,
+    checkpoints: Option<&CheckpointReport>,
+) {
     p.counter(
         "itdb_tuples_derived_total",
         "Candidate head tuples produced by clause applications.",
@@ -191,7 +205,6 @@ pub fn render_metrics_full(
             &ops,
         );
     }
-    p.finish()
 }
 
 #[cfg(test)]

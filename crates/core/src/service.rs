@@ -1,0 +1,422 @@
+//! Shared serving layer: a loaded program + EDB evaluated per request
+//! under per-request resource governors.
+//!
+//! This is the model `itdb-serve` (and anything else that wants to answer
+//! many queries against one workload) builds on. A [`Workload`] is parsed
+//! once from a simple line format — a subset of the shell's script
+//! commands, so CI fixtures read the same either way:
+//!
+//! ```text
+//! # comment
+//! tuple course (168n+8, 168n+10; database) : T2 = T1 + 2
+//! rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+//! ```
+//!
+//! Each [`Service::run_query`] call evaluates the program bottom-up under
+//! its **own** [`Governor`] (fuel/deadline from the request, falling back
+//! to server defaults) and answers the query pattern against the computed
+//! model. Per-request isolation is exact: a trip in one request is
+//! invisible to every other, and with equal budgets the same query always
+//! produces byte-identical answers, concurrent or not.
+//!
+//! ## Statistics across a worker pool
+//!
+//! `itdb_lrp::stats` counters are **thread-local**. A server that lets
+//! each pooled worker evaluate requests cannot recover aggregate numbers
+//! by calling `itdb_lrp::stats::snapshot()` from the thread that renders
+//! `/metrics` — that thread's counters never moved. Worse, two requests
+//! interleaved on one worker would mis-attribute each other's work if the
+//! scope weren't per-evaluation. The engine already scopes each
+//! evaluation's counters by snapshot subtraction *on the evaluating
+//! thread*; [`Service`] completes the story by folding every request's
+//! [`EvalStats`] into a mutex-guarded aggregate with
+//! [`EvalStats::absorb`]. The regression test
+//! `pooled_workers_fold_stats_exactly` pins both halves down.
+
+// User-reachable serving path: failures must flow through the error
+// taxonomy, never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::ast::Program;
+use crate::db::Database;
+use crate::engine::{evaluate_governed, EvalOptions, EvalOutcome, EvalStats};
+use crate::parser::{parse_atom, parse_clause};
+use crate::query::query;
+use itdb_lrp::{
+    parser as lrp_parser, Error, GeneralizedRelation, Governor, Result, Schema, TripReason,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A parsed serving workload: the deductive program and its extensional
+/// database.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// The program evaluated per request.
+    pub program: Program,
+    /// The extensional relations.
+    pub edb: Database,
+}
+
+/// Parses the workload line format: blank lines and `#`/`%` comments are
+/// skipped; `tuple NAME (…)` adds one generalized tuple to the named
+/// relation; `rule CLAUSE.` adds one clause. Anything else — including
+/// shell commands like `eval` that make no sense in a declarative
+/// workload — is rejected with the offending line number.
+pub fn parse_workload(text: &str) -> Result<Workload> {
+    let mut program = Program::default();
+    let mut relations: Vec<(String, GeneralizedRelation)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let lineno = lineno + 1;
+        match cmd {
+            "tuple" => {
+                let (name, tuple_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+                    Error::Eval(format!("workload line {lineno}: usage: tuple NAME (…)"))
+                })?;
+                let tuple = lrp_parser::parse_tuple(tuple_text.trim())
+                    .map_err(|e| Error::Eval(format!("workload line {lineno}: bad tuple: {e}")))?;
+                let schema = Schema::new(tuple.temporal_arity(), tuple.data_arity());
+                match relations.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, rel)) => rel
+                        .insert(tuple)
+                        .map_err(|e| Error::Eval(format!("workload line {lineno}: {e}")))?,
+                    None => relations.push((
+                        name.to_string(),
+                        GeneralizedRelation::from_tuples(schema, vec![tuple])
+                            .map_err(|e| Error::Eval(format!("workload line {lineno}: {e}")))?,
+                    )),
+                }
+            }
+            "rule" => {
+                let clause = parse_clause(rest)
+                    .map_err(|e| Error::Eval(format!("workload line {lineno}: bad rule: {e}")))?;
+                program.clauses.push(clause);
+            }
+            other => {
+                return Err(Error::Eval(format!(
+                    "workload line {lineno}: unsupported directive `{other}` \
+                     (serving workloads are declarative: only `tuple` and `rule`)"
+                )));
+            }
+        }
+    }
+    let mut edb = Database::new();
+    for (name, rel) in relations {
+        edb.insert(name, rel);
+    }
+    Ok(Workload { program, edb })
+}
+
+/// Server-side default resource ceilings, applied when a request does not
+/// bring its own.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceDefaults {
+    /// Default derivation fuel per request (`None` = unlimited).
+    pub fuel: Option<u64>,
+    /// Default wall-clock deadline per request (`None` = unlimited).
+    pub timeout: Option<Duration>,
+}
+
+/// One query request: a pattern plus optional per-request ceilings.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The atom pattern, e.g. `problems[t, t + 2](database)`.
+    pub pattern: String,
+    /// Derivation-fuel override for this request.
+    pub fuel: Option<u64>,
+    /// Deadline override for this request.
+    pub timeout: Option<Duration>,
+}
+
+/// How a served query's evaluation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The least model was computed exactly.
+    Complete,
+    /// The model is not finitely representable by this process (or needed
+    /// more grace iterations); the answers below are over a sound partial
+    /// model.
+    Diverged,
+    /// The per-request governor tripped; the answers below are over a
+    /// sound partial model.
+    Interrupted(TripReason),
+}
+
+/// The answer to one served query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The queried predicate.
+    pub pred: String,
+    /// How the evaluation backing this answer ended.
+    pub status: QueryStatus,
+    /// Generalized answer tuples in the textual closed form, one per
+    /// tuple, in the deterministic order of the computed relation.
+    pub answers: Vec<String>,
+    /// This request's evaluation statistics (already folded into the
+    /// service aggregate).
+    pub stats: EvalStats,
+}
+
+impl QueryResponse {
+    /// Renders the response as one JSON object via the workspace's
+    /// hand-rolled encoder (stable field order, strings escaped).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"predicate\":\"");
+        itdb_trace::json::escape_into(&self.pred, &mut out);
+        let status = match &self.status {
+            QueryStatus::Complete => "complete",
+            QueryStatus::Diverged => "diverged",
+            QueryStatus::Interrupted(_) => "interrupted",
+        };
+        let _ = write!(out, "\",\"status\":\"{status}\"");
+        if let QueryStatus::Interrupted(reason) = &self.status {
+            out.push_str(",\"trip\":\"");
+            itdb_trace::json::escape_into(&reason.to_string(), &mut out);
+            out.push('"');
+        }
+        out.push_str(",\"answers\":[");
+        for (i, a) in self.answers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            itdb_trace::json::escape_into(a, &mut out);
+            out.push('"');
+        }
+        let _ = write!(out, "],\"stats\":{}}}", self.stats.to_json());
+        out
+    }
+}
+
+/// Aggregate serving counters, folded under one lock.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceTotals {
+    /// Queries answered (any status).
+    pub queries: u64,
+    /// Queries whose evaluation was interrupted by the governor.
+    pub interrupted: u64,
+    /// Folded per-request evaluation statistics. `strata` stays empty —
+    /// per-stratum timing is a per-evaluation notion, not a fleet one.
+    pub stats: EvalStats,
+}
+
+/// A workload plus the machinery to answer queries against it repeatedly,
+/// safely from many threads at once.
+pub struct Service {
+    workload: Workload,
+    defaults: ServiceDefaults,
+    totals: Mutex<ServiceTotals>,
+}
+
+impl Service {
+    /// Wraps a workload with serving defaults.
+    pub fn new(workload: Workload, defaults: ServiceDefaults) -> Self {
+        Service {
+            workload,
+            defaults,
+            totals: Mutex::new(ServiceTotals::default()),
+        }
+    }
+
+    /// The loaded workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Answers one query: evaluate the program under a fresh per-request
+    /// governor, then run the pattern against the computed (or partial)
+    /// model. Extensional predicates are served straight from the EDB.
+    pub fn run_query(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let atom = parse_atom(&req.pattern)?;
+        let opts = EvalOptions {
+            max_derived_tuples: req.fuel.or(self.defaults.fuel),
+            timeout: req.timeout.or(self.defaults.timeout),
+            ..EvalOptions::default()
+        };
+        let governor = Governor::new(opts.governor_config());
+        let eval = evaluate_governed(&self.workload.program, &self.workload.edb, &opts, &governor)?;
+        let rel = match eval.relation(&atom.pred) {
+            Some(r) => r,
+            None => self.workload.edb.get(&atom.pred).ok_or_else(|| {
+                Error::Eval(format!(
+                    "unknown predicate `{}` (neither derived nor extensional)",
+                    atom.pred
+                ))
+            })?,
+        };
+        let answers_rel = query(rel, &atom, opts.residue_budget)?;
+        let answers: Vec<String> = answers_rel.tuples().iter().map(|t| t.to_string()).collect();
+        let status = match &eval.outcome {
+            EvalOutcome::Converged { .. } => QueryStatus::Complete,
+            EvalOutcome::DivergedAfterFeSafety { .. } => QueryStatus::Diverged,
+            EvalOutcome::Interrupted(i) => QueryStatus::Interrupted(i.reason.clone()),
+        };
+        // The explicit cross-thread fold — see the module docs.
+        if let Ok(mut totals) = self.totals.lock() {
+            totals.queries += 1;
+            if matches!(status, QueryStatus::Interrupted(_)) {
+                totals.interrupted += 1;
+            }
+            totals.stats.absorb(&eval.stats);
+        }
+        Ok(QueryResponse {
+            pred: atom.pred.clone(),
+            status,
+            answers,
+            stats: eval.stats,
+        })
+    }
+
+    /// A snapshot of the folded aggregate counters.
+    pub fn totals(&self) -> ServiceTotals {
+        self.totals.lock().map(|t| t.clone()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    const WORKLOAD: &str = "\
+        # Example 4.1, serving edition.\n\
+        tuple course (168n+8, 168n+10; database) : T2 = T1 + 2\n\
+        rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).\n\
+        rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).\n";
+
+    const DIVERGING: &str = "\
+        tuple seed (n) : T1 = 0\n\
+        rule p[t] <- seed[t].\n\
+        rule p[t + 1] <- p[t].\n";
+
+    fn service(src: &str) -> Service {
+        Service::new(parse_workload(src).unwrap(), ServiceDefaults::default())
+    }
+
+    fn req(pattern: &str, fuel: Option<u64>) -> QueryRequest {
+        QueryRequest {
+            pattern: pattern.to_string(),
+            fuel,
+            timeout: None,
+        }
+    }
+
+    #[test]
+    fn workload_parses_tuples_and_rules() {
+        let w = parse_workload(WORKLOAD).unwrap();
+        assert_eq!(w.program.clauses.len(), 2);
+        assert_eq!(w.edb.len(), 1);
+    }
+
+    #[test]
+    fn workload_rejects_non_declarative_directives() {
+        let err = parse_workload("tuple p (n)\neval\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("eval"), "{msg}");
+        assert!(parse_workload("tuple p\n").is_err(), "missing tuple text");
+        assert!(parse_workload("rule p[t] <-\n").is_err(), "bad clause");
+    }
+
+    #[test]
+    fn query_answers_in_closed_form() {
+        let s = service(WORKLOAD);
+        let resp = s
+            .run_query(&req("problems[t, t + 2](database)", None))
+            .unwrap();
+        assert_eq!(resp.status, QueryStatus::Complete);
+        assert!(!resp.answers.is_empty());
+        let json = resp.to_json();
+        assert!(json.contains("\"status\":\"complete\""), "{json}");
+        assert!(json.contains("\"answers\":["), "{json}");
+    }
+
+    #[test]
+    fn extensional_predicates_are_queryable() {
+        let s = service(WORKLOAD);
+        let resp = s.run_query(&req("course[t1, t2](C)", None)).unwrap();
+        assert_eq!(resp.status, QueryStatus::Complete);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn unknown_predicate_is_a_proper_error() {
+        let s = service(WORKLOAD);
+        assert!(s.run_query(&req("nope[t]", None)).is_err());
+    }
+
+    #[test]
+    fn per_request_fuel_isolates_trips() {
+        let s = service(DIVERGING);
+        // A starved request trips …
+        let starved = s.run_query(&req("p[t]", Some(3))).unwrap();
+        assert!(matches!(starved.status, QueryStatus::Interrupted(_)));
+        // … and still answers from the sound partial model.
+        assert!(!starved.answers.is_empty());
+        // A well-fed diverging request reports divergence (grace ran out)
+        // without inheriting the starved request's trip.
+        let t = s.totals();
+        assert_eq!(t.queries, 1);
+        assert_eq!(t.interrupted, 1);
+    }
+
+    #[test]
+    fn equal_budgets_give_byte_identical_answers() {
+        let s = service(DIVERGING);
+        let a = s.run_query(&req("p[t]", Some(5))).unwrap();
+        let b = s.run_query(&req("p[t]", Some(5))).unwrap();
+        // Everything but wall-clock timing is deterministic.
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.stats.tuples_derived, b.stats.tuples_derived);
+        assert_eq!(a.stats.counters, b.stats.counters);
+    }
+
+    /// The tentpole regression: N pooled workers answer queries; the
+    /// coordinator's thread-local counters see nothing, while the folded
+    /// aggregate equals the sum of the per-request stats exactly.
+    #[test]
+    fn pooled_workers_fold_stats_exactly() {
+        let s = std::sync::Arc::new(service(WORKLOAD));
+        let coordinator_before = itdb_lrp::stats::snapshot();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    s.run_query(&req("problems[t, t + 2](database)", None))
+                        .map(|r| r.stats)
+                })
+            })
+            .collect();
+        let mut expected = EvalStats::default();
+        for h in handles {
+            let stats = h.join().map_err(|_| "worker panicked").unwrap().unwrap();
+            assert!(
+                stats.counters.subsumption_checks > 0,
+                "per-request stats must reflect the evaluating worker's work"
+            );
+            expected.absorb(&stats);
+        }
+        let coordinator_delta = itdb_lrp::stats::snapshot() - coordinator_before;
+        assert_eq!(
+            coordinator_delta,
+            itdb_lrp::stats::Counters::default(),
+            "snapshotting from the coordinator would mis-attribute (see module docs)"
+        );
+        let totals = s.totals();
+        assert_eq!(totals.queries, 4);
+        assert_eq!(totals.stats.counters, expected.counters);
+        assert_eq!(totals.stats.tuples_derived, expected.tuples_derived);
+        assert_eq!(totals.stats.tuples_inserted, expected.tuples_inserted);
+    }
+}

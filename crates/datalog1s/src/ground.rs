@@ -16,7 +16,7 @@
 
 use crate::ast::{validate, Atom, DataTerm, Program, Time, Validated};
 use crate::epset::EpSet;
-use itdb_lrp::{check_ambient, lcm, DataValue, Error, Governor, Result};
+use itdb_lrp::{check_ambient, lcm, DataValue, Error, Governor, Result, TripReason};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -88,21 +88,99 @@ impl PeriodicModel {
 
 type FactKey = (String, Vec<DataValue>);
 
+/// How a governed Datalog1S detection ended. Mirrors Templog's
+/// `TlOutcome`: strata run to completion lowest first, so the partial
+/// model is exact on the completed strata; the tripped stratum
+/// additionally contributes the finite simulation prefix it reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlOutcome {
+    /// Every stratum's repetition was found; the model is the minimal
+    /// model in closed form.
+    Complete,
+    /// The governor tripped partway through. The partial model is exact
+    /// on the `completed_strata` lowest strata and carries the tripped
+    /// stratum's simulated time steps `[0, simulated_to)` as **finite**
+    /// sets — a sound under-approximation of the minimal model (every
+    /// reported fact genuinely holds; later times are simply unknown).
+    Interrupted {
+        /// Which budget tripped.
+        reason: TripReason,
+        /// Strata whose closed-form models are fully present.
+        completed_strata: usize,
+        /// Total strata in the program's dependency order.
+        total_strata: usize,
+        /// Time steps of the tripped stratum that were fully saturated
+        /// and are included as a finite prefix (`0` if the trip landed
+        /// before the first step finished).
+        simulated_to: u64,
+    },
+}
+
+impl DlOutcome {
+    /// Did the detection run to completion?
+    pub fn complete(&self) -> bool {
+        matches!(self, DlOutcome::Complete)
+    }
+}
+
+/// The result of a governed detection: the (possibly partial) model plus
+/// how the run ended.
+#[derive(Debug, Clone)]
+pub struct DlEvaluation {
+    /// The detected model. The minimal model when `outcome` is
+    /// [`DlOutcome::Complete`]; otherwise exact on completed strata plus
+    /// the tripped stratum's finite simulation prefix.
+    pub model: PeriodicModel,
+    /// How the run ended.
+    pub outcome: DlOutcome,
+}
+
 /// Like [`evaluate`], but under an explicit resource [`Governor`]
 /// (deadline, cancellation, fault injection): the governor is installed as
-/// the thread's ambient governor and consulted at every time step. Unlike
-/// the closed-form engine, the time-step simulation has no sound partial
-/// model to return before a repetition is found, so a governor trip
-/// surfaces as `Err(Error::Interrupted(_))`.
+/// the thread's ambient governor and consulted at every time step.
+///
+/// A trip does **not** discard the simulation prefix (it used to — the
+/// all-or-nothing path dropped everything): completed strata stay exact,
+/// and the tripped stratum's saturated steps `[0, simulated_to)` come
+/// back as finite sets under [`DlOutcome::Interrupted`]. Only genuine
+/// evaluation errors surface as `Err`.
 pub fn evaluate_governed(
     p: &Program,
     edb: &ExternalEdb,
     opts: &DetectOptions,
     governor: &Arc<Governor>,
-) -> Result<PeriodicModel> {
+) -> Result<DlEvaluation> {
     let _scope = governor.enter();
     let _span = itdb_trace::span(itdb_trace::SpanKind::Evaluate, "datalog1s");
-    evaluate(p, edb, opts)
+    let v = validate(p)?;
+    check_edb_disjoint(&v, edb)?;
+    let mut acc = ModelAccumulator::new(edb);
+    let total_strata = v.strata.len();
+    for (idx, stratum) in v.strata.iter().enumerate() {
+        let sub = stratum_program(p, stratum);
+        let mut history: Vec<BTreeSet<FactKey>> = Vec::new();
+        match evaluate_stratum(&sub, &v, stratum, &acc.oracle, opts, &mut history) {
+            Ok(m) => acc.fold_stratum(m)?,
+            Err(Error::Interrupted(reason)) => {
+                let simulated_to = history.len() as u64;
+                acc.fold_finite_prefix(&history);
+                return Ok(DlEvaluation {
+                    model: acc.finish(),
+                    outcome: DlOutcome::Interrupted {
+                        reason,
+                        completed_strata: idx,
+                        total_strata,
+                        simulated_to,
+                    },
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(DlEvaluation {
+        model: acc.finish(),
+        outcome: DlOutcome::Complete,
+    })
 }
 
 /// Evaluates a validated (stratified, causal) program against an external
@@ -113,6 +191,19 @@ pub fn evaluate_governed(
 /// at every time step and saturation round.
 pub fn evaluate(p: &Program, edb: &ExternalEdb, opts: &DetectOptions) -> Result<PeriodicModel> {
     let v = validate(p)?;
+    check_edb_disjoint(&v, edb)?;
+    let mut acc = ModelAccumulator::new(edb);
+    for stratum in &v.strata {
+        let sub = stratum_program(p, stratum);
+        let mut history: Vec<BTreeSet<FactKey>> = Vec::new();
+        let m = evaluate_stratum(&sub, &v, stratum, &acc.oracle, opts, &mut history)?;
+        acc.fold_stratum(m)?;
+    }
+    Ok(acc.finish())
+}
+
+/// Rejects extensional facts for predicates the program defines.
+fn check_edb_disjoint(v: &Validated, edb: &ExternalEdb) -> Result<()> {
     for (pred, _) in edb.map.keys() {
         if v.intensional.contains(pred) {
             return Err(Error::Eval(format!(
@@ -120,45 +211,91 @@ pub fn evaluate(p: &Program, edb: &ExternalEdb, opts: &DetectOptions) -> Result<
             )));
         }
     }
-    let mut oracle: BTreeMap<FactKey, EpSet> = edb.map.clone();
-    let mut sets: BTreeMap<FactKey, EpSet> = BTreeMap::new();
-    let mut offset = 0u64;
-    let mut period = 1u64;
-    let mut detected_at = 0u64;
-    for stratum in &v.strata {
-        let sub = Program {
-            clauses: p
-                .clauses
-                .iter()
-                .filter(|c| stratum.contains(&c.head.pred))
-                .cloned()
-                .collect(),
-        };
-        let m = evaluate_stratum(&sub, &v, stratum, &oracle, opts)?;
-        offset = offset.max(m.offset);
-        period = lcm(period as i64, m.period as i64)? as u64;
-        detected_at = detected_at.max(m.detected_at);
-        for (key, set) in m.sets {
-            oracle.insert(key.clone(), set.clone());
-            sets.insert(key, set);
+    Ok(())
+}
+
+/// The clauses of one stratum as a standalone program.
+fn stratum_program(p: &Program, stratum: &BTreeSet<String>) -> Program {
+    Program {
+        clauses: p
+            .clauses
+            .iter()
+            .filter(|c| stratum.contains(&c.head.pred))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Folds per-stratum models into the overall closed form: the oracle the
+/// next stratum reads, and the (offset, period) envelope of the whole.
+struct ModelAccumulator {
+    oracle: BTreeMap<FactKey, EpSet>,
+    sets: BTreeMap<FactKey, EpSet>,
+    offset: u64,
+    period: u64,
+    detected_at: u64,
+}
+
+impl ModelAccumulator {
+    fn new(edb: &ExternalEdb) -> Self {
+        ModelAccumulator {
+            oracle: edb.map.clone(),
+            sets: BTreeMap::new(),
+            offset: 0,
+            period: 1,
+            detected_at: 0,
         }
     }
-    Ok(PeriodicModel {
-        sets,
-        offset,
-        period,
-        detected_at,
-    })
+
+    fn fold_stratum(&mut self, m: PeriodicModel) -> Result<()> {
+        self.offset = self.offset.max(m.offset);
+        self.period = lcm(self.period as i64, m.period as i64)? as u64;
+        self.detected_at = self.detected_at.max(m.detected_at);
+        for (key, set) in m.sets {
+            self.oracle.insert(key.clone(), set.clone());
+            self.sets.insert(key, set);
+        }
+        Ok(())
+    }
+
+    /// Folds a tripped stratum's saturated steps in as finite sets. The
+    /// stratum's predicates are disjoint from everything folded so far
+    /// (strata partition the intensional predicates), so this never
+    /// clobbers an exact extension.
+    fn fold_finite_prefix(&mut self, history: &[BTreeSet<FactKey>]) {
+        let mut keys: BTreeSet<FactKey> = BTreeSet::new();
+        for s in history {
+            keys.extend(s.iter().cloned());
+        }
+        for key in keys {
+            let times: Vec<u64> = (0..history.len() as u64)
+                .filter(|&x| history[x as usize].contains(&key))
+                .collect();
+            self.sets.insert(key, EpSet::from_finite(times));
+        }
+    }
+
+    fn finish(self) -> PeriodicModel {
+        PeriodicModel {
+            sets: self.sets,
+            offset: self.offset,
+            period: self.period.max(1),
+            detected_at: self.detected_at,
+        }
+    }
 }
 
 /// Evaluates one stratum's clauses against the oracle of lower strata and
-/// external inputs.
+/// external inputs. `history` is an out-parameter so a caller catching a
+/// governor trip can salvage the fully saturated time steps simulated so
+/// far (`history[t]` = this stratum's facts holding at time `t`).
 fn evaluate_stratum(
     p: &Program,
     v: &Validated,
     stratum: &BTreeSet<String>,
     oracle: &BTreeMap<FactKey, EpSet>,
     opts: &DetectOptions,
+    history: &mut Vec<BTreeSet<FactKey>>,
 ) -> Result<PeriodicModel> {
     let window = (v.max_shift + 1).max(1);
     let mut l_ext = 1i64;
@@ -170,8 +307,6 @@ fn evaluate_stratum(
     let l_ext = l_ext as u64;
     let detect_from = (v.max_const + 1).max(max_ext_offset) + window;
 
-    // history[t] = facts (this stratum only) holding at time t.
-    let mut history: Vec<BTreeSet<FactKey>> = Vec::new();
     // signature (window slice, phase) → earliest time.
     let mut seen: HashMap<(Vec<BTreeSet<FactKey>>, u64), u64> = HashMap::new();
 
@@ -184,7 +319,7 @@ fn evaluate_stratum(
                 opts.max_time
             )));
         }
-        let state = saturate_time(p, stratum, oracle, &history, t)?;
+        let state = saturate_time(p, stratum, oracle, history, t)?;
         history.push(state);
 
         if t >= detect_from {
@@ -192,7 +327,7 @@ fn evaluate_stratum(
             let slice: Vec<BTreeSet<FactKey>> = history[history.len() - w..].to_vec();
             let key = (slice, t % l_ext);
             if let Some(&t1) = seen.get(&key) {
-                return Ok(build_model(&history, t1, t));
+                return Ok(build_model(history, t1, t));
             }
             seen.insert(key, t);
         }
@@ -629,6 +764,86 @@ mod tests {
         let v = m2.times("violation", &[]);
         assert!(v.contains(4));
         assert!(!v.contains(2));
+    }
+
+    #[test]
+    fn governed_complete_run_reports_complete() {
+        use itdb_lrp::{Governor, GovernorConfig};
+        let p = parse_program("p[0]. p[t + 5] <- p[t].").unwrap();
+        let g = Governor::new(GovernorConfig::default());
+        let ev = evaluate_governed(&p, &ExternalEdb::new(), &DetectOptions::default(), &g).unwrap();
+        assert!(ev.outcome.complete());
+        assert_eq!(ev.model.times("p", &[]).period(), 5);
+    }
+
+    /// Regression: a trip used to surface as `Err`, discarding the whole
+    /// simulation. Even the degenerate zero-deadline trip now returns a
+    /// typed outcome instead of an error.
+    #[test]
+    fn governed_zero_deadline_returns_typed_interruption() {
+        use itdb_lrp::{Governor, GovernorConfig};
+        let p = parse_program("p[0]. p[t + 5] <- p[t].").unwrap();
+        let g = Governor::new(GovernorConfig {
+            timeout: Some(std::time::Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        let ev = evaluate_governed(&p, &ExternalEdb::new(), &DetectOptions::default(), &g).unwrap();
+        match ev.outcome {
+            DlOutcome::Interrupted {
+                completed_strata,
+                total_strata,
+                ..
+            } => {
+                assert_eq!(completed_strata, 0);
+                assert_eq!(total_strata, 1);
+            }
+            DlOutcome::Complete => panic!("zero deadline should trip"),
+        }
+    }
+
+    /// Regression: the all-or-nothing trip path returned nothing; now the
+    /// simulated prefix comes back as a non-empty partial model.
+    #[test]
+    fn governed_trip_salvages_nonempty_simulation_prefix() {
+        use itdb_lrp::{CancelToken, Governor, GovernorConfig};
+        // Detection needs ~60k time steps (window 20001); cancelling
+        // after 50ms lands mid-simulation with thousands of steps done.
+        let p = parse_program("p[0]. p[t + 20000] <- p[t].").unwrap();
+        let cancel = CancelToken::new();
+        let g = Governor::new(GovernorConfig {
+            cancel: Some(cancel.clone()),
+            ..GovernorConfig::default()
+        });
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            cancel.cancel();
+        });
+        let opts = DetectOptions {
+            max_time: 1_000_000,
+        };
+        let ev = evaluate_governed(&p, &ExternalEdb::new(), &opts, &g).unwrap();
+        let _ = killer.join();
+        match ev.outcome {
+            DlOutcome::Interrupted {
+                reason,
+                simulated_to,
+                ..
+            } => {
+                assert_eq!(reason, TripReason::Cancelled);
+                assert!(simulated_to > 0, "no steps salvaged before the trip");
+                let times = ev.model.times("p", &[]);
+                assert!(
+                    times.is_finite(),
+                    "prefix must be a finite under-approximation"
+                );
+                assert!(times.contains(0), "the seeded fact is in the prefix");
+                // Sound: every reported time genuinely holds.
+                for t in 0..simulated_to.min(100) {
+                    assert_eq!(times.contains(t), t == 0, "t={t}");
+                }
+            }
+            DlOutcome::Complete => panic!("cancelled run should not complete"),
+        }
     }
 
     #[test]

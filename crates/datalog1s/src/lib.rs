@@ -39,5 +39,7 @@ pub mod parser;
 
 pub use ast::{validate, Atom, Clause, DataTerm, Program, Time, Validated};
 pub use epset::EpSet;
-pub use ground::{evaluate, evaluate_governed, DetectOptions, ExternalEdb, PeriodicModel};
+pub use ground::{
+    evaluate, evaluate_governed, DetectOptions, DlEvaluation, DlOutcome, ExternalEdb, PeriodicModel,
+};
 pub use parser::{parse_atom, parse_program};

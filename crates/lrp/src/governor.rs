@@ -112,6 +112,10 @@ fn trip(reason: TripReason) -> Error {
     itdb_trace::emit(|| itdb_trace::EventKind::GovernorTrip {
         reason: reason.to_string(),
     });
+    // A trip usually ends the run moments later; push buffered JSONL out
+    // now so the trip event (and everything before it) survives even if
+    // the process exits without an orderly sink teardown.
+    itdb_trace::flush_sinks();
     Error::Interrupted(reason)
 }
 

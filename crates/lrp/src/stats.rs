@@ -12,7 +12,7 @@
 //! snapshots is the only supported way to scope a measurement.
 
 use std::cell::Cell;
-use std::ops::Sub;
+use std::ops::{Add, AddAssign, Sub};
 
 /// One thread's counter values at a point in time.
 ///
@@ -66,6 +66,35 @@ impl Counters {
             return None;
         }
         Some(self.empty_cache_hits as f64 / total as f64)
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+
+    /// Folds two scoped measurements. The counters themselves are
+    /// **thread-local**, so a pool of worker threads cannot recover an
+    /// aggregate by calling [`snapshot`] from a coordinating thread — it
+    /// would see only its own (idle) counters. Each worker must scope its
+    /// evaluation by snapshot subtraction and the coordinator must fold
+    /// the per-evaluation deltas with `+` / `+=`.
+    fn add(self, rhs: Counters) -> Counters {
+        Counters {
+            canonicalize_calls: self.canonicalize_calls + rhs.canonicalize_calls,
+            canonical_cache_hits: self.canonical_cache_hits + rhs.canonical_cache_hits,
+            canonical_cache_misses: self.canonical_cache_misses + rhs.canonical_cache_misses,
+            empty_cache_hits: self.empty_cache_hits + rhs.empty_cache_hits,
+            empty_cache_misses: self.empty_cache_misses + rhs.empty_cache_misses,
+            subsumption_checks: self.subsumption_checks + rhs.subsumption_checks,
+            index_candidates: self.index_candidates + rhs.index_candidates,
+            index_scanned_naive: self.index_scanned_naive + rhs.index_scanned_naive,
+        }
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        *self = *self + rhs;
     }
 }
 
@@ -176,6 +205,42 @@ mod tests {
         assert_eq!(delta.narrowing_ratio(), Some(0.8));
         assert_eq!(delta.canonical_hit_rate(), Some(0.5));
         assert_eq!(delta.empty_hit_rate(), Some(1.0));
+    }
+
+    /// The thread-locality trap: a coordinator snapshotting around work
+    /// done on *other* threads measures nothing. The supported pattern is
+    /// per-thread snapshot subtraction plus an explicit fold.
+    #[test]
+    fn cross_thread_aggregation_requires_explicit_folding() {
+        let coordinator_before = snapshot();
+        let deltas: Vec<Counters> = (0..3u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let before = snapshot();
+                    for _ in 0..=i {
+                        note_subsumption_check();
+                        note_index_lookup(1, 4);
+                    }
+                    snapshot() - before
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        let coordinator_delta = snapshot() - coordinator_before;
+        assert_eq!(
+            coordinator_delta,
+            Counters::default(),
+            "the coordinator's thread-local counters never saw the workers"
+        );
+        let mut folded = Counters::default();
+        for d in deltas {
+            folded += d;
+        }
+        assert_eq!(folded.subsumption_checks, 6);
+        assert_eq!(folded.index_candidates, 6);
+        assert_eq!(folded.index_scanned_naive, 24);
     }
 
     #[test]

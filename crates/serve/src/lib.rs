@@ -1,0 +1,38 @@
+//! # itdb-serve — long-running HTTP serve mode
+//!
+//! A zero-dependency HTTP/1.1 server (hand-rolled over
+//! `std::net::TcpListener`, since the workspace builds offline) that keeps
+//! one parsed workload resident and answers queries against it
+//! repeatedly, each under its **own** resource governor:
+//!
+//! | Endpoint        | What it does                                          |
+//! |-----------------|-------------------------------------------------------|
+//! | `GET /healthz`  | liveness probe, `200 ok`                              |
+//! | `GET /metrics`  | Prometheus text: engine counters + HTTP families      |
+//! | `POST /query`   | body = query pattern; `X-Itdb-Fuel` / `X-Itdb-Timeout-Ms` headers override the server's default ceilings; JSON answer with status `complete` / `diverged` / `interrupted` |
+//! | `GET /events`   | live JSONL stream of trace events (chunked), bounded per-client queues |
+//!
+//! The interesting invariants live in [`server`]'s module docs: fan-out
+//! sinks are installed per worker thread (the trace registry is
+//! thread-local), per-request governors isolate trips, and evaluation
+//! statistics are folded into the aggregate explicitly rather than read
+//! from thread-local counters at `/metrics` render time.
+//!
+//! ```no_run
+//! use itdb_serve::{ServeConfig, Server};
+//! use itdb_core::{parse_workload, CancelToken};
+//!
+//! let workload = parse_workload("tuple sched (24n)\nrule p[t] <- sched[t].").unwrap();
+//! let server = Server::bind("127.0.0.1:7464", workload, ServeConfig::default()).unwrap();
+//! let shutdown = CancelToken::new();
+//! server.run(&shutdown).unwrap(); // Ctrl-C handler cancels `shutdown`
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use metrics::HttpMetrics;
+pub use server::{ServeConfig, Server};

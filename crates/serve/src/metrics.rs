@@ -1,0 +1,137 @@
+//! The server's own metric families, composed with the engine's
+//! evaluation counters into one `/metrics` exposition document.
+//!
+//! Request counters are keyed by `(method, route, status)`; latency is a
+//! per-route running sum + count pair (enough for rate/mean in Prometheus
+//! without histogram buckets, which would be overkill for this server).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_trace::prom::PromText;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug, Default, Clone)]
+struct RouteStat {
+    count: u64,
+    seconds: f64,
+}
+
+/// Thread-safe HTTP request accounting for `/metrics`.
+#[derive(Debug, Default)]
+pub struct HttpMetrics {
+    by_key: Mutex<BTreeMap<(String, String, u16), RouteStat>>,
+}
+
+impl HttpMetrics {
+    /// A fresh, zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, method: &str, route: &str, status: u16, elapsed: Duration) {
+        if let Ok(mut map) = self.by_key.lock() {
+            let stat = map
+                .entry((method.to_string(), route.to_string(), status))
+                .or_default();
+            stat.count += 1;
+            stat.seconds += elapsed.as_secs_f64();
+        }
+    }
+
+    /// Total requests recorded across every key (for tests/diagnostics).
+    pub fn total(&self) -> u64 {
+        self.by_key
+            .lock()
+            .map(|m| m.values().map(|s| s.count).sum())
+            .unwrap_or(0)
+    }
+
+    /// Writes the `itdb_http_*` families into `p`.
+    pub fn write_into(&self, p: &mut PromText) {
+        let map = match self.by_key.lock() {
+            Ok(m) => m.clone(),
+            Err(_) => return,
+        };
+        let status_strings: Vec<(String, String, String)> = map
+            .keys()
+            .map(|(m, r, s)| (m.clone(), r.clone(), s.to_string()))
+            .collect();
+        let count_samples: Vec<(Vec<(&str, &str)>, f64)> = map
+            .values()
+            .zip(&status_strings)
+            .map(|(stat, (m, r, s))| {
+                (
+                    vec![
+                        ("method", m.as_str()),
+                        ("route", r.as_str()),
+                        ("status", s.as_str()),
+                    ],
+                    stat.count as f64,
+                )
+            })
+            .collect();
+        p.family(
+            "itdb_http_requests_total",
+            "HTTP requests served, by method, route and status.",
+            "counter",
+            &count_samples,
+        );
+        let latency_samples: Vec<(Vec<(&str, &str)>, f64)> = map
+            .values()
+            .zip(&status_strings)
+            .map(|(stat, (m, r, s))| {
+                (
+                    vec![
+                        ("method", m.as_str()),
+                        ("route", r.as_str()),
+                        ("status", s.as_str()),
+                    ],
+                    stat.seconds,
+                )
+            })
+            .collect();
+        p.family(
+            "itdb_http_request_seconds_total",
+            "Cumulative wall clock spent serving requests, by method, route and status.",
+            "counter",
+            &latency_samples,
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_render_with_labels() {
+        let m = HttpMetrics::new();
+        m.record("GET", "/healthz", 200, Duration::from_millis(1));
+        m.record("GET", "/healthz", 200, Duration::from_millis(1));
+        m.record("POST", "/query", 422, Duration::from_millis(5));
+        assert_eq!(m.total(), 3);
+        let mut p = PromText::new();
+        m.write_into(&mut p);
+        let text = p.finish();
+        assert!(
+            text.contains(
+                "itdb_http_requests_total{method=\"GET\",route=\"/healthz\",status=\"200\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "itdb_http_requests_total{method=\"POST\",route=\"/query\",status=\"422\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE itdb_http_request_seconds_total counter"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The serve loop: a `TcpListener`, a fixed worker pool, and the four
+//! endpoints (`/healthz`, `/metrics`, `/query`, `/events`).
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread hands sockets to a bounded queue drained by
+//! `workers` threads; when the queue is full the acceptor answers `503`
+//! immediately instead of letting connections pile up. Each worker
+//! installs the shared [`FanoutSink`] on its **own** thread — the trace
+//! registry is thread-local, so installation from the acceptor would
+//! observe nothing — which is how `/events` subscribers see the typed
+//! events of evaluations running on any worker.
+//!
+//! Every `/query` request evaluates under its own governor
+//! ([`itdb_core::Service`]), so one request's fuel exhaustion or deadline
+//! is invisible to its neighbors, and per-request statistics are folded
+//! into the service aggregate explicitly rather than read from
+//! (worker-thread-local, hence misleading) counters at render time.
+//!
+//! Graceful shutdown: cancelling the token stops the acceptor, closes the
+//! queue, and lets workers finish their in-flight requests; `/events`
+//! streams notice the token within one poll interval and terminate their
+//! chunked response cleanly.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::http::{self, ParseError, Request};
+use crate::metrics::HttpMetrics;
+use itdb_core::{
+    write_metrics_into, CancelToken, QueryRequest, Service, ServiceDefaults, Workload,
+};
+use itdb_trace::prom::PromText;
+use itdb_trace::{FanoutSink, Sink};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`]; `Default` is sized for CI and small
+/// deployments.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests. Note that one live `/events`
+    /// stream occupies one worker for its whole duration.
+    pub workers: usize,
+    /// Accepted-but-unhandled connections held before the acceptor starts
+    /// answering `503 Service Unavailable`.
+    pub max_queued: usize,
+    /// Socket read timeout (request parsing).
+    pub read_timeout: Duration,
+    /// Socket write timeout (response writing, per write).
+    pub write_timeout: Duration,
+    /// Server-side default resource ceilings for `/query` requests that
+    /// bring none of their own.
+    pub defaults: ServiceDefaults,
+    /// Bounded per-subscriber `/events` queue depth; a stalled client
+    /// loses events (counted) instead of stalling evaluation.
+    pub events_queue_cap: usize,
+    /// How often an idle `/events` stream emits a blank keepalive line
+    /// (also bounds how fast a dead client is noticed).
+    pub events_keepalive: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            max_queued: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            defaults: ServiceDefaults::default(),
+            events_queue_cap: 1024,
+            events_keepalive: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The HTTP server: a bound listener plus the shared state every worker
+/// sees.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    service: Arc<Service>,
+    fanout: Arc<FanoutSink>,
+    metrics: Arc<HttpMetrics>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7464`, or port `0` for an ephemeral
+    /// port in tests) and prepares the workload for serving.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        workload: Workload,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let service = Arc::new(Service::new(workload, config.defaults.clone()));
+        let fanout = Arc::new(FanoutSink::new(config.events_queue_cap));
+        Ok(Server {
+            listener,
+            local_addr,
+            service,
+            fanout,
+            metrics: Arc::new(HttpMetrics::new()),
+            config,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying per-request query service (for tests and embedding).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Runs the accept loop until `shutdown` is cancelled, then drains
+    /// in-flight requests and joins the workers.
+    pub fn run(self, shutdown: &CancelToken) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.max_queued);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for i in 0..self.config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = WorkerCtx {
+                service: Arc::clone(&self.service),
+                fanout: Arc::clone(&self.fanout),
+                metrics: Arc::clone(&self.metrics),
+                config: self.config.clone(),
+                shutdown: shutdown.clone(),
+            };
+            let handle = thread::Builder::new()
+                .name(format!("itdb-serve-{i}"))
+                .spawn(move || worker_loop(&rx, &ctx))?;
+            workers.push(handle);
+        }
+        while !shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream))
+                        | Err(TrySendError::Disconnected(mut stream)) => {
+                            // Best-effort 503 straight from the acceptor;
+                            // never block accepting on a full pool.
+                            let _ = http::write_response(
+                                &mut stream,
+                                503,
+                                "application/json",
+                                b"{\"error\":\"server at capacity, retry later\"}",
+                            );
+                            self.metrics
+                                .record("-", "(queue-full)", 503, Duration::ZERO);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Closing the channel lets each worker drain what was already
+        // queued and exit; in-flight requests complete.
+        drop(tx);
+        for handle in workers {
+            let _ = handle.join();
+        }
+        itdb_trace::flush_sinks();
+        Ok(())
+    }
+}
+
+/// Everything a worker needs, bundled so the spawn closure stays small.
+struct WorkerCtx {
+    service: Arc<Service>,
+    fanout: Arc<FanoutSink>,
+    metrics: Arc<HttpMetrics>,
+    config: ServeConfig,
+    shutdown: CancelToken,
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx) {
+    // The trace registry is thread-local: the fan-out sink must be
+    // installed *here*, on the evaluating thread, or `/events`
+    // subscribers would never see this worker's evaluations.
+    let sink_id = itdb_trace::add_sink(Arc::clone(&ctx.fanout) as Arc<dyn Sink>);
+    loop {
+        let stream = {
+            let Ok(guard) = rx.lock() else { break };
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, ctx),
+            Err(_) => break, // acceptor hung up: graceful shutdown
+        }
+    }
+    itdb_trace::remove_sink(sink_id);
+}
+
+fn json_error(msg: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(msg.len() + 16);
+    out.push_str("{\"error\":\"");
+    itdb_trace::json::escape_into(msg, &mut out);
+    out.push_str("\"}");
+    out.into_bytes()
+}
+
+fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
+    let started = Instant::now();
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let req = match http::read_request(&mut reader) {
+        Ok(req) => req,
+        Err(ParseError::ConnectionClosed) => return,
+        Err(e) => {
+            let status = e.status();
+            let _ = http::write_response(
+                &mut writer,
+                status,
+                "application/json",
+                &json_error(&e.to_string()),
+            );
+            ctx.metrics
+                .record("-", "(parse-error)", status, started.elapsed());
+            return;
+        }
+    };
+    let path = req.path.split('?').next().unwrap_or("").to_string();
+    let status = match (req.method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => serve_healthz(&mut writer),
+        ("GET", "/metrics") => serve_metrics(&mut writer, ctx),
+        ("POST", "/query") => serve_query(&mut writer, &req, ctx),
+        ("GET", "/events") => serve_events(&mut writer, ctx),
+        (_, "/healthz" | "/metrics" | "/query" | "/events") => {
+            let body = json_error("method not allowed");
+            let _ = http::write_response(&mut writer, 405, "application/json", &body);
+            405
+        }
+        _ => {
+            let body = json_error(&format!("no such endpoint `{path}`"));
+            let _ = http::write_response(&mut writer, 404, "application/json", &body);
+            404
+        }
+    };
+    let route = match path.as_str() {
+        "/healthz" | "/metrics" | "/query" | "/events" => path.as_str(),
+        _ => "(other)",
+    };
+    ctx.metrics
+        .record(&req.method, route, status, started.elapsed());
+}
+
+fn serve_healthz(w: &mut impl Write) -> u16 {
+    let _ = http::write_response(w, 200, "text/plain; charset=utf-8", b"ok\n");
+    200
+}
+
+fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx) -> u16 {
+    let totals = ctx.service.totals();
+    let mut p = PromText::new();
+    write_metrics_into(&mut p, &totals.stats, None, None);
+    p.counter(
+        "itdb_queries_total",
+        "Queries answered over HTTP (any status).",
+        totals.queries,
+    );
+    p.counter(
+        "itdb_queries_interrupted_total",
+        "HTTP queries whose per-request governor tripped.",
+        totals.interrupted,
+    );
+    p.gauge(
+        "itdb_events_subscribers",
+        "Live /events subscribers.",
+        ctx.fanout.subscriber_count() as f64,
+    );
+    p.counter(
+        "itdb_events_dropped_total",
+        "Events dropped across all /events subscribers (bounded queues).",
+        ctx.fanout.dropped_total(),
+    );
+    ctx.metrics.write_into(&mut p);
+    let body = p.finish();
+    let _ = http::write_response(
+        w,
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.as_bytes(),
+    );
+    200
+}
+
+fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx) -> u16 {
+    let pattern = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
+        Ok(_) => {
+            let _ = http::write_response(
+                w,
+                400,
+                "application/json",
+                &json_error("empty body: POST the query pattern, e.g. `p[t](X)`"),
+            );
+            return 400;
+        }
+        Err(_) => {
+            let _ = http::write_response(
+                w,
+                400,
+                "application/json",
+                &json_error("body is not valid UTF-8"),
+            );
+            return 400;
+        }
+    };
+    let fuel = match parse_u64_header(req, "x-itdb-fuel") {
+        Ok(v) => v,
+        Err(msg) => {
+            let _ = http::write_response(w, 400, "application/json", &json_error(&msg));
+            return 400;
+        }
+    };
+    let timeout_ms = match parse_u64_header(req, "x-itdb-timeout-ms") {
+        Ok(v) => v,
+        Err(msg) => {
+            let _ = http::write_response(w, 400, "application/json", &json_error(&msg));
+            return 400;
+        }
+    };
+    let query = QueryRequest {
+        pattern,
+        fuel,
+        timeout: timeout_ms.map(Duration::from_millis),
+    };
+    match ctx.service.run_query(&query) {
+        Ok(resp) => {
+            let _ = http::write_response(w, 200, "application/json", resp.to_json().as_bytes());
+            200
+        }
+        Err(e) => {
+            // Evaluation-layer rejections (bad pattern, unknown
+            // predicate) are the client's fault, not the server's.
+            let _ = http::write_response(w, 422, "application/json", &json_error(&e.to_string()));
+            422
+        }
+    }
+}
+
+fn parse_u64_header(req: &Request, name: &str) -> Result<Option<u64>, String> {
+    match req.header(name) {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("header {name}: `{v}` is not a non-negative integer")),
+    }
+}
+
+fn serve_events(w: &mut impl Write, ctx: &WorkerCtx) -> u16 {
+    // Subscribe before sending headers so no event between the two is
+    // missed.
+    let sub = ctx.fanout.subscribe();
+    if http::start_chunked(w, 200, "application/jsonl; charset=utf-8").is_err() {
+        return 200;
+    }
+    let mut last_write = Instant::now();
+    loop {
+        if ctx.shutdown.is_cancelled() {
+            break;
+        }
+        match sub.recv_timeout(Duration::from_millis(250)) {
+            Some(line) => {
+                let mut payload = Vec::with_capacity(line.len() + 1);
+                payload.extend_from_slice(line.as_bytes());
+                payload.push(b'\n');
+                if http::write_chunk(w, &payload).is_err() {
+                    return 200; // client went away
+                }
+                last_write = Instant::now();
+            }
+            None => {
+                // Idle: a blank JSONL keepalive both keeps middleboxes
+                // happy and detects dead clients.
+                if last_write.elapsed() >= ctx.config.events_keepalive {
+                    if http::write_chunk(w, b"\n").is_err() {
+                        return 200;
+                    }
+                    last_write = Instant::now();
+                }
+            }
+        }
+    }
+    let _ = http::finish_chunked(w);
+    200
+}

@@ -1,0 +1,353 @@
+//! End-to-end concurrency tests over real sockets: per-request governor
+//! isolation, deterministic answers under parallelism, and bounded-queue
+//! behavior for stalled `/events` subscribers.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::{parse_workload, CancelToken};
+use itdb_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "\
+    # Example 4.1 plus a diverging predicate for trip tests.\n\
+    tuple course (168n+8, 168n+10; database) : T2 = T1 + 2\n\
+    rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).\n\
+    rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).\n\
+    tuple seed (n) : T1 = 0\n\
+    rule p[t] <- seed[t].\n\
+    rule p[t + 1] <- p[t].\n";
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    handle: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> TestServer {
+        TestServer::start_with(config, WORKLOAD)
+    }
+
+    fn start_with(config: ServeConfig, workload: &str) -> TestServer {
+        let workload = parse_workload(workload).unwrap();
+        let server = Server::bind("127.0.0.1:0", workload, config).unwrap();
+        let addr = server.local_addr();
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = thread::spawn(move || server.run(&token));
+        TestServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.cancel();
+        if let Some(h) = self.handle.take() {
+            h.join().unwrap().unwrap();
+        }
+    }
+}
+
+/// One raw HTTP exchange: send `request`, read the whole response.
+fn exchange(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn post_query(addr: SocketAddr, pattern: &str, fuel: Option<u64>) -> String {
+    let fuel_header = fuel
+        .map(|f| format!("X-Itdb-Fuel: {f}\r\n"))
+        .unwrap_or_default();
+    exchange(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\n{fuel_header}Content-Length: {}\r\n\r\n{pattern}",
+            pattern.len()
+        ),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap()
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// The deterministic prefix of a /query JSON body: everything up to the
+/// (wall-clock-bearing) stats object.
+fn deterministic_part(body: &str) -> &str {
+    body.split(",\"stats\":").next().unwrap_or(body)
+}
+
+#[test]
+fn healthz_and_404_and_405() {
+    let ts = TestServer::start(ServeConfig::default());
+    let ok = exchange(ts.addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&ok), 200);
+    assert_eq!(body_of(&ok), "ok\n");
+    let missing = exchange(ts.addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&missing), 404);
+    let wrong = exchange(ts.addr, "GET /query HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&wrong), 405);
+}
+
+#[test]
+fn query_rejections_are_typed_not_500s() {
+    let ts = TestServer::start(ServeConfig::default());
+    // Empty body.
+    let empty = exchange(
+        ts.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&empty), 400);
+    // Unparseable fuel header.
+    let bad_fuel = exchange(
+        ts.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nX-Itdb-Fuel: lots\r\nContent-Length: 4\r\n\r\np[t]",
+    );
+    assert_eq!(status_of(&bad_fuel), 400);
+    assert!(body_of(&bad_fuel).contains("x-itdb-fuel"), "{bad_fuel}");
+    // Unknown predicate.
+    let unknown = post_query(ts.addr, "ghost[t]", Some(10));
+    assert_eq!(status_of(&unknown), 422);
+    assert!(body_of(&unknown).contains("unknown predicate"), "{unknown}");
+}
+
+/// Satellite 4, part 1: ≥8 parallel queries with **distinct** fuel
+/// ceilings produce answers byte-identical to the same queries run
+/// sequentially (stats' wall-clock fields excluded — everything else in
+/// the payload must match exactly).
+#[test]
+fn eight_parallel_queries_match_sequential_byte_for_byte() {
+    let ts = TestServer::start(ServeConfig {
+        workers: 10,
+        ..ServeConfig::default()
+    });
+    let fuels: Vec<u64> = (0..8).map(|i| 3 + 2 * i).collect();
+    let sequential: Vec<String> = fuels
+        .iter()
+        .map(|&f| {
+            let resp = post_query(ts.addr, "p[t]", Some(f));
+            assert_eq!(status_of(&resp), 200, "{resp}");
+            deterministic_part(body_of(&resp)).to_string()
+        })
+        .collect();
+    let handles: Vec<_> = fuels
+        .iter()
+        .map(|&f| {
+            let addr = ts.addr;
+            thread::spawn(move || post_query(addr, "p[t]", Some(f)))
+        })
+        .collect();
+    let concurrent: Vec<String> = handles
+        .into_iter()
+        .map(|h| {
+            let resp = h.join().unwrap();
+            assert_eq!(status_of(&resp), 200, "{resp}");
+            deterministic_part(body_of(&resp)).to_string()
+        })
+        .collect();
+    assert_eq!(sequential, concurrent);
+    // Distinct fuels genuinely produced distinct partial models.
+    let unique: std::collections::BTreeSet<&String> = sequential.iter().collect();
+    assert_eq!(unique.len(), fuels.len(), "{sequential:#?}");
+}
+
+/// Satellite 4, part 2: a starved request trips while a well-fed one on
+/// the same (diverging) predicate — running at the same time — is
+/// unaffected; concurrently, a server holding a convergent workload keeps
+/// answering `complete`.
+#[test]
+fn per_request_trips_are_isolated_across_workers() {
+    let ts = TestServer::start(ServeConfig {
+        workers: 8,
+        ..ServeConfig::default()
+    });
+    // Evaluation is whole-program per request, so the convergent query
+    // runs against a workload without the diverging rules.
+    let convergent_ts = TestServer::start_with(
+        ServeConfig::default(),
+        "tuple course (168n+8, 168n+10; database) : T2 = T1 + 2\n\
+         rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).\n\
+         rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).\n",
+    );
+    let addr = ts.addr;
+    let conv_addr = convergent_ts.addr;
+    let starved = thread::spawn(move || post_query(addr, "p[t]", Some(2)));
+    let fed = thread::spawn(move || post_query(addr, "p[t]", Some(1000)));
+    let convergent =
+        thread::spawn(move || post_query(conv_addr, "problems[t, t + 2](database)", None));
+    let starved = starved.join().unwrap();
+    let fed = fed.join().unwrap();
+    let convergent = convergent.join().unwrap();
+    assert!(
+        body_of(&starved).contains("\"status\":\"interrupted\""),
+        "{starved}"
+    );
+    // A trip still answers from the sound partial model.
+    assert!(!body_of(&starved).contains("\"answers\":[]"), "{starved}");
+    // The diverging predicate with ample fuel exhausts its grace
+    // iterations instead of inheriting the starved request's trip.
+    assert!(body_of(&fed).contains("\"status\":\"diverged\""), "{fed}");
+    assert!(
+        body_of(&convergent).contains("\"status\":\"complete\""),
+        "{convergent}"
+    );
+}
+
+/// Satellite 4, part 3: a stalled `/events` subscriber fills its bounded
+/// queue and loses events — visible in `/metrics` — while queries keep
+/// being answered and a healthy subscriber keeps receiving.
+#[test]
+fn stalled_events_subscriber_drops_bounded_and_counted() {
+    let ts = TestServer::start(ServeConfig {
+        workers: 4,
+        events_queue_cap: 4,
+        events_keepalive: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    // A subscriber that never reads: its queue (cap 4) must overflow.
+    let mut stalled = TcpStream::connect(ts.addr).unwrap();
+    stalled
+        .write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    // A healthy subscriber that drains continuously.
+    let healthy = TcpStream::connect(ts.addr).unwrap();
+    healthy
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    {
+        let mut h = healthy.try_clone().unwrap();
+        h.write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+    }
+    let drained: Arc<std::sync::Mutex<Vec<String>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let drained2 = Arc::clone(&drained);
+    let reader = thread::spawn(move || {
+        let mut lines = BufReader::new(healthy);
+        let mut line = String::new();
+        while let Ok(n) = lines.read_line(&mut line) {
+            if n == 0 {
+                break;
+            }
+            drained2.lock().unwrap().push(line.trim().to_string());
+            line.clear();
+        }
+    });
+    // Give both subscriptions time to register, then generate plenty of
+    // trace events with governed evaluations.
+    thread::sleep(Duration::from_millis(300));
+    for _ in 0..3 {
+        let resp = post_query(ts.addr, "p[t]", Some(40));
+        assert_eq!(status_of(&resp), 200, "{resp}");
+    }
+    // Wait until the healthy subscriber observed evaluation events.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let seen = drained
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|l| l.contains("\"event\""))
+            .count();
+        if seen > 0 || Instant::now() > deadline {
+            assert!(seen > 0, "healthy subscriber saw no events");
+            break;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    // The stalled subscriber's drops are counted in /metrics.
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&metrics), 200);
+    let body = body_of(&metrics);
+    let dropped: f64 = body
+        .lines()
+        .find(|l| l.starts_with("itdb_events_dropped_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(dropped > 0.0, "expected counted drops, got:\n{body}");
+    assert!(
+        body.contains("itdb_http_requests_total"),
+        "http families missing:\n{body}"
+    );
+    assert!(
+        body.contains("itdb_queries_total 3"),
+        "query counter missing:\n{body}"
+    );
+    drop(stalled);
+    drop(ts); // shutdown ends the healthy stream
+    reader.join().unwrap();
+}
+
+/// Graceful shutdown: cancelling the token ends `run` and the port stops
+/// accepting; queued work completes first.
+#[test]
+fn shutdown_drains_and_returns() {
+    let ts = TestServer::start(ServeConfig::default());
+    let resp = post_query(ts.addr, "problems[t, t + 2](database)", None);
+    assert_eq!(status_of(&resp), 200);
+    let addr = ts.addr;
+    drop(ts); // cancels + joins in Drop, asserting run() returned Ok
+              // The listener is gone: a fresh connection must fail (or be refused
+              // on first use).
+    let gone = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    if let Ok(mut s) = gone {
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut buf = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let r = s.read_to_string(&mut buf);
+        assert!(
+            r.is_err() || buf.is_empty(),
+            "server still answering: {buf}"
+        );
+    }
+}
+
+/// `/metrics` exposes engine counters folded across pooled workers — the
+/// totals reflect work done on *other* threads, which only works because
+/// the service folds per-request stats explicitly.
+#[test]
+fn metrics_reflect_cross_thread_evaluation_stats() {
+    let ts = TestServer::start(ServeConfig::default());
+    for _ in 0..2 {
+        let resp = post_query(ts.addr, "problems[t, t + 2](database)", None);
+        assert_eq!(status_of(&resp), 200);
+    }
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let body = body_of(&metrics);
+    let derived: f64 = body
+        .lines()
+        .find(|l| l.starts_with("itdb_tuples_derived_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(derived > 0.0, "folded engine counters missing:\n{body}");
+    let checks: f64 = body
+        .lines()
+        .find(|l| l.starts_with("itdb_subsumption_checks_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(checks > 0.0, "thread-local counters not folded:\n{body}");
+}

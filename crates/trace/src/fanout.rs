@@ -1,0 +1,236 @@
+//! Fan-out of the live event stream to multiple subscribers.
+//!
+//! [`FanoutSink`] multiplexes every recorded event to any number of
+//! [`Subscription`]s, each backed by a **bounded** queue. The emitting
+//! thread never blocks: an event is JSON-encoded once, then offered to
+//! every live subscriber; a subscriber whose queue is full loses that
+//! event and its drop counter advances. This is the backpressure story
+//! for `itdb-serve`'s `GET /events` endpoint — a stalled client costs
+//! itself events, never the evaluation.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Shared state of one subscriber's bounded queue.
+struct Queue {
+    cap: usize,
+    buf: Mutex<VecDeque<Arc<str>>>,
+    ready: Condvar,
+    /// Events this subscriber lost because its queue was full.
+    dropped: AtomicU64,
+    /// Set when the [`Subscription`] handle is dropped; the sink prunes
+    /// closed queues lazily on the next record.
+    closed: AtomicBool,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Queue {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Offers one encoded line; returns `false` (and counts) on overflow.
+    fn offer(&self, line: &Arc<str>) -> bool {
+        let Ok(mut buf) = self.buf.lock() else {
+            return false;
+        };
+        if buf.len() >= self.cap {
+            drop(buf);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        buf.push_back(Arc::clone(line));
+        drop(buf);
+        self.ready.notify_one();
+        true
+    }
+}
+
+/// A sink that re-broadcasts every event to bounded per-subscriber
+/// queues. Cheap when nobody is subscribed: one lock, an empty loop.
+pub struct FanoutSink {
+    queue_cap: usize,
+    subscribers: Mutex<Vec<Arc<Queue>>>,
+    /// Events dropped across all subscribers, ever (monotone; feeds the
+    /// `itdb_http_events_dropped_total` metric).
+    dropped_total: AtomicU64,
+}
+
+impl FanoutSink {
+    /// A fan-out whose subscribers each buffer at most `queue_cap` events.
+    pub fn new(queue_cap: usize) -> Self {
+        FanoutSink {
+            queue_cap: queue_cap.max(1),
+            subscribers: Mutex::new(Vec::new()),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a new subscriber and hands back its receiving end.
+    pub fn subscribe(&self) -> Subscription {
+        let queue = Arc::new(Queue::new(self.queue_cap));
+        if let Ok(mut subs) = self.subscribers.lock() {
+            subs.push(Arc::clone(&queue));
+        }
+        Subscription { queue }
+    }
+
+    /// Live subscribers (closed ones are pruned lazily, so this may
+    /// briefly over-count after a disconnect).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Total events dropped across all subscribers since creation.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, event: &Event) {
+        let Ok(mut subs) = self.subscribers.lock() else {
+            return;
+        };
+        if subs.is_empty() {
+            return;
+        }
+        subs.retain(|q| !q.closed.load(Ordering::Relaxed));
+        if subs.is_empty() {
+            return;
+        }
+        // Encode once, share the line between subscribers.
+        let line: Arc<str> = Arc::from(event.to_json().as_str());
+        let mut dropped = 0u64;
+        for q in subs.iter() {
+            if !q.offer(&line) {
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.dropped_total.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The receiving end of one [`FanoutSink::subscribe`] call. Dropping it
+/// detaches the subscriber; the sink stops queueing for it.
+pub struct Subscription {
+    queue: Arc<Queue>,
+}
+
+impl Subscription {
+    /// Waits up to `timeout` for the next event line. `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<str>> {
+        let mut buf = self.queue.buf.lock().ok()?;
+        if let Some(line) = buf.pop_front() {
+            return Some(line);
+        }
+        let (mut buf, _timed_out) = self.queue.ready.wait_timeout(buf, timeout).ok()?;
+        buf.pop_front()
+    }
+
+    /// Takes everything currently queued without blocking.
+    pub fn try_drain(&self) -> Vec<Arc<str>> {
+        self.queue
+            .buf
+            .lock()
+            .map(|mut b| b.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Events this subscriber has lost to queue overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.queue.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.queue.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn msg(i: u64) -> Event {
+        Event {
+            t_us: i,
+            kind: EventKind::Message {
+                text: format!("m{i}"),
+            },
+        }
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_event_when_queues_have_room() {
+        let fan = FanoutSink::new(16);
+        let a = fan.subscribe();
+        let b = fan.subscribe();
+        for i in 0..4 {
+            fan.record(&msg(i));
+        }
+        assert_eq!(a.try_drain().len(), 4);
+        assert_eq!(b.try_drain().len(), 4);
+        assert_eq!(fan.dropped_total(), 0);
+    }
+
+    #[test]
+    fn a_full_queue_drops_with_counters_and_never_blocks() {
+        let fan = FanoutSink::new(2);
+        let stalled = fan.subscribe();
+        for i in 0..10 {
+            fan.record(&msg(i)); // returns immediately each time
+        }
+        assert_eq!(stalled.dropped(), 8);
+        assert_eq!(fan.dropped_total(), 8);
+        // The two oldest lines survive; the stall cost only the overflow.
+        let kept = stalled.try_drain();
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].contains("\"m0\""));
+    }
+
+    #[test]
+    fn a_stalled_subscriber_does_not_affect_a_healthy_one() {
+        let fan = FanoutSink::new(2);
+        let stalled = fan.subscribe();
+        let healthy = fan.subscribe();
+        for i in 0..6 {
+            fan.record(&msg(i));
+            healthy.try_drain();
+        }
+        assert!(stalled.dropped() > 0);
+        assert_eq!(healthy.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_pruned() {
+        let fan = FanoutSink::new(4);
+        let a = fan.subscribe();
+        drop(a);
+        fan.record(&msg(0));
+        assert_eq!(fan.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_lines_and_times_out_when_idle() {
+        let fan = FanoutSink::new(4);
+        let sub = fan.subscribe();
+        fan.record(&msg(7));
+        let line = sub.recv_timeout(Duration::from_millis(10));
+        assert!(line.is_some_and(|l| l.contains("\"m7\"")));
+        assert!(sub.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+}

@@ -31,6 +31,7 @@
 
 mod collector;
 mod event;
+mod fanout;
 pub mod json;
 pub mod prom;
 mod sink;
@@ -38,6 +39,7 @@ mod span;
 
 pub use collector::{add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, SinkId};
 pub use event::{Event, EventKind, SourceFact};
+pub use fanout::{FanoutSink, Subscription};
 pub use sink::{dropped_events, JsonlSink, MemorySink, RingSink, Sink};
 pub use span::{
     fmt_duration, profiling, set_profiling, span, span_with, take_profile, Profile, ProfileEntry,

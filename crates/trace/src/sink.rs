@@ -201,6 +201,17 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Short-lived runs (a CLI invocation, a pooled serve worker) often
+    /// drop the sink without ever calling `flush`; without this, the tail
+    /// of the stream — up to a full `BufWriter` buffer — silently
+    /// vanished. `BufWriter`'s own drop flush cannot retry or record the
+    /// error, so flush explicitly first.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Captures every event, unbounded (tests, golden files).
 #[derive(Default)]
 pub struct MemorySink {
@@ -320,6 +331,27 @@ mod tests {
         assert_eq!(sink.dropped(), 1);
         assert_eq!(dropped_events() - before, 1, "global counter advanced");
         assert!(sink.take_error().is_some());
+    }
+
+    /// Regression: a short-lived run that emits a handful of events and
+    /// never flushes used to lose everything still sitting in the
+    /// `BufWriter` when the sink was dropped.
+    #[test]
+    fn jsonl_flushes_buffered_tail_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("itdb_trace_drop_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for i in 0..5 {
+                sink.record(&msg(i));
+            }
+            // No explicit flush: the default 8 KiB buffer easily holds
+            // all five lines, so without the Drop impl nothing reaches
+            // the file.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 5, "drop lost buffered events");
     }
 
     #[test]
