@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Chaos soak (the `chaos-soak` CI job): boot `itdb serve` built with the
+# test-only `chaos` feature, drive real HTTP traffic through a seeded,
+# deterministic fault schedule — worker panics, worker deaths, torn
+# background-checkpoint writes — then SIGKILL the server mid-flight and
+# prove the restart resumes durable state and answers byte-identically
+# to a fresh reference server.
+#
+# The schedule is env-driven (ITDB_CHAOS_*) and counter-based, so the
+# same seed against the same request sequence injects the same faults:
+# the assertions below are exact, not probabilistic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/itdb}   # must be built with --features chaos
+PORT=${PORT:-7481}
+PORT_REF=${PORT_REF:-7482}
+CKPT=ci-chaos-ckpts
+QUERY='problems[t, t + 2](database)'
+N=${N:-60}
+
+if [ ! -x "$BIN" ]; then
+    echo "FAIL: $BIN not built (run: cargo build --release -p itdb-cli --features chaos)" >&2
+    exit 1
+fi
+rm -rf "$CKPT" chaos_server.log chaos_resume.log chaos_ref.log
+
+# Pulls an unlabeled counter's value out of an exposition file (0 when
+# the family never fired).
+metric() {
+    awk -v m="$2" '$1 == m {v = $2} END {print v + 0}' "$1"
+}
+
+# /metrics fetches also consume the chaos schedule, so a scrape can
+# itself be the panicking request; retry past injected 500s.
+scrape() {
+    local port=$1 out=$2
+    for _ in $(seq 1 30); do
+        if curl -fsS "http://127.0.0.1:$port/metrics" > "$out" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: /metrics on port $port never answered 200" >&2
+    return 1
+}
+
+wait_healthy() {
+    local port=$1
+    for _ in $(seq 1 100); do
+        # -f would fail the whole script on an injected 500; any HTTP
+        # response at all means the listener is up.
+        code=$(curl -s -o /dev/null -w '%{http_code}' \
+            "http://127.0.0.1:$port/healthz" || echo 000)
+        if [ "$code" != 000 ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: server on port $port never came up" >&2
+    return 1
+}
+
+# ---- Phase 1: soak under chaos ------------------------------------------
+export ITDB_CHAOS_SEED=12648430       # 0xC0FFEE
+export ITDB_CHAOS_PANIC_EVERY=7
+export ITDB_CHAOS_KILL_EVERY=13
+export ITDB_CHAOS_TORN_EVERY=2
+"$BIN" serve --addr "127.0.0.1:$PORT" --checkpoint "$CKPT" \
+    ci/serve_workload.itdb > chaos_server.log 2>&1 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
+wait_healthy "$PORT"
+grep -q 'CHAOS INJECTION ENABLED' chaos_server.log || {
+    echo "FAIL: binary lacks the chaos feature (no injection banner)" >&2
+    exit 1
+}
+
+ok=0; faulted=0
+for _ in $(seq 1 "$N"); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$QUERY" \
+        "http://127.0.0.1:$PORT/query" || echo 000)
+    case "$code" in
+        200) ok=$((ok + 1)) ;;
+        *)   faulted=$((faulted + 1)) ;;
+    esac
+done
+echo "soak: $ok/$N served, $faulted met an injected fault"
+test "$faulted" -ge 1 || { echo "FAIL: schedule injected nothing" >&2; exit 1; }
+test "$ok" -ge $((N / 2)) || {
+    echo "FAIL: under half the requests survived the soak" >&2
+    exit 1
+}
+
+scrape "$PORT" chaos_metrics.prom
+panics=$(metric chaos_metrics.prom itdb_worker_panics_total)
+respawns=$(metric chaos_metrics.prom itdb_worker_respawns_total)
+writes=$(metric chaos_metrics.prom itdb_serve_checkpoint_writes_total)
+queries=$(metric chaos_metrics.prom itdb_queries_total)
+echo "soak: $panics panics, $respawns respawns, $writes checkpoint writes"
+test "$panics" -ge 1 || { echo "FAIL: no worker panic recorded" >&2; exit 1; }
+test "$respawns" -ge 1 || { echo "FAIL: no worker respawned" >&2; exit 1; }
+test "$writes" -ge 1 || { echo "FAIL: no background checkpoint written" >&2; exit 1; }
+
+# The pool must be back to full strength. The probes themselves consume
+# the chaos schedule (~1/7 panic, ~1/13 kill), so individual 500s are
+# expected — but a dead pool would answer (close to) nothing. Half of
+# eight probes succeeding distinguishes "alive with injected faults"
+# from "not respawned".
+healthy=0
+for _ in $(seq 1 8); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        healthy=$((healthy + 1))
+    fi
+done
+test "$healthy" -ge 4 || { echo "FAIL: pool not restored after soak ($healthy/8 probes answered)" >&2; exit 1; }
+
+# ---- Phase 2: SIGKILL, restart, resume ----------------------------------
+# No drain, no flush: whatever the background writer already made durable
+# (half the writes were deliberately torn) must carry the restart.
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+unset ITDB_CHAOS_SEED ITDB_CHAOS_PANIC_EVERY ITDB_CHAOS_KILL_EVERY ITDB_CHAOS_TORN_EVERY
+
+"$BIN" serve --addr "127.0.0.1:$PORT" --checkpoint "$CKPT" \
+    ci/serve_workload.itdb > chaos_resume.log 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+wait_healthy "$PORT"
+
+scrape "$PORT" chaos_resume_metrics.prom
+restored=$(metric chaos_resume_metrics.prom itdb_queries_total)
+echo "resume: itdb_queries_total restored to $restored (was $queries)"
+test "$restored" -ge 1 || {
+    echo "FAIL: restart lost all durable totals despite $writes writes" >&2
+    exit 1
+}
+test "$restored" -le "$queries" || {
+    echo "FAIL: restored more queries than were ever served" >&2
+    exit 1
+}
+
+# A resumed server must answer exactly like a fresh reference server:
+# durable totals are state *about* the workload, never state *of* it.
+curl -fsS -X POST --data "$QUERY" "http://127.0.0.1:$PORT/query" \
+    | sed 's/,"stats":.*//' > chaos_answer.json
+"$BIN" serve --addr "127.0.0.1:$PORT_REF" ci/serve_workload.itdb \
+    > chaos_ref.log 2>&1 &
+REF=$!
+trap 'kill "$SRV" "$REF" 2>/dev/null || true' EXIT
+wait_healthy "$PORT_REF"
+curl -fsS -X POST --data "$QUERY" "http://127.0.0.1:$PORT_REF/query" \
+    | sed 's/,"stats":.*//' > chaos_reference.json
+diff -u chaos_reference.json chaos_answer.json || {
+    echo "FAIL: resumed server's answer diverges from the reference" >&2
+    exit 1
+}
+
+kill -INT "$SRV" "$REF"
+wait "$SRV" "$REF" 2>/dev/null || true
+trap - EXIT
+rm -rf "$CKPT"
+echo "chaos soak: OK"

@@ -56,6 +56,9 @@ SCHEMAS = {
     "checkpoint_written": {"generation": int, "bytes": int, "write_us": int},
     "checkpoint_restored": {"generation": int, "stratum": int, "iteration": int},
     "checkpoint_recovery": {"generation": int, "error": str},
+    "worker_panic": {"worker": int, "detail": str},
+    "worker_respawn": {"worker": int},
+    "request_shed": {"waited_us": int, "retry_after_s": int},
 }
 
 
@@ -154,10 +157,28 @@ SERVE_REQUIRED_FAMILIES = (
     "itdb_queries_total",
     "itdb_queries_interrupted_total",
     "itdb_http_requests_total",
-    "itdb_http_request_seconds_total",
+    "itdb_http_request_seconds",
+    "itdb_http_queue_depth",
+    "itdb_http_service_time_ewma_seconds",
+    "itdb_worker_panics_total",
+    "itdb_worker_respawns_total",
+    "itdb_http_requests_shed_total",
     "itdb_events_subscribers",
     "itdb_events_dropped_total",
 )
+
+# Histogram sample names are the family name plus one of these suffixes;
+# only the base name gets a TYPE line.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def typed_family(name, typed):
+    if name in typed:
+        return True
+    return any(
+        name.endswith(suffix) and name[: -len(suffix)] in typed
+        for suffix in HISTOGRAM_SUFFIXES
+    )
 
 
 def validate_prom(path, required_families=SHELL_REQUIRED_FAMILIES):
@@ -180,7 +201,7 @@ def validate_prom(path, required_families=SHELL_REQUIRED_FAMILIES):
             m = SAMPLE_RE.match(line)
             if not m:
                 fail(f"{path}:{lineno}: not a sample line: {line!r}")
-            if m.group("name") not in typed:
+            if not typed_family(m.group("name"), typed):
                 fail(f"{path}:{lineno}: sample {m.group('name')} has no TYPE")
             try:
                 float(m.group("value"))

@@ -32,6 +32,16 @@ usage: itdb serve --addr HOST:PORT [options] WORKLOAD
                     (overridable via the X-Itdb-Timeout-Ms header)
   --max-queued N    accepted connections held before answering 503 (default 64)
   --events-queue N  per-subscriber /events queue depth (default 1024)
+  --queue-deadline-ms N
+                    shed queued requests older than this with 503 +
+                    Retry-After instead of serving them late (default 5000)
+  --max-requests-per-conn N
+                    keep-alive requests served per connection (default 32)
+  --keepalive-idle-ms N
+                    idle keep-alive connections are closed after this
+                    (default 5000)
+  --checkpoint DIR  persist service totals to DIR in the background and
+                    resume them on restart (survives SIGKILL)
   WORKLOAD          file of `tuple NAME (…)` and `rule CLAUSE.` lines
 
 The interactive shell is the separate `itdb-shell` binary.";
@@ -76,7 +86,20 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .ok_or_else(|| "--addr needs a HOST:PORT argument".to_string())?;
                 addr = Some(parse_addr(value)?);
             }
-            "--workers" | "--fuel" | "--timeout-ms" | "--max-queued" | "--events-queue" => {
+            "--checkpoint" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--checkpoint needs a directory argument".to_string())?;
+                config.checkpoint_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--workers"
+            | "--fuel"
+            | "--timeout-ms"
+            | "--max-queued"
+            | "--events-queue"
+            | "--queue-deadline-ms"
+            | "--max-requests-per-conn"
+            | "--keepalive-idle-ms" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
@@ -93,6 +116,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     "--fuel" => config.defaults.fuel = Some(n),
                     "--timeout-ms" => config.defaults.timeout = Some(Duration::from_millis(n)),
                     "--max-queued" => config.max_queued = (n as usize).max(1),
+                    "--queue-deadline-ms" => config.queue_deadline = Duration::from_millis(n),
+                    "--max-requests-per-conn" => config.max_requests_per_conn = (n as usize).max(1),
+                    "--keepalive-idle-ms" => {
+                        config.keepalive_idle = Duration::from_millis(n.max(1))
+                    }
                     _ => config.events_queue_cap = (n as usize).max(1),
                 }
             }
@@ -175,6 +203,15 @@ fn main() {
 }
 
 fn serve(args: ServeArgs) {
+    #[cfg(feature = "chaos")]
+    let args = {
+        let mut args = args;
+        args.config.chaos = itdb_serve::chaos::ChaosConfig::from_env();
+        if args.config.chaos.is_some() {
+            eprintln!("itdb-serve: CHAOS INJECTION ENABLED (ITDB_CHAOS_* set)");
+        }
+        args
+    };
     let text = match std::fs::read_to_string(&args.workload_path) {
         Ok(t) => t,
         Err(e) => fail(&format!("cannot read `{}`: {e}", args.workload_path)),
@@ -185,6 +222,7 @@ fn serve(args: ServeArgs) {
     };
     let rules = workload.program.clauses.len();
     let relations = workload.edb.len();
+    let checkpoint_dir = args.config.checkpoint_dir.clone();
     let server = match Server::bind(args.addr, workload, args.config) {
         Ok(s) => s,
         Err(e) => fail(&format!("cannot bind {}: {e}", args.addr)),
@@ -196,6 +234,9 @@ fn serve(args: ServeArgs) {
         relations,
         server.local_addr()
     );
+    if let Some(dir) = &checkpoint_dir {
+        println!("durability: background checkpoints in {}", dir.display());
+    }
     println!("endpoints: /healthz /metrics /query /events  (Ctrl-C to drain and exit)");
     if let Err(e) = server.run(shutdown_token()) {
         eprintln!("error: serve loop failed: {e}");
@@ -224,6 +265,14 @@ mod tests {
             "100000",
             "--timeout-ms",
             "2000",
+            "--queue-deadline-ms",
+            "750",
+            "--max-requests-per-conn",
+            "8",
+            "--keepalive-idle-ms",
+            "1250",
+            "--checkpoint",
+            "/tmp/itdb-ck",
             "workload.itdb",
         ]))
         .unwrap();
@@ -232,6 +281,19 @@ mod tests {
         assert_eq!(p.config.workers, 4);
         assert_eq!(p.config.defaults.fuel, Some(100_000));
         assert_eq!(p.config.defaults.timeout, Some(Duration::from_millis(2000)));
+        assert_eq!(p.config.queue_deadline, Duration::from_millis(750));
+        assert_eq!(p.config.max_requests_per_conn, 8);
+        assert_eq!(p.config.keepalive_idle, Duration::from_millis(1250));
+        assert_eq!(
+            p.config.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/itdb-ck"))
+        );
+    }
+
+    #[test]
+    fn checkpoint_needs_a_directory() {
+        let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--checkpoint"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
     }
 
     #[test]

@@ -30,7 +30,10 @@ use itdb_lrp::{
     Bound, DataValue, Dbm, Error, GeneralizedRelation, GeneralizedTuple, GovernorStats, Lrp,
     Schema, Zone,
 };
-use itdb_store::{ByteReader, ByteWriter, CodecError, Section, SnapshotStore, StoreError, Written};
+use itdb_store::{
+    BackgroundWriter, ByteReader, ByteWriter, CodecError, Section, SnapshotStore, StoreError,
+    Written,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -123,7 +126,7 @@ impl From<CheckpointError> for Error {
 }
 
 /// When the engine writes checkpoints.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CheckpointPolicy {
     /// Where snapshots go.
     pub store: Arc<SnapshotStore>,
@@ -133,6 +136,25 @@ pub struct CheckpointPolicy {
     /// Write a checkpoint when the governor trips, preserving the partial
     /// fixpoint the trip would otherwise strand in memory.
     pub on_trip: bool,
+    /// When set, checkpoint images are handed to this background writer
+    /// instead of being fsynced on the evaluation thread: the hot path
+    /// pays encoding only, and bursts coalesce to the newest snapshot.
+    /// The `checkpoint_written` trace event is skipped in this mode (the
+    /// durable write happens on the writer thread, which carries no trace
+    /// sink); consult [`BackgroundWriter::stats`] instead. Callers that
+    /// need the image on disk (graceful shutdown) should flush the writer.
+    pub background: Option<Arc<BackgroundWriter>>,
+}
+
+impl fmt::Debug for CheckpointPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointPolicy")
+            .field("store", &self.store)
+            .field("every_iterations", &self.every_iterations)
+            .field("on_trip", &self.on_trip)
+            .field("background", &self.background.is_some())
+            .finish()
+    }
 }
 
 impl CheckpointPolicy {
@@ -142,6 +164,7 @@ impl CheckpointPolicy {
             store,
             every_iterations: None,
             on_trip: true,
+            background: None,
         }
     }
 
@@ -151,7 +174,15 @@ impl CheckpointPolicy {
             store,
             every_iterations: (n > 0).then_some(n),
             on_trip: true,
+            background: None,
         }
+    }
+
+    /// Moves this policy's writes onto `writer` (see
+    /// [`CheckpointPolicy::background`]).
+    pub fn with_background(mut self, writer: Arc<BackgroundWriter>) -> Self {
+        self.background = Some(writer);
+        self
     }
 }
 

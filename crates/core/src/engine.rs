@@ -1148,6 +1148,18 @@ fn maybe_checkpoint(
         strata: stats.strata.iter().map(SavedStratum::from_stats).collect(),
     };
     let start = Instant::now();
+    if let Some(bg) = &policy.background {
+        // Background mode: the hot path pays encoding only; the fsync
+        // happens on the writer thread (bursts coalesce, latest wins).
+        // `written` counts hand-offs here — durable-write outcomes live
+        // in the writer's own stats.
+        let sections = cp.encode();
+        report.last_bytes = sections.iter().map(|s| s.payload.len() as u64).sum();
+        bg.submit(sections);
+        report.written += 1;
+        report.last_write_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        return;
+    }
     match cp.save(&policy.store) {
         Ok(w) => {
             report.written += 1;

@@ -233,6 +233,19 @@ impl Service {
         &self.workload
     }
 
+    /// The configured serving defaults.
+    pub fn defaults(&self) -> &ServiceDefaults {
+        &self.defaults
+    }
+
+    /// Locks the totals, recovering from poison. A panicking worker can
+    /// only have left the aggregate mid-`absorb` — every field is a plain
+    /// counter, so the worst case is one request's stats partially folded;
+    /// wedging `/metrics` forever over that would be strictly worse.
+    fn lock_totals(&self) -> std::sync::MutexGuard<'_, ServiceTotals> {
+        self.totals.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Answers one query: evaluate the program under a fresh per-request
     /// governor, then run the pattern against the computed (or partial)
     /// model. Extensional predicates are served straight from the EDB.
@@ -262,7 +275,8 @@ impl Service {
             EvalOutcome::Interrupted(i) => QueryStatus::Interrupted(i.reason.clone()),
         };
         // The explicit cross-thread fold — see the module docs.
-        if let Ok(mut totals) = self.totals.lock() {
+        {
+            let mut totals = self.lock_totals();
             totals.queries += 1;
             if matches!(status, QueryStatus::Interrupted(_)) {
                 totals.interrupted += 1;
@@ -279,7 +293,14 @@ impl Service {
 
     /// A snapshot of the folded aggregate counters.
     pub fn totals(&self) -> ServiceTotals {
-        self.totals.lock().map(|t| t.clone()).unwrap_or_default()
+        self.lock_totals().clone()
+    }
+
+    /// Replaces the aggregate counters wholesale — the restore half of a
+    /// serve-layer checkpoint (counters persisted before a crash carry on
+    /// instead of restarting from zero).
+    pub fn restore_totals(&self, totals: ServiceTotals) {
+        *self.lock_totals() = totals;
     }
 }
 
@@ -380,6 +401,37 @@ mod tests {
         assert_eq!(a.status, b.status);
         assert_eq!(a.stats.tuples_derived, b.stats.tuples_derived);
         assert_eq!(a.stats.counters, b.stats.counters);
+    }
+
+    /// A worker panicking while holding the totals lock poisons it; the
+    /// service must keep serving real numbers (and keep folding new ones)
+    /// instead of wedging `/metrics` with defaults forever.
+    #[test]
+    fn poisoned_totals_recover_instead_of_wedging() {
+        let s = std::sync::Arc::new(service(WORKLOAD));
+        s.run_query(&req("problems[t, t + 2](database)", None))
+            .unwrap();
+        let before = s.totals();
+        assert_eq!(before.queries, 1);
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = std::sync::Arc::clone(&s);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock_totals();
+            panic!("injected worker panic");
+        })
+        .join();
+        assert!(s.totals.is_poisoned());
+        // Reads still see the true aggregate …
+        assert_eq!(s.totals().queries, 1);
+        // … and new requests still fold into it.
+        s.run_query(&req("problems[t, t + 2](database)", None))
+            .unwrap();
+        let after = s.totals();
+        assert_eq!(after.queries, 2);
+        assert!(after.stats.tuples_derived > before.stats.tuples_derived);
+        // restore_totals also works through the poison.
+        s.restore_totals(ServiceTotals::default());
+        assert_eq!(s.totals().queries, 0);
     }
 
     /// The tentpole regression: N pooled workers answer queries; the

@@ -1,0 +1,235 @@
+//! Durable detector checkpoints: a [`DlCheckpoint`] — the completed
+//! strata's closed forms plus the tripped stratum's simulation prefix —
+//! serialized through `itdb-store` so an interrupted detection can be
+//! resumed by a later process from `t = simulated_to` instead of from
+//! scratch.
+//!
+//! The wire format mirrors the engine checkpoints: one tagged section,
+//! version byte first, every collection length-prefixed. The snapshot
+//! store contributes generations, CRC sections and atomic writes, so a
+//! torn write costs at most the newest generation, never validity.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::epset::EpSet;
+use crate::ground::{DlCheckpoint, FactKey};
+use itdb_lrp::DataValue;
+use itdb_store::{ByteReader, ByteWriter, CodecError, Section, SnapshotStore, StoreError, Written};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Section tag holding the encoded detector checkpoint.
+pub const SEC_DETECTOR: u8 = 1;
+
+fn put_value(w: &mut ByteWriter, v: &DataValue) {
+    match v {
+        DataValue::Sym(s) => {
+            w.put_u8(0);
+            w.put_str(s);
+        }
+        DataValue::Int(i) => {
+            w.put_u8(1);
+            w.put_i64(*i);
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Result<DataValue, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(DataValue::sym(r.get_str()?)),
+        1 => Ok(DataValue::Int(r.get_i64()?)),
+        tag => Err(CodecError(format!("unknown DataValue tag {tag}"))),
+    }
+}
+
+fn put_key(w: &mut ByteWriter, (pred, data): &FactKey) {
+    w.put_str(pred);
+    w.put_usize(data.len());
+    for v in data {
+        put_value(w, v);
+    }
+}
+
+fn get_key(r: &mut ByteReader<'_>) -> Result<FactKey, CodecError> {
+    let pred = r.get_str()?;
+    let n = r.get_usize()?;
+    let mut data = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        data.push(get_value(r)?);
+    }
+    Ok((pred, data))
+}
+
+fn put_u64_set(w: &mut ByteWriter, set: impl ExactSizeIterator<Item = u64>) {
+    w.put_usize(set.len());
+    for x in set {
+        w.put_u64(x);
+    }
+}
+
+fn get_u64_vec(r: &mut ByteReader<'_>) -> Result<Vec<u64>, CodecError> {
+    let n = r.get_usize()?;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(r.get_u64()?);
+    }
+    Ok(out)
+}
+
+fn put_epset(w: &mut ByteWriter, s: &EpSet) {
+    put_u64_set(w, s.initial().iter().copied());
+    w.put_u64(s.offset());
+    w.put_u64(s.period());
+    put_u64_set(w, s.residues().iter().copied());
+}
+
+fn get_epset(r: &mut ByteReader<'_>) -> Result<EpSet, CodecError> {
+    let initial = get_u64_vec(r)?;
+    let offset = r.get_u64()?;
+    let period = r.get_u64()?;
+    let residues = get_u64_vec(r)?;
+    EpSet::from_parts(initial, offset, period.max(1), residues)
+        .map_err(|e| CodecError(format!("invalid EpSet in checkpoint: {e}")))
+}
+
+/// Encodes a detector checkpoint as store sections.
+pub fn encode(cp: &DlCheckpoint) -> Vec<Section> {
+    let mut w = ByteWriter::new();
+    w.put_u8(1); // payload version
+    w.put_usize(cp.completed_strata);
+    w.put_u64(cp.offset);
+    w.put_u64(cp.period);
+    w.put_u64(cp.detected_at);
+    w.put_usize(cp.sets.len());
+    for (key, set) in &cp.sets {
+        put_key(&mut w, key);
+        put_epset(&mut w, set);
+    }
+    w.put_usize(cp.history.len());
+    for step in &cp.history {
+        w.put_usize(step.len());
+        for key in step {
+            put_key(&mut w, key);
+        }
+    }
+    vec![Section::new(SEC_DETECTOR, w.into_bytes())]
+}
+
+/// Decodes sections written by [`encode`].
+pub fn decode(sections: &[Section]) -> Result<DlCheckpoint, CodecError> {
+    let section = sections
+        .iter()
+        .find(|s| s.tag == SEC_DETECTOR)
+        .ok_or_else(|| CodecError("missing detector checkpoint section".into()))?;
+    let mut r = ByteReader::new(&section.payload);
+    let version = r.get_u8()?;
+    if version != 1 {
+        return Err(CodecError(format!(
+            "unknown detector checkpoint version {version}"
+        )));
+    }
+    let completed_strata = r.get_usize()?;
+    let offset = r.get_u64()?;
+    let period = r.get_u64()?;
+    let detected_at = r.get_u64()?;
+    let n_sets = r.get_usize()?;
+    let mut sets = BTreeMap::new();
+    for _ in 0..n_sets {
+        let key = get_key(&mut r)?;
+        let set = get_epset(&mut r)?;
+        sets.insert(key, set);
+    }
+    let n_steps = r.get_usize()?;
+    let mut history = Vec::with_capacity(n_steps.min(1 << 20));
+    for _ in 0..n_steps {
+        let n_facts = r.get_usize()?;
+        let mut step = BTreeSet::new();
+        for _ in 0..n_facts {
+            step.insert(get_key(&mut r)?);
+        }
+        history.push(step);
+    }
+    Ok(DlCheckpoint {
+        completed_strata,
+        sets,
+        offset,
+        period,
+        detected_at,
+        history,
+    })
+}
+
+/// Writes a checkpoint as the next generation of `store`.
+pub fn save(store: &SnapshotStore, cp: &DlCheckpoint) -> Result<Written, StoreError> {
+    store.write(&encode(cp))
+}
+
+/// Loads the newest valid checkpoint from `store`, skipping damaged
+/// generations; `None` if no generation decodes.
+pub fn load_latest(store: &SnapshotStore) -> Result<Option<DlCheckpoint>, StoreError> {
+    let rec = store.load_latest()?;
+    Ok(rec
+        .snapshot
+        .and_then(|(_, sections)| decode(&sections).ok()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DlCheckpoint {
+        let mut sets = BTreeMap::new();
+        sets.insert(
+            ("even".to_string(), vec![]),
+            EpSet::progression(0, 2).unwrap(),
+        );
+        sets.insert(
+            (
+                "route".to_string(),
+                vec![DataValue::sym("liege"), DataValue::int(-3)],
+            ),
+            EpSet::from_finite([1, 4, 9]),
+        );
+        let mut step0 = BTreeSet::new();
+        step0.insert(("p".to_string(), vec![DataValue::sym("a")]));
+        let step1 = BTreeSet::new();
+        let mut step2 = BTreeSet::new();
+        step2.insert(("p".to_string(), vec![DataValue::sym("a")]));
+        step2.insert(("p".to_string(), vec![DataValue::sym("b")]));
+        DlCheckpoint {
+            completed_strata: 2,
+            sets,
+            offset: 7,
+            period: 6,
+            detected_at: 19,
+            history: vec![step0, step1, step2],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_sections() {
+        let cp = sample();
+        let decoded = decode(&encode(&cp)).unwrap();
+        assert_eq!(decoded, cp);
+    }
+
+    #[test]
+    fn save_and_load_latest_through_a_store() {
+        let dir = std::env::temp_dir().join(format!("itdb_dl_cp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(load_latest(&store).unwrap().is_none());
+        let cp = sample();
+        save(&store, &cp).unwrap();
+        assert_eq!(load_latest(&store).unwrap(), Some(cp));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_version_and_missing_section_are_typed_errors() {
+        assert!(decode(&[]).is_err());
+        let mut w = ByteWriter::new();
+        w.put_u8(9);
+        assert!(decode(&[Section::new(SEC_DETECTOR, w.into_bytes())]).is_err());
+    }
+}

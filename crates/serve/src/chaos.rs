@@ -1,0 +1,193 @@
+//! Deterministic fault injection for the serve runtime (feature `chaos`,
+//! test/CI only — never compiled into a default build).
+//!
+//! A [`ChaosConfig`] describes a seeded schedule of faults; [`Chaos`]
+//! executes it against a live server:
+//!
+//! - **worker panics** — every `panic_every`-th request panics inside the
+//!   request handler (caught by the worker's `catch_unwind`, answered
+//!   `500`);
+//! - **worker deaths** — every `kill_every`-th request answers `500` and
+//!   then panics *outside* the catch region, killing the worker thread so
+//!   the supervisor must respawn it;
+//! - **torn checkpoint writes** — every `torn_every`-th background
+//!   checkpoint write is damaged through `itdb-store`'s fault hooks (the
+//!   recovery path must fall back to the previous good generation).
+//!
+//! The schedule is purely counter- and seed-driven: the same config
+//! against the same request sequence injects the same faults, which is
+//! what lets the chaos soak assert exact invariants instead of "it
+//! probably survived".
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_store::PreWriteHook;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The seeded fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Seed for the size/offset stream of injected store faults.
+    pub seed: u64,
+    /// Panic inside the handler on every Nth request (1-based; `None`
+    /// disables).
+    pub panic_every: Option<u64>,
+    /// Kill the worker thread on every Nth request (after answering the
+    /// request with a 500, so no accepted request loses its response).
+    pub kill_every: Option<u64>,
+    /// Damage every Nth background checkpoint write (1-based over the
+    /// writer's write index).
+    pub torn_every: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// Reads the schedule from `ITDB_CHAOS_*` environment variables
+    /// (`SEED`, `PANIC_EVERY`, `KILL_EVERY`, `TORN_EVERY`). Returns `None`
+    /// when no fault is enabled.
+    pub fn from_env() -> Option<ChaosConfig> {
+        let get =
+            |name: &str| -> Option<u64> { std::env::var(name).ok().and_then(|v| v.parse().ok()) };
+        let cfg = ChaosConfig {
+            seed: get("ITDB_CHAOS_SEED").unwrap_or(0),
+            panic_every: get("ITDB_CHAOS_PANIC_EVERY").filter(|&n| n > 0),
+            kill_every: get("ITDB_CHAOS_KILL_EVERY").filter(|&n| n > 0),
+            torn_every: get("ITDB_CHAOS_TORN_EVERY").filter(|&n| n > 0),
+        };
+        (cfg.panic_every.is_some() || cfg.kill_every.is_some() || cfg.torn_every.is_some())
+            .then_some(cfg)
+    }
+}
+
+/// What the schedule says to do with the request just popped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Handle it normally.
+    None,
+    /// Panic inside the handler (caught, answered 500).
+    PanicInHandler,
+    /// Answer 500, then panic outside the catch region (worker dies).
+    KillWorker,
+}
+
+/// Executes a [`ChaosConfig`] against the live request stream.
+#[derive(Debug)]
+pub struct Chaos {
+    config: ChaosConfig,
+    requests: AtomicU64,
+}
+
+impl Chaos {
+    /// A chaos driver for `config`.
+    pub fn new(config: ChaosConfig) -> Self {
+        Chaos {
+            config,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the request counter and returns the scheduled action.
+    /// `KillWorker` wins when both faults land on the same request.
+    pub fn on_request(&self) -> ChaosAction {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.kill_every.is_some_and(|k| n.is_multiple_of(k)) {
+            return ChaosAction::KillWorker;
+        }
+        if self.config.panic_every.is_some_and(|k| n.is_multiple_of(k)) {
+            return ChaosAction::PanicInHandler;
+        }
+        ChaosAction::None
+    }
+
+    /// Requests seen so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// A hook for the background checkpoint writer: arms a seeded torn- or
+    /// short-write fault on every `torn_every`-th write. Runs on the
+    /// writer thread, which is exactly where the store's thread-local
+    /// fault plan must be armed.
+    pub fn pre_write_hook(config: &ChaosConfig) -> Option<PreWriteHook> {
+        let every = config.torn_every?;
+        let seed = config.seed;
+        Some(Box::new(move |write_index| {
+            // 1-based like the request schedule.
+            if !(write_index + 1).is_multiple_of(every) {
+                return;
+            }
+            let r = xorshift64(seed ^ (write_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let kind = if r.is_multiple_of(2) {
+                itdb_store::fault::FaultKind::TornWrite {
+                    keep: (r >> 1) as usize % 64,
+                }
+            } else {
+                itdb_store::fault::FaultKind::ShortWrite {
+                    drop: 1 + (r >> 1) as usize % 32,
+                }
+            };
+            itdb_store::fault::FaultPlan { kind }.arm();
+        }))
+    }
+}
+
+/// The classic xorshift64 step — deterministic, dependency-free.
+fn xorshift64(mut x: u64) -> u64 {
+    x = x.max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_kill_wins_ties() {
+        let chaos = Chaos::new(ChaosConfig {
+            seed: 7,
+            panic_every: Some(3),
+            kill_every: Some(6),
+            torn_every: Option::None, // qualified: ChaosAction::None is glob-imported below
+        });
+        let actions: Vec<ChaosAction> = (0..12).map(|_| chaos.on_request()).collect();
+        use ChaosAction::*;
+        assert_eq!(
+            actions,
+            vec![
+                None,
+                None,
+                PanicInHandler,
+                None,
+                None,
+                KillWorker, // 6 is a multiple of both: kill wins
+                None,
+                None,
+                PanicInHandler,
+                None,
+                None,
+                KillWorker,
+            ]
+        );
+    }
+
+    #[test]
+    fn pre_write_hook_arms_only_on_schedule() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            torn_every: Some(2),
+            ..ChaosConfig::default()
+        };
+        let hook = Chaos::pre_write_hook(&cfg).unwrap();
+        hook(0); // write 1: not a multiple of 2
+        assert!(itdb_store::fault::take_armed().is_none());
+        hook(1); // write 2: armed
+        assert!(itdb_store::fault::take_armed().is_some());
+        assert!(
+            Chaos::pre_write_hook(&ChaosConfig::default()).is_none(),
+            "no torn_every, no hook"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Serve-layer durability: the server's workload state — the folded
+//! [`ServiceTotals`] aggregate — persisted through `itdb-store` on a
+//! background writer, so a SIGKILL'd server resumes its counters on
+//! restart instead of reporting a fresh process as a fresh history.
+//!
+//! The write path is entirely off the request threads: after each query a
+//! worker hands the current totals to a [`BackgroundWriter`] (coalescing,
+//! latest-wins), which encodes nothing on the hot path — encoding happens
+//! here, but it is a few hundred bytes of counters, not a model image.
+//! On bind, [`Durability::open`] walks the store's generations
+//! newest-first and restores the newest totals snapshot that validates,
+//! exactly like engine checkpoints recover past torn writes.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::{EvalStats, ServiceTotals};
+use itdb_store::{
+    BackgroundWriter, BgWriterStats, ByteReader, ByteWriter, CodecError, PreWriteHook, Section,
+    SnapshotStore,
+};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Section tag holding the encoded totals.
+pub const SEC_TOTALS: u8 = 1;
+
+/// Encodes the totals as store sections (format: version byte, then the
+/// counters in declaration order; strata are a per-evaluation notion and
+/// stay empty, matching [`ServiceTotals::stats`]'s contract).
+pub fn encode_totals(t: &ServiceTotals) -> Vec<Section> {
+    let mut w = ByteWriter::new();
+    w.put_u8(1); // payload version
+    w.put_u64(t.queries);
+    w.put_u64(t.interrupted);
+    w.put_u64(t.stats.tuples_derived);
+    w.put_u64(t.stats.tuples_inserted);
+    w.put_u64(t.stats.tuples_subsumed);
+    let c = &t.stats.counters;
+    w.put_u64(c.canonicalize_calls);
+    w.put_u64(c.canonical_cache_hits);
+    w.put_u64(c.canonical_cache_misses);
+    w.put_u64(c.empty_cache_hits);
+    w.put_u64(c.empty_cache_misses);
+    w.put_u64(c.subsumption_checks);
+    w.put_u64(c.index_candidates);
+    w.put_u64(c.index_scanned_naive);
+    w.put_u64(u64::try_from(t.stats.elapsed.as_micros()).unwrap_or(u64::MAX));
+    vec![Section::new(SEC_TOTALS, w.into_bytes())]
+}
+
+/// Decodes totals encoded by [`encode_totals`].
+pub fn decode_totals(sections: &[Section]) -> Result<ServiceTotals, CodecError> {
+    let section = sections
+        .iter()
+        .find(|s| s.tag == SEC_TOTALS)
+        .ok_or_else(|| CodecError("missing totals section".into()))?;
+    let mut r = ByteReader::new(&section.payload);
+    let version = r.get_u8()?;
+    if version != 1 {
+        return Err(CodecError(format!("unknown totals version {version}")));
+    }
+    let queries = r.get_u64()?;
+    let interrupted = r.get_u64()?;
+    let mut stats = EvalStats {
+        tuples_derived: r.get_u64()?,
+        tuples_inserted: r.get_u64()?,
+        tuples_subsumed: r.get_u64()?,
+        ..EvalStats::default()
+    };
+    stats.counters.canonicalize_calls = r.get_u64()?;
+    stats.counters.canonical_cache_hits = r.get_u64()?;
+    stats.counters.canonical_cache_misses = r.get_u64()?;
+    stats.counters.empty_cache_hits = r.get_u64()?;
+    stats.counters.empty_cache_misses = r.get_u64()?;
+    stats.counters.subsumption_checks = r.get_u64()?;
+    stats.counters.index_candidates = r.get_u64()?;
+    stats.counters.index_scanned_naive = r.get_u64()?;
+    stats.elapsed = Duration::from_micros(r.get_u64()?);
+    Ok(ServiceTotals {
+        queries,
+        interrupted,
+        stats,
+    })
+}
+
+/// The serve-layer checkpoint machinery: a snapshot store plus its
+/// background writer.
+pub struct Durability {
+    writer: BackgroundWriter,
+}
+
+impl Durability {
+    /// Opens (or creates) the checkpoint directory, restores the newest
+    /// valid totals snapshot if one exists, and spawns the background
+    /// writer. Damaged generations are skipped, not fatal.
+    pub fn open(dir: &Path) -> io::Result<(Durability, Option<ServiceTotals>)> {
+        Self::open_with_hook(dir, None)
+    }
+
+    /// Like [`open`](Self::open), with a pre-write hook run on the writer
+    /// thread before each write (the chaos harness arms store fault plans
+    /// through this).
+    pub fn open_with_hook(
+        dir: &Path,
+        hook: Option<PreWriteHook>,
+    ) -> io::Result<(Durability, Option<ServiceTotals>)> {
+        let store = Arc::new(SnapshotStore::open(dir).map_err(io::Error::other)?);
+        let restored = match store.load_latest() {
+            Ok(rec) => rec
+                .snapshot
+                .and_then(|(_, sections)| decode_totals(&sections).ok()),
+            Err(_) => None,
+        };
+        let writer = BackgroundWriter::spawn_with_hook(store, hook)?;
+        Ok((Durability { writer }, restored))
+    }
+
+    /// Hands the current totals to the background writer (latest-wins
+    /// coalescing; never blocks on I/O).
+    pub fn submit(&self, totals: &ServiceTotals) {
+        self.writer.submit(encode_totals(totals));
+    }
+
+    /// Waits for the slot to drain (graceful shutdown).
+    pub fn flush(&self, timeout: Duration) -> bool {
+        self.writer.flush(timeout)
+    }
+
+    /// The background writer's counters.
+    pub fn stats(&self) -> BgWriterStats {
+        self.writer.stats()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample_totals() -> ServiceTotals {
+        let mut t = ServiceTotals {
+            queries: 7,
+            interrupted: 2,
+            ..ServiceTotals::default()
+        };
+        t.stats.tuples_derived = 100;
+        t.stats.tuples_inserted = 60;
+        t.stats.tuples_subsumed = 40;
+        t.stats.counters.subsumption_checks = 500;
+        t.stats.counters.index_candidates = 9;
+        t.stats.elapsed = Duration::from_micros(123_456);
+        t
+    }
+
+    #[test]
+    fn totals_round_trip_through_sections() {
+        let t = sample_totals();
+        let decoded = decode_totals(&encode_totals(&t)).unwrap();
+        assert_eq!(decoded.queries, t.queries);
+        assert_eq!(decoded.interrupted, t.interrupted);
+        assert_eq!(decoded.stats.tuples_derived, t.stats.tuples_derived);
+        assert_eq!(decoded.stats.counters, t.stats.counters);
+        assert_eq!(decoded.stats.elapsed, t.stats.elapsed);
+    }
+
+    #[test]
+    fn open_restores_what_a_previous_writer_persisted() {
+        let dir = std::env::temp_dir().join(format!("itdb_serve_dur_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (d, restored) = Durability::open(&dir).unwrap();
+            assert!(restored.is_none(), "fresh dir has nothing to restore");
+            d.submit(&sample_totals());
+            assert!(d.flush(Duration::from_secs(10)));
+        }
+        let (_d, restored) = Durability::open(&dir).unwrap();
+        let restored = restored.unwrap();
+        assert_eq!(restored.queries, 7);
+        assert_eq!(restored.stats.counters.subsumption_checks, 500);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -70,6 +70,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client may reuse this connection: HTTP/1.1 defaults to
+    /// keep-alive unless `Connection: close`; HTTP/1.0 defaults to close
+    /// unless `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -170,11 +174,21 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
         body.resize(len, 0);
         io::Read::read_exact(r, &mut body).map_err(|e| ParseError::Io(e.to_string()))?;
     }
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
         body,
+        keep_alive,
     })
 }
 
@@ -201,12 +215,30 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with(w, status, content_type, body, false, &[])
+}
+
+/// Writes one complete response, choosing the `Connection` disposition and
+/// appending `extra` headers (e.g. `Retry-After`) verbatim.
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -301,6 +333,40 @@ mod tests {
         raw.push_str(" HTTP/1.1\r\n\r\n");
         let err = parse(raw.as_bytes()).unwrap_err();
         assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_headers() {
+        let default_11 = parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(default_11.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let close_11 = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close_11.keep_alive);
+        let default_10 = parse(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert!(!default_10.keep_alive, "HTTP/1.0 defaults to close");
+        let keep_10 = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(keep_10.keep_alive);
+    }
+
+    #[test]
+    fn write_response_with_sets_connection_and_extra_headers() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "application/json",
+            b"{}",
+            false,
+            &[("Retry-After", "2")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response_with(&mut out, 200, "text/plain", b"ok\n", true, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

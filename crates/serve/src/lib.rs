@@ -30,9 +30,15 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
+pub mod durability;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod shed;
 
+pub use durability::Durability;
 pub use metrics::HttpMetrics;
 pub use server::{ServeConfig, Server};
+pub use shed::{Admission, AdmissionControl};

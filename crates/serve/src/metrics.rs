@@ -2,26 +2,41 @@
 //! evaluation counters into one `/metrics` exposition document.
 //!
 //! Request counters are keyed by `(method, route, status)`; latency is a
-//! per-route running sum + count pair (enough for rate/mean in Prometheus
-//! without histogram buckets, which would be overkill for this server).
+//! fixed-bucket histogram per key (`itdb_http_request_seconds` with
+//! `_bucket`/`_sum`/`_count` samples), so Prometheus can answer quantile
+//! questions instead of just rate/mean. The supervision counters —
+//! worker panics, respawns, shed requests — live here too, as plain
+//! atomics that survive a poisoned registry lock.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use itdb_trace::prom::PromText;
+use itdb_trace::prom::{HistogramSeries, PromText};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Upper bounds of the request-latency histogram, in seconds (`+Inf` is
+/// implicit). Spans sub-millisecond health checks to multi-second
+/// governed evaluations.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5];
 
 #[derive(Debug, Default, Clone)]
 struct RouteStat {
     count: u64,
     seconds: f64,
+    /// Raw (non-cumulative) observation counts per bucket; the last slot
+    /// is the overflow (`+Inf`) bucket.
+    buckets: [u64; LATENCY_BUCKETS.len() + 1],
 }
 
 /// Thread-safe HTTP request accounting for `/metrics`.
 #[derive(Debug, Default)]
 pub struct HttpMetrics {
     by_key: Mutex<BTreeMap<(String, String, u16), RouteStat>>,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    requests_shed: AtomicU64,
 }
 
 impl HttpMetrics {
@@ -30,31 +45,67 @@ impl HttpMetrics {
         Self::default()
     }
 
+    /// The registry holds only counters, so a panic mid-update leaves it
+    /// valid; recover from poison instead of silently dropping samples
+    /// (and eventually serving an empty `/metrics`).
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(String, String, u16), RouteStat>> {
+        self.by_key.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Records one finished request.
     pub fn record(&self, method: &str, route: &str, status: u16, elapsed: Duration) {
-        if let Ok(mut map) = self.by_key.lock() {
-            let stat = map
-                .entry((method.to_string(), route.to_string(), status))
-                .or_default();
-            stat.count += 1;
-            stat.seconds += elapsed.as_secs_f64();
-        }
+        let secs = elapsed.as_secs_f64();
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        let mut map = self.lock();
+        let stat = map
+            .entry((method.to_string(), route.to_string(), status))
+            .or_default();
+        stat.count += 1;
+        stat.seconds += secs;
+        stat.buckets[bucket] += 1;
     }
 
     /// Total requests recorded across every key (for tests/diagnostics).
     pub fn total(&self) -> u64 {
-        self.by_key
-            .lock()
-            .map(|m| m.values().map(|s| s.count).sum())
-            .unwrap_or(0)
+        self.lock().values().map(|s| s.count).sum()
     }
 
-    /// Writes the `itdb_http_*` families into `p`.
+    /// Counts one caught worker panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker panics caught so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Counts one supervisor respawn of a dead worker.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Workers respawned so far.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn requests_shed(&self) -> u64 {
+        self.requests_shed.load(Ordering::Relaxed)
+    }
+
+    /// Writes the `itdb_http_*` and supervision families into `p`.
     pub fn write_into(&self, p: &mut PromText) {
-        let map = match self.by_key.lock() {
-            Ok(m) => m.clone(),
-            Err(_) => return,
-        };
+        let map = self.lock().clone();
         let status_strings: Vec<(String, String, String)> = map
             .keys()
             .map(|(m, r, s)| (m.clone(), r.clone(), s.to_string()))
@@ -79,25 +130,47 @@ impl HttpMetrics {
             "counter",
             &count_samples,
         );
-        let latency_samples: Vec<(Vec<(&str, &str)>, f64)> = map
+        let histogram_series: Vec<HistogramSeries<'_>> = map
             .values()
             .zip(&status_strings)
             .map(|(stat, (m, r, s))| {
+                let mut cumulative = Vec::with_capacity(stat.buckets.len());
+                let mut acc = 0u64;
+                for &raw in &stat.buckets {
+                    acc += raw;
+                    cumulative.push(acc);
+                }
                 (
                     vec![
                         ("method", m.as_str()),
                         ("route", r.as_str()),
                         ("status", s.as_str()),
                     ],
+                    cumulative,
                     stat.seconds,
                 )
             })
             .collect();
-        p.family(
-            "itdb_http_request_seconds_total",
-            "Cumulative wall clock spent serving requests, by method, route and status.",
-            "counter",
-            &latency_samples,
+        p.histogram(
+            "itdb_http_request_seconds",
+            "Request latency, by method, route and status.",
+            &LATENCY_BUCKETS,
+            &histogram_series,
+        );
+        p.counter(
+            "itdb_worker_panics_total",
+            "Worker panics caught while handling a request (answered 500).",
+            self.worker_panics(),
+        );
+        p.counter(
+            "itdb_worker_respawns_total",
+            "Dead workers replaced by the supervisor.",
+            self.worker_respawns(),
+        );
+        p.counter(
+            "itdb_http_requests_shed_total",
+            "Requests shed by admission control with a fast 503.",
+            self.requests_shed(),
         );
     }
 }
@@ -130,8 +203,83 @@ mod tests {
             "{text}"
         );
         assert!(
-            text.contains("# TYPE itdb_http_request_seconds_total counter"),
+            text.contains("# TYPE itdb_http_request_seconds histogram"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_cumulative_per_key() {
+        let m = HttpMetrics::new();
+        // 1ms lands in the first bucket (le=0.001), 5ms in le=0.005, and
+        // 10s in the overflow bucket.
+        m.record("GET", "/healthz", 200, Duration::from_millis(1));
+        m.record("GET", "/healthz", 200, Duration::from_millis(5));
+        m.record("GET", "/healthz", 200, Duration::from_secs(10));
+        let mut p = PromText::new();
+        m.write_into(&mut p);
+        let text = p.finish();
+        let labels = "method=\"GET\",route=\"/healthz\",status=\"200\"";
+        assert!(
+            text.contains(&format!(
+                "itdb_http_request_seconds_bucket{{{labels},le=\"0.001\"}} 1\n"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "itdb_http_request_seconds_bucket{{{labels},le=\"0.005\"}} 2\n"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "itdb_http_request_seconds_bucket{{{labels},le=\"2.5\"}} 2\n"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "itdb_http_request_seconds_bucket{{{labels},le=\"+Inf\"}} 3\n"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("itdb_http_request_seconds_count{{{labels}}} 3\n")),
+            "{text}"
+        );
+        // The sum carries the 10s outlier.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("itdb_http_request_seconds_sum{{{labels}}}")))
+            .unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(sum > 10.0, "{sum_line}");
+    }
+
+    #[test]
+    fn supervision_counters_render_and_survive_poison() {
+        let m = std::sync::Arc::new(HttpMetrics::new());
+        m.record("GET", "/healthz", 200, Duration::from_millis(1));
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_shed();
+        m.record_shed();
+        // Poison the registry lock …
+        let p = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.lock();
+            panic!("injected");
+        })
+        .join();
+        // … and everything still records and renders.
+        m.record("GET", "/healthz", 200, Duration::from_millis(1));
+        assert_eq!(m.total(), 2);
+        let mut p = PromText::new();
+        m.write_into(&mut p);
+        let text = p.finish();
+        assert!(text.contains("itdb_worker_panics_total 1"), "{text}");
+        assert!(text.contains("itdb_worker_respawns_total 1"), "{text}");
+        assert!(text.contains("itdb_http_requests_shed_total 2"), "{text}");
     }
 }

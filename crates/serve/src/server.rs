@@ -1,5 +1,5 @@
-//! The serve loop: a `TcpListener`, a fixed worker pool, and the four
-//! endpoints (`/healthz`, `/metrics`, `/query`, `/events`).
+//! The serve loop: a `TcpListener`, a supervised worker pool, and the
+//! four endpoints (`/healthz`, `/metrics`, `/query`, `/events`).
 //!
 //! ## Concurrency model
 //!
@@ -11,31 +11,61 @@
 //! observe nothing — which is how `/events` subscribers see the typed
 //! events of evaluations running on any worker.
 //!
+//! ## Self-healing
+//!
+//! The acceptor doubles as a **supervisor**: every pass over the accept
+//! loop it checks each worker's `JoinHandle::is_finished()` and respawns
+//! dead workers in place (counted in `itdb_worker_respawns_total`, traced
+//! as `worker_respawn`). Inside a worker, each connection is handled
+//! under `catch_unwind`: a panicking handler answers `500`, bumps
+//! `itdb_worker_panics_total`, and the worker lives on. A panic can
+//! therefore degrade one request, never the pool.
+//!
+//! ## Admission control
+//!
+//! Accepted connections are stamped on enqueue. When a worker pops one,
+//! [`AdmissionControl`] compares time-already-waited plus the EWMA of
+//! observed service times against `queue_deadline`: requests that would
+//! expire in line are shed with a fast `503` and a computed
+//! `Retry-After`, and under sustained queue pressure the *default* fuel
+//! ceiling is tightened (halved, then quartered) so the backlog drains.
+//! Requests with an explicit `X-Itdb-Fuel` header are never tightened.
+//!
+//! ## Durability
+//!
+//! With `checkpoint_dir` set, the folded [`ServiceTotals`] aggregate is
+//! handed to a background writer after every query (coalescing,
+//! latest-wins, fsync off the request path) and restored on the next
+//! bind — a SIGKILL'd server resumes its workload counters.
+//!
+//! [`ServiceTotals`]: itdb_core::ServiceTotals
+//!
 //! Every `/query` request evaluates under its own governor
 //! ([`itdb_core::Service`]), so one request's fuel exhaustion or deadline
-//! is invisible to its neighbors, and per-request statistics are folded
-//! into the service aggregate explicitly rather than read from
-//! (worker-thread-local, hence misleading) counters at render time.
-//!
-//! Graceful shutdown: cancelling the token stops the acceptor, closes the
-//! queue, and lets workers finish their in-flight requests; `/events`
-//! streams notice the token within one poll interval and terminate their
-//! chunked response cleanly.
+//! is invisible to its neighbors. Graceful shutdown: cancelling the token
+//! stops the acceptor, closes the queue, and lets workers finish their
+//! in-flight requests.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+#[cfg(feature = "chaos")]
+use crate::chaos::{Chaos, ChaosAction};
+use crate::durability::Durability;
 use crate::http::{self, ParseError, Request};
 use crate::metrics::HttpMetrics;
+use crate::shed::{Admission, AdmissionControl};
 use itdb_core::{
     write_metrics_into, CancelToken, QueryRequest, Service, ServiceDefaults, Workload,
 };
 use itdb_trace::prom::PromText;
-use itdb_trace::{FanoutSink, Sink};
+use itdb_trace::{EventKind, FanoutSink, Sink};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::thread;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server`]; `Default` is sized for CI and small
@@ -61,6 +91,22 @@ pub struct ServeConfig {
     /// How often an idle `/events` stream emits a blank keepalive line
     /// (also bounds how fast a dead client is noticed).
     pub events_keepalive: Duration,
+    /// Total time a request may spend queued plus (expected) in service
+    /// before admission control sheds it with `503` + `Retry-After`.
+    pub queue_deadline: Duration,
+    /// Requests served per keep-alive connection before the server closes
+    /// it (bounds how long one client can monopolise a worker).
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it silently.
+    pub keepalive_idle: Duration,
+    /// Directory for serve-state checkpoints (`None` = not durable). The
+    /// folded query totals are written here in the background and
+    /// restored on the next bind.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Seeded fault-injection schedule (chaos testing only).
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<crate::chaos::ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +119,12 @@ impl Default for ServeConfig {
             defaults: ServiceDefaults::default(),
             events_queue_cap: 1024,
             events_keepalive: Duration::from_secs(5),
+            queue_deadline: Duration::from_secs(5),
+            max_requests_per_conn: 32,
+            keepalive_idle: Duration::from_secs(5),
+            checkpoint_dir: None,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -85,12 +137,18 @@ pub struct Server {
     service: Arc<Service>,
     fanout: Arc<FanoutSink>,
     metrics: Arc<HttpMetrics>,
+    admission: Arc<AdmissionControl>,
+    durability: Option<Arc<Durability>>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<Arc<Chaos>>,
     config: ServeConfig,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7464`, or port `0` for an ephemeral
-    /// port in tests) and prepares the workload for serving.
+    /// port in tests) and prepares the workload for serving. With
+    /// `checkpoint_dir` set, restores the newest valid totals snapshot
+    /// before accepting traffic.
     pub fn bind(
         addr: impl ToSocketAddrs,
         workload: Workload,
@@ -99,6 +157,26 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let service = Arc::new(Service::new(workload, config.defaults.clone()));
+        let durability = match &config.checkpoint_dir {
+            Some(dir) => {
+                #[cfg(feature = "chaos")]
+                let hook = config.chaos.as_ref().and_then(Chaos::pre_write_hook);
+                #[cfg(not(feature = "chaos"))]
+                let hook = None;
+                let (d, restored) = Durability::open_with_hook(dir, hook)?;
+                if let Some(totals) = restored {
+                    service.restore_totals(totals);
+                }
+                Some(Arc::new(d))
+            }
+            None => None,
+        };
+        let admission = Arc::new(AdmissionControl::new(
+            config.workers.max(1),
+            config.max_queued.max(1),
+        ));
+        #[cfg(feature = "chaos")]
+        let chaos = config.chaos.clone().map(|c| Arc::new(Chaos::new(c)));
         let fanout = Arc::new(FanoutSink::new(config.events_queue_cap));
         Ok(Server {
             listener,
@@ -106,6 +184,10 @@ impl Server {
             service,
             fanout,
             metrics: Arc::new(HttpMetrics::new()),
+            admission,
+            durability,
+            #[cfg(feature = "chaos")]
+            chaos,
             config,
         })
     }
@@ -121,42 +203,65 @@ impl Server {
     }
 
     /// Runs the accept loop until `shutdown` is cancelled, then drains
-    /// in-flight requests and joins the workers.
+    /// in-flight requests, joins the workers, and flushes pending
+    /// checkpoints. The acceptor supervises the pool: dead workers are
+    /// respawned in place.
     pub fn run(self, shutdown: &CancelToken) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = sync_channel::<TcpStream>(self.config.max_queued);
+        let (tx, rx) = sync_channel::<QueuedConn>(self.config.max_queued);
         let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(self.config.workers);
-        for i in 0..self.config.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let ctx = WorkerCtx {
-                service: Arc::clone(&self.service),
-                fanout: Arc::clone(&self.fanout),
-                metrics: Arc::clone(&self.metrics),
-                config: self.config.clone(),
-                shutdown: shutdown.clone(),
-            };
-            let handle = thread::Builder::new()
-                .name(format!("itdb-serve-{i}"))
-                .spawn(move || worker_loop(&rx, &ctx))?;
-            workers.push(handle);
+        let ctx = Arc::new(WorkerCtx {
+            service: Arc::clone(&self.service),
+            fanout: Arc::clone(&self.fanout),
+            metrics: Arc::clone(&self.metrics),
+            admission: Arc::clone(&self.admission),
+            durability: self.durability.clone(),
+            #[cfg(feature = "chaos")]
+            chaos: self.chaos.clone(),
+            config: self.config.clone(),
+            shutdown: shutdown.clone(),
+        });
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(ctx.config.workers.max(1));
+        for i in 0..ctx.config.workers.max(1) {
+            workers.push(spawn_worker(i, &rx, &ctx)?);
         }
+        // The supervisor thread also installs the fan-out sink so the
+        // respawn events it emits reach /events subscribers (the trace
+        // registry is thread-local).
+        let sink_id = itdb_trace::add_sink(Arc::clone(&self.fanout) as Arc<dyn Sink>);
         while !shutdown.is_cancelled() {
+            for (i, slot) in workers.iter_mut().enumerate() {
+                if slot.is_finished() {
+                    let dead = std::mem::replace(slot, spawn_worker(i, &rx, &ctx)?);
+                    let _ = dead.join(); // collect the panic payload
+                    self.metrics.record_worker_respawn();
+                    itdb_trace::emit(|| EventKind::WorkerRespawn { worker: i as u64 });
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_read_timeout(Some(self.config.read_timeout));
                     let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                    match tx.try_send(stream) {
+                    self.admission.on_enqueue();
+                    let conn = QueuedConn {
+                        stream,
+                        enqueued: Instant::now(),
+                    };
+                    match tx.try_send(conn) {
                         Ok(()) => {}
-                        Err(TrySendError::Full(mut stream))
-                        | Err(TrySendError::Disconnected(mut stream)) => {
+                        Err(TrySendError::Full(conn)) | Err(TrySendError::Disconnected(conn)) => {
                             // Best-effort 503 straight from the acceptor;
                             // never block accepting on a full pool.
-                            let _ = http::write_response(
+                            self.admission.on_dequeue();
+                            let retry = self.admission.retry_after_s().to_string();
+                            let mut stream = conn.stream;
+                            let _ = http::write_response_with(
                                 &mut stream,
                                 503,
                                 "application/json",
                                 b"{\"error\":\"server at capacity, retry later\"}",
+                                false,
+                                &[("Retry-After", retry.as_str())],
                             );
                             self.metrics
                                 .record("-", "(queue-full)", 503, Duration::ZERO);
@@ -176,9 +281,19 @@ impl Server {
         for handle in workers {
             let _ = handle.join();
         }
+        if let Some(d) = &self.durability {
+            let _ = d.flush(Duration::from_secs(5));
+        }
+        itdb_trace::remove_sink(sink_id);
         itdb_trace::flush_sinks();
         Ok(())
     }
+}
+
+/// One accepted connection, stamped for the queue-deadline check.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued: Instant,
 }
 
 /// Everything a worker needs, bundled so the spawn closure stays small.
@@ -186,26 +301,138 @@ struct WorkerCtx {
     service: Arc<Service>,
     fanout: Arc<FanoutSink>,
     metrics: Arc<HttpMetrics>,
+    admission: Arc<AdmissionControl>,
+    durability: Option<Arc<Durability>>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<Arc<Chaos>>,
     config: ServeConfig,
     shutdown: CancelToken,
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx) {
+fn spawn_worker(
+    index: usize,
+    rx: &Arc<Mutex<Receiver<QueuedConn>>>,
+    ctx: &Arc<WorkerCtx>,
+) -> io::Result<JoinHandle<()>> {
+    let rx = Arc::clone(rx);
+    let ctx = Arc::clone(ctx);
+    thread::Builder::new()
+        .name(format!("itdb-serve-{index}"))
+        .spawn(move || worker_loop(index as u64, &rx, &ctx))
+}
+
+fn worker_loop(worker: u64, rx: &Mutex<Receiver<QueuedConn>>, ctx: &WorkerCtx) {
     // The trace registry is thread-local: the fan-out sink must be
     // installed *here*, on the evaluating thread, or `/events`
     // subscribers would never see this worker's evaluations.
     let sink_id = itdb_trace::add_sink(Arc::clone(&ctx.fanout) as Arc<dyn Sink>);
     loop {
-        let stream = {
-            let Ok(guard) = rx.lock() else { break };
+        let conn = {
+            // A worker that died holding this lock must not wedge the
+            // rest of the pool: the receiver has no invariant a panic
+            // could have broken, so recover from poison.
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
             guard.recv()
         };
-        match stream {
-            Ok(stream) => handle_connection(stream, ctx),
-            Err(_) => break, // acceptor hung up: graceful shutdown
-        }
+        let Ok(conn) = conn else { break }; // acceptor hung up: shutdown
+        ctx.admission.on_dequeue();
+        serve_connection(worker, conn, ctx);
     }
     itdb_trace::remove_sink(sink_id);
+}
+
+/// Admission check, chaos schedule, then the panic-isolated handler.
+fn serve_connection(worker: u64, conn: QueuedConn, ctx: &WorkerCtx) {
+    let waited = conn.enqueued.elapsed();
+    let mut stream = conn.stream;
+    if let Admission::Shed { retry_after_s } =
+        ctx.admission.verdict(waited, ctx.config.queue_deadline)
+    {
+        // This request would blow its queue deadline anyway: a fast 503
+        // with a computed backoff beats burning a worker on an answer
+        // nobody is waiting for. Drain the request bytes first — closing
+        // with unread data would RST the socket before the client reads
+        // the response.
+        if let Ok(clone) = stream.try_clone() {
+            let _ = http::read_request(&mut BufReader::new(clone));
+        }
+        let retry = retry_after_s.to_string();
+        let _ = http::write_response_with(
+            &mut stream,
+            503,
+            "application/json",
+            &json_error("overloaded: queue deadline would expire, retry later"),
+            false,
+            &[("Retry-After", retry.as_str())],
+        );
+        ctx.metrics.record_shed();
+        ctx.metrics.record("-", "(shed)", 503, Duration::ZERO);
+        itdb_trace::emit(|| EventKind::RequestShed {
+            waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+            retry_after_s,
+        });
+        return;
+    }
+    #[cfg(feature = "chaos")]
+    let action = match &ctx.chaos {
+        Some(c) => c.on_request(),
+        None => ChaosAction::None,
+    };
+    #[cfg(feature = "chaos")]
+    if action == ChaosAction::KillWorker {
+        // Answer before dying — no accepted request may lose its
+        // response — then panic *outside* the catch region so the
+        // supervisor has a real death to heal.
+        if let Ok(clone) = stream.try_clone() {
+            let _ = http::read_request(&mut BufReader::new(clone));
+        }
+        let _ = http::write_response(
+            &mut stream,
+            500,
+            "application/json",
+            &json_error("chaos: worker killed"),
+        );
+        ctx.metrics.record("-", "(chaos-kill)", 500, Duration::ZERO);
+        panic!("chaos: scheduled worker death");
+    }
+    let panic_writer = stream.try_clone().ok();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "chaos")]
+        if action == ChaosAction::PanicInHandler {
+            panic!("chaos: scheduled handler panic");
+        }
+        handle_connection(stream, ctx);
+    }));
+    if let Err(payload) = caught {
+        let detail = panic_detail(payload.as_ref());
+        ctx.metrics.record_worker_panic();
+        ctx.metrics.record("-", "(panic)", 500, Duration::ZERO);
+        itdb_trace::emit(|| EventKind::WorkerPanic { worker, detail });
+        if let Some(mut w) = panic_writer {
+            // Best-effort drain of whatever the client sent (the handler
+            // may have died before reading it): closing with unread data
+            // would RST the socket before the 500 reaches the client.
+            let _ = w.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut buf = [0u8; 4096];
+            while matches!(io::Read::read(&mut w, &mut buf), Ok(n) if n > 0) {}
+            let _ = http::write_response(
+                &mut w,
+                500,
+                "application/json",
+                &json_error("internal error: request handler panicked"),
+            );
+        }
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn json_error(msg: &str) -> Vec<u8> {
@@ -217,59 +444,94 @@ fn json_error(msg: &str) -> Vec<u8> {
 }
 
 fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
-    let started = Instant::now();
     let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    let req = match http::read_request(&mut reader) {
-        Ok(req) => req,
-        Err(ParseError::ConnectionClosed) => return,
-        Err(e) => {
-            let status = e.status();
-            let _ = http::write_response(
-                &mut writer,
-                status,
-                "application/json",
-                &json_error(&e.to_string()),
-            );
-            ctx.metrics
-                .record("-", "(parse-error)", status, started.elapsed());
+    let max = ctx.config.max_requests_per_conn.max(1);
+    for served in 0..max {
+        if served > 0 {
+            // Between keep-alive requests, wait only the idle budget
+            // (the clone shares the fd, so this governs the reader too).
+            let _ = writer.set_read_timeout(Some(ctx.config.keepalive_idle));
+        }
+        let started = Instant::now();
+        let req = match http::read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ParseError::ConnectionClosed) => return,
+            // Idle keep-alive expiry between requests: close silently.
+            Err(ParseError::Io(_)) if served > 0 => return,
+            Err(e) => {
+                let status = e.status();
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    &json_error(&e.to_string()),
+                );
+                ctx.metrics
+                    .record("-", "(parse-error)", status, started.elapsed());
+                return;
+            }
+        };
+        let path = req.path.split('?').next().unwrap_or("").to_string();
+        // /events streams until shutdown and always closes; everything
+        // else may keep the connection, bounded per connection.
+        let keep = req.keep_alive && served + 1 < max && path != "/events";
+        let status = match (req.method.as_str(), path.as_str()) {
+            ("GET", "/healthz") => serve_healthz(&mut writer, keep),
+            ("GET", "/metrics") => serve_metrics(&mut writer, ctx, keep),
+            ("POST", "/query") => serve_query(&mut writer, &req, ctx, keep),
+            ("GET", "/events") => serve_events(&mut writer, ctx),
+            (_, "/healthz" | "/metrics" | "/query" | "/events") => {
+                let body = json_error("method not allowed");
+                let _ = http::write_response_with(
+                    &mut writer,
+                    405,
+                    "application/json",
+                    &body,
+                    keep,
+                    &[],
+                );
+                405
+            }
+            _ => {
+                let body = json_error(&format!("no such endpoint `{path}`"));
+                let _ = http::write_response_with(
+                    &mut writer,
+                    404,
+                    "application/json",
+                    &body,
+                    keep,
+                    &[],
+                );
+                404
+            }
+        };
+        let route = match path.as_str() {
+            "/healthz" | "/metrics" | "/query" | "/events" => path.as_str(),
+            _ => "(other)",
+        };
+        let elapsed = started.elapsed();
+        ctx.metrics.record(&req.method, route, status, elapsed);
+        if route != "/events" {
+            // /events lives for the stream's whole duration; folding it
+            // into the EWMA would poison admission control.
+            ctx.admission.observe_service(elapsed);
+        }
+        if !keep || path == "/events" {
             return;
         }
-    };
-    let path = req.path.split('?').next().unwrap_or("").to_string();
-    let status = match (req.method.as_str(), path.as_str()) {
-        ("GET", "/healthz") => serve_healthz(&mut writer),
-        ("GET", "/metrics") => serve_metrics(&mut writer, ctx),
-        ("POST", "/query") => serve_query(&mut writer, &req, ctx),
-        ("GET", "/events") => serve_events(&mut writer, ctx),
-        (_, "/healthz" | "/metrics" | "/query" | "/events") => {
-            let body = json_error("method not allowed");
-            let _ = http::write_response(&mut writer, 405, "application/json", &body);
-            405
-        }
-        _ => {
-            let body = json_error(&format!("no such endpoint `{path}`"));
-            let _ = http::write_response(&mut writer, 404, "application/json", &body);
-            404
-        }
-    };
-    let route = match path.as_str() {
-        "/healthz" | "/metrics" | "/query" | "/events" => path.as_str(),
-        _ => "(other)",
-    };
-    ctx.metrics
-        .record(&req.method, route, status, started.elapsed());
+    }
 }
 
-fn serve_healthz(w: &mut impl Write) -> u16 {
-    let _ = http::write_response(w, 200, "text/plain; charset=utf-8", b"ok\n");
+fn serve_healthz(w: &mut impl Write, keep: bool) -> u16 {
+    let _ = http::write_response_with(w, 200, "text/plain; charset=utf-8", b"ok\n", keep, &[]);
     200
 }
 
-fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx) -> u16 {
+fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx, keep: bool) -> u16 {
     let totals = ctx.service.totals();
     let mut p = PromText::new();
     write_metrics_into(&mut p, &totals.stats, None, None);
@@ -293,35 +555,69 @@ fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx) -> u16 {
         "Events dropped across all /events subscribers (bounded queues).",
         ctx.fanout.dropped_total(),
     );
+    p.gauge(
+        "itdb_http_queue_depth",
+        "Connections accepted but not yet picked up by a worker.",
+        ctx.admission.depth() as f64,
+    );
+    p.gauge(
+        "itdb_http_service_time_ewma_seconds",
+        "Smoothed observed request service time (admission control).",
+        ctx.admission.ewma_us() as f64 / 1e6,
+    );
+    if let Some(d) = &ctx.durability {
+        let s = d.stats();
+        p.counter(
+            "itdb_serve_checkpoint_writes_total",
+            "Serve-state checkpoint generations written in the background.",
+            s.written,
+        );
+        p.counter(
+            "itdb_serve_checkpoint_failures_total",
+            "Serve-state checkpoint writes that failed.",
+            s.failed,
+        );
+        p.counter(
+            "itdb_serve_checkpoint_coalesced_total",
+            "Serve-state checkpoint submissions coalesced before writing.",
+            s.coalesced,
+        );
+    }
     ctx.metrics.write_into(&mut p);
     let body = p.finish();
-    let _ = http::write_response(
+    let _ = http::write_response_with(
         w,
         200,
         "text/plain; version=0.0.4; charset=utf-8",
         body.as_bytes(),
+        keep,
+        &[],
     );
     200
 }
 
-fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx) -> u16 {
+fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -> u16 {
     let pattern = match std::str::from_utf8(&req.body) {
         Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
         Ok(_) => {
-            let _ = http::write_response(
+            let _ = http::write_response_with(
                 w,
                 400,
                 "application/json",
                 &json_error("empty body: POST the query pattern, e.g. `p[t](X)`"),
+                keep,
+                &[],
             );
             return 400;
         }
         Err(_) => {
-            let _ = http::write_response(
+            let _ = http::write_response_with(
                 w,
                 400,
                 "application/json",
                 &json_error("body is not valid UTF-8"),
+                keep,
+                &[],
             );
             return 400;
         }
@@ -329,15 +625,30 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx) -> u16 {
     let fuel = match parse_u64_header(req, "x-itdb-fuel") {
         Ok(v) => v,
         Err(msg) => {
-            let _ = http::write_response(w, 400, "application/json", &json_error(&msg));
+            let _ =
+                http::write_response_with(w, 400, "application/json", &json_error(&msg), keep, &[]);
             return 400;
         }
     };
     let timeout_ms = match parse_u64_header(req, "x-itdb-timeout-ms") {
         Ok(v) => v,
         Err(msg) => {
-            let _ = http::write_response(w, 400, "application/json", &json_error(&msg));
+            let _ =
+                http::write_response_with(w, 400, "application/json", &json_error(&msg), keep, &[]);
             return 400;
+        }
+    };
+    // Under queue pressure, requests that bring no explicit budget run on
+    // a tightened default so the backlog drains. An explicit X-Itdb-Fuel
+    // is client intent and is never tightened.
+    let fuel = match fuel {
+        Some(f) => Some(f),
+        None => {
+            let divisor = ctx.admission.fuel_divisor();
+            match ctx.config.defaults.fuel {
+                Some(f) if divisor > 1 => Some((f / divisor).max(1)),
+                _ => None,
+            }
         }
     };
     let query = QueryRequest {
@@ -347,13 +658,30 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx) -> u16 {
     };
     match ctx.service.run_query(&query) {
         Ok(resp) => {
-            let _ = http::write_response(w, 200, "application/json", resp.to_json().as_bytes());
+            if let Some(d) = &ctx.durability {
+                d.submit(&ctx.service.totals());
+            }
+            let _ = http::write_response_with(
+                w,
+                200,
+                "application/json",
+                resp.to_json().as_bytes(),
+                keep,
+                &[],
+            );
             200
         }
         Err(e) => {
             // Evaluation-layer rejections (bad pattern, unknown
             // predicate) are the client's fault, not the server's.
-            let _ = http::write_response(w, 422, "application/json", &json_error(&e.to_string()));
+            let _ = http::write_response_with(
+                w,
+                422,
+                "application/json",
+                &json_error(&e.to_string()),
+                keep,
+                &[],
+            );
             422
         }
     }

@@ -370,6 +370,13 @@ pub mod fault {
         }
     }
 
+    /// Consumes and returns the plan armed on this thread, if any —
+    /// lets test harnesses assert what a hook armed without performing a
+    /// write.
+    pub fn take_armed() -> Option<FaultKind> {
+        PLAN.with(|p| p.take())
+    }
+
     /// Consumes the armed plan, mutating `image` in place for the data
     /// faults; returns the kind so the writer can handle
     /// [`FaultKind::CrashBeforeRename`] specially.
@@ -486,6 +493,55 @@ mod tests {
         ));
         let rec = store.load_latest().unwrap();
         assert_eq!(rec.snapshot.unwrap().0, w2.generation - 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// The recovery walk must hold up mid-write: a corrupt newest
+    /// generation, a valid older one, and an in-flight `.tmp` staging file
+    /// (as left by a writer that has not yet renamed) coexist; the load
+    /// lands on the older good generation, reports the damage, and never
+    /// mistakes the staging file for a generation.
+    #[test]
+    fn corrupt_newest_with_inflight_staging_falls_back_to_valid_older() {
+        let store = temp_store("inflight");
+        let w1 = store.write(&sections()).unwrap();
+        let w2 = store.write(&sections()).unwrap();
+        // Damage the newest generation (bit flip in its payload).
+        let newest = store.path_of(w2.generation);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        fs::write(&newest, &bytes).unwrap();
+        // Simulate an in-flight write: a staged-but-unrenamed temp image
+        // for the next generation, plus a half-written garbage temp.
+        let staged = store
+            .dir()
+            .join(format!(".snap-{:020}.tmp", w2.generation + 1));
+        fs::write(&staged, SnapshotStore::encode(&sections())).unwrap();
+        fs::write(store.dir().join(".snap-junk.tmp"), b"partial").unwrap();
+
+        let gens = store.generations().unwrap();
+        assert_eq!(
+            gens,
+            vec![w1.generation, w2.generation],
+            "temp files are not generations"
+        );
+        let rec = store.load_latest().unwrap();
+        let (g, loaded) = rec.snapshot.unwrap();
+        assert_eq!(g, w1.generation, "fell back past the damaged newest");
+        assert_eq!(loaded, sections());
+        assert_eq!(rec.skipped.len(), 1);
+        assert_eq!(rec.skipped[0].0, w2.generation);
+        assert!(matches!(
+            rec.skipped[0].1,
+            StoreError::ChecksumMismatch { .. }
+        ));
+        // A subsequent write allocates past the damaged generation and
+        // becomes the new latest.
+        let w3 = store.write(&sections()).unwrap();
+        assert_eq!(w3.generation, w2.generation + 1);
+        let rec = store.load_latest().unwrap();
+        assert_eq!(rec.snapshot.unwrap().0, w3.generation);
         let _ = fs::remove_dir_all(store.dir());
     }
 

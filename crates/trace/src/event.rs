@@ -122,6 +122,30 @@ pub enum EventKind {
         /// Why it was rejected (typed store error, rendered).
         error: String,
     },
+    /// A serve worker panicked while handling a request; the panic was
+    /// caught, the client answered 500, and the worker kept running (or
+    /// was respawned by the supervisor).
+    WorkerPanic {
+        /// Index of the panicking worker in the pool.
+        worker: u64,
+        /// The panic payload, rendered (`"<non-string panic>"` when the
+        /// payload was not a string).
+        detail: String,
+    },
+    /// The supervisor replaced a dead worker thread, restoring the pool to
+    /// its configured size.
+    WorkerRespawn {
+        /// Index of the replaced worker in the pool.
+        worker: u64,
+    },
+    /// Admission control shed a request that would have expired in queue,
+    /// answering a fast 503 instead of wasting a worker on it.
+    RequestShed {
+        /// How long the request had already waited in queue, µs.
+        waited_us: u64,
+        /// The `Retry-After` the client was given, in seconds.
+        retry_after_s: u64,
+    },
     /// Free-form annotation (used sparingly; e.g. wrapper engines).
     Message {
         /// The annotation text.
@@ -249,6 +273,22 @@ impl Event {
                 let _ = write!(out, ",\"generation\":{generation}");
                 push_str_field(&mut out, "error", error);
             }
+            EventKind::WorkerPanic { worker, detail } => {
+                let _ = write!(out, ",\"worker\":{worker}");
+                push_str_field(&mut out, "detail", detail);
+            }
+            EventKind::WorkerRespawn { worker } => {
+                let _ = write!(out, ",\"worker\":{worker}");
+            }
+            EventKind::RequestShed {
+                waited_us,
+                retry_after_s,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"waited_us\":{waited_us},\"retry_after_s\":{retry_after_s}"
+                );
+            }
             EventKind::Message { text } => {
                 push_str_field(&mut out, "text", text);
             }
@@ -272,6 +312,9 @@ impl EventKind {
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
             EventKind::CheckpointRestored { .. } => "checkpoint_restored",
             EventKind::CheckpointRecovery { .. } => "checkpoint_recovery",
+            EventKind::WorkerPanic { .. } => "worker_panic",
+            EventKind::WorkerRespawn { .. } => "worker_respawn",
+            EventKind::RequestShed { .. } => "request_shed",
             EventKind::Message { .. } => "message",
         }
     }
@@ -327,6 +370,42 @@ mod tests {
             recovery.to_json(),
             "{\"event\":\"checkpoint_recovery\",\"t_us\":7,\"generation\":4,\
              \"error\":\"truncated snapshot (torn or short write)\"}"
+        );
+    }
+
+    #[test]
+    fn supervision_events_render_stably() {
+        let panic = Event {
+            t_us: 11,
+            kind: EventKind::WorkerPanic {
+                worker: 2,
+                detail: "index out of bounds".into(),
+            },
+        };
+        assert_eq!(
+            panic.to_json(),
+            "{\"event\":\"worker_panic\",\"t_us\":11,\"worker\":2,\
+             \"detail\":\"index out of bounds\"}"
+        );
+        let respawn = Event {
+            t_us: 12,
+            kind: EventKind::WorkerRespawn { worker: 2 },
+        };
+        assert_eq!(
+            respawn.to_json(),
+            "{\"event\":\"worker_respawn\",\"t_us\":12,\"worker\":2}"
+        );
+        let shed = Event {
+            t_us: 13,
+            kind: EventKind::RequestShed {
+                waited_us: 1500,
+                retry_after_s: 2,
+            },
+        };
+        assert_eq!(
+            shed.to_json(),
+            "{\"event\":\"request_shed\",\"t_us\":13,\"waited_us\":1500,\
+             \"retry_after_s\":2}"
         );
     }
 

@@ -225,6 +225,57 @@ mod tests {
     }
 
     #[test]
+    fn subscriber_churn_racing_emission_neither_deadlocks_nor_leaks() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let fan = Arc::new(FanoutSink::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // One thread emits continuously while several others subscribe,
+        // read a little, and drop their subscriptions in a tight loop.
+        let emitter = {
+            let fan = Arc::clone(&fan);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    fan.record(&msg(i));
+                    i += 1;
+                }
+                i
+            })
+        };
+        let churners: Vec<_> = (0..4)
+            .map(|_| {
+                let fan = Arc::clone(&fan);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let sub = fan.subscribe();
+                        let _ = sub.recv_timeout(Duration::from_micros(50));
+                        let _ = sub.try_drain();
+                        drop(sub);
+                    }
+                })
+            })
+            .collect();
+        for c in churners {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let emitted = emitter.join().unwrap();
+        assert!(emitted > 0);
+        // Every churned subscription is closed; one more record prunes
+        // whatever closed queues are still registered.
+        fan.record(&msg(emitted));
+        assert_eq!(fan.subscriber_count(), 0);
+        // A fresh subscriber still works after the churn.
+        let sub = fan.subscribe();
+        fan.record(&msg(emitted + 1));
+        assert_eq!(sub.try_drain().len(), 1);
+    }
+
+    #[test]
     fn recv_timeout_returns_queued_lines_and_times_out_when_idle() {
         let fan = FanoutSink::new(4);
         let sub = fan.subscribe();

@@ -52,6 +52,11 @@ fn escape_help(v: &str, out: &mut String) {
     }
 }
 
+/// One histogram series: `(labels, cumulative bucket counts, sum)`. The
+/// counts vector has one entry per bucket bound plus a final total
+/// (the implicit `+Inf` bucket).
+pub type HistogramSeries<'a> = (Vec<(&'a str, &'a str)>, Vec<u64>, f64);
+
 /// Builder accumulating one exposition-format document.
 #[derive(Debug, Default)]
 pub struct PromText {
@@ -132,6 +137,46 @@ impl PromText {
         self
     }
 
+    /// Adds one histogram family: a `# TYPE <name> histogram` header, then
+    /// per series `<name>_bucket{..,le=".."}` lines (cumulative counts, a
+    /// final `le="+Inf"` bucket), `<name>_sum` and `<name>_count`.
+    ///
+    /// `buckets` holds the upper bounds (must be sorted ascending; `+Inf`
+    /// is implicit). Each series is `(labels, cumulative_counts, sum)`
+    /// where `cumulative_counts.len() == buckets.len() + 1` and the last
+    /// entry is the total observation count.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        buckets: &[f64],
+        series: &[HistogramSeries<'_>],
+    ) -> &mut Self {
+        if !self.header(name, help, "histogram") {
+            return self;
+        }
+        let bucket_name = format!("{name}_bucket");
+        let sum_name = format!("{name}_sum");
+        let count_name = format!("{name}_count");
+        for (labels, counts, sum) in series {
+            debug_assert_eq!(counts.len(), buckets.len() + 1);
+            for (i, le) in buckets.iter().enumerate() {
+                let le = format_value(*le);
+                let mut ls: Vec<(&str, &str)> = labels.clone();
+                ls.push(("le", le.as_str()));
+                let count = counts.get(i).copied().unwrap_or(0);
+                self.sample(&bucket_name, &ls, &count.to_string());
+            }
+            let mut ls: Vec<(&str, &str)> = labels.clone();
+            ls.push(("le", "+Inf"));
+            let total = counts.last().copied().unwrap_or(0);
+            self.sample(&bucket_name, &ls, &total.to_string());
+            self.sample(&sum_name, labels, &format_value(*sum));
+            self.sample(&count_name, labels, &total.to_string());
+        }
+        self
+    }
+
     /// The accumulated document.
     pub fn finish(self) -> String {
         self.buf
@@ -185,5 +230,37 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('#') || line.starts_with("itdb_"), "{line}");
         }
+    }
+
+    #[test]
+    fn renders_histogram_with_cumulative_buckets_sum_and_count() {
+        let mut p = PromText::new();
+        p.histogram(
+            "itdb_http_request_seconds",
+            "Request latency.",
+            &[0.001, 0.01, 0.1],
+            &[(
+                vec![("method", "POST"), ("path", "/query")],
+                vec![1, 3, 4, 5],
+                0.25,
+            )],
+        );
+        let text = p.finish();
+        assert!(text.contains("# TYPE itdb_http_request_seconds histogram\n"));
+        assert!(text.contains(
+            "itdb_http_request_seconds_bucket{method=\"POST\",path=\"/query\",le=\"0.001\"} 1\n"
+        ));
+        assert!(text.contains(
+            "itdb_http_request_seconds_bucket{method=\"POST\",path=\"/query\",le=\"0.01\"} 3\n"
+        ));
+        assert!(text.contains(
+            "itdb_http_request_seconds_bucket{method=\"POST\",path=\"/query\",le=\"+Inf\"} 5\n"
+        ));
+        assert!(
+            text.contains("itdb_http_request_seconds_sum{method=\"POST\",path=\"/query\"} 0.25\n")
+        );
+        assert!(
+            text.contains("itdb_http_request_seconds_count{method=\"POST\",path=\"/query\"} 5\n")
+        );
     }
 }
