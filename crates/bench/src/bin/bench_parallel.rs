@@ -1,0 +1,66 @@
+//! Parallel-fixpoint benchmark driver: writes `BENCH_parallel.json` and
+//! fails on regression.
+//!
+//! ```text
+//! cargo run -p itdb-bench --release --bin bench_parallel [--quick] [--out PATH]
+//! ```
+//!
+//! Runs the join-heavy fixpoint workload sequentially and at pool sizes
+//! {2, 4, 8}, prints the JSON report, and writes it to `--out` (default
+//! `BENCH_parallel.json`). Exit codes: `3` if any parallel model is not
+//! byte-identical to the sequential one (correctness regression), `2` if
+//! the machine has ≥ 2 cores and every pool size is slower than
+//! sequential (perf regression). On single-core runners only the
+//! byte-identity gate applies — there is nothing to spread the shards
+//! over, so honest numbers hover at or below 1×.
+
+use itdb_bench::parallel::run_parallel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (usage: bench_parallel [--quick] [--out PATH])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_parallel(quick);
+    let json = report.to_json();
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+
+    if !report.all_identical {
+        eprintln!("FAIL: a parallel model is not byte-identical to the sequential one");
+        std::process::exit(3);
+    }
+    if report.cores >= 2 && report.pools.iter().all(|p| p.speedup < 1.0) {
+        eprintln!(
+            "FAIL: every pool size is slower than sequential on a {}-core machine",
+            report.cores
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "ok: {:.2}x at 4 workers ({:.3} ms sequential, {} cores), report in {out}",
+        report.speedup_at_4, report.sequential_ms, report.cores
+    );
+}

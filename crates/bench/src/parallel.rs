@@ -1,0 +1,193 @@
+//! The parallel-fixpoint benchmark: sharded derive phase versus the
+//! sequential engine.
+//!
+//! Runs the join-heavy [`crate::workloads::indexing_workload`] at
+//! `parallel = 1` and at each pool size in {2, 4, 8}, checks every
+//! parallel model is **byte-identical** (not merely equivalent) to the
+//! sequential one, and reports best-of wall-clock per configuration. The
+//! `bench_parallel` binary renders the report as JSON
+//! (`BENCH_parallel.json`); on single-core machines the speedups are
+//! honest (≈1× or below — barriers aren't free without cores to spread
+//! over), so the perf gate only applies where `available_parallelism`
+//! reports real cores.
+
+use crate::workloads::indexing_workload;
+use itdb_core::{evaluate_with, EvalOptions, Evaluation};
+use std::time::Instant;
+
+/// Pool sizes measured against the sequential baseline.
+pub const POOL_SIZES: [usize; 3] = [2, 4, 8];
+
+/// One measured pool size.
+#[derive(Debug, Clone)]
+pub struct PoolPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Best wall-clock, in milliseconds.
+    pub ms: f64,
+    /// `sequential_ms / ms`.
+    pub speedup: f64,
+    /// Is the model byte-identical to the sequential one (it must be)?
+    pub identical: bool,
+}
+
+/// Everything one parallel-benchmark run measured.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Distinct data values in the workload EDB.
+    pub n_data: usize,
+    /// EDB lrp period.
+    pub period: i64,
+    /// Recursion step.
+    pub step: i64,
+    /// Timed repetitions per configuration (best time kept).
+    pub reps: usize,
+    /// Cores the runtime reports (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Best wall-clock for the sequential evaluation, in milliseconds.
+    pub sequential_ms: f64,
+    /// One point per measured pool size.
+    pub pools: Vec<PoolPoint>,
+    /// Were all parallel models byte-identical to the sequential one?
+    pub all_identical: bool,
+    /// Generalized tuples in the converged model.
+    pub model_tuples: u64,
+    /// `speedup` at 4 workers (the acceptance headline).
+    pub speedup_at_4: f64,
+}
+
+impl ParallelReport {
+    /// Renders the report as a small, hand-rolled JSON document (the
+    /// workspace has no serde; the schema is stable for CI artifacts).
+    pub fn to_json(&self) -> String {
+        let pools: Vec<String> = self
+            .pools
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"workers\": {}, \"ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {} }}",
+                    p.workers, p.ms, p.speedup, p.identical
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \
+             \"benchmark\": \"parallel\",\n  \
+             \"workload\": {{ \"n_data\": {}, \"period\": {}, \"step\": {}, \"reps\": {} }},\n  \
+             \"cores\": {},\n  \
+             \"sequential_ms\": {:.3},\n  \
+             \"pools\": [\n{}\n  ],\n  \
+             \"all_identical\": {},\n  \
+             \"model_tuples\": {},\n  \
+             \"speedup_at_4\": {:.2}\n\
+             }}\n",
+            self.n_data,
+            self.period,
+            self.step,
+            self.reps,
+            self.cores,
+            self.sequential_ms,
+            pools.join(",\n"),
+            self.all_identical,
+            self.model_tuples,
+            self.speedup_at_4,
+        )
+    }
+}
+
+fn run_once(n_data: usize, period: i64, step: i64, workers: usize) -> (f64, Evaluation) {
+    let (program, db) = indexing_workload(n_data, period, step);
+    // `parallel` is pinned explicitly (not inherited from the
+    // `ITDB_PARALLEL`-aware default) so the baseline really is sequential.
+    let opts = EvalOptions {
+        parallel: workers,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let eval = evaluate_with(&program, &db, &opts).expect("workload evaluates");
+    assert!(eval.outcome.converged(), "workload must converge");
+    (start.elapsed().as_secs_f64() * 1e3, eval)
+}
+
+/// Runs the benchmark. `quick` shrinks the workload for CI smoke runs;
+/// the full configuration is what `BENCH_parallel.json` records.
+pub fn run_parallel(quick: bool) -> ParallelReport {
+    let (n_data, reps) = if quick { (16, 2) } else { (48, 3) };
+    let (period, step) = (168, 48);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm up allocators and page cache once per configuration.
+    run_once(n_data, period, step, 1);
+    for &w in &POOL_SIZES {
+        run_once(n_data, period, step, w);
+    }
+
+    let mut sequential_ms = f64::INFINITY;
+    let mut sequential_eval = None;
+    for _ in 0..reps {
+        let (ms, ev) = run_once(n_data, period, step, 1);
+        sequential_ms = sequential_ms.min(ms);
+        sequential_eval = Some(ev);
+    }
+    let sequential = sequential_eval.expect("reps >= 1");
+
+    let mut pools = Vec::new();
+    for &workers in &POOL_SIZES {
+        let mut best = f64::INFINITY;
+        let mut eval = None;
+        for _ in 0..reps {
+            let (ms, ev) = run_once(n_data, period, step, workers);
+            best = best.min(ms);
+            eval = Some(ev);
+        }
+        let eval = eval.expect("reps >= 1");
+        pools.push(PoolPoint {
+            workers,
+            ms: best,
+            speedup: sequential_ms / best,
+            // Structural equality: same tuple vectors in the same order,
+            // and the same outcome — stronger than semantic equivalence.
+            identical: eval.idb == sequential.idb && eval.outcome == sequential.outcome,
+        });
+    }
+
+    let all_identical = pools.iter().all(|p| p.identical);
+    let speedup_at_4 = pools
+        .iter()
+        .find(|p| p.workers == 4)
+        .map_or(0.0, |p| p.speedup);
+    ParallelReport {
+        n_data,
+        period,
+        step,
+        reps,
+        cores,
+        sequential_ms,
+        pools,
+        all_identical,
+        model_tuples: sequential.idb.values().map(|r| r.len() as u64).sum(),
+        speedup_at_4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_identical_and_renders() {
+        let r = run_parallel(true);
+        assert!(r.all_identical, "{r:?}");
+        assert!(r.model_tuples > 0, "{r:?}");
+        assert!(r.sequential_ms > 0.0, "{r:?}");
+        assert_eq!(r.pools.len(), POOL_SIZES.len(), "{r:?}");
+        let json = r.to_json();
+        assert!(json.contains("\"benchmark\": \"parallel\""), "{json}");
+        assert!(json.contains("\"speedup_at_4\""), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based equivalence: sharded parallel evaluation against the
+//! sequential engine, byte for byte.
+//!
+//! The parallel derive phase (`--parallel N`) promises more than semantic
+//! equivalence — it reconstructs the sequential emission order exactly, so
+//! the merged model is the *same vector of tuples in the same order*, not
+//! merely an equivalent set. These properties hold `==` (structural
+//! equality over schemas and tuple vectors) over randomized programs for
+//! N ∈ {2, 4, 8}, including under deterministic governor trips (fuel and
+//! iteration caps), where the interrupted partial model must match the
+//! sequential partial model at the same barrier.
+
+use itdb_core::{evaluate_with, parse_program, Database, EvalOptions, EvalOutcome, Evaluation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    source: String,
+    edb_period: i64,
+    edb_offset: i64,
+}
+
+/// Shift-recursions over a periodic EDB (the always-converging family of
+/// `prop_engine`), extended with data-carrying and negated rules so the
+/// index ground-key narrowing and negation subtraction run in parallel
+/// workers too.
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (
+        proptest::sample::select(vec![6i64, 8, 12]), // EDB period
+        0i64..6,                                     // EDB offset
+        proptest::collection::vec((0u8..3, 0i64..7, 0i64..7), 2..5),
+    )
+        .prop_map(|(period, offset, rules)| {
+            let mut src = String::from("p0[t] <- e[t].\n");
+            for (i, (kind, a, b)) in rules.iter().enumerate() {
+                let (hi, bi) = ((i % 3), ((i + 1) % 3));
+                // Keep causality: head shift ≥ body shift.
+                let (hs, bs) = if a >= b { (*a, *b) } else { (*b, *a) };
+                match kind {
+                    0 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}].\n")),
+                    1 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}], e[t].\n")),
+                    _ => src.push_str(&format!(
+                        "p{hi}[t + {hs}] <- p{bi}[t + {bs}], p{}[t].\n",
+                        (i + 2) % 3
+                    )),
+                }
+            }
+            src.push_str(
+                "q0[t](C) <- d[t](C), p0[t].\n\
+                 q1[t] <- d[t + 1](a), p1[t].\n\
+                 q2[t](C) <- d[t](C), !dropped[t](C).\n",
+            );
+            RandomProgram {
+                source: src,
+                edb_period: period,
+                edb_offset: offset % period,
+            }
+        })
+}
+
+fn edb(rp: &RandomProgram) -> Database {
+    let mut db = Database::new();
+    db.insert_parsed("e", &format!("({}n+{})", rp.edb_period, rp.edb_offset))
+        .unwrap();
+    db.insert_parsed("d", "(6n; a)\n(4n+1; b)").unwrap();
+    db.insert_parsed("dropped", "(12n+1; b)").unwrap();
+    db
+}
+
+/// Runs with an explicit worker count, pinning every other knob so the
+/// only variable is the derive phase's sharding. (`parallel` is pinned
+/// explicitly because `EvalOptions::default()` honours `ITDB_PARALLEL` —
+/// the baseline must stay sequential even under the CI stress job.)
+fn run(rp: &RandomProgram, workers: usize, patch: impl FnOnce(&mut EvalOptions)) -> Evaluation {
+    let program = parse_program(&rp.source).unwrap();
+    let mut opts = EvalOptions {
+        parallel: workers,
+        grace_after_fe_safety: 32,
+        ..Default::default()
+    };
+    patch(&mut opts);
+    evaluate_with(&program, &edb(rp), &opts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `--parallel N` produces the byte-identical model and outcome of the
+    /// sequential engine on converging programs.
+    #[test]
+    fn parallel_is_byte_identical_to_sequential(
+        rp in program_strategy(),
+        n in proptest::sample::select(vec![2usize, 4, 8]),
+    ) {
+        let seq = run(&rp, 1, |_| {});
+        let par = run(&rp, n, |_| {});
+        prop_assert_eq!(&par.outcome, &seq.outcome, "{}: outcome at N={}", rp.source, n);
+        prop_assert_eq!(&par.idb, &seq.idb, "{}: model at N={}", rp.source, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuel trips are deterministic (the coordinator's single-writer merge
+    /// spends fuel in emission order), so an interrupted parallel run must
+    /// leave the byte-identical partial model of the interrupted
+    /// sequential run at the same barrier.
+    #[test]
+    fn fuel_tripped_partial_models_match(
+        rp in program_strategy(),
+        n in proptest::sample::select(vec![2usize, 4, 8]),
+        fuel in 1u64..12,
+    ) {
+        let seq = run(&rp, 1, |o| o.max_derived_tuples = Some(fuel));
+        let par = run(&rp, n, |o| o.max_derived_tuples = Some(fuel));
+        prop_assert_eq!(&par.idb, &seq.idb,
+            "{}: partial model at N={}, fuel={}", rp.source, n, fuel);
+        match (&seq.outcome, &par.outcome) {
+            (EvalOutcome::Interrupted(s), EvalOutcome::Interrupted(p)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&s.reason),
+                    std::mem::discriminant(&p.reason)
+                );
+                prop_assert_eq!(s.iterations, p.iterations);
+            }
+            (s, p) => prop_assert_eq!(s, p, "{}: outcome shape", rp.source),
+        }
+    }
+
+    /// Iteration caps trip at the stratum barrier (`start_iteration`),
+    /// before any worker fans out — partial models must again agree byte
+    /// for byte.
+    #[test]
+    fn iteration_capped_partial_models_match(
+        rp in program_strategy(),
+        n in proptest::sample::select(vec![2usize, 4, 8]),
+        cap in 1usize..6,
+    ) {
+        let seq = run(&rp, 1, |o| o.max_iterations = cap);
+        let par = run(&rp, n, |o| o.max_iterations = cap);
+        prop_assert_eq!(&par.idb, &seq.idb,
+            "{}: partial model at N={}, cap={}", rp.source, n, cap);
+        match (&seq.outcome, &par.outcome) {
+            (EvalOutcome::Interrupted(s), EvalOutcome::Interrupted(p)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&s.reason),
+                    std::mem::discriminant(&p.reason)
+                );
+                prop_assert_eq!(s.iterations, p.iterations);
+            }
+            (s, p) => prop_assert_eq!(s, p, "{}: outcome shape", rp.source),
+        }
+    }
+}

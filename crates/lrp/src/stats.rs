@@ -7,9 +7,14 @@
 //! and reports the difference, so concurrent evaluations on other threads
 //! never pollute each other's numbers.
 //!
-//! Counters are monotone within a thread; there is deliberately no reset,
-//! because two nested measurements would clobber each other. Subtraction of
-//! snapshots is the only supported way to scope a measurement.
+//! Counters are monotone within a thread; nested measurements must scope
+//! themselves by snapshot subtraction, never by resetting (two nested
+//! resets would clobber each other). The one sanctioned reset is [`take`],
+//! for *task boundaries on reused pool threads*: a worker that starts a
+//! fresh task calls `take()` to shed whatever a previous task left in the
+//! thread-local cells, then `take()` again at the end to collect exactly
+//! its own delta. Without that reset, a pooled worker's second evaluation
+//! inherits its first evaluation's totals.
 
 use std::cell::Cell;
 use std::ops::{Add, AddAssign, Sub};
@@ -101,16 +106,35 @@ impl AddAssign for Counters {
 impl Sub for Counters {
     type Output = Counters;
 
+    /// Scopes a measurement (`after - before`), saturating at zero per
+    /// field. Plain subtraction would panic in debug builds when a stale
+    /// `before` snapshot outruns `after` — which happens exactly when a
+    /// reused pool thread was [`take`]-reset (or absorbed elsewhere)
+    /// between the two snapshots. A saturated field clamps the delta of a
+    /// mis-scoped measurement to zero instead of crashing the evaluation
+    /// that was only trying to report statistics.
     fn sub(self, rhs: Counters) -> Counters {
         Counters {
-            canonicalize_calls: self.canonicalize_calls - rhs.canonicalize_calls,
-            canonical_cache_hits: self.canonical_cache_hits - rhs.canonical_cache_hits,
-            canonical_cache_misses: self.canonical_cache_misses - rhs.canonical_cache_misses,
-            empty_cache_hits: self.empty_cache_hits - rhs.empty_cache_hits,
-            empty_cache_misses: self.empty_cache_misses - rhs.empty_cache_misses,
-            subsumption_checks: self.subsumption_checks - rhs.subsumption_checks,
-            index_candidates: self.index_candidates - rhs.index_candidates,
-            index_scanned_naive: self.index_scanned_naive - rhs.index_scanned_naive,
+            canonicalize_calls: self
+                .canonicalize_calls
+                .saturating_sub(rhs.canonicalize_calls),
+            canonical_cache_hits: self
+                .canonical_cache_hits
+                .saturating_sub(rhs.canonical_cache_hits),
+            canonical_cache_misses: self
+                .canonical_cache_misses
+                .saturating_sub(rhs.canonical_cache_misses),
+            empty_cache_hits: self.empty_cache_hits.saturating_sub(rhs.empty_cache_hits),
+            empty_cache_misses: self
+                .empty_cache_misses
+                .saturating_sub(rhs.empty_cache_misses),
+            subsumption_checks: self
+                .subsumption_checks
+                .saturating_sub(rhs.subsumption_checks),
+            index_candidates: self.index_candidates.saturating_sub(rhs.index_candidates),
+            index_scanned_naive: self
+                .index_scanned_naive
+                .saturating_sub(rhs.index_scanned_naive),
         }
     }
 }
@@ -131,6 +155,19 @@ thread_local! {
 /// The current thread's counter values.
 pub fn snapshot() -> Counters {
     COUNTERS.with(|c| c.get())
+}
+
+/// Returns the current thread's counter values and resets them to zero.
+///
+/// For **task boundaries on reused pool threads**: call once when a worker
+/// task starts (discarding whatever a previous task on the same OS thread
+/// accumulated) and once when it ends (collecting exactly this task's
+/// delta for the coordinator to fold with `+=`). Within a task, scope
+/// nested measurements by [`snapshot`] subtraction as usual — `take` in
+/// the middle of someone else's snapshot pair would clamp their delta to
+/// zero (see [`Counters::sub`]).
+pub fn take() -> Counters {
+    COUNTERS.with(|c| c.replace(Counters::default()))
 }
 
 fn bump(f: impl FnOnce(&mut Counters)) {
@@ -241,6 +278,66 @@ mod tests {
         assert_eq!(folded.subsumption_checks, 6);
         assert_eq!(folded.index_candidates, 6);
         assert_eq!(folded.index_scanned_naive, 24);
+    }
+
+    /// Regression (cross-thread stats sweep): subtracting a larger
+    /// snapshot from a smaller one — the shape a stale `before` takes
+    /// after a thread-reuse reset — must clamp to zero, not underflow.
+    #[test]
+    fn sub_saturates_instead_of_underflowing() {
+        let small = Counters {
+            subsumption_checks: 1,
+            ..Counters::default()
+        };
+        let large = Counters {
+            canonicalize_calls: 7,
+            canonical_cache_hits: 7,
+            canonical_cache_misses: 7,
+            empty_cache_hits: 7,
+            empty_cache_misses: 7,
+            subsumption_checks: 7,
+            index_candidates: 7,
+            index_scanned_naive: 7,
+        };
+        let clamped = small - large;
+        assert_eq!(clamped, Counters::default(), "every field clamps to 0");
+        // The well-scoped direction still measures exactly.
+        assert_eq!((large - small).subsumption_checks, 6);
+        assert_eq!((large - small).canonicalize_calls, 7);
+    }
+
+    /// Regression (pooled-worker reset): two evaluations on the *same*
+    /// thread, each scoped by `take()` at task start and end, must each
+    /// see only their own work — the second must not inherit the first's
+    /// totals the way a never-reset thread-local would.
+    #[test]
+    fn take_scopes_two_evaluations_on_the_same_thread() {
+        std::thread::spawn(|| {
+            // First "task": leaves residue in the thread-local cells.
+            let _ = take();
+            for _ in 0..5 {
+                note_subsumption_check();
+            }
+            let first = take();
+            assert_eq!(first.subsumption_checks, 5);
+
+            // Second task on the reused thread: starts from zero.
+            let _ = take();
+            note_subsumption_check();
+            note_index_lookup(1, 3);
+            let second = take();
+            assert_eq!(
+                second.subsumption_checks, 1,
+                "second task must not inherit the first task's 5 checks"
+            );
+            assert_eq!(second.index_candidates, 1);
+            assert_eq!(second.index_scanned_naive, 3);
+
+            // And the cells really are drained afterwards.
+            assert_eq!(snapshot(), Counters::default());
+        })
+        .join()
+        .unwrap_or_else(|_| panic!("worker panicked"));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property-based audit of the [`GeneralizedTuple`] memo discipline.
+//!
+//! A tuple memoizes its canonical form and its emptiness verdict in
+//! `OnceLock` cells; every mutation path (`zone_mut`, `shift_attr`,
+//! `add_constraint`) must drop both memos, or a mutated tuple would keep
+//! answering for the set it used to denote. These properties warm the
+//! memos, mutate through each path, and assert that
+//!
+//! 1. the mutated tuple's `canonical()` / `is_empty()` agree with a
+//!    freshly built (memo-cold) tuple over the same zone and data, and
+//! 2. the thread-local statistics record a canonicalization *miss* for
+//!    the first post-mutation call — direct evidence the memo was
+//!    invalidated rather than served stale.
+
+use itdb_lrp::{stats, Constraint, DataValue, GeneralizedTuple, Lrp, Var, DEFAULT_RESIDUE_BUDGET};
+use proptest::prelude::*;
+
+const B: u64 = DEFAULT_RESIDUE_BUDGET;
+
+fn lrp_strategy() -> impl Strategy<Value = Lrp> {
+    (1i64..=6, 0i64..=5).prop_map(|(p, b)| Lrp::new(p, b % p).unwrap())
+}
+
+fn tuple_strategy() -> impl Strategy<Value = GeneralizedTuple> {
+    (
+        lrp_strategy(),
+        lrp_strategy(),
+        proptest::option::of((-4i64..=4, 0u8..3)),
+    )
+        .prop_map(|(l1, l2, cons)| {
+            let mut constraints = Vec::new();
+            if let Some((c, kind)) = cons {
+                constraints.push(match kind {
+                    0 => Constraint::LtVar(Var(0), Var(1), c),
+                    1 => Constraint::EqVar(Var(1), Var(0), c),
+                    _ => Constraint::GeConst(Var(0), c),
+                });
+            }
+            GeneralizedTuple::build(vec![l1, l2], &constraints, vec![DataValue::sym("x")]).unwrap()
+        })
+}
+
+/// One mutation through each of the three paths that must invalidate.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    ShiftAttr { k: usize, c: i64 },
+    AddConstraint { c: i64 },
+    ViaZoneMut { k: usize, c: i64 },
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0usize..2, -7i64..=7).prop_map(|(k, c)| Mutation::ShiftAttr { k, c }),
+        (-4i64..=4).prop_map(|c| Mutation::AddConstraint { c }),
+        (0usize..2, -7i64..=7).prop_map(|(k, c)| Mutation::ViaZoneMut { k, c }),
+    ]
+}
+
+fn apply(t: &mut GeneralizedTuple, m: Mutation) {
+    match m {
+        Mutation::ShiftAttr { k, c } => t.shift_attr(k, c).unwrap(),
+        Mutation::AddConstraint { c } => t
+            .add_constraint(Constraint::LtVar(Var(0), Var(1), c))
+            .unwrap(),
+        Mutation::ViaZoneMut { k, c } => t.zone_mut().shift_attr(k, c).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After any mutation, the tuple answers like a memo-cold tuple over
+    /// the same zone — and the statistics show the canonical memo was
+    /// recomputed (a miss), not served from before the mutation.
+    #[test]
+    fn mutation_invalidates_both_memos(mut t in tuple_strategy(), m in mutation_strategy()) {
+        // Warm both memos on the pre-mutation set.
+        let _ = t.canonical();
+        let _ = t.is_empty(B).unwrap();
+
+        apply(&mut t, m);
+
+        // A memo-cold oracle over the mutated zone and the same data.
+        let oracle = GeneralizedTuple::new(t.zone().clone(), t.data().to_vec());
+
+        let before = stats::snapshot();
+        let canon = t.canonical();
+        let window = stats::snapshot() - before;
+        prop_assert_eq!(window.canonical_cache_misses, 1,
+            "first post-mutation canonical() must recompute");
+        prop_assert_eq!(window.canonical_cache_hits, 0,
+            "stale canonical memo served after {:?}", m);
+
+        prop_assert_eq!(&canon, &oracle.canonical(), "canonical after {:?}", m);
+        prop_assert_eq!(t.is_empty(B).unwrap(), oracle.is_empty(B).unwrap(),
+            "emptiness after {:?}", m);
+    }
+
+    /// Unmutated tuples keep their memos: the second call is a hit. (The
+    /// counterpart property — memoization still works when nothing was
+    /// invalidated — guards against over-eager resets.)
+    #[test]
+    fn reads_alone_keep_the_memo_warm(t in tuple_strategy()) {
+        let _ = t.canonical();
+        let before = stats::snapshot();
+        let _ = t.canonical();
+        let window = stats::snapshot() - before;
+        prop_assert_eq!(window.canonical_cache_hits, 1);
+        prop_assert_eq!(window.canonical_cache_misses, 0);
+    }
+}

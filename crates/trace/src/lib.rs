@@ -42,6 +42,6 @@ pub use event::{Event, EventKind, SourceFact};
 pub use fanout::{FanoutSink, Subscription};
 pub use sink::{dropped_events, JsonlSink, MemorySink, RingSink, Sink};
 pub use span::{
-    fmt_duration, profiling, set_profiling, span, span_with, take_profile, Profile, ProfileEntry,
-    SpanGuard, SpanKind,
+    absorb_profile, fmt_duration, profiling, set_profiling, span, span_with, take_profile, Profile,
+    ProfileEntry, SpanGuard, SpanKind,
 };
