@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 BIN=${BIN:-target/release/itdb}   # must be built with --features chaos
 PORT=${PORT:-7481}
 PORT_REF=${PORT_REF:-7482}
-CKPT=ci-chaos-ckpts
+ART=target/ci-artifacts/chaos-soak
+CKPT=$ART/ckpts
 QUERY='problems[t, t + 2](database)'
 N=${N:-60}
 
@@ -23,7 +24,8 @@ if [ ! -x "$BIN" ]; then
     echo "FAIL: $BIN not built (run: cargo build --release -p itdb-cli --features chaos)" >&2
     exit 1
 fi
-rm -rf "$CKPT" chaos_server.log chaos_resume.log chaos_ref.log
+rm -rf "$ART"
+mkdir -p "$ART"
 
 # Pulls an unlabeled counter's value out of an exposition file (0 when
 # the family never fired).
@@ -67,11 +69,11 @@ export ITDB_CHAOS_PANIC_EVERY=7
 export ITDB_CHAOS_KILL_EVERY=13
 export ITDB_CHAOS_TORN_EVERY=2
 "$BIN" serve --addr "127.0.0.1:$PORT" --checkpoint "$CKPT" \
-    ci/serve_workload.itdb > chaos_server.log 2>&1 &
+    ci/serve_workload.itdb > "$ART"/chaos_server.log 2>&1 &
 SRV=$!
 trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
 wait_healthy "$PORT"
-grep -q 'CHAOS INJECTION ENABLED' chaos_server.log || {
+grep -q 'CHAOS INJECTION ENABLED' "$ART"/chaos_server.log || {
     echo "FAIL: binary lacks the chaos feature (no injection banner)" >&2
     exit 1
 }
@@ -92,15 +94,32 @@ test "$ok" -ge $((N / 2)) || {
     exit 1
 }
 
-scrape "$PORT" chaos_metrics.prom
-panics=$(metric chaos_metrics.prom itdb_worker_panics_total)
-respawns=$(metric chaos_metrics.prom itdb_worker_respawns_total)
-writes=$(metric chaos_metrics.prom itdb_serve_checkpoint_writes_total)
-queries=$(metric chaos_metrics.prom itdb_queries_total)
+scrape "$PORT" "$ART"/chaos_metrics.prom
+panics=$(metric "$ART"/chaos_metrics.prom itdb_worker_panics_total)
+respawns=$(metric "$ART"/chaos_metrics.prom itdb_worker_respawns_total)
+writes=$(metric "$ART"/chaos_metrics.prom itdb_serve_checkpoint_writes_total)
+queries=$(metric "$ART"/chaos_metrics.prom itdb_queries_total)
 echo "soak: $panics panics, $respawns respawns, $writes checkpoint writes"
 test "$panics" -ge 1 || { echo "FAIL: no worker panic recorded" >&2; exit 1; }
 test "$respawns" -ge 1 || { echo "FAIL: no worker respawned" >&2; exit 1; }
 test "$writes" -ge 1 || { echo "FAIL: no background checkpoint written" >&2; exit 1; }
+
+# Every caught panic snapshotted the flight rings: the recorder's dumps
+# are retrievable over /debug/flight (retrying past injected 500s) and
+# counted in the metrics.
+for _ in $(seq 1 30); do
+    if curl -fsS "http://127.0.0.1:$PORT/debug/flight" \
+        > "$ART"/chaos_flight.json 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '"reason":"worker_panic"' "$ART"/chaos_flight.json || {
+    echo "FAIL: caught panics left no flight dump" >&2
+    exit 1
+}
+dumps=$(metric "$ART"/chaos_metrics.prom itdb_flight_dumps_total)
+test "$dumps" -ge 1 || { echo "FAIL: flight dumps not counted" >&2; exit 1; }
 
 # The pool must be back to full strength. The probes themselves consume
 # the chaos schedule (~1/7 panic, ~1/13 kill), so individual 500s are
@@ -123,13 +142,13 @@ wait "$SRV" 2>/dev/null || true
 unset ITDB_CHAOS_SEED ITDB_CHAOS_PANIC_EVERY ITDB_CHAOS_KILL_EVERY ITDB_CHAOS_TORN_EVERY
 
 "$BIN" serve --addr "127.0.0.1:$PORT" --checkpoint "$CKPT" \
-    ci/serve_workload.itdb > chaos_resume.log 2>&1 &
+    ci/serve_workload.itdb > "$ART"/chaos_resume.log 2>&1 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 wait_healthy "$PORT"
 
-scrape "$PORT" chaos_resume_metrics.prom
-restored=$(metric chaos_resume_metrics.prom itdb_queries_total)
+scrape "$PORT" "$ART"/chaos_resume_metrics.prom
+restored=$(metric "$ART"/chaos_resume_metrics.prom itdb_queries_total)
 echo "resume: itdb_queries_total restored to $restored (was $queries)"
 test "$restored" -ge 1 || {
     echo "FAIL: restart lost all durable totals despite $writes writes" >&2
@@ -143,15 +162,15 @@ test "$restored" -le "$queries" || {
 # A resumed server must answer exactly like a fresh reference server:
 # durable totals are state *about* the workload, never state *of* it.
 curl -fsS -X POST --data "$QUERY" "http://127.0.0.1:$PORT/query" \
-    | sed 's/,"stats":.*//' > chaos_answer.json
+    | sed 's/,"stats":.*//' > "$ART"/chaos_answer.json
 "$BIN" serve --addr "127.0.0.1:$PORT_REF" ci/serve_workload.itdb \
-    > chaos_ref.log 2>&1 &
+    > "$ART"/chaos_ref.log 2>&1 &
 REF=$!
 trap 'kill "$SRV" "$REF" 2>/dev/null || true' EXIT
 wait_healthy "$PORT_REF"
 curl -fsS -X POST --data "$QUERY" "http://127.0.0.1:$PORT_REF/query" \
-    | sed 's/,"stats":.*//' > chaos_reference.json
-diff -u chaos_reference.json chaos_answer.json || {
+    | sed 's/,"stats":.*//' > "$ART"/chaos_reference.json
+diff -u "$ART"/chaos_reference.json "$ART"/chaos_answer.json || {
     echo "FAIL: resumed server's answer diverges from the reference" >&2
     exit 1
 }

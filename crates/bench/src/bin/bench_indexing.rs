@@ -9,7 +9,9 @@
 //! off, prints the JSON report, and writes it to `--out` (default
 //! `BENCH_indexing.json`). Exit codes: `2` if the indexed evaluation is
 //! slower than the full-scan one (perf regression), `3` if the two models
-//! are not semantically equivalent (correctness regression).
+//! are not semantically equivalent (correctness regression), `4` if the
+//! *disabled* observability path (request-id context armed, no sinks)
+//! costs more than 25% over the plain evaluation.
 
 use itdb_bench::indexing::run_indexing;
 
@@ -56,8 +58,19 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if report.disabled_path_overhead > 1.25 {
+        eprintln!(
+            "FAIL: disabled observability path costs {:.1}% over plain evaluation (budget 25%)",
+            (report.disabled_path_overhead - 1.0) * 100.0
+        );
+        std::process::exit(4);
+    }
     eprintln!(
-        "ok: {:.2}x speedup ({:.3} ms indexed vs {:.3} ms full scan), report in {out}",
-        report.speedup, report.indexed_ms, report.naive_ms
+        "ok: {:.2}x speedup ({:.3} ms indexed vs {:.3} ms full scan), \
+         disabled-path overhead {:.1}%, report in {out}",
+        report.speedup,
+        report.indexed_ms,
+        report.naive_ms,
+        (report.disabled_path_overhead - 1.0) * 100.0
     );
 }

@@ -44,6 +44,12 @@ pub struct IndexingReport {
     pub subsumption_checks_indexed: u64,
     /// Subsumption checks performed by the full-scan run.
     pub subsumption_checks_naive: u64,
+    /// Wall-clock ratio of the indexed evaluation with the observability
+    /// machinery *armed but idle* (a request-id context installed, no
+    /// sinks, no flight ring) over the plain indexed evaluation. The
+    /// disabled path is one thread-local flag check per would-be event,
+    /// so this must stay ~1.0; the `bench_indexing` binary gates it.
+    pub disabled_path_overhead: f64,
 }
 
 impl IndexingReport {
@@ -66,7 +72,8 @@ impl IndexingReport {
              \"narrowing_ratio\": {},\n  \
              \"canonical_hit_rate\": {},\n  \
              \"empty_hit_rate\": {},\n  \
-             \"subsumption_checks\": {{ \"indexed\": {}, \"naive\": {} }}\n\
+             \"subsumption_checks\": {{ \"indexed\": {}, \"naive\": {} }},\n  \
+             \"disabled_path_overhead\": {:.4}\n\
              }}\n",
             self.n_data,
             self.period,
@@ -82,6 +89,7 @@ impl IndexingReport {
             opt(self.empty_hit_rate),
             self.subsumption_checks_indexed,
             self.subsumption_checks_naive,
+            self.disabled_path_overhead,
         )
     }
 }
@@ -131,6 +139,22 @@ pub fn run_indexing(quick: bool) -> IndexingReport {
     }
     let indexed = indexed_eval.expect("reps >= 1");
     let naive = naive_eval.expect("reps >= 1");
+
+    // The observability disabled path: a request-id context installed (as
+    // the serve path does for every request) with tracing off — each
+    // would-be event costs one thread-local flag load and nothing else.
+    // Interleave the two configurations so drift hits both equally.
+    let mut armed_ms = f64::INFINITY;
+    let mut plain_ms = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        let (ms, _) = {
+            let _ctx = itdb_trace::set_request_id("bench-disabled-path");
+            run_once(n_data, period, step, true, false)
+        };
+        armed_ms = armed_ms.min(ms);
+        let (ms, _) = run_once(n_data, period, step, true, false);
+        plain_ms = plain_ms.min(ms);
+    }
     // One untimed coalesced run for the memo hit rates: the coalescing
     // pass re-requests canonical forms and emptiness verdicts the fixpoint
     // already computed, which is what the per-tuple caches serve.
@@ -162,6 +186,7 @@ pub fn run_indexing(quick: bool) -> IndexingReport {
         empty_hit_rate: coalesced.stats.counters.empty_hit_rate(),
         subsumption_checks_indexed: indexed.stats.counters.subsumption_checks,
         subsumption_checks_naive: naive.stats.counters.subsumption_checks,
+        disabled_path_overhead: armed_ms / plain_ms,
     }
 }
 
@@ -177,9 +202,16 @@ mod tests {
         assert!(r.indexed_ms > 0.0 && r.naive_ms > 0.0, "{r:?}");
         // The index must actually narrow on this workload.
         assert!(r.narrowing_ratio.unwrap_or(0.0) > 0.5, "{r:?}");
+        // The idle observability machinery is a flag check; even a noisy
+        // CI box must not see it near-doubling the evaluation.
+        assert!(
+            r.disabled_path_overhead > 0.0 && r.disabled_path_overhead < 2.0,
+            "{r:?}"
+        );
         let json = r.to_json();
         assert!(json.contains("\"benchmark\": \"indexing\""), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"disabled_path_overhead\""), "{json}");
         // Balanced braces as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),

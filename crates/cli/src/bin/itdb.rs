@@ -8,9 +8,13 @@
 //! `serve` keeps one workload (tuples + rules, the declarative subset of
 //! the shell's script format) resident and answers `POST /query` requests
 //! against it, each evaluation under its own resource governor. `GET
-//! /healthz`, `GET /metrics` (Prometheus text) and `GET /events` (live
-//! JSONL trace stream) ride along. Ctrl-C drains in-flight requests and
-//! exits cleanly.
+//! /healthz`, `GET /metrics` (Prometheus text), `GET /events` (live
+//! JSONL trace stream) and the `GET /debug/*` introspection endpoints
+//! ride along. Every request carries an `X-Itdb-Request-Id`; slow
+//! queries are logged with a full span profile (`--slow-query-ms`), and
+//! a per-worker flight recorder keeps the last events around for
+//! post-mortem dumps. Ctrl-C drains in-flight requests and exits
+//! cleanly.
 //!
 //! The interactive shell lives in its own binary, `itdb-shell`.
 
@@ -24,8 +28,8 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage: itdb serve --addr HOST:PORT [options] WORKLOAD
   --addr HOST:PORT  listen address, e.g. 127.0.0.1:7464 (required)
-  --workers N       worker threads (default 8); note each live /events
-                    stream occupies one worker
+  --workers N       worker threads (default 8); /events streams run on
+                    their own dedicated streamer threads
   --fuel N          default derivation-fuel ceiling per /query request
                     (overridable per request via the X-Itdb-Fuel header)
   --timeout-ms N    default wall-clock deadline per /query request
@@ -42,6 +46,13 @@ usage: itdb serve --addr HOST:PORT [options] WORKLOAD
                     (default 5000)
   --checkpoint DIR  persist service totals to DIR in the background and
                     resume them on restart (survives SIGKILL)
+  --slow-query-ms N log a full profile record for any /query slower than
+                    N milliseconds (see --slow-log)
+  --slow-log PATH   append slow-query records to PATH as JSONL (default:
+                    stdout, one `{\"log\":\"slow_query\",…}` line each)
+  --flight N        per-worker flight-recorder ring capacity in events
+                    (default 256; 0 disables the recorder)
+  --no-access-log   suppress the per-request JSONL access-log line
   WORKLOAD          file of `tuple NAME (…)` and `rule CLAUSE.` lines
 
 The interactive shell is the separate `itdb-shell` binary.";
@@ -76,7 +87,12 @@ fn parse_addr(value: &str) -> Result<SocketAddr, String> {
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     let mut addr: Option<SocketAddr> = None;
     let mut workload_path: Option<String> = None;
-    let mut config = ServeConfig::default();
+    // The binary logs requests by default; tests and embedders that
+    // construct `ServeConfig` directly stay quiet unless they opt in.
+    let mut config = ServeConfig {
+        access_log: true,
+        ..ServeConfig::default()
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -92,6 +108,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .ok_or_else(|| "--checkpoint needs a directory argument".to_string())?;
                 config.checkpoint_dir = Some(std::path::PathBuf::from(value));
             }
+            "--slow-log" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--slow-log needs a file argument".to_string())?;
+                config.slow_log = Some(std::path::PathBuf::from(value));
+            }
+            "--no-access-log" => config.access_log = false,
             "--workers"
             | "--fuel"
             | "--timeout-ms"
@@ -99,7 +122,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             | "--events-queue"
             | "--queue-deadline-ms"
             | "--max-requests-per-conn"
-            | "--keepalive-idle-ms" => {
+            | "--keepalive-idle-ms"
+            | "--slow-query-ms"
+            | "--flight" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} needs a numeric argument"))?;
@@ -121,6 +146,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     "--keepalive-idle-ms" => {
                         config.keepalive_idle = Duration::from_millis(n.max(1))
                     }
+                    "--slow-query-ms" => config.slow_query_ms = Some(n),
+                    "--flight" => config.flight_capacity = n as usize,
                     _ => config.events_queue_cap = (n as usize).max(1),
                 }
             }
@@ -237,7 +264,10 @@ fn serve(args: ServeArgs) {
     if let Some(dir) = &checkpoint_dir {
         println!("durability: background checkpoints in {}", dir.display());
     }
-    println!("endpoints: /healthz /metrics /query /events  (Ctrl-C to drain and exit)");
+    println!(
+        "endpoints: /healthz /metrics /query /events /debug/flight /debug/profile \
+         /debug/requests  (Ctrl-C to drain and exit)"
+    );
     if let Err(e) = server.run(shutdown_token()) {
         eprintln!("error: serve loop failed: {e}");
         std::process::exit(1);
@@ -273,6 +303,13 @@ mod tests {
             "1250",
             "--checkpoint",
             "/tmp/itdb-ck",
+            "--slow-query-ms",
+            "250",
+            "--slow-log",
+            "/tmp/itdb-slow.jsonl",
+            "--flight",
+            "512",
+            "--no-access-log",
             "workload.itdb",
         ]))
         .unwrap();
@@ -288,6 +325,30 @@ mod tests {
             p.config.checkpoint_dir.as_deref(),
             Some(std::path::Path::new("/tmp/itdb-ck"))
         );
+        assert_eq!(p.config.slow_query_ms, Some(250));
+        assert_eq!(
+            p.config.slow_log.as_deref(),
+            Some(std::path::Path::new("/tmp/itdb-slow.jsonl"))
+        );
+        assert_eq!(p.config.flight_capacity, 512);
+        assert!(!p.config.access_log);
+    }
+
+    #[test]
+    fn observability_defaults_for_the_binary() {
+        // The binary turns the access log on by default; the recorder and
+        // slow-query log keep their library defaults.
+        let p = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "w"])).unwrap();
+        assert!(p.config.access_log);
+        assert_eq!(p.config.slow_query_ms, None);
+        assert_eq!(p.config.slow_log, None);
+        assert_eq!(p.config.flight_capacity, 256);
+        // `--flight 0` disables the recorder entirely.
+        let p = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--flight", "0", "w"])).unwrap();
+        assert_eq!(p.config.flight_capacity, 0);
+        // --slow-log without a path is an error, not a silent default.
+        let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--slow-log"])).unwrap_err();
+        assert!(err.contains("--slow-log"), "{err}");
     }
 
     #[test]

@@ -294,6 +294,11 @@ pub(crate) fn derive_parallel(
     // (sinks and profiling flags are thread-local).
     let fold_trace = itdb_trace::enabled();
     let fold_profile = itdb_trace::profiling();
+    // The request id is thread-local too: hand the coordinator's to every
+    // worker so events built inside the pool carry it directly (the
+    // re-emission at the fold below would restamp them anyway, but sinks
+    // installed *on* a worker — e.g. a flight ring — see the id live).
+    let request_id = itdb_trace::current_request_id();
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
@@ -311,6 +316,9 @@ pub(crate) fn derive_parallel(
             // thread's ambient governor, so fuel/deadline/cancellation
             // checks deep in zone algebra trip workers too.
             let _gov = governor.enter();
+            let _ctx = request_id
+                .clone()
+                .map(itdb_trace::context::set_request_id_arc);
             // Task-start reset: shed whatever a previous task on a reused
             // pool thread left in the thread-local counters, then collect
             // exactly this worker's delta at the end.

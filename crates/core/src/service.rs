@@ -45,7 +45,7 @@ use crate::query::query;
 use itdb_lrp::{
     parser as lrp_parser, Error, GeneralizedRelation, Governor, Result, Schema, TripReason,
 };
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A parsed serving workload: the deductive program and its extensional
@@ -134,6 +134,9 @@ pub struct QueryRequest {
     pub fuel: Option<u64>,
     /// Deadline override for this request.
     pub timeout: Option<Duration>,
+    /// Request id installed as the thread's trace context for the
+    /// evaluation (see `itdb_trace::context`) and echoed in the response.
+    pub request_id: Option<String>,
 }
 
 /// How a served query's evaluation ended.
@@ -163,6 +166,8 @@ pub struct QueryResponse {
     /// This request's evaluation statistics (already folded into the
     /// service aggregate).
     pub stats: EvalStats,
+    /// The request id this answer belongs to (echoed from the request).
+    pub request_id: Option<String>,
 }
 
 impl QueryResponse {
@@ -193,7 +198,15 @@ impl QueryResponse {
             itdb_trace::json::escape_into(a, &mut out);
             out.push('"');
         }
-        let _ = write!(out, "],\"stats\":{}}}", self.stats.to_json());
+        let _ = write!(out, "],\"stats\":{}", self.stats.to_json());
+        // Rendered after `stats` so byte-comparison harnesses that strip
+        // everything from `,"stats":` onward keep working unchanged.
+        if let Some(id) = &self.request_id {
+            out.push_str(",\"request_id\":\"");
+            itdb_trace::json::escape_into(id, &mut out);
+            out.push('"');
+        }
+        out.push('}');
         out
     }
 }
@@ -250,6 +263,28 @@ impl Service {
     /// governor, then run the pattern against the computed (or partial)
     /// model. Extensional predicates are served straight from the EDB.
     pub fn run_query(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        self.run_query_observed(req, |_| {})
+    }
+
+    /// [`Self::run_query`], additionally handing the per-request
+    /// [`Governor`] to `observe` before evaluation starts. The serve
+    /// layer uses this to publish the governor in its in-flight request
+    /// table — `GovernorStats` is all atomics, so `/debug/requests` can
+    /// read fuel spent from another thread while the evaluation runs.
+    ///
+    /// If the request carries an id, it is installed as the thread's
+    /// trace context for the duration, so every event the evaluation
+    /// emits — including events folded back from parallel workers —
+    /// carries the id.
+    pub fn run_query_observed(
+        &self,
+        req: &QueryRequest,
+        observe: impl FnOnce(&Arc<Governor>),
+    ) -> Result<QueryResponse> {
+        let _ctx = req
+            .request_id
+            .as_deref()
+            .map(itdb_trace::context::set_request_id);
         let atom = parse_atom(&req.pattern)?;
         let opts = EvalOptions {
             max_derived_tuples: req.fuel.or(self.defaults.fuel),
@@ -257,6 +292,7 @@ impl Service {
             ..EvalOptions::default()
         };
         let governor = Governor::new(opts.governor_config());
+        observe(&governor);
         let eval = evaluate_governed(&self.workload.program, &self.workload.edb, &opts, &governor)?;
         let rel = match eval.relation(&atom.pred) {
             Some(r) => r,
@@ -288,6 +324,7 @@ impl Service {
             status,
             answers,
             stats: eval.stats,
+            request_id: req.request_id.clone(),
         })
     }
 
@@ -329,6 +366,7 @@ mod tests {
             pattern: pattern.to_string(),
             fuel,
             timeout: None,
+            request_id: None,
         }
     }
 
@@ -389,6 +427,61 @@ mod tests {
         let t = s.totals();
         assert_eq!(t.queries, 1);
         assert_eq!(t.interrupted, 1);
+    }
+
+    /// The request-id chain at the service layer: the id is installed as
+    /// the trace context for exactly the duration of the evaluation, every
+    /// emitted event carries it (including events folded back from the
+    /// parallel derive pool when `ITDB_PARALLEL` forces sharding), and the
+    /// response echoes it after `stats` so byte-comparison harnesses that
+    /// strip from `,"stats":` onward are unaffected.
+    #[test]
+    fn request_id_is_echoed_and_stamped_on_every_event() {
+        let s = service(WORKLOAD);
+        let mut r = req("problems[t, t + 2](database)", None);
+        r.request_id = Some("req-echo-42".into());
+        let mem = std::sync::Arc::new(itdb_trace::MemorySink::new());
+        let sink = itdb_trace::add_sink(mem.clone());
+        let resp = s.run_query(&r);
+        itdb_trace::remove_sink(sink);
+        let resp = resp.unwrap();
+        assert_eq!(resp.request_id.as_deref(), Some("req-echo-42"));
+        let json = resp.to_json();
+        assert!(json.ends_with(",\"request_id\":\"req-echo-42\"}"), "{json}");
+        let events = mem.take();
+        assert!(!events.is_empty(), "evaluation must emit events");
+        for e in &events {
+            assert_eq!(
+                e.request_id.as_deref(),
+                Some("req-echo-42"),
+                "unstamped event: {}",
+                e.to_json()
+            );
+        }
+        assert_eq!(
+            itdb_trace::current_request_id(),
+            None,
+            "context must not leak past the request"
+        );
+    }
+
+    /// `run_query_observed` publishes the per-request governor before
+    /// evaluation; its stats stay readable (all atomics) from the
+    /// observer's copy while and after the query runs.
+    #[test]
+    fn observed_governor_reports_fuel_spent() {
+        let s = service(DIVERGING);
+        let mut observed = None;
+        let resp = s
+            .run_query_observed(&req("p[t]", Some(5)), |g| observed = Some(Arc::clone(g)))
+            .unwrap();
+        let governor = observed.expect("observer ran");
+        assert!(matches!(resp.status, QueryStatus::Interrupted(_)));
+        assert!(
+            governor.stats().derived >= 5,
+            "fuel spent visible cross-thread (saw {})",
+            governor.stats().derived
+        );
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! |-----------------|-------------------------------------------------------|
 //! | `GET /healthz`  | liveness probe, `200 ok`                              |
 //! | `GET /metrics`  | Prometheus text: engine counters + HTTP families      |
-//! | `POST /query`   | body = query pattern; `X-Itdb-Fuel` / `X-Itdb-Timeout-Ms` headers override the server's default ceilings; JSON answer with status `complete` / `diverged` / `interrupted` |
-//! | `GET /events`   | live JSONL stream of trace events (chunked), bounded per-client queues |
+//! | `POST /query`   | body = query pattern; `X-Itdb-Fuel` / `X-Itdb-Timeout-Ms` headers override the server's default ceilings; `X-Itdb-Request-Id` honored or generated, echoed in JSON and headers; JSON answer with status `complete` / `diverged` / `interrupted` |
+//! | `GET /events`   | live JSONL stream of trace events (chunked), bounded per-client queues, served by dedicated streamer threads |
+//! | `GET /debug/flight` | flight-recorder snapshot: live per-thread event rings + dumps retained from trips/panics/sheds |
+//! | `GET /debug/profile` | per-route span-profile aggregates |
+//! | `GET /debug/requests` | in-flight request table (id, route, age, fuel spent) |
 //!
 //! The interesting invariants live in [`server`]'s module docs: fan-out
 //! sinks are installed per worker thread (the trace registry is
@@ -32,12 +35,14 @@
 
 #[cfg(feature = "chaos")]
 pub mod chaos;
+pub mod debug;
 pub mod durability;
 pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod shed;
 
+pub use debug::DebugState;
 pub use durability::Durability;
 pub use metrics::HttpMetrics;
 pub use server::{ServeConfig, Server};

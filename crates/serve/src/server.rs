@@ -1,5 +1,5 @@
 //! The serve loop: a `TcpListener`, a supervised worker pool, and the
-//! four endpoints (`/healthz`, `/metrics`, `/query`, `/events`).
+//! endpoints (`/healthz`, `/metrics`, `/query`, `/events`, `/debug/*`).
 //!
 //! ## Concurrency model
 //!
@@ -9,7 +9,27 @@
 //! installs the shared [`FanoutSink`] on its **own** thread — the trace
 //! registry is thread-local, so installation from the acceptor would
 //! observe nothing — which is how `/events` subscribers see the typed
-//! events of evaluations running on any worker.
+//! events of evaluations running on any worker. `GET /events` itself is
+//! handed off to a **dedicated streamer thread** (counted in the
+//! `itdb_events_streamers` gauge), so a long-lived subscriber never
+//! occupies a query worker.
+//!
+//! ## Per-request observability
+//!
+//! Every request gets an `X-Itdb-Request-Id` (the inbound header is
+//! honored, otherwise one is generated), which becomes the thread's
+//! trace context for the evaluation — every event the engine emits,
+//! including events folded back from parallel derive workers, carries
+//! the id — and is echoed in the `/query` response JSON and headers.
+//! Workers keep an always-on bounded flight-recorder ring
+//! ([`itdb_trace::flight`]) of recent events; governor trips, worker
+//! panics, and sheds snapshot every ring into a retained dump
+//! (`GET /debug/flight`, `itdb_flight_dumps_total`). Requests slower
+//! than `slow_query_ms` are written to the slow-query log with their
+//! span profile and governor counters. `GET /debug/requests` lists
+//! in-flight requests with live fuel spent; `GET /debug/profile` serves
+//! per-route span aggregates. With `access_log` on, every request
+//! prints one structured JSONL line.
 //!
 //! ## Self-healing
 //!
@@ -50,12 +70,13 @@
 
 #[cfg(feature = "chaos")]
 use crate::chaos::{Chaos, ChaosAction};
+use crate::debug::{self, DebugState, InFlightGuard};
 use crate::durability::Durability;
 use crate::http::{self, ParseError, Request};
 use crate::metrics::HttpMetrics;
 use crate::shed::{Admission, AdmissionControl};
 use itdb_core::{
-    write_metrics_into, CancelToken, QueryRequest, Service, ServiceDefaults, Workload,
+    write_metrics_into, CancelToken, QueryRequest, QueryStatus, Service, ServiceDefaults, Workload,
 };
 use itdb_trace::prom::PromText;
 use itdb_trace::{EventKind, FanoutSink, Sink};
@@ -72,8 +93,8 @@ use std::time::{Duration, Instant};
 /// deployments.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling requests. Note that one live `/events`
-    /// stream occupies one worker for its whole duration.
+    /// Worker threads handling requests. `/events` streams run on their
+    /// own dedicated threads and do not occupy workers.
     pub workers: usize,
     /// Accepted-but-unhandled connections held before the acceptor starts
     /// answering `503 Service Unavailable`.
@@ -104,6 +125,17 @@ pub struct ServeConfig {
     /// folded query totals are written here in the background and
     /// restored on the next bind.
     pub checkpoint_dir: Option<PathBuf>,
+    /// `/query` requests slower than this (wall clock, milliseconds) are
+    /// written to the slow-query log with their span profile and
+    /// governor counters. `None` disables the log.
+    pub slow_query_ms: Option<u64>,
+    /// Where slow-query JSONL records append; `None` = stdout.
+    pub slow_log: Option<PathBuf>,
+    /// Per-worker flight-recorder ring capacity (recent events retained
+    /// for `/debug/flight` dumps). `0` disables the recorder.
+    pub flight_capacity: usize,
+    /// Print one structured JSONL access-log line per request to stdout.
+    pub access_log: bool,
     /// Seeded fault-injection schedule (chaos testing only).
     #[cfg(feature = "chaos")]
     pub chaos: Option<crate::chaos::ChaosConfig>,
@@ -123,6 +155,10 @@ impl Default for ServeConfig {
             max_requests_per_conn: 32,
             keepalive_idle: Duration::from_secs(5),
             checkpoint_dir: None,
+            slow_query_ms: None,
+            slow_log: None,
+            flight_capacity: 256,
+            access_log: false,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -139,6 +175,7 @@ pub struct Server {
     metrics: Arc<HttpMetrics>,
     admission: Arc<AdmissionControl>,
     durability: Option<Arc<Durability>>,
+    debug: Arc<DebugState>,
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<Chaos>>,
     config: ServeConfig,
@@ -178,6 +215,7 @@ impl Server {
         #[cfg(feature = "chaos")]
         let chaos = config.chaos.clone().map(|c| Arc::new(Chaos::new(c)));
         let fanout = Arc::new(FanoutSink::new(config.events_queue_cap));
+        let debug = Arc::new(DebugState::new(config.slow_log.as_deref())?);
         Ok(Server {
             listener,
             local_addr,
@@ -186,6 +224,7 @@ impl Server {
             metrics: Arc::new(HttpMetrics::new()),
             admission,
             durability,
+            debug,
             #[cfg(feature = "chaos")]
             chaos,
             config,
@@ -216,6 +255,8 @@ impl Server {
             metrics: Arc::clone(&self.metrics),
             admission: Arc::clone(&self.admission),
             durability: self.durability.clone(),
+            debug: Arc::clone(&self.debug),
+            streamers: Mutex::new(Vec::new()),
             #[cfg(feature = "chaos")]
             chaos: self.chaos.clone(),
             config: self.config.clone(),
@@ -281,9 +322,18 @@ impl Server {
         for handle in workers {
             let _ = handle.join();
         }
+        // Streamer threads poll the shutdown token every 250ms; with the
+        // workers gone no new streamers can appear, so one sweep joins
+        // them all.
+        let streamers =
+            std::mem::take(&mut *ctx.streamers.lock().unwrap_or_else(|p| p.into_inner()));
+        for handle in streamers {
+            let _ = handle.join();
+        }
         if let Some(d) = &self.durability {
             let _ = d.flush(Duration::from_secs(5));
         }
+        self.debug.flush();
         itdb_trace::remove_sink(sink_id);
         itdb_trace::flush_sinks();
         Ok(())
@@ -303,6 +353,9 @@ struct WorkerCtx {
     metrics: Arc<HttpMetrics>,
     admission: Arc<AdmissionControl>,
     durability: Option<Arc<Durability>>,
+    debug: Arc<DebugState>,
+    /// Dedicated `/events` streamer threads, joined at shutdown.
+    streamers: Mutex<Vec<JoinHandle<()>>>,
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<Chaos>>,
     config: ServeConfig,
@@ -321,11 +374,16 @@ fn spawn_worker(
         .spawn(move || worker_loop(index as u64, &rx, &ctx))
 }
 
-fn worker_loop(worker: u64, rx: &Mutex<Receiver<QueuedConn>>, ctx: &WorkerCtx) {
+fn worker_loop(worker: u64, rx: &Mutex<Receiver<QueuedConn>>, ctx: &Arc<WorkerCtx>) {
     // The trace registry is thread-local: the fan-out sink must be
     // installed *here*, on the evaluating thread, or `/events`
     // subscribers would never see this worker's evaluations.
     let sink_id = itdb_trace::add_sink(Arc::clone(&ctx.fanout) as Arc<dyn Sink>);
+    // The always-on flight recorder: a bounded ring of this worker's
+    // recent events, snapshotted into /debug/flight dumps on trips,
+    // panics, and sheds. Dropped (and unregistered) with the worker.
+    let _flight = (ctx.config.flight_capacity > 0)
+        .then(|| itdb_trace::flight::enable(ctx.config.flight_capacity));
     loop {
         let conn = {
             // A worker that died holding this lock must not wedge the
@@ -342,7 +400,7 @@ fn worker_loop(worker: u64, rx: &Mutex<Receiver<QueuedConn>>, ctx: &WorkerCtx) {
 }
 
 /// Admission check, chaos schedule, then the panic-isolated handler.
-fn serve_connection(worker: u64, conn: QueuedConn, ctx: &WorkerCtx) {
+fn serve_connection(worker: u64, conn: QueuedConn, ctx: &Arc<WorkerCtx>) {
     let waited = conn.enqueued.elapsed();
     let mut stream = conn.stream;
     if let Admission::Shed { retry_after_s } =
@@ -371,6 +429,9 @@ fn serve_connection(worker: u64, conn: QueuedConn, ctx: &WorkerCtx) {
             waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
             retry_after_s,
         });
+        // A shed is load-pressure forensics: freeze what every worker was
+        // doing when admission control started turning requests away.
+        ctx.debug.capture_dump("shed", None);
         return;
     }
     #[cfg(feature = "chaos")]
@@ -408,6 +469,9 @@ fn serve_connection(worker: u64, conn: QueuedConn, ctx: &WorkerCtx) {
         ctx.metrics.record_worker_panic();
         ctx.metrics.record("-", "(panic)", 500, Duration::ZERO);
         itdb_trace::emit(|| EventKind::WorkerPanic { worker, detail });
+        // The panicking worker's own ring holds the events leading up to
+        // the panic — exactly the forensics a postmortem needs.
+        ctx.debug.capture_dump("worker_panic", None);
         if let Some(mut w) = panic_writer {
             // Best-effort drain of whatever the client sent (the handler
             // may have died before reading it): closing with unread data
@@ -443,7 +507,37 @@ fn json_error(msg: &str) -> Vec<u8> {
     out.into_bytes()
 }
 
-fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
+/// Known routes, for metric labels and the in-flight table.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/query" => "/query",
+        "/events" => "/events",
+        "/debug/flight" => "/debug/flight",
+        "/debug/profile" => "/debug/profile",
+        "/debug/requests" => "/debug/requests",
+        _ => "(other)",
+    }
+}
+
+/// One structured JSONL access-log line to stdout.
+fn access_log_line(request_id: &str, method: &str, route: &str, status: u16, elapsed: Duration) {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"log\":\"access\",\"request_id\":\"");
+    itdb_trace::json::escape_into(request_id, &mut out);
+    out.push_str("\",\"method\":\"");
+    itdb_trace::json::escape_into(method, &mut out);
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\",\"route\":\"{route}\",\"status\":{status},\"elapsed_us\":{}}}",
+        u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+    );
+    println!("{out}");
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Arc<WorkerCtx>) {
     let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -476,15 +570,39 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
             }
         };
         let path = req.path.split('?').next().unwrap_or("").to_string();
-        // /events streams until shutdown and always closes; everything
-        // else may keep the connection, bounded per connection.
+        // Honor the client's id or mint one: every route gets an id, so
+        // the access log and in-flight table are complete.
+        let request_id = debug::request_id_for(req.header("x-itdb-request-id"));
+        // /events streams until shutdown on its own thread and always
+        // closes; everything else may keep the connection, bounded.
         let keep = req.keep_alive && served + 1 < max && path != "/events";
+        if req.method == "GET" && path == "/events" {
+            // Hand the connection to a dedicated streamer thread so the
+            // stream's lifetime never occupies a query worker. The
+            // reader clone drops here; the streamer owns the writer.
+            spawn_events_streamer(writer, ctx, request_id);
+            return;
+        }
+        let route = route_label(&path);
+        let inflight = ctx.debug.register(route, &request_id);
         let status = match (req.method.as_str(), path.as_str()) {
             ("GET", "/healthz") => serve_healthz(&mut writer, keep),
             ("GET", "/metrics") => serve_metrics(&mut writer, ctx, keep),
-            ("POST", "/query") => serve_query(&mut writer, &req, ctx, keep),
-            ("GET", "/events") => serve_events(&mut writer, ctx),
-            (_, "/healthz" | "/metrics" | "/query" | "/events") => {
+            ("POST", "/query") => serve_query(&mut writer, &req, ctx, keep, &request_id, &inflight),
+            ("GET", "/debug/flight") => {
+                serve_debug_body(&mut writer, ctx.debug.flight_json(), keep, &request_id)
+            }
+            ("GET", "/debug/profile") => {
+                serve_debug_body(&mut writer, ctx.debug.profile_json(), keep, &request_id)
+            }
+            ("GET", "/debug/requests") => {
+                serve_debug_body(&mut writer, ctx.debug.requests_json(), keep, &request_id)
+            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/query" | "/events" | "/debug/flight" | "/debug/profile"
+                | "/debug/requests",
+            ) => {
                 let body = json_error("method not allowed");
                 let _ = http::write_response_with(
                     &mut writer,
@@ -509,19 +627,73 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
                 404
             }
         };
-        let route = match path.as_str() {
-            "/healthz" | "/metrics" | "/query" | "/events" => path.as_str(),
-            _ => "(other)",
-        };
+        drop(inflight);
         let elapsed = started.elapsed();
         ctx.metrics.record(&req.method, route, status, elapsed);
-        if route != "/events" {
-            // /events lives for the stream's whole duration; folding it
-            // into the EWMA would poison admission control.
-            ctx.admission.observe_service(elapsed);
+        ctx.admission.observe_service(elapsed);
+        if ctx.config.access_log {
+            access_log_line(&request_id, &req.method, route, status, elapsed);
         }
-        if !keep || path == "/events" {
+        if !keep {
             return;
+        }
+    }
+}
+
+fn serve_debug_body(w: &mut impl Write, body: String, keep: bool, request_id: &str) -> u16 {
+    let _ = http::write_response_with(
+        w,
+        200,
+        "application/json",
+        body.as_bytes(),
+        keep,
+        &[("X-Itdb-Request-Id", request_id)],
+    );
+    200
+}
+
+/// Moves a `GET /events` connection onto a dedicated streamer thread
+/// (counted in the `itdb_events_streamers` gauge and the in-flight
+/// table); falls back to streaming inline if the spawn fails.
+fn spawn_events_streamer(writer: TcpStream, ctx: &Arc<WorkerCtx>, request_id: String) {
+    // Shared fd for the inline fallback: if the spawn fails, the closure
+    // (and the writer inside it) is dropped, so stream on the clone.
+    let fallback = writer.try_clone().ok();
+    let thread_ctx = Arc::clone(ctx);
+    let spawned = thread::Builder::new()
+        .name("itdb-events-streamer".to_string())
+        .spawn(move || {
+            let started = Instant::now();
+            thread_ctx.debug.streamer_started();
+            let inflight = thread_ctx.debug.register("/events", &request_id);
+            let mut w = writer;
+            let status = serve_events(&mut w, &thread_ctx);
+            drop(inflight);
+            thread_ctx.debug.streamer_finished();
+            let elapsed = started.elapsed();
+            // The stream's duration is its lifetime, not a service time:
+            // it is recorded for visibility but never folded into the
+            // admission EWMA.
+            thread_ctx.metrics.record("GET", "/events", status, elapsed);
+            if thread_ctx.config.access_log {
+                access_log_line(&request_id, "GET", "/events", status, elapsed);
+            }
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut streamers = ctx.streamers.lock().unwrap_or_else(|p| p.into_inner());
+            // Reap handles of streams that already ended so the vector
+            // tracks live streamers, not connection history.
+            streamers.retain(|h| !h.is_finished());
+            streamers.push(handle);
+        }
+        Err(_) => {
+            // Out of threads: stream inline rather than dropping the
+            // subscriber (the old worker-occupying behavior).
+            if let Some(mut w) = fallback {
+                let status = serve_events(&mut w, ctx);
+                ctx.metrics.record("GET", "/events", status, Duration::ZERO);
+            }
         }
     }
 }
@@ -565,6 +737,32 @@ fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx, keep: bool) -> u16 {
         "Smoothed observed request service time (admission control).",
         ctx.admission.ewma_us() as f64 / 1e6,
     );
+    p.counter(
+        "itdb_slow_queries_total",
+        "Queries exceeding the slow-query threshold (written to the slow log).",
+        ctx.debug.slow_total(),
+    );
+    p.counter(
+        "itdb_flight_dumps_total",
+        "Flight-recorder dumps captured on trips, panics, and sheds.",
+        ctx.debug.dumps_total(),
+    );
+    p.gauge(
+        "itdb_events_streamers",
+        "Dedicated /events streamer threads currently live.",
+        ctx.debug.streamers() as f64,
+    );
+    let in_flight = ctx.debug.in_flight_by_route();
+    let in_flight_samples: Vec<(Vec<(&str, &str)>, f64)> = in_flight
+        .iter()
+        .map(|(route, n)| (vec![("route", route.as_str())], *n as f64))
+        .collect();
+    p.family(
+        "itdb_http_in_flight",
+        "Requests currently in flight, by route.",
+        "gauge",
+        &in_flight_samples,
+    );
     if let Some(d) = &ctx.durability {
         let s = d.stats();
         p.counter(
@@ -596,7 +794,15 @@ fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx, keep: bool) -> u16 {
     200
 }
 
-fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -> u16 {
+fn serve_query(
+    w: &mut impl Write,
+    req: &Request,
+    ctx: &WorkerCtx,
+    keep: bool,
+    request_id: &str,
+    inflight: &InFlightGuard,
+) -> u16 {
+    let id_header = [("X-Itdb-Request-Id", request_id)];
     let pattern = match std::str::from_utf8(&req.body) {
         Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
         Ok(_) => {
@@ -606,7 +812,7 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
                 "application/json",
                 &json_error("empty body: POST the query pattern, e.g. `p[t](X)`"),
                 keep,
-                &[],
+                &id_header,
             );
             return 400;
         }
@@ -617,7 +823,7 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
                 "application/json",
                 &json_error("body is not valid UTF-8"),
                 keep,
-                &[],
+                &id_header,
             );
             return 400;
         }
@@ -625,16 +831,28 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
     let fuel = match parse_u64_header(req, "x-itdb-fuel") {
         Ok(v) => v,
         Err(msg) => {
-            let _ =
-                http::write_response_with(w, 400, "application/json", &json_error(&msg), keep, &[]);
+            let _ = http::write_response_with(
+                w,
+                400,
+                "application/json",
+                &json_error(&msg),
+                keep,
+                &id_header,
+            );
             return 400;
         }
     };
     let timeout_ms = match parse_u64_header(req, "x-itdb-timeout-ms") {
         Ok(v) => v,
         Err(msg) => {
-            let _ =
-                http::write_response_with(w, 400, "application/json", &json_error(&msg), keep, &[]);
+            let _ = http::write_response_with(
+                w,
+                400,
+                "application/json",
+                &json_error(&msg),
+                keep,
+                &id_header,
+            );
             return 400;
         }
     };
@@ -655,11 +873,51 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
         pattern,
         fuel,
         timeout: timeout_ms.map(Duration::from_millis),
+        request_id: Some(request_id.to_string()),
     };
-    match ctx.service.run_query(&query) {
+    // Span profiling per request: feeds the /debug/profile aggregate and
+    // the slow-query log. Timing only — the evaluation's answers are
+    // byte-identical with or without it.
+    let started = Instant::now();
+    itdb_trace::set_profiling(true);
+    let mut governor = None;
+    let result = ctx.service.run_query_observed(&query, |g| {
+        // Publish the per-request governor so /debug/requests can read
+        // fuel spent (atomics) while this evaluation runs.
+        inflight.attach_governor(g);
+        governor = Some(Arc::clone(g));
+    });
+    itdb_trace::set_profiling(false);
+    let profile = itdb_trace::take_profile();
+    let elapsed = started.elapsed();
+    ctx.debug.absorb_profile("/query", &profile);
+    match result {
         Ok(resp) => {
             if let Some(d) = &ctx.durability {
                 d.submit(&ctx.service.totals());
+            }
+            if matches!(resp.status, QueryStatus::Interrupted(_)) {
+                // A tripped request is exactly when an operator asks
+                // "what was it doing": freeze every worker's ring.
+                ctx.debug.capture_dump("governor_trip", Some(request_id));
+            }
+            if let Some(ms) = ctx.config.slow_query_ms {
+                if elapsed >= Duration::from_millis(ms) {
+                    let status_str = match &resp.status {
+                        QueryStatus::Complete => "complete",
+                        QueryStatus::Diverged => "diverged",
+                        QueryStatus::Interrupted(_) => "interrupted",
+                    };
+                    ctx.debug.record_slow(
+                        request_id,
+                        &query.pattern,
+                        status_str,
+                        u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                        governor.as_ref(),
+                        &resp.stats.to_json(),
+                        &profile,
+                    );
+                }
             }
             let _ = http::write_response_with(
                 w,
@@ -667,7 +925,7 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
                 "application/json",
                 resp.to_json().as_bytes(),
                 keep,
-                &[],
+                &id_header,
             );
             200
         }
@@ -680,7 +938,7 @@ fn serve_query(w: &mut impl Write, req: &Request, ctx: &WorkerCtx, keep: bool) -
                 "application/json",
                 &json_error(&e.to_string()),
                 keep,
-                &[],
+                &id_header,
             );
             422
         }

@@ -322,3 +322,82 @@ fn restart_resumes_persisted_totals_despite_torn_writes() {
     drop(ts);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Fetches a path, retrying past injected chaos 500s.
+fn fetch_ok(addr: SocketAddr, path: &str) -> String {
+    for _ in 0..20 {
+        let resp = get(addr, path);
+        if status_of(&resp) == 200 {
+            return body_of(&resp).to_string();
+        }
+    }
+    panic!("no 200 from {path} in 20 attempts");
+}
+
+/// Flight recorder under chaos: an induced governor trip mid-soak leaves
+/// a retained dump — tagged with the tripped request's id and holding the
+/// ring's recent events — retrievable over `/debug/flight` while panics
+/// keep landing, and counted in `itdb_flight_dumps_total`.
+#[test]
+fn induced_trip_leaves_a_flight_dump_under_chaos() {
+    let ts = TestServer::start(ServeConfig {
+        workers: 2,
+        chaos: Some(ChaosConfig {
+            seed: 42,
+            panic_every: Some(5),
+            kill_every: None,
+            torn_every: None,
+        }),
+        ..ServeConfig::default()
+    });
+    // Warm the rings (and let chaos panics fire — each captures a
+    // worker_panic dump of its own).
+    for _ in 0..12 {
+        let _ = post_query(ts.addr, "p[t]", 10);
+    }
+    // The induced trip: starved fuel on the diverging predicate, with an
+    // explicit id so the dump is attributable. Chaos may 500 it; retry
+    // until the trip actually happens.
+    let mut tripped = String::new();
+    for _ in 0..20 {
+        tripped = exchange(
+            ts.addr,
+            "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             X-Itdb-Request-Id: chaos-trip\r\nX-Itdb-Fuel: 2\r\n\
+             Content-Length: 4\r\n\r\np[t]",
+        );
+        if status_of(&tripped) == 200 {
+            break;
+        }
+    }
+    assert!(
+        body_of(&tripped).contains("\"status\":\"interrupted\""),
+        "{tripped}"
+    );
+    let flight = fetch_ok(ts.addr, "/debug/flight");
+    assert!(
+        flight.contains("\"reason\":\"governor_trip\""),
+        "no trip dump retained:\n{flight}"
+    );
+    assert!(
+        flight.contains("\"request_id\":\"chaos-trip\""),
+        "dump not attributed to the tripped request:\n{flight}"
+    );
+    assert!(
+        flight.contains("\"event\":\"governor_trip\""),
+        "dump's ring window lost the trip event:\n{flight}"
+    );
+    let metrics = fetch_metrics(ts.addr);
+    assert!(
+        counter(&metrics, "itdb_flight_dumps_total") >= 1.0,
+        "dumps not counted:\n{metrics}"
+    );
+    // Chaos panics were captured as dumps too, reason worker_panic.
+    if counter(&metrics, "itdb_worker_panics_total") >= 1.0 {
+        assert!(
+            flight.contains("\"reason\":\"worker_panic\""),
+            "panic left no dump:\n{flight}"
+        );
+    }
+    drop(ts);
+}

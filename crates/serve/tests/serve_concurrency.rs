@@ -515,3 +515,244 @@ fn metrics_reflect_cross_thread_evaluation_stats() {
         .unwrap();
     assert!(checks > 0.0, "thread-local counters not folded:\n{body}");
 }
+
+/// Request identity over real sockets: inbound ids are honored and echoed
+/// (header + JSON, after `stats`), minted ids are unique, and every trace
+/// event streamed over `/events` carries the id of the request that
+/// emitted it.
+#[test]
+fn request_ids_are_minted_echoed_and_stamped_on_events() {
+    let ts = TestServer::start(ServeConfig {
+        events_keepalive: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    // A draining /events subscriber capturing the stream.
+    let subscriber = TcpStream::connect(ts.addr).unwrap();
+    subscriber
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    {
+        let mut w = subscriber.try_clone().unwrap();
+        w.write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+    }
+    let captured: Arc<std::sync::Mutex<Vec<String>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let captured2 = Arc::clone(&captured);
+    let reader = thread::spawn(move || {
+        let mut lines = BufReader::new(subscriber);
+        let mut line = String::new();
+        while let Ok(n) = lines.read_line(&mut line) {
+            if n == 0 {
+                break;
+            }
+            captured2.lock().unwrap().push(line.trim().to_string());
+            line.clear();
+        }
+    });
+    thread::sleep(Duration::from_millis(300));
+
+    // Inbound id: echoed in the response header and in the JSON body,
+    // rendered after `stats` so deterministic_part() is id-free.
+    let resp = exchange(
+        ts.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nX-Itdb-Request-Id: client-id-7\r\n\
+         X-Itdb-Fuel: 25\r\nContent-Length: 4\r\n\r\np[t]",
+    );
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(
+        resp.contains("X-Itdb-Request-Id: client-id-7\r\n"),
+        "{resp}"
+    );
+    assert!(
+        body_of(&resp).ends_with(",\"request_id\":\"client-id-7\"}"),
+        "{resp}"
+    );
+    assert!(
+        !deterministic_part(body_of(&resp)).contains("request_id"),
+        "id must not disturb byte-comparison harnesses: {resp}"
+    );
+
+    // Minted ids: present and unique when the client sends none.
+    let id_of = |resp: &str| -> String {
+        resp.lines()
+            .find_map(|l| l.strip_prefix("X-Itdb-Request-Id: "))
+            .map(|v| v.trim().to_string())
+            .unwrap_or_else(|| panic!("no request id header: {resp}"))
+    };
+    let a = post_query(ts.addr, "p[t]", Some(10));
+    let b = post_query(ts.addr, "p[t]", Some(10));
+    let (ida, idb) = (id_of(&a), id_of(&b));
+    assert_ne!(ida, idb, "minted ids must be unique");
+    assert!(
+        body_of(&a).contains(&format!("\"request_id\":\"{ida}\"")),
+        "{a}"
+    );
+
+    // Every evaluation event on the stream is stamped with some request
+    // id, and the explicit client id shows up on its request's events.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let lines = captured.lock().unwrap().clone();
+        let events: Vec<&String> = lines.iter().filter(|l| l.contains("\"event\"")).collect();
+        let has_client_id = events
+            .iter()
+            .any(|l| l.contains("\"request_id\":\"client-id-7\""));
+        if (has_client_id && events.len() >= 3) || Instant::now() > deadline {
+            assert!(!events.is_empty(), "no events captured");
+            assert!(has_client_id, "client id missing from events: {events:#?}");
+            for e in &events {
+                assert!(
+                    e.contains("\"request_id\":\""),
+                    "unstamped event on the stream: {e}"
+                );
+            }
+            break;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    drop(ts);
+    reader.join().unwrap();
+}
+
+/// The `/debug` family over real sockets: `/debug/requests` shows its own
+/// in-flight request, `/debug/profile` aggregates the `/query` span
+/// profile, and `/debug/flight` serves live rings plus retained dumps —
+/// including one captured automatically on a governor trip, keyed by the
+/// tripped request's id.
+#[test]
+fn debug_endpoints_expose_requests_profile_and_trip_dumps() {
+    let ts = TestServer::start(ServeConfig::default());
+
+    // A tripped query (fuel 2 on the diverging predicate) captures a
+    // flight dump tagged governor_trip + its request id.
+    let tripped = exchange(
+        ts.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nX-Itdb-Request-Id: trip-me\r\n\
+         X-Itdb-Fuel: 2\r\nContent-Length: 4\r\n\r\np[t]",
+    );
+    assert!(
+        body_of(&tripped).contains("\"status\":\"interrupted\""),
+        "{tripped}"
+    );
+
+    // /debug/requests registers itself, so the table shows its own id.
+    let reqs = exchange(
+        ts.addr,
+        "GET /debug/requests HTTP/1.1\r\nHost: t\r\nX-Itdb-Request-Id: debug-self\r\n\r\n",
+    );
+    assert_eq!(status_of(&reqs), 200);
+    let body = body_of(&reqs);
+    assert!(body.starts_with("{\"in_flight\":["), "{body}");
+    assert!(body.contains("\"id\":\"debug-self\""), "{body}");
+    assert!(body.contains("\"route\":\"/debug/requests\""), "{body}");
+    assert!(body.contains("\"age_us\":"), "{body}");
+    assert!(body.contains("\"fuel_spent\":"), "{body}");
+
+    // /debug/profile has folded the query's span profile under /query.
+    let prof = exchange(ts.addr, "GET /debug/profile HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&prof), 200);
+    let body = body_of(&prof);
+    assert!(body.contains("\"route\":\"/query\""), "{body}");
+    assert!(body.contains("\"requests\":1"), "{body}");
+    assert!(body.contains("\"total_us\":"), "{body}");
+
+    // /debug/flight: live per-worker rings hold recent events, and the
+    // trip's dump was retained with reason + request id.
+    let flight = exchange(ts.addr, "GET /debug/flight HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&flight), 200);
+    let body = body_of(&flight);
+    assert!(body.starts_with("{\"dumps_total\":"), "{body}");
+    assert!(
+        !body.contains("\"dumps_total\":0"),
+        "no dump captured: {body}"
+    );
+    assert!(body.contains("\"reason\":\"governor_trip\""), "{body}");
+    assert!(body.contains("\"request_id\":\"trip-me\""), "{body}");
+    assert!(body.contains("\"live\":["), "{body}");
+    assert!(body.contains("\"thread\":\""), "{body}");
+    // The dump's ring window contains the tripped request's own events.
+    assert!(body.contains("\"event\":\"governor_trip\""), "{body}");
+
+    // Wrong methods on debug routes are 405s, not 404s.
+    let wrong = exchange(ts.addr, "POST /debug/flight HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&wrong), 405);
+}
+
+/// Slow-query logging end to end: with a zero threshold every `/query`
+/// writes one JSONL record — request id, pattern, status, governor
+/// counters, evaluation stats, span profile — to the configured file.
+#[test]
+fn slow_query_log_records_round_trip_through_the_file() {
+    let dir = std::env::temp_dir().join(format!("itdb_serve_slow_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("slow.jsonl");
+    let ts = TestServer::start(ServeConfig {
+        slow_query_ms: Some(0),
+        slow_log: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    let resp = exchange(
+        ts.addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nX-Itdb-Request-Id: slow-1\r\n\
+         X-Itdb-Fuel: 25\r\nContent-Length: 4\r\n\r\np[t]",
+    );
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    // /metrics sees the slow-query counter and the new gauges.
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let mbody = body_of(&metrics).to_string();
+    assert!(mbody.contains("itdb_slow_queries_total 1"), "{mbody}");
+    assert!(mbody.contains("itdb_flight_dumps_total"), "{mbody}");
+    assert!(mbody.contains("itdb_events_streamers"), "{mbody}");
+    assert!(mbody.contains("itdb_http_in_flight"), "{mbody}");
+    drop(ts); // run() flushes the slow log on drain
+    let text = std::fs::read_to_string(&path).unwrap();
+    let line = text
+        .lines()
+        .next()
+        .unwrap_or_else(|| panic!("empty slow log"));
+    assert!(line.starts_with("{\"log\":\"slow_query\""), "{line}");
+    assert!(line.contains("\"request_id\":\"slow-1\""), "{line}");
+    assert!(line.contains("\"pattern\":\"p[t]\""), "{line}");
+    assert!(line.contains("\"status\":\"diverged\""), "{line}");
+    assert!(line.contains("\"governor\":{\"iterations\":"), "{line}");
+    assert!(line.contains("\"stats\":{"), "{line}");
+    assert!(line.contains("\"profile\":["), "{line}");
+    assert!(line.ends_with("]}"), "{line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/events` streams no longer occupy query workers: with a single
+/// worker, a live subscriber and queries proceed concurrently, and the
+/// streamer gauge tracks the dedicated thread.
+#[test]
+fn events_streamers_run_off_the_worker_pool() {
+    let ts = TestServer::start(ServeConfig {
+        workers: 1,
+        events_keepalive: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let subscriber = TcpStream::connect(ts.addr).unwrap();
+    subscriber
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    {
+        let mut w = subscriber.try_clone().unwrap();
+        w.write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+    }
+    // Let the subscription land on the lone worker, then prove the worker
+    // is free again: queries still answer.
+    thread::sleep(Duration::from_millis(300));
+    let resp = post_query(ts.addr, "p[t]", Some(10));
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let body = body_of(&metrics);
+    let streamers: f64 = body
+        .lines()
+        .find(|l| l.starts_with("itdb_events_streamers"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(streamers >= 1.0, "dedicated streamer not counted:\n{body}");
+    drop(subscriber);
+}

@@ -117,6 +117,7 @@ pub fn emit(build: impl FnOnce() -> EventKind) {
             .unwrap_or(0);
         let event = Event {
             t_us,
+            request_id: crate::context::current_request_id(),
             kind: build(),
         };
         for (_, sink) in reg.sinks.iter() {

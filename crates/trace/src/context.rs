@@ -1,0 +1,81 @@
+//! Per-request trace context: a thread-local request id.
+//!
+//! The serve path assigns every HTTP request an `X-Itdb-Request-Id` and
+//! installs it here for the duration of the evaluation; [`crate::emit`]
+//! stamps the current id onto every [`crate::Event`] it builds, so a
+//! JSONL stream (or a flight-recorder ring) can be filtered down to one
+//! request after the fact. The id lives **on the event**, not in ambient
+//! state, because rings and fan-out queues render events on other
+//! threads later, where this thread-local is long gone.
+//!
+//! The id is an `Arc<str>`: cloning it into thousands of events costs a
+//! refcount bump, not an allocation. [`set_request_id`] returns an RAII
+//! guard that restores the previous id on drop, so nested scopes (a
+//! request evaluating inside a request, in tests) unwind correctly, and
+//! a panicking handler cannot leak its id onto the next request handled
+//! by the same pooled worker.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously-installed request id when dropped.
+#[must_use = "dropping the guard immediately uninstalls the request id"]
+pub struct RequestIdGuard {
+    prev: Option<Arc<str>>,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `id` as the current thread's request id until the returned
+/// guard drops (which restores whatever was installed before).
+pub fn set_request_id(id: &str) -> RequestIdGuard {
+    set_request_id_arc(Arc::from(id))
+}
+
+/// Like [`set_request_id`] but reuses an existing allocation — the form
+/// the parallel worker pool uses to propagate the coordinator's id into
+/// each scoped worker without re-allocating per worker.
+pub fn set_request_id_arc(id: Arc<str>) -> RequestIdGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(id));
+    RequestIdGuard { prev }
+}
+
+/// The request id installed on this thread, if any.
+pub fn current_request_id() -> Option<Arc<str>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_previous_id() {
+        assert_eq!(current_request_id(), None);
+        let outer = set_request_id("req-outer");
+        assert_eq!(current_request_id().as_deref(), Some("req-outer"));
+        {
+            let _inner = set_request_id("req-inner");
+            assert_eq!(current_request_id().as_deref(), Some("req-inner"));
+        }
+        assert_eq!(current_request_id().as_deref(), Some("req-outer"));
+        drop(outer);
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn arc_form_shares_the_allocation() {
+        let id: Arc<str> = Arc::from("req-shared");
+        let _g = set_request_id_arc(Arc::clone(&id));
+        let seen = current_request_id().expect("id installed");
+        assert!(Arc::ptr_eq(&seen, &id));
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::span::SpanKind;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One supporting fact of a derivation: the body atom's predicate and the
 /// generalized tuple it matched (display form).
@@ -25,6 +26,12 @@ pub struct SourceFact {
 pub struct Event {
     /// Microseconds since the thread's trace epoch (first emission).
     pub t_us: u64,
+    /// The request this event belongs to, when one was installed via
+    /// [`crate::context::set_request_id`] at emission time. Carried on
+    /// the event itself (an `Arc<str>`, so clones into rings and fan-out
+    /// queues are refcount bumps) because events are rendered on other
+    /// threads later, where the emitting thread's context is gone.
+    pub request_id: Option<Arc<str>>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -293,6 +300,11 @@ impl Event {
                 push_str_field(&mut out, "text", text);
             }
         }
+        // Rendered last (and only when present) so every pre-existing
+        // golden encoding stays byte-identical.
+        if let Some(id) = &self.request_id {
+            push_str_field(&mut out, "request_id", id);
+        }
         out.push('}');
         out
     }
@@ -335,6 +347,7 @@ mod tests {
     fn checkpoint_events_render_stably() {
         let written = Event {
             t_us: 5,
+            request_id: None,
             kind: EventKind::CheckpointWritten {
                 generation: 3,
                 bytes: 1024,
@@ -348,6 +361,7 @@ mod tests {
         );
         let restored = Event {
             t_us: 6,
+            request_id: None,
             kind: EventKind::CheckpointRestored {
                 generation: 3,
                 stratum: 0,
@@ -361,6 +375,7 @@ mod tests {
         );
         let recovery = Event {
             t_us: 7,
+            request_id: None,
             kind: EventKind::CheckpointRecovery {
                 generation: 4,
                 error: "truncated snapshot (torn or short write)".into(),
@@ -377,6 +392,7 @@ mod tests {
     fn supervision_events_render_stably() {
         let panic = Event {
             t_us: 11,
+            request_id: None,
             kind: EventKind::WorkerPanic {
                 worker: 2,
                 detail: "index out of bounds".into(),
@@ -389,6 +405,7 @@ mod tests {
         );
         let respawn = Event {
             t_us: 12,
+            request_id: None,
             kind: EventKind::WorkerRespawn { worker: 2 },
         };
         assert_eq!(
@@ -397,6 +414,7 @@ mod tests {
         );
         let shed = Event {
             t_us: 13,
+            request_id: None,
             kind: EventKind::RequestShed {
                 waited_us: 1500,
                 retry_after_s: 2,
@@ -410,9 +428,34 @@ mod tests {
     }
 
     #[test]
+    fn request_id_renders_last_and_only_when_present() {
+        let without = Event {
+            t_us: 9,
+            request_id: None,
+            kind: EventKind::GovernorTrip {
+                reason: "fuel exhausted".into(),
+            },
+        };
+        assert_eq!(
+            without.to_json(),
+            "{\"event\":\"governor_trip\",\"t_us\":9,\"reason\":\"fuel exhausted\"}"
+        );
+        let with = Event {
+            request_id: Some(Arc::from("0a1b2c3d-000001")),
+            ..without
+        };
+        assert_eq!(
+            with.to_json(),
+            "{\"event\":\"governor_trip\",\"t_us\":9,\"reason\":\"fuel exhausted\",\
+             \"request_id\":\"0a1b2c3d-000001\"}"
+        );
+    }
+
+    #[test]
     fn inserted_event_renders_sources_array() {
         let e = Event {
             t_us: 42,
+            request_id: None,
             kind: EventKind::TupleInserted {
                 pred: "problems".into(),
                 rule: 1,

@@ -20,7 +20,13 @@
 //!   builder (names validated, label values escaped) used to render
 //!   evaluation statistics and span timings as `.prom` files;
 //! * **JSON** ([`json`]) — a minimal parser used by golden tests and CI
-//!   to validate the JSONL event stream without external crates.
+//!   to validate the JSONL event stream without external crates;
+//! * **Request context** ([`context`]) — a thread-local request id
+//!   stamped onto every emitted event, so a multiplexed stream can be
+//!   filtered down to one request after the fact;
+//! * **Flight recorder** ([`flight`]) — an always-on bounded per-thread
+//!   ring of recent events with a global registry, snapshotted into a
+//!   forensic dump on governor trips, worker panics, and sheds.
 //!
 //! Everything is **thread-local by design**: each evaluation thread owns
 //! its span stack, sink list, and profile, so concurrent evaluations never
@@ -30,14 +36,17 @@
 #![warn(missing_docs)]
 
 mod collector;
+pub mod context;
 mod event;
 mod fanout;
+pub mod flight;
 pub mod json;
 pub mod prom;
 mod sink;
 mod span;
 
 pub use collector::{add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, SinkId};
+pub use context::{current_request_id, set_request_id, set_request_id_arc, RequestIdGuard};
 pub use event::{Event, EventKind, SourceFact};
 pub use fanout::{FanoutSink, Subscription};
 pub use sink::{dropped_events, JsonlSink, MemorySink, RingSink, Sink};

@@ -259,6 +259,7 @@ mod tests {
     fn msg(i: u64) -> Event {
         Event {
             t_us: i,
+            request_id: None,
             kind: EventKind::Message {
                 text: format!("m{i}"),
             },
