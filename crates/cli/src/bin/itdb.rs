@@ -21,7 +21,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use itdb_core::parse_workload;
-use itdb_serve::{ServeConfig, Server};
+use itdb_serve::{FsyncPolicy, IngestConfig, ServeConfig, Server};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
@@ -46,6 +46,14 @@ usage: itdb serve --addr HOST:PORT [options] WORKLOAD
                     (default 5000)
   --checkpoint DIR  persist service totals to DIR in the background and
                     resume them on restart (survives SIGKILL)
+  --wal DIR         enable streaming ingestion (POST /facts): facts are
+                    made durable in a write-ahead log under DIR, applied
+                    to a resident incrementally-maintained model, and
+                    replayed from checkpoint + log on restart
+  --wal-fsync POLICY
+                    WAL flush policy: `always` (default; every record is
+                    durable before its 202) or `batch:N` (group commit,
+                    a crash may lose up to N-1 acknowledged records)
   --slow-query-ms N log a full profile record for any /query slower than
                     N milliseconds (see --slow-log)
   --slow-log PATH   append slow-query records to PATH as JSONL (default:
@@ -93,6 +101,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         access_log: true,
         ..ServeConfig::default()
     };
+    // `--wal` / `--wal-fsync` combine order-independently; resolved after
+    // the loop.
+    let mut wal_dir: Option<std::path::PathBuf> = None;
+    let mut wal_fsync: Option<FsyncPolicy> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -113,6 +125,19 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .next()
                     .ok_or_else(|| "--slow-log needs a file argument".to_string())?;
                 config.slow_log = Some(std::path::PathBuf::from(value));
+            }
+            "--wal" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--wal needs a directory argument".to_string())?;
+                wal_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--wal-fsync" => {
+                let value = it.next().ok_or_else(|| {
+                    "--wal-fsync needs a policy: `always` or `batch:N`".to_string()
+                })?;
+                wal_fsync =
+                    Some(FsyncPolicy::parse(value).map_err(|e| format!("--wal-fsync: {e}"))?);
             }
             "--no-access-log" => config.access_log = false,
             "--workers"
@@ -160,6 +185,19 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 workload_path = Some(path.to_string());
             }
         }
+    }
+    match (wal_dir, wal_fsync) {
+        (Some(dir), fsync) => {
+            let mut ingest = IngestConfig::new(dir);
+            if let Some(policy) = fsync {
+                ingest.wal.fsync = policy;
+            }
+            config.ingest = Some(ingest);
+        }
+        (None, Some(_)) => {
+            return Err("--wal-fsync needs --wal DIR (no WAL to apply the policy to)".to_string())
+        }
+        (None, None) => {}
     }
     Ok(ServeArgs {
         addr: addr.ok_or_else(|| "serve needs --addr HOST:PORT".to_string())?,
@@ -250,6 +288,7 @@ fn serve(args: ServeArgs) {
     let rules = workload.program.clauses.len();
     let relations = workload.edb.len();
     let checkpoint_dir = args.config.checkpoint_dir.clone();
+    let ingest_config = args.config.ingest.clone();
     let server = match Server::bind(args.addr, workload, args.config) {
         Ok(s) => s,
         Err(e) => fail(&format!("cannot bind {}: {e}", args.addr)),
@@ -264,8 +303,33 @@ fn serve(args: ServeArgs) {
     if let Some(dir) = &checkpoint_dir {
         println!("durability: background checkpoints in {}", dir.display());
     }
+    if let Some(ic) = &ingest_config {
+        println!(
+            "ingestion: WAL in {} (fsync {})",
+            ic.wal_dir.display(),
+            ic.wal.fsync
+        );
+        if let Some(ingest) = server.ingest() {
+            let boot = ingest.boot_report();
+            println!(
+                "recovery: checkpoint {}, {} WAL records replayed, last seq {}",
+                if boot.restored_checkpoint {
+                    "restored"
+                } else {
+                    "absent"
+                },
+                boot.replayed_records,
+                boot.last_seq
+            );
+        }
+    }
+    let facts = if ingest_config.is_some() {
+        " /facts"
+    } else {
+        ""
+    };
     println!(
-        "endpoints: /healthz /metrics /query /events /debug/flight /debug/profile \
+        "endpoints: /healthz /metrics /query{facts} /events /debug/flight /debug/profile \
          /debug/requests  (Ctrl-C to drain and exit)"
     );
     if let Err(e) = server.run(shutdown_token()) {
@@ -349,6 +413,73 @@ mod tests {
         // --slow-log without a path is an error, not a silent default.
         let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--slow-log"])).unwrap_err();
         assert!(err.contains("--slow-log"), "{err}");
+    }
+
+    #[test]
+    fn wal_flags_enable_ingestion() {
+        // No --wal: ingestion stays off.
+        let p = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "w"])).unwrap();
+        assert!(p.config.ingest.is_none());
+        // --wal alone: defaults to fsync always.
+        let p = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "/tmp/itdb-wal",
+            "w",
+        ]))
+        .unwrap();
+        let ic = p.config.ingest.unwrap();
+        assert_eq!(ic.wal_dir, std::path::PathBuf::from("/tmp/itdb-wal"));
+        assert_eq!(ic.wal.fsync, FsyncPolicy::Always);
+        // Order-independent combination with --wal-fsync.
+        let p = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-fsync",
+            "batch:8",
+            "--wal",
+            "/tmp/itdb-wal",
+            "w",
+        ]))
+        .unwrap();
+        assert_eq!(p.config.ingest.unwrap().wal.fsync, FsyncPolicy::Batch(8));
+        // --wal-fsync without --wal is an error, not silently ignored.
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-fsync",
+            "always",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--wal"), "{err}");
+        // Bad policies are reported with the flag name.
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "d",
+            "--wal-fsync",
+            "sometimes",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--wal-fsync"), "{err}");
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "d",
+            "--wal-fsync",
+            "batch:0",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--wal-fsync"), "{err}");
+        // Missing values keep the usage-shaped errors.
+        let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--wal"])).unwrap_err();
+        assert!(err.contains("--wal"), "{err}");
     }
 
     #[test]

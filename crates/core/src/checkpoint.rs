@@ -399,7 +399,7 @@ fn get_lrps(r: &mut ByteReader<'_>) -> Result<Vec<Lrp>, CheckpointError> {
     Ok(lrps)
 }
 
-fn put_tuple(w: &mut ByteWriter, t: &GeneralizedTuple) {
+pub(crate) fn put_tuple(w: &mut ByteWriter, t: &GeneralizedTuple) {
     put_lrps(w, t.zone().lrps());
     let dbm = t.zone().dbm();
     w.put_usize(dbm.dim());
@@ -420,7 +420,7 @@ fn put_tuple(w: &mut ByteWriter, t: &GeneralizedTuple) {
     }
 }
 
-fn get_tuple(r: &mut ByteReader<'_>) -> Result<GeneralizedTuple, CheckpointError> {
+pub(crate) fn get_tuple(r: &mut ByteReader<'_>) -> Result<GeneralizedTuple, CheckpointError> {
     let lrps = get_lrps(r)?;
     let dim = r.get_usize()?;
     if dim == 0 || dim > 1 + lrps.len() {
@@ -450,7 +450,7 @@ fn get_tuple(r: &mut ByteReader<'_>) -> Result<GeneralizedTuple, CheckpointError
     Ok(GeneralizedTuple::new(zone, data))
 }
 
-fn put_relations(w: &mut ByteWriter, rels: &BTreeMap<String, GeneralizedRelation>) {
+pub(crate) fn put_relations(w: &mut ByteWriter, rels: &BTreeMap<String, GeneralizedRelation>) {
     w.put_usize(rels.len());
     for (name, rel) in rels {
         w.put_str(name);
@@ -464,7 +464,7 @@ fn put_relations(w: &mut ByteWriter, rels: &BTreeMap<String, GeneralizedRelation
     }
 }
 
-fn get_relations(
+pub(crate) fn get_relations(
     r: &mut ByteReader<'_>,
 ) -> Result<BTreeMap<String, GeneralizedRelation>, CheckpointError> {
     let n = r.get_usize()?;

@@ -41,6 +41,23 @@ impl Database {
         self.relations.get(name)
     }
 
+    /// Looks up a relation mutably — the streaming-ingestion hook: new
+    /// EDB tuples are merged into the existing relation (with
+    /// subsumption) rather than replacing it wholesale.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut GeneralizedRelation> {
+        self.relations.get_mut(name)
+    }
+
+    /// The underlying name → relation map (for whole-database encoders).
+    pub(crate) fn relations(&self) -> &BTreeMap<String, GeneralizedRelation> {
+        &self.relations
+    }
+
+    /// Rebuilds a database from a decoded name → relation map.
+    pub(crate) fn from_relations(relations: BTreeMap<String, GeneralizedRelation>) -> Self {
+        Database { relations }
+    }
+
     /// Looks up a relation, failing with a schema check against `expected`.
     pub fn get_checked(&self, name: &str, expected: Schema) -> Result<&GeneralizedRelation> {
         match self.relations.get(name) {

@@ -48,6 +48,7 @@ pub(crate) mod parallel;
 pub mod parser;
 pub mod provenance;
 pub mod query;
+pub mod resident;
 pub mod service;
 
 pub use analyze::{analyze, ProgramInfo};
@@ -68,7 +69,8 @@ pub use metrics::{render_metrics, render_metrics_full, write_metrics_into};
 pub use parser::{parse_atom, parse_clause, parse_program};
 pub use provenance::{explain, DerivationNode};
 pub use query::{ask, query};
+pub use resident::{ApplyOutcome, Fact, ResidentModel, ResidentStats};
 pub use service::{
-    parse_workload, QueryRequest, QueryResponse, QueryStatus, Service, ServiceDefaults,
-    ServiceTotals, Workload,
+    parse_workload, parse_workload_typed, QueryRequest, QueryResponse, QueryStatus, Service,
+    ServiceDefaults, ServiceTotals, Workload, WorkloadError, WorkloadErrorKind,
 };

@@ -1,0 +1,817 @@
+//! Long-lived resident models: evaluate once, then *maintain* under
+//! streaming EDB ingestion.
+//!
+//! A [`ResidentModel`] holds a converged evaluation of a workload and
+//! applies batches of new extensional facts **incrementally**: the new
+//! EDB tuples seed the semi-naive delta frontier and propagation resumes
+//! from the affected strata, instead of re-running the full fixpoint.
+//! Reads become closed-form lookups against the maintained relations —
+//! microseconds instead of an evaluation.
+//!
+//! ## Incremental maintenance invariants
+//!
+//! Let `M` be the converged model and `Δ` a batch of new EDB tuples.
+//!
+//! 1. **Insert-only is monotone for positive programs.** Every rule
+//!    firing of `T_GP(edb ∪ Δ)` either (a) uses no tuple newer than `M`,
+//!    and was therefore already fired, or (b) uses at least one new
+//!    tuple. [`ResidentModel::apply_batch`] covers (b) exactly: each
+//!    clause is fired once per body position holding a changed
+//!    predicate, with the frontier relation at that position and the
+//!    *updated* full relations elsewhere — the textbook semi-naive
+//!    argument, seeded at the EDB instead of at iteration 1.
+//! 2. **Strata below the lowest affected predicate are untouched.**
+//!    A stratum re-enters its fixpoint only if some clause body mentions
+//!    a predicate whose extension changed (transitively).
+//! 3. **Negation over a changed predicate falls back.** Inserting EDB
+//!    tuples can *shrink* a predicate defined through negation, which
+//!    delta insertion cannot express. When any affected clause negates
+//!    an affected predicate, the apply degrades to one honest full
+//!    re-evaluation (reported via [`ApplyOutcome::full_reeval`]).
+//! 4. **Determinism.** Given the same starting state and the same batch
+//!    sequence, `apply_batch` produces byte-identical relations — the
+//!    property WAL replay and the crash-recovery chaos tests build on.
+//! 5. **Divergence stays detected.** The same free-extension-key grace
+//!    rule as the engine guards each incremental fixpoint; a batch that
+//!    makes the workload diverge is refused rather than looping.
+//!
+//! The `*_full_reeval` twin ([`ResidentModel::apply_batch_full_reeval`])
+//! recomputes the model from scratch; a ×64 proptest pins the
+//! equivalence of the two paths on random workloads and batch sequences.
+
+// User-reachable ingestion path: failures must flow through the error
+// taxonomy, never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::analyze::{analyze, ProgramInfo};
+use crate::ast::Program;
+use crate::checkpoint::{get_relations, hash_program, put_relations};
+use crate::db::Database;
+use crate::engine::{eval_clause, evaluate_with, EvalOptions, EvalOutcome, Pending};
+use crate::normalize::{normalize_program, NormClause};
+use itdb_lrp::{Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result};
+use itdb_store::{ByteReader, ByteWriter, Section};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One extensional fact to ingest: a predicate name and a generalized
+/// tuple (which may, as everywhere in the paper, denote infinitely many
+/// ground facts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// Extensional predicate the tuple extends.
+    pub pred: String,
+    /// The generalized tuple.
+    pub tuple: GeneralizedTuple,
+}
+
+/// What one [`ResidentModel::apply_batch`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// EDB tuples newly inserted (not subsumed by the existing relation).
+    pub applied: u64,
+    /// EDB tuples already covered by the relation — idempotent re-sends.
+    pub duplicates: u64,
+    /// IDB tuples inserted by delta propagation (0 on full re-eval).
+    pub derived_inserted: u64,
+    /// Strata whose fixpoint was re-entered.
+    pub strata_touched: usize,
+    /// Semi-naive iterations run across all touched strata.
+    pub iterations: u64,
+    /// Whether negation over a changed predicate forced a full
+    /// re-evaluation instead of delta propagation.
+    pub full_reeval: bool,
+}
+
+/// Lifetime counters for a resident model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Batches applied.
+    pub applies: u64,
+    /// Total EDB tuples newly inserted.
+    pub facts_applied: u64,
+    /// Total EDB tuples subsumed as duplicates.
+    pub facts_duplicate: u64,
+    /// Total IDB tuples inserted by propagation.
+    pub derived_inserted: u64,
+    /// Applies that degraded to a full re-evaluation.
+    pub full_reevals: u64,
+}
+
+/// Section tags for [`ResidentModel::snapshot_sections`].
+const SEC_RES_META: u8 = 21;
+const SEC_RES_EDB: u8 = 22;
+const SEC_RES_IDB: u8 = 23;
+const RES_SNAPSHOT_VERSION: u8 = 1;
+
+type FeKey = (Vec<Lrp>, Vec<itdb_lrp::DataValue>);
+
+/// A converged evaluation kept resident and maintained incrementally
+/// under fact ingestion. See the module docs for the invariants.
+#[derive(Debug, Clone)]
+pub struct ResidentModel {
+    program: Program,
+    info: ProgramInfo,
+    clauses: Vec<NormClause>,
+    program_hash: u128,
+    edb: Database,
+    idb: BTreeMap<String, GeneralizedRelation>,
+    empty: BTreeMap<String, GeneralizedRelation>,
+    opts: EvalOptions,
+    stats: ResidentStats,
+    poisoned: bool,
+}
+
+impl ResidentModel {
+    /// Evaluates the workload once and keeps the converged model
+    /// resident. A workload that diverges or trips its governor cannot
+    /// be maintained incrementally and is refused.
+    pub fn new(program: Program, edb: Database, opts: EvalOptions) -> Result<Self> {
+        let eval = evaluate_with(&program, &edb, &opts)?;
+        if !matches!(eval.outcome, EvalOutcome::Converged { .. }) {
+            return Err(Error::Eval(format!(
+                "resident model requires a convergent workload, got: {:?}",
+                eval.outcome
+            )));
+        }
+        Self::assemble(program, edb, eval.idb, opts)
+    }
+
+    fn assemble(
+        program: Program,
+        edb: Database,
+        idb: BTreeMap<String, GeneralizedRelation>,
+        opts: EvalOptions,
+    ) -> Result<Self> {
+        let info = analyze(&program)?;
+        let all_clauses = normalize_program(&program)?;
+        let program_hash = hash_program(&all_clauses);
+        let clauses: Vec<NormClause> = all_clauses.into_iter().filter(|c| !c.dead).collect();
+        let empty: BTreeMap<String, GeneralizedRelation> = info
+            .signatures
+            .iter()
+            .map(|(p, s)| (p.clone(), GeneralizedRelation::empty(*s)))
+            .collect();
+        Ok(ResidentModel {
+            program,
+            info,
+            clauses,
+            program_hash,
+            edb,
+            idb,
+            empty,
+            opts,
+            stats: ResidentStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// The workload program this model maintains.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current extensional database (grown by ingestion).
+    pub fn edb(&self) -> &Database {
+        &self.edb
+    }
+
+    /// The maintained intensional relations.
+    pub fn idb(&self) -> &BTreeMap<String, GeneralizedRelation> {
+        &self.idb
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ResidentStats {
+        self.stats
+    }
+
+    /// True after an apply left the model inconsistent (a recovery
+    /// re-evaluation failed to converge). A poisoned model refuses
+    /// further applies; callers should rebuild or stop serving writes.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The relation answering queries for `pred`: maintained IDB first,
+    /// raw EDB otherwise.
+    pub fn relation(&self, pred: &str) -> Option<&GeneralizedRelation> {
+        self.idb.get(pred).or_else(|| self.edb.get(pred))
+    }
+
+    /// Validates one fact against the program's signatures and the
+    /// current EDB. Intensional predicates cannot be ingested.
+    fn check_fact(&self, fact: &Fact) -> Result<()> {
+        if self.info.intensional.contains(&fact.pred) {
+            return Err(Error::Eval(format!(
+                "cannot ingest facts for intensional predicate `{}` (derived by rules)",
+                fact.pred
+            )));
+        }
+        let schema = itdb_lrp::Schema::new(fact.tuple.temporal_arity(), fact.tuple.data_arity());
+        if let Some(expected) = self.info.signatures.get(&fact.pred) {
+            if *expected != schema {
+                return Err(Error::SchemaMismatch(format!(
+                    "fact for `{}` has schema {schema} but the program uses {expected}",
+                    fact.pred
+                )));
+            }
+        } else if let Some(rel) = self.edb.get(&fact.pred) {
+            if rel.schema() != schema {
+                return Err(Error::SchemaMismatch(format!(
+                    "fact for `{}` has schema {schema} but the relation holds {}",
+                    fact.pred,
+                    rel.schema()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts the batch into the EDB with subsumption, returning the
+    /// per-predicate delta of tuples that were actually new.
+    fn ingest_edb(
+        &mut self,
+        facts: &[Fact],
+    ) -> Result<(BTreeMap<String, GeneralizedRelation>, u64, u64)> {
+        for f in facts {
+            self.check_fact(f)?;
+        }
+        let mut delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+        let (mut applied, mut duplicates) = (0u64, 0u64);
+        for f in facts {
+            let Some(tuple) = f.tuple.canonical() else {
+                // Empty zone: denotes no ground facts at all.
+                duplicates += 1;
+                continue;
+            };
+            let schema = itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
+            if self.edb.get(&f.pred).is_none() {
+                self.edb
+                    .insert(f.pred.clone(), GeneralizedRelation::empty(schema));
+            }
+            let rel = self.edb.get_mut(&f.pred).ok_or_else(|| {
+                Error::Eval(format!("internal: EDB relation `{}` vanished", f.pred))
+            })?;
+            let new = if self.opts.use_index {
+                rel.insert_if_new(tuple.clone(), self.opts.residue_budget)?
+            } else {
+                rel.insert_if_new_naive(tuple.clone(), self.opts.residue_budget)?
+            };
+            if new {
+                applied += 1;
+                delta
+                    .entry(f.pred.clone())
+                    .or_insert_with(|| GeneralizedRelation::empty(schema))
+                    .insert(tuple)?;
+            } else {
+                duplicates += 1;
+            }
+        }
+        Ok((delta, applied, duplicates))
+    }
+
+    /// Predicates whose extension may change when `changed` grows:
+    /// transitive closure of the dependency graph, upward.
+    fn affected_preds(&self, changed: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut affected = changed.clone();
+        loop {
+            let before = affected.len();
+            for (head, dep) in &self.info.dependencies {
+                if affected.contains(dep) {
+                    affected.insert(head.clone());
+                }
+            }
+            if affected.len() == before {
+                return affected;
+            }
+        }
+    }
+
+    /// Does any clause with an affected head negate an affected
+    /// predicate? If so, delta insertion is unsound (the model may
+    /// shrink) and the apply must fall back to full re-evaluation.
+    fn negation_over(&self, affected: &BTreeSet<String>) -> bool {
+        self.clauses.iter().any(|c| {
+            affected.contains(&c.head_pred) && c.neg_body.iter().any(|a| affected.contains(&a.pred))
+        })
+    }
+
+    /// Applies one batch incrementally. See the module docs for the
+    /// soundness argument; [`Self::apply_batch_full_reeval`] is the
+    /// oracle twin.
+    pub fn apply_batch(&mut self, facts: &[Fact]) -> Result<ApplyOutcome> {
+        if self.poisoned {
+            return Err(Error::Eval(
+                "resident model is poisoned; rebuild before ingesting".to_string(),
+            ));
+        }
+        let (edb_delta, applied, duplicates) = self.ingest_edb(facts)?;
+        let mut out = ApplyOutcome {
+            applied,
+            duplicates,
+            ..ApplyOutcome::default()
+        };
+        if !edb_delta.is_empty() {
+            match self.propagate(edb_delta, &mut out) {
+                Ok(()) => {}
+                Err(e) => {
+                    // The EDB inserts stand; restore IDB consistency with
+                    // one honest full re-evaluation. Only if *that* fails
+                    // is the model genuinely broken.
+                    self.recover_full(&mut out).map_err(|e2| {
+                        Error::Eval(format!(
+                            "incremental apply failed ({e}) and recovery re-evaluation \
+                             failed ({e2}); model is poisoned"
+                        ))
+                    })?;
+                }
+            }
+        }
+        self.stats.applies += 1;
+        self.stats.facts_applied += out.applied;
+        self.stats.facts_duplicate += out.duplicates;
+        self.stats.derived_inserted += out.derived_inserted;
+        self.stats.full_reevals += u64::from(out.full_reeval);
+        Ok(out)
+    }
+
+    /// The oracle twin: same EDB insertion and dedup accounting, then a
+    /// full re-evaluation replaces the maintained IDB wholesale.
+    pub fn apply_batch_full_reeval(&mut self, facts: &[Fact]) -> Result<ApplyOutcome> {
+        if self.poisoned {
+            return Err(Error::Eval(
+                "resident model is poisoned; rebuild before ingesting".to_string(),
+            ));
+        }
+        let (edb_delta, applied, duplicates) = self.ingest_edb(facts)?;
+        let mut out = ApplyOutcome {
+            applied,
+            duplicates,
+            full_reeval: true,
+            ..ApplyOutcome::default()
+        };
+        if !edb_delta.is_empty() {
+            self.recover_full(&mut out)?;
+        }
+        self.stats.applies += 1;
+        self.stats.facts_applied += out.applied;
+        self.stats.facts_duplicate += out.duplicates;
+        self.stats.full_reevals += 1;
+        Ok(out)
+    }
+
+    /// Replaces the IDB with a fresh full evaluation of the (already
+    /// updated) EDB. Poisons the model if the evaluation no longer
+    /// converges.
+    fn recover_full(&mut self, out: &mut ApplyOutcome) -> Result<()> {
+        out.full_reeval = true;
+        out.derived_inserted = 0;
+        let eval = evaluate_with(&self.program, &self.edb, &self.opts)?;
+        if !matches!(eval.outcome, EvalOutcome::Converged { .. }) {
+            self.poisoned = true;
+            return Err(Error::Eval(format!(
+                "re-evaluation after ingest did not converge: {:?}",
+                eval.outcome
+            )));
+        }
+        self.idb = eval.idb;
+        Ok(())
+    }
+
+    /// Delta propagation: seed the semi-naive frontier with the new EDB
+    /// tuples and resume the fixpoint from the affected strata.
+    fn propagate(
+        &mut self,
+        edb_delta: BTreeMap<String, GeneralizedRelation>,
+        out: &mut ApplyOutcome,
+    ) -> Result<()> {
+        let changed_edb: BTreeSet<String> = edb_delta.keys().cloned().collect();
+        let affected = self.affected_preds(&changed_edb);
+        if !affected.iter().any(|p| self.info.intensional.contains(p)) {
+            return Ok(()); // pure-EDB growth: nothing derives from it
+        }
+        if self.negation_over(&affected) {
+            return self.recover_full(out);
+        }
+
+        // Cumulative per-predicate delta across strata: starts as the new
+        // EDB tuples, grows with every IDB insert, and is what seeds the
+        // frontier of each higher stratum.
+        let mut acc_delta = edb_delta;
+
+        for (stratum_idx, stratum) in self.info.strata.iter().enumerate() {
+            if !stratum.iter().any(|p| affected.contains(p)) {
+                continue; // below the lowest affected stratum, or disjoint
+            }
+            let stratum_clauses: Vec<&NormClause> = self
+                .clauses
+                .iter()
+                .filter(|c| stratum.contains(&c.head_pred))
+                .collect();
+            if stratum_clauses.is_empty() {
+                continue;
+            }
+            let _span = itdb_trace::span_with(itdb_trace::SpanKind::Stratum, || {
+                format!("maintain stratum {stratum_idx}")
+            });
+            out.strata_touched += 1;
+
+            // Free-extension guard, seeded from the *current* relations of
+            // this stratum's predicates: the same grace rule as the
+            // engine, so a batch that makes the workload diverge is
+            // detected instead of looping.
+            let mut fe_keys: BTreeMap<String, BTreeSet<FeKey>> = BTreeMap::new();
+            for pred in stratum.iter() {
+                let keys: BTreeSet<FeKey> = self
+                    .idb
+                    .get(pred)
+                    .map(|rel| {
+                        rel.tuples()
+                            .iter()
+                            .map(|t| t.free_extension_key())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                fe_keys.insert(pred.clone(), keys);
+            }
+            let mut fe_safe_streak = 0usize;
+
+            // Iteration 1 fires from everything changed so far (EDB +
+            // lower strata); later iterations from this stratum's newly
+            // inserted tuples only — standard semi-naive.
+            let mut frontier: BTreeMap<String, GeneralizedRelation> = acc_delta.clone();
+            let mut stratum_iters = 0usize;
+            loop {
+                stratum_iters += 1;
+                out.iterations += 1;
+                if stratum_iters > self.opts.max_iterations {
+                    return Err(Error::Eval(format!(
+                        "incremental maintenance exceeded {} iterations in stratum {stratum_idx}",
+                        self.opts.max_iterations
+                    )));
+                }
+                let changed: Vec<&str> = frontier
+                    .iter()
+                    .filter(|(_, rel)| !rel.is_empty())
+                    .map(|(p, _)| p.as_str())
+                    .collect();
+                if changed.is_empty() {
+                    break;
+                }
+                let mut derived: Vec<Pending> = Vec::new();
+                for clause in &stratum_clauses {
+                    let dposes = clause.body_positions_of(&changed);
+                    if dposes.is_empty() {
+                        continue;
+                    }
+                    let neg_rels: Vec<&GeneralizedRelation> = clause
+                        .neg_body
+                        .iter()
+                        .map(|a| self.stable_rel(&a.pred))
+                        .collect();
+                    for dpos in dposes {
+                        let rel_for = |i: usize| -> &GeneralizedRelation {
+                            let pred = clause.body[i].pred.as_str();
+                            if i == dpos {
+                                frontier.get(pred).unwrap_or_else(|| self.empty_rel(pred))
+                            } else {
+                                self.stable_rel(pred)
+                            }
+                        };
+                        eval_clause(
+                            clause,
+                            &rel_for,
+                            &neg_rels,
+                            self.opts.residue_budget,
+                            self.opts.use_index,
+                            false,
+                            None,
+                            &mut |t, _| {
+                                derived.push(Pending {
+                                    pred: clause.head_pred.clone(),
+                                    rule: clause.idx,
+                                    tuple: t,
+                                    sources: Vec::new(),
+                                })
+                            },
+                        )?;
+                    }
+                }
+
+                let mut next: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+                let mut new_fe_key = false;
+                for Pending { pred, tuple, .. } in derived {
+                    let Some(tuple) = tuple.canonical() else {
+                        continue;
+                    };
+                    let rel = self.idb.get_mut(&pred).ok_or_else(|| {
+                        Error::Eval(format!(
+                            "internal: derived tuple for non-intensional predicate {pred}"
+                        ))
+                    })?;
+                    let ins = if self.opts.use_index {
+                        rel.insert_if_new(tuple.clone(), self.opts.residue_budget)?
+                    } else {
+                        rel.insert_if_new_naive(tuple.clone(), self.opts.residue_budget)?
+                    };
+                    if ins {
+                        out.derived_inserted += 1;
+                        if let Some(keys) = fe_keys.get_mut(&pred) {
+                            if keys.insert(tuple.free_extension_key()) {
+                                new_fe_key = true;
+                            }
+                        }
+                        let schema =
+                            itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
+                        next.entry(pred.clone())
+                            .or_insert_with(|| GeneralizedRelation::empty(schema))
+                            .insert(tuple)?;
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                if new_fe_key {
+                    fe_safe_streak = 0;
+                } else {
+                    fe_safe_streak += 1;
+                    if fe_safe_streak > self.opts.grace_after_fe_safety {
+                        return Err(Error::Eval(format!(
+                            "incremental maintenance diverged in stratum {stratum_idx} \
+                             (no new free-extension key for {fe_safe_streak} iterations)"
+                        )));
+                    }
+                }
+                // Fold the stratum's new tuples into the cumulative delta
+                // for downstream strata.
+                for (pred, rel) in &next {
+                    let schema = rel.schema();
+                    let acc = acc_delta
+                        .entry(pred.clone())
+                        .or_insert_with(|| GeneralizedRelation::empty(schema));
+                    for t in rel.tuples() {
+                        acc.insert(t.clone())?;
+                    }
+                }
+                frontier = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// The current full relation for `pred`: maintained IDB for
+    /// intensional predicates, (updated) EDB otherwise.
+    fn stable_rel(&self, pred: &str) -> &GeneralizedRelation {
+        if self.info.intensional.contains(pred) {
+            self.idb.get(pred).unwrap_or_else(|| self.empty_rel(pred))
+        } else {
+            self.edb.get(pred).unwrap_or_else(|| self.empty_rel(pred))
+        }
+    }
+
+    /// An empty relation of `pred`'s schema (interned; falls back to a
+    /// shared 0/0 schema only for predicates the program never mentions).
+    fn empty_rel(&self, pred: &str) -> &GeneralizedRelation {
+        static FALLBACK: std::sync::OnceLock<GeneralizedRelation> = std::sync::OnceLock::new();
+        self.empty.get(pred).unwrap_or_else(|| {
+            FALLBACK.get_or_init(|| GeneralizedRelation::empty(itdb_lrp::Schema::new(0, 0)))
+        })
+    }
+
+    /// Encodes the full resident state (EDB + IDB + applied-through WAL
+    /// sequence) as store sections — the checkpoint half of the
+    /// checkpoint+WAL pairing. Tuple order is preserved exactly, so a
+    /// restore followed by replay is byte-identical to the uninterrupted
+    /// run.
+    pub fn snapshot_sections(&self, applied_seq: u64) -> Vec<Section> {
+        let mut meta = ByteWriter::new();
+        meta.put_u8(RES_SNAPSHOT_VERSION);
+        meta.put_u64((self.program_hash >> 64) as u64);
+        meta.put_u64(self.program_hash as u64);
+        meta.put_u64(applied_seq);
+        let mut edb = ByteWriter::new();
+        put_relations(&mut edb, self.edb.relations());
+        let mut idb = ByteWriter::new();
+        put_relations(&mut idb, &self.idb);
+        vec![
+            Section::new(SEC_RES_META, meta.into_bytes()),
+            Section::new(SEC_RES_EDB, edb.into_bytes()),
+            Section::new(SEC_RES_IDB, idb.into_bytes()),
+        ]
+    }
+
+    /// Restores a resident model from [`Self::snapshot_sections`] output.
+    /// The program must hash-match the snapshot (a snapshot is only valid
+    /// for the workload that wrote it). Returns the model and the WAL
+    /// sequence it is current through — replay starts after it.
+    pub fn restore_from_sections(
+        program: Program,
+        opts: EvalOptions,
+        sections: &[Section],
+    ) -> Result<(Self, u64)> {
+        let find = |tag: u8| -> Result<&[u8]> {
+            sections
+                .iter()
+                .find(|s| s.tag == tag)
+                .map(|s| s.payload.as_slice())
+                .ok_or_else(|| Error::Eval(format!("resident snapshot: missing section {tag}")))
+        };
+        let bad = |what: &str| Error::Eval(format!("resident snapshot: truncated {what}"));
+        let mut meta = ByteReader::new(find(SEC_RES_META)?);
+        let version = meta.get_u8().map_err(|_| bad("meta"))?;
+        if version != RES_SNAPSHOT_VERSION {
+            return Err(Error::Eval(format!(
+                "resident snapshot: unsupported version {version}"
+            )));
+        }
+        let hi = meta.get_u64().map_err(|_| bad("meta"))?;
+        let lo = meta.get_u64().map_err(|_| bad("meta"))?;
+        let snapshot_hash = (u128::from(hi) << 64) | u128::from(lo);
+        let applied_seq = meta.get_u64().map_err(|_| bad("meta"))?;
+
+        let expected = hash_program(&normalize_program(&program)?);
+        if snapshot_hash != expected {
+            return Err(Error::Eval(
+                "resident snapshot was written by a different workload program".to_string(),
+            ));
+        }
+        let mut edb_r = ByteReader::new(find(SEC_RES_EDB)?);
+        let edb = Database::from_relations(
+            get_relations(&mut edb_r)
+                .map_err(|e| Error::Eval(format!("resident snapshot: {e}")))?,
+        );
+        let mut idb_r = ByteReader::new(find(SEC_RES_IDB)?);
+        let idb = get_relations(&mut idb_r)
+            .map_err(|e| Error::Eval(format!("resident snapshot: {e}")))?;
+        let model = Self::assemble(program, edb, idb, opts)?;
+        Ok((model, applied_seq))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use itdb_lrp::parser::parse_tuple;
+
+    const PROGRAM: &str = "\
+        problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).
+        problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).";
+
+    fn model() -> ResidentModel {
+        let program = parse_program(PROGRAM).unwrap();
+        let mut edb = Database::new();
+        edb.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+            .unwrap();
+        ResidentModel::new(program, edb, EvalOptions::default()).unwrap()
+    }
+
+    fn fact(pred: &str, text: &str) -> Fact {
+        Fact {
+            pred: pred.to_string(),
+            tuple: parse_tuple(text).unwrap(),
+        }
+    }
+
+    #[test]
+    fn incremental_apply_matches_full_reeval() {
+        let mut inc = model();
+        let mut full = model();
+        let batch = vec![fact(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let a = inc.apply_batch(&batch).unwrap();
+        let b = full.apply_batch_full_reeval(&batch).unwrap();
+        assert_eq!(a.applied, 1);
+        assert_eq!(b.applied, 1);
+        assert!(!a.full_reeval, "positive program propagates incrementally");
+        for (pred, rel) in inc.idb() {
+            let other = &full.idb()[pred];
+            assert!(
+                rel.equivalent(other, 100_000).unwrap(),
+                "{pred} differs between incremental and full re-eval"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_is_idempotent() {
+        let mut m = model();
+        let batch = vec![fact(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let first = m.apply_batch(&batch).unwrap();
+        assert_eq!((first.applied, first.duplicates), (1, 0));
+        let before = m.idb().clone();
+        let second = m.apply_batch(&batch).unwrap();
+        assert_eq!((second.applied, second.duplicates), (0, 1));
+        assert_eq!(second.derived_inserted, 0, "no re-derivation");
+        for (pred, rel) in m.idb() {
+            assert_eq!(
+                rel.tuples(),
+                before[pred].tuples(),
+                "idempotent replay is byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn intensional_facts_are_rejected() {
+        let mut m = model();
+        let err = m
+            .apply_batch(&[fact(
+                "problems",
+                "(168n+10, 168n+12; database) : T2 = T1 + 2",
+            )])
+            .unwrap_err();
+        assert!(err.to_string().contains("intensional"), "{err}");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut m = model();
+        let err = m.apply_batch(&[fact("course", "(5n+1)")]).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn negation_over_changed_pred_falls_back_to_full_reeval() {
+        let program = parse_program(
+            "lit[t](C) <- candidate[t](C), !blocked[t](C).
+             blocked[t](C) <- veto[t](C).",
+        )
+        .unwrap();
+        let mut edb = Database::new();
+        edb.insert_parsed("candidate", "(7n+1; a)").unwrap();
+        edb.insert_parsed("veto", "(14n+1; a)").unwrap();
+        let mut m =
+            ResidentModel::new(program.clone(), edb.clone(), EvalOptions::default()).unwrap();
+        let out = m.apply_batch(&[fact("veto", "(14n+8; a)")]).unwrap();
+        assert!(out.full_reeval, "negation over changed pred must fall back");
+        // Oracle: full evaluation over the updated EDB.
+        let mut edb2 = edb;
+        let mut veto = edb2.get("veto").unwrap().clone();
+        veto.insert(parse_tuple("(14n+8; a)").unwrap()).unwrap();
+        edb2.insert("veto", veto);
+        let oracle = evaluate_with(&program, &edb2, &EvalOptions::default()).unwrap();
+        for (pred, rel) in m.idb() {
+            assert!(
+                rel.equivalent(&oracle.idb[pred], 100_000).unwrap(),
+                "{pred} differs from oracle after fallback"
+            );
+        }
+    }
+
+    #[test]
+    fn new_pure_edb_predicate_is_queryable() {
+        let mut m = model();
+        let out = m.apply_batch(&[fact("audit", "(24n+3; ops)")]).unwrap();
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.strata_touched, 0, "no rules reference audit");
+        assert!(m.relation("audit").is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_replay_is_byte_identical() {
+        let mut uninterrupted = model();
+        let b1 = vec![fact(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let b2 = vec![fact("course", "(168n+50, 168n+52; logic) : T2 = T1 + 2")];
+        uninterrupted.apply_batch(&b1).unwrap();
+        // Snapshot mid-stream (as if compaction ran here at WAL seq 1).
+        let sections = uninterrupted.snapshot_sections(1);
+        uninterrupted.apply_batch(&b2).unwrap();
+
+        let program = parse_program(PROGRAM).unwrap();
+        let (mut restored, seq) =
+            ResidentModel::restore_from_sections(program, EvalOptions::default(), &sections)
+                .unwrap();
+        assert_eq!(seq, 1);
+        restored.apply_batch(&b2).unwrap(); // replay everything after seq 1
+        for (pred, rel) in uninterrupted.idb() {
+            assert_eq!(
+                rel.tuples(),
+                restored.idb()[pred].tuples(),
+                "{pred}: restore+replay must be byte-identical to uninterrupted"
+            );
+        }
+        for (pred, rel) in uninterrupted.edb().iter() {
+            assert_eq!(rel.tuples(), restored.edb().get(pred).unwrap().tuples());
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_other_program() {
+        let m = model();
+        let sections = m.snapshot_sections(0);
+        let other = parse_program("p[t] <- q[t].").unwrap();
+        let err = ResidentModel::restore_from_sections(other, EvalOptions::default(), &sections)
+            .unwrap_err();
+        assert!(err.to_string().contains("different workload"), "{err}");
+    }
+}

@@ -45,6 +45,7 @@ use crate::query::query;
 use itdb_lrp::{
     parser as lrp_parser, Error, GeneralizedRelation, Governor, Result, Schema, TripReason,
 };
+use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -58,12 +59,94 @@ pub struct Workload {
     pub edb: Database,
 }
 
+impl Workload {
+    /// Renders the workload back into the line format [`parse_workload`]
+    /// accepts: one `tuple NAME (…)` line per generalized tuple (in
+    /// relation order) followed by one `rule CLAUSE.` line per clause.
+    /// `parse(w.to_text())` reproduces the workload exactly — the
+    /// round-trip the `prop_workload` suite pins down.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, rel) in self.edb.iter() {
+            for t in rel.tuples() {
+                out.push_str(&format!("tuple {name} {t}\n"));
+            }
+        }
+        for c in &self.program.clauses {
+            out.push_str(&format!("rule {c}\n"));
+        }
+        out
+    }
+}
+
+/// Why one workload line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadErrorKind {
+    /// A `tuple` directive without both a relation name and a tuple.
+    MissingTupleParts,
+    /// The tuple text did not parse (reason from the lrp parser).
+    BadTuple(String),
+    /// The tuple parsed but could not join its relation (schema clash).
+    BadRelation(String),
+    /// The rule text did not parse (reason from the clause parser).
+    BadRule(String),
+    /// A directive that is not `tuple` or `rule`.
+    UnknownDirective(String),
+}
+
+impl fmt::Display for WorkloadErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadErrorKind::MissingTupleParts => write!(f, "usage: tuple NAME (…)"),
+            WorkloadErrorKind::BadTuple(e) => write!(f, "bad tuple: {e}"),
+            WorkloadErrorKind::BadRelation(e) => write!(f, "{e}"),
+            WorkloadErrorKind::BadRule(e) => write!(f, "bad rule: {e}"),
+            WorkloadErrorKind::UnknownDirective(d) => write!(
+                f,
+                "unsupported directive `{d}` \
+                 (serving workloads are declarative: only `tuple` and `rule`)"
+            ),
+        }
+    }
+}
+
+/// A workload parse failure: the offending 1-based line plus a typed
+/// reason. Nothing is ever silently skipped — the first bad line aborts
+/// the parse and is reported exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: WorkloadErrorKind,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<WorkloadError> for Error {
+    fn from(e: WorkloadError) -> Self {
+        Error::Eval(e.to_string())
+    }
+}
+
 /// Parses the workload line format: blank lines and `#`/`%` comments are
 /// skipped; `tuple NAME (…)` adds one generalized tuple to the named
 /// relation; `rule CLAUSE.` adds one clause. Anything else — including
 /// shell commands like `eval` that make no sense in a declarative
 /// workload — is rejected with the offending line number.
 pub fn parse_workload(text: &str) -> Result<Workload> {
+    parse_workload_typed(text).map_err(Into::into)
+}
+
+/// [`parse_workload`] with a structured error: the exact line number and
+/// a typed reason ([`WorkloadErrorKind`]) instead of a flattened string.
+pub fn parse_workload_typed(text: &str) -> std::result::Result<Workload, WorkloadError> {
     let mut program = Program::default();
     let mut relations: Vec<(String, GeneralizedRelation)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -76,35 +159,33 @@ pub fn parse_workload(text: &str) -> Result<Workload> {
             None => (line, ""),
         };
         let lineno = lineno + 1;
+        let fail = |kind: WorkloadErrorKind| WorkloadError { line: lineno, kind };
         match cmd {
             "tuple" => {
-                let (name, tuple_text) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-                    Error::Eval(format!("workload line {lineno}: usage: tuple NAME (…)"))
-                })?;
+                let (name, tuple_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| fail(WorkloadErrorKind::MissingTupleParts))?;
                 let tuple = lrp_parser::parse_tuple(tuple_text.trim())
-                    .map_err(|e| Error::Eval(format!("workload line {lineno}: bad tuple: {e}")))?;
+                    .map_err(|e| fail(WorkloadErrorKind::BadTuple(e.to_string())))?;
                 let schema = Schema::new(tuple.temporal_arity(), tuple.data_arity());
                 match relations.iter_mut().find(|(n, _)| n == name) {
                     Some((_, rel)) => rel
                         .insert(tuple)
-                        .map_err(|e| Error::Eval(format!("workload line {lineno}: {e}")))?,
+                        .map_err(|e| fail(WorkloadErrorKind::BadRelation(e.to_string())))?,
                     None => relations.push((
                         name.to_string(),
                         GeneralizedRelation::from_tuples(schema, vec![tuple])
-                            .map_err(|e| Error::Eval(format!("workload line {lineno}: {e}")))?,
+                            .map_err(|e| fail(WorkloadErrorKind::BadRelation(e.to_string())))?,
                     )),
                 }
             }
             "rule" => {
                 let clause = parse_clause(rest)
-                    .map_err(|e| Error::Eval(format!("workload line {lineno}: bad rule: {e}")))?;
+                    .map_err(|e| fail(WorkloadErrorKind::BadRule(e.to_string())))?;
                 program.clauses.push(clause);
             }
             other => {
-                return Err(Error::Eval(format!(
-                    "workload line {lineno}: unsupported directive `{other}` \
-                     (serving workloads are declarative: only `tuple` and `rule`)"
-                )));
+                return Err(fail(WorkloadErrorKind::UnknownDirective(other.to_string())));
             }
         }
     }

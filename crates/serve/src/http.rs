@@ -13,6 +13,7 @@
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line (method + path + version), in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -119,6 +120,67 @@ fn read_line(r: &mut impl BufRead, max: usize, what: &str) -> Result<Option<Stri
         .map_err(|_| ParseError::Malformed(format!("{what} is not valid UTF-8")))
 }
 
+/// A [`BufRead`] adapter enforcing an **overall** wall-clock budget on a
+/// request read. The socket's per-read timeout only bounds one `read`
+/// call; a slowloris client dripping a byte every few seconds keeps each
+/// read under that timeout and holds a worker forever. Every refill here
+/// first checks the deadline, so the drip itself trips the budget: the
+/// total time a worker spends parsing one request head is bounded by
+/// `budget` plus at most one socket read-timeout.
+pub struct DeadlineReader<R> {
+    inner: R,
+    deadline: Instant,
+}
+
+impl<R: BufRead> DeadlineReader<R> {
+    /// Wraps `inner`, allowing at most `budget` of wall-clock time across
+    /// all refills before reads fail with [`io::ErrorKind::TimedOut`].
+    pub fn new(inner: R, budget: Duration) -> DeadlineReader<R> {
+        DeadlineReader {
+            inner,
+            deadline: Instant::now() + budget,
+        }
+    }
+
+    fn check(&self) -> io::Result<()> {
+        if Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> io::Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.read(buf)
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        self.check()?;
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt)
+    }
+}
+
+/// [`read_request`] under an overall deadline: the standard entry point
+/// for reading off a socket (see [`DeadlineReader`] for why the socket
+/// read-timeout alone is not enough).
+pub fn read_request_deadline(
+    r: &mut impl BufRead,
+    budget: Duration,
+) -> Result<Request, ParseError> {
+    read_request(&mut DeadlineReader::new(r, budget))
+}
+
 /// Parses one HTTP/1.1 request from `r`. Returns
 /// `Err(ParseError::ConnectionClosed)` if the peer hung up cleanly before
 /// sending anything.
@@ -196,6 +258,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",

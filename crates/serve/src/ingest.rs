@@ -1,0 +1,739 @@
+//! Streaming ingestion: the WAL-backed write path behind `POST /facts`.
+//!
+//! ## Crash consistency
+//!
+//! Every accepted batch takes the same journey, serialized under one
+//! lock so the durable log and the in-memory model never disagree about
+//! order:
+//!
+//! 1. **Dedup check** — a batch whose `X-Itdb-Request-Id` is still in the
+//!    dedup window is answered from the remembered outcome without
+//!    touching the WAL or the model (at-least-once clients get
+//!    exactly-once application).
+//! 2. **WAL append** — the encoded batch goes to the write-ahead log
+//!    first and is fsynced per the configured flush policy. Only after
+//!    the append succeeds does the model change, so every batch the
+//!    client saw acknowledged is re-derivable from checkpoint + log.
+//! 3. **Incremental apply** — [`ResidentModel::apply_batch`] folds the
+//!    new tuples in (semi-naive delta propagation; full re-evaluation
+//!    when negation over a changed predicate makes deltas unsound). A
+//!    batch the model *rejects* (unknown schema, intensional predicate)
+//!    still sits in the WAL — rejection is deterministic, so boot-time
+//!    replay re-rejects it identically and the log stays a faithful
+//!    request history.
+//! 4. **Checkpoint + compaction** — every `checkpoint_every` records the
+//!    full resident state (EDB + IDB + dedup window + applied sequence)
+//!    is written to the snapshot store and the WAL drops every sealed
+//!    segment the checkpoint covers.
+//!
+//! Boot recovery inverts the pipeline: restore the newest valid
+//! checkpoint (or start from the workload file), then replay every WAL
+//! record past the checkpoint's sequence. [`ResidentModel`] applies
+//! batches deterministically and its snapshots preserve tuple order
+//! exactly, so a SIGKILL'd server restarts with **byte-identical**
+//! relations to an uninterrupted run — the property the chaos harness
+//! checks end to end.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::{EvalOptions, Fact, ResidentModel, Workload};
+use itdb_lrp::parser::parse_tuple;
+use itdb_store::{ByteReader, ByteWriter, Section, SnapshotStore, Wal, WalOptions, WalStats};
+use itdb_trace::EventKind;
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Section tag carrying the serve-layer dedup window inside a resident
+/// checkpoint (the model's own sections use tags 21–23).
+pub const SEC_INGEST_DEDUP: u8 = 30;
+/// WAL record payload format version.
+const BATCH_VERSION: u8 = 1;
+
+/// Configuration for the streaming-ingestion subsystem.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Directory holding the WAL segments and (under `checkpoint/`) the
+    /// resident-model snapshot store.
+    pub wal_dir: PathBuf,
+    /// Segment rotation and fsync batching for the log.
+    pub wal: WalOptions,
+    /// Request ids remembered for idempotent replay of retried batches.
+    pub dedup_window: usize,
+    /// Ingest requests allowed in flight before `POST /facts` answers
+    /// `503` with a `Retry-After`.
+    pub max_pending: u64,
+    /// WAL records between resident checkpoints (each checkpoint also
+    /// compacts the log).
+    pub checkpoint_every: u64,
+}
+
+impl IngestConfig {
+    /// Defaults sized like the rest of the serve stack: small enough for
+    /// CI, sane for a single-node deployment.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> Self {
+        IngestConfig {
+            wal_dir: wal_dir.into(),
+            wal: WalOptions::default(),
+            dedup_window: 1024,
+            max_pending: 128,
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// One decoded `POST /facts` batch as it travels through the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactBatch {
+    /// The request id the batch arrived under (dedup key).
+    pub request_id: String,
+    /// The facts, in request order.
+    pub facts: Vec<Fact>,
+}
+
+/// Encodes a batch as a WAL record payload. Tuples travel in their
+/// textual closed form — the format round-trips exactly (pinned by the
+/// `prop_workload` suite), stays human-readable in a hex dump, and is
+/// versioned independently of the in-memory layout.
+pub fn encode_batch(batch: &FactBatch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(BATCH_VERSION);
+    w.put_str(&batch.request_id);
+    w.put_usize(batch.facts.len());
+    for f in &batch.facts {
+        w.put_str(&f.pred);
+        w.put_str(&f.tuple.to_string());
+    }
+    w.into_bytes()
+}
+
+/// Decodes a WAL record payload written by [`encode_batch`].
+pub fn decode_batch(payload: &[u8]) -> Result<FactBatch, String> {
+    let mut r = ByteReader::new(payload);
+    let version = r.get_u8().map_err(|e| e.to_string())?;
+    if version != BATCH_VERSION {
+        return Err(format!("unknown fact-batch version {version}"));
+    }
+    let request_id = r.get_str().map_err(|e| e.to_string())?;
+    let count = r.get_usize().map_err(|e| e.to_string())?;
+    let mut facts = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let pred = r.get_str().map_err(|e| e.to_string())?;
+        let text = r.get_str().map_err(|e| e.to_string())?;
+        let tuple = parse_tuple(&text).map_err(|e| format!("bad tuple in WAL record: {e}"))?;
+        facts.push(Fact { pred, tuple });
+    }
+    Ok(FactBatch { request_id, facts })
+}
+
+/// What one accepted (or deduplicated) ingest request did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// EDB tuples newly inserted.
+    pub applied: u64,
+    /// EDB tuples already covered by the relation.
+    pub duplicates: u64,
+    /// The WAL sequence the batch was logged at (0 for a deduplicated
+    /// request — nothing was re-logged).
+    pub seq: u64,
+    /// Whether the request id was already in the dedup window (the
+    /// counts above are the remembered first-application counts).
+    pub duplicate_request: bool,
+}
+
+/// Why an ingest request was not applied.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Too many ingest requests in flight; retry after the given delay.
+    Backpressure {
+        /// Suggested client backoff, seconds.
+        retry_after_s: u64,
+    },
+    /// The resident model is poisoned (a recovery re-evaluation failed);
+    /// writes are refused until the operator restarts the server.
+    Poisoned,
+    /// The model rejected the batch (schema mismatch, intensional
+    /// predicate). Deterministic: replay re-rejects it identically.
+    Rejected(String),
+    /// The WAL append or checkpoint write failed; nothing was applied.
+    Wal(String),
+}
+
+/// The bounded request-id window with the outcome remembered per id, so
+/// a retried batch is answered idempotently.
+#[derive(Debug, Default)]
+struct DedupWindow {
+    cap: usize,
+    entries: VecDeque<(String, u64, u64)>,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow {
+            cap: cap.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, id: &str) -> Option<(u64, u64)> {
+        self.entries
+            .iter()
+            .find(|(i, _, _)| i == id)
+            .map(|(_, a, d)| (*a, *d))
+    }
+
+    fn insert(&mut self, id: String, applied: u64, duplicates: u64) {
+        if self.entries.len() >= self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id, applied, duplicates));
+    }
+
+    fn encode_section(&self) -> Section {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.entries.len());
+        for (id, applied, duplicates) in &self.entries {
+            w.put_str(id);
+            w.put_u64(*applied);
+            w.put_u64(*duplicates);
+        }
+        Section::new(SEC_INGEST_DEDUP, w.into_bytes())
+    }
+
+    fn decode_section(cap: usize, sections: &[Section]) -> Self {
+        let mut window = DedupWindow::new(cap);
+        let Some(section) = sections.iter().find(|s| s.tag == SEC_INGEST_DEDUP) else {
+            return window;
+        };
+        let mut r = ByteReader::new(&section.payload);
+        let Ok(count) = r.get_usize() else {
+            return window;
+        };
+        for _ in 0..count {
+            let (Ok(id), Ok(applied), Ok(duplicates)) = (r.get_str(), r.get_u64(), r.get_u64())
+            else {
+                break;
+            };
+            window.insert(id, applied, duplicates);
+        }
+        window
+    }
+}
+
+/// Everything guarded by the ingest lock: the log, the model, the dedup
+/// window, and the checkpoint cadence.
+struct IngestInner {
+    wal: Wal,
+    model: ResidentModel,
+    dedup: DedupWindow,
+    store: SnapshotStore,
+    applied_seq: u64,
+    records_since_checkpoint: u64,
+}
+
+/// How boot recovery went (printed at startup, exported as metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestBootReport {
+    /// Whether a resident checkpoint was restored (vs a fresh build from
+    /// the workload file).
+    pub restored_checkpoint: bool,
+    /// WAL records replayed on top of the restored state.
+    pub replayed_records: u64,
+    /// Bytes of torn tail truncated from the newest segment.
+    pub truncated_tail_bytes: u64,
+    /// The WAL sequence the model is current through after replay.
+    pub last_seq: u64,
+}
+
+/// The streaming-ingestion subsystem: WAL + resident model + dedup
+/// window behind one lock, with lock-free counters for `/metrics`.
+pub struct Ingest {
+    inner: Mutex<IngestInner>,
+    config: IngestConfig,
+    pending: AtomicU64,
+    facts_ingested: AtomicU64,
+    facts_duplicate: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    boot: IngestBootReport,
+}
+
+impl Ingest {
+    /// Opens (or creates) the WAL directory, restores the newest valid
+    /// resident checkpoint, replays the log past it, and returns the
+    /// caught-up subsystem. The workload file supplies the program (a
+    /// checkpoint written by a different program is refused and ingestion
+    /// starts fresh from the file).
+    pub fn open(config: IngestConfig, workload: &Workload) -> io::Result<Ingest> {
+        let opts = EvalOptions::default();
+        std::fs::create_dir_all(&config.wal_dir)?;
+        let store =
+            SnapshotStore::open(config.wal_dir.join("checkpoint")).map_err(io::Error::other)?;
+        let mut boot = IngestBootReport::default();
+        let (mut model, mut dedup, mut applied_seq) = match store.load_latest() {
+            Ok(rec) => match rec.snapshot {
+                Some((_, sections)) => match ResidentModel::restore_from_sections(
+                    workload.program.clone(),
+                    opts.clone(),
+                    &sections,
+                ) {
+                    Ok((model, seq)) => {
+                        boot.restored_checkpoint = true;
+                        let dedup = DedupWindow::decode_section(config.dedup_window, &sections);
+                        (model, dedup, seq)
+                    }
+                    Err(_) => Self::fresh(workload, &opts, config.dedup_window)?,
+                },
+                None => Self::fresh(workload, &opts, config.dedup_window)?,
+            },
+            Err(_) => Self::fresh(workload, &opts, config.dedup_window)?,
+        };
+        let (mut wal, recovery) =
+            Wal::open(&config.wal_dir, config.wal).map_err(io::Error::other)?;
+        boot.truncated_tail_bytes = recovery.truncated_tail_bytes;
+        let (facts_ingested, facts_duplicate) = (AtomicU64::new(0), AtomicU64::new(0));
+        for record in &recovery.records {
+            if record.seq <= applied_seq {
+                continue;
+            }
+            let batch = decode_batch(&record.payload).map_err(io::Error::other)?;
+            boot.replayed_records += 1;
+            applied_seq = record.seq;
+            if dedup.get(&batch.request_id).is_some() {
+                continue;
+            }
+            match model.apply_batch(&batch.facts) {
+                Ok(out) => {
+                    facts_ingested.fetch_add(out.applied, Ordering::Relaxed);
+                    facts_duplicate.fetch_add(out.duplicates, Ordering::Relaxed);
+                    dedup.insert(batch.request_id, out.applied, out.duplicates);
+                }
+                // The live path answered this batch 422 and moved on;
+                // replay must shrug identically, not refuse to boot.
+                Err(_) => continue,
+            }
+        }
+        // A torn tail was truncated: records past the tear were never
+        // acknowledged, but the next append must not reuse their
+        // sequence numbers against a model that already advanced.
+        if wal.next_seq() <= applied_seq {
+            return Err(io::Error::other(format!(
+                "WAL ends at seq {} but the checkpoint is current through {}; \
+                 refusing to serve writes from a log older than the model",
+                wal.next_seq().saturating_sub(1),
+                applied_seq
+            )));
+        }
+        boot.last_seq = applied_seq;
+        itdb_trace::emit(|| EventKind::WalReplayed {
+            records: boot.replayed_records,
+            truncated_bytes: boot.truncated_tail_bytes,
+            last_seq: boot.last_seq,
+        });
+        // Durably seal recovery: everything replayed is already on disk,
+        // but the truncation of a torn tail must be too.
+        wal.flush().map_err(io::Error::other)?;
+        Ok(Ingest {
+            inner: Mutex::new(IngestInner {
+                wal,
+                model,
+                dedup,
+                store,
+                applied_seq,
+                records_since_checkpoint: 0,
+            }),
+            config,
+            pending: AtomicU64::new(0),
+            facts_ingested,
+            facts_duplicate,
+            checkpoints_written: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            boot,
+        })
+    }
+
+    fn fresh(
+        workload: &Workload,
+        opts: &EvalOptions,
+        dedup_cap: usize,
+    ) -> io::Result<(ResidentModel, DedupWindow, u64)> {
+        let model =
+            ResidentModel::new(workload.program.clone(), workload.edb.clone(), opts.clone())
+                .map_err(io::Error::other)?;
+        Ok((model, DedupWindow::new(dedup_cap), 0))
+    }
+
+    /// How boot recovery went.
+    pub fn boot_report(&self) -> IngestBootReport {
+        self.boot
+    }
+
+    /// Ingest requests currently in flight (the `itdb_ingest_queue_depth`
+    /// gauge).
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Total EDB tuples newly inserted via `POST /facts`.
+    pub fn facts_ingested(&self) -> u64 {
+        self.facts_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Total EDB tuples answered as duplicates (subsumed or re-sent).
+    pub fn facts_duplicate(&self) -> u64 {
+        self.facts_duplicate.load(Ordering::Relaxed)
+    }
+
+    /// Resident checkpoints written (each also compacted the WAL).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint writes that failed (ingestion continues on the WAL).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the WAL's counters (appends, fsyncs, live bytes).
+    pub fn wal_stats(&self) -> WalStats {
+        self.lock().wal.stats()
+    }
+
+    /// Runs `f` with the resident model — the closed-form read path for
+    /// `/query` in ingest mode.
+    pub fn with_model<T>(&self, f: impl FnOnce(&ResidentModel) -> T) -> T {
+        f(&self.lock().model)
+    }
+
+    /// The ingest state holds no invariant a panicking holder could have
+    /// broken mid-flight that recovery would make worse: the WAL is
+    /// append-only and the model poisons itself on failed recovery, so
+    /// recover the lock rather than wedging every writer forever.
+    fn lock(&self) -> std::sync::MutexGuard<'_, IngestInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The full ingest pipeline for one request: backpressure check,
+    /// dedup, WAL append (durable per policy), incremental apply,
+    /// checkpoint cadence. See the module docs for the ordering argument.
+    pub fn submit(&self, request_id: &str, facts: Vec<Fact>) -> Result<IngestOutcome, IngestError> {
+        let depth = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        let _guard = PendingGuard(&self.pending);
+        if depth > self.config.max_pending {
+            return Err(IngestError::Backpressure {
+                retry_after_s: (depth / self.config.max_pending).clamp(1, 30),
+            });
+        }
+        let mut inner = self.lock();
+        if inner.model.poisoned() {
+            return Err(IngestError::Poisoned);
+        }
+        if let Some((applied, duplicates)) = inner.dedup.get(request_id) {
+            self.facts_duplicate
+                .fetch_add(facts.len() as u64, Ordering::Relaxed);
+            return Ok(IngestOutcome {
+                applied,
+                duplicates,
+                seq: 0,
+                duplicate_request: true,
+            });
+        }
+        let batch = FactBatch {
+            request_id: request_id.to_string(),
+            facts,
+        };
+        let payload = encode_batch(&batch);
+        let seq = inner
+            .wal
+            .append(&payload)
+            .map_err(|e| IngestError::Wal(e.to_string()))?;
+        let out = match inner.model.apply_batch(&batch.facts) {
+            Ok(out) => out,
+            // The record stays in the log; replay re-rejects it the same
+            // deterministic way, so the model and the log still agree.
+            Err(e) => return Err(IngestError::Rejected(e.to_string())),
+        };
+        inner.applied_seq = seq;
+        inner.records_since_checkpoint += 1;
+        inner
+            .dedup
+            .insert(batch.request_id, out.applied, out.duplicates);
+        self.facts_ingested
+            .fetch_add(out.applied, Ordering::Relaxed);
+        self.facts_duplicate
+            .fetch_add(out.duplicates, Ordering::Relaxed);
+        itdb_trace::emit(|| EventKind::FactsIngested {
+            seq,
+            applied: out.applied,
+            duplicates: out.duplicates,
+            full_reeval: out.full_reeval,
+        });
+        if inner.records_since_checkpoint >= self.config.checkpoint_every {
+            self.checkpoint_locked(&mut inner);
+        }
+        Ok(IngestOutcome {
+            applied: out.applied,
+            duplicates: out.duplicates,
+            seq,
+            duplicate_request: false,
+        })
+    }
+
+    /// Writes a resident checkpoint and compacts the log through it.
+    /// Failure is survivable — the WAL still holds everything — so it is
+    /// counted, not propagated.
+    fn checkpoint_locked(&self, inner: &mut IngestInner) {
+        let mut sections = inner.model.snapshot_sections(inner.applied_seq);
+        sections.push(inner.dedup.encode_section());
+        match inner.store.write(&sections) {
+            Ok(_) => {
+                self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                inner.records_since_checkpoint = 0;
+                let seq = inner.applied_seq;
+                let _ = inner.wal.compact_through(seq);
+            }
+            Err(_) => {
+                self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                // Back off: retry after another full cadence, not on
+                // every subsequent batch.
+                inner.records_since_checkpoint = 0;
+            }
+        }
+    }
+
+    /// Forces a checkpoint now (graceful shutdown).
+    pub fn flush(&self) {
+        let mut inner = self.lock();
+        let _ = inner.wal.flush();
+        if inner.records_since_checkpoint > 0 {
+            self.checkpoint_locked(&mut inner);
+        }
+    }
+}
+
+/// Decrements the pending gauge when an ingest request leaves the
+/// subsystem, however it leaves.
+struct PendingGuard<'a>(&'a AtomicU64);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Parses the `POST /facts` JSON body:
+/// `{"facts":[{"pred":"e","tuple":"(6n+1)"}, …]}`.
+pub fn parse_facts_body(body: &str) -> Result<Vec<Fact>, String> {
+    let value = itdb_trace::json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let facts = value
+        .get("facts")
+        .and_then(|f| f.as_array())
+        .ok_or_else(|| "expected {\"facts\":[…]} with an array of facts".to_string())?;
+    if facts.is_empty() {
+        return Err("empty batch: `facts` must hold at least one fact".to_string());
+    }
+    let mut out = Vec::with_capacity(facts.len());
+    for (i, f) in facts.iter().enumerate() {
+        let pred = f
+            .get("pred")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("facts[{i}]: missing string field `pred`"))?;
+        let text = f
+            .get("tuple")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("facts[{i}]: missing string field `tuple`"))?;
+        let tuple = parse_tuple(text).map_err(|e| format!("facts[{i}]: bad tuple: {e}"))?;
+        out.push(Fact {
+            pred: pred.to_string(),
+            tuple,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use itdb_core::parse_workload;
+
+    const WORKLOAD: &str = "\
+        tuple course (168n+8, 168n+10; database) : T2 = T1 + 2\n\
+        rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).\n\
+        rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).\n";
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "itdb_ingest_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &PathBuf) -> IngestConfig {
+        IngestConfig {
+            checkpoint_every: 4,
+            ..IngestConfig::new(dir)
+        }
+    }
+
+    fn facts(text: &str) -> Vec<Fact> {
+        parse_facts_body(text).unwrap()
+    }
+
+    #[test]
+    fn batch_codec_round_trips() {
+        let batch = FactBatch {
+            request_id: "req-1".to_string(),
+            facts: facts(
+                r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+            ),
+        };
+        let decoded = decode_batch(&encode_batch(&batch)).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(decode_batch(&[9, 9, 9]).is_err(), "unknown version");
+    }
+
+    #[test]
+    fn body_parser_reports_defects() {
+        assert!(parse_facts_body("not json").is_err());
+        assert!(parse_facts_body("{\"facts\":[]}").is_err(), "empty batch");
+        assert!(parse_facts_body("{\"facts\":[{\"pred\":\"e\"}]}").is_err());
+        assert!(parse_facts_body("{\"facts\":[{\"pred\":\"e\",\"tuple\":\"(((\"}]}").is_err());
+        assert_eq!(
+            parse_facts_body("{\"facts\":[{\"pred\":\"e\",\"tuple\":\"(6n+1)\"}]}")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn ingest_applies_dedups_and_recovers() {
+        let dir = temp_dir("roundtrip");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        {
+            let ingest = Ingest::open(config(&dir), &workload).unwrap();
+            let batch = facts(
+                r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+            );
+            let out = ingest.submit("req-1", batch.clone()).unwrap();
+            assert_eq!(out.applied, 1);
+            assert!(!out.duplicate_request);
+            // Same id: answered from the window, nothing re-applied.
+            let again = ingest.submit("req-1", batch.clone()).unwrap();
+            assert!(again.duplicate_request);
+            assert_eq!(again.applied, 1, "remembered first-application count");
+            // Same facts under a new id: logged, applied as duplicates.
+            let dup = ingest.submit("req-2", batch).unwrap();
+            assert!(!dup.duplicate_request);
+            assert_eq!(dup.applied, 0);
+            assert_eq!(dup.duplicates, 1);
+            assert_eq!(ingest.facts_ingested(), 1);
+            ingest.flush();
+        }
+        // Reopen: checkpoint + WAL replay must reproduce the state.
+        let reopened = Ingest::open(config(&dir), &workload).unwrap();
+        assert!(
+            reopened.boot_report().restored_checkpoint,
+            "flush wrote a checkpoint"
+        );
+        let has_new_course = reopened.with_model(|m| {
+            m.relation("problems")
+                .map(|r| r.to_string().contains("168n+32"))
+                .unwrap_or(false)
+        });
+        assert!(has_new_course, "ingested facts survive restart");
+        // The dedup window survives the checkpoint too.
+        let out = reopened
+            .submit(
+                "req-1",
+                facts(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#),
+            )
+            .unwrap();
+        assert!(out.duplicate_request, "dedup window restored");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_without_checkpoint_is_identical() {
+        let dir = temp_dir("replay");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let uninterrupted = {
+            let ingest = Ingest::open(config(&dir), &workload).unwrap();
+            for i in 0..3 {
+                let body = format!(
+                    r#"{{"facts":[{{"pred":"course","tuple":"(168n+{}, 168n+{}; extra) : T2 = T1 + 2"}}]}}"#,
+                    40 + 10 * i,
+                    42 + 10 * i
+                );
+                ingest.submit(&format!("req-{i}"), facts(&body)).unwrap();
+            }
+            // No flush: drop without a checkpoint, like a SIGKILL.
+            ingest.with_model(|m| m.relation("problems").map(|r| r.to_string()))
+        };
+        let reopened = Ingest::open(config(&dir), &workload).unwrap();
+        assert_eq!(reopened.boot_report().replayed_records, 3);
+        let replayed = reopened.with_model(|m| m.relation("problems").map(|r| r.to_string()));
+        assert_eq!(uninterrupted, replayed, "replay is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejected_batches_do_not_poison_replay() {
+        let dir = temp_dir("rejected");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        {
+            let ingest = Ingest::open(config(&dir), &workload).unwrap();
+            // Intensional predicate: rejected, but WAL'd first.
+            let bad =
+                facts(r#"{"facts":[{"pred":"problems","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#);
+            assert!(matches!(
+                ingest.submit("bad-1", bad),
+                Err(IngestError::Rejected(_))
+            ));
+            let good = facts(
+                r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+            );
+            ingest.submit("good-1", good).unwrap();
+        }
+        let reopened = Ingest::open(config(&dir), &workload).unwrap();
+        assert_eq!(
+            reopened.boot_report().replayed_records,
+            2,
+            "both records replayed; the bad one re-rejected"
+        );
+        assert_eq!(reopened.facts_ingested(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backpressure_trips_at_max_pending() {
+        let dir = temp_dir("pressure");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let ingest = Ingest::open(
+            IngestConfig {
+                max_pending: 1,
+                ..config(&dir)
+            },
+            &workload,
+        )
+        .unwrap();
+        // Simulate one request already in flight.
+        ingest.pending.fetch_add(1, Ordering::Relaxed);
+        let err = ingest
+            .submit(
+                "r",
+                facts(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; c) : T2 = T1 + 2"}]}"#),
+            )
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Backpressure { .. }));
+        ingest.pending.fetch_sub(1, Ordering::Relaxed);
+        assert_eq!(ingest.pending(), 0, "guard restored the gauge");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

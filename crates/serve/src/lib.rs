@@ -38,12 +38,17 @@ pub mod chaos;
 pub mod debug;
 pub mod durability;
 pub mod http;
+pub mod ingest;
 pub mod metrics;
 pub mod server;
 pub mod shed;
 
 pub use debug::DebugState;
 pub use durability::Durability;
+pub use ingest::{Ingest, IngestConfig, IngestError, IngestOutcome};
+// Re-exported so embedders (and the `itdb` binary) can configure the WAL
+// without depending on `itdb-store` directly.
+pub use itdb_store::{FsyncPolicy, WalOptions};
 pub use metrics::HttpMetrics;
 pub use server::{ServeConfig, Server};
 pub use shed::{Admission, AdmissionControl};

@@ -73,10 +73,12 @@ use crate::chaos::{Chaos, ChaosAction};
 use crate::debug::{self, DebugState, InFlightGuard};
 use crate::durability::Durability;
 use crate::http::{self, ParseError, Request};
+use crate::ingest::{parse_facts_body, Ingest, IngestConfig, IngestError};
 use crate::metrics::HttpMetrics;
 use crate::shed::{Admission, AdmissionControl};
 use itdb_core::{
-    write_metrics_into, CancelToken, QueryRequest, QueryStatus, Service, ServiceDefaults, Workload,
+    parse_atom, query, write_metrics_into, CancelToken, QueryRequest, QueryResponse, QueryStatus,
+    Service, ServiceDefaults, Workload,
 };
 use itdb_trace::prom::PromText;
 use itdb_trace::{EventKind, FanoutSink, Sink};
@@ -99,8 +101,15 @@ pub struct ServeConfig {
     /// Accepted-but-unhandled connections held before the acceptor starts
     /// answering `503 Service Unavailable`.
     pub max_queued: usize,
-    /// Socket read timeout (request parsing).
+    /// Socket read timeout (request parsing). Bounds **one** socket read;
+    /// see `header_deadline` for the overall bound.
     pub read_timeout: Duration,
+    /// Overall wall-clock budget for reading one request (line, headers,
+    /// and body). The per-read `read_timeout` alone lets a slowloris
+    /// client drip one byte per read and hold a worker forever; this
+    /// deadline reaps such connections after at most
+    /// `header_deadline + read_timeout`.
+    pub header_deadline: Duration,
     /// Socket write timeout (response writing, per write).
     pub write_timeout: Duration,
     /// Server-side default resource ceilings for `/query` requests that
@@ -136,6 +145,11 @@ pub struct ServeConfig {
     pub flight_capacity: usize,
     /// Print one structured JSONL access-log line per request to stdout.
     pub access_log: bool,
+    /// Streaming ingestion (`POST /facts`): WAL directory, flush policy,
+    /// dedup window and checkpoint cadence. `None` = read-only serving
+    /// with per-request evaluation; `Some` keeps a resident incrementally
+    /// maintained model and answers reads from it as closed-form lookups.
+    pub ingest: Option<IngestConfig>,
     /// Seeded fault-injection schedule (chaos testing only).
     #[cfg(feature = "chaos")]
     pub chaos: Option<crate::chaos::ChaosConfig>,
@@ -147,6 +161,7 @@ impl Default for ServeConfig {
             workers: 8,
             max_queued: 64,
             read_timeout: Duration::from_secs(10),
+            header_deadline: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             defaults: ServiceDefaults::default(),
             events_queue_cap: 1024,
@@ -159,6 +174,7 @@ impl Default for ServeConfig {
             slow_log: None,
             flight_capacity: 256,
             access_log: false,
+            ingest: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -175,6 +191,7 @@ pub struct Server {
     metrics: Arc<HttpMetrics>,
     admission: Arc<AdmissionControl>,
     durability: Option<Arc<Durability>>,
+    ingest: Option<Arc<Ingest>>,
     debug: Arc<DebugState>,
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<Chaos>>,
@@ -193,6 +210,13 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Boot recovery for streaming ingestion happens before the first
+        // request: restore the newest resident checkpoint, replay the WAL
+        // past it, and only then expose the model to reads and writes.
+        let ingest = match &config.ingest {
+            Some(ic) => Some(Arc::new(Ingest::open(ic.clone(), &workload)?)),
+            None => None,
+        };
         let service = Arc::new(Service::new(workload, config.defaults.clone()));
         let durability = match &config.checkpoint_dir {
             Some(dir) => {
@@ -224,11 +248,18 @@ impl Server {
             metrics: Arc::new(HttpMetrics::new()),
             admission,
             durability,
+            ingest,
             debug,
             #[cfg(feature = "chaos")]
             chaos,
             config,
         })
+    }
+
+    /// The streaming-ingestion subsystem, when `config.ingest` was set
+    /// (for tests and embedding).
+    pub fn ingest(&self) -> Option<&Arc<Ingest>> {
+        self.ingest.as_ref()
     }
 
     /// The bound address (resolves port `0` to the actual port).
@@ -255,6 +286,7 @@ impl Server {
             metrics: Arc::clone(&self.metrics),
             admission: Arc::clone(&self.admission),
             durability: self.durability.clone(),
+            ingest: self.ingest.clone(),
             debug: Arc::clone(&self.debug),
             streamers: Mutex::new(Vec::new()),
             #[cfg(feature = "chaos")]
@@ -333,6 +365,11 @@ impl Server {
         if let Some(d) = &self.durability {
             let _ = d.flush(Duration::from_secs(5));
         }
+        if let Some(i) = &self.ingest {
+            // Graceful shutdown earns a checkpoint; a crash leans on the
+            // WAL instead.
+            i.flush();
+        }
         self.debug.flush();
         itdb_trace::remove_sink(sink_id);
         itdb_trace::flush_sinks();
@@ -353,6 +390,7 @@ struct WorkerCtx {
     metrics: Arc<HttpMetrics>,
     admission: Arc<AdmissionControl>,
     durability: Option<Arc<Durability>>,
+    ingest: Option<Arc<Ingest>>,
     debug: Arc<DebugState>,
     /// Dedicated `/events` streamer threads, joined at shutdown.
     streamers: Mutex<Vec<JoinHandle<()>>>,
@@ -412,7 +450,8 @@ fn serve_connection(worker: u64, conn: QueuedConn, ctx: &Arc<WorkerCtx>) {
         // with unread data would RST the socket before the client reads
         // the response.
         if let Ok(clone) = stream.try_clone() {
-            let _ = http::read_request(&mut BufReader::new(clone));
+            let _ =
+                http::read_request_deadline(&mut BufReader::new(clone), ctx.config.header_deadline);
         }
         let retry = retry_after_s.to_string();
         let _ = http::write_response_with(
@@ -445,7 +484,8 @@ fn serve_connection(worker: u64, conn: QueuedConn, ctx: &Arc<WorkerCtx>) {
         // response — then panic *outside* the catch region so the
         // supervisor has a real death to heal.
         if let Ok(clone) = stream.try_clone() {
-            let _ = http::read_request(&mut BufReader::new(clone));
+            let _ =
+                http::read_request_deadline(&mut BufReader::new(clone), ctx.config.header_deadline);
         }
         let _ = http::write_response(
             &mut stream,
@@ -513,6 +553,7 @@ fn route_label(path: &str) -> &'static str {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/query" => "/query",
+        "/facts" => "/facts",
         "/events" => "/events",
         "/debug/flight" => "/debug/flight",
         "/debug/profile" => "/debug/profile",
@@ -551,7 +592,7 @@ fn handle_connection(stream: TcpStream, ctx: &Arc<WorkerCtx>) {
             let _ = writer.set_read_timeout(Some(ctx.config.keepalive_idle));
         }
         let started = Instant::now();
-        let req = match http::read_request(&mut reader) {
+        let req = match http::read_request_deadline(&mut reader, ctx.config.header_deadline) {
             Ok(req) => req,
             Err(ParseError::ConnectionClosed) => return,
             // Idle keep-alive expiry between requests: close silently.
@@ -589,6 +630,7 @@ fn handle_connection(stream: TcpStream, ctx: &Arc<WorkerCtx>) {
             ("GET", "/healthz") => serve_healthz(&mut writer, keep),
             ("GET", "/metrics") => serve_metrics(&mut writer, ctx, keep),
             ("POST", "/query") => serve_query(&mut writer, &req, ctx, keep, &request_id, &inflight),
+            ("POST", "/facts") => serve_facts(&mut writer, &req, ctx, keep, &request_id),
             ("GET", "/debug/flight") => {
                 serve_debug_body(&mut writer, ctx.debug.flight_json(), keep, &request_id)
             }
@@ -600,8 +642,8 @@ fn handle_connection(stream: TcpStream, ctx: &Arc<WorkerCtx>) {
             }
             (
                 _,
-                "/healthz" | "/metrics" | "/query" | "/events" | "/debug/flight" | "/debug/profile"
-                | "/debug/requests",
+                "/healthz" | "/metrics" | "/query" | "/facts" | "/events" | "/debug/flight"
+                | "/debug/profile" | "/debug/requests",
             ) => {
                 let body = json_error("method not allowed");
                 let _ = http::write_response_with(
@@ -781,6 +823,60 @@ fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx, keep: bool) -> u16 {
             s.coalesced,
         );
     }
+    if let Some(ingest) = &ctx.ingest {
+        let ws = ingest.wal_stats();
+        let boot = ingest.boot_report();
+        p.counter(
+            "itdb_facts_ingested_total",
+            "Facts accepted and applied through POST /facts (duplicates excluded).",
+            ingest.facts_ingested(),
+        );
+        p.counter(
+            "itdb_facts_duplicate_total",
+            "Facts skipped as duplicates (already-present tuples or replayed request ids).",
+            ingest.facts_duplicate(),
+        );
+        p.counter(
+            "itdb_wal_appends_total",
+            "Records appended to the write-ahead log.",
+            ws.appends,
+        );
+        p.counter(
+            "itdb_wal_fsyncs_total",
+            "fsync calls issued by the write-ahead log.",
+            ws.fsyncs,
+        );
+        p.counter(
+            "itdb_wal_replayed_records_total",
+            "WAL records replayed into the resident model at boot.",
+            boot.replayed_records,
+        );
+        p.counter(
+            "itdb_wal_truncated_tails_total",
+            "Torn WAL tails truncated during recovery.",
+            ws.truncated_tails,
+        );
+        p.gauge(
+            "itdb_wal_segment_bytes",
+            "Bytes in the active WAL segment.",
+            ws.segment_bytes as f64,
+        );
+        p.gauge(
+            "itdb_ingest_queue_depth",
+            "POST /facts requests admitted but not yet applied.",
+            ingest.pending() as f64,
+        );
+        p.counter(
+            "itdb_ingest_checkpoint_writes_total",
+            "Resident-model checkpoints folded out of the WAL.",
+            ingest.checkpoints_written(),
+        );
+        p.counter(
+            "itdb_ingest_checkpoint_failures_total",
+            "Resident-model checkpoint writes that failed (WAL retained).",
+            ingest.checkpoint_failures(),
+        );
+    }
     ctx.metrics.write_into(&mut p);
     let body = p.finish();
     let _ = http::write_response_with(
@@ -856,6 +952,12 @@ fn serve_query(
             return 400;
         }
     };
+    // In ingest mode the model is already materialized and maintained:
+    // reads are closed-form lookups against the resident relations, with
+    // no per-request evaluation (and so no governor) at all.
+    if let Some(ingest) = &ctx.ingest {
+        return serve_query_resident(w, ingest, &pattern, keep, request_id);
+    }
     // Under queue pressure, requests that bring no explicit budget run on
     // a tightened default so the backlog drains. An explicit X-Itdb-Fuel
     // is client intent and is never tightened.
@@ -941,6 +1043,194 @@ fn serve_query(
                 &id_header,
             );
             422
+        }
+    }
+}
+
+/// The closed-form read path of ingest mode: answer the pattern against
+/// the resident model's maintained relations, no evaluation at all.
+fn serve_query_resident(
+    w: &mut impl Write,
+    ingest: &Ingest,
+    pattern: &str,
+    keep: bool,
+    request_id: &str,
+) -> u16 {
+    let id_header = [("X-Itdb-Request-Id", request_id)];
+    let atom = match parse_atom(pattern) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = http::write_response_with(
+                w,
+                422,
+                "application/json",
+                &json_error(&e.to_string()),
+                keep,
+                &id_header,
+            );
+            return 422;
+        }
+    };
+    let residue_budget = itdb_core::EvalOptions::default().residue_budget;
+    let answered = ingest.with_model(|m| {
+        let rel = m.relation(&atom.pred).ok_or_else(|| {
+            format!(
+                "unknown predicate `{}` (neither derived nor extensional)",
+                atom.pred
+            )
+        })?;
+        let answers_rel = query(rel, &atom, residue_budget).map_err(|e| e.to_string())?;
+        Ok::<Vec<String>, String>(answers_rel.tuples().iter().map(|t| t.to_string()).collect())
+    });
+    match answered {
+        Ok(answers) => {
+            let resp = QueryResponse {
+                pred: atom.pred.clone(),
+                status: QueryStatus::Complete,
+                answers,
+                stats: itdb_core::EvalStats::default(),
+                request_id: Some(request_id.to_string()),
+            };
+            let _ = http::write_response_with(
+                w,
+                200,
+                "application/json",
+                resp.to_json().as_bytes(),
+                keep,
+                &id_header,
+            );
+            200
+        }
+        Err(msg) => {
+            let _ = http::write_response_with(
+                w,
+                422,
+                "application/json",
+                &json_error(&msg),
+                keep,
+                &id_header,
+            );
+            422
+        }
+    }
+}
+
+/// `POST /facts`: parse the JSON batch, run it through the WAL-backed
+/// ingest pipeline, and answer `202 Accepted` with the applied/duplicate
+/// accounting (or the appropriate rejection).
+fn serve_facts(
+    w: &mut impl Write,
+    req: &Request,
+    ctx: &WorkerCtx,
+    keep: bool,
+    request_id: &str,
+) -> u16 {
+    let id_header = [("X-Itdb-Request-Id", request_id)];
+    let Some(ingest) = &ctx.ingest else {
+        let _ = http::write_response_with(
+            w,
+            404,
+            "application/json",
+            &json_error("streaming ingestion is not enabled (start with --wal DIR)"),
+            keep,
+            &id_header,
+        );
+        return 404;
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => {
+            let _ = http::write_response_with(
+                w,
+                400,
+                "application/json",
+                &json_error("empty or non-UTF-8 body: POST {\"facts\":[{\"pred\":…,\"tuple\":…}]}"),
+                keep,
+                &id_header,
+            );
+            return 400;
+        }
+    };
+    let facts = match parse_facts_body(body) {
+        Ok(f) => f,
+        Err(msg) => {
+            let _ = http::write_response_with(
+                w,
+                400,
+                "application/json",
+                &json_error(&msg),
+                keep,
+                &id_header,
+            );
+            return 400;
+        }
+    };
+    match ingest.submit(request_id, facts) {
+        Ok(out) => {
+            use std::fmt::Write as _;
+            let mut body = String::with_capacity(128);
+            let _ = write!(
+                body,
+                "{{\"status\":\"accepted\",\"applied\":{},\"duplicates\":{},\"duplicate_request\":{},\"seq\":{}",
+                out.applied, out.duplicates, out.duplicate_request, out.seq
+            );
+            body.push_str(",\"request_id\":\"");
+            itdb_trace::json::escape_into(request_id, &mut body);
+            body.push_str("\"}");
+            let _ = http::write_response_with(
+                w,
+                202,
+                "application/json",
+                body.as_bytes(),
+                keep,
+                &id_header,
+            );
+            202
+        }
+        Err(IngestError::Backpressure { retry_after_s }) => {
+            let retry = retry_after_s.to_string();
+            let _ = http::write_response_with(
+                w,
+                503,
+                "application/json",
+                &json_error("ingest queue full, retry later"),
+                keep,
+                &[id_header[0], ("Retry-After", retry.as_str())],
+            );
+            503
+        }
+        Err(IngestError::Poisoned) => {
+            let _ = http::write_response_with(
+                w,
+                503,
+                "application/json",
+                &json_error("resident model is poisoned; restart the server to rebuild"),
+                keep,
+                &[id_header[0], ("Retry-After", "30")],
+            );
+            503
+        }
+        Err(IngestError::Rejected(msg)) => {
+            let _ = http::write_response_with(
+                w,
+                422,
+                "application/json",
+                &json_error(&msg),
+                keep,
+                &id_header,
+            );
+            422
+        }
+        Err(IngestError::Wal(msg)) => {
+            let _ = http::write_response_with(
+                w,
+                500,
+                "application/json",
+                &json_error(&format!("WAL append failed: {msg}")),
+                keep,
+                &id_header,
+            );
+            500
         }
     }
 }

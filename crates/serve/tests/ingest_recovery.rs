@@ -1,0 +1,247 @@
+//! End-to-end streaming ingestion over real sockets: `POST /facts`
+//! batches are durable in the WAL, visible to `/query` immediately
+//! (closed-form reads from the resident model), idempotent under
+//! request-id retries, and byte-identically recovered after a restart
+//! from checkpoint + WAL replay.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::{parse_workload, CancelToken};
+use itdb_serve::{IngestConfig, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+const WORKLOAD: &str = "\
+    tuple course (168n+8, 168n+10; database) : T2 = T1 + 2\n\
+    rule problems[t1 + 2, t2 + 2](C) <- course[t1, t2](C).\n\
+    rule problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).\n";
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    handle: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> TestServer {
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let server = Server::bind("127.0.0.1:0", workload, config).unwrap();
+        let addr = server.local_addr();
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = thread::spawn(move || server.run(&token));
+        TestServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.cancel();
+        if let Some(h) = self.handle.take() {
+            h.join().unwrap().unwrap();
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "itdb_ingest_e2e_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ingest_config(dir: &PathBuf) -> ServeConfig {
+    ServeConfig {
+        ingest: Some(IngestConfig::new(dir)),
+        ..ServeConfig::default()
+    }
+}
+
+/// One exchange with `Connection: close`; reads the whole response.
+fn exchange(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "connection closed mid-headers: {head:?}");
+        head.push_str(&line);
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).unwrap();
+    head + &String::from_utf8(body).unwrap()
+}
+
+fn post_facts(addr: SocketAddr, request_id: &str, body: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST /facts HTTP/1.1\r\nHost: t\r\nX-Itdb-Request-Id: {request_id}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn post_query(addr: SocketAddr, pattern: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{pattern}",
+            pattern.len()
+        ),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap()
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// The deterministic prefix of a /query JSON body (strips wall-clock
+/// stats).
+fn deterministic_part(body: &str) -> &str {
+    body.split(",\"stats\":").next().unwrap_or(body)
+}
+
+const NEW_COURSE: &str =
+    r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#;
+
+#[test]
+fn facts_require_ingest_mode() {
+    let ts = TestServer::start(ServeConfig::default());
+    let resp = post_facts(ts.addr, "req-1", NEW_COURSE);
+    assert_eq!(status_of(&resp), 404);
+    assert!(body_of(&resp).contains("--wal"), "hint names the flag");
+}
+
+#[test]
+fn facts_accepted_visible_and_idempotent() {
+    let dir = temp_dir("visible");
+    let ts = TestServer::start(ingest_config(&dir));
+
+    // Before the batch: the derived relation has no `compilers` row.
+    let before = post_query(ts.addr, "problems[t1, t2](C)");
+    assert_eq!(status_of(&before), 200);
+    assert!(!body_of(&before).contains("compilers"));
+
+    let accepted = post_facts(ts.addr, "req-1", NEW_COURSE);
+    assert_eq!(status_of(&accepted), 202);
+    let body = body_of(&accepted);
+    assert!(body.contains("\"status\":\"accepted\""), "{body}");
+    assert!(body.contains("\"applied\":1"), "{body}");
+    assert!(body.contains("\"duplicate_request\":false"), "{body}");
+    assert!(body.contains("\"request_id\":\"req-1\""), "{body}");
+
+    // The derived consequence is visible immediately, closed-form.
+    let after = post_query(ts.addr, "problems[t1, t2](C)");
+    assert_eq!(status_of(&after), 200);
+    assert!(body_of(&after).contains("compilers"), "{after}");
+    assert!(body_of(&after).contains("\"status\":\"complete\""));
+
+    // Retrying the same request id is answered from the dedup window.
+    let retried = post_facts(ts.addr, "req-1", NEW_COURSE);
+    assert_eq!(status_of(&retried), 202);
+    assert!(body_of(&retried).contains("\"duplicate_request\":true"));
+    assert!(
+        body_of(&retried).contains("\"applied\":1"),
+        "remembered first-application count: {retried}"
+    );
+
+    // Malformed batches are typed 400s, not 500s.
+    let bad = post_facts(ts.addr, "req-2", r#"{"facts":[{"pred":"course"}]}"#);
+    assert_eq!(status_of(&bad), 400);
+    let not_json = post_facts(ts.addr, "req-3", "not json");
+    assert_eq!(status_of(&not_json), 400);
+    // Facts for an intensional predicate are rejected, and the server
+    // stays healthy.
+    let idb = post_facts(
+        ts.addr,
+        "req-4",
+        r#"{"facts":[{"pred":"problems","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#,
+    );
+    assert_eq!(status_of(&idb), 422);
+    let health = exchange(ts.addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&health), 200);
+
+    // /metrics exposes the ingest families.
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let mbody = body_of(&metrics);
+    assert!(mbody.contains("itdb_facts_ingested_total 1"), "{mbody}");
+    assert!(mbody.contains("itdb_wal_appends_total"), "{mbody}");
+    assert!(mbody.contains("itdb_ingest_queue_depth"), "{mbody}");
+
+    drop(ts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_replays_wal_and_preserves_answers() {
+    let dir = temp_dir("restart");
+
+    let reference = {
+        let ts = TestServer::start(ingest_config(&dir));
+        for (i, course) in ["compilers", "networks", "databases2"].iter().enumerate() {
+            let body = format!(
+                r#"{{"facts":[{{"pred":"course","tuple":"(168n+{}, 168n+{}; {course}) : T2 = T1 + 2"}}]}}"#,
+                30 + 10 * i,
+                32 + 10 * i
+            );
+            let resp = post_facts(ts.addr, &format!("req-{i}"), &body);
+            assert_eq!(status_of(&resp), 202, "{resp}");
+        }
+        let answer = post_query(ts.addr, "problems[t1, t2](C)");
+        assert_eq!(status_of(&answer), 200);
+        deterministic_part(body_of(&answer)).to_string()
+        // TestServer::drop: graceful shutdown (flushes WAL + checkpoint).
+    };
+    assert!(reference.contains("networks"), "{reference}");
+
+    // Restart from the same WAL dir: answers are byte-identical.
+    let ts = TestServer::start(ingest_config(&dir));
+    let recovered = post_query(ts.addr, "problems[t1, t2](C)");
+    assert_eq!(status_of(&recovered), 200);
+    assert_eq!(deterministic_part(body_of(&recovered)), reference);
+
+    // A pre-restart request id retried after recovery is still deduped.
+    let replayed = post_facts(
+        ts.addr,
+        "req-1",
+        r#"{"facts":[{"pred":"course","tuple":"(168n+40, 168n+42; networks) : T2 = T1 + 2"}]}"#,
+    );
+    assert_eq!(status_of(&replayed), 202);
+    assert!(
+        body_of(&replayed).contains("\"duplicate_request\":true"),
+        "dedup window survives restart: {replayed}"
+    );
+
+    drop(ts);
+    let _ = std::fs::remove_dir_all(&dir);
+}

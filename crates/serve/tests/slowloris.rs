@@ -1,0 +1,120 @@
+//! Slowloris defense over a real socket: a client dripping header bytes
+//! slower than the per-read socket timeout — so each individual read
+//! succeeds — must still be reaped by the **overall** header-read
+//! deadline, and must not occupy the worker pool meanwhile.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use itdb_core::{parse_workload, CancelToken};
+use itdb_serve::{ServeConfig, Server};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "\
+    tuple seed (n) : T1 = 0\n\
+    rule p[t] <- seed[t].\n";
+
+fn start(config: ServeConfig) -> (SocketAddr, CancelToken, thread::JoinHandle<()>) {
+    let workload = parse_workload(WORKLOAD).unwrap();
+    let server = Server::bind("127.0.0.1:0", workload, config).unwrap();
+    let addr = server.local_addr();
+    let shutdown = CancelToken::new();
+    let token = shutdown.clone();
+    let handle = thread::spawn(move || {
+        server.run(&token).unwrap();
+    });
+    (addr, shutdown, handle)
+}
+
+/// Reads until EOF (or error), returning whatever arrived.
+fn drain(stream: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(_) => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn dripping_headers_are_reaped_by_the_deadline() {
+    let (addr, shutdown, handle) = start(ServeConfig {
+        // Per-read timeout generous, overall budget tight: only the
+        // header deadline can reap the drip below.
+        read_timeout: Duration::from_secs(10),
+        header_deadline: Duration::from_millis(400),
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    // Drip one header byte per 50ms — far under the 10s socket timeout,
+    // far over the 400ms total budget — until the server hangs up.
+    let mut reaped = false;
+    for _ in 0..200 {
+        thread::sleep(Duration::from_millis(50));
+        if stream.write_all(b"X").and_then(|_| stream.flush()).is_err() {
+            reaped = true;
+            break;
+        }
+        // A 4xx response arriving also counts as reaped: the server
+        // answered and closed without waiting for the request to finish.
+        if started.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    let response = drain(&mut stream);
+    assert!(
+        reaped || response.contains("HTTP/1.1 4"),
+        "connection not reaped after {:?}: {response:?}",
+        started.elapsed()
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "reap took {:?}, deadline was 400ms",
+        started.elapsed()
+    );
+
+    // The pool was never occupied: a well-formed request completes
+    // normally while/after the slow client is dealt with.
+    let mut ok = TcpStream::connect(addr).unwrap();
+    ok.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let health = drain(&mut ok);
+    assert!(health.starts_with("HTTP/1.1 200"), "{health:?}");
+
+    shutdown.cancel();
+    handle.join().unwrap();
+}
+
+#[test]
+fn fast_requests_are_unaffected_by_a_tight_deadline() {
+    let (addr, shutdown, handle) = start(ServeConfig {
+        header_deadline: Duration::from_millis(400),
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    // Several sequential requests, each well under the budget: the
+    // deadline is per-request, not per-connection-lifetime.
+    for _ in 0..3 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let resp = drain(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    }
+    shutdown.cancel();
+    handle.join().unwrap();
+}

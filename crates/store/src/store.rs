@@ -380,7 +380,7 @@ pub mod fault {
     /// Consumes the armed plan, mutating `image` in place for the data
     /// faults; returns the kind so the writer can handle
     /// [`FaultKind::CrashBeforeRename`] specially.
-    pub(super) fn apply(image: &mut Vec<u8>) -> Option<FaultKind> {
+    pub(crate) fn apply(image: &mut Vec<u8>) -> Option<FaultKind> {
         let kind = PLAN.with(|p| p.take())?;
         match kind {
             FaultKind::TornWrite { keep } => image.truncate(keep.min(image.len())),

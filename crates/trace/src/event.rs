@@ -153,6 +153,28 @@ pub enum EventKind {
         /// The `Retry-After` the client was given, in seconds.
         retry_after_s: u64,
     },
+    /// A `POST /facts` batch was applied to the resident model (after its
+    /// WAL append made it durable).
+    FactsIngested {
+        /// WAL sequence number of the batch's record.
+        seq: u64,
+        /// EDB tuples newly inserted.
+        applied: u64,
+        /// EDB tuples already covered (idempotent re-sends).
+        duplicates: u64,
+        /// Whether the apply degraded to a full re-evaluation.
+        full_reeval: bool,
+    },
+    /// Boot-time WAL replay finished: the resident model is caught up to
+    /// the log's tail.
+    WalReplayed {
+        /// Records re-applied on top of the restored checkpoint.
+        records: u64,
+        /// Bytes of torn tail truncated from the newest segment.
+        truncated_bytes: u64,
+        /// The sequence the model is now current through.
+        last_seq: u64,
+    },
     /// Free-form annotation (used sparingly; e.g. wrapper engines).
     Message {
         /// The annotation text.
@@ -296,6 +318,27 @@ impl Event {
                     ",\"waited_us\":{waited_us},\"retry_after_s\":{retry_after_s}"
                 );
             }
+            EventKind::FactsIngested {
+                seq,
+                applied,
+                duplicates,
+                full_reeval,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seq\":{seq},\"applied\":{applied},\"duplicates\":{duplicates},\"full_reeval\":{full_reeval}"
+                );
+            }
+            EventKind::WalReplayed {
+                records,
+                truncated_bytes,
+                last_seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"records\":{records},\"truncated_bytes\":{truncated_bytes},\"last_seq\":{last_seq}"
+                );
+            }
             EventKind::Message { text } => {
                 push_str_field(&mut out, "text", text);
             }
@@ -327,6 +370,8 @@ impl EventKind {
             EventKind::WorkerPanic { .. } => "worker_panic",
             EventKind::WorkerRespawn { .. } => "worker_respawn",
             EventKind::RequestShed { .. } => "request_shed",
+            EventKind::FactsIngested { .. } => "facts_ingested",
+            EventKind::WalReplayed { .. } => "wal_replayed",
             EventKind::Message { .. } => "message",
         }
     }
