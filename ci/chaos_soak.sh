@@ -280,4 +280,113 @@ wait "$SRV" "$REF" 2>/dev/null || true
 trap - EXIT
 ingested=$(ls "$WAL" "$WAL_REF" 2>/dev/null | grep -c '\.itdbw$' || true)
 echo "wal ingestion: 5 batches, $replayed replayed after SIGKILL, $ingested segment files retained in artifacts"
+
+# ---- Phase 4: retraction in the stream, SIGKILL mid-retraction ----------
+# A mixed insert/retract stream: the server is SIGKILLed immediately
+# after acknowledging a retraction, with no checkpoint covering it. The
+# restart must replay the retraction from the log — the retracted fact's
+# derived consequences stay gone — and answer byte-identically to a
+# reference server that ingested the same mixed stream uninterrupted.
+WAL_RET=$ART/wal-retract
+WAL_RET_REF=$ART/wal-retract-ref
+
+retract_body() {
+    # $1: offset, $2: datum
+    echo "{\"facts\":[{\"op\":\"retract\",\"pred\":\"course\",\"tuple\":\"(168n+$1, 168n+$(($1 + 2)); $2) : T2 = T1 + 2\"}]}"
+}
+
+"$BIN" serve --addr "127.0.0.1:$PORT" --wal "$WAL_RET" --dedup-window 64 \
+    ci/serve_workload.itdb > "$ART"/retract_server.log 2>&1 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
+wait_healthy "$PORT"
+
+for i in 1 2 3; do
+    out=$(post_fact "$PORT" "mix-$i" "$(fact_body $((20 + 10 * i)) "batch$i")")
+    echo "$out" | grep -q '"status":"accepted"' || {
+        echo "FAIL: POST /facts mix-$i not accepted: $out" >&2
+        exit 1
+    }
+done
+out=$(post_fact "$PORT" "mix-retract" "$(retract_body 40 batch2)")
+echo "$out" | grep -q '"retracted":1' || {
+    echo "FAIL: retraction not acknowledged: $out" >&2
+    exit 1
+}
+
+# SIGKILL with the acknowledged retraction only in the log.
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+
+"$BIN" serve --addr "127.0.0.1:$PORT" --wal "$WAL_RET" --dedup-window 64 \
+    ci/serve_workload.itdb > "$ART"/retract_resume.log 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+wait_healthy "$PORT"
+scrape "$PORT" "$ART"/retract_resume_metrics.prom
+re_replayed=$(metric "$ART"/retract_resume_metrics.prom itdb_wal_replayed_records_total)
+re_retracted=$(metric "$ART"/retract_resume_metrics.prom itdb_facts_retracted_total)
+test "$re_replayed" -ge 4 || {
+    echo "FAIL: expected >= 4 replayed WAL records, got $re_replayed" >&2
+    exit 1
+}
+test "$re_retracted" -ge 1 || {
+    echo "FAIL: replay lost the retraction (itdb_facts_retracted_total=$re_retracted)" >&2
+    exit 1
+}
+
+# The pre-crash retraction's request id still dedups, and dedup answers
+# carry seq null (nothing re-logged).
+out=$(post_fact "$PORT" "mix-retract" "$(retract_body 40 batch2)")
+echo "$out" | grep -q '"duplicate_request":true' || {
+    echo "FAIL: replayed dedup window missed the retraction id: $out" >&2
+    exit 1
+}
+echo "$out" | grep -q '"seq":null' || {
+    echo "FAIL: deduplicated retraction should report seq null: $out" >&2
+    exit 1
+}
+
+# Finish the mixed stream post-recovery: one more insert, one more
+# retraction, then capture the answer.
+post_fact "$PORT" "mix-4" "$(fact_body 60 batch4)" > /dev/null
+out=$(post_fact "$PORT" "mix-retract-2" "$(retract_body 30 batch1)")
+echo "$out" | grep -q '"retracted":1' || {
+    echo "FAIL: post-recovery retraction not applied: $out" >&2
+    exit 1
+}
+curl -fsS -X POST --data "$QUERY_INGEST" "http://127.0.0.1:$PORT/query" \
+    | sed 's/,"stats":.*//' > "$ART"/retract_answer.json
+grep -q 'batch2' "$ART"/retract_answer.json && {
+    echo "FAIL: retracted fact's consequences survived the SIGKILL replay" >&2
+    exit 1
+}
+grep -q 'batch3' "$ART"/retract_answer.json || {
+    echo "FAIL: non-retracted facts lost" >&2
+    exit 1
+}
+
+# Fresh reference: identical mixed stream, no crash.
+"$BIN" serve --addr "127.0.0.1:$PORT_REF" --wal "$WAL_RET_REF" \
+    ci/serve_workload.itdb > "$ART"/retract_ref.log 2>&1 &
+REF=$!
+trap 'kill "$SRV" "$REF" 2>/dev/null || true' EXIT
+wait_healthy "$PORT_REF"
+for i in 1 2 3; do
+    post_fact "$PORT_REF" "mix-$i" "$(fact_body $((20 + 10 * i)) "batch$i")" > /dev/null
+done
+post_fact "$PORT_REF" "mix-retract" "$(retract_body 40 batch2)" > /dev/null
+post_fact "$PORT_REF" "mix-4" "$(fact_body 60 batch4)" > /dev/null
+post_fact "$PORT_REF" "mix-retract-2" "$(retract_body 30 batch1)" > /dev/null
+curl -fsS -X POST --data "$QUERY_INGEST" "http://127.0.0.1:$PORT_REF/query" \
+    | sed 's/,"stats":.*//' > "$ART"/retract_reference.json
+diff -u "$ART"/retract_reference.json "$ART"/retract_answer.json || {
+    echo "FAIL: recovered mixed stream diverges from the uninterrupted reference" >&2
+    exit 1
+}
+
+kill -INT "$SRV" "$REF"
+wait "$SRV" "$REF" 2>/dev/null || true
+trap - EXIT
+echo "retraction stream: $re_replayed records replayed (>=1 retraction), answers byte-identical"
 echo "chaos soak: OK"

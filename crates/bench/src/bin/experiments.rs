@@ -25,6 +25,7 @@ fn main() {
         ("e10", ex::e10_roundtrips),
         ("e11", ex::e11_stratified_negation),
         ("e12", ex::e12_ablations),
+        ("e13", ex::e13_retraction_maintenance),
     ];
     let mut ran = 0;
     for (name, f) in &all {
@@ -34,7 +35,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment(s) {args:?}; available: e1..e12");
+        eprintln!("unknown experiment(s) {args:?}; available: e1..e13");
         std::process::exit(1);
     }
 }

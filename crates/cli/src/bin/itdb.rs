@@ -54,6 +54,8 @@ usage: itdb serve --addr HOST:PORT [options] WORKLOAD
                     WAL flush policy: `always` (default; every record is
                     durable before its 202) or `batch:N` (group commit,
                     a crash may lose up to N-1 acknowledged records)
+  --dedup-window N  request ids remembered for idempotent POST /facts
+                    retries (default 1024; must be at least 1)
   --slow-query-ms N log a full profile record for any /query slower than
                     N milliseconds (see --slow-log)
   --slow-log PATH   append slow-query records to PATH as JSONL (default:
@@ -105,6 +107,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
     // the loop.
     let mut wal_dir: Option<std::path::PathBuf> = None;
     let mut wal_fsync: Option<FsyncPolicy> = None;
+    let mut dedup_window: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -138,6 +141,22 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 })?;
                 wal_fsync =
                     Some(FsyncPolicy::parse(value).map_err(|e| format!("--wal-fsync: {e}"))?);
+            }
+            "--dedup-window" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--dedup-window needs a numeric argument".to_string())?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--dedup-window: `{value}` is not a number"))?;
+                if n == 0 {
+                    return Err(
+                        "--dedup-window: 0 would disable idempotent replay of retried \
+                         batches; use at least 1"
+                            .to_string(),
+                    );
+                }
+                dedup_window = Some(n);
             }
             "--no-access-log" => config.access_log = false,
             "--workers"
@@ -186,18 +205,26 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             }
         }
     }
-    match (wal_dir, wal_fsync) {
-        (Some(dir), fsync) => {
+    match (wal_dir, wal_fsync, dedup_window) {
+        (Some(dir), fsync, window) => {
             let mut ingest = IngestConfig::new(dir);
             if let Some(policy) = fsync {
                 ingest.wal.fsync = policy;
             }
+            if let Some(window) = window {
+                ingest.dedup_window = window;
+            }
             config.ingest = Some(ingest);
         }
-        (None, Some(_)) => {
+        (None, Some(_), _) => {
             return Err("--wal-fsync needs --wal DIR (no WAL to apply the policy to)".to_string())
         }
-        (None, None) => {}
+        (None, None, Some(_)) => {
+            return Err(
+                "--dedup-window needs --wal DIR (no ingest pipeline to configure)".to_string(),
+            )
+        }
+        (None, None, None) => {}
     }
     Ok(ServeArgs {
         addr: addr.ok_or_else(|| "serve needs --addr HOST:PORT".to_string())?,
@@ -480,6 +507,67 @@ mod tests {
         // Missing values keep the usage-shaped errors.
         let err = parse_serve_args(&strs(&["--addr", "127.0.0.1:0", "--wal"])).unwrap_err();
         assert!(err.contains("--wal"), "{err}");
+    }
+
+    #[test]
+    fn dedup_window_flag_is_validated() {
+        // Default stands when the flag is absent.
+        let p = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "/tmp/itdb-wal",
+            "w",
+        ]))
+        .unwrap();
+        assert_eq!(p.config.ingest.unwrap().dedup_window, 1024);
+        // Boundary: 1 is the smallest accepted window.
+        let p = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "/tmp/itdb-wal",
+            "--dedup-window",
+            "1",
+            "w",
+        ]))
+        .unwrap();
+        assert_eq!(p.config.ingest.unwrap().dedup_window, 1);
+        // 0 is refused with an explanation, not silently clamped.
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "/tmp/itdb-wal",
+            "--dedup-window",
+            "0",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--dedup-window"), "{err}");
+        assert!(err.contains("idempotent"), "{err}");
+        // The flag is meaningless without a WAL.
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--dedup-window",
+            "8",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--wal"), "{err}");
+        // Non-numeric values name the flag.
+        let err = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal",
+            "d",
+            "--dedup-window",
+            "lots",
+            "w",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--dedup-window"), "{err}");
     }
 
     #[test]

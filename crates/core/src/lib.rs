@@ -69,7 +69,7 @@ pub use metrics::{render_metrics, render_metrics_full, write_metrics_into};
 pub use parser::{parse_atom, parse_clause, parse_program};
 pub use provenance::{explain, DerivationNode};
 pub use query::{ask, query};
-pub use resident::{ApplyOutcome, Fact, ResidentModel, ResidentStats};
+pub use resident::{ApplyError, ApplyOutcome, Fact, Op, ResidentModel, ResidentStats};
 pub use service::{
     parse_workload, parse_workload_typed, QueryRequest, QueryResponse, QueryStatus, Service,
     ServiceDefaults, ServiceTotals, Workload, WorkloadError, WorkloadErrorKind,

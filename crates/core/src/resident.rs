@@ -1,43 +1,67 @@
 //! Long-lived resident models: evaluate once, then *maintain* under
-//! streaming EDB ingestion.
+//! streaming EDB ingestion — inserts **and retractions**.
 //!
 //! A [`ResidentModel`] holds a converged evaluation of a workload and
-//! applies batches of new extensional facts **incrementally**: the new
-//! EDB tuples seed the semi-naive delta frontier and propagation resumes
-//! from the affected strata, instead of re-running the full fixpoint.
-//! Reads become closed-form lookups against the maintained relations —
-//! microseconds instead of an evaluation.
+//! applies batches of extensional operations **incrementally**: newly
+//! asserted EDB tuples seed the semi-naive delta frontier and propagation
+//! resumes from the affected strata; retracted EDB tuples trigger a
+//! DRed-style delete/re-derive pass. Reads stay closed-form lookups
+//! against the maintained relations.
 //!
 //! ## Incremental maintenance invariants
 //!
-//! Let `M` be the converged model and `Δ` a batch of new EDB tuples.
+//! Let `M` be the converged model and `Δ` a batch of operations.
 //!
 //! 1. **Insert-only is monotone for positive programs.** Every rule
 //!    firing of `T_GP(edb ∪ Δ)` either (a) uses no tuple newer than `M`,
 //!    and was therefore already fired, or (b) uses at least one new
-//!    tuple. [`ResidentModel::apply_batch`] covers (b) exactly: each
-//!    clause is fired once per body position holding a changed
-//!    predicate, with the frontier relation at that position and the
-//!    *updated* full relations elsewhere — the textbook semi-naive
+//!    tuple. The insert path of [`ResidentModel::apply_ops`] covers (b)
+//!    exactly: each clause is fired once per body position holding a
+//!    changed predicate, with the frontier relation at that position and
+//!    the *updated* full relations elsewhere — the textbook semi-naive
 //!    argument, seeded at the EDB instead of at iteration 1.
-//! 2. **Strata below the lowest affected predicate are untouched.**
-//!    A stratum re-enters its fixpoint only if some clause body mentions
-//!    a predicate whose extension changed (transitively).
-//! 3. **Negation over a changed predicate falls back.** Inserting EDB
-//!    tuples can *shrink* a predicate defined through negation, which
-//!    delta insertion cannot express. When any affected clause negates
-//!    an affected predicate, the apply degrades to one honest full
-//!    re-evaluation (reported via [`ApplyOutcome::full_reeval`]).
-//! 4. **Determinism.** Given the same starting state and the same batch
-//!    sequence, `apply_batch` produces byte-identical relations — the
-//!    property WAL replay and the crash-recovery chaos tests build on.
-//! 5. **Divergence stays detected.** The same free-extension-key grace
+//! 2. **Retraction is delete/re-derive (DRed).** A retraction removes
+//!    the stored EDB tuples semantically contained in the retracted
+//!    tuple, then *over-deletes* the IDB: every tuple whose recorded
+//!    derivation transitively touches a removed tuple is deleted (the
+//!    provenance cone, when complete provenance is available), or every
+//!    tuple of every affected intensional predicate (the per-stratum
+//!    wipe fallback). The standard fixpoint then re-derives, per
+//!    affected stratum bottom-up, everything with a surviving
+//!    alternative derivation. Both modes start the re-derive from a
+//!    *subset* of the true fixpoint, so convergence lands exactly on it.
+//! 3. **Negation constrains the over-delete mode.** Retraction can
+//!    *grow* a predicate defined through negation, and recorded positive
+//!    sources cannot witness negation-dependent invalidation — so the
+//!    provenance cone is only used when no affected clause negates an
+//!    affected predicate. The wipe fallback is sound even then:
+//!    stratification puts every negated predicate in a strictly lower
+//!    stratum, which is rebuilt to its final value first.
+//! 4. **Representation-level retraction semantics.** Retracting `t`
+//!    removes stored tuples *subsumed by* `t`. Content of `t` that was
+//!    folded into a strictly broader stored tuple is **not** carved
+//!    out — the generalized relation is the unit of storage, exactly as
+//!    in the paper's closed representation. Callers that need carve-out
+//!    must ingest at the granularity they intend to retract.
+//! 5. **Failed batches roll back; the model never wedges.** Every apply
+//!    is transactional: a governor trip or divergence mid-batch restores
+//!    the exact pre-batch EDB, IDB, and provenance state and surfaces
+//!    [`ApplyError::RolledBack`]. The model stays healthy and continues
+//!    to serve reads and later batches — there is no poisoned state.
+//! 6. **Determinism.** Given the same starting state and the same
+//!    operation sequence, `apply_ops` produces byte-identical relations
+//!    (and byte-identical rollback decisions, for deterministic
+//!    governors) — the property WAL replay and the crash-recovery chaos
+//!    tests build on. The over-delete mode is itself deterministic from
+//!    persisted state: snapshots carry the derivation log, so a restore
+//!    replays retractions in the same mode as the uninterrupted run.
+//! 7. **Divergence stays detected.** The same free-extension-key grace
 //!    rule as the engine guards each incremental fixpoint; a batch that
-//!    makes the workload diverge is refused rather than looping.
+//!    makes the workload diverge is rolled back rather than looping.
 //!
-//! The `*_full_reeval` twin ([`ResidentModel::apply_batch_full_reeval`])
-//! recomputes the model from scratch; a ×64 proptest pins the
-//! equivalence of the two paths on random workloads and batch sequences.
+//! The `*_full_reeval` twins recompute the model from scratch; ×64
+//! proptests pin the equivalence of the incremental and oracle paths on
+//! random workloads and interleaved insert/retract sequences.
 
 // User-reachable ingestion path: failures must flow through the error
 // taxonomy, never panic.
@@ -45,17 +69,17 @@
 
 use crate::analyze::{analyze, ProgramInfo};
 use crate::ast::Program;
-use crate::checkpoint::{get_relations, hash_program, put_relations};
+use crate::checkpoint::{get_relations, get_tuple, hash_program, put_relations, put_tuple};
 use crate::db::Database;
-use crate::engine::{eval_clause, evaluate_with, EvalOptions, EvalOutcome, Pending};
+use crate::engine::{eval_clause, evaluate_with, Derivation, EvalOptions, EvalOutcome, Pending};
 use crate::normalize::{normalize_program, NormClause};
-use itdb_lrp::{Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result};
+use itdb_lrp::{Error, GeneralizedRelation, GeneralizedTuple, Lrp, Result, Schema};
 use itdb_store::{ByteReader, ByteWriter, Section};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
 
-/// One extensional fact to ingest: a predicate name and a generalized
-/// tuple (which may, as everywhere in the paper, denote infinitely many
-/// ground facts).
+/// One extensional fact: a predicate name and a generalized tuple (which
+/// may, as everywhere in the paper, denote infinitely many ground facts).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fact {
     /// Extensional predicate the tuple extends.
@@ -64,49 +88,162 @@ pub struct Fact {
     pub tuple: GeneralizedTuple,
 }
 
-/// What one [`ResidentModel::apply_batch`] did.
+/// One ingest operation: assert a fact into the EDB, or retract every
+/// stored tuple semantically contained in the fact's tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the fact (subsumption-deduplicated, idempotent).
+    Assert(Fact),
+    /// Remove stored tuples subsumed by the fact's tuple, then DRed-
+    /// maintain the IDB. See module invariant 4 for the exact semantics.
+    Retract(Fact),
+}
+
+impl Op {
+    /// The fact this operation carries.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            Op::Assert(f) | Op::Retract(f) => f,
+        }
+    }
+
+    /// Is this a retraction?
+    pub fn is_retract(&self) -> bool {
+        matches!(self, Op::Retract(_))
+    }
+}
+
+/// Why an [`ResidentModel::apply_ops`] call did not apply.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// The batch was rejected by up-front validation (unknown/intensional
+    /// predicate, schema mismatch). The model was not touched at all.
+    Invalid(Error),
+    /// The batch failed mid-flight (governor trip, divergence, budget
+    /// exhaustion) and every mutation was rolled back: the model is the
+    /// exact pre-batch state and stays fully serviceable. Retrying the
+    /// identical batch under the same limits will fail identically.
+    RolledBack(Error),
+}
+
+impl ApplyError {
+    /// Unwraps the underlying evaluation error.
+    pub fn into_error(self) -> Error {
+        match self {
+            ApplyError::Invalid(e) | ApplyError::RolledBack(e) => e,
+        }
+    }
+
+    /// Was the model mutated and restored (as opposed to never touched)?
+    pub fn rolled_back(&self) -> bool {
+        matches!(self, ApplyError::RolledBack(_))
+    }
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Invalid(e) => write!(f, "invalid batch: {e}"),
+            ApplyError::RolledBack(e) => write!(f, "batch rolled back: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// What one [`ResidentModel::apply_ops`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ApplyOutcome {
     /// EDB tuples newly inserted (not subsumed by the existing relation).
     pub applied: u64,
     /// EDB tuples already covered by the relation — idempotent re-sends.
     pub duplicates: u64,
-    /// IDB tuples inserted by delta propagation (0 on full re-eval).
+    /// Stored EDB tuples removed by retract operations.
+    pub retracted: u64,
+    /// Retract operations that matched no stored tuple (no-ops).
+    pub retract_noops: u64,
+    /// IDB tuples inserted by insert-only delta propagation.
     pub derived_inserted: u64,
+    /// IDB tuples removed by the DRed over-delete phase.
+    pub overdeleted: u64,
+    /// IDB tuples re-inserted by the DRed re-derive phase.
+    pub rederived: u64,
+    /// Whether the over-delete used the provenance cone (`true`) or the
+    /// per-stratum wipe fallback (`false`; also `false` when no
+    /// retraction reached the IDB).
+    pub dred_cone: bool,
     /// Strata whose fixpoint was re-entered.
     pub strata_touched: usize,
     /// Semi-naive iterations run across all touched strata.
     pub iterations: u64,
-    /// Whether negation over a changed predicate forced a full
-    /// re-evaluation instead of delta propagation.
+    /// Whether the batch degraded to one full re-evaluation (insert-path
+    /// negation fallback, or the `*_full_reeval` oracle twins).
     pub full_reeval: bool,
 }
 
 /// Lifetime counters for a resident model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResidentStats {
-    /// Batches applied.
+    /// Batches applied successfully.
     pub applies: u64,
     /// Total EDB tuples newly inserted.
     pub facts_applied: u64,
     /// Total EDB tuples subsumed as duplicates.
     pub facts_duplicate: u64,
-    /// Total IDB tuples inserted by propagation.
+    /// Total stored EDB tuples removed by retractions.
+    pub facts_retracted: u64,
+    /// Total IDB tuples inserted by insert-path propagation.
     pub derived_inserted: u64,
+    /// Total IDB tuples removed by DRed over-deletes.
+    pub retraction_overdeleted: u64,
+    /// Total IDB tuples re-inserted by DRed re-derives.
+    pub retraction_rederived: u64,
     /// Applies that degraded to a full re-evaluation.
     pub full_reevals: u64,
+    /// Batches that failed mid-flight and were rolled back.
+    pub rollbacks: u64,
 }
 
 /// Section tags for [`ResidentModel::snapshot_sections`].
 const SEC_RES_META: u8 = 21;
 const SEC_RES_EDB: u8 = 22;
 const SEC_RES_IDB: u8 = 23;
+const SEC_RES_PROV: u8 = 24;
 const RES_SNAPSHOT_VERSION: u8 = 1;
 
 type FeKey = (Vec<Lrp>, Vec<itdb_lrp::DataValue>);
 
+/// How to restore one EDB relation if the batch rolls back.
+enum Undo {
+    /// The batch created the relation: remove it entirely.
+    Created,
+    /// Only asserts touched it (append-only): truncate to the old length.
+    Truncate(usize),
+    /// A retract touched it: restore the full pre-batch clone.
+    Restore(GeneralizedRelation),
+}
+
+/// Records the rollback action for `pred` before its first mutation.
+fn record_undo(
+    edb: &Database,
+    undos: &mut BTreeMap<String, Undo>,
+    pred: &str,
+    retract_preds: &BTreeSet<String>,
+) {
+    if undos.contains_key(pred) {
+        return;
+    }
+    let undo = match edb.get(pred) {
+        None => Undo::Created,
+        Some(rel) if retract_preds.contains(pred) => Undo::Restore(rel.clone()),
+        Some(rel) => Undo::Truncate(rel.tuples().len()),
+    };
+    undos.insert(pred.to_string(), undo);
+}
+
 /// A converged evaluation kept resident and maintained incrementally
-/// under fact ingestion. See the module docs for the invariants.
+/// under fact ingestion and retraction. See the module docs for the
+/// invariants.
 #[derive(Debug, Clone)]
 pub struct ResidentModel {
     program: Program,
@@ -118,7 +255,14 @@ pub struct ResidentModel {
     empty: BTreeMap<String, GeneralizedRelation>,
     opts: EvalOptions,
     stats: ResidentStats,
-    poisoned: bool,
+    /// Insertion-ordered derivation log (every source of a derivation
+    /// precedes it): the provenance cone DRed consults. Complete only
+    /// while [`Self::provenance_complete`] holds.
+    derivations: Vec<Derivation>,
+    /// True when `derivations` records every IDB insertion since the
+    /// model's birth (provenance on, coalesce off, and no restore from a
+    /// provenance-free snapshot) — the precondition for cone-mode DRed.
+    provenance_complete: bool,
 }
 
 impl ResidentModel {
@@ -133,7 +277,7 @@ impl ResidentModel {
                 eval.outcome
             )));
         }
-        Self::assemble(program, edb, eval.idb, opts)
+        Self::assemble(program, edb, eval.idb, opts, eval.derivations, true)
     }
 
     fn assemble(
@@ -141,6 +285,8 @@ impl ResidentModel {
         edb: Database,
         idb: BTreeMap<String, GeneralizedRelation>,
         opts: EvalOptions,
+        derivations: Vec<Derivation>,
+        provenance_flag: bool,
     ) -> Result<Self> {
         let info = analyze(&program)?;
         let all_clauses = normalize_program(&program)?;
@@ -151,6 +297,7 @@ impl ResidentModel {
             .iter()
             .map(|(p, s)| (p.clone(), GeneralizedRelation::empty(*s)))
             .collect();
+        let provenance_complete = provenance_flag && opts.provenance && !opts.coalesce;
         Ok(ResidentModel {
             program,
             info,
@@ -161,7 +308,8 @@ impl ResidentModel {
             empty,
             opts,
             stats: ResidentStats::default(),
-            poisoned: false,
+            derivations,
+            provenance_complete,
         })
     }
 
@@ -170,7 +318,7 @@ impl ResidentModel {
         &self.program
     }
 
-    /// The current extensional database (grown by ingestion).
+    /// The current extensional database (grown and shrunk by ingestion).
     pub fn edb(&self) -> &Database {
         &self.edb
     }
@@ -185,11 +333,16 @@ impl ResidentModel {
         self.stats
     }
 
-    /// True after an apply left the model inconsistent (a recovery
-    /// re-evaluation failed to converge). A poisoned model refuses
-    /// further applies; callers should rebuild or stop serving writes.
-    pub fn poisoned(&self) -> bool {
-        self.poisoned
+    /// The insertion-ordered derivation log (empty unless provenance
+    /// recording is on).
+    pub fn derivations(&self) -> &[Derivation] {
+        &self.derivations
+    }
+
+    /// True when retractions can use provenance-cone over-deletion (see
+    /// the field docs); false means the per-stratum wipe fallback.
+    pub fn provenance_complete(&self) -> bool {
+        self.provenance_complete
     }
 
     /// The relation answering queries for `pred`: maintained IDB first,
@@ -198,8 +351,8 @@ impl ResidentModel {
         self.idb.get(pred).or_else(|| self.edb.get(pred))
     }
 
-    /// Validates one fact against the program's signatures and the
-    /// current EDB. Intensional predicates cannot be ingested.
+    /// Validates one asserted fact against the program's signatures and
+    /// the current EDB. Intensional predicates cannot be ingested.
     fn check_fact(&self, fact: &Fact) -> Result<()> {
         if self.info.intensional.contains(&fact.pred) {
             return Err(Error::Eval(format!(
@@ -207,7 +360,7 @@ impl ResidentModel {
                 fact.pred
             )));
         }
-        let schema = itdb_lrp::Schema::new(fact.tuple.temporal_arity(), fact.tuple.data_arity());
+        let schema = Schema::new(fact.tuple.temporal_arity(), fact.tuple.data_arity());
         if let Some(expected) = self.info.signatures.get(&fact.pred) {
             if *expected != schema {
                 return Err(Error::SchemaMismatch(format!(
@@ -227,51 +380,42 @@ impl ResidentModel {
         Ok(())
     }
 
-    /// Inserts the batch into the EDB with subsumption, returning the
-    /// per-predicate delta of tuples that were actually new.
-    fn ingest_edb(
-        &mut self,
-        facts: &[Fact],
-    ) -> Result<(BTreeMap<String, GeneralizedRelation>, u64, u64)> {
-        for f in facts {
-            self.check_fact(f)?;
+    /// Validates one retraction. `batch_created` holds predicates (and
+    /// schemas) introduced by earlier asserts of the same batch, so
+    /// assert-then-retract of a brand-new predicate is well-formed.
+    fn check_retract(&self, fact: &Fact, batch_created: &BTreeMap<String, Schema>) -> Result<()> {
+        if self.info.intensional.contains(&fact.pred) {
+            return Err(Error::Eval(format!(
+                "cannot retract intensional predicate `{}` (derived by rules; \
+                 retract its extensional sources instead)",
+                fact.pred
+            )));
         }
-        let mut delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
-        let (mut applied, mut duplicates) = (0u64, 0u64);
-        for f in facts {
-            let Some(tuple) = f.tuple.canonical() else {
-                // Empty zone: denotes no ground facts at all.
-                duplicates += 1;
-                continue;
-            };
-            let schema = itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
-            if self.edb.get(&f.pred).is_none() {
-                self.edb
-                    .insert(f.pred.clone(), GeneralizedRelation::empty(schema));
-            }
-            let rel = self.edb.get_mut(&f.pred).ok_or_else(|| {
-                Error::Eval(format!("internal: EDB relation `{}` vanished", f.pred))
-            })?;
-            let new = if self.opts.use_index {
-                rel.insert_if_new(tuple.clone(), self.opts.residue_budget)?
-            } else {
-                rel.insert_if_new_naive(tuple.clone(), self.opts.residue_budget)?
-            };
-            if new {
-                applied += 1;
-                delta
-                    .entry(f.pred.clone())
-                    .or_insert_with(|| GeneralizedRelation::empty(schema))
-                    .insert(tuple)?;
-            } else {
-                duplicates += 1;
-            }
+        let schema = Schema::new(fact.tuple.temporal_arity(), fact.tuple.data_arity());
+        let known = self
+            .info
+            .signatures
+            .get(&fact.pred)
+            .copied()
+            .or_else(|| self.edb.get(&fact.pred).map(|r| r.schema()))
+            .or_else(|| batch_created.get(&fact.pred).copied());
+        match known {
+            None => Err(Error::Eval(format!(
+                "cannot retract from unknown predicate `{}`",
+                fact.pred
+            ))),
+            Some(expected) if expected != schema => Err(Error::SchemaMismatch(format!(
+                "retraction for `{}` has schema {schema} but the relation holds {expected}",
+                fact.pred
+            ))),
+            Some(_) => Ok(()),
         }
-        Ok((delta, applied, duplicates))
     }
 
-    /// Predicates whose extension may change when `changed` grows:
-    /// transitive closure of the dependency graph, upward.
+    /// Predicates whose extension may change when `changed` changes:
+    /// transitive closure of the dependency graph, upward. The analysis
+    /// dependency edges include negated body atoms, so the closure is an
+    /// over-approximation for retraction too.
     fn affected_preds(&self, changed: &BTreeSet<String>) -> BTreeSet<String> {
         let mut affected = changed.clone();
         loop {
@@ -288,93 +432,535 @@ impl ResidentModel {
     }
 
     /// Does any clause with an affected head negate an affected
-    /// predicate? If so, delta insertion is unsound (the model may
-    /// shrink) and the apply must fall back to full re-evaluation.
+    /// predicate? If so, delta insertion (and provenance-cone deletion)
+    /// is unsound inside the affected region.
     fn negation_over(&self, affected: &BTreeSet<String>) -> bool {
         self.clauses.iter().any(|c| {
             affected.contains(&c.head_pred) && c.neg_body.iter().any(|a| affected.contains(&a.pred))
         })
     }
 
-    /// Applies one batch incrementally. See the module docs for the
-    /// soundness argument; [`Self::apply_batch_full_reeval`] is the
+    /// Applies one batch of assert/retract operations incrementally.
+    /// Transactional: on [`ApplyError::RolledBack`] the model is the
+    /// exact pre-batch state. [`Self::apply_ops_full_reeval`] is the
     /// oracle twin.
+    pub fn apply_ops(&mut self, ops: &[Op]) -> std::result::Result<ApplyOutcome, ApplyError> {
+        self.apply_ops_inner(ops, false)
+    }
+
+    /// The oracle twin: same EDB walk and accounting, then a full
+    /// re-evaluation replaces the maintained IDB wholesale.
+    pub fn apply_ops_full_reeval(
+        &mut self,
+        ops: &[Op],
+    ) -> std::result::Result<ApplyOutcome, ApplyError> {
+        self.apply_ops_inner(ops, true)
+    }
+
+    /// Insert-only compatibility wrapper over [`Self::apply_ops`].
     pub fn apply_batch(&mut self, facts: &[Fact]) -> Result<ApplyOutcome> {
-        if self.poisoned {
-            return Err(Error::Eval(
-                "resident model is poisoned; rebuild before ingesting".to_string(),
-            ));
-        }
-        let (edb_delta, applied, duplicates) = self.ingest_edb(facts)?;
-        let mut out = ApplyOutcome {
-            applied,
-            duplicates,
-            ..ApplyOutcome::default()
-        };
-        if !edb_delta.is_empty() {
-            match self.propagate(edb_delta, &mut out) {
-                Ok(()) => {}
-                Err(e) => {
-                    // The EDB inserts stand; restore IDB consistency with
-                    // one honest full re-evaluation. Only if *that* fails
-                    // is the model genuinely broken.
-                    self.recover_full(&mut out).map_err(|e2| {
-                        Error::Eval(format!(
-                            "incremental apply failed ({e}) and recovery re-evaluation \
-                             failed ({e2}); model is poisoned"
-                        ))
-                    })?;
+        let ops: Vec<Op> = facts.iter().cloned().map(Op::Assert).collect();
+        self.apply_ops(&ops).map_err(ApplyError::into_error)
+    }
+
+    /// Insert-only compatibility wrapper over
+    /// [`Self::apply_ops_full_reeval`].
+    pub fn apply_batch_full_reeval(&mut self, facts: &[Fact]) -> Result<ApplyOutcome> {
+        let ops: Vec<Op> = facts.iter().cloned().map(Op::Assert).collect();
+        self.apply_ops_full_reeval(&ops)
+            .map_err(ApplyError::into_error)
+    }
+
+    fn apply_ops_inner(
+        &mut self,
+        ops: &[Op],
+        force_full: bool,
+    ) -> std::result::Result<ApplyOutcome, ApplyError> {
+        // Phase 1: validate everything up front — an invalid batch must
+        // leave the model untouched.
+        let mut batch_created: BTreeMap<String, Schema> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Assert(f) => {
+                    self.check_fact(f).map_err(ApplyError::Invalid)?;
+                    let schema = Schema::new(f.tuple.temporal_arity(), f.tuple.data_arity());
+                    if !self.info.signatures.contains_key(&f.pred)
+                        && self.edb.get(&f.pred).is_none()
+                    {
+                        batch_created.entry(f.pred.clone()).or_insert(schema);
+                    }
+                }
+                Op::Retract(f) => {
+                    self.check_retract(f, &batch_created)
+                        .map_err(ApplyError::Invalid)?;
                 }
             }
         }
+        let retract_preds: BTreeSet<String> = ops
+            .iter()
+            .filter(|o| o.is_retract())
+            .map(|o| o.fact().pred.clone())
+            .collect();
+
+        // Phase 2: walk the operations over the EDB in order, recording
+        // per-relation undo actions before the first mutation.
+        let mut out = ApplyOutcome::default();
+        let mut undos: BTreeMap<String, Undo> = BTreeMap::new();
+        let mut insert_delta: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+        let mut retract_seed: BTreeMap<String, Vec<GeneralizedTuple>> = BTreeMap::new();
+        if let Err(e) = self.walk_ops(
+            ops,
+            &retract_preds,
+            &mut undos,
+            &mut insert_delta,
+            &mut retract_seed,
+            &mut out,
+        ) {
+            self.rollback_edb(undos);
+            self.stats.rollbacks += 1;
+            return Err(ApplyError::RolledBack(e));
+        }
+
+        // Phase 3: derivation maintenance, with IDB + provenance
+        // snapshots so a mid-flight failure rolls everything back.
+        let changed: BTreeSet<String> = insert_delta
+            .keys()
+            .chain(retract_seed.keys())
+            .cloned()
+            .collect();
+        let affected = self.affected_preds(&changed);
+        let touches_idb = affected.iter().any(|p| self.info.intensional.contains(p));
+        if !changed.is_empty() && touches_idb {
+            let idb_snapshot: BTreeMap<String, GeneralizedRelation> = affected
+                .iter()
+                .filter(|p| self.info.intensional.contains(*p))
+                .filter_map(|p| self.idb.get(p).map(|r| (p.clone(), r.clone())))
+                .collect();
+            let deriv_snapshot = self.derivations.clone();
+            let result = if force_full {
+                self.recover_full(&mut out)
+            } else if retract_seed.is_empty() {
+                if self.negation_over(&affected) {
+                    self.recover_full(&mut out)
+                } else {
+                    self.propagate(insert_delta, &mut out)
+                }
+            } else {
+                let cone = self.over_delete(&retract_seed, &affected, &mut out);
+                out.dred_cone = cone;
+                self.rederive(&affected, &mut out)
+            };
+            if let Err(e) = result {
+                for (pred, rel) in idb_snapshot {
+                    self.idb.insert(pred, rel);
+                }
+                self.derivations = deriv_snapshot;
+                self.rollback_edb(undos);
+                self.stats.rollbacks += 1;
+                return Err(ApplyError::RolledBack(e));
+            }
+        }
+
         self.stats.applies += 1;
         self.stats.facts_applied += out.applied;
         self.stats.facts_duplicate += out.duplicates;
+        self.stats.facts_retracted += out.retracted;
         self.stats.derived_inserted += out.derived_inserted;
+        self.stats.retraction_overdeleted += out.overdeleted;
+        self.stats.retraction_rederived += out.rederived;
         self.stats.full_reevals += u64::from(out.full_reeval);
         Ok(out)
     }
 
-    /// The oracle twin: same EDB insertion and dedup accounting, then a
-    /// full re-evaluation replaces the maintained IDB wholesale.
-    pub fn apply_batch_full_reeval(&mut self, facts: &[Fact]) -> Result<ApplyOutcome> {
-        if self.poisoned {
-            return Err(Error::Eval(
-                "resident model is poisoned; rebuild before ingesting".to_string(),
-            ));
+    /// Applies the operations to the EDB in order: asserts insert with
+    /// subsumption; retracts remove stored tuples subsumed by the
+    /// retracted tuple. Fills the insert delta (for propagation) and the
+    /// retract seed (for DRed).
+    fn walk_ops(
+        &mut self,
+        ops: &[Op],
+        retract_preds: &BTreeSet<String>,
+        undos: &mut BTreeMap<String, Undo>,
+        insert_delta: &mut BTreeMap<String, GeneralizedRelation>,
+        retract_seed: &mut BTreeMap<String, Vec<GeneralizedTuple>>,
+        out: &mut ApplyOutcome,
+    ) -> Result<()> {
+        for op in ops {
+            match op {
+                Op::Assert(f) => {
+                    let Some(tuple) = f.tuple.canonical() else {
+                        // Empty zone: denotes no ground facts at all.
+                        out.duplicates += 1;
+                        continue;
+                    };
+                    let schema = Schema::new(tuple.temporal_arity(), tuple.data_arity());
+                    record_undo(&self.edb, undos, &f.pred, retract_preds);
+                    if self.edb.get(&f.pred).is_none() {
+                        self.edb
+                            .insert(f.pred.clone(), GeneralizedRelation::empty(schema));
+                    }
+                    let rel = self.edb.get_mut(&f.pred).ok_or_else(|| {
+                        Error::Eval(format!("internal: EDB relation `{}` vanished", f.pred))
+                    })?;
+                    let new = if self.opts.use_index {
+                        rel.insert_if_new(tuple.clone(), self.opts.residue_budget)?
+                    } else {
+                        rel.insert_if_new_naive(tuple.clone(), self.opts.residue_budget)?
+                    };
+                    if new {
+                        out.applied += 1;
+                        insert_delta
+                            .entry(f.pred.clone())
+                            .or_insert_with(|| GeneralizedRelation::empty(schema))
+                            .insert(tuple)?;
+                    } else {
+                        out.duplicates += 1;
+                    }
+                }
+                Op::Retract(f) => {
+                    let Some(tuple) = f.tuple.canonical() else {
+                        out.retract_noops += 1;
+                        continue;
+                    };
+                    let Some(rel) = self.edb.get(&f.pred) else {
+                        out.retract_noops += 1;
+                        continue;
+                    };
+                    if rel.is_empty() {
+                        out.retract_noops += 1;
+                        continue;
+                    }
+                    record_undo(&self.edb, undos, &f.pred, retract_preds);
+                    let rel = self.edb.get_mut(&f.pred).ok_or_else(|| {
+                        Error::Eval(format!("internal: EDB relation `{}` vanished", f.pred))
+                    })?;
+                    let removed = rel.remove_subsumed_by(&tuple, self.opts.residue_budget)?;
+                    if removed.is_empty() {
+                        out.retract_noops += 1;
+                    } else {
+                        out.retracted += removed.len() as u64;
+                        // Same-batch assert-then-retract: the retracted
+                        // tuples must not seed the insert frontier.
+                        if let Some(delta) = insert_delta.get_mut(&f.pred) {
+                            let _ = delta.remove_subsumed_by(&tuple, self.opts.residue_budget)?;
+                            if delta.is_empty() {
+                                insert_delta.remove(&f.pred);
+                            }
+                        }
+                        retract_seed
+                            .entry(f.pred.clone())
+                            .or_default()
+                            .extend(removed);
+                    }
+                }
+            }
         }
-        let (edb_delta, applied, duplicates) = self.ingest_edb(facts)?;
-        let mut out = ApplyOutcome {
-            applied,
-            duplicates,
-            full_reeval: true,
-            ..ApplyOutcome::default()
-        };
-        if !edb_delta.is_empty() {
-            self.recover_full(&mut out)?;
-        }
-        self.stats.applies += 1;
-        self.stats.facts_applied += out.applied;
-        self.stats.facts_duplicate += out.duplicates;
-        self.stats.full_reevals += 1;
-        Ok(out)
+        Ok(())
     }
 
-    /// Replaces the IDB with a fresh full evaluation of the (already
-    /// updated) EDB. Poisons the model if the evaluation no longer
-    /// converges.
+    /// Restores every EDB relation the failed batch touched.
+    fn rollback_edb(&mut self, undos: BTreeMap<String, Undo>) {
+        for (pred, undo) in undos {
+            match undo {
+                Undo::Created => {
+                    self.edb.remove(&pred);
+                }
+                Undo::Truncate(len) => {
+                    if let Some(rel) = self.edb.get_mut(&pred) {
+                        rel.truncate(len);
+                    }
+                }
+                Undo::Restore(rel) => {
+                    self.edb.insert(pred, rel);
+                }
+            }
+        }
+    }
+
+    /// DRed phase 1: over-delete. Returns `true` when the provenance
+    /// cone was used, `false` for the per-stratum wipe fallback.
+    fn over_delete(
+        &mut self,
+        retract_seed: &BTreeMap<String, Vec<GeneralizedTuple>>,
+        affected: &BTreeSet<String>,
+        out: &mut ApplyOutcome,
+    ) -> bool {
+        let cone = self.provenance_complete && !self.negation_over(affected);
+        if cone {
+            // Dead-set fixpoint in one forward pass: the derivation log
+            // is insertion-ordered (sources precede heads), so a single
+            // sweep computes the transitive cone of the retracted EDB
+            // tuples.
+            let mut dead: BTreeMap<String, HashSet<GeneralizedTuple>> = BTreeMap::new();
+            for (pred, tuples) in retract_seed {
+                dead.entry(pred.clone())
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+            }
+            for d in &self.derivations {
+                let head_dead = dead.get(&d.pred).is_some_and(|s| s.contains(&d.tuple));
+                let src_dead = d
+                    .sources
+                    .iter()
+                    .any(|(p, t)| dead.get(p).is_some_and(|s| s.contains(t)));
+                if !head_dead && src_dead {
+                    dead.entry(d.pred.clone())
+                        .or_default()
+                        .insert(d.tuple.clone());
+                }
+            }
+            for pred in affected {
+                if !self.info.intensional.contains(pred) {
+                    continue;
+                }
+                let Some(set) = dead.get(pred) else { continue };
+                if set.is_empty() {
+                    continue;
+                }
+                if let Some(rel) = self.idb.get_mut(pred) {
+                    let removed = rel.remove_where(|t| !set.contains(t));
+                    out.overdeleted += removed.len() as u64;
+                }
+            }
+            // Drop every derivation record killed by the over-delete; the
+            // re-derive pass records fresh ones for survivors it re-fires.
+            self.derivations.retain(|d| {
+                !(dead.get(&d.pred).is_some_and(|s| s.contains(&d.tuple))
+                    || d.sources
+                        .iter()
+                        .any(|(p, t)| dead.get(p).is_some_and(|s| s.contains(t))))
+            });
+        } else {
+            // Wipe fallback: clear every affected intensional relation
+            // and its derivation records; sound under stratified negation
+            // because re-derivation runs bottom-up per stratum.
+            for pred in affected {
+                if !self.info.intensional.contains(pred) {
+                    continue;
+                }
+                if let Some(rel) = self.idb.get_mut(pred) {
+                    out.overdeleted += rel.tuples().len() as u64;
+                    *rel = GeneralizedRelation::empty(rel.schema());
+                }
+            }
+            self.derivations.retain(|d| !affected.contains(&d.pred));
+        }
+        cone
+    }
+
+    /// DRed phase 2: re-derive. Runs the standard fixpoint over every
+    /// affected stratum bottom-up: iteration 1 fires each affected
+    /// clause fully against the current (post-over-delete) relations,
+    /// later iterations are semi-naive from the newly re-inserted
+    /// frontier. Starting from a subset of the true fixpoint, this
+    /// converges exactly onto it.
+    fn rederive(&mut self, affected: &BTreeSet<String>, out: &mut ApplyOutcome) -> Result<()> {
+        let collect = self.opts.provenance;
+        for (stratum_idx, stratum) in self.info.strata.iter().enumerate() {
+            if !stratum.iter().any(|p| affected.contains(p)) {
+                continue;
+            }
+            let stratum_clauses: Vec<&NormClause> = self
+                .clauses
+                .iter()
+                .filter(|c| stratum.contains(&c.head_pred) && affected.contains(&c.head_pred))
+                .collect();
+            if stratum_clauses.is_empty() {
+                continue;
+            }
+            let _span = itdb_trace::span_with(itdb_trace::SpanKind::Stratum, || {
+                format!("rederive stratum {stratum_idx}")
+            });
+            out.strata_touched += 1;
+
+            let mut fe_keys: BTreeMap<String, BTreeSet<FeKey>> = BTreeMap::new();
+            for pred in stratum.iter() {
+                let keys: BTreeSet<FeKey> = self
+                    .idb
+                    .get(pred)
+                    .map(|rel| {
+                        rel.tuples()
+                            .iter()
+                            .map(|t| t.free_extension_key())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                fe_keys.insert(pred.clone(), keys);
+            }
+            let mut fe_safe_streak = 0usize;
+
+            let mut frontier: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+            let mut stratum_iters = 0usize;
+            loop {
+                stratum_iters += 1;
+                out.iterations += 1;
+                if stratum_iters > self.opts.max_iterations {
+                    return Err(Error::Eval(format!(
+                        "retraction re-derivation exceeded {} iterations in stratum {stratum_idx}",
+                        self.opts.max_iterations
+                    )));
+                }
+                let mut derived: Vec<Pending> = Vec::new();
+                if stratum_iters == 1 {
+                    // Full firing against the current relations: covers
+                    // bodyless clauses and seeds the frontier, exactly
+                    // like the engine's first iteration.
+                    for clause in &stratum_clauses {
+                        let neg_rels: Vec<&GeneralizedRelation> = clause
+                            .neg_body
+                            .iter()
+                            .map(|a| self.stable_rel(&a.pred))
+                            .collect();
+                        let rel_for = |i: usize| -> &GeneralizedRelation {
+                            self.stable_rel(clause.body[i].pred.as_str())
+                        };
+                        eval_clause(
+                            clause,
+                            &rel_for,
+                            &neg_rels,
+                            self.opts.residue_budget,
+                            self.opts.use_index,
+                            collect,
+                            None,
+                            &mut |t, sources| {
+                                derived.push(Pending {
+                                    pred: clause.head_pred.clone(),
+                                    rule: clause.idx,
+                                    tuple: t,
+                                    sources,
+                                })
+                            },
+                        )?;
+                    }
+                } else {
+                    let changed: Vec<&str> = frontier
+                        .iter()
+                        .filter(|(_, rel)| !rel.is_empty())
+                        .map(|(p, _)| p.as_str())
+                        .collect();
+                    if changed.is_empty() {
+                        break;
+                    }
+                    for clause in &stratum_clauses {
+                        let dposes = clause.body_positions_of(&changed);
+                        if dposes.is_empty() {
+                            continue;
+                        }
+                        let neg_rels: Vec<&GeneralizedRelation> = clause
+                            .neg_body
+                            .iter()
+                            .map(|a| self.stable_rel(&a.pred))
+                            .collect();
+                        for dpos in dposes {
+                            let rel_for = |i: usize| -> &GeneralizedRelation {
+                                let pred = clause.body[i].pred.as_str();
+                                if i == dpos {
+                                    frontier.get(pred).unwrap_or_else(|| self.empty_rel(pred))
+                                } else {
+                                    self.stable_rel(pred)
+                                }
+                            };
+                            eval_clause(
+                                clause,
+                                &rel_for,
+                                &neg_rels,
+                                self.opts.residue_budget,
+                                self.opts.use_index,
+                                collect,
+                                None,
+                                &mut |t, sources| {
+                                    derived.push(Pending {
+                                        pred: clause.head_pred.clone(),
+                                        rule: clause.idx,
+                                        tuple: t,
+                                        sources,
+                                    })
+                                },
+                            )?;
+                        }
+                    }
+                }
+
+                let mut next: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+                let mut new_fe_key = false;
+                for Pending {
+                    pred,
+                    rule,
+                    tuple,
+                    sources,
+                } in derived
+                {
+                    let Some(tuple) = tuple.canonical() else {
+                        continue;
+                    };
+                    let rel = self.idb.get_mut(&pred).ok_or_else(|| {
+                        Error::Eval(format!(
+                            "internal: derived tuple for non-intensional predicate {pred}"
+                        ))
+                    })?;
+                    let ins = if self.opts.use_index {
+                        rel.insert_if_new(tuple.clone(), self.opts.residue_budget)?
+                    } else {
+                        rel.insert_if_new_naive(tuple.clone(), self.opts.residue_budget)?
+                    };
+                    if ins {
+                        out.rederived += 1;
+                        if collect {
+                            self.derivations.push(Derivation {
+                                pred: pred.clone(),
+                                tuple: tuple.clone(),
+                                rule,
+                                sources,
+                            });
+                        }
+                        if let Some(keys) = fe_keys.get_mut(&pred) {
+                            if keys.insert(tuple.free_extension_key()) {
+                                new_fe_key = true;
+                            }
+                        }
+                        let schema = Schema::new(tuple.temporal_arity(), tuple.data_arity());
+                        next.entry(pred.clone())
+                            .or_insert_with(|| GeneralizedRelation::empty(schema))
+                            .insert(tuple)?;
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                if new_fe_key {
+                    fe_safe_streak = 0;
+                } else {
+                    fe_safe_streak += 1;
+                    if fe_safe_streak > self.opts.grace_after_fe_safety {
+                        return Err(Error::Eval(format!(
+                            "retraction re-derivation diverged in stratum {stratum_idx} \
+                             (no new free-extension key for {fe_safe_streak} iterations)"
+                        )));
+                    }
+                }
+                frontier = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the IDB (and the derivation log) with a fresh full
+    /// evaluation of the already-updated EDB.
     fn recover_full(&mut self, out: &mut ApplyOutcome) -> Result<()> {
         out.full_reeval = true;
         out.derived_inserted = 0;
         let eval = evaluate_with(&self.program, &self.edb, &self.opts)?;
         if !matches!(eval.outcome, EvalOutcome::Converged { .. }) {
-            self.poisoned = true;
             return Err(Error::Eval(format!(
                 "re-evaluation after ingest did not converge: {:?}",
                 eval.outcome
             )));
         }
         self.idb = eval.idb;
+        self.derivations = eval.derivations;
+        // A from-scratch evaluation re-establishes complete provenance
+        // (when recording is on at all).
+        self.provenance_complete = self.opts.provenance && !self.opts.coalesce;
         Ok(())
     }
 
@@ -385,6 +971,7 @@ impl ResidentModel {
         edb_delta: BTreeMap<String, GeneralizedRelation>,
         out: &mut ApplyOutcome,
     ) -> Result<()> {
+        let collect = self.opts.provenance;
         let changed_edb: BTreeSet<String> = edb_delta.keys().cloned().collect();
         let affected = self.affected_preds(&changed_edb);
         if !affected.iter().any(|p| self.info.intensional.contains(p)) {
@@ -484,14 +1071,14 @@ impl ResidentModel {
                             &neg_rels,
                             self.opts.residue_budget,
                             self.opts.use_index,
-                            false,
+                            collect,
                             None,
-                            &mut |t, _| {
+                            &mut |t, sources| {
                                 derived.push(Pending {
                                     pred: clause.head_pred.clone(),
                                     rule: clause.idx,
                                     tuple: t,
-                                    sources: Vec::new(),
+                                    sources,
                                 })
                             },
                         )?;
@@ -500,7 +1087,13 @@ impl ResidentModel {
 
                 let mut next: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
                 let mut new_fe_key = false;
-                for Pending { pred, tuple, .. } in derived {
+                for Pending {
+                    pred,
+                    rule,
+                    tuple,
+                    sources,
+                } in derived
+                {
                     let Some(tuple) = tuple.canonical() else {
                         continue;
                     };
@@ -516,13 +1109,20 @@ impl ResidentModel {
                     };
                     if ins {
                         out.derived_inserted += 1;
+                        if collect {
+                            self.derivations.push(Derivation {
+                                pred: pred.clone(),
+                                tuple: tuple.clone(),
+                                rule,
+                                sources,
+                            });
+                        }
                         if let Some(keys) = fe_keys.get_mut(&pred) {
                             if keys.insert(tuple.free_extension_key()) {
                                 new_fe_key = true;
                             }
                         }
-                        let schema =
-                            itdb_lrp::Schema::new(tuple.temporal_arity(), tuple.data_arity());
+                        let schema = Schema::new(tuple.temporal_arity(), tuple.data_arity());
                         next.entry(pred.clone())
                             .or_insert_with(|| GeneralizedRelation::empty(schema))
                             .insert(tuple)?;
@@ -578,11 +1178,12 @@ impl ResidentModel {
         })
     }
 
-    /// Encodes the full resident state (EDB + IDB + applied-through WAL
-    /// sequence) as store sections — the checkpoint half of the
-    /// checkpoint+WAL pairing. Tuple order is preserved exactly, so a
-    /// restore followed by replay is byte-identical to the uninterrupted
-    /// run.
+    /// Encodes the full resident state (EDB + IDB + derivation log +
+    /// applied-through WAL sequence) as store sections — the checkpoint
+    /// half of the checkpoint+WAL pairing. Tuple and derivation order is
+    /// preserved exactly, so a restore followed by replay is
+    /// byte-identical to the uninterrupted run — including which
+    /// over-delete mode later retractions use.
     pub fn snapshot_sections(&self, applied_seq: u64) -> Vec<Section> {
         let mut meta = ByteWriter::new();
         meta.put_u8(RES_SNAPSHOT_VERSION);
@@ -593,17 +1194,34 @@ impl ResidentModel {
         put_relations(&mut edb, self.edb.relations());
         let mut idb = ByteWriter::new();
         put_relations(&mut idb, &self.idb);
+        let mut prov = ByteWriter::new();
+        prov.put_bool(self.provenance_complete);
+        prov.put_usize(self.derivations.len());
+        for d in &self.derivations {
+            prov.put_str(&d.pred);
+            prov.put_usize(d.rule);
+            put_tuple(&mut prov, &d.tuple);
+            prov.put_usize(d.sources.len());
+            for (p, t) in &d.sources {
+                prov.put_str(p);
+                put_tuple(&mut prov, t);
+            }
+        }
         vec![
             Section::new(SEC_RES_META, meta.into_bytes()),
             Section::new(SEC_RES_EDB, edb.into_bytes()),
             Section::new(SEC_RES_IDB, idb.into_bytes()),
+            Section::new(SEC_RES_PROV, prov.into_bytes()),
         ]
     }
 
     /// Restores a resident model from [`Self::snapshot_sections`] output.
     /// The program must hash-match the snapshot (a snapshot is only valid
     /// for the workload that wrote it). Returns the model and the WAL
-    /// sequence it is current through — replay starts after it.
+    /// sequence it is current through — replay starts after it. A
+    /// snapshot without a provenance section (written before retraction
+    /// support) restores fine; retractions then use the wipe fallback
+    /// until a full re-evaluation re-establishes complete provenance.
     pub fn restore_from_sections(
         program: Program,
         opts: EvalOptions,
@@ -643,7 +1261,38 @@ impl ResidentModel {
         let mut idb_r = ByteReader::new(find(SEC_RES_IDB)?);
         let idb = get_relations(&mut idb_r)
             .map_err(|e| Error::Eval(format!("resident snapshot: {e}")))?;
-        let model = Self::assemble(program, edb, idb, opts)?;
+
+        let (derivations, prov_flag) = match sections.iter().find(|s| s.tag == SEC_RES_PROV) {
+            None => (Vec::new(), false),
+            Some(s) => {
+                let mut r = ByteReader::new(s.payload.as_slice());
+                let flag = r.get_bool().map_err(|_| bad("provenance"))?;
+                let n = r.get_usize().map_err(|_| bad("provenance"))?;
+                let mut ds = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    let pred = r.get_str().map_err(|_| bad("provenance"))?;
+                    let rule = r.get_usize().map_err(|_| bad("provenance"))?;
+                    let tuple = get_tuple(&mut r)
+                        .map_err(|e| Error::Eval(format!("resident snapshot: {e}")))?;
+                    let ns = r.get_usize().map_err(|_| bad("provenance"))?;
+                    let mut sources = Vec::with_capacity(ns.min(1024));
+                    for _ in 0..ns {
+                        let sp = r.get_str().map_err(|_| bad("provenance"))?;
+                        let st = get_tuple(&mut r)
+                            .map_err(|e| Error::Eval(format!("resident snapshot: {e}")))?;
+                        sources.push((sp, st));
+                    }
+                    ds.push(Derivation {
+                        pred,
+                        tuple,
+                        rule,
+                        sources,
+                    });
+                }
+                (ds, flag)
+            }
+        };
+        let model = Self::assemble(program, edb, idb, opts, derivations, prov_flag)?;
         Ok((model, applied_seq))
     }
 }
@@ -660,17 +1309,47 @@ mod tests {
         problems[t1 + 48, t2 + 48](C) <- problems[t1, t2](C).";
 
     fn model() -> ResidentModel {
+        model_with(EvalOptions::default())
+    }
+
+    fn model_with(opts: EvalOptions) -> ResidentModel {
         let program = parse_program(PROGRAM).unwrap();
         let mut edb = Database::new();
         edb.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
             .unwrap();
-        ResidentModel::new(program, edb, EvalOptions::default()).unwrap()
+        ResidentModel::new(program, edb, opts).unwrap()
+    }
+
+    fn prov_opts() -> EvalOptions {
+        EvalOptions {
+            provenance: true,
+            ..EvalOptions::default()
+        }
     }
 
     fn fact(pred: &str, text: &str) -> Fact {
         Fact {
             pred: pred.to_string(),
             tuple: parse_tuple(text).unwrap(),
+        }
+    }
+
+    fn assert_op(pred: &str, text: &str) -> Op {
+        Op::Assert(fact(pred, text))
+    }
+
+    fn retract_op(pred: &str, text: &str) -> Op {
+        Op::Retract(fact(pred, text))
+    }
+
+    /// Asserts that every IDB relation of `a` is semantically equivalent
+    /// to the corresponding relation of `b`.
+    fn assert_equivalent(a: &ResidentModel, b: &ResidentModel, ctx: &str) {
+        for (pred, rel) in a.idb() {
+            assert!(
+                rel.equivalent(&b.idb()[pred], 100_000).unwrap(),
+                "{ctx}: {pred} differs"
+            );
         }
     }
 
@@ -687,13 +1366,7 @@ mod tests {
         assert_eq!(a.applied, 1);
         assert_eq!(b.applied, 1);
         assert!(!a.full_reeval, "positive program propagates incrementally");
-        for (pred, rel) in inc.idb() {
-            let other = &full.idb()[pred];
-            assert!(
-                rel.equivalent(other, 100_000).unwrap(),
-                "{pred} differs between incremental and full re-eval"
-            );
-        }
+        assert_equivalent(&inc, &full, "incremental vs full re-eval");
     }
 
     #[test]
@@ -813,5 +1486,280 @@ mod tests {
         let err = ResidentModel::restore_from_sections(other, EvalOptions::default(), &sections)
             .unwrap_err();
         assert!(err.to_string().contains("different workload"), "{err}");
+    }
+
+    // ---- retraction ----
+
+    /// Cone mode (provenance on): retract matches the full-reeval oracle,
+    /// and two incremental twins are byte-identical (determinism).
+    #[test]
+    fn retract_matches_oracle_cone_mode() {
+        let ops1 = vec![assert_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let ops2 = vec![retract_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let mut inc = model_with(prov_opts());
+        let mut twin = model_with(prov_opts());
+        let mut oracle = model_with(prov_opts());
+        for ops in [&ops1, &ops2] {
+            inc.apply_ops(ops).unwrap();
+            twin.apply_ops(ops).unwrap();
+            oracle.apply_ops_full_reeval(ops).unwrap();
+        }
+        assert!(inc.provenance_complete(), "provenance stays complete");
+        assert_equivalent(&inc, &oracle, "cone retract vs oracle");
+        for (pred, rel) in inc.idb() {
+            assert_eq!(rel.tuples(), twin.idb()[pred].tuples(), "{pred}: twins");
+        }
+        let out = {
+            let mut m = model_with(prov_opts());
+            m.apply_ops(&ops1).unwrap();
+            m.apply_ops(&ops2).unwrap()
+        };
+        assert!(out.dred_cone, "provenance-complete model uses the cone");
+        assert!(out.retracted >= 1);
+        assert!(out.overdeleted >= 1, "consequences over-deleted");
+    }
+
+    /// Wipe mode (provenance off): same semantics through the fallback.
+    #[test]
+    fn retract_matches_oracle_wipe_mode() {
+        let ops1 = vec![assert_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let ops2 = vec![retract_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let mut inc = model();
+        let mut oracle = model();
+        let mut cone = model_with(prov_opts());
+        inc.apply_ops(&ops1).unwrap();
+        oracle.apply_ops_full_reeval(&ops1).unwrap();
+        cone.apply_ops(&ops1).unwrap();
+        let out = inc.apply_ops(&ops2).unwrap();
+        assert!(!out.dred_cone, "no provenance: wipe fallback");
+        oracle.apply_ops_full_reeval(&ops2).unwrap();
+        cone.apply_ops(&ops2).unwrap();
+        assert_equivalent(&inc, &oracle, "wipe retract vs oracle");
+        assert_equivalent(&inc, &cone, "wipe vs cone agreement");
+    }
+
+    /// Retraction through stratified negation *grows* a predicate; the
+    /// wipe fallback rebuilds lower strata first, so the result matches
+    /// the oracle without a whole-model full re-evaluation.
+    #[test]
+    fn retract_through_negation_regrows_correctly() {
+        let program = parse_program(
+            "lit[t](C) <- candidate[t](C), !blocked[t](C).
+             blocked[t](C) <- veto[t](C).",
+        )
+        .unwrap();
+        let mut edb = Database::new();
+        edb.insert_parsed("candidate", "(7n+1; a)").unwrap();
+        edb.insert_parsed("veto", "(14n+1; a)").unwrap();
+        let mut inc = ResidentModel::new(program.clone(), edb.clone(), prov_opts()).unwrap();
+        let mut oracle = ResidentModel::new(program, edb, prov_opts()).unwrap();
+        let ops = vec![retract_op("veto", "(14n+1; a)")];
+        let out = inc.apply_ops(&ops).unwrap();
+        assert!(
+            !out.dred_cone,
+            "negation inside the affected region forbids the cone"
+        );
+        oracle.apply_ops_full_reeval(&ops).unwrap();
+        assert_equivalent(&inc, &oracle, "negation regrow vs oracle");
+        // lit must now cover every candidate instant (veto is empty).
+        let lit = inc.idb().get("lit").unwrap();
+        let cand = inc.edb().get("candidate").unwrap();
+        assert!(lit.equivalent(cand, 100_000).unwrap(), "lit == candidate");
+    }
+
+    /// Retracting content folded inside a strictly broader stored tuple
+    /// is a representation-level no-op (module invariant 4).
+    #[test]
+    fn retract_of_folded_content_is_noop() {
+        let mut m = model_with(prov_opts());
+        // (168n+8, 168n+10) is stored as one broad tuple; retracting the
+        // strictly narrower every-other-week subset does not carve it out.
+        let out = m
+            .apply_ops(&[retract_op(
+                "course",
+                "(336n+8, 336n+10; database) : T2 = T1 + 2",
+            )])
+            .unwrap();
+        assert_eq!(out.retracted, 0);
+        assert_eq!(out.retract_noops, 1);
+        assert_eq!(out.overdeleted, 0, "no IDB churn on a no-op retract");
+    }
+
+    #[test]
+    fn retract_unknown_and_intensional_are_invalid() {
+        let mut m = model_with(prov_opts());
+        let before = m.stats();
+        let err = m
+            .apply_ops(&[retract_op("nonexistent", "(5n+1; x)")])
+            .unwrap_err();
+        assert!(matches!(err, ApplyError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("unknown predicate"), "{err}");
+        let err = m
+            .apply_ops(&[retract_op(
+                "problems",
+                "(168n+10, 168n+12; database) : T2 = T1 + 2",
+            )])
+            .unwrap_err();
+        assert!(matches!(err, ApplyError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("intensional"), "{err}");
+        assert_eq!(
+            m.stats(),
+            before,
+            "invalid batches leave the model untouched"
+        );
+    }
+
+    /// Assert-then-retract of the same tuple in one batch nets out; the
+    /// model ends equivalent to never having seen the tuple.
+    #[test]
+    fn assert_then_retract_in_one_batch_nets_out() {
+        let mut m = model_with(prov_opts());
+        let reference = model_with(prov_opts());
+        let out = m
+            .apply_ops(&[
+                assert_op("course", "(168n+30, 168n+32; compilers) : T2 = T1 + 2"),
+                retract_op("course", "(168n+30, 168n+32; compilers) : T2 = T1 + 2"),
+            ])
+            .unwrap();
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.retracted, 1);
+        assert_equivalent(&m, &reference, "net-zero batch");
+        // A brand-new predicate asserted and retracted in one batch is
+        // also well-formed.
+        let out = m
+            .apply_ops(&[
+                assert_op("audit", "(24n+3; ops)"),
+                retract_op("audit", "(24n+3; ops)"),
+            ])
+            .unwrap();
+        assert_eq!((out.applied, out.retracted), (1, 1));
+        assert!(m.relation("audit").unwrap().is_empty());
+    }
+
+    /// A batch that trips the iteration governor mid-derivation rolls
+    /// back to the exact pre-batch state and the model keeps serving —
+    /// the wedged-server bugfix.
+    #[test]
+    fn tripped_batch_rolls_back_and_model_stays_healthy() {
+        let program = parse_program(
+            "p[t + 2](C) <- e[t](C).
+             p[t + 48](C) <- p[t](C).
+             q[t](C) <- f[t](C).",
+        )
+        .unwrap();
+        let mut edb = Database::new();
+        edb.insert("e", GeneralizedRelation::empty(Schema::new(1, 1)));
+        edb.insert("f", GeneralizedRelation::empty(Schema::new(1, 1)));
+        let opts = EvalOptions {
+            max_iterations: 3,
+            ..EvalOptions::default()
+        };
+        let mut m = ResidentModel::new(program, edb, opts).unwrap();
+        let edb_before: Vec<(String, Vec<GeneralizedTuple>)> = m
+            .edb()
+            .iter()
+            .map(|(p, r)| (p.to_string(), r.tuples().to_vec()))
+            .collect();
+        let idb_before = m.idb().clone();
+
+        // The +48 recursion mod 168 needs ~7 iterations; the cap is 3.
+        let err = m.apply_ops(&[assert_op("e", "(168n+1; x)")]).unwrap_err();
+        assert!(matches!(err, ApplyError::RolledBack(_)), "{err}");
+        assert_eq!(m.stats().rollbacks, 1);
+        // Byte-identical rollback.
+        let edb_after: Vec<(String, Vec<GeneralizedTuple>)> = m
+            .edb()
+            .iter()
+            .map(|(p, r)| (p.to_string(), r.tuples().to_vec()))
+            .collect();
+        assert_eq!(edb_before, edb_after, "EDB restored exactly");
+        for (pred, rel) in m.idb() {
+            assert_eq!(rel.tuples(), idb_before[pred].tuples(), "{pred} restored");
+        }
+        // The model still applies unrelated batches — no wedge.
+        let out = m.apply_ops(&[assert_op("f", "(24n+1; y)")]).unwrap();
+        assert_eq!(out.applied, 1);
+        assert!(!m.idb()["q"].is_empty(), "q derived after recovery");
+    }
+
+    /// Snapshots carry the derivation log, so a restored model keeps
+    /// using cone-mode DRed and replay stays byte-identical across
+    /// retraction-bearing histories.
+    #[test]
+    fn snapshot_preserves_provenance_and_retraction_replay() {
+        let mut uninterrupted = model_with(prov_opts());
+        let b1 = vec![assert_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        let b2 = vec![retract_op(
+            "course",
+            "(168n+30, 168n+32; compilers) : T2 = T1 + 2",
+        )];
+        uninterrupted.apply_ops(&b1).unwrap();
+        let sections = uninterrupted.snapshot_sections(1);
+        let out = uninterrupted.apply_ops(&b2).unwrap();
+        assert!(out.dred_cone);
+
+        let program = parse_program(PROGRAM).unwrap();
+        let (mut restored, seq) =
+            ResidentModel::restore_from_sections(program.clone(), prov_opts(), &sections).unwrap();
+        assert_eq!(seq, 1);
+        assert!(
+            restored.provenance_complete(),
+            "provenance completeness survives the snapshot"
+        );
+        let out = restored.apply_ops(&b2).unwrap();
+        assert!(out.dred_cone, "restored model replays in the same mode");
+        for (pred, rel) in uninterrupted.idb() {
+            assert_eq!(
+                rel.tuples(),
+                restored.idb()[pred].tuples(),
+                "{pred}: restore+replay byte-identical across a retraction"
+            );
+        }
+        for (pred, rel) in uninterrupted.edb().iter() {
+            assert_eq!(rel.tuples(), restored.edb().get(pred).unwrap().tuples());
+        }
+
+        // A pre-retraction snapshot (no provenance section) still
+        // restores; retraction then runs in wipe mode.
+        let stripped: Vec<Section> = sections
+            .iter()
+            .filter(|s| s.tag != SEC_RES_PROV)
+            .cloned()
+            .collect();
+        let (mut old, _) =
+            ResidentModel::restore_from_sections(program, prov_opts(), &stripped).unwrap();
+        assert!(!old.provenance_complete());
+        let out = old.apply_ops(&b2).unwrap();
+        assert!(!out.dred_cone, "provenance-free restore wipes");
+        assert_equivalent(&old, &restored, "wipe after restore vs cone");
+    }
+
+    /// Empty-zone retractions and retracts against absent relations are
+    /// counted as no-ops, not errors.
+    #[test]
+    fn retract_noop_accounting() {
+        let program = parse_program(PROGRAM).unwrap();
+        let mut edb = Database::new();
+        edb.insert_parsed("course", "(168n+8, 168n+10; database) : T2 = T1 + 2")
+            .unwrap();
+        edb.insert("extra", GeneralizedRelation::empty(Schema::new(1, 1)));
+        let mut m = ResidentModel::new(program, edb, prov_opts()).unwrap();
+        let out = m.apply_ops(&[retract_op("extra", "(5n+1; x)")]).unwrap();
+        assert_eq!((out.retracted, out.retract_noops), (0, 1));
     }
 }

@@ -1,0 +1,302 @@
+//! Property-based equivalence for retraction maintenance: interleaved
+//! insert/retract batches applied DRed-incrementally against the
+//! full-re-evaluation oracle twin, over random workloads — the
+//! retraction analogue of `prop_resident.rs`.
+//!
+//! Properties per generated case:
+//!
+//! 1. **Model equivalence** — after every batch, each maintained IDB
+//!    relation is semantically equivalent to the oracle's (which
+//!    re-evaluates from scratch over the walked EDB), in *both*
+//!    over-delete modes: provenance cone and per-stratum wipe.
+//! 2. **Accounting agreement** — the EDB walk is path-independent, so
+//!    applied/duplicate/retracted/noop counts agree across all paths.
+//! 3. **Replay determinism** — a second incremental model fed the same
+//!    op sequence lands on *byte-identical* relations (tuple vectors,
+//!    not just sets): the property WAL replay and crash recovery build
+//!    on. (Byte-identity to the oracle itself is not claimed — the two
+//!    paths legitimately produce different closed representations of
+//!    the same infinite set; equivalence is the semantic contract, and
+//!    determinism is the byte-level one. This matches the insert path.)
+//! 4. **Transactional rollback** — under arbitrarily tight governor
+//!    settings, a batch either applies identically on both incremental
+//!    twins or rolls back on both, leaving byte-identical state; the
+//!    final model always equals a fresh full evaluation over exactly
+//!    the successfully applied batches.
+
+use itdb_core::{parse_program, Database, EvalOptions, Fact, Op, ResidentModel};
+use itdb_lrp::parser::parse_tuple;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomWorkload {
+    source: String,
+    edb_period: i64,
+    edb_offset: i64,
+}
+
+/// The always-converging family of `prop_resident`: shift-recursions
+/// over periodic EDBs (subsumption closes the orbit), plus
+/// data-carrying joins and a negated rule so retraction exercises both
+/// the provenance cone and the wipe fallback (negation inside the
+/// affected region).
+fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
+    (
+        proptest::sample::select(vec![6i64, 8, 12]),
+        0i64..6,
+        proptest::collection::vec((0u8..3, 0i64..7, 0i64..7), 2..5),
+    )
+        .prop_map(|(period, offset, rules)| {
+            let mut src = String::from("p0[t] <- e[t].\n");
+            for (i, (kind, a, b)) in rules.iter().enumerate() {
+                let (hi, bi) = ((i % 3), ((i + 1) % 3));
+                let (hs, bs) = if a >= b { (*a, *b) } else { (*b, *a) };
+                match kind {
+                    0 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}].\n")),
+                    1 => src.push_str(&format!("p{hi}[t + {hs}] <- p{bi}[t + {bs}], e[t].\n")),
+                    _ => src.push_str(&format!(
+                        "p{hi}[t + {hs}] <- p{bi}[t + {bs}], p{}[t].\n",
+                        (i + 2) % 3
+                    )),
+                }
+            }
+            src.push_str(
+                "q0[t](C) <- d[t](C), p0[t].\n\
+                 q1[t] <- d[t + 1](a), p1[t].\n\
+                 q2[t](C) <- d[t](C), !dropped[t](C).\n",
+            );
+            RandomWorkload {
+                source: src,
+                edb_period: period,
+                edb_offset: offset % period,
+            }
+        })
+}
+
+fn edb(rw: &RandomWorkload) -> Database {
+    let mut db = Database::new();
+    db.insert_parsed("e", &format!("({}n+{})", rw.edb_period, rw.edb_offset))
+        .unwrap();
+    db.insert_parsed("d", "(6n; a)\n(4n+1; b)").unwrap();
+    db.insert_parsed("dropped", "(12n+1; b)").unwrap();
+    db
+}
+
+/// One generated op: (retract flag 0/1, target predicate kind, period
+/// index, offset, datum). Asserts and retracts draw from the same small spec
+/// space, so retractions frequently hit previously asserted (or seed)
+/// tuples exactly, as well as miss (no-op) and partially overlap.
+type OpSpec = (u8, u8, u8, i64, u8);
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u8..2, 0u8..3, 0u8..3, 0i64..12, 0u8..2), 1..4),
+        1..5,
+    )
+}
+
+fn materialize(spec: &OpSpec) -> Op {
+    let (retract, kind, period_idx, offset, datum) = spec;
+    let period = [6i64, 8, 12][*period_idx as usize];
+    let offset = offset % period;
+    let c = if *datum == 0 { "a" } else { "b" };
+    let (pred, text) = match kind {
+        0 => ("e", format!("({period}n+{offset})")),
+        1 => ("d", format!("({period}n+{offset}; {c})")),
+        _ => ("dropped", format!("({period}n+{offset}; {c})")),
+    };
+    let fact = Fact {
+        pred: pred.to_string(),
+        tuple: parse_tuple(&text).unwrap(),
+    };
+    if *retract == 1 {
+        Op::Retract(fact)
+    } else {
+        Op::Assert(fact)
+    }
+}
+
+fn opts(provenance: bool) -> EvalOptions {
+    EvalOptions {
+        parallel: 1,
+        grace_after_fe_safety: 32,
+        provenance,
+        ..EvalOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DRed-maintained model ≡ full re-evaluation for interleaved
+    /// insert/retract sequences, in cone and wipe mode — with
+    /// byte-identical replay on a second incremental model.
+    #[test]
+    fn interleaved_ops_equal_full_reeval(
+        rw in workload_strategy(),
+        batch_specs in batches_strategy(),
+    ) {
+        let program = parse_program(&rw.source).unwrap();
+        let mut cone = ResidentModel::new(program.clone(), edb(&rw), opts(true)).unwrap();
+        let mut wipe = ResidentModel::new(program.clone(), edb(&rw), opts(false)).unwrap();
+        let mut oracle = ResidentModel::new(program.clone(), edb(&rw), opts(true)).unwrap();
+        let mut replay = ResidentModel::new(program, edb(&rw), opts(true)).unwrap();
+
+        for specs in &batch_specs {
+            let ops: Vec<Op> = specs.iter().map(materialize).collect();
+            let a = cone.apply_ops(&ops).unwrap();
+            let w = wipe.apply_ops(&ops).unwrap();
+            let b = oracle.apply_ops_full_reeval(&ops).unwrap();
+            let r = replay.apply_ops(&ops).unwrap();
+
+            // The EDB walk is shared: counts agree across every path.
+            for (x, name) in [(&w, "wipe"), (&b, "oracle")] {
+                prop_assert_eq!(a.applied, x.applied, "applied counts agree ({})", name);
+                prop_assert_eq!(a.duplicates, x.duplicates, "duplicates agree ({})", name);
+                prop_assert_eq!(a.retracted, x.retracted, "retracted agree ({})", name);
+                prop_assert_eq!(a.retract_noops, x.retract_noops, "noops agree ({})", name);
+            }
+            prop_assert_eq!(a, r, "replay outcome is identical");
+
+            for (pred, rel) in cone.idb() {
+                let other = &oracle.idb()[pred];
+                prop_assert!(
+                    rel.equivalent(other, 1_000_000).unwrap(),
+                    "{}: {} differs between cone-DRed and full re-eval\nincremental: {}\noracle: {}",
+                    rw.source, pred, rel, other
+                );
+                let wrel = &wipe.idb()[pred];
+                prop_assert!(
+                    wrel.equivalent(other, 1_000_000).unwrap(),
+                    "{}: {} differs between wipe-DRed and full re-eval\nincremental: {}\noracle: {}",
+                    rw.source, pred, wrel, other
+                );
+            }
+            for (pred, rel) in cone.idb() {
+                prop_assert_eq!(
+                    rel.tuples(), replay.idb()[pred].tuples(),
+                    "{}: replay of {} must be byte-identical", rw.source, pred
+                );
+            }
+            for (pred, rel) in cone.edb().iter() {
+                prop_assert_eq!(
+                    rel.tuples(), replay.edb().get(pred).unwrap().tuples(),
+                    "{}: EDB replay of {} must be byte-identical", rw.source, pred
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Retract-then-reassert of the same tuples restores semantic
+    /// equivalence with a model that never saw the churn.
+    #[test]
+    fn retract_then_reassert_round_trips(
+        rw in workload_strategy(),
+        specs in proptest::collection::vec((0u8..3, 0u8..3, 0i64..12, 0u8..2), 1..4),
+    ) {
+        let program = parse_program(&rw.source).unwrap();
+        let mut churned = ResidentModel::new(program.clone(), edb(&rw), opts(true)).unwrap();
+        let mut calm = ResidentModel::new(program, edb(&rw), opts(true)).unwrap();
+
+        let asserts: Vec<Op> = specs
+            .iter()
+            .map(|(k, p, o, d)| materialize(&(0, *k, *p, *o, *d)))
+            .collect();
+        let retracts: Vec<Op> = specs
+            .iter()
+            .map(|(k, p, o, d)| materialize(&(1, *k, *p, *o, *d)))
+            .collect();
+        churned.apply_ops(&asserts).unwrap();
+        churned.apply_ops(&retracts).unwrap();
+        churned.apply_ops(&asserts).unwrap();
+        calm.apply_ops(&asserts).unwrap();
+
+        for (pred, rel) in churned.idb() {
+            let other = &calm.idb()[pred];
+            prop_assert!(
+                rel.equivalent(other, 1_000_000).unwrap(),
+                "{}: {} differs after retract/reassert churn\nchurned: {}\ncalm: {}",
+                rw.source, pred, rel, other
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under arbitrarily tight governor settings every batch either
+    /// applies on both incremental twins or rolls back on both, state
+    /// stays byte-identical between twins throughout, and the final
+    /// model equals a fresh full evaluation over exactly the applied
+    /// batches — tripping a governor never wedges or corrupts the model.
+    #[test]
+    fn governor_trips_roll_back_cleanly(
+        rw in workload_strategy(),
+        batch_specs in batches_strategy(),
+        max_iterations in 3usize..40,
+        fuel in proptest::option::of(200u64..5_000),
+    ) {
+        let program = parse_program(&rw.source).unwrap();
+        let tight = EvalOptions {
+            max_iterations,
+            max_derived_tuples: fuel,
+            ..opts(true)
+        };
+        let Ok(mut inc) = ResidentModel::new(program.clone(), edb(&rw), tight.clone()) else {
+            // Seed evaluation itself trips under these limits: nothing
+            // resident to maintain — a valid, uninteresting case.
+            return Ok(());
+        };
+        let mut replay = ResidentModel::new(program.clone(), edb(&rw), tight).unwrap();
+        let mut survivors: Vec<Vec<Op>> = Vec::new();
+
+        for specs in &batch_specs {
+            let ops: Vec<Op> = specs.iter().map(materialize).collect();
+            let a = inc.apply_ops(&ops);
+            let r = replay.apply_ops(&ops);
+            match (&a, &r) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x, y, "twin outcomes agree");
+                    survivors.push(ops);
+                }
+                (Err(x), Err(y)) => {
+                    prop_assert!(x.rolled_back() == y.rolled_back(), "twin errors agree");
+                }
+                _ => prop_assert!(false, "one twin applied, the other refused"),
+            }
+            for (pred, rel) in inc.idb() {
+                prop_assert_eq!(
+                    rel.tuples(), replay.idb()[pred].tuples(),
+                    "{}: twins byte-identical at {} (incl. after rollback)", rw.source, pred
+                );
+            }
+            for (pred, rel) in inc.edb().iter() {
+                prop_assert_eq!(
+                    rel.tuples(), replay.edb().get(pred).unwrap().tuples(),
+                    "{}: twin EDBs byte-identical at {}", rw.source, pred
+                );
+            }
+        }
+
+        // The surviving prefix fully determines the model: a fresh
+        // generously-governed oracle fed only the applied batches is
+        // semantically identical.
+        let mut oracle = ResidentModel::new(program, edb(&rw), opts(true)).unwrap();
+        for ops in &survivors {
+            oracle.apply_ops_full_reeval(ops).unwrap();
+        }
+        for (pred, rel) in inc.idb() {
+            let other = &oracle.idb()[pred];
+            prop_assert!(
+                rel.equivalent(other, 1_000_000).unwrap(),
+                "{}: {} differs from the applied-batch oracle\nmodel: {}\noracle: {}",
+                rw.source, pred, rel, other
+            );
+        }
+    }
+}

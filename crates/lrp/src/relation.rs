@@ -287,6 +287,73 @@ impl GeneralizedRelation {
         Ok(self.is_subset_of(other, budget)? && other.is_subset_of(self, budget)?)
     }
 
+    /// Truncates the tuple list back to `len` entries, rebuilding the data
+    /// index. The rollback primitive for append-only mutations: a batch
+    /// that only ran subsumption inserts is undone exactly by truncating
+    /// each touched relation to its pre-batch length.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.tuples.len() {
+            self.tuples.truncate(len);
+            self.rebuild_index();
+        }
+    }
+
+    /// Removes every stored tuple that `keep` rejects, preserving the
+    /// storage order of the survivors and rebuilding the data index.
+    /// Returns the removed tuples in their original storage order — the
+    /// deletion seed for downstream invalidation (DRed over-delete).
+    pub fn remove_where(
+        &mut self,
+        mut keep: impl FnMut(&GeneralizedTuple) -> bool,
+    ) -> Vec<GeneralizedTuple> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.tuples.len());
+        for t in self.tuples.drain(..) {
+            if keep(&t) {
+                kept.push(t);
+            } else {
+                removed.push(t);
+            }
+        }
+        self.tuples = kept;
+        if !removed.is_empty() {
+            self.rebuild_index();
+        }
+        removed
+    }
+
+    /// Removes every stored tuple semantically contained in `t` (including
+    /// exact matches) — the retraction primitive. Only tuples sharing
+    /// `t`'s data vector can be contained in it, so the check runs against
+    /// the index bucket. Returns the removed tuples in storage order;
+    /// empty means the retraction matched nothing in the *stored*
+    /// representation (e.g. its content lives inside a broader tuple that
+    /// `t` does not cover).
+    pub fn remove_subsumed_by(
+        &mut self,
+        t: &GeneralizedTuple,
+        budget: u64,
+    ) -> Result<Vec<GeneralizedTuple>> {
+        self.check_schema_of(t)?;
+        let bucket: Vec<usize> = self.index.get(t.data()).cloned().unwrap_or_default();
+        if bucket.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut doomed = vec![false; self.tuples.len()];
+        let cover = [t];
+        for i in bucket {
+            if self.tuples[i].subsumed_by(&cover, budget)? {
+                doomed[i] = true;
+            }
+        }
+        let mut idx = 0;
+        Ok(self.remove_where(|_| {
+            let d = doomed[idx];
+            idx += 1;
+            !d
+        }))
+    }
+
     /// All distinct data vectors appearing in tuples (the relation's active
     /// data domain), in first-appearance order.
     pub fn data_vectors(&self) -> Vec<Vec<DataValue>> {
@@ -733,6 +800,59 @@ mod tests {
         assert!(r.contains(&[0], &[]));
         assert!(!r.contains(&[2], &[]));
         assert!(r.contains(&[102], &[]));
+    }
+
+    #[test]
+    fn remove_subsumed_by_deletes_contained_tuples_only() {
+        let mut r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(10, 0, "a"), tup(10, 5, "a"), tup(10, 0, "b")],
+        )
+        .unwrap();
+        // (10n+0; a) is contained in itself; (10n+5; a) and the other
+        // datum are untouched.
+        let removed = r.remove_subsumed_by(&tup(10, 0, "a"), B).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[5], &[DataValue::sym("a")]));
+        assert!(r.contains(&[0], &[DataValue::sym("b")]));
+        assert!(!r.contains(&[0], &[DataValue::sym("a")]));
+        // The index survives the rewrite: candidate narrowing still works.
+        assert_eq!(r.candidates(&[DataValue::sym("a")]).len(), 1);
+        // A broader retraction sweeps every contained tuple of its datum.
+        let mut r2 = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(10, 0, "a"), tup(20, 10, "a"), tup(10, 0, "b")],
+        )
+        .unwrap();
+        let removed = r2.remove_subsumed_by(&tup(5, 0, "a"), B).unwrap();
+        assert_eq!(removed.len(), 2, "both a-tuples lie inside (5n+0; a)");
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn remove_subsumed_by_misses_content_inside_broader_tuples() {
+        // Retraction operates on the stored representation: content folded
+        // into a broader stored tuple is NOT carved out.
+        let mut r =
+            GeneralizedRelation::from_tuples(Schema::new(1, 1), vec![tup(5, 0, "a")]).unwrap();
+        let removed = r.remove_subsumed_by(&tup(10, 0, "a"), B).unwrap();
+        assert!(removed.is_empty(), "(10n+0) is inside (5n+0), not equal");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_where_preserves_survivor_order() {
+        let mut r = GeneralizedRelation::from_tuples(
+            Schema::new(1, 1),
+            vec![tup(10, 1, "a"), tup(10, 2, "a"), tup(10, 3, "a")],
+        )
+        .unwrap();
+        let victim = tup(10, 2, "a");
+        let removed = r.remove_where(|t| *t != victim);
+        assert_eq!(removed, vec![victim]);
+        assert_eq!(r.tuples(), &[tup(10, 1, "a"), tup(10, 3, "a")]);
+        assert!(r.contains(&[3], &[DataValue::sym("a")]), "index rebuilt");
     }
 
     #[test]

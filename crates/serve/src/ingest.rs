@@ -14,43 +14,60 @@
 //!    first and is fsynced per the configured flush policy. Only after
 //!    the append succeeds does the model change, so every batch the
 //!    client saw acknowledged is re-derivable from checkpoint + log.
-//! 3. **Incremental apply** — [`ResidentModel::apply_batch`] folds the
-//!    new tuples in (semi-naive delta propagation; full re-evaluation
-//!    when negation over a changed predicate makes deltas unsound). A
-//!    batch the model *rejects* (unknown schema, intensional predicate)
-//!    still sits in the WAL — rejection is deterministic, so boot-time
-//!    replay re-rejects it identically and the log stays a faithful
-//!    request history.
+//! 3. **Incremental apply** — [`ResidentModel::apply_ops`] folds assert
+//!    operations in (semi-naive delta propagation) and handles retract
+//!    operations with DRed delete/re-derive maintenance. A batch the
+//!    model *rejects* (unknown schema, intensional predicate) or *rolls
+//!    back* (governor trip — the model restores its exact pre-batch
+//!    state and keeps serving) still sits in the WAL — both decisions
+//!    are deterministic, so boot-time replay reproduces them identically
+//!    and the log stays a faithful request history.
 //! 4. **Checkpoint + compaction** — every `checkpoint_every` records the
-//!    full resident state (EDB + IDB + dedup window + applied sequence)
-//!    is written to the snapshot store and the WAL drops every sealed
-//!    segment the checkpoint covers.
+//!    full resident state (EDB + IDB + derivation log + dedup window +
+//!    applied sequence) is written to the snapshot store *first*, and
+//!    only after that write succeeds does the WAL drop sealed segments
+//!    the checkpoint covers. A crash between the two steps leaves extra
+//!    log (harmless — replay skips records at or below the checkpoint
+//!    sequence), never missing log.
 //!
 //! Boot recovery inverts the pipeline: restore the newest valid
 //! checkpoint (or start from the workload file), then replay every WAL
-//! record past the checkpoint's sequence. [`ResidentModel`] applies
+//! record past the checkpoint's sequence. Replay refuses a **sequence
+//! gap**: if the first record past the restored sequence is not the
+//! immediate successor, a compacted segment the (lost or unreadable)
+//! checkpoint covered is missing, and replaying the surviving suffix
+//! would silently build the wrong model. [`ResidentModel`] applies
 //! batches deterministically and its snapshots preserve tuple order
 //! exactly, so a SIGKILL'd server restarts with **byte-identical**
-//! relations to an uninterrupted run — the property the chaos harness
-//! checks end to end.
+//! relations to an uninterrupted run — including mid-retraction kills:
+//! the snapshot carries the derivation log, which keeps the DRed
+//! over-delete mode identical across the restart.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use itdb_core::{EvalOptions, Fact, ResidentModel, Workload};
+use itdb_core::{ApplyError, EvalOptions, Fact, Op, ResidentModel, Workload};
 use itdb_lrp::parser::parse_tuple;
 use itdb_store::{ByteReader, ByteWriter, Section, SnapshotStore, Wal, WalOptions, WalStats};
 use itdb_trace::EventKind;
 use std::collections::VecDeque;
+use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Legacy section tag for the pre-retraction dedup window (id, applied,
+/// duplicates). Still decoded so old checkpoints restore.
+pub const SEC_INGEST_DEDUP_V1: u8 = 30;
 /// Section tag carrying the serve-layer dedup window inside a resident
-/// checkpoint (the model's own sections use tags 21–23).
-pub const SEC_INGEST_DEDUP: u8 = 30;
-/// WAL record payload format version.
-const BATCH_VERSION: u8 = 1;
+/// checkpoint (the model's own sections use tags 21–24): id, applied,
+/// duplicates, retracted.
+pub const SEC_INGEST_DEDUP: u8 = 31;
+/// WAL record payload format version: v2 carries a per-entry op byte
+/// (assert/retract); v1 records decode as all-assert batches.
+const BATCH_VERSION: u8 = 2;
+const OP_ASSERT: u8 = 0;
+const OP_RETRACT: u8 = 1;
 
 /// Configuration for the streaming-ingestion subsystem.
 #[derive(Debug, Clone)]
@@ -61,6 +78,7 @@ pub struct IngestConfig {
     /// Segment rotation and fsync batching for the log.
     pub wal: WalOptions,
     /// Request ids remembered for idempotent replay of retried batches.
+    /// Must be ≥ 1 — see [`IngestConfig::validate`].
     pub dedup_window: usize,
     /// Ingest requests allowed in flight before `POST /facts` answers
     /// `503` with a `Retry-After`.
@@ -68,7 +86,33 @@ pub struct IngestConfig {
     /// WAL records between resident checkpoints (each checkpoint also
     /// compacts the log).
     pub checkpoint_every: u64,
+    /// Evaluation options for the resident model (governors, provenance).
+    /// Defaults keep provenance recording on so retractions use the
+    /// precise provenance-cone over-delete rather than the wipe fallback.
+    pub eval: EvalOptions,
 }
+
+/// A structurally invalid [`IngestConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestConfigError {
+    /// `dedup_window` was 0: a zero-capacity window cannot remember any
+    /// request id, so every retried batch would re-apply — at-least-once
+    /// clients would silently lose exactly-once semantics.
+    ZeroDedupWindow,
+}
+
+impl fmt::Display for IngestConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestConfigError::ZeroDedupWindow => write!(
+                f,
+                "dedup_window must be at least 1 (0 would disable idempotent replay)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestConfigError {}
 
 impl IngestConfig {
     /// Defaults sized like the rest of the serve stack: small enough for
@@ -80,7 +124,20 @@ impl IngestConfig {
             dedup_window: 1024,
             max_pending: 128,
             checkpoint_every: 256,
+            eval: EvalOptions {
+                provenance: true,
+                ..EvalOptions::default()
+            },
         }
+    }
+
+    /// Validates boundary values. [`Ingest::open`] refuses an invalid
+    /// configuration rather than silently adjusting it.
+    pub fn validate(&self) -> Result<(), IngestConfigError> {
+        if self.dedup_window == 0 {
+            return Err(IngestConfigError::ZeroDedupWindow);
+        }
+        Ok(())
     }
 }
 
@@ -89,8 +146,8 @@ impl IngestConfig {
 pub struct FactBatch {
     /// The request id the batch arrived under (dedup key).
     pub request_id: String,
-    /// The facts, in request order.
-    pub facts: Vec<Fact>,
+    /// The operations, in request order.
+    pub ops: Vec<Op>,
 }
 
 /// Encodes a batch as a WAL record payload. Tuples travel in their
@@ -101,31 +158,49 @@ pub fn encode_batch(batch: &FactBatch) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u8(BATCH_VERSION);
     w.put_str(&batch.request_id);
-    w.put_usize(batch.facts.len());
-    for f in &batch.facts {
+    w.put_usize(batch.ops.len());
+    for op in &batch.ops {
+        w.put_u8(if op.is_retract() {
+            OP_RETRACT
+        } else {
+            OP_ASSERT
+        });
+        let f = op.fact();
         w.put_str(&f.pred);
         w.put_str(&f.tuple.to_string());
     }
     w.into_bytes()
 }
 
-/// Decodes a WAL record payload written by [`encode_batch`].
+/// Decodes a WAL record payload written by [`encode_batch`] — either
+/// format version. v1 records (insert-only, written before retraction
+/// support) decode as all-assert batches.
 pub fn decode_batch(payload: &[u8]) -> Result<FactBatch, String> {
     let mut r = ByteReader::new(payload);
     let version = r.get_u8().map_err(|e| e.to_string())?;
-    if version != BATCH_VERSION {
+    if version != 1 && version != BATCH_VERSION {
         return Err(format!("unknown fact-batch version {version}"));
     }
     let request_id = r.get_str().map_err(|e| e.to_string())?;
     let count = r.get_usize().map_err(|e| e.to_string())?;
-    let mut facts = Vec::with_capacity(count.min(4096));
+    let mut ops = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
+        let kind = if version == 1 {
+            OP_ASSERT
+        } else {
+            r.get_u8().map_err(|e| e.to_string())?
+        };
         let pred = r.get_str().map_err(|e| e.to_string())?;
         let text = r.get_str().map_err(|e| e.to_string())?;
         let tuple = parse_tuple(&text).map_err(|e| format!("bad tuple in WAL record: {e}"))?;
-        facts.push(Fact { pred, tuple });
+        let fact = Fact { pred, tuple };
+        ops.push(match kind {
+            OP_ASSERT => Op::Assert(fact),
+            OP_RETRACT => Op::Retract(fact),
+            other => return Err(format!("unknown op kind {other} in WAL record")),
+        });
     }
-    Ok(FactBatch { request_id, facts })
+    Ok(FactBatch { request_id, ops })
 }
 
 /// What one accepted (or deduplicated) ingest request did.
@@ -135,9 +210,13 @@ pub struct IngestOutcome {
     pub applied: u64,
     /// EDB tuples already covered by the relation.
     pub duplicates: u64,
-    /// The WAL sequence the batch was logged at (0 for a deduplicated
-    /// request — nothing was re-logged).
-    pub seq: u64,
+    /// Stored EDB tuples removed by retract operations.
+    pub retracted: u64,
+    /// The WAL sequence the batch was logged at. `None` for a
+    /// deduplicated request — nothing was re-logged. (Sequences start at
+    /// 1, but `None` is the honest encoding: a fresh log's first record
+    /// must stay distinguishable from "not logged".)
+    pub seq: Option<u64>,
     /// Whether the request id was already in the dedup window (the
     /// counts above are the remembered first-application counts).
     pub duplicate_request: bool,
@@ -151,11 +230,20 @@ pub enum IngestError {
         /// Suggested client backoff, seconds.
         retry_after_s: u64,
     },
-    /// The resident model is poisoned (a recovery re-evaluation failed);
-    /// writes are refused until the operator restarts the server.
-    Poisoned,
-    /// The model rejected the batch (schema mismatch, intensional
-    /// predicate). Deterministic: replay re-rejects it identically.
+    /// A governor tripped mid-apply and the batch was rolled back. The
+    /// model restored its exact pre-batch state and keeps serving reads
+    /// and subsequent writes — this is a per-batch refusal, not a wedged
+    /// server. Retrying the identical batch under the same limits will
+    /// trip identically, so the retry hint is for *smaller* follow-ups.
+    Tripped {
+        /// Suggested client backoff, seconds.
+        retry_after_s: u64,
+        /// What tripped.
+        reason: String,
+    },
+    /// The model rejected the batch (schema mismatch, intensional or
+    /// unknown predicate). Deterministic: replay re-rejects it
+    /// identically.
     Rejected(String),
     /// The WAL append or checkpoint write failed; nothing was applied.
     Wal(String),
@@ -166,10 +254,14 @@ pub enum IngestError {
 #[derive(Debug, Default)]
 struct DedupWindow {
     cap: usize,
-    entries: VecDeque<(String, u64, u64)>,
+    entries: VecDeque<(String, u64, u64, u64)>,
 }
 
 impl DedupWindow {
+    /// `cap` is clamped to ≥ 1 as defense in depth; the public
+    /// configuration path rejects 0 outright (see
+    /// [`IngestConfig::validate`]), so the clamp is unreachable from
+    /// `Ingest::open`.
     fn new(cap: usize) -> Self {
         DedupWindow {
             cap: cap.max(1),
@@ -177,34 +269,52 @@ impl DedupWindow {
         }
     }
 
-    fn get(&self, id: &str) -> Option<(u64, u64)> {
+    fn get(&self, id: &str) -> Option<(u64, u64, u64)> {
         self.entries
             .iter()
-            .find(|(i, _, _)| i == id)
-            .map(|(_, a, d)| (*a, *d))
+            .find(|(i, _, _, _)| i == id)
+            .map(|(_, a, d, r)| (*a, *d, *r))
     }
 
-    fn insert(&mut self, id: String, applied: u64, duplicates: u64) {
+    fn insert(&mut self, id: String, applied: u64, duplicates: u64, retracted: u64) {
         if self.entries.len() >= self.cap {
             self.entries.pop_front();
         }
-        self.entries.push_back((id, applied, duplicates));
+        self.entries.push_back((id, applied, duplicates, retracted));
     }
 
     fn encode_section(&self) -> Section {
         let mut w = ByteWriter::new();
         w.put_usize(self.entries.len());
-        for (id, applied, duplicates) in &self.entries {
+        for (id, applied, duplicates, retracted) in &self.entries {
             w.put_str(id);
             w.put_u64(*applied);
             w.put_u64(*duplicates);
+            w.put_u64(*retracted);
         }
         Section::new(SEC_INGEST_DEDUP, w.into_bytes())
     }
 
+    /// Decodes the v2 section when present, falling back to the v1
+    /// section of pre-retraction checkpoints (retracted counts of 0).
     fn decode_section(cap: usize, sections: &[Section]) -> Self {
         let mut window = DedupWindow::new(cap);
-        let Some(section) = sections.iter().find(|s| s.tag == SEC_INGEST_DEDUP) else {
+        if let Some(section) = sections.iter().find(|s| s.tag == SEC_INGEST_DEDUP) {
+            let mut r = ByteReader::new(&section.payload);
+            let Ok(count) = r.get_usize() else {
+                return window;
+            };
+            for _ in 0..count {
+                let (Ok(id), Ok(applied), Ok(duplicates), Ok(retracted)) =
+                    (r.get_str(), r.get_u64(), r.get_u64(), r.get_u64())
+                else {
+                    break;
+                };
+                window.insert(id, applied, duplicates, retracted);
+            }
+            return window;
+        }
+        let Some(section) = sections.iter().find(|s| s.tag == SEC_INGEST_DEDUP_V1) else {
             return window;
         };
         let mut r = ByteReader::new(&section.payload);
@@ -216,7 +326,7 @@ impl DedupWindow {
             else {
                 break;
             };
-            window.insert(id, applied, duplicates);
+            window.insert(id, applied, duplicates, 0);
         }
         window
     }
@@ -255,6 +365,10 @@ pub struct Ingest {
     pending: AtomicU64,
     facts_ingested: AtomicU64,
     facts_duplicate: AtomicU64,
+    facts_retracted: AtomicU64,
+    retraction_overdeleted: AtomicU64,
+    retraction_rederived: AtomicU64,
+    batches_tripped: AtomicU64,
     checkpoints_written: AtomicU64,
     checkpoint_failures: AtomicU64,
     boot: IngestBootReport,
@@ -267,7 +381,10 @@ impl Ingest {
     /// checkpoint written by a different program is refused and ingestion
     /// starts fresh from the file).
     pub fn open(config: IngestConfig, workload: &Workload) -> io::Result<Ingest> {
-        let opts = EvalOptions::default();
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let opts = config.eval.clone();
         std::fs::create_dir_all(&config.wal_dir)?;
         let store =
             SnapshotStore::open(config.wal_dir.join("checkpoint")).map_err(io::Error::other)?;
@@ -293,7 +410,27 @@ impl Ingest {
         let (mut wal, recovery) =
             Wal::open(&config.wal_dir, config.wal).map_err(io::Error::other)?;
         boot.truncated_tail_bytes = recovery.truncated_tail_bytes;
+        // Gap guard: the first record past the restored sequence must be
+        // its immediate successor. Anything later means a compacted
+        // segment the checkpoint covered is gone while the checkpoint
+        // itself did not restore (corrupt, deleted, or from another
+        // program) — replaying only the surviving suffix would silently
+        // produce the wrong model.
+        if let Some(first) = recovery.records.iter().find(|r| r.seq > applied_seq) {
+            if first.seq > applied_seq + 1 {
+                return Err(io::Error::other(format!(
+                    "WAL resumes at seq {} but the restored state is only current \
+                     through {}; records in between were compacted away with the \
+                     checkpoint that covered them — refusing to replay a suffix \
+                     into the wrong model",
+                    first.seq, applied_seq
+                )));
+            }
+        }
         let (facts_ingested, facts_duplicate) = (AtomicU64::new(0), AtomicU64::new(0));
+        let facts_retracted = AtomicU64::new(0);
+        let retraction_overdeleted = AtomicU64::new(0);
+        let retraction_rederived = AtomicU64::new(0);
         for record in &recovery.records {
             if record.seq <= applied_seq {
                 continue;
@@ -304,14 +441,18 @@ impl Ingest {
             if dedup.get(&batch.request_id).is_some() {
                 continue;
             }
-            match model.apply_batch(&batch.facts) {
+            match model.apply_ops(&batch.ops) {
                 Ok(out) => {
                     facts_ingested.fetch_add(out.applied, Ordering::Relaxed);
                     facts_duplicate.fetch_add(out.duplicates, Ordering::Relaxed);
-                    dedup.insert(batch.request_id, out.applied, out.duplicates);
+                    facts_retracted.fetch_add(out.retracted, Ordering::Relaxed);
+                    retraction_overdeleted.fetch_add(out.overdeleted, Ordering::Relaxed);
+                    retraction_rederived.fetch_add(out.rederived, Ordering::Relaxed);
+                    dedup.insert(batch.request_id, out.applied, out.duplicates, out.retracted);
                 }
-                // The live path answered this batch 422 and moved on;
-                // replay must shrug identically, not refuse to boot.
+                // The live path answered this batch 422/503 and moved on;
+                // both rejection and rollback are deterministic and leave
+                // the model unchanged, so replay shrugs identically.
                 Err(_) => continue,
             }
         }
@@ -348,6 +489,10 @@ impl Ingest {
             pending: AtomicU64::new(0),
             facts_ingested,
             facts_duplicate,
+            facts_retracted,
+            retraction_overdeleted,
+            retraction_rederived,
+            batches_tripped: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             checkpoint_failures: AtomicU64::new(0),
             boot,
@@ -386,6 +531,26 @@ impl Ingest {
         self.facts_duplicate.load(Ordering::Relaxed)
     }
 
+    /// Total stored EDB tuples removed by retract operations.
+    pub fn facts_retracted(&self) -> u64 {
+        self.facts_retracted.load(Ordering::Relaxed)
+    }
+
+    /// Total IDB tuples removed by DRed over-deletes.
+    pub fn retraction_overdeleted(&self) -> u64 {
+        self.retraction_overdeleted.load(Ordering::Relaxed)
+    }
+
+    /// Total IDB tuples re-inserted by DRed re-derives.
+    pub fn retraction_rederived(&self) -> u64 {
+        self.retraction_rederived.load(Ordering::Relaxed)
+    }
+
+    /// Batches refused with a governor trip and rolled back.
+    pub fn batches_tripped(&self) -> u64 {
+        self.batches_tripped.load(Ordering::Relaxed)
+    }
+
     /// Resident checkpoints written (each also compacted the WAL).
     pub fn checkpoints_written(&self) -> u64 {
         self.checkpoints_written.load(Ordering::Relaxed)
@@ -409,8 +574,9 @@ impl Ingest {
 
     /// The ingest state holds no invariant a panicking holder could have
     /// broken mid-flight that recovery would make worse: the WAL is
-    /// append-only and the model poisons itself on failed recovery, so
-    /// recover the lock rather than wedging every writer forever.
+    /// append-only and the model rolls every failed batch back to its
+    /// pre-batch state, so recover the lock rather than wedging every
+    /// writer forever.
     fn lock(&self) -> std::sync::MutexGuard<'_, IngestInner> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
@@ -418,7 +584,7 @@ impl Ingest {
     /// The full ingest pipeline for one request: backpressure check,
     /// dedup, WAL append (durable per policy), incremental apply,
     /// checkpoint cadence. See the module docs for the ordering argument.
-    pub fn submit(&self, request_id: &str, facts: Vec<Fact>) -> Result<IngestOutcome, IngestError> {
+    pub fn submit(&self, request_id: &str, ops: Vec<Op>) -> Result<IngestOutcome, IngestError> {
         let depth = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         let _guard = PendingGuard(&self.pending);
         if depth > self.config.max_pending {
@@ -427,43 +593,55 @@ impl Ingest {
             });
         }
         let mut inner = self.lock();
-        if inner.model.poisoned() {
-            return Err(IngestError::Poisoned);
-        }
-        if let Some((applied, duplicates)) = inner.dedup.get(request_id) {
+        if let Some((applied, duplicates, retracted)) = inner.dedup.get(request_id) {
             self.facts_duplicate
-                .fetch_add(facts.len() as u64, Ordering::Relaxed);
+                .fetch_add(ops.len() as u64, Ordering::Relaxed);
             return Ok(IngestOutcome {
                 applied,
                 duplicates,
-                seq: 0,
+                retracted,
+                seq: None,
                 duplicate_request: true,
             });
         }
         let batch = FactBatch {
             request_id: request_id.to_string(),
-            facts,
+            ops,
         };
         let payload = encode_batch(&batch);
         let seq = inner
             .wal
             .append(&payload)
             .map_err(|e| IngestError::Wal(e.to_string()))?;
-        let out = match inner.model.apply_batch(&batch.facts) {
+        let out = match inner.model.apply_ops(&batch.ops) {
             Ok(out) => out,
-            // The record stays in the log; replay re-rejects it the same
-            // deterministic way, so the model and the log still agree.
-            Err(e) => return Err(IngestError::Rejected(e.to_string())),
+            // The record stays in the log either way; replay reproduces
+            // the same deterministic decision, so the model and the log
+            // still agree.
+            Err(ApplyError::Invalid(e)) => return Err(IngestError::Rejected(e.to_string())),
+            Err(ApplyError::RolledBack(e)) => {
+                self.batches_tripped.fetch_add(1, Ordering::Relaxed);
+                return Err(IngestError::Tripped {
+                    retry_after_s: 1,
+                    reason: e.to_string(),
+                });
+            }
         };
         inner.applied_seq = seq;
         inner.records_since_checkpoint += 1;
         inner
             .dedup
-            .insert(batch.request_id, out.applied, out.duplicates);
+            .insert(batch.request_id, out.applied, out.duplicates, out.retracted);
         self.facts_ingested
             .fetch_add(out.applied, Ordering::Relaxed);
         self.facts_duplicate
             .fetch_add(out.duplicates, Ordering::Relaxed);
+        self.facts_retracted
+            .fetch_add(out.retracted, Ordering::Relaxed);
+        self.retraction_overdeleted
+            .fetch_add(out.overdeleted, Ordering::Relaxed);
+        self.retraction_rederived
+            .fetch_add(out.rederived, Ordering::Relaxed);
         itdb_trace::emit(|| EventKind::FactsIngested {
             seq,
             applied: out.applied,
@@ -476,14 +654,17 @@ impl Ingest {
         Ok(IngestOutcome {
             applied: out.applied,
             duplicates: out.duplicates,
-            seq,
+            retracted: out.retracted,
+            seq: Some(seq),
             duplicate_request: false,
         })
     }
 
     /// Writes a resident checkpoint and compacts the log through it.
-    /// Failure is survivable — the WAL still holds everything — so it is
-    /// counted, not propagated.
+    /// Ordering matters: the snapshot is durably on disk *before* any
+    /// segment is deleted, so a crash between the two steps can only
+    /// leave surplus log, never a gap. Failure is survivable — the WAL
+    /// still holds everything — so it is counted, not propagated.
     fn checkpoint_locked(&self, inner: &mut IngestInner) {
         let mut sections = inner.model.snapshot_sections(inner.applied_seq);
         sections.push(inner.dedup.encode_section());
@@ -524,8 +705,10 @@ impl Drop for PendingGuard<'_> {
 }
 
 /// Parses the `POST /facts` JSON body:
-/// `{"facts":[{"pred":"e","tuple":"(6n+1)"}, …]}`.
-pub fn parse_facts_body(body: &str) -> Result<Vec<Fact>, String> {
+/// `{"facts":[{"pred":"e","tuple":"(6n+1)"},
+///            {"op":"retract","pred":"e","tuple":"(6n+1)"}, …]}`.
+/// The `op` field defaults to `"assert"`.
+pub fn parse_facts_body(body: &str) -> Result<Vec<Op>, String> {
     let value = itdb_trace::json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let facts = value
         .get("facts")
@@ -536,6 +719,15 @@ pub fn parse_facts_body(body: &str) -> Result<Vec<Fact>, String> {
     }
     let mut out = Vec::with_capacity(facts.len());
     for (i, f) in facts.iter().enumerate() {
+        let retract = match f.get("op").and_then(|o| o.as_str()) {
+            None | Some("assert") => false,
+            Some("retract") => true,
+            Some(other) => {
+                return Err(format!(
+                    "facts[{i}]: unknown op `{other}` (expected \"assert\" or \"retract\")"
+                ))
+            }
+        };
         let pred = f
             .get("pred")
             .and_then(|p| p.as_str())
@@ -545,9 +737,14 @@ pub fn parse_facts_body(body: &str) -> Result<Vec<Fact>, String> {
             .and_then(|t| t.as_str())
             .ok_or_else(|| format!("facts[{i}]: missing string field `tuple`"))?;
         let tuple = parse_tuple(text).map_err(|e| format!("facts[{i}]: bad tuple: {e}"))?;
-        out.push(Fact {
+        let fact = Fact {
             pred: pred.to_string(),
             tuple,
+        };
+        out.push(if retract {
+            Op::Retract(fact)
+        } else {
+            Op::Assert(fact)
         });
     }
     Ok(out)
@@ -581,7 +778,7 @@ mod tests {
         }
     }
 
-    fn facts(text: &str) -> Vec<Fact> {
+    fn ops(text: &str) -> Vec<Op> {
         parse_facts_body(text).unwrap()
     }
 
@@ -589,13 +786,32 @@ mod tests {
     fn batch_codec_round_trips() {
         let batch = FactBatch {
             request_id: "req-1".to_string(),
-            facts: facts(
-                r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+            ops: ops(
+                r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"},{"op":"retract","pred":"course","tuple":"(168n+8, 168n+10; database) : T2 = T1 + 2"}]}"#,
             ),
         };
         let decoded = decode_batch(&encode_batch(&batch)).unwrap();
         assert_eq!(decoded, batch);
+        assert!(decoded.ops[1].is_retract());
         assert!(decode_batch(&[9, 9, 9]).is_err(), "unknown version");
+    }
+
+    #[test]
+    fn v1_records_decode_as_assert_batches() {
+        // Hand-rolled v1 payload: version, request id, count, pred, tuple.
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_str("old-req");
+        w.put_usize(1);
+        w.put_str("course");
+        w.put_str("(168n+30, 168n+32; compilers) : T2 = T1 + 2");
+        let decoded = decode_batch(&w.into_bytes()).unwrap();
+        assert_eq!(decoded.request_id, "old-req");
+        assert_eq!(decoded.ops.len(), 1);
+        assert!(
+            !decoded.ops[0].is_retract(),
+            "pre-retraction records are all asserts"
+        );
     }
 
     #[test]
@@ -604,12 +820,54 @@ mod tests {
         assert!(parse_facts_body("{\"facts\":[]}").is_err(), "empty batch");
         assert!(parse_facts_body("{\"facts\":[{\"pred\":\"e\"}]}").is_err());
         assert!(parse_facts_body("{\"facts\":[{\"pred\":\"e\",\"tuple\":\"(((\"}]}").is_err());
+        assert!(
+            parse_facts_body(
+                "{\"facts\":[{\"op\":\"upsert\",\"pred\":\"e\",\"tuple\":\"(6n+1)\"}]}"
+            )
+            .is_err(),
+            "unknown op"
+        );
         assert_eq!(
             parse_facts_body("{\"facts\":[{\"pred\":\"e\",\"tuple\":\"(6n+1)\"}]}")
                 .unwrap()
                 .len(),
             1
         );
+        let parsed = parse_facts_body(
+            "{\"facts\":[{\"op\":\"retract\",\"pred\":\"e\",\"tuple\":\"(6n+1)\"}]}",
+        )
+        .unwrap();
+        assert!(parsed[0].is_retract());
+    }
+
+    #[test]
+    fn zero_dedup_window_is_rejected() {
+        let dir = temp_dir("zerodedup");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let bad = IngestConfig {
+            dedup_window: 0,
+            ..config(&dir)
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(IngestConfigError::ZeroDedupWindow),
+            "typed validation error"
+        );
+        let err = match Ingest::open(bad, &workload) {
+            Ok(_) => panic!("zero dedup window must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("dedup_window"), "{err}");
+        // Boundary: 1 is the smallest valid window.
+        let ok = IngestConfig {
+            dedup_window: 1,
+            ..config(&dir)
+        };
+        assert!(ok.validate().is_ok());
+        let ingest = Ingest::open(ok, &workload).unwrap();
+        drop(ingest);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -618,21 +876,24 @@ mod tests {
         let workload = parse_workload(WORKLOAD).unwrap();
         {
             let ingest = Ingest::open(config(&dir), &workload).unwrap();
-            let batch = facts(
+            let batch = ops(
                 r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
             );
             let out = ingest.submit("req-1", batch.clone()).unwrap();
             assert_eq!(out.applied, 1);
             assert!(!out.duplicate_request);
+            assert_eq!(out.seq, Some(1), "first record of a fresh log is seq 1");
             // Same id: answered from the window, nothing re-applied.
             let again = ingest.submit("req-1", batch.clone()).unwrap();
             assert!(again.duplicate_request);
             assert_eq!(again.applied, 1, "remembered first-application count");
+            assert_eq!(again.seq, None, "deduplicated requests log nothing");
             // Same facts under a new id: logged, applied as duplicates.
             let dup = ingest.submit("req-2", batch).unwrap();
             assert!(!dup.duplicate_request);
             assert_eq!(dup.applied, 0);
             assert_eq!(dup.duplicates, 1);
+            assert_eq!(dup.seq, Some(2));
             assert_eq!(ingest.facts_ingested(), 1);
             ingest.flush();
         }
@@ -652,7 +913,7 @@ mod tests {
         let out = reopened
             .submit(
                 "req-1",
-                facts(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#),
+                ops(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#),
             )
             .unwrap();
         assert!(out.duplicate_request, "dedup window restored");
@@ -671,7 +932,7 @@ mod tests {
                     40 + 10 * i,
                     42 + 10 * i
                 );
-                ingest.submit(&format!("req-{i}"), facts(&body)).unwrap();
+                ingest.submit(&format!("req-{i}"), ops(&body)).unwrap();
             }
             // No flush: drop without a checkpoint, like a SIGKILL.
             ingest.with_model(|m| m.relation("problems").map(|r| r.to_string()))
@@ -684,6 +945,49 @@ mod tests {
     }
 
     #[test]
+    fn retraction_applies_and_replays_identically() {
+        let dir = temp_dir("retract");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let uninterrupted = {
+            let ingest = Ingest::open(config(&dir), &workload).unwrap();
+            let out = ingest
+                .submit(
+                    "a-1",
+                    ops(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#),
+                )
+                .unwrap();
+            assert_eq!(out.applied, 1);
+            let out = ingest
+                .submit(
+                    "r-1",
+                    ops(r#"{"facts":[{"op":"retract","pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#),
+                )
+                .unwrap();
+            assert_eq!(out.retracted, 1);
+            assert_eq!(ingest.facts_retracted(), 1);
+            assert!(
+                ingest.retraction_overdeleted() >= 1,
+                "consequences over-deleted"
+            );
+            // No flush: recovery must replay the retraction too.
+            ingest.with_model(|m| m.relation("problems").map(|r| r.to_string()))
+        };
+        let reopened = Ingest::open(config(&dir), &workload).unwrap();
+        assert_eq!(reopened.boot_report().replayed_records, 2);
+        assert_eq!(reopened.facts_retracted(), 1, "replayed retraction counted");
+        let replayed = reopened.with_model(|m| m.relation("problems").map(|r| r.to_string()));
+        assert_eq!(
+            uninterrupted, replayed,
+            "retraction replay is byte-identical"
+        );
+        assert!(
+            !replayed.unwrap().contains("168n+32"),
+            "retracted consequences stay gone after restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn rejected_batches_do_not_poison_replay() {
         let dir = temp_dir("rejected");
         let workload = parse_workload(WORKLOAD).unwrap();
@@ -691,12 +995,18 @@ mod tests {
             let ingest = Ingest::open(config(&dir), &workload).unwrap();
             // Intensional predicate: rejected, but WAL'd first.
             let bad =
-                facts(r#"{"facts":[{"pred":"problems","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#);
+                ops(r#"{"facts":[{"pred":"problems","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#);
             assert!(matches!(
                 ingest.submit("bad-1", bad),
                 Err(IngestError::Rejected(_))
             ));
-            let good = facts(
+            // Retracting an unknown predicate: same deterministic 422.
+            let bad = ops(r#"{"facts":[{"op":"retract","pred":"ghost","tuple":"(6n+1; x)"}]}"#);
+            assert!(matches!(
+                ingest.submit("bad-2", bad),
+                Err(IngestError::Rejected(_))
+            ));
+            let good = ops(
                 r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
             );
             ingest.submit("good-1", good).unwrap();
@@ -704,10 +1014,197 @@ mod tests {
         let reopened = Ingest::open(config(&dir), &workload).unwrap();
         assert_eq!(
             reopened.boot_report().replayed_records,
-            2,
-            "both records replayed; the bad one re-rejected"
+            3,
+            "all records replayed; the bad ones re-rejected"
         );
         assert_eq!(reopened.facts_ingested(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tripped_batch_heals_without_restart() {
+        let dir = temp_dir("tripped");
+        // A workload whose recursion needs ~7 iterations per new seed
+        // tuple; a 3-iteration governor trips on ingest but the seed
+        // evaluation (empty EDB) converges immediately.
+        let workload = parse_workload(
+            "rule p[t + 2](C) <- e[t](C).\n\
+             rule p[t + 48](C) <- p[t](C).\n\
+             rule q[t](C) <- f[t](C).\n",
+        )
+        .unwrap();
+        let mut cfg = config(&dir);
+        cfg.eval.max_iterations = 3;
+        let ingest = Ingest::open(cfg, &workload).unwrap();
+        let err = ingest
+            .submit(
+                "trip-1",
+                ops(r#"{"facts":[{"pred":"e","tuple":"(168n+1; x)"}]}"#),
+            )
+            .unwrap_err();
+        match err {
+            IngestError::Tripped { retry_after_s, .. } => assert!(retry_after_s >= 1),
+            other => panic!("expected Tripped, got {other:?}"),
+        }
+        assert_eq!(ingest.batches_tripped(), 1);
+        // The same server keeps applying unrelated batches: no wedge, no
+        // restart required.
+        let out = ingest
+            .submit(
+                "ok-1",
+                ops(r#"{"facts":[{"pred":"f","tuple":"(24n+1; y)"}]}"#),
+            )
+            .unwrap();
+        assert_eq!(out.applied, 1);
+        let q_live = ingest.with_model(|m| m.relation("q").map(|r| !r.is_empty()).unwrap_or(false));
+        assert!(q_live, "derivation resumed after the trip");
+        // And the tripping record in the WAL replays as the same refusal.
+        ingest.flush();
+        drop(ingest);
+        let mut cfg = config(&dir);
+        cfg.eval.max_iterations = 3;
+        let reopened = Ingest::open(cfg, &workload).unwrap();
+        assert_eq!(reopened.batches_tripped(), 0, "replay skips, not counts");
+        let q_live =
+            reopened.with_model(|m| m.relation("q").map(|r| !r.is_empty()).unwrap_or(false));
+        assert!(q_live, "healed state survives restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_crash_before_compaction_replays_exactly_once() {
+        // The crash window between the checkpoint write and the WAL
+        // compaction leaves a durable checkpoint *and* the full log: a
+        // large segment keeps every record in the active (uncompactable)
+        // segment, so the state after the cadence checkpoint at seq 4 is
+        // exactly that window. Boot must apply seq 5 once — and nothing
+        // at or below 4 twice.
+        let dir = temp_dir("crashwindow");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let uninterrupted = {
+            let ingest = Ingest::open(config(&dir), &workload).unwrap();
+            for i in 0..5 {
+                let body = format!(
+                    r#"{{"facts":[{{"pred":"course","tuple":"(168n+{}, 168n+{}; extra) : T2 = T1 + 2"}}]}}"#,
+                    40 + 10 * i,
+                    42 + 10 * i
+                );
+                ingest.submit(&format!("req-{i}"), ops(&body)).unwrap();
+            }
+            assert_eq!(ingest.checkpoints_written(), 1, "cadence fired at 4");
+            // Drop without flush: the crash happens after that checkpoint.
+            ingest.with_model(|m| m.relation("problems").map(|r| r.to_string()))
+        };
+        let reopened = Ingest::open(config(&dir), &workload).unwrap();
+        assert!(reopened.boot_report().restored_checkpoint);
+        assert_eq!(
+            reopened.boot_report().replayed_records,
+            1,
+            "only seq 5 is past the checkpoint; 1–4 must not re-apply"
+        );
+        assert_eq!(
+            reopened.facts_ingested(),
+            1,
+            "re-applying a covered record would double-count here"
+        );
+        let replayed = reopened.with_model(|m| m.relation("problems").map(|r| r.to_string()));
+        assert_eq!(
+            uninterrupted, replayed,
+            "exactly-once replay is byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The inverse cut point needs fault injection: the checkpoint write
+    /// *reports* success but never becomes visible (crash between staging
+    /// and rename), and compaction then deletes the segments that
+    /// checkpoint was supposed to cover. The needed records are gone —
+    /// the only sound outcome is a refused boot, never a silently
+    /// rebuilt partial model.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn invisible_checkpoint_then_compaction_fails_stop_at_boot() {
+        use itdb_store::fault::{FaultKind, FaultPlan};
+        let dir = temp_dir("invischeckpoint");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        let cfg = IngestConfig {
+            // No cadence checkpoints; tiny segments so every record seals
+            // its own segment and compaction has plenty to delete.
+            checkpoint_every: u64::MAX,
+            wal: WalOptions {
+                segment_bytes: 64,
+                ..WalOptions::default()
+            },
+            ..IngestConfig::new(&dir)
+        };
+        {
+            let ingest = Ingest::open(cfg.clone(), &workload).unwrap();
+            for i in 0..6 {
+                let body = format!(
+                    r#"{{"facts":[{{"pred":"course","tuple":"(168n+{}, 168n+{}; extra) : T2 = T1 + 2"}}]}}"#,
+                    40 + 10 * i,
+                    42 + 10 * i
+                );
+                ingest.submit(&format!("req-{i}"), ops(&body)).unwrap();
+            }
+            FaultPlan {
+                kind: FaultKind::CrashBeforeRename,
+            }
+            .arm();
+            ingest.flush();
+            FaultPlan::disarm();
+        }
+        let err = match Ingest::open(cfg, &workload) {
+            Ok(_) => {
+                panic!("boot must refuse: the checkpoint never landed and the log is compacted")
+            }
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("compacted away"),
+            "refused with the gap diagnosis, got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_with_compacted_wal_refuses_to_boot() {
+        let dir = temp_dir("gap");
+        let workload = parse_workload(WORKLOAD).unwrap();
+        {
+            // Tiny segments + tight cadence: several checkpoints, each
+            // compacting sealed segments away.
+            let cfg = IngestConfig {
+                checkpoint_every: 2,
+                wal: WalOptions {
+                    segment_bytes: 128,
+                    ..WalOptions::default()
+                },
+                ..IngestConfig::new(&dir)
+            };
+            let ingest = Ingest::open(cfg, &workload).unwrap();
+            for i in 0..8 {
+                let body = format!(
+                    r#"{{"facts":[{{"pred":"course","tuple":"(168n+{}, 168n+{}; extra) : T2 = T1 + 2"}}]}}"#,
+                    40 + 10 * i,
+                    42 + 10 * i
+                );
+                ingest.submit(&format!("req-{i}"), ops(&body)).unwrap();
+            }
+            ingest.flush();
+        }
+        // Destroy the checkpoints: the compacted WAL prefix is now
+        // unrecoverable, so boot must refuse rather than silently replay
+        // the surviving suffix into a fresh model.
+        std::fs::remove_dir_all(dir.join("checkpoint")).unwrap();
+        let err = match Ingest::open(config(&dir), &workload) {
+            Ok(_) => panic!("boot over a WAL gap must be refused"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("compacted away"),
+            "refused with the gap diagnosis, got: {err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -728,7 +1225,7 @@ mod tests {
         let err = ingest
             .submit(
                 "r",
-                facts(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; c) : T2 = T1 + 2"}]}"#),
+                ops(r#"{"facts":[{"pred":"course","tuple":"(168n+30, 168n+32; c) : T2 = T1 + 2"}]}"#),
             )
             .unwrap_err();
         assert!(matches!(err, IngestError::Backpressure { .. }));

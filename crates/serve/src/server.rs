@@ -837,6 +837,36 @@ fn serve_metrics(w: &mut impl Write, ctx: &WorkerCtx, keep: bool) -> u16 {
             ingest.facts_duplicate(),
         );
         p.counter(
+            "itdb_facts_retracted_total",
+            "Stored EDB tuples removed by retract operations through POST /facts.",
+            ingest.facts_retracted(),
+        );
+        p.counter(
+            "itdb_retraction_overdeleted_total",
+            "Derived tuples removed by the DRed over-delete phase.",
+            ingest.retraction_overdeleted(),
+        );
+        p.counter(
+            "itdb_retraction_rederived_total",
+            "Derived tuples restored by the DRed re-derive phase.",
+            ingest.retraction_rederived(),
+        );
+        let overdeleted = ingest.retraction_overdeleted();
+        p.gauge(
+            "itdb_retraction_overdeletion_ratio",
+            "Re-derived / over-deleted tuples: how much of the deletion cone survived (1.0 = pure churn, 0.0 = every over-delete was final).",
+            if overdeleted == 0 {
+                0.0
+            } else {
+                ingest.retraction_rederived() as f64 / overdeleted as f64
+            },
+        );
+        p.counter(
+            "itdb_ingest_batches_tripped_total",
+            "Ingest batches refused with a governor trip and rolled back.",
+            ingest.batches_tripped(),
+        );
+        p.counter(
             "itdb_wal_appends_total",
             "Records appended to the write-ahead log.",
             ws.appends,
@@ -1168,12 +1198,21 @@ fn serve_facts(
     match ingest.submit(request_id, facts) {
         Ok(out) => {
             use std::fmt::Write as _;
-            let mut body = String::with_capacity(128);
+            let mut body = String::with_capacity(160);
             let _ = write!(
                 body,
-                "{{\"status\":\"accepted\",\"applied\":{},\"duplicates\":{},\"duplicate_request\":{},\"seq\":{}",
-                out.applied, out.duplicates, out.duplicate_request, out.seq
+                "{{\"status\":\"accepted\",\"applied\":{},\"duplicates\":{},\"retracted\":{},\"duplicate_request\":{},\"seq\":",
+                out.applied, out.duplicates, out.retracted, out.duplicate_request
             );
+            match out.seq {
+                // A deduplicated retry logged nothing: seq is null, not 0
+                // — 0 would collide with nothing but lie about a log
+                // position that does not exist.
+                Some(seq) => {
+                    let _ = write!(body, "{seq}");
+                }
+                None => body.push_str("null"),
+            }
             body.push_str(",\"request_id\":\"");
             itdb_trace::json::escape_into(request_id, &mut body);
             body.push_str("\"}");
@@ -1199,14 +1238,20 @@ fn serve_facts(
             );
             503
         }
-        Err(IngestError::Poisoned) => {
+        Err(IngestError::Tripped {
+            retry_after_s,
+            reason,
+        }) => {
+            let retry = retry_after_s.to_string();
             let _ = http::write_response_with(
                 w,
                 503,
                 "application/json",
-                &json_error("resident model is poisoned; restart the server to rebuild"),
+                &json_error(&format!(
+                    "batch rolled back: {reason}; the model is unchanged and still serving — retry with a smaller batch or raise the governor limits"
+                )),
                 keep,
-                &[id_header[0], ("Retry-After", "30")],
+                &[id_header[0], ("Retry-After", retry.as_str())],
             );
             503
         }

@@ -27,7 +27,11 @@ struct TestServer {
 
 impl TestServer {
     fn start(config: ServeConfig) -> TestServer {
-        let workload = parse_workload(WORKLOAD).unwrap();
+        TestServer::start_with(WORKLOAD, config)
+    }
+
+    fn start_with(workload: &str, config: ServeConfig) -> TestServer {
+        let workload = parse_workload(workload).unwrap();
         let server = Server::bind("127.0.0.1:0", workload, config).unwrap();
         let addr = server.local_addr();
         let shutdown = CancelToken::new();
@@ -198,6 +202,145 @@ fn facts_accepted_visible_and_idempotent() {
     assert!(mbody.contains("itdb_wal_appends_total"), "{mbody}");
     assert!(mbody.contains("itdb_ingest_queue_depth"), "{mbody}");
 
+    drop(ts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retraction_end_to_end_and_survives_restart() {
+    let dir = temp_dir("retract");
+    let reference = {
+        let ts = TestServer::start(ingest_config(&dir));
+        let accepted = post_facts(ts.addr, "a-1", NEW_COURSE);
+        assert_eq!(status_of(&accepted), 202);
+        let visible = post_query(ts.addr, "problems[t1, t2](C)");
+        assert!(body_of(&visible).contains("compilers"), "{visible}");
+
+        // Retract the course: its derived consequences disappear too.
+        let retracted = post_facts(
+            ts.addr,
+            "r-1",
+            r#"{"facts":[{"op":"retract","pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+        );
+        assert_eq!(status_of(&retracted), 202, "{retracted}");
+        let body = body_of(&retracted);
+        assert!(body.contains("\"retracted\":1"), "{body}");
+        assert!(body.contains("\"applied\":0"), "{body}");
+        assert!(body.contains("\"seq\":2"), "{body}");
+        let after = post_query(ts.addr, "problems[t1, t2](C)");
+        assert_eq!(status_of(&after), 200);
+        assert!(
+            !body_of(&after).contains("compilers"),
+            "derived consequences of a retracted fact must be gone: {after}"
+        );
+        assert!(body_of(&after).contains("\"status\":\"complete\""));
+
+        // Retrying the retraction is answered from the dedup window, and
+        // `seq` is null — nothing was re-logged.
+        let retried = post_facts(
+            ts.addr,
+            "r-1",
+            r#"{"facts":[{"op":"retract","pred":"course","tuple":"(168n+30, 168n+32; compilers) : T2 = T1 + 2"}]}"#,
+        );
+        assert_eq!(status_of(&retried), 202);
+        assert!(body_of(&retried).contains("\"duplicate_request\":true"));
+        assert!(body_of(&retried).contains("\"seq\":null"), "{retried}");
+        assert!(body_of(&retried).contains("\"retracted\":1"), "{retried}");
+
+        // Retracting a derived predicate is a typed 422 with guidance.
+        let idb = post_facts(
+            ts.addr,
+            "r-2",
+            r#"{"facts":[{"op":"retract","pred":"problems","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#,
+        );
+        assert_eq!(status_of(&idb), 422, "{idb}");
+        assert!(body_of(&idb).contains("intensional"), "{idb}");
+        // Unknown ops never reach the model.
+        let bad_op = post_facts(
+            ts.addr,
+            "r-3",
+            r#"{"facts":[{"op":"upsert","pred":"course","tuple":"(6n+1, 6n+3; x) : T2 = T1 + 2"}]}"#,
+        );
+        assert_eq!(status_of(&bad_op), 400, "{bad_op}");
+
+        // /metrics exposes the retraction families.
+        let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mbody = body_of(&metrics);
+        assert!(mbody.contains("itdb_facts_retracted_total 1"), "{mbody}");
+        assert!(
+            mbody.contains("itdb_retraction_overdeleted_total"),
+            "{mbody}"
+        );
+        assert!(mbody.contains("itdb_retraction_rederived_total"), "{mbody}");
+        assert!(
+            mbody.contains("itdb_retraction_overdeletion_ratio"),
+            "{mbody}"
+        );
+
+        let answer = post_query(ts.addr, "problems[t1, t2](C)");
+        deterministic_part(body_of(&answer)).to_string()
+    };
+
+    // Restart: the replayed retraction keeps the consequences gone and
+    // the answer byte-identical.
+    let ts = TestServer::start(ingest_config(&dir));
+    let recovered = post_query(ts.addr, "problems[t1, t2](C)");
+    assert_eq!(status_of(&recovered), 200);
+    assert_eq!(deterministic_part(body_of(&recovered)), reference);
+    assert!(!body_of(&recovered).contains("compilers"));
+    drop(ts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tripped_ingest_answers_503_and_heals_without_restart() {
+    // A recursion that needs ~7 iterations per seed tuple, governed to 3:
+    // any batch on `e` trips and rolls back; batches on `f` are fine.
+    let trip_workload = "\
+        rule p[t + 2](C) <- e[t](C).\n\
+        rule p[t + 48](C) <- p[t](C).\n\
+        rule q[t](C) <- f[t](C).\n";
+    let dir = temp_dir("tripped");
+    let mut ingest = IngestConfig::new(&dir);
+    ingest.eval.max_iterations = 3;
+    let ts = TestServer::start_with(
+        trip_workload,
+        ServeConfig {
+            ingest: Some(ingest),
+            ..ServeConfig::default()
+        },
+    );
+    let tripped = post_facts(
+        ts.addr,
+        "trip-1",
+        r#"{"facts":[{"pred":"e","tuple":"(168n+1; x)"}]}"#,
+    );
+    assert_eq!(status_of(&tripped), 503, "{tripped}");
+    assert!(
+        tripped.contains("Retry-After:"),
+        "tripped responses carry a retry hint: {tripped}"
+    );
+    assert!(
+        body_of(&tripped).contains("rolled back"),
+        "the body says the model is unchanged: {tripped}"
+    );
+    // The same server keeps accepting unrelated work — no restart needed.
+    let ok = post_facts(
+        ts.addr,
+        "ok-1",
+        r#"{"facts":[{"pred":"f","tuple":"(24n+1; y)"}]}"#,
+    );
+    assert_eq!(status_of(&ok), 202, "healed without restart: {ok}");
+    let q = post_query(ts.addr, "q[t](C)");
+    assert_eq!(status_of(&q), 200);
+    assert!(body_of(&q).contains("24n+1"), "{q}");
+    let health = exchange(ts.addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&health), 200);
+    let metrics = exchange(ts.addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(
+        body_of(&metrics).contains("itdb_ingest_batches_tripped_total 1"),
+        "{metrics}"
+    );
     drop(ts);
     let _ = std::fs::remove_dir_all(&dir);
 }

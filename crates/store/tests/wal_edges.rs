@@ -141,6 +141,41 @@ fn compaction_then_reopen_starts_at_surviving_segment() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn compact_through_never_deletes_a_needed_record() {
+    // The checkpoint pipeline compacts through `applied_seq` after every
+    // snapshot. Whatever that sequence is — mid-segment, the last record
+    // of a sealed segment (the exact boundary), the first record of the
+    // next one, or the newest record in the active segment — every
+    // record *past* it must still replay, because the checkpoint does
+    // not cover them. With 2 records per segment, seq 2/4/6 are exact
+    // segment boundaries; sweep every cut to catch an off-by-one on
+    // either side.
+    for cut in 1..=12u64 {
+        let dir = temp_dir(&format!("cut{cut}"));
+        let opts = WalOptions {
+            segment_bytes: 20 + 2 * 40,
+            fsync: FsyncPolicy::Always,
+        };
+        let (mut wal, _) = Wal::open(&dir, opts).unwrap();
+        for i in 1..=12u64 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.compact_through(cut).unwrap();
+        drop(wal);
+        let survivors = replayed(&dir, opts);
+        for seq in cut + 1..=12 {
+            assert!(
+                survivors
+                    .iter()
+                    .any(|(s, p)| *s == seq && *p == payload(seq)),
+                "compact_through({cut}) lost record {seq}, which no checkpoint covers"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 #[cfg(feature = "fault")]
 mod injected {
     use super::*;
